@@ -1,0 +1,38 @@
+"""Shared helpers for the benchmark harness.
+
+Every bench regenerates one paper artifact (figure or table) and saves the
+rendered text under ``benchmarks/out/`` so the reproduction's outputs can be
+diffed against the paper without re-running.  Run with::
+
+    pytest benchmarks/ --benchmark-only -q
+
+Shape assertions (who wins, by what factor, where crossovers fall) live in
+the bench bodies; absolute numbers are simulator-dependent by design.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+OUT_DIR = pathlib.Path(__file__).parent / "out"
+
+
+@pytest.fixture(scope="session")
+def artifact_dir() -> pathlib.Path:
+    OUT_DIR.mkdir(exist_ok=True)
+    return OUT_DIR
+
+
+@pytest.fixture
+def save_artifact(artifact_dir):
+    """``save_artifact(name, text)`` -> writes benchmarks/out/<name>.txt."""
+
+    def save(name: str, text: str) -> pathlib.Path:
+        path = artifact_dir / f"{name}.txt"
+        path.write_text(text, encoding="utf-8")
+        print(f"\n[artifact saved: {path}]")
+        return path
+
+    return save

@@ -1,0 +1,129 @@
+"""Figure 1: the four mapping types and their cost-assignment rules.
+
+Regenerates the paper's first table by constructing each mapping shape from
+basic one-to-one records, classifying it, and showing how a measured
+low-level cost is assigned under both Figure-1 disciplines (split / merge).
+"""
+
+from repro.core import (
+    CPU_TIME,
+    CostVector,
+    Mapping,
+    MappingGraph,
+    MappingType,
+    MergePolicy,
+    Noun,
+    SplitPolicy,
+    Verb,
+    assign_costs,
+    sentence,
+)
+from repro.paradyn import text_table
+
+SEND = Verb("Send", "Base")
+CPU = Verb("CPU Utilization", "Base")
+REDUCE = Verb("Reduction", "CM Fortran")
+EXEC = Verb("Executes", "CM Fortran")
+
+
+def _cases():
+    """(name, graph, measured, example text) for each Figure-1 row."""
+    cases = []
+
+    # one-to-one: low-level message send S implements reduction R
+    g = MappingGraph()
+    s = sentence(SEND, Noun("S", "Base"))
+    r = sentence(REDUCE, Noun("R", "CM Fortran"))
+    g.add(Mapping(s, r))
+    cases.append(("One-to-One", g, [(s, CostVector({CPU_TIME: 10.0}))], "send S implements reduction R"))
+
+    # one-to-many: function F implements reductions R1, R2
+    g = MappingGraph()
+    f = sentence(CPU, Noun("F", "Base"))
+    for i in (1, 2):
+        g.add(Mapping(f, sentence(REDUCE, Noun(f"R{i}", "CM Fortran"))))
+    cases.append(("One-to-Many", g, [(f, CostVector({CPU_TIME: 10.0}))], "function F implements R1, R2"))
+
+    # many-to-one: functions F1, F2 implement one source line L
+    g = MappingGraph()
+    line = sentence(EXEC, Noun("L", "CM Fortran"))
+    f1 = sentence(CPU, Noun("F1", "Base"))
+    f2 = sentence(CPU, Noun("F2", "Base"))
+    g.add(Mapping(f1, line))
+    g.add(Mapping(f2, line))
+    cases.append(
+        (
+            "Many-to-One",
+            g,
+            [(f1, CostVector({CPU_TIME: 6.0})), (f2, CostVector({CPU_TIME: 4.0}))],
+            "functions F1, F2 implement line L",
+        )
+    )
+
+    # many-to-many: lines L1, L2 implemented by overlapping functions
+    g = MappingGraph()
+    l1 = sentence(EXEC, Noun("L1", "CM Fortran"))
+    l2 = sentence(EXEC, Noun("L2", "CM Fortran"))
+    f1 = sentence(CPU, Noun("G1", "Base"))
+    f2 = sentence(CPU, Noun("G2", "Base"))
+    g.add(Mapping(f1, l1))
+    g.add(Mapping(f1, l2))
+    g.add(Mapping(f2, l2))
+    cases.append(
+        (
+            "Many-to-Many",
+            g,
+            [(f1, CostVector({CPU_TIME: 6.0})), (f2, CostVector({CPU_TIME: 4.0}))],
+            "lines L1, L2 share functions G1, G2",
+        )
+    )
+    return cases
+
+
+def run_experiment():
+    rows = []
+    for name, graph, measured, example in _cases():
+        first_src = measured[0][0]
+        mtype = graph.classify(first_src)
+        split = assign_costs(measured, graph, SplitPolicy())
+        merge = assign_costs(measured, graph, MergePolicy())
+        split_desc = "; ".join(
+            f"{s}={v.get(CPU_TIME):g}" for s, v in sorted(split.per_sentence.items(), key=lambda kv: str(kv[0]))
+        )
+        merge_desc = "; ".join(
+            [f"{s}={v.get(CPU_TIME):g}" for s, v in merge.per_sentence.items()]
+            + [f"{grp}={v.get(CPU_TIME):g}" for grp, v in merge.per_group.items()]
+        )
+        rows.append((name, mtype, example, split_desc, merge_desc))
+    return rows
+
+
+def test_fig1_mapping_types(benchmark, save_artifact):
+    rows = benchmark(run_experiment)
+
+    # -- shape assertions (the paper's classification) ---------------------
+    types = {name: mtype for name, mtype, *_ in rows}
+    assert types["One-to-One"] == MappingType.ONE_TO_ONE
+    assert types["One-to-Many"] == MappingType.ONE_TO_MANY
+    assert types["Many-to-One"] == MappingType.MANY_TO_ONE
+    assert types["Many-to-Many"] == MappingType.MANY_TO_MANY
+
+    by_name = {r[0]: r for r in rows}
+    # one-to-one: measurement passes through unchanged under both policies
+    assert "{R Reduction}=10" in by_name["One-to-One"][3]
+    assert "{R Reduction}=10" in by_name["One-to-One"][4]
+    # one-to-many: split halves, merge keeps the full 10 on a group
+    assert "=5" in by_name["One-to-Many"][3]
+    assert "=10" in by_name["One-to-Many"][4]
+    # many-to-one: sources aggregate first (6+4=10) then map to L
+    assert "{L Executes}=10" in by_name["Many-to-One"][3]
+    assert "{L Executes}=10" in by_name["Many-to-One"][4]
+    # many-to-many: aggregate then one-to-many over {L1, L2}
+    assert "=5" in by_name["Many-to-Many"][3]
+    assert "=10" in by_name["Many-to-Many"][4]
+
+    table = text_table(
+        [(n, t.value, e, s, m) for n, t, e, s, m in rows],
+        headers=("Type of Mapping", "classified", "Example", "split assignment", "merge assignment"),
+    )
+    save_artifact("fig1_mapping_types", "Figure 1 -- mapping types and cost assignment\n\n" + table)

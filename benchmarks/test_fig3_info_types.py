@@ -1,0 +1,52 @@
+"""Figure 3: the three components of mapping information.
+
+Regenerates the Figure-3 table by introspecting the PIF record schema --
+the reproduction's record types must carry exactly the fields the paper
+lists (name / level of abstraction / descriptive information for noun and
+verb definitions; source sentence / destination sentence for mapping
+definitions).
+"""
+
+import dataclasses
+
+from repro.paradyn import text_table
+from repro.pif import MappingDef, NounDef, VerbDef
+
+
+def run_experiment():
+    rows = []
+    for rectype, label in ((NounDef, "Noun definition"), (VerbDef, "Verb definition")):
+        fields = [f.name for f in dataclasses.fields(rectype)]
+        rows.append((label, fields))
+    rows.append(
+        ("Mapping definition", [f.name for f in dataclasses.fields(MappingDef)])
+    )
+    return rows
+
+
+def test_fig3_info_types(benchmark, save_artifact):
+    rows = benchmark(run_experiment)
+    schema = dict(rows)
+
+    # -- Figure 3's exact component lists -----------------------------------
+    assert schema["Noun definition"] == ["name", "abstraction", "description"]
+    assert schema["Verb definition"] == ["name", "abstraction", "description"]
+    assert schema["Mapping definition"] == ["source", "destination"]
+
+    paper_terms = {
+        "name": "name",
+        "abstraction": "level of abstraction",
+        "description": "descriptive information",
+        "source": "source sentence",
+        "destination": "destination sentence",
+    }
+    table = text_table(
+        [
+            (label, "\n".join(paper_terms[f] for f in fields).replace("\n", "; "))
+            for label, fields in rows
+        ],
+        headers=("Type of Information", "Description"),
+    )
+    save_artifact(
+        "fig3_info_types", "Figure 3 -- types of mapping information\n\n" + table
+    )

@@ -1,0 +1,61 @@
+"""Figures 4 & 5: the SAS when a message is sent during SUM(A).
+
+Runs the Figure-4 HPF fragment on the simulated machine and captures node
+0's Set of Active Sentences at the instant a point-to-point message is sent
+while the summation of A is active.  The snapshot must contain the paper's
+three sentences -- the executing source line (HPF level), the array
+summation (HPF level), and the processor's message send (Base level).
+"""
+
+from repro.cmfortran import compile_source
+from repro.instrument import Counter, FnPredicate, IncrementCounter, InstrumentationRequest
+from repro.paradyn import Paradyn
+from repro.workloads import HPF_FRAGMENT
+
+
+def run_experiment():
+    program = compile_source(HPF_FRAGMENT, "fragment.cmf")
+    tool = Paradyn.for_program(program, num_nodes=4)
+    sas0 = tool.sases[0]
+    snapshots = []
+
+    def spy(node_id, ctx):
+        if node_id == 0 and any(s.verb.name == "Sum" for s in sas0.active_sentences()):
+            snapshots.append(list(sas0.snapshot_by_level(tool.datamgr.vocabulary)))
+        return False
+
+    tool.instrumentation.insert(
+        InstrumentationRequest(
+            "cmrts.p2p", "entry", IncrementCounter(Counter("spy")), FnPredicate(spy)
+        )
+    )
+    tool.run()
+    return tool, snapshots
+
+
+def test_fig5_sas_snapshot(benchmark, save_artifact):
+    tool, snapshots = benchmark.pedantic(run_experiment, rounds=3, iterations=1)
+
+    assert snapshots, "no message was sent while A was being summed"
+    snap = snapshots[0]
+    verbs = [s.verb.name for s in snap]
+    levels = [s.abstraction for s in snap]
+
+    # -- Figure 5's three sentences, most-abstract level first --------------
+    assert "Executes" in verbs  # HPF: line #N executes
+    assert "Sum" in verbs  # HPF: A sums
+    assert "Send" in verbs  # Base: processor sends a message
+    assert any(s.verb.name == "Sum" and s.nouns[0].name == "A" for s in snap)
+    assert levels[0] == "CM Fortran" and levels[-1] == "Base"
+
+    lines = [
+        "Figure 5 -- the SAS when a message is sent",
+        "(snapshot of node 0, taken at a point-to-point send during SUM(A))",
+        "",
+    ]
+    label = {"CM Fortran": "HPF", "CMRTS": "CMRTS", "Base": "Base"}
+    for s in snap:
+        lines.append(f"  {label[s.abstraction]}: {s}")
+    lines.append("")
+    lines.append("  (each line represents one active sentence)")
+    save_artifact("fig5_sas_snapshot", "\n".join(lines))

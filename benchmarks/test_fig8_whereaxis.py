@@ -1,0 +1,51 @@
+"""Figure 8: the CMF-level where axis.
+
+Runs the BOW program (five parallel arrays including TOT, after the paper's
+``bow.fcm`` / ``CORNER`` example), letting allocation mapping points build
+the CMFarrays hierarchy dynamically, and renders the where axis with TOT
+expanded into its per-node subregions -- the content of the Figure-8
+display.
+"""
+
+from repro.cmfortran import compile_source
+from repro.paradyn import Paradyn
+from repro.workloads import BOW
+
+
+def run_experiment():
+    program = compile_source(BOW, "bow.fcm")
+    tool = Paradyn.for_program(program, num_nodes=4)
+    tool.run()
+    return tool
+
+
+def test_fig8_whereaxis(benchmark, save_artifact):
+    tool = benchmark.pedantic(run_experiment, rounds=3, iterations=1)
+    axis = tool.datamgr.where_axis
+
+    # -- hierarchy structure ---------------------------------------------
+    assert set(axis.hierarchies()) >= {"CMFstmts", "CMFarrays", "CMRTS", "Base"}
+    # "the module bow.fcm contains six functions, and one of those (CORNER)
+    # contains five arrays"
+    module = axis.hierarchy("CMFarrays").child("bow.fcm")
+    assert len(module.children) == 6
+    function = module.child("CORNER")
+    assert {c.name for c in function.children} == {"TOT", "U", "V", "W", "P"}
+    tot = function.child("TOT")
+    # TOT expanded into one subregion per holding node (Figure 8's expansion)
+    assert len(tot.children) == 4
+    assert tot.children[0].name == "TOT[0:25] on node 0"
+    # statements present under the module
+    stmts = axis.hierarchy("CMFstmts").child("bow.fcm")
+    assert any(c.name.startswith("line") for c in stmts.children)
+    # base level holds the compiler-generated functions and processors
+    base_names = {c.name for c in axis.hierarchy("Base").children}
+    assert any(n.startswith("cmpe_corner_") for n in base_names)
+    assert "Processor_0" in base_names
+
+    rendered = axis.render()
+    save_artifact(
+        "fig8_whereaxis",
+        "Figure 8 -- CMF-level where axis (module bow.fcm, function CORNER,\n"
+        "array TOT expanded to its per-node subregions)\n\n" + rendered,
+    )

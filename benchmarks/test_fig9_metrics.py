@@ -1,0 +1,92 @@
+"""Figure 9: the full Paradyn metric table for CM Fortran applications.
+
+Runs a workload exercising every CMF and CMRTS verb with all 31 Figure-9
+metrics requested, and regenerates the table (level, metric, description,
+measured value).  Count metrics are checked exactly against the workload's
+known composition; time metrics against the machine's ground-truth ledgers.
+Two metrics are additionally measured constrained to one array, exercising
+the Section-6.1 SAS gating.
+"""
+
+import pytest
+
+from repro.cmfortran import compile_source
+from repro.mdl import FIGURE9_ROWS, standard_metrics
+from repro.paradyn import Paradyn, text_table
+from repro.workloads import full_verb_mix
+
+
+def run_experiment():
+    program = compile_source(full_verb_mix(size=400), "fig9.cmf")
+    tool = Paradyn.for_program(program, num_nodes=4)
+    instances = {name: tool.request_metric(name) for _, name in FIGURE9_ROWS}
+    constrained = {
+        "summations<A>": tool.request_metric("summations", focus={"array": "A"}),
+        "summation_time<A>": tool.request_metric("summation_time", focus={"array": "A"}),
+    }
+    tool.run()
+    return tool, instances, constrained
+
+
+def test_fig9_metrics(benchmark, save_artifact):
+    tool, instances, constrained = benchmark.pedantic(run_experiment, rounds=2, iterations=1)
+    n = tool.machine.num_nodes
+    v = {name: inst.value() for name, inst in instances.items()}
+
+    # -- counts: exact, from the known workload composition ------------------
+    assert v["summations"] == 1 * n
+    assert v["maxval_count"] == 1 * n
+    assert v["minval_count"] == 1 * n
+    assert v["reductions"] == 3 * n
+    assert v["rotations"] == 1 * n  # CSHIFT
+    assert v["shifts"] == 1 * n  # EOSHIFT
+    assert v["transposes"] == 1 * n
+    assert v["array_transformations"] == 3 * n  # rotate + shift + transpose
+    assert v["scans"] == 1 * n
+    assert v["sorts"] == 1 * n
+    assert v["node_activations"] == n * tool.runtime.dispatches
+    assert v["broadcasts"] == n * tool.runtime.dispatches
+    assert v["point_to_point_operations"] == sum(
+        w.stats.p2p_sends for w in tool.runtime.workers
+    )
+    assert v["cleanups"] == sum(node.cleanups for node in tool.machine.nodes)
+
+    # -- times: consistent with ground-truth ledgers --------------------------
+    truth = tool.machine.total_accounts()
+    perturb = truth["instrumentation"]
+    # the wall idle timer brackets ground truth from above by at most the
+    # perturbation landing inside the measured interval
+    assert truth["idle"] <= v["idle_time"] <= truth["idle"] + perturb
+    assert truth["argument_processing"] <= v["argument_processing_time"] <= truth[
+        "argument_processing"
+    ] + perturb
+    assert truth["cleanup"] <= v["cleanup_time"] <= truth["cleanup"] + perturb
+    # verb-specific timers partition the reduction timer
+    assert v["summation_time"] + v["maxval_time"] + v["minval_time"] == pytest.approx(
+        v["reduction_time"], rel=1e-6
+    )
+    assert v["rotation_time"] + v["shift_time"] + v["transpose_time"] == pytest.approx(
+        v["transformation_time"], rel=1e-6
+    )
+
+    # -- per-array constraint (Section 6.1 SAS gating) ------------------------
+    assert constrained["summations<A>"].value() == 1 * n  # only SUM(A)
+    assert 0 < constrained["summation_time<A>"].value() <= v["summation_time"] * 1.001
+
+    # -- render the table ------------------------------------------------------
+    library = standard_metrics()
+    rows = [
+        (level, name, library[name].description, f"{v[name]:.6g}", library[name].units)
+        for level, name in FIGURE9_ROWS
+    ]
+    rows.append(("CMF", "summations<array A>", "SUM count constrained to array A.",
+                 f"{constrained['summations<A>'].value():.6g}", "operations"))
+    rows.append(("CMF", "summation_time<array A>", "SUM time constrained to array A.",
+                 f"{constrained['summation_time<A>'].value():.6g}", "seconds"))
+    table = text_table(rows, headers=("Level", "Metric", "Description", "Value", "Units"))
+    save_artifact(
+        "fig9_metrics",
+        "Figure 9 -- Paradyn metrics for CM Fortran applications\n"
+        f"(workload: full_verb_mix(400) on {n} nodes; values summed over nodes)\n\n"
+        + table,
+    )

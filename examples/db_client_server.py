@@ -1,0 +1,62 @@
+"""Distributed-SAS example: the Section-4.2.3 database scenario.
+
+Run:  python examples/db_client_server.py
+
+A client on node 0 issues queries; a server on node 1 performs disk reads
+on their behalf.  The question "server reads from disk while client query Q
+is active" spans two nodes' SASes, so the client forwards Q's activation
+state to the server (one message per transition).  The example shows the
+measurement working with forwarding, failing without it, and the message
+cost of each strategy.
+"""
+
+from repro.dbsim import Query, run_db_study
+from repro.paradyn import text_table
+
+
+def main() -> None:
+    queries = [
+        Query("Q_orders", disk_reads=3),
+        Query("Q_customers", disk_reads=1),
+        Query("Q_report", disk_reads=5),
+    ]
+
+    with_fwd = run_db_study(queries, forwarding=True)
+    without = run_db_study(queries, forwarding=False)
+
+    print("=== distributed question: server disk reads per client query ===")
+    rows = [
+        (
+            q.name,
+            with_fwd.ground_truth[q.name],
+            with_fwd.measured[q.name],
+            without.measured[q.name],
+        )
+        for q in queries
+    ]
+    print(
+        text_table(
+            rows,
+            headers=("query", "ground truth", "measured (forwarding)", "measured (no fwd)"),
+        )
+    )
+
+    print("\n=== cross-node SAS traffic ===")
+    print(f"  forwarding on : {with_fwd.forwarded_messages} messages "
+          f"(2 per query: activate + deactivate)")
+    print(f"  forwarding off: {without.forwarded_messages} messages")
+
+    print("\n=== local question (no cross-node information needed) ===")
+    print(
+        f"  total server disk reads: {with_fwd.total_reads_local_question} "
+        f"-- answered from the server's own SAS with zero forwarded messages,"
+    )
+    print("  exactly as the paper claims for all of Figure 6's questions.")
+
+    print("\n=== per-query satisfied time (server-side watcher) ===")
+    for name, t in with_fwd.per_query_watcher_time.items():
+        print(f"  {name:<14} {t:.3e} s")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,30 @@
+"""Automated bottleneck search with the Performance Consultant.
+
+Run:  python examples/performance_consultant.py
+
+Runs the consultant's why/where search over three programs with different
+bottleneck characters and prints each diagnosis.
+"""
+
+from repro.cmfortran import compile_source
+from repro.paradyn import PerformanceConsultant
+from repro.workloads import elementwise_chain, sort_workload, transform_mix
+
+
+def diagnose(title: str, source: str, num_nodes: int = 4) -> None:
+    print(f"=== {title} ===")
+    program = compile_source(source, f"{title.lower().replace(' ', '_')}.cmf")
+    consultant = PerformanceConsultant(program, num_nodes=num_nodes, threshold=0.15)
+    findings = consultant.search()
+    print(consultant.report(findings))
+    print()
+
+
+def main() -> None:
+    diagnose("sort heavy", sort_workload(size=1024, repeats=3))
+    diagnose("compute heavy", elementwise_chain(size=8192, statements=12))
+    diagnose("communication heavy", transform_mix(size=64, rotations=6, transposes=4))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,55 @@
+"""Figure-7 example: asynchronous activations defeat the SAS; causal tags fix it.
+
+Run:  python examples/unix_async_writes.py
+
+A user process makes write() system calls; the kernel defers the physical
+disk writes.  By flush time the calling function has returned, so the plain
+SAS credits disk writes to whatever happens to run then (limitation #1 of
+Section 4.2.4).  The causal-tag extension snapshots the active user-level
+sentences into each buffer and re-activates them as shadows during the
+deferred write, recovering exact attribution.
+"""
+
+from repro.core import EventKind
+from repro.paradyn import text_table
+from repro.unixsim import FunctionSpec, run_figure7_study
+
+
+def main() -> None:
+    script = [
+        FunctionSpec("func", writes=2, compute_time=4e-4),
+        FunctionSpec("other", writes=1, compute_time=4e-4),
+        FunctionSpec("idle_tail", writes=0, compute_time=2e-2),
+    ]
+    out = run_figure7_study(script=script, causal=True)
+
+    print("=== Figure 7 timeline (sentence trace) ===")
+    for event in out.trace.events()[:24]:
+        marker = "+" if event.kind is EventKind.ACTIVATE else "-"
+        print(f"  t={event.time * 1e3:8.3f} ms  {marker} {event.sentence}")
+    if len(out.trace) > 24:
+        print(f"  ... ({len(out.trace) - 24} more events)")
+
+    print("\n=== disk-write attribution, three strategies ===")
+    funcs = sorted(set(out.ground_truth) | set(out.sas_attributed) | set(out.causal_attributed))
+    rows = [
+        (
+            f,
+            out.ground_truth.get(f, 0),
+            out.sas_attributed.get(f, 0),
+            out.causal_attributed.get(f, 0),
+        )
+        for f in funcs
+    ]
+    print(text_table(rows, headers=("function", "ground truth", "SAS only", "causal tags")))
+
+    print(f"\n  SAS-only absolute error : {out.sas_error()} disk writes")
+    print(f"  causal-tag absolute error: {out.causal_error()} disk writes")
+    print(
+        "\nThe SAS alone cannot see across the asynchronous gap between the"
+        "\nwrite() call and the deferred disk write -- the paper's limitation #1."
+    )
+
+
+if __name__ == "__main__":
+    main()

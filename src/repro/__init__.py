@@ -1,0 +1,31 @@
+"""repro -- reproduction of Irvin & Miller, "Mechanisms for Mapping
+High-Level Parallel Performance Data" (ICPP 1996).
+
+The package implements the paper's Noun-Verb performance model, static and
+dynamic mapping information, and the Set of Active Sentences, together with
+every substrate the paper's case study depends on: a simulated CM-5-like
+machine, a small data-parallel Fortran dialect and compiler, a CMRTS-like
+runtime, PIF static mapping files, dynamic instrumentation, the Metric
+Description Language, and a Paradyn-like measurement tool.
+
+Quickstart::
+
+    from repro.cmfortran import compile_source
+    from repro.paradyn import Paradyn
+
+    program = compile_source('''
+        PROGRAM DEMO
+          REAL A(1024), B(1024)
+          ASUM = SUM(A)
+          BMAX = MAXVAL(B)
+        END PROGRAM
+    ''')
+    tool = Paradyn.for_program(program, num_nodes=4)
+    tool.request_metric("summation_time", focus={"array": "A"})
+    tool.run()
+    print(tool.report())
+"""
+
+__version__ = "1.0.0"
+
+__all__ = ["__version__"]

@@ -1,0 +1,239 @@
+"""Command-line interface: compile, run, and measure CMF programs.
+
+Usage::
+
+    python -m repro compile heat.cmf --pif heat.pif
+    python -m repro run heat.cmf --nodes 8 --scalars TOTAL
+    python -m repro measure heat.cmf --metric computation_time \\
+        --metric summation_time@array=U --block-times --attribute merge
+    python -m repro consultant heat.cmf --nodes 8
+    python -m repro metrics
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from .cmfortran import compile_source
+from .cmrts import run_program
+from .mdl import FIGURE9_ROWS, standard_metrics
+from .paradyn import Paradyn, PerformanceConsultant, text_table
+from .pif import dumps as pif_dumps, generate_pif
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Build the ``python -m repro`` argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Mapping high-level parallel performance data (Irvin & Miller, ICPP 1996).",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_compile = sub.add_parser("compile", help="compile a CMF program")
+    p_compile.add_argument("file", help="CMF source file")
+    p_compile.add_argument("--no-optimize", action="store_true", help="disable block merging")
+    p_compile.add_argument("--listing", metavar="OUT", help="write the compiler listing here")
+    p_compile.add_argument("--pif", metavar="OUT", help="write generated PIF here")
+
+    p_run = sub.add_parser("run", help="execute a CMF program on the simulated machine")
+    p_run.add_argument("file")
+    p_run.add_argument("--nodes", type=int, default=4)
+    p_run.add_argument("--arrays", default="", help="comma-separated arrays to print")
+    p_run.add_argument("--scalars", default="", help="comma-separated scalars to print")
+
+    p_measure = sub.add_parser("measure", help="run under Paradyn with requested metrics")
+    p_measure.add_argument("file")
+    p_measure.add_argument("--nodes", type=int, default=4)
+    p_measure.add_argument(
+        "--metric",
+        action="append",
+        default=[],
+        metavar="NAME[@array=A|@line=N|@node=P]",
+        help="metric request; repeatable",
+    )
+    p_measure.add_argument("--block-times", action="store_true", help="time every node code block")
+    p_measure.add_argument(
+        "--attribute", choices=("merge", "split"), help="attribute block CPU to source lines"
+    )
+    p_measure.add_argument("--where-axis", action="store_true", help="print the where axis")
+
+    p_pc = sub.add_parser("consultant", help="run the Performance Consultant")
+    p_pc.add_argument("file")
+    p_pc.add_argument("--nodes", type=int, default=4)
+    p_pc.add_argument("--threshold", type=float, default=0.15)
+    p_pc.add_argument("--no-refine", action="store_true")
+
+    sub.add_parser("metrics", help="list the Figure-9 MDL metric library")
+
+    p_fuzz = sub.add_parser(
+        "fuzz", help="differential-test random programs against the oracle"
+    )
+    p_fuzz.add_argument("--count", type=int, default=20, help="programs to test")
+    p_fuzz.add_argument("--seed", type=int, default=0, help="first seed")
+    p_fuzz.add_argument("--nodes", type=int, default=4)
+    p_fuzz.add_argument("--layouts", action="store_true", help="include LAYOUT directives")
+    return parser
+
+
+def _load(path: str, optimize: bool = True):
+    source = Path(path).read_text(encoding="utf-8")
+    return compile_source(source, source_file=path, optimize=optimize)
+
+
+def _parse_metric_spec(spec: str) -> tuple[str, dict]:
+    name, _, focus_text = spec.partition("@")
+    focus: dict = {}
+    if focus_text:
+        key, _, value = focus_text.partition("=")
+        if key == "array":
+            focus["array"] = value
+        elif key == "line":
+            focus["line"] = int(value)
+        elif key == "node":
+            focus["node"] = int(value)
+        else:
+            raise SystemExit(f"bad metric focus {focus_text!r} (use array=/line=/node=)")
+    return name, focus
+
+
+def _cmd_compile(args) -> int:
+    program = _load(args.file, optimize=not args.no_optimize)
+    print(f"program {program.name}: {len(program.plan.blocks)} node code blocks")
+    for block in program.plan.blocks:
+        print(f"  {block}")
+    if program.lowering.merged_groups:
+        print("merged statement groups (one-to-many mappings):")
+        for name, lines in program.lowering.merged_groups:
+            print(f"  {name} <- lines {', '.join(map(str, lines))}")
+    if args.listing:
+        Path(args.listing).write_text(program.listing, encoding="utf-8")
+        print(f"listing written to {args.listing}")
+    if args.pif:
+        Path(args.pif).write_text(pif_dumps(generate_pif(program.listing)), encoding="utf-8")
+        print(f"PIF written to {args.pif}")
+    return 0
+
+
+def _cmd_run(args) -> int:
+    program = _load(args.file)
+    runtime = run_program(program, num_nodes=args.nodes)
+    print(f"completed in {runtime.elapsed * 1e3:.4f} virtual ms on {args.nodes} nodes")
+    for name in filter(None, args.scalars.split(",")):
+        print(f"  {name} = {runtime.scalar(name.strip()):g}")
+    for name in filter(None, args.arrays.split(",")):
+        print(f"  {name.strip()} = {runtime.array(name.strip())}")
+    return 0
+
+
+def _cmd_measure(args) -> int:
+    program = _load(args.file)
+    tool = Paradyn.for_program(program, num_nodes=args.nodes)
+    for spec in args.metric:
+        name, focus = _parse_metric_spec(spec)
+        tool.request_metric(name, focus=focus or None)
+    if args.block_times or args.attribute:
+        tool.measure_block_times()
+    tool.run()
+    if args.metric:
+        print(tool.report())
+    if args.block_times:
+        rows = [(n, f"{t.value():.6g}") for n, t in sorted(tool._block_timers.items())]
+        print(text_table(rows, headers=("node code block", "CPU time (s)")))
+    if args.attribute:
+        attribution = tool.attribute(args.attribute)
+        print(f"attribution ({args.attribute} policy):")
+        for sent, cost in attribution.per_sentence.items():
+            print(f"  {sent}: {cost}")
+        for group, cost in attribution.per_group.items():
+            print(f"  {group}: {cost}")
+    if args.where_axis:
+        print(tool.where_axis())
+    return 0
+
+
+def _cmd_consultant(args) -> int:
+    program = _load(args.file)
+    consultant = PerformanceConsultant(
+        program, num_nodes=args.nodes, threshold=args.threshold
+    )
+    findings = consultant.search(refine=not args.no_refine)
+    print(consultant.report(findings))
+    return 0
+
+
+def _cmd_metrics(_args) -> int:
+    library = standard_metrics()
+    rows = [
+        (level, name, library[name].style, library[name].units, library[name].description)
+        for level, name in FIGURE9_ROWS
+    ]
+    print(text_table(rows, headers=("level", "metric", "style", "units", "description")))
+    return 0
+
+
+def _cmd_fuzz(args) -> int:
+    import numpy as np
+
+    from .cmfortran import interpret
+    from .cmrts import run_program
+    from .workloads import random_program
+    from .workloads.fuzz import FuzzConfig
+
+    cfg = FuzzConfig(allow_layouts=args.layouts, num_2d_pairs=2 if args.layouts else 1)
+    failures = 0
+    for seed in range(args.seed, args.seed + args.count):
+        source = random_program(seed, cfg)
+        program = compile_source(source, f"fuzz{seed}.cmf")
+        runtime = run_program(program, num_nodes=args.nodes)
+        oracle = interpret(program.analyzed)
+        bad = [
+            name
+            for name in program.symbols.arrays
+            if not np.allclose(runtime.array(name), oracle.array(name))
+        ] + [
+            name
+            for name in program.symbols.scalars
+            if not np.isclose(runtime.scalar(name), oracle.scalar(name))
+        ]
+        if bad:
+            failures += 1
+            print(f"seed {seed}: DIVERGED on {', '.join(bad)}")
+            print(source)
+        else:
+            print(f"seed {seed}: ok ({runtime.elapsed * 1e3:.3f} virtual ms)")
+    print(f"{args.count - failures}/{args.count} programs matched the oracle")
+    return 1 if failures else 0
+
+
+_COMMANDS = {
+    "compile": _cmd_compile,
+    "run": _cmd_run,
+    "measure": _cmd_measure,
+    "consultant": _cmd_consultant,
+    "metrics": _cmd_metrics,
+    "fuzz": _cmd_fuzz,
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    args = build_parser().parse_args(argv)
+    try:
+        return _COMMANDS[args.command](args)
+    except BrokenPipeError:
+        # output piped into a pager/head that closed early: not an error
+        import os
+
+        try:
+            os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+        except OSError:
+            pass
+        return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,228 @@
+"""Abstract syntax tree for the CMF dialect.
+
+The parser produces a neutral tree: ``Ref`` covers both array references and
+intrinsic calls (``A(I)`` and ``SUM(A)`` are lexically identical in Fortran);
+semantic analysis (:mod:`repro.cmfortran.semantics`) resolves each ``Ref``
+and annotates statements with shapes and parallelism.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Union
+
+__all__ = [
+    "Expr",
+    "Num",
+    "Ident",
+    "Ref",
+    "BinOp",
+    "UnaryOp",
+    "Stmt",
+    "Assignment",
+    "Forall",
+    "DoLoop",
+    "CallStmt",
+    "Entity",
+    "TypeDecl",
+    "LayoutDecl",
+    "Subroutine",
+    "Program",
+]
+
+
+# ----------------------------------------------------------------------
+# expressions
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class Num:
+    """Numeric literal; ``is_real`` distinguishes 2 from 2.0."""
+
+    value: float
+    is_real: bool
+    line: int = 0
+
+    def __str__(self) -> str:
+        return f"{self.value:g}" if self.is_real else str(int(self.value))
+
+
+@dataclass(frozen=True)
+class Ident:
+    """A bare identifier (scalar variable or whole-array reference)."""
+
+    name: str
+    line: int = 0
+
+    def __str__(self) -> str:
+        return self.name
+
+
+@dataclass(frozen=True)
+class Ref:
+    """``NAME(arg, ...)``: an array element reference or an intrinsic call."""
+
+    name: str
+    args: tuple["Expr", ...]
+    line: int = 0
+
+    def __str__(self) -> str:
+        return f"{self.name}({', '.join(map(str, self.args))})"
+
+
+@dataclass(frozen=True)
+class BinOp:
+    """Binary arithmetic: ``left op right``."""
+
+    op: str  # one of + - * / **
+    left: "Expr"
+    right: "Expr"
+    line: int = 0
+
+    def __str__(self) -> str:
+        return f"({self.left} {self.op} {self.right})"
+
+
+@dataclass(frozen=True)
+class UnaryOp:
+    """Unary minus."""
+
+    op: str  # -
+    operand: "Expr"
+    line: int = 0
+
+    def __str__(self) -> str:
+        return f"({self.op}{self.operand})"
+
+
+Expr = Union[Num, Ident, Ref, BinOp, UnaryOp]
+
+
+# ----------------------------------------------------------------------
+# statements and declarations
+# ----------------------------------------------------------------------
+@dataclass
+class Assignment:
+    """``target = expr`` (target may be subscripted inside FORALL)."""
+
+    target: Ref | Ident
+    expr: Expr
+    line: int
+
+    def __str__(self) -> str:
+        return f"{self.target} = {self.expr}"
+
+
+@dataclass
+class Forall:
+    """``FORALL (I = lo:hi) body`` -- data-parallel indexed assignment."""
+
+    index: str
+    lo: Expr
+    hi: Expr
+    body: Assignment
+    line: int
+
+    def __str__(self) -> str:
+        return f"FORALL ({self.index} = {self.lo}:{self.hi}) {self.body}"
+
+
+@dataclass
+class DoLoop:
+    """``DO I = lo, hi ... ENDDO`` -- serial front-end loop."""
+
+    index: str
+    lo: Expr
+    hi: Expr
+    body: list["Stmt"]
+    line: int
+
+    def __str__(self) -> str:
+        return f"DO {self.index} = {self.lo}, {self.hi} [{len(self.body)} stmts]"
+
+
+@dataclass
+class CallStmt:
+    """``CALL NAME(args)`` -- subroutine-style intrinsics (e.g. SORT)."""
+
+    name: str
+    args: tuple[Expr, ...]
+    line: int
+
+    def __str__(self) -> str:
+        return f"CALL {self.name}({', '.join(map(str, self.args))})"
+
+
+Stmt = Union[Assignment, Forall, DoLoop, CallStmt]
+
+
+@dataclass(frozen=True)
+class Entity:
+    """One declared name with optional dimensions: ``A(1024, 512)``."""
+
+    name: str
+    dims: tuple[int, ...] = ()
+
+
+@dataclass
+class TypeDecl:
+    """``REAL A(16), X`` -- typed entity declarations."""
+
+    type_name: str  # "REAL" | "INTEGER"
+    entities: list[Entity]
+    line: int
+
+
+@dataclass
+class LayoutDecl:
+    """``LAYOUT A(BLOCK)`` -- distribution directive (block along dim 0)."""
+
+    name: str
+    specs: tuple[str, ...]
+    line: int
+
+
+@dataclass
+class Subroutine:
+    """A parameterless subroutine unit (invoked via ``CALL NAME()``).
+
+    Subroutines may declare their own parallel arrays; those arrays are
+    *owned* by the subroutine, which is what populates the function level of
+    the Figure-8 where axis (module -> function -> array).
+    """
+
+    name: str
+    decls: list["TypeDecl | LayoutDecl"] = field(default_factory=list)
+    stmts: list[Stmt] = field(default_factory=list)
+    line: int = 0
+
+
+@dataclass
+class Program:
+    """A parsed compilation unit: main program plus its subroutines."""
+
+    name: str
+    decls: list[TypeDecl | LayoutDecl] = field(default_factory=list)
+    stmts: list[Stmt] = field(default_factory=list)
+    subroutines: list[Subroutine] = field(default_factory=list)
+    source: str = ""
+    source_file: str = "<string>"
+
+    def subroutine(self, name: str) -> Subroutine:
+        """Look up a subroutine unit by name."""
+        for sub in self.subroutines:
+            if sub.name == name:
+                return sub
+        raise KeyError(f"no subroutine named {name!r}")
+
+
+def walk_exprs(expr: Expr):
+    """Yield every node of an expression tree, preorder."""
+    yield expr
+    if isinstance(expr, BinOp):
+        yield from walk_exprs(expr.left)
+        yield from walk_exprs(expr.right)
+    elif isinstance(expr, UnaryOp):
+        yield from walk_exprs(expr.operand)
+    elif isinstance(expr, Ref):
+        for arg in expr.args:
+            yield from walk_exprs(arg)

@@ -1,0 +1,229 @@
+"""Reference interpreter: direct AST execution over global numpy arrays.
+
+A second, independent implementation of the CMF dialect's semantics, used as
+a differential-testing oracle: it never touches the lowering pass, node code
+blocks, distribution, or message passing -- just the parsed AST and whole
+numpy arrays.  If the distributed runtime and this interpreter agree on
+every array and scalar for arbitrary programs, the entire
+compile->distribute->communicate pipeline is semantics-preserving.
+
+Semantic notes mirrored from the runtime:
+
+* FORALL has evaluate-all-then-assign semantics (the RHS reads pre-statement
+  values even when the target appears on both sides);
+* EOSHIFT fills vacated positions with 0; CSHIFT wraps;
+* scalars live in one flat namespace and read as 0.0 before assignment;
+* DO loops execute serially with the index visible as a scalar.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+import numpy as np
+
+from .ast import (
+    Assignment,
+    BinOp,
+    CallStmt,
+    DoLoop,
+    Expr,
+    Forall,
+    Ident,
+    Num,
+    Program,
+    Ref,
+    Stmt,
+    UnaryOp,
+)
+from .semantics import AnalyzedProgram, SemanticError, const_int
+
+__all__ = ["Interpreter", "interpret"]
+
+_DTYPES = {"REAL": np.float64, "INTEGER": np.int64}
+
+_BIN = {
+    "+": np.add,
+    "-": np.subtract,
+    "*": np.multiply,
+    "/": np.divide,
+    "**": np.power,
+}
+
+
+class Interpreter:
+    """Executes an analyzed program directly on global numpy arrays."""
+
+    def __init__(
+        self,
+        analyzed: AnalyzedProgram,
+        initial_arrays: Mapping[str, np.ndarray] | None = None,
+    ):
+        self.analyzed = analyzed
+        self.arrays: dict[str, np.ndarray] = {}
+        self.scalars: dict[str, float] = {}
+        for sym in analyzed.symbols.arrays.values():
+            self.arrays[sym.name] = np.zeros(sym.shape, dtype=_DTYPES[sym.dtype])
+        for name, value in (initial_arrays or {}).items():
+            arr = self.arrays[name]
+            arr[...] = np.asarray(value, dtype=arr.dtype)
+
+    # ------------------------------------------------------------------
+    def run(self) -> "Interpreter":
+        """Execute the whole program; returns self for chaining."""
+        self._exec_all(self.analyzed.program.stmts)
+        return self
+
+    def scalar(self, name: str) -> float:
+        """Final value of a front-end scalar (0.0 if never assigned)."""
+        return self.scalars.get(name, 0.0)
+
+    def array(self, name: str) -> np.ndarray:
+        """Final global value of a parallel array."""
+        return self.arrays[name]
+
+    # ------------------------------------------------------------------
+    def _exec_all(self, stmts: list[Stmt]) -> None:
+        for stmt in stmts:
+            self._exec(stmt)
+
+    def _exec(self, stmt: Stmt) -> None:
+        if isinstance(stmt, Assignment):
+            self._exec_assignment(stmt)
+        elif isinstance(stmt, Forall):
+            self._exec_forall(stmt)
+        elif isinstance(stmt, DoLoop):
+            lo = const_int(stmt.lo)
+            hi = const_int(stmt.hi)
+            for i in range(lo, hi + 1):
+                self.scalars[stmt.index] = float(i)
+                self._exec_all(stmt.body)
+        elif isinstance(stmt, CallStmt):
+            self._exec_call(stmt)
+        else:  # pragma: no cover
+            raise SemanticError(f"interpreter: unknown statement {stmt!r}")
+
+    def _exec_call(self, stmt: CallStmt) -> None:
+        if stmt.name == "SORT":
+            target = stmt.args[0]
+            assert isinstance(target, Ident)
+            self.arrays[target.name] = np.sort(self.arrays[target.name])
+            return
+        self._exec_all(self.analyzed.program.subroutine(stmt.name).stmts)
+
+    def _exec_assignment(self, stmt: Assignment) -> None:
+        target = stmt.target
+        assert isinstance(target, Ident)
+        value = self._eval(stmt.expr)
+        if target.name in self.arrays:
+            arr = self.arrays[target.name]
+            arr[...] = value  # broadcasts scalars; dtype cast like the runtime
+        else:
+            self.scalars[target.name] = float(value)
+
+    def _exec_forall(self, stmt: Forall) -> None:
+        lo = const_int(stmt.lo) - 1  # 0-based half-open
+        hi = const_int(stmt.hi)
+        target = stmt.body.target
+        assert isinstance(target, Ref)
+        # evaluate-all-then-assign: per-i evaluation reads self.arrays (still
+        # holding pre-statement values); the target only changes afterwards
+        arr = self.arrays[target.name]
+        new = arr.copy()
+        for i in range(lo, hi):
+            new[i] = self._eval(stmt.body.expr, forall_index=stmt.index, i=i)
+        arr[...] = new
+
+    # ------------------------------------------------------------------
+    def _eval(self, expr: Expr, forall_index: str | None = None, i: int | None = None):
+        if isinstance(expr, Num):
+            return expr.value
+        if isinstance(expr, Ident):
+            if expr.name in self.arrays:
+                return self.arrays[expr.name]
+            if forall_index is not None and expr.name == forall_index:
+                return float(i + 1)  # 1-based index value
+            return self.scalars.get(expr.name, 0.0)
+        if isinstance(expr, UnaryOp):
+            return -self._eval(expr.operand, forall_index, i)
+        if isinstance(expr, BinOp):
+            return _BIN[expr.op](
+                self._eval(expr.left, forall_index, i),
+                self._eval(expr.right, forall_index, i),
+            )
+        if isinstance(expr, Ref):
+            return self._eval_ref(expr, forall_index, i)
+        raise SemanticError(f"interpreter: cannot evaluate {expr!r}")
+
+    def _eval_ref(self, ref: Ref, forall_index: str | None, i: int | None):
+        name = ref.name
+        if name in self.arrays:
+            # indexed element inside FORALL: subscript is I +/- const
+            offset_expr = ref.args[0]
+            idx = self._subscript_value(offset_expr, forall_index, i)
+            arr = self.arrays[name]
+            if 0 <= idx < arr.shape[0]:
+                return arr[idx]
+            return 0.0  # out-of-range shifted read (matches halo zero-fill)
+        if name == "SUM":
+            return float(np.sum(self._eval(ref.args[0], forall_index, i)))
+        if name == "MAXVAL":
+            return float(np.max(self._eval(ref.args[0], forall_index, i)))
+        if name == "MINVAL":
+            return float(np.min(self._eval(ref.args[0], forall_index, i)))
+        if name == "CSHIFT":
+            amount = const_int(ref.args[1])
+            return np.roll(self._eval(ref.args[0], forall_index, i), -amount, axis=0)
+        if name == "EOSHIFT":
+            amount = const_int(ref.args[1])
+            src = self._eval(ref.args[0], forall_index, i)
+            out = np.zeros_like(src)
+            n = src.shape[0]
+            if amount >= 0:
+                if amount < n:
+                    out[: n - amount] = src[amount:]
+            else:
+                if -amount < n:
+                    out[-amount:] = src[: n + amount]
+            return out
+        if name == "TRANSPOSE":
+            return np.asarray(self._eval(ref.args[0], forall_index, i)).T
+        if name == "SCAN":
+            return np.cumsum(self._eval(ref.args[0], forall_index, i))
+        if name == "ABS":
+            return np.abs(self._eval(ref.args[0], forall_index, i))
+        if name == "SQRT":
+            return np.sqrt(self._eval(ref.args[0], forall_index, i))
+        if name == "EXP":
+            return np.exp(self._eval(ref.args[0], forall_index, i))
+        if name == "LOG":
+            return np.log(self._eval(ref.args[0], forall_index, i))
+        if name == "MIN":
+            return np.minimum(
+                self._eval(ref.args[0], forall_index, i),
+                self._eval(ref.args[1], forall_index, i),
+            )
+        if name == "MAX":
+            return np.maximum(
+                self._eval(ref.args[0], forall_index, i),
+                self._eval(ref.args[1], forall_index, i),
+            )
+        raise SemanticError(f"interpreter: unknown function {name!r}")
+
+    def _subscript_value(self, expr: Expr, forall_index: str | None, i: int | None) -> int:
+        """0-based global index of a FORALL subscript ``I +/- const``."""
+        if forall_index is None or i is None:
+            raise SemanticError("subscripted reference outside FORALL")
+        if isinstance(expr, Ident) and expr.name == forall_index:
+            return i
+        if isinstance(expr, BinOp) and isinstance(expr.left, Ident):
+            offset = const_int(expr.right)
+            return i + offset if expr.op == "+" else i - offset
+        raise SemanticError(f"interpreter: bad subscript {expr!r}")
+
+
+def interpret(
+    analyzed: AnalyzedProgram, initial_arrays: Mapping[str, np.ndarray] | None = None
+) -> Interpreter:
+    """Run the reference interpreter over an analyzed program."""
+    return Interpreter(analyzed, initial_arrays).run()

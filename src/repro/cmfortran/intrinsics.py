@@ -1,0 +1,90 @@
+"""Run-time evaluation of lowered CMF expressions over numpy values.
+
+After lowering, an elementwise expression contains only literals, whole-array
+identifiers (resolved to local numpy views by the node executor), scalar
+names / reduction slots (resolved to floats), and elementwise intrinsic
+calls.  Evaluation is pure numpy -- vectorized per the HPC guide -- so the
+simulated program computes *real* values that tests can verify against a
+straight numpy oracle.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+import numpy as np
+
+from .ast import BinOp, Expr, Ident, Num, Ref, UnaryOp
+
+__all__ = ["EvalError", "eval_expr", "REDUCE_FUNCS", "REDUCE_IDENTITY", "combine"]
+
+
+class EvalError(Exception):
+    """Raised when a lowered expression references something unresolvable."""
+
+
+_BINOPS = {
+    "+": np.add,
+    "-": np.subtract,
+    "*": np.multiply,
+    "/": np.divide,
+    "**": np.power,
+}
+
+_ELEMENTWISE = {
+    "ABS": np.abs,
+    "SQRT": np.sqrt,
+    "EXP": np.exp,
+    "LOG": np.log,
+}
+
+#: local-reduction functions by NV verb name
+REDUCE_FUNCS = {
+    "Sum": np.sum,
+    "MaxVal": np.max,
+    "MinVal": np.min,
+}
+
+#: identity elements for combining partial reductions (empty local parts)
+REDUCE_IDENTITY = {
+    "Sum": 0.0,
+    "MaxVal": -np.inf,
+    "MinVal": np.inf,
+}
+
+
+def combine(verb: str, a: float, b: float) -> float:
+    """Combine two partial reduction results."""
+    if verb == "Sum":
+        return a + b
+    if verb == "MaxVal":
+        return max(a, b)
+    if verb == "MinVal":
+        return min(a, b)
+    raise EvalError(f"unknown reduction verb {verb!r}")
+
+
+def eval_expr(expr: Expr, env: Mapping[str, "np.ndarray | float"]):
+    """Evaluate a lowered expression in ``env`` (arrays and scalars)."""
+    if isinstance(expr, Num):
+        return expr.value
+    if isinstance(expr, Ident):
+        try:
+            return env[expr.name]
+        except KeyError:
+            raise EvalError(f"unresolved name {expr.name!r} in expression") from None
+    if isinstance(expr, BinOp):
+        left = eval_expr(expr.left, env)
+        right = eval_expr(expr.right, env)
+        return _BINOPS[expr.op](left, right)
+    if isinstance(expr, UnaryOp):
+        return -eval_expr(expr.operand, env)
+    if isinstance(expr, Ref):
+        if expr.name in _ELEMENTWISE:
+            return _ELEMENTWISE[expr.name](eval_expr(expr.args[0], env))
+        if expr.name == "MIN":
+            return np.minimum(eval_expr(expr.args[0], env), eval_expr(expr.args[1], env))
+        if expr.name == "MAX":
+            return np.maximum(eval_expr(expr.args[0], env), eval_expr(expr.args[1], env))
+        raise EvalError(f"unexpected call {expr.name!r} in lowered expression")
+    raise EvalError(f"cannot evaluate {expr!r}")

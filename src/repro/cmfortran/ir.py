@@ -1,0 +1,219 @@
+"""Node-code-block intermediate representation.
+
+The CM Fortran compiler lowered parallel statements into *node code blocks*
+-- compiler-generated functions (the paper's ``cmpe_corr_6_()``) broadcast by
+the control processor and executed SPMD on every node.  This module defines
+the reproduction's equivalent: a :class:`NodeCodeBlock` is a named sequence
+of :class:`BlockOp` records interpreted by the CMRTS dispatcher.
+
+The execution *plan* interleaves node-block dispatches with front-end scalar
+steps (which run on the control processor) and serial DO loops.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Union
+
+from .ast import Expr
+
+__all__ = [
+    "Elementwise",
+    "HaloExchange",
+    "LocalReduce",
+    "Shift",
+    "Transpose",
+    "Scan",
+    "Sort",
+    "BlockOp",
+    "NodeCodeBlock",
+    "DispatchStep",
+    "ScalarStep",
+    "LoopStep",
+    "PlanStep",
+    "ExecutionPlan",
+]
+
+
+@dataclass(frozen=True)
+class Elementwise:
+    """Compute ``target[range] = expr`` on local subgrids.
+
+    ``expr`` has been rewritten by lowering so that every reference is either
+    a whole-array :class:`~repro.cmfortran.ast.Ident` (aligned local views,
+    including ``__sh_*`` halo temporaries), a scalar name, a reduction slot
+    (``__R<k>``), or a literal.  ``index_range`` restricts the assignment to
+    a 0-based half-open global range (FORALL); None means the whole array.
+    """
+
+    target: str
+    expr: Expr
+    index_range: tuple[int, int] | None = None
+    line: int = 0
+    ops_per_element: int = 1
+
+
+@dataclass(frozen=True)
+class HaloExchange:
+    """Materialize ``__sh_<array>_<offset>``: the array shifted by ``offset``.
+
+    Element i of the temporary holds ``array[i + offset]`` (zero where that
+    index is out of range).  Costs one boundary message per neighbouring node
+    pair, which is how FORALL stencils generate point-to-point traffic.
+    """
+
+    array: str
+    offset: int
+    temp: str
+    line: int = 0
+
+
+@dataclass(frozen=True)
+class LocalReduce:
+    """Reduce the local part of an array expression and combine globally.
+
+    ``verb`` is Sum / MaxVal / MinVal; the combined scalar is delivered to
+    the control processor into scalar slot ``slot`` (``__R<k>``), and is also
+    left available on every node (the tree combine is followed by a
+    broadcast when ``broadcast_result`` is set, for reductions used inside
+    elementwise expressions).
+    """
+
+    verb: str
+    array: str
+    slot: str
+    line: int = 0
+    broadcast_result: bool = False
+
+
+@dataclass(frozen=True)
+class Shift:
+    """``target = CSHIFT/EOSHIFT(source, amount)`` via neighbour remap."""
+
+    target: str
+    source: str
+    amount: int
+    circular: bool
+    line: int = 0
+
+
+@dataclass(frozen=True)
+class Transpose:
+    """``target = TRANSPOSE(source)`` via all-to-all exchange."""
+
+    target: str
+    source: str
+    line: int = 0
+
+
+@dataclass(frozen=True)
+class Scan:
+    """``target = SCAN(source)``: inclusive prefix sum with chained offsets."""
+
+    target: str
+    source: str
+    line: int = 0
+
+
+@dataclass(frozen=True)
+class Sort:
+    """``CALL SORT(array)``: parallel sample sort, block layout restored."""
+
+    array: str
+    line: int = 0
+
+
+BlockOp = Union[Elementwise, HaloExchange, LocalReduce, Shift, Transpose, Scan, Sort]
+
+
+@dataclass
+class NodeCodeBlock:
+    """One compiler-generated node function.
+
+    ``lines`` lists every source line the block implements; a merged block
+    covering several lines is precisely the paper's one-to-many mapping
+    source.
+    """
+
+    name: str
+    index: int
+    kind: str  # "compute" | "reduce" | "shift" | "transpose" | "scan" | "sort"
+    lines: tuple[int, ...]
+    ops: tuple[BlockOp, ...]
+    arrays_read: tuple[str, ...] = ()
+    arrays_written: tuple[str, ...] = ()
+    scalar_args: tuple[str, ...] = ()  # front-end scalars broadcast at dispatch
+
+    @property
+    def arrays_used(self) -> tuple[str, ...]:
+        """All arrays the block touches, reads first, deduplicated."""
+        seen: dict[str, None] = {}
+        for a in (*self.arrays_read, *self.arrays_written):
+            seen.setdefault(a)
+        return tuple(seen)
+
+    def __str__(self) -> str:
+        return f"{self.name} [{self.kind}] lines={','.join(map(str, self.lines))}"
+
+
+@dataclass(frozen=True)
+class DispatchStep:
+    """Control processor broadcasts ``block`` and awaits node acks."""
+
+    block: NodeCodeBlock
+
+
+@dataclass(frozen=True)
+class ScalarStep:
+    """Front-end scalar assignment ``target = expr`` on the control processor.
+
+    ``expr`` may reference reduction slots filled by earlier DispatchSteps.
+    """
+
+    target: str
+    expr: Expr
+    line: int
+    ops: int = 1
+
+
+@dataclass
+class LoopStep:
+    """Serial DO loop executed by the control processor."""
+
+    index: str
+    lo: int
+    hi: int  # half-open
+    body: list["PlanStep"]
+    line: int
+
+
+PlanStep = Union[DispatchStep, ScalarStep, LoopStep]
+
+
+@dataclass
+class ExecutionPlan:
+    """The complete lowered program: ordered plan steps plus block table."""
+
+    steps: list[PlanStep] = field(default_factory=list)
+    blocks: list[NodeCodeBlock] = field(default_factory=list)
+
+    def block_named(self, name: str) -> NodeCodeBlock:
+        """Look up a node code block by its compiler-generated name."""
+        for block in self.blocks:
+            if block.name == name:
+                return block
+        raise KeyError(f"no node code block named {name!r}")
+
+    def dispatch_count(self) -> int:
+        """Static count of DispatchSteps (loops counted by iteration)."""
+
+        def count(steps: list[PlanStep]) -> int:
+            total = 0
+            for step in steps:
+                if isinstance(step, DispatchStep):
+                    total += 1
+                elif isinstance(step, LoopStep):
+                    total += (step.hi - step.lo) * count(step.body)
+            return total
+
+        return count(self.steps)

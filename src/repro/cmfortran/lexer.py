@@ -1,0 +1,131 @@
+"""Tokenizer for the CMF dialect.
+
+The reproduction's stand-in for CM Fortran is a small data-parallel Fortran
+dialect ("CMF"): enough of the language to express the paper's workloads --
+parallel arrays, whole-array assignment, FORALL, reductions (SUM / MAXVAL /
+MINVAL), shifts, transposes, scans and sorts -- while staying implementable
+as a real lexer/parser/compiler whose output files drive the PIF generator.
+
+Lexical rules: case-insensitive keywords (canonicalized to upper case),
+``!`` comments to end of line, newline-sensitive (statements end at
+end-of-line), integer and real literals, and the usual Fortran operators
+including ``**``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["Token", "LexError", "tokenize", "KEYWORDS"]
+
+KEYWORDS = {
+    "PROGRAM",
+    "SUBROUTINE",
+    "END",
+    "REAL",
+    "INTEGER",
+    "FORALL",
+    "DO",
+    "ENDDO",
+    "CALL",
+    "LAYOUT",
+    "BLOCK",
+    "IF",
+    "THEN",
+    "ELSE",
+    "ENDIF",
+}
+
+_PUNCT = {
+    "(": "LPAREN",
+    ")": "RPAREN",
+    ",": "COMMA",
+    "=": "ASSIGN",
+    "+": "PLUS",
+    "-": "MINUS",
+    "*": "STAR",
+    "/": "SLASH",
+    ":": "COLON",
+}
+
+
+class LexError(SyntaxError):
+    """Raised on an unrecognized character, with line information."""
+
+
+@dataclass(frozen=True)
+class Token:
+    """One lexical token: ``kind`` is a category name or keyword."""
+
+    kind: str
+    text: str
+    line: int
+    column: int
+
+    def __repr__(self) -> str:
+        return f"Token({self.kind}, {self.text!r}, L{self.line})"
+
+
+def tokenize(source: str) -> list[Token]:
+    """Tokenize CMF source into a flat token list ending with EOF.
+
+    Newlines produce NEWLINE tokens (consecutive ones collapsed) because the
+    grammar is line-oriented.
+    """
+    tokens: list[Token] = []
+    line_no = 0
+    for raw_line in source.splitlines():
+        line_no += 1
+        line = raw_line.split("!", 1)[0]
+        col = 0
+        start_len = len(tokens)
+        while col < len(line):
+            ch = line[col]
+            if ch in " \t\r":
+                col += 1
+                continue
+            if ch.isdigit() or (ch == "." and col + 1 < len(line) and line[col + 1].isdigit()):
+                j = col
+                is_real = False
+                while j < len(line) and (line[j].isdigit() or line[j] == "."):
+                    if line[j] == ".":
+                        if is_real:
+                            break
+                        is_real = True
+                    j += 1
+                if j < len(line) and line[j] in "eE" and (
+                    j + 1 < len(line) and (line[j + 1].isdigit() or line[j + 1] in "+-")
+                ):
+                    is_real = True
+                    j += 1
+                    if line[j] in "+-":
+                        j += 1
+                    while j < len(line) and line[j].isdigit():
+                        j += 1
+                text = line[col:j]
+                kind = "REAL_LIT" if is_real else "INT_LIT"
+                tokens.append(Token(kind, text, line_no, col))
+                col = j
+                continue
+            if ch.isalpha() or ch == "_":
+                j = col
+                while j < len(line) and (line[j].isalnum() or line[j] == "_"):
+                    j += 1
+                text = line[col:j].upper()
+                kind = text if text in KEYWORDS else "IDENT"
+                tokens.append(Token(kind, text, line_no, col))
+                col = j
+                continue
+            if ch == "*" and col + 1 < len(line) and line[col + 1] == "*":
+                tokens.append(Token("POWER", "**", line_no, col))
+                col += 2
+                continue
+            if ch in _PUNCT:
+                tokens.append(Token(_PUNCT[ch], ch, line_no, col))
+                col += 1
+                continue
+            raise LexError(f"line {line_no}: unexpected character {ch!r}")
+        if len(tokens) > start_len:
+            tokens.append(Token("NEWLINE", "\n", line_no, len(line)))
+    tokens.append(Token("EOF", "", line_no + 1, 0))
+    return tokens

@@ -1,0 +1,86 @@
+"""Compiler listing file emitter.
+
+Section 6.2: "We create CM Fortran PIF files with a simple utility that
+parses CM Fortran compiler output files.  The utility scans the compiler
+output files for lists of parallel statements, parallel arrays, and
+node-code blocks."
+
+This module is the *compiler side* of that pipeline: it emits a structured
+listing of exactly those three things (plus scalars, for completeness).  The
+PIF generator (:mod:`repro.pif.generator`) is the *tool side*: it parses this
+text format -- it never sees the compiler's in-memory structures, mirroring
+the arms-length relationship in the paper.
+"""
+
+from __future__ import annotations
+
+from .ir import DispatchStep, LoopStep, PlanStep
+from .lowering import LoweringResult
+
+__all__ = ["emit_listing", "LISTING_HEADER"]
+
+LISTING_HEADER = "* CM Fortran Compiler Listing v1"
+
+
+def _collect_dispatches(steps: list[PlanStep]) -> list[DispatchStep]:
+    out: list[DispatchStep] = []
+    for step in steps:
+        if isinstance(step, DispatchStep):
+            out.append(step)
+        elif isinstance(step, LoopStep):
+            out.extend(_collect_dispatches(step.body))
+    return out
+
+
+def emit_listing(result: LoweringResult) -> str:
+    """Render the compiler listing for a lowered program."""
+    analyzed = result.analyzed
+    prog = analyzed.program
+    lines: list[str] = [
+        LISTING_HEADER,
+        f"* program: {prog.name}",
+        f"* source: {prog.source_file}",
+    ]
+
+    for sub in prog.subroutines:
+        lines.append(f"SUBROUTINE {sub.name} line {sub.line}")
+
+    for sym in sorted(analyzed.symbols.arrays.values(), key=lambda s: s.name):
+        dims = ",".join(str(d) for d in sym.shape)
+        layout = ":".join(sym.layout) if sym.layout else "BLOCK"
+        owner = sym.owner or prog.name
+        lines.append(
+            f"PARALLEL ARRAY {sym.name} {sym.dtype} ({dims}) line {sym.decl_line} "
+            f"layout {layout} owner {owner}"
+        )
+
+    for sym in sorted(analyzed.symbols.scalars.values(), key=lambda s: s.name):
+        lines.append(f"SCALAR {sym.name} {sym.dtype} line {sym.decl_line}")
+
+    for sc in _flatten(analyzed.all_classified()):
+        if not sc.is_parallel:
+            continue
+        reads = ",".join(sc.arrays_read) or "-"
+        writes = ",".join(sc.arrays_written) or "-"
+        verbs = ";".join(f"{verb}:{arr}" for verb, arr in sc.reductions) or "-"
+        kind = sc.transform or sc.kind
+        lines.append(
+            f"PARALLEL STMT line {sc.line} kind {kind} writes {writes} reads {reads} reductions {verbs}"
+        )
+
+    for block in result.plan.blocks:
+        blines = ",".join(str(line) for line in block.lines)
+        arrays = ",".join(block.arrays_used) or "-"
+        lines.append(
+            f"NODE BLOCK {block.name} kind {block.kind} lines {blines} arrays {arrays}"
+        )
+
+    return "\n".join(lines) + "\n"
+
+
+def _flatten(classified):
+    for sc in classified:
+        if sc.kind == "do":
+            yield from _flatten(sc.body)
+        else:
+            yield sc

@@ -1,0 +1,422 @@
+"""Lowering: classified statements -> node code blocks + execution plan.
+
+Two behaviours matter for the paper's mapping story:
+
+1. **Block naming**: blocks are compiler-generated functions named
+   ``cmpe_<program>_<k>_`` (source code not available), exactly the kind of
+   Base-level noun Figure 2 maps back to source lines.
+
+2. **Block merging** (``optimize=True``, the default): consecutive
+   elementwise statements over same-shaped targets are fused into a single
+   node code block.  A merged block implements *several* source lines -- the
+   one-to-many mapping that motivates the merge-vs-split cost assignment
+   debate.  Compile with ``optimize=False`` to get one block per statement
+   (all mappings one-to-one/many-to-one), which ablation abl1 uses as the
+   ground-truth configuration.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .ast import Assignment, BinOp, Expr, Forall, Ident, Num, Ref, UnaryOp
+from .ir import (
+    BlockOp,
+    DispatchStep,
+    Elementwise,
+    ExecutionPlan,
+    HaloExchange,
+    LocalReduce,
+    LoopStep,
+    NodeCodeBlock,
+    PlanStep,
+    Scan,
+    ScalarStep,
+    Shift,
+    Sort,
+    Transpose,
+)
+from .semantics import (
+    REDUCTION_INTRINSICS,
+    AnalyzedProgram,
+    SemanticError,
+    StmtClass,
+    _subscript_offset,
+    const_int,
+)
+
+__all__ = ["lower", "LoweringResult"]
+
+
+@dataclass
+class LoweringResult:
+    """Plan plus bookkeeping the listing emitter needs."""
+
+    plan: ExecutionPlan
+    analyzed: AnalyzedProgram
+    stmt_blocks: dict[int, list[str]] = field(default_factory=dict)  # line -> block names
+    merged_groups: list[tuple[str, tuple[int, ...]]] = field(default_factory=list)
+
+
+class _Lowerer:
+    def __init__(self, analyzed: AnalyzedProgram, optimize: bool):
+        self.analyzed = analyzed
+        self.optimize = optimize
+        self.unit = analyzed.name  # current unit: names its blocks
+        self.unit_counters: dict[str, int] = {}
+        self.block_counter = 0  # counter of the *current* unit
+        self.slot_counter = 0
+        self.sub_steps: dict[str, list[PlanStep]] = {}
+        self.result = LoweringResult(ExecutionPlan(), analyzed)
+
+    # ------------------------------------------------------------------
+    def run(self) -> LoweringResult:
+        # lower each subroutine once, callees before callers, so CALLs can
+        # inline already-lowered step lists (blocks are shared across call
+        # sites, exactly like a compiled subroutine's node code blocks)
+        for name in self._subroutine_order():
+            self.unit = name
+            self.block_counter = self.unit_counters.get(name, 0)
+            self.sub_steps[name] = self.lower_steps(self.analyzed.sub_classified[name])
+        self.unit = self.analyzed.name
+        self.block_counter = self.unit_counters.get(self.unit, 0)
+        steps = self.lower_steps(self.analyzed.classified)
+        self.result.plan.steps = steps
+        return self.result
+
+    def _subroutine_order(self) -> list[str]:
+        """Callee-first ordering of subroutines (the call graph is acyclic)."""
+        graph: dict[str, set[str]] = {}
+
+        def calls_in(stmts):
+            for sc in stmts:
+                if sc.kind == "call" and sc.call_target:
+                    yield sc.call_target
+                elif sc.kind == "do":
+                    yield from calls_in(sc.body)
+
+        for name, stmts in self.analyzed.sub_classified.items():
+            graph[name] = set(calls_in(stmts))
+        order: list[str] = []
+        done: set[str] = set()
+
+        def visit(node: str) -> None:
+            if node in done:
+                return
+            for callee in graph.get(node, ()):  # noqa: B023 - acyclic
+                visit(callee)
+            done.add(node)
+            order.append(node)
+
+        for name in graph:
+            visit(name)
+        return order
+
+    def lower_steps(self, classified: list[StmtClass]) -> list[PlanStep]:
+        steps: list[PlanStep] = []
+        pending: list[StmtClass] = []  # fusable elementwise run
+
+        def flush() -> None:
+            if pending:
+                steps.append(self.emit_compute_block(list(pending)))
+                pending.clear()
+
+        for sc in classified:
+            if self._fusable(sc):
+                if pending and not self._same_domain(pending[-1], sc):
+                    flush()
+                pending.append(sc)
+                if not self.optimize:
+                    flush()
+                continue
+            flush()
+            steps.extend(self.lower_single(sc))
+        flush()
+        return steps
+
+    # ------------------------------------------------------------------
+    def _fusable(self, sc: StmtClass) -> bool:
+        return sc.kind == "elementwise" and not sc.reductions
+
+    def _same_domain(self, a: StmtClass, b: StmtClass) -> bool:
+        """Statements share a block only if their iteration domains agree."""
+        shape_a = self.analyzed.symbols.array(a.arrays_written[0]).shape
+        shape_b = self.analyzed.symbols.array(b.arrays_written[0]).shape
+        return shape_a == shape_b and a.forall_range == b.forall_range
+
+    def _new_block_name(self) -> str:
+        self.block_counter += 1
+        self.unit_counters[self.unit] = self.block_counter
+        return f"cmpe_{self.unit.lower()}_{self.block_counter}_"
+
+    def _new_slot(self) -> str:
+        self.slot_counter += 1
+        return f"__R{self.slot_counter}"
+
+    def _register(self, block: NodeCodeBlock) -> DispatchStep:
+        self.result.plan.blocks.append(block)
+        for line in block.lines:
+            self.result.stmt_blocks.setdefault(line, []).append(block.name)
+        if len(block.lines) > 1:
+            self.result.merged_groups.append((block.name, block.lines))
+        return DispatchStep(block)
+
+    # ------------------------------------------------------------------
+    # elementwise (possibly fused) compute blocks
+    # ------------------------------------------------------------------
+    def emit_compute_block(self, group: list[StmtClass]) -> DispatchStep:
+        ops: list[BlockOp] = []
+        reads: list[str] = []
+        writes: list[str] = []
+        scalars: list[str] = []
+        lines: list[int] = []
+        for sc in group:
+            lines.append(sc.line)
+            stmt = sc.stmt
+            if isinstance(stmt, Forall):
+                expr, halo_ops, used_scalars = self._rewrite_forall_expr(
+                    stmt.body.expr, stmt.index, sc.line
+                )
+                ops.extend(halo_ops)
+                ops.append(
+                    Elementwise(
+                        target=sc.arrays_written[0],
+                        expr=expr,
+                        index_range=sc.forall_range,
+                        line=sc.line,
+                        ops_per_element=max(1, sc.ops_per_element),
+                    )
+                )
+            else:
+                assert isinstance(stmt, Assignment)
+                expr, used_scalars = self._rewrite_whole_expr(stmt.expr)
+                ops.append(
+                    Elementwise(
+                        target=sc.arrays_written[0],
+                        expr=expr,
+                        index_range=None,
+                        line=sc.line,
+                        ops_per_element=max(1, sc.ops_per_element),
+                    )
+                )
+            for arr in sc.arrays_read:
+                if arr not in reads:
+                    reads.append(arr)
+            for arr in sc.arrays_written:
+                if arr not in writes:
+                    writes.append(arr)
+            for s in used_scalars:
+                if s not in scalars:
+                    scalars.append(s)
+        block = NodeCodeBlock(
+            name=self._new_block_name(),
+            index=self.block_counter,
+            kind="compute",
+            lines=tuple(lines),
+            ops=tuple(ops),
+            arrays_read=tuple(reads),
+            arrays_written=tuple(writes),
+            scalar_args=tuple(scalars),
+        )
+        return self._register(block)
+
+    def _rewrite_whole_expr(self, expr: Expr) -> tuple[Expr, list[str]]:
+        """Collect scalar names referenced by a whole-array expression."""
+        scalars: list[str] = []
+
+        def visit(e: Expr) -> Expr:
+            if isinstance(e, Ident):
+                if not self.analyzed.symbols.is_array(e.name) and e.name not in scalars:
+                    scalars.append(e.name)
+                return e
+            if isinstance(e, BinOp):
+                return BinOp(e.op, visit(e.left), visit(e.right), e.line)
+            if isinstance(e, UnaryOp):
+                return UnaryOp(e.op, visit(e.operand), e.line)
+            if isinstance(e, Ref):
+                return Ref(e.name, tuple(visit(a) for a in e.args), e.line)
+            return e
+
+        return visit(expr), scalars
+
+    def _rewrite_forall_expr(
+        self, expr: Expr, index: str, line: int
+    ) -> tuple[Expr, list[BlockOp], list[str]]:
+        """Replace indexed refs with aligned arrays; shifted refs get halos."""
+        halo_ops: dict[str, HaloExchange] = {}
+        scalars: list[str] = []
+
+        def visit(e: Expr) -> Expr:
+            if isinstance(e, Ref) and self.analyzed.symbols.is_array(e.name):
+                offset = _subscript_offset(e.args[0], index, line)
+                if offset == 0:
+                    return Ident(e.name, e.line)
+                temp = f"__sh_{e.name}_{offset}"
+                halo_ops.setdefault(temp, HaloExchange(e.name, offset, temp, line))
+                return Ident(temp, e.line)
+            if isinstance(e, Ident):
+                if e.name == index:
+                    raise SemanticError(
+                        f"line {line}: bare FORALL index {index} in expression unsupported"
+                    )
+                if not self.analyzed.symbols.is_array(e.name) and e.name not in scalars:
+                    scalars.append(e.name)
+                return e
+            if isinstance(e, BinOp):
+                return BinOp(e.op, visit(e.left), visit(e.right), e.line)
+            if isinstance(e, UnaryOp):
+                return UnaryOp(e.op, visit(e.operand), e.line)
+            if isinstance(e, Ref):
+                return Ref(e.name, tuple(visit(a) for a in e.args), e.line)
+            return e
+
+        new_expr = visit(expr)
+        return new_expr, list(halo_ops.values()), scalars
+
+    # ------------------------------------------------------------------
+    # non-fusable statements
+    # ------------------------------------------------------------------
+    def lower_single(self, sc: StmtClass) -> list[PlanStep]:
+        if sc.kind == "call":
+            # inline the callee's already-lowered steps; the step objects
+            # (and their node code blocks) are shared across call sites
+            return list(self.sub_steps[sc.call_target])
+        if sc.kind == "do":
+            body = self.lower_steps(sc.body)
+            lo, hi = sc.forall_range  # type: ignore[misc]
+            return [LoopStep(sc.forall_index or "I", lo, hi, body, sc.line)]
+        if sc.kind == "transform":
+            return [self._emit_transform(sc)]
+        if sc.kind == "sort":
+            return [self._emit_sort(sc)]
+        if sc.kind == "scalar":
+            return self._emit_scalar(sc)
+        if sc.kind == "elementwise" and sc.reductions:
+            return self._emit_elementwise_with_reductions(sc)
+        raise AssertionError(f"unhandled statement kind {sc.kind}")
+
+    def _emit_transform(self, sc: StmtClass) -> DispatchStep:
+        target = sc.arrays_written[0]
+        source = sc.arrays_read[0]
+        op: BlockOp
+        if sc.transform in ("CSHIFT", "EOSHIFT"):
+            op = Shift(
+                target, source, sc.transform_params[0], sc.transform == "CSHIFT", sc.line
+            )
+            kind = "shift"
+        elif sc.transform == "TRANSPOSE":
+            op = Transpose(target, source, sc.line)
+            kind = "transpose"
+        else:  # SCAN
+            op = Scan(target, source, sc.line)
+            kind = "scan"
+        block = NodeCodeBlock(
+            name=self._new_block_name(),
+            index=self.block_counter,
+            kind=kind,
+            lines=(sc.line,),
+            ops=(op,),
+            arrays_read=(source,),
+            arrays_written=(target,),
+        )
+        return self._register(block)
+
+    def _emit_sort(self, sc: StmtClass) -> DispatchStep:
+        array = sc.arrays_written[0]
+        block = NodeCodeBlock(
+            name=self._new_block_name(),
+            index=self.block_counter,
+            kind="sort",
+            lines=(sc.line,),
+            ops=(Sort(array, sc.line),),
+            arrays_read=(array,),
+            arrays_written=(array,),
+        )
+        return self._register(block)
+
+    def _extract_reductions(
+        self, expr: Expr, line: int, broadcast: bool
+    ) -> tuple[Expr, list[DispatchStep], list[str]]:
+        """Pull reduction calls out of ``expr`` into reduce blocks.
+
+        Each reduction becomes its own dispatch filling slot ``__Rk``; the
+        expression is rewritten to reference the slot.
+        """
+        steps: list[DispatchStep] = []
+        slots: list[str] = []
+
+        def visit(e: Expr) -> Expr:
+            if isinstance(e, Ref) and e.name in REDUCTION_INTRINSICS:
+                arg = e.args[0]
+                if not isinstance(arg, Ident) or not self.analyzed.symbols.is_array(arg.name):
+                    raise SemanticError(
+                        f"line {line}: reduction argument must be a whole array, got {arg}"
+                    )
+                slot = self._new_slot()
+                slots.append(slot)
+                verb = REDUCTION_INTRINSICS[e.name]
+                block = NodeCodeBlock(
+                    name=self._new_block_name(),
+                    index=self.block_counter,
+                    kind="reduce",
+                    lines=(line,),
+                    ops=(
+                        LocalReduce(verb, arg.name, slot, line, broadcast_result=broadcast),
+                    ),
+                    arrays_read=(arg.name,),
+                )
+                steps.append(self._register(block))
+                return Ident(slot, e.line)
+            if isinstance(e, BinOp):
+                return BinOp(e.op, visit(e.left), visit(e.right), e.line)
+            if isinstance(e, UnaryOp):
+                return UnaryOp(e.op, visit(e.operand), e.line)
+            if isinstance(e, Ref):
+                return Ref(e.name, tuple(visit(a) for a in e.args), e.line)
+            return e
+
+        return visit(expr), steps, slots
+
+    def _emit_scalar(self, sc: StmtClass) -> list[PlanStep]:
+        stmt = sc.stmt
+        assert isinstance(stmt, Assignment) and isinstance(stmt.target, Ident)
+        expr, reduce_steps, _ = self._extract_reductions(stmt.expr, sc.line, broadcast=False)
+        return [
+            *reduce_steps,
+            ScalarStep(stmt.target.name, expr, sc.line, ops=max(1, sc.ops_per_element)),
+        ]
+
+    def _emit_elementwise_with_reductions(self, sc: StmtClass) -> list[PlanStep]:
+        stmt = sc.stmt
+        if isinstance(stmt, Forall):
+            raise SemanticError(
+                f"line {sc.line}: reductions inside FORALL bodies are unsupported"
+            )
+        assert isinstance(stmt, Assignment)
+        expr, reduce_steps, slots = self._extract_reductions(stmt.expr, sc.line, broadcast=True)
+        expr, scalars = self._rewrite_whole_expr(expr)
+        scalars = [s for s in scalars if s not in slots]
+        block = NodeCodeBlock(
+            name=self._new_block_name(),
+            index=self.block_counter,
+            kind="compute",
+            lines=(sc.line,),
+            ops=(
+                Elementwise(
+                    target=sc.arrays_written[0],
+                    expr=expr,
+                    index_range=None,
+                    line=sc.line,
+                    ops_per_element=max(1, sc.ops_per_element),
+                ),
+            ),
+            arrays_read=tuple(a for a in sc.arrays_read),
+            arrays_written=tuple(sc.arrays_written),
+            scalar_args=tuple([*scalars, *slots]),
+        )
+        return [*reduce_steps, self._register(block)]
+
+
+def lower(analyzed: AnalyzedProgram, optimize: bool = True) -> LoweringResult:
+    """Lower an analyzed program to node code blocks and an execution plan."""
+    return _Lowerer(analyzed, optimize).run()

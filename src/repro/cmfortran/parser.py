@@ -1,0 +1,336 @@
+"""Recursive-descent parser for the CMF dialect.
+
+Grammar (line-oriented; NEWLINE terminates statements)::
+
+    file       : program subroutine*
+    program    : 'PROGRAM' IDENT NEWLINE decl* stmt* 'END' ['PROGRAM'] [IDENT]
+    subroutine : 'SUBROUTINE' IDENT ['(' ')'] NEWLINE decl* stmt*
+                 'END' ['SUBROUTINE'] [IDENT]
+    decl       : type_decl | layout_decl
+    type_decl  : ('REAL'|'INTEGER') entity (',' entity)*
+    entity     : IDENT ['(' INT (',' INT)* ')']
+    layout_decl: 'LAYOUT' IDENT '(' spec (',' spec)* ')'
+    stmt       : assignment | forall | do_loop | call
+    assignment : designator '=' expr
+    designator : IDENT ['(' expr (',' expr)* ')']
+    forall     : 'FORALL' '(' IDENT '=' expr ':' expr ')' assignment
+    do_loop    : 'DO' IDENT '=' expr ',' expr NEWLINE stmt* ('ENDDO'|'END' 'DO')
+    call       : 'CALL' IDENT '(' [expr (',' expr)*] ')'
+    expr       : term (('+'|'-') term)*
+    term       : factor (('*'|'/') factor)*
+    factor     : primary ['**' factor]          (right associative)
+    primary    : NUM | designator | '(' expr ')' | '-' primary
+"""
+
+from __future__ import annotations
+
+from .ast import (
+    Assignment,
+    BinOp,
+    CallStmt,
+    DoLoop,
+    Entity,
+    Expr,
+    Forall,
+    Ident,
+    LayoutDecl,
+    Num,
+    Program,
+    Ref,
+    Stmt,
+    Subroutine,
+    TypeDecl,
+    UnaryOp,
+)
+from .lexer import LexError, Token, tokenize
+
+__all__ = ["ParseError", "parse", "parse_expression"]
+
+
+class ParseError(SyntaxError):
+    """Raised on malformed CMF source, with line information."""
+
+
+class _Parser:
+    def __init__(self, tokens: list[Token]):
+        self.tokens = tokens
+        self.pos = 0
+
+    # -- token helpers ----------------------------------------------------
+    @property
+    def cur(self) -> Token:
+        return self.tokens[self.pos]
+
+    def at(self, *kinds: str) -> bool:
+        return self.cur.kind in kinds
+
+    def advance(self) -> Token:
+        tok = self.cur
+        if tok.kind != "EOF":
+            self.pos += 1
+        return tok
+
+    def expect(self, kind: str) -> Token:
+        if self.cur.kind != kind:
+            raise ParseError(
+                f"line {self.cur.line}: expected {kind}, got "
+                f"{self.cur.kind} ({self.cur.text!r})"
+            )
+        return self.advance()
+
+    def skip_newlines(self) -> None:
+        while self.at("NEWLINE"):
+            self.advance()
+
+    def end_of_statement(self) -> None:
+        if self.at("NEWLINE"):
+            self.advance()
+        elif not self.at("EOF"):
+            raise ParseError(
+                f"line {self.cur.line}: unexpected {self.cur.text!r} at end of statement"
+            )
+
+    # -- grammar ----------------------------------------------------------
+    def program(self) -> Program:
+        self.skip_newlines()
+        self.expect("PROGRAM")
+        name = self.expect("IDENT").text
+        self.end_of_statement()
+        prog = Program(name)
+        self.skip_newlines()
+        while self.at("REAL", "INTEGER", "LAYOUT"):
+            prog.decls.append(self.declaration())
+            self.skip_newlines()
+        while not self.at("END", "EOF"):
+            prog.stmts.append(self.statement())
+            self.skip_newlines()
+        self.expect("END")
+        if self.at("PROGRAM"):
+            self.advance()
+        if self.at("IDENT"):
+            self.advance()  # optional trailing program name
+        self.skip_newlines()
+        while self.at("SUBROUTINE"):
+            prog.subroutines.append(self.subroutine())
+            self.skip_newlines()
+        if not self.at("EOF"):
+            raise ParseError(f"line {self.cur.line}: text after END PROGRAM")
+        return prog
+
+    def subroutine(self) -> Subroutine:
+        line = self.expect("SUBROUTINE").line
+        name = self.expect("IDENT").text
+        if self.at("LPAREN"):  # empty parameter list tolerated
+            self.advance()
+            self.expect("RPAREN")
+        self.end_of_statement()
+        self.skip_newlines()
+        sub = Subroutine(name, line=line)
+        while self.at("REAL", "INTEGER", "LAYOUT"):
+            sub.decls.append(self.declaration())
+            self.skip_newlines()
+        while not self.at("END", "EOF"):
+            sub.stmts.append(self.statement())
+            self.skip_newlines()
+        self.expect("END")
+        if self.at("SUBROUTINE"):
+            self.advance()
+        if self.at("IDENT"):
+            self.advance()  # optional trailing subroutine name
+        self.end_of_statement()
+        return sub
+
+    def declaration(self) -> TypeDecl | LayoutDecl:
+        if self.at("LAYOUT"):
+            line = self.advance().line
+            name = self.expect("IDENT").text
+            self.expect("LPAREN")
+            specs = [self.layout_spec()]
+            while self.at("COMMA"):
+                self.advance()
+                specs.append(self.layout_spec())
+            self.expect("RPAREN")
+            self.end_of_statement()
+            return LayoutDecl(name, tuple(specs), line)
+        type_tok = self.advance()  # REAL | INTEGER
+        entities = [self.entity()]
+        while self.at("COMMA"):
+            self.advance()
+            entities.append(self.entity())
+        self.end_of_statement()
+        return TypeDecl(type_tok.kind, entities, type_tok.line)
+
+    def layout_spec(self) -> str:
+        if self.at("BLOCK"):
+            return self.advance().text
+        if self.at("STAR"):
+            self.advance()
+            return "*"
+        raise ParseError(f"line {self.cur.line}: bad layout spec {self.cur.text!r}")
+
+    def entity(self) -> Entity:
+        name = self.expect("IDENT").text
+        dims: list[int] = []
+        if self.at("LPAREN"):
+            self.advance()
+            dims.append(self.int_literal())
+            while self.at("COMMA"):
+                self.advance()
+                dims.append(self.int_literal())
+            self.expect("RPAREN")
+        return Entity(name, tuple(dims))
+
+    def int_literal(self) -> int:
+        tok = self.expect("INT_LIT")
+        return int(tok.text)
+
+    def statement(self) -> Stmt:
+        if self.at("FORALL"):
+            return self.forall()
+        if self.at("DO"):
+            return self.do_loop()
+        if self.at("CALL"):
+            return self.call_stmt()
+        if self.at("IDENT"):
+            return self.assignment()
+        raise ParseError(f"line {self.cur.line}: expected statement, got {self.cur.text!r}")
+
+    def assignment(self) -> Assignment:
+        target = self.designator()
+        line = target.line
+        self.expect("ASSIGN")
+        expr = self.expression()
+        self.end_of_statement()
+        return Assignment(target, expr, line)
+
+    def forall(self) -> Forall:
+        line = self.expect("FORALL").line
+        self.expect("LPAREN")
+        index = self.expect("IDENT").text
+        self.expect("ASSIGN")
+        lo = self.expression()
+        self.expect("COLON")
+        hi = self.expression()
+        self.expect("RPAREN")
+        target = self.designator()
+        self.expect("ASSIGN")
+        expr = self.expression()
+        self.end_of_statement()
+        return Forall(index, lo, hi, Assignment(target, expr, line), line)
+
+    def do_loop(self) -> DoLoop:
+        line = self.expect("DO").line
+        index = self.expect("IDENT").text
+        self.expect("ASSIGN")
+        lo = self.expression()
+        self.expect("COMMA")
+        hi = self.expression()
+        self.end_of_statement()
+        self.skip_newlines()
+        body: list[Stmt] = []
+        while True:
+            if self.at("ENDDO"):
+                self.advance()
+                break
+            if self.at("END") and self.tokens[self.pos + 1].kind == "DO":
+                self.advance()
+                self.advance()
+                break
+            if self.at("EOF"):
+                raise ParseError(f"line {line}: DO without ENDDO")
+            body.append(self.statement())
+            self.skip_newlines()
+        self.end_of_statement()
+        return DoLoop(index, lo, hi, body, line)
+
+    def call_stmt(self) -> CallStmt:
+        line = self.expect("CALL").line
+        name = self.expect("IDENT").text
+        args: list[Expr] = []
+        self.expect("LPAREN")
+        if not self.at("RPAREN"):
+            args.append(self.expression())
+            while self.at("COMMA"):
+                self.advance()
+                args.append(self.expression())
+        self.expect("RPAREN")
+        self.end_of_statement()
+        return CallStmt(name, tuple(args), line)
+
+    def designator(self) -> Ref | Ident:
+        tok = self.expect("IDENT")
+        if self.at("LPAREN"):
+            self.advance()
+            args = [self.expression()]
+            while self.at("COMMA"):
+                self.advance()
+                args.append(self.expression())
+            self.expect("RPAREN")
+            return Ref(tok.text, tuple(args), tok.line)
+        return Ident(tok.text, tok.line)
+
+    # -- expressions -------------------------------------------------------
+    def expression(self) -> Expr:
+        left = self.term()
+        while self.at("PLUS", "MINUS"):
+            op = self.advance()
+            right = self.term()
+            left = BinOp(op.text, left, right, op.line)
+        return left
+
+    def term(self) -> Expr:
+        left = self.factor()
+        while self.at("STAR", "SLASH"):
+            op = self.advance()
+            right = self.factor()
+            left = BinOp(op.text, left, right, op.line)
+        return left
+
+    def factor(self) -> Expr:
+        base = self.primary()
+        if self.at("POWER"):
+            op = self.advance()
+            exponent = self.factor()  # right associative
+            return BinOp("**", base, exponent, op.line)
+        return base
+
+    def primary(self) -> Expr:
+        if self.at("MINUS"):
+            tok = self.advance()
+            return UnaryOp("-", self.primary(), tok.line)
+        if self.at("INT_LIT"):
+            tok = self.advance()
+            return Num(float(tok.text), False, tok.line)
+        if self.at("REAL_LIT"):
+            tok = self.advance()
+            return Num(float(tok.text), True, tok.line)
+        if self.at("LPAREN"):
+            self.advance()
+            inner = self.expression()
+            self.expect("RPAREN")
+            return inner
+        if self.at("IDENT"):
+            return self.designator()
+        raise ParseError(f"line {self.cur.line}: expected expression, got {self.cur.text!r}")
+
+
+def parse(source: str, source_file: str = "<string>") -> Program:
+    """Parse CMF source text into a :class:`~repro.cmfortran.ast.Program`."""
+    try:
+        tokens = tokenize(source)
+    except LexError as exc:
+        raise ParseError(str(exc)) from exc
+    prog = _Parser(tokens).program()
+    prog.source = source
+    prog.source_file = source_file
+    return prog
+
+
+def parse_expression(text: str) -> Expr:
+    """Parse a standalone expression (testing convenience)."""
+    parser = _Parser(tokenize(text))
+    expr = parser.expression()
+    parser.skip_newlines()
+    if not parser.at("EOF"):
+        raise ParseError(f"trailing tokens after expression: {parser.cur.text!r}")
+    return expr

@@ -1,0 +1,69 @@
+"""Compilation facade: source text -> :class:`CompiledProgram`."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .ast import Program
+from .ir import ExecutionPlan
+from .listing import emit_listing
+from .lowering import LoweringResult, lower
+from .parser import parse
+from .semantics import AnalyzedProgram, SymbolTable, analyze
+
+__all__ = ["CompiledProgram", "compile_source", "compile_ast"]
+
+
+@dataclass
+class CompiledProgram:
+    """Everything the runtime and the tool chain need about one program."""
+
+    analyzed: AnalyzedProgram
+    lowering: LoweringResult
+    listing: str
+
+    @property
+    def name(self) -> str:
+        return self.analyzed.name
+
+    @property
+    def ast(self) -> Program:
+        return self.analyzed.program
+
+    @property
+    def symbols(self) -> SymbolTable:
+        return self.analyzed.symbols
+
+    @property
+    def plan(self) -> ExecutionPlan:
+        return self.lowering.plan
+
+    @property
+    def source_file(self) -> str:
+        return self.analyzed.program.source_file
+
+    def source_line(self, line: int) -> str:
+        """The raw source text of 1-based ``line`` (for descriptions)."""
+        lines = self.analyzed.program.source.splitlines()
+        if 1 <= line <= len(lines):
+            return lines[line - 1].strip()
+        return ""
+
+
+def compile_ast(program: Program, optimize: bool = True) -> CompiledProgram:
+    """Compile a parsed AST: analysis, lowering, listing emission."""
+    analyzed = analyze(program)
+    lowering_result = lower(analyzed, optimize=optimize)
+    return CompiledProgram(analyzed, lowering_result, emit_listing(lowering_result))
+
+
+def compile_source(
+    source: str, source_file: str = "<string>", optimize: bool = True
+) -> CompiledProgram:
+    """Compile CMF source text end to end.
+
+    ``optimize=True`` enables the block-merging optimization that fuses
+    consecutive elementwise statements into one node code block (producing
+    the paper's one-to-many statement mappings).
+    """
+    return compile_ast(parse(source, source_file), optimize=optimize)

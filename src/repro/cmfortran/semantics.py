@@ -1,0 +1,640 @@
+"""Semantic analysis for the CMF dialect.
+
+Resolves names (array vs scalar vs intrinsic), checks shapes, classifies each
+statement for the lowering pass, and computes a per-element operation count
+used by the machine's compute-cost model.
+
+Classification mirrors what the CM Fortran compiler did on the CM-5:
+
+* **scalar** statements run on the control processor;
+* **elementwise** statements (whole-array assignment, FORALL) become node
+  code blocks computing on local subgrids;
+* **reduction** sub-expressions (SUM / MAXVAL / MINVAL) become a local-reduce
+  plus a global combine through the network;
+* **transform** statements (CSHIFT / EOSHIFT / TRANSPOSE / SCAN and
+  ``CALL SORT``) become node code blocks with communication patterns.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .ast import (
+    Assignment,
+    BinOp,
+    CallStmt,
+    DoLoop,
+    Expr,
+    Forall,
+    Ident,
+    LayoutDecl,
+    Num,
+    Program,
+    Ref,
+    Stmt,
+    TypeDecl,
+    UnaryOp,
+)
+
+__all__ = [
+    "SemanticError",
+    "ArraySymbol",
+    "ScalarSymbol",
+    "SymbolTable",
+    "REDUCTION_INTRINSICS",
+    "TRANSFORM_INTRINSICS",
+    "ELEMENTWISE_INTRINSICS",
+    "StmtClass",
+    "AnalyzedProgram",
+    "analyze",
+    "expr_shape",
+    "const_int",
+]
+
+#: scalar-valued reductions over a whole array
+REDUCTION_INTRINSICS = {"SUM": "Sum", "MAXVAL": "MaxVal", "MINVAL": "MinVal"}
+
+#: array-to-array transforms that must be the sole RHS of an assignment
+TRANSFORM_INTRINSICS = {"CSHIFT", "EOSHIFT", "TRANSPOSE", "SCAN"}
+
+#: elementwise math usable anywhere in an expression
+ELEMENTWISE_INTRINSICS = {"ABS", "SQRT", "EXP", "LOG", "MIN", "MAX"}
+
+
+class SemanticError(Exception):
+    """Raised when CMF source is well-formed but meaningless."""
+
+
+@dataclass(frozen=True)
+class ArraySymbol:
+    """A declared parallel array.
+
+    ``owner`` is the program unit (main program or subroutine) that declared
+    it -- the function level of the Figure-8 where axis.
+    """
+
+    name: str
+    dtype: str  # "REAL" | "INTEGER"
+    shape: tuple[int, ...]
+    decl_line: int
+    layout: tuple[str, ...] = ()
+    owner: str = ""
+
+    @property
+    def dist_axis(self) -> int:
+        """Axis the array is block-distributed along (from its LAYOUT).
+
+        ``LAYOUT A(BLOCK)`` / ``(BLOCK, *)`` / no directive -> axis 0;
+        ``LAYOUT A(*, BLOCK)`` -> axis 1 (columns spread over nodes).
+        """
+        if len(self.layout) == 2 and self.layout == ("*", "BLOCK"):
+            return 1
+        return 0
+
+    @property
+    def ndim(self) -> int:
+        return len(self.shape)
+
+    @property
+    def size(self) -> int:
+        n = 1
+        for d in self.shape:
+            n *= d
+        return n
+
+
+@dataclass(frozen=True)
+class ScalarSymbol:
+    """A front-end scalar variable (declared, or implicit via assignment)."""
+
+    name: str
+    dtype: str
+    decl_line: int
+
+
+class SymbolTable:
+    """Arrays and scalars of one program."""
+
+    def __init__(self) -> None:
+        self.arrays: dict[str, ArraySymbol] = {}
+        self.scalars: dict[str, ScalarSymbol] = {}
+
+    def is_array(self, name: str) -> bool:
+        return name in self.arrays
+
+    def array(self, name: str) -> ArraySymbol:
+        try:
+            return self.arrays[name]
+        except KeyError:
+            raise SemanticError(f"unknown array {name!r}") from None
+
+    def declare_array(self, sym: ArraySymbol) -> None:
+        if sym.name in self.arrays or sym.name in self.scalars:
+            raise SemanticError(f"line {sym.decl_line}: duplicate declaration of {sym.name!r}")
+        self.arrays[sym.name] = sym
+
+    def declare_scalar(self, sym: ScalarSymbol) -> None:
+        if sym.name in self.arrays:
+            raise SemanticError(f"line {sym.decl_line}: {sym.name!r} already declared as array")
+        self.scalars.setdefault(sym.name, sym)
+
+
+@dataclass
+class StmtClass:
+    """Classification attached to each top-level statement."""
+
+    kind: str  # "scalar" | "elementwise" | "transform" | "sort" | "do" | "call"
+    stmt: Stmt
+    line: int
+    arrays_read: tuple[str, ...] = ()
+    arrays_written: tuple[str, ...] = ()
+    reductions: tuple[tuple[str, str], ...] = ()  # (verb, array) pairs inside expr
+    transform: str | None = None  # CSHIFT | EOSHIFT | TRANSPOSE | SCAN | SORT
+    transform_params: tuple[int, ...] = ()
+    ops_per_element: int = 0
+    forall_range: tuple[int, int] | None = None  # 0-based [lo, hi)
+    forall_index: str | None = None
+    body: list["StmtClass"] = field(default_factory=list)  # for DO loops
+    call_target: str | None = None  # for CALL <subroutine>
+
+    @property
+    def is_parallel(self) -> bool:
+        return self.kind in ("elementwise", "transform", "sort") or bool(self.reductions)
+
+
+@dataclass
+class AnalyzedProgram:
+    """Output of semantic analysis, input to lowering."""
+
+    program: Program
+    symbols: SymbolTable
+    classified: list[StmtClass]
+    sub_classified: dict[str, list[StmtClass]] = field(default_factory=dict)
+
+    @property
+    def name(self) -> str:
+        return self.program.name
+
+    def all_classified(self):
+        """Main-body and subroutine statements, flattened (listing order)."""
+        out = list(self.classified)
+        for stmts in self.sub_classified.values():
+            out.extend(stmts)
+        return out
+
+
+# ----------------------------------------------------------------------
+# helpers
+# ----------------------------------------------------------------------
+def const_int(expr: Expr, what: str = "expression") -> int:
+    """Evaluate a compile-time constant integer expression."""
+    if isinstance(expr, Num):
+        if expr.is_real or expr.value != int(expr.value):
+            raise SemanticError(f"{what} must be an integer constant")
+        return int(expr.value)
+    if isinstance(expr, UnaryOp) and expr.op == "-":
+        return -const_int(expr.operand, what)
+    if isinstance(expr, BinOp):
+        left = const_int(expr.left, what)
+        right = const_int(expr.right, what)
+        ops = {
+            "+": lambda a, b: a + b,
+            "-": lambda a, b: a - b,
+            "*": lambda a, b: a * b,
+            "/": lambda a, b: a // b,
+            "**": lambda a, b: a**b,
+        }
+        return ops[expr.op](left, right)
+    raise SemanticError(f"{what} must be a compile-time integer constant, got {expr}")
+
+
+def _subscript_offset(expr: Expr, index: str, line: int) -> int:
+    """FORALL subscripts must be ``I`` or ``I +/- const``; return the offset."""
+    if isinstance(expr, Ident) and expr.name == index:
+        return 0
+    if isinstance(expr, BinOp) and expr.op in ("+", "-"):
+        if isinstance(expr.left, Ident) and expr.left.name == index:
+            off = const_int(expr.right, f"line {line}: FORALL subscript offset")
+            return off if expr.op == "+" else -off
+    raise SemanticError(
+        f"line {line}: FORALL subscript must be {index} or {index}+/-constant, got {expr}"
+    )
+
+
+class _Analyzer:
+    def __init__(self, program: Program):
+        self.program = program
+        self.symbols = SymbolTable()
+
+    # -- declarations ------------------------------------------------------
+    def run(self) -> AnalyzedProgram:
+        self.sub_names: set[str] = set()
+        for sub in self.program.subroutines:
+            if sub.name in self.sub_names or sub.name == self.program.name:
+                raise SemanticError(f"line {sub.line}: duplicate unit name {sub.name!r}")
+            self.sub_names.add(sub.name)
+
+        self._declare_unit(self.program.decls, owner=self.program.name)
+        for sub in self.program.subroutines:
+            self._declare_unit(sub.decls, owner=sub.name)
+
+        classified = [self.classify(stmt) for stmt in self.program.stmts]
+        sub_classified = {
+            sub.name: [self.classify(s) for s in sub.stmts]
+            for sub in self.program.subroutines
+        }
+        analyzed = AnalyzedProgram(self.program, self.symbols, classified, sub_classified)
+        self._check_no_recursion(analyzed)
+        return analyzed
+
+    def _declare_unit(self, decls, owner: str) -> None:
+        """Register one program unit's declarations (arrays tagged ``owner``).
+
+        Array names are a single global namespace across units (a dialect
+        simplification); duplicates are rejected.
+        """
+        layouts: dict[str, tuple[str, ...]] = {}
+        for decl in decls:
+            if isinstance(decl, LayoutDecl):
+                layouts[decl.name] = decl.specs
+        for decl in decls:
+            if isinstance(decl, TypeDecl):
+                for ent in decl.entities:
+                    if ent.dims:
+                        if len(ent.dims) > 2:
+                            raise SemanticError(
+                                f"line {decl.line}: arrays of rank > 2 unsupported"
+                            )
+                        if any(d < 1 for d in ent.dims):
+                            raise SemanticError(
+                                f"line {decl.line}: non-positive dimension in {ent.name}"
+                            )
+                        self.symbols.declare_array(
+                            ArraySymbol(
+                                ent.name,
+                                decl.type_name,
+                                ent.dims,
+                                decl.line,
+                                layouts.get(ent.name, ()),
+                                owner=owner,
+                            )
+                        )
+                    else:
+                        self.symbols.declare_scalar(
+                            ScalarSymbol(ent.name, decl.type_name, decl.line)
+                        )
+        for name, specs in layouts.items():
+            if name not in self.symbols.arrays:
+                raise SemanticError(f"LAYOUT for undeclared array {name!r}")
+            sym = self.symbols.arrays[name]
+            if len(specs) != sym.ndim:
+                raise SemanticError(
+                    f"LAYOUT for {name!r} has {len(specs)} specs for rank {sym.ndim}"
+                )
+            if specs.count("BLOCK") != 1:
+                raise SemanticError(
+                    f"LAYOUT for {name!r} must have exactly one BLOCK axis"
+                )
+
+    def _check_no_recursion(self, analyzed: AnalyzedProgram) -> None:
+        """Subroutine calls must be acyclic (no recursion in the dialect)."""
+
+        def calls_in(stmts):
+            for sc in stmts:
+                if sc.kind == "call" and sc.call_target:
+                    yield sc.call_target
+                elif sc.kind == "do":
+                    yield from calls_in(sc.body)
+
+        graph = {
+            name: set(calls_in(stmts))
+            for name, stmts in analyzed.sub_classified.items()
+        }
+        state: dict[str, int] = {}
+
+        def dfs(node: str) -> None:
+            state[node] = 1
+            for callee in graph.get(node, ()):  # unknown callees caught earlier
+                if state.get(callee) == 1:
+                    raise SemanticError(
+                        f"recursive subroutine call involving {callee!r}"
+                    )
+                if state.get(callee, 0) == 0:
+                    dfs(callee)
+            state[node] = 2
+
+        for name in graph:
+            if state.get(name, 0) == 0:
+                dfs(name)
+
+    # -- expression shapes ---------------------------------------------------
+    def shape_of(self, expr: Expr, forall_index: str | None = None) -> tuple[int, ...] | None:
+        """Shape of an expression (None = scalar); checks conformance."""
+        if isinstance(expr, Num):
+            return None
+        if isinstance(expr, Ident):
+            if self.symbols.is_array(expr.name):
+                return self.symbols.array(expr.name).shape
+            return None  # scalar (possibly implicit)
+        if isinstance(expr, UnaryOp):
+            return self.shape_of(expr.operand, forall_index)
+        if isinstance(expr, BinOp):
+            ls = self.shape_of(expr.left, forall_index)
+            rs = self.shape_of(expr.right, forall_index)
+            if ls is None:
+                return rs
+            if rs is None or ls == rs:
+                return ls
+            raise SemanticError(
+                f"line {expr.line}: shape mismatch {ls} vs {rs} in {expr}"
+            )
+        if isinstance(expr, Ref):
+            return self._ref_shape(expr, forall_index)
+        raise SemanticError(f"cannot determine shape of {expr!r}")
+
+    def _ref_shape(self, ref: Ref, forall_index: str | None) -> tuple[int, ...] | None:
+        name = ref.name
+        if self.symbols.is_array(name):
+            sym = self.symbols.array(name)
+            if forall_index is None:
+                raise SemanticError(
+                    f"line {ref.line}: subscripted reference {ref} outside FORALL"
+                )
+            if len(ref.args) != sym.ndim:
+                raise SemanticError(
+                    f"line {ref.line}: {name} has rank {sym.ndim}, got {len(ref.args)} subscripts"
+                )
+            for sub in ref.args:
+                _subscript_offset(sub, forall_index, ref.line)
+            return None  # an indexed element is scalar-per-iteration
+        if name in REDUCTION_INTRINSICS:
+            if len(ref.args) != 1:
+                raise SemanticError(f"line {ref.line}: {name} takes one array argument")
+            arg_shape = self.shape_of(ref.args[0], forall_index)
+            if arg_shape is None:
+                raise SemanticError(f"line {ref.line}: {name} of a scalar")
+            return None
+        if name in TRANSFORM_INTRINSICS:
+            return self._transform_shape(ref, forall_index)
+        if name in ELEMENTWISE_INTRINSICS:
+            if name in ("MIN", "MAX"):
+                if len(ref.args) != 2:
+                    raise SemanticError(f"line {ref.line}: {name} takes two arguments")
+                shapes = [self.shape_of(a, forall_index) for a in ref.args]
+                non_scalar = [s for s in shapes if s is not None]
+                if len(set(non_scalar)) > 1:
+                    raise SemanticError(f"line {ref.line}: shape mismatch in {name}")
+                return non_scalar[0] if non_scalar else None
+            if len(ref.args) != 1:
+                raise SemanticError(f"line {ref.line}: {name} takes one argument")
+            return self.shape_of(ref.args[0], forall_index)
+        raise SemanticError(f"line {ref.line}: unknown function or array {name!r}")
+
+    def _transform_shape(self, ref: Ref, forall_index: str | None) -> tuple[int, ...]:
+        name = ref.name
+        if not ref.args or not isinstance(ref.args[0], Ident) or not self.symbols.is_array(
+            ref.args[0].name
+        ):
+            raise SemanticError(
+                f"line {ref.line}: first argument of {name} must be a whole array"
+            )
+        sym = self.symbols.array(ref.args[0].name)
+        if name in ("CSHIFT", "EOSHIFT"):
+            if len(ref.args) != 2:
+                raise SemanticError(f"line {ref.line}: {name}(array, shift)")
+            const_int(ref.args[1], f"line {ref.line}: shift amount")
+            return sym.shape
+        if name == "TRANSPOSE":
+            if len(ref.args) != 1:
+                raise SemanticError(f"line {ref.line}: TRANSPOSE takes one argument")
+            if sym.ndim != 2:
+                raise SemanticError(f"line {ref.line}: TRANSPOSE needs a rank-2 array")
+            return (sym.shape[1], sym.shape[0])
+        if name == "SCAN":
+            if len(ref.args) != 1:
+                raise SemanticError(f"line {ref.line}: SCAN takes one argument")
+            if sym.ndim != 1:
+                raise SemanticError(f"line {ref.line}: SCAN needs a rank-1 array")
+            return sym.shape
+        raise AssertionError(name)
+
+    # -- statement classification ---------------------------------------------
+    def classify(self, stmt: Stmt) -> StmtClass:
+        if isinstance(stmt, DoLoop):
+            lo = const_int(stmt.lo, f"line {stmt.line}: DO bound")
+            hi = const_int(stmt.hi, f"line {stmt.line}: DO bound")
+            body = [self.classify(s) for s in stmt.body]
+            return StmtClass(
+                "do", stmt, stmt.line, forall_range=(lo, hi + 1), forall_index=stmt.index, body=body
+            )
+        if isinstance(stmt, CallStmt):
+            return self._classify_call(stmt)
+        if isinstance(stmt, Forall):
+            return self._classify_forall(stmt)
+        if isinstance(stmt, Assignment):
+            return self._classify_assignment(stmt)
+        raise SemanticError(f"unsupported statement {stmt!r}")
+
+    def _classify_call(self, stmt: CallStmt) -> StmtClass:
+        if stmt.name != "SORT":
+            if stmt.name in getattr(self, "sub_names", set()):
+                if stmt.args:
+                    raise SemanticError(
+                        f"line {stmt.line}: subroutine arguments are unsupported"
+                    )
+                return StmtClass("call", stmt, stmt.line, call_target=stmt.name)
+            raise SemanticError(f"line {stmt.line}: unknown subroutine {stmt.name!r}")
+        if len(stmt.args) != 1 or not isinstance(stmt.args[0], Ident):
+            raise SemanticError(f"line {stmt.line}: CALL SORT(array)")
+        name = stmt.args[0].name
+        sym = self.symbols.array(name)
+        if sym.ndim != 1:
+            raise SemanticError(f"line {stmt.line}: SORT needs a rank-1 array")
+        return StmtClass(
+            "sort",
+            stmt,
+            stmt.line,
+            arrays_read=(name,),
+            arrays_written=(name,),
+            transform="SORT",
+        )
+
+    def _check_distribution_conformance(self, arrays: list[str], line: int) -> None:
+        """Arrays combined elementwise must share a distribution axis."""
+        axes = {self.symbols.array(a).dist_axis for a in arrays}
+        if len(axes) > 1:
+            raise SemanticError(
+                f"line {line}: arrays with different LAYOUT distribution axes "
+                f"cannot be combined elementwise: {sorted(arrays)}"
+            )
+
+    def _classify_forall(self, stmt: Forall) -> StmtClass:
+        lo = const_int(stmt.lo, f"line {stmt.line}: FORALL bound")
+        hi = const_int(stmt.hi, f"line {stmt.line}: FORALL bound")
+        target = stmt.body.target
+        if not isinstance(target, Ref) or not self.symbols.is_array(target.name):
+            raise SemanticError(f"line {stmt.line}: FORALL target must be an indexed array")
+        sym = self.symbols.array(target.name)
+        if sym.ndim != 1:
+            raise SemanticError(f"line {stmt.line}: FORALL supports rank-1 targets only")
+        if len(target.args) != 1:
+            raise SemanticError(f"line {stmt.line}: bad subscript count on {target.name}")
+        if _subscript_offset(target.args[0], stmt.index, stmt.line) != 0:
+            raise SemanticError(f"line {stmt.line}: FORALL target subscript must be {stmt.index}")
+        if not (1 <= lo <= hi <= sym.shape[0]):
+            raise SemanticError(
+                f"line {stmt.line}: FORALL range {lo}:{hi} outside array bounds 1:{sym.shape[0]}"
+            )
+        self.shape_of(stmt.body.expr, forall_index=stmt.index)
+        reads, reductions = self._expr_arrays(stmt.body.expr, stmt.index, stmt.line)
+        return StmtClass(
+            "elementwise",
+            stmt,
+            stmt.line,
+            arrays_read=tuple(reads),
+            arrays_written=(target.name,),
+            reductions=tuple(reductions),
+            ops_per_element=_op_count(stmt.body.expr),
+            forall_range=(lo - 1, hi),  # to 0-based half-open
+            forall_index=stmt.index,
+        )
+
+    def _classify_assignment(self, stmt: Assignment) -> StmtClass:
+        target = stmt.target
+        if isinstance(target, Ref):
+            raise SemanticError(
+                f"line {stmt.line}: subscripted assignment outside FORALL is unsupported"
+            )
+        target_is_array = self.symbols.is_array(target.name)
+
+        # transform statements: RHS is exactly one transform intrinsic
+        if (
+            isinstance(stmt.expr, Ref)
+            and stmt.expr.name in TRANSFORM_INTRINSICS
+            and target_is_array
+        ):
+            rhs_shape = self.shape_of(stmt.expr)
+            sym = self.symbols.array(target.name)
+            if rhs_shape != sym.shape:
+                raise SemanticError(
+                    f"line {stmt.line}: shape mismatch assigning {rhs_shape} to "
+                    f"{target.name}{sym.shape}"
+                )
+            src = stmt.expr.args[0]
+            assert isinstance(src, Ident)
+            params: tuple[int, ...] = ()
+            if stmt.expr.name in ("CSHIFT", "EOSHIFT"):
+                params = (const_int(stmt.expr.args[1], "shift"),)
+            if stmt.expr.name in ("CSHIFT", "EOSHIFT"):
+                self._check_distribution_conformance([src.name, target.name], stmt.line)
+            return StmtClass(
+                "transform",
+                stmt,
+                stmt.line,
+                arrays_read=(src.name,),
+                arrays_written=(target.name,),
+                transform=stmt.expr.name,
+                transform_params=params,
+                ops_per_element=1,
+            )
+
+        shape = self.shape_of(stmt.expr)
+        reads, reductions = self._expr_arrays(stmt.expr, None, stmt.line)
+        if target_is_array:
+            sym = self.symbols.array(target.name)
+            if shape is not None and shape != sym.shape:
+                raise SemanticError(
+                    f"line {stmt.line}: shape mismatch assigning {shape} to {target.name}{sym.shape}"
+                )
+            self._check_distribution_conformance([*reads, target.name], stmt.line)
+            return StmtClass(
+                "elementwise",
+                stmt,
+                stmt.line,
+                arrays_read=tuple(reads),
+                arrays_written=(target.name,),
+                reductions=tuple(reductions),
+                ops_per_element=max(1, _op_count(stmt.expr)),
+            )
+        # scalar target
+        if shape is not None:
+            raise SemanticError(
+                f"line {stmt.line}: cannot assign array-valued expression to scalar {target.name}"
+            )
+        self.symbols.declare_scalar(ScalarSymbol(target.name, "REAL", stmt.line))
+        return StmtClass(
+            "scalar",
+            stmt,
+            stmt.line,
+            arrays_read=tuple(reads),
+            reductions=tuple(reductions),
+            ops_per_element=_op_count(stmt.expr),
+        )
+
+    def _expr_arrays(
+        self, expr: Expr, forall_index: str | None, line: int
+    ) -> tuple[list[str], list[tuple[str, str]]]:
+        """Arrays read and reductions performed by an expression."""
+        reads: list[str] = []
+        reductions: list[tuple[str, str]] = []
+
+        def visit(e: Expr) -> None:
+            if isinstance(e, Ident):
+                if self.symbols.is_array(e.name) and e.name not in reads:
+                    reads.append(e.name)
+            elif isinstance(e, Ref):
+                if e.name in REDUCTION_INTRINSICS:
+                    arg = e.args[0]
+                    inner_reads, inner_red = self._expr_arrays(arg, forall_index, line)
+                    if inner_red:
+                        raise SemanticError(f"line {line}: nested reductions unsupported")
+                    for r in inner_reads:
+                        if r not in reads:
+                            reads.append(r)
+                    primary = inner_reads[0] if inner_reads else "?"
+                    reductions.append((REDUCTION_INTRINSICS[e.name], primary))
+                elif e.name in TRANSFORM_INTRINSICS:
+                    raise SemanticError(
+                        f"line {line}: {e.name} must be the entire right-hand side"
+                    )
+                elif self.symbols.is_array(e.name):
+                    if e.name not in reads:
+                        reads.append(e.name)
+                    for sub in e.args:
+                        visit(sub)
+                else:  # elementwise intrinsic
+                    for a in e.args:
+                        visit(a)
+            elif isinstance(e, BinOp):
+                visit(e.left)
+                visit(e.right)
+            elif isinstance(e, UnaryOp):
+                visit(e.operand)
+
+        visit(expr)
+        return reads, reductions
+
+
+def _op_count(expr: Expr) -> int:
+    """Number of arithmetic operations per element for the cost model."""
+    from .ast import walk_exprs
+
+    count = 0
+    for node in walk_exprs(expr):
+        if isinstance(node, (BinOp, UnaryOp)):
+            count += 1
+        elif isinstance(node, Ref) and node.name in ELEMENTWISE_INTRINSICS:
+            count += 1
+    return count
+
+
+def expr_shape(analyzed: AnalyzedProgram, expr: Expr) -> tuple[int, ...] | None:
+    """Public helper: shape of ``expr`` under a program's symbol table."""
+    analyzer = _Analyzer(analyzed.program)
+    analyzer.symbols = analyzed.symbols
+    return analyzer.shape_of(expr)
+
+
+def analyze(program: Program) -> AnalyzedProgram:
+    """Run semantic analysis over a parsed program."""
+    return _Analyzer(program).run()

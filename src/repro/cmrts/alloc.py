@@ -1,0 +1,88 @@
+"""Array allocation: the canonical *mapping point*.
+
+Section 4.1: "if we have a run-time system routine that allocates parallel
+data objects and distributes them across processors, then the return point
+of the routine would be defined as a mapping point; the mapping of data
+objects to processor nodes will be determined just prior to that point."
+
+:class:`AllocationManager.allocate` is that routine.  Its return point fires
+``on_allocate`` observers carrying the new array and its node distribution --
+the dynamic mapping information a tool needs to build the CMFarrays
+hierarchy (Figure 8) and the array->subregion->node mappings of Section 6.1.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from .arrays import ParallelArray
+
+__all__ = ["AllocationEvent", "AllocationManager"]
+
+
+class AllocationEvent:
+    """Payload delivered to allocation observers (a mapping-point record)."""
+
+    def __init__(self, array: ParallelArray, kind: str):
+        self.array = array
+        self.kind = kind  # "allocate" | "deallocate"
+
+    @property
+    def distribution(self) -> list[tuple[int, tuple[int, int]]]:
+        """(node, global row range) pairs: the data-to-processor mapping."""
+        return [(p, rng) for p, rng in enumerate(self.array.ranges)]
+
+
+class AllocationManager:
+    """CMRTS array heap with unique identifiers and mapping-point hooks."""
+
+    def __init__(self, num_nodes: int):
+        self.num_nodes = num_nodes
+        self._arrays: dict[str, ParallelArray] = {}
+        self._uid_counter = 0
+        self.on_allocate: list[Callable[[AllocationEvent], None]] = []
+        self.on_deallocate: list[Callable[[AllocationEvent], None]] = []
+        self.allocations = 0
+
+    def allocate(
+        self,
+        name: str,
+        dtype: str,
+        shape: tuple[int, ...],
+        owner: str = "",
+        dist_axis: int = 0,
+    ) -> ParallelArray:
+        """Allocate and distribute a parallel array; fires the mapping point."""
+        if name in self._arrays:
+            raise ValueError(f"array {name!r} already allocated")
+        self._uid_counter += 1
+        uid = f"cmrts_obj_{self._uid_counter}"
+        array = ParallelArray(
+            name, dtype, shape, self.num_nodes, uid=uid, owner=owner, dist_axis=dist_axis
+        )
+        self._arrays[name] = array
+        self.allocations += 1
+        event = AllocationEvent(array, "allocate")
+        for cb in self.on_allocate:  # <- the mapping point (return point)
+            cb(event)
+        return array
+
+    def deallocate(self, name: str) -> None:
+        array = self._arrays.pop(name, None)
+        if array is None:
+            raise KeyError(f"array {name!r} not allocated")
+        event = AllocationEvent(array, "deallocate")
+        for cb in self.on_deallocate:
+            cb(event)
+
+    def get(self, name: str) -> ParallelArray:
+        try:
+            return self._arrays[name]
+        except KeyError:
+            raise KeyError(f"array {name!r} not allocated") from None
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._arrays
+
+    def arrays(self) -> list[ParallelArray]:
+        return list(self._arrays.values())

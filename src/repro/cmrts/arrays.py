@@ -1,0 +1,198 @@
+"""Distributed parallel arrays.
+
+"Arrays are the fundamental source of parallelism in data-parallel CM
+Fortran.  They are the only data objects that use memory on the nodes of a
+CM-5 system." (Section 6.1.)
+
+A :class:`ParallelArray` is genuinely distributed: each node holds its own
+local numpy block (block distribution along axis 0), and all cross-node data
+motion happens through simulated messages -- there is no hidden global array
+that operations cheat through.  ``global_value()`` concatenates the blocks
+for verification only.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["block_ranges", "owner_of", "ParallelArray"]
+
+_DTYPES = {"REAL": np.float64, "INTEGER": np.int64}
+
+
+def block_ranges(n: int, parts: int) -> list[tuple[int, int]]:
+    """Balanced block partition of ``range(n)`` into ``parts`` half-open ranges.
+
+    The first ``n % parts`` parts get one extra element.  Every range is
+    returned, including empty ones (when ``n < parts``).
+    """
+    if n < 0 or parts < 1:
+        raise ValueError("need n >= 0 and parts >= 1")
+    base, extra = divmod(n, parts)
+    ranges = []
+    lo = 0
+    for p in range(parts):
+        hi = lo + base + (1 if p < extra else 0)
+        ranges.append((lo, hi))
+        lo = hi
+    return ranges
+
+
+def owner_of(index: int, ranges: list[tuple[int, int]]) -> int:
+    """Node owning global row ``index`` under a block partition."""
+    for p, (lo, hi) in enumerate(ranges):
+        if lo <= index < hi:
+            return p
+    raise IndexError(f"row {index} outside partition {ranges}")
+
+
+@dataclass(frozen=True)
+class _Meta:
+    name: str
+    dtype: str
+    shape: tuple[int, ...]
+    num_nodes: int
+
+
+class ParallelArray:
+    """A block-distributed array with per-node local storage.
+
+    Parameters
+    ----------
+    name:
+        The CMF noun this array corresponds to.
+    dtype:
+        ``"REAL"`` or ``"INTEGER"``.
+    shape:
+        Global shape (rank 1 or 2); distribution is along axis 0.
+    num_nodes:
+        Number of machine nodes sharing the array.
+    uid:
+        CMRTS object identifier assigned by the allocator (Section 6.1's
+        "unique identifier for the array").
+    """
+
+    def __init__(
+        self,
+        name: str,
+        dtype: str,
+        shape: tuple[int, ...],
+        num_nodes: int,
+        uid: str = "",
+        owner: str = "",
+        dist_axis: int = 0,
+    ):
+        if dtype not in _DTYPES:
+            raise ValueError(f"unsupported dtype {dtype!r}")
+        if not 1 <= len(shape) <= 2:
+            raise ValueError(f"rank {len(shape)} unsupported")
+        if any(d < 1 for d in shape):
+            raise ValueError(f"bad shape {shape}")
+        if dist_axis not in (0, 1):
+            raise ValueError("dist_axis must be 0 or 1")
+        if dist_axis == 1 and len(shape) != 2:
+            raise ValueError("column distribution needs a rank-2 array")
+        self.meta = _Meta(name, dtype, tuple(shape), num_nodes)
+        self.uid = uid or name
+        self.owner = owner  # declaring program unit (where-axis function level)
+        self.dist_axis = dist_axis
+        self.ranges = block_ranges(shape[dist_axis], num_nodes)
+        np_dtype = _DTYPES[dtype]
+        if dist_axis == 0:
+            self._locals = [
+                np.zeros((hi - lo, *shape[1:]), dtype=np_dtype) for lo, hi in self.ranges
+            ]
+        else:
+            self._locals = [
+                np.zeros((shape[0], hi - lo), dtype=np_dtype) for lo, hi in self.ranges
+            ]
+
+    # -- metadata ----------------------------------------------------------
+    @property
+    def name(self) -> str:
+        return self.meta.name
+
+    @property
+    def shape(self) -> tuple[int, ...]:
+        return self.meta.shape
+
+    @property
+    def dtype(self) -> str:
+        return self.meta.dtype
+
+    @property
+    def num_nodes(self) -> int:
+        return self.meta.num_nodes
+
+    @property
+    def element_bytes(self) -> int:
+        return 8
+
+    @property
+    def row_bytes(self) -> int:
+        cols = self.shape[1] if len(self.shape) == 2 else 1
+        return cols * self.element_bytes
+
+    def local_range(self, node_id: int) -> tuple[int, int]:
+        """Global half-open row range owned by ``node_id``."""
+        return self.ranges[node_id]
+
+    def local_size(self, node_id: int) -> int:
+        lo, hi = self.ranges[node_id]
+        n = hi - lo
+        if len(self.shape) == 2:
+            n *= self.shape[1 - self.dist_axis]
+        return n
+
+    def owning_node(self, row: int) -> int:
+        """The node holding global row ``row`` (distinct from the declaring
+        unit stored in :attr:`owner`)."""
+        return owner_of(row, self.ranges)
+
+    def subregion_description(self, node_id: int) -> str:
+        """Human-readable subregion string for the where axis (Figure 8)."""
+        lo, hi = self.ranges[node_id]
+        if len(self.shape) == 2:
+            if self.dist_axis == 1:
+                return f"{self.name}[:, {lo}:{hi}] on node {node_id}"
+            return f"{self.name}[{lo}:{hi}, :] on node {node_id}"
+        return f"{self.name}[{lo}:{hi}] on node {node_id}"
+
+    # -- data access ---------------------------------------------------------
+    def local(self, node_id: int) -> np.ndarray:
+        """The local block of ``node_id`` (a real, mutable numpy array)."""
+        return self._locals[node_id]
+
+    def set_local(self, node_id: int, value: np.ndarray) -> None:
+        block = self._locals[node_id]
+        if value.shape != block.shape:
+            raise ValueError(
+                f"local block shape {value.shape} != expected {block.shape}"
+            )
+        block[...] = value
+
+    def global_value(self) -> np.ndarray:
+        """Concatenated global array (verification/debug only)."""
+        return np.concatenate(self._locals, axis=self.dist_axis)
+
+    def set_global(self, value: np.ndarray) -> None:
+        """Scatter a global array into the local blocks (test setup)."""
+        value = np.asarray(value, dtype=_DTYPES[self.dtype])
+        if value.shape != self.shape:
+            raise ValueError(f"shape {value.shape} != {self.shape}")
+        for p, (lo, hi) in enumerate(self.ranges):
+            if self.dist_axis == 0:
+                self._locals[p][...] = value[lo:hi]
+            else:
+                self._locals[p][...] = value[:, lo:hi]
+
+    def total_bytes(self) -> int:
+        n = 1
+        for d in self.shape:
+            n *= d
+        return n * self.element_bytes
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<ParallelArray {self.name}{self.shape} over {self.num_nodes} nodes>"

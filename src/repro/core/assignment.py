@@ -1,0 +1,235 @@
+"""Cost assignment: turning low-level measurements into high-level costs.
+
+Implements the "How to assign low-level costs to high-level structure" column
+of Figure 1:
+
+* **one-to-one** -- measurements of the source are equivalent to measurements
+  of the destination;
+* **one-to-many** -- either (1) *split* the cost evenly over all destinations
+  (the Prism-style approach, which "assumes an equal distribution of low-level
+  work to high-level code"), or (2) *merge* all destinations into one set and
+  assign the full cost to the set (the Paradyn approach, which "makes no
+  assumption about the distribution of performance data and helps to identify
+  high-level programming constructs whose implementations have been merged by
+  an optimizing compiler");
+* **many-to-one / many-to-many** -- first aggregate (sum or average) the
+  source costs, then treat as one-to-one / one-to-many.
+
+The two policies are the subject of ablation abl1: split produces precise but
+potentially *wrong* per-destination numbers, merge produces coarser but always
+*correct* group numbers.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+from typing import Callable, Iterable
+
+from .cost import CostVector, aggregate_mean, aggregate_sum
+from .mapping import MappingGraph
+from .nouns import Sentence
+
+__all__ = [
+    "SentenceGroup",
+    "Attribution",
+    "AssignmentPolicy",
+    "SplitPolicy",
+    "MergePolicy",
+    "assign_costs",
+    "attribution_error",
+]
+
+
+@dataclass(frozen=True)
+class SentenceGroup:
+    """An inseparable unit of destination sentences produced by merging.
+
+    When an optimizing compiler implements several source lines with one code
+    block, the merge policy reports their cost against this group rather than
+    inventing a per-line distribution.
+    """
+
+    members: tuple[Sentence, ...]
+
+    def __post_init__(self) -> None:
+        if len(self.members) < 1:
+            raise ValueError("empty sentence group")
+        object.__setattr__(self, "members", tuple(sorted(self.members, key=str)))
+
+    def __contains__(self, sent: Sentence) -> bool:
+        return sent in self.members
+
+    def __len__(self) -> int:
+        return len(self.members)
+
+    def __str__(self) -> str:
+        return "[" + " + ".join(str(s) for s in self.members) + "]"
+
+
+class Attribution:
+    """Result of assigning measured costs to high-level structure.
+
+    ``per_sentence`` holds costs assigned to individual destination sentences
+    (split policy, and both policies for singleton destinations);
+    ``per_group`` holds costs assigned to inseparable groups (merge policy).
+    """
+
+    def __init__(self) -> None:
+        self.per_sentence: dict[Sentence, CostVector] = {}
+        self.per_group: dict[SentenceGroup, CostVector] = {}
+
+    def charge_sentence(self, sent: Sentence, vec: CostVector) -> None:
+        self.per_sentence[sent] = self.per_sentence.get(sent, CostVector()) + vec
+
+    def charge_group(self, group: SentenceGroup, vec: CostVector) -> None:
+        self.per_group[group] = self.per_group.get(group, CostVector()) + vec
+
+    def cost_of(self, sent: Sentence) -> CostVector:
+        """Exact cost assigned to ``sent`` alone (zero if only group-assigned)."""
+        return self.per_sentence.get(sent, CostVector())
+
+    def covering_cost(self, sent: Sentence) -> CostVector:
+        """Cost of ``sent`` plus every group containing it (an upper bound)."""
+        total = self.cost_of(sent)
+        for group, vec in self.per_group.items():
+            if sent in group:
+                total = total + vec
+        return total
+
+    def total(self) -> CostVector:
+        return aggregate_sum(
+            list(self.per_sentence.values()) + list(self.per_group.values())
+        )
+
+
+class AssignmentPolicy(abc.ABC):
+    """Strategy for distributing one aggregated source cost over destinations."""
+
+    name: str = "abstract"
+
+    @abc.abstractmethod
+    def assign(
+        self, total: CostVector, destinations: list[Sentence], out: Attribution
+    ) -> None:
+        """Distribute ``total`` over ``destinations`` into ``out``."""
+
+
+class SplitPolicy(AssignmentPolicy):
+    """Split the cost evenly across all destinations (Figure 1, option 1).
+
+    Optionally takes ``weights`` (destination -> weight) for tools that have
+    extra knowledge of the work distribution; the paper's criticism applies
+    to the default equal weights.
+    """
+
+    name = "split"
+
+    def __init__(self, weights: Callable[[Sentence], float] | None = None):
+        self._weights = weights
+
+    def assign(self, total: CostVector, destinations: list[Sentence], out: Attribution) -> None:
+        if not destinations:
+            return
+        if self._weights is None:
+            share = 1.0 / len(destinations)
+            for dest in destinations:
+                out.charge_sentence(dest, total.scaled(share))
+            return
+        weights = [max(self._weights(d), 0.0) for d in destinations]
+        norm = sum(weights)
+        if norm <= 0:
+            share = 1.0 / len(destinations)
+            weights = [1.0] * len(destinations)
+            norm = float(len(destinations))
+        for dest, w in zip(destinations, weights):
+            out.charge_sentence(dest, total.scaled(w / norm))
+
+
+class MergePolicy(AssignmentPolicy):
+    """Merge all destinations into one inseparable set (Figure 1, option 2)."""
+
+    name = "merge"
+
+    def assign(self, total: CostVector, destinations: list[Sentence], out: Attribution) -> None:
+        if not destinations:
+            return
+        if len(destinations) == 1:
+            out.charge_sentence(destinations[0], total)
+        else:
+            out.charge_group(SentenceGroup(tuple(destinations)), total)
+
+
+def assign_costs(
+    measured: Iterable[tuple[Sentence, CostVector]],
+    graph: MappingGraph,
+    policy: AssignmentPolicy,
+    aggregate: str = "sum",
+) -> Attribution:
+    """Assign measured low-level costs to high-level structure.
+
+    Works component-by-component, exactly as Figure 1 prescribes: costs of
+    all measured sources in a bipartite component are first aggregated
+    (``"sum"`` or ``"mean"``), then handed to ``policy`` to distribute over
+    the component's destinations.  Measured sentences with no mappings are
+    kept as-is (they are already at the right level, or unmappable).
+    """
+    if aggregate not in ("sum", "mean"):
+        raise ValueError(f"aggregate must be 'sum' or 'mean', got {aggregate!r}")
+    agg = aggregate_sum if aggregate == "sum" else aggregate_mean
+
+    table: dict[Sentence, CostVector] = {}
+    for sent, vec in measured:
+        table[sent] = table.get(sent, CostVector()) + vec
+
+    out = Attribution()
+    done_components: set[Sentence] = set()
+    for sent in table:
+        if sent in done_components:
+            continue
+        if not graph.destinations(sent):
+            # Unmapped measurement: report it against itself.
+            out.charge_sentence(sent, table[sent])
+            done_components.add(sent)
+            continue
+        srcs, dsts = graph.component(sent)
+        done_components.update(srcs)
+        vectors = [table[s] for s in sorted(srcs, key=str) if s in table]
+        total = agg(vectors)
+        policy.assign(total, sorted(dsts, key=str), out)
+    return out
+
+
+@dataclass
+class AttributionError:
+    """Per-resource absolute error of an attribution vs. ground truth."""
+
+    absolute: float = 0.0
+    relative: float = 0.0
+    per_sentence: dict[Sentence, float] = field(default_factory=dict)
+
+
+def attribution_error(
+    attribution: Attribution,
+    truth: dict[Sentence, CostVector],
+    resource,
+) -> AttributionError:
+    """Compare an attribution against known ground truth for one resource.
+
+    Only *per-sentence* assignments are scored (a merge group is honest: it
+    declines to name per-sentence numbers, so it contributes no error; the
+    bench reports group coarseness separately).
+    """
+    err = AttributionError()
+    total_truth = sum(vec.get(resource) for vec in truth.values())
+    for sent, true_vec in truth.items():
+        assigned = attribution.cost_of(sent).get(resource)
+        grouped = any(sent in g for g in attribution.per_group)
+        if grouped and assigned == 0.0:
+            continue
+        delta = abs(assigned - true_vec.get(resource))
+        err.per_sentence[sent] = delta
+        err.absolute += delta
+    if total_truth > 0:
+        err.relative = err.absolute / total_truth
+    return err

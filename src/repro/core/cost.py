@@ -1,0 +1,195 @@
+"""Costs and resources for sentences.
+
+"The cost of a sentence may be measured in terms of such resources as time,
+memory, or channel bandwidth.  *Performance information* consists of the
+aggregated costs measured from the execution of a collection of sentences."
+(Section 1.)
+
+A :class:`CostVector` aggregates per-resource costs; a :class:`CostTable`
+keys cost vectors by sentence and supports the aggregate-then-map reduction
+that turns many-to-one / many-to-many mappings into the simpler cases
+(Figure 1, rows 3-4).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Iterable, Iterator, Mapping as TMapping
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .nouns import Sentence
+
+__all__ = [
+    "Resource",
+    "Cost",
+    "CostVector",
+    "CostTable",
+    "CPU_TIME",
+    "WALL_TIME",
+    "COUNT",
+    "BYTES",
+    "MEMORY",
+]
+
+
+@dataclass(frozen=True)
+class Resource:
+    """A measurable resource kind with units (e.g. CPU time in seconds)."""
+
+    name: str
+    units: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("resource needs a name")
+
+    def __str__(self) -> str:
+        return self.name
+
+
+CPU_TIME = Resource("cpu_time", "seconds")
+WALL_TIME = Resource("wall_time", "seconds")
+COUNT = Resource("count", "events")
+BYTES = Resource("bytes", "bytes")
+MEMORY = Resource("memory", "bytes")
+
+
+@dataclass(frozen=True)
+class Cost:
+    """A single (resource, value) measurement."""
+
+    resource: Resource
+    value: float
+
+    def __post_init__(self) -> None:
+        if self.value < 0:
+            raise ValueError(f"negative cost for {self.resource}: {self.value}")
+
+
+class CostVector:
+    """Aggregated per-resource costs for one sentence (or group of sentences).
+
+    Supports addition (aggregation across measurements), scalar scaling
+    (splitting), and averaging -- the three operations the Figure-1 cost
+    assignment rules need.
+    """
+
+    __slots__ = ("_values",)
+
+    def __init__(self, values: TMapping[Resource, float] | None = None):
+        self._values: dict[Resource, float] = dict(values or {})
+        for res, val in self._values.items():
+            if val < 0:
+                raise ValueError(f"negative cost for {res}: {val}")
+
+    @classmethod
+    def of(cls, *costs: Cost) -> "CostVector":
+        vec = cls()
+        for cost in costs:
+            vec.add_cost(cost)
+        return vec
+
+    @classmethod
+    def single(cls, resource: Resource, value: float) -> "CostVector":
+        return cls({resource: value})
+
+    def add_cost(self, cost: Cost) -> None:
+        self._values[cost.resource] = self._values.get(cost.resource, 0.0) + cost.value
+
+    def add(self, resource: Resource, value: float) -> None:
+        self.add_cost(Cost(resource, value))
+
+    def get(self, resource: Resource) -> float:
+        return self._values.get(resource, 0.0)
+
+    def resources(self) -> list[Resource]:
+        return sorted(self._values, key=lambda r: r.name)
+
+    def __iter__(self) -> Iterator[tuple[Resource, float]]:
+        return iter(sorted(self._values.items(), key=lambda kv: kv[0].name))
+
+    def __add__(self, other: "CostVector") -> "CostVector":
+        out = CostVector(self._values)
+        for res, val in other._values.items():
+            out._values[res] = out._values.get(res, 0.0) + val
+        return out
+
+    def scaled(self, factor: float) -> "CostVector":
+        if factor < 0:
+            raise ValueError("negative scale factor")
+        return CostVector({res: val * factor for res, val in self._values.items()})
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, CostVector):
+            return NotImplemented
+        keys = set(self._values) | set(other._values)
+        return all(abs(self.get(k) - other.get(k)) < 1e-12 for k in keys)
+
+    def __hash__(self) -> int:  # CostVector is mutable; forbid hashing
+        raise TypeError("CostVector is unhashable")
+
+    def approx_equal(self, other: "CostVector", tol: float = 1e-9) -> bool:
+        keys = set(self._values) | set(other._values)
+        return all(abs(self.get(k) - other.get(k)) <= tol for k in keys)
+
+    def is_zero(self) -> bool:
+        return all(v == 0.0 for v in self._values.values())
+
+    def as_dict(self) -> dict[Resource, float]:
+        return dict(self._values)
+
+    def __repr__(self) -> str:
+        inner = ", ".join(f"{r.name}={v:.6g}" for r, v in self)
+        return f"CostVector({inner})"
+
+
+def aggregate_sum(vectors: Iterable[CostVector]) -> CostVector:
+    """Sum cost vectors (the default many-to-* aggregation)."""
+    out = CostVector()
+    for vec in vectors:
+        out = out + vec
+    return out
+
+
+def aggregate_mean(vectors: Iterable[CostVector]) -> CostVector:
+    """Average cost vectors (the paper's alternative aggregation)."""
+    vecs = list(vectors)
+    if not vecs:
+        return CostVector()
+    return aggregate_sum(vecs).scaled(1.0 / len(vecs))
+
+
+class CostTable:
+    """Measured costs keyed by sentence: the tool-side performance database."""
+
+    def __init__(self) -> None:
+        self._table: dict["Sentence", CostVector] = {}
+
+    def charge(self, sent: "Sentence", resource: Resource, value: float) -> None:
+        """Accumulate ``value`` of ``resource`` against ``sent``."""
+        vec = self._table.get(sent)
+        if vec is None:
+            vec = CostVector()
+            self._table[sent] = vec
+        vec.add(resource, value)
+
+    def charge_vector(self, sent: "Sentence", vector: CostVector) -> None:
+        self._table[sent] = self._table.get(sent, CostVector()) + vector
+
+    def cost(self, sent: "Sentence") -> CostVector:
+        return self._table.get(sent, CostVector())
+
+    def sentences(self) -> list["Sentence"]:
+        return list(self._table)
+
+    def __contains__(self, sent: "Sentence") -> bool:
+        return sent in self._table
+
+    def __len__(self) -> int:
+        return len(self._table)
+
+    def total(self, resource: Resource) -> float:
+        return sum(vec.get(resource) for vec in self._table.values())
+
+    def items(self) -> Iterator[tuple["Sentence", CostVector]]:
+        return iter(self._table.items())

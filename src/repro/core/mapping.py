@@ -1,0 +1,212 @@
+"""Mappings between sentences at different levels of abstraction.
+
+"Nouns and verbs from one level of abstraction are related to nouns and verbs
+from other levels of abstraction with *mappings*.  A mapping expresses how
+high-level language constructs are implemented by low-level software and
+hardware." (Section 1.)
+
+Each :class:`Mapping` record is the basic one-to-one unit of Figure 3
+("mapping definition: source sentence, destination sentence").  The four
+Figure-1 mapping *types* emerge from combinations of these records, and
+:meth:`MappingGraph.classify` recovers the type of the bipartite component a
+sentence belongs to.  Mappings carry an ``origin`` tag so static (PIF) and
+dynamic (run-time) information can be distinguished by tools, although the
+Data Manager treats both identically, as Section 5 requires.
+"""
+
+from __future__ import annotations
+
+import enum
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, Iterator
+
+from .nouns import Sentence
+
+__all__ = ["MappingOrigin", "MappingType", "Mapping", "MappingGraph"]
+
+
+class MappingOrigin(enum.Enum):
+    """Where a mapping record came from."""
+
+    STATIC = "static"  # PIF files, emitted before execution (Section 3)
+    DYNAMIC = "dynamic"  # run-time notifications / SAS co-activity (Section 4)
+
+
+class MappingType(enum.Enum):
+    """The four mapping shapes of Figure 1."""
+
+    ONE_TO_ONE = "one-to-one"
+    ONE_TO_MANY = "one-to-many"
+    MANY_TO_ONE = "many-to-one"
+    MANY_TO_MANY = "many-to-many"
+
+
+@dataclass(frozen=True)
+class Mapping:
+    """A directed mapping from a source sentence to a destination sentence.
+
+    Convention (matching Figure 2): the *source* is the measured, usually
+    lower-level sentence; the *destination* is the sentence the measurement
+    should also be presented against.  Mapping direction is independent of
+    abstraction direction -- downward maps are legal (the paper notes its
+    techniques are independent of mapping direction).
+    """
+
+    source: Sentence
+    destination: Sentence
+    origin: MappingOrigin = field(default=MappingOrigin.STATIC, compare=False)
+
+    def __post_init__(self) -> None:
+        if self.source == self.destination:
+            raise ValueError(f"self-mapping for {self.source}")
+
+    def __str__(self) -> str:
+        return f"{self.source} -> {self.destination}"
+
+
+class MappingGraph:
+    """The set of mapping records known to a tool, with structural queries.
+
+    The graph is a directed multigraph over sentences.  Equivalent records
+    are deduplicated (re-registering a mapping is a no-op), since static and
+    dynamic channels may both report the same relation.
+    """
+
+    def __init__(self) -> None:
+        self._forward: dict[Sentence, list[Sentence]] = {}
+        self._backward: dict[Sentence, list[Sentence]] = {}
+        self._edges: dict[tuple[Sentence, Sentence], Mapping] = {}
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    def add(self, mapping: Mapping) -> bool:
+        """Register a mapping record; returns False if already present."""
+        key = (mapping.source, mapping.destination)
+        if key in self._edges:
+            return False
+        self._edges[key] = mapping
+        self._forward.setdefault(mapping.source, []).append(mapping.destination)
+        self._backward.setdefault(mapping.destination, []).append(mapping.source)
+        return True
+
+    def add_all(self, mappings: Iterable[Mapping]) -> int:
+        return sum(1 for m in mappings if self.add(m))
+
+    def __len__(self) -> int:
+        return len(self._edges)
+
+    def __iter__(self) -> Iterator[Mapping]:
+        return iter(self._edges.values())
+
+    def __contains__(self, pair: tuple[Sentence, Sentence]) -> bool:
+        return pair in self._edges
+
+    # ------------------------------------------------------------------
+    # structural queries
+    # ------------------------------------------------------------------
+    def destinations(self, source: Sentence) -> list[Sentence]:
+        """Sentences that ``source`` maps to (one hop)."""
+        return list(self._forward.get(source, []))
+
+    def sources(self, destination: Sentence) -> list[Sentence]:
+        """Sentences that map to ``destination`` (one hop)."""
+        return list(self._backward.get(destination, []))
+
+    def sentences(self) -> list[Sentence]:
+        seen: dict[Sentence, None] = {}
+        for src, dst in self._edges:
+            seen.setdefault(src)
+            seen.setdefault(dst)
+        return list(seen)
+
+    def closure_up(self, start: Sentence) -> list[Sentence]:
+        """All sentences reachable by following mappings forward.
+
+        Because performance information measured at one level "is relevant
+        not only to itself, but also to the other levels to which it maps",
+        a measurement for ``start`` is presentable against every sentence in
+        this closure.
+        """
+        return self._closure(start, self.destinations)
+
+    def closure_down(self, start: Sentence) -> list[Sentence]:
+        """All sentences reachable by following mappings backward."""
+        return self._closure(start, self.sources)
+
+    @staticmethod
+    def _closure(start: Sentence, step: Callable[[Sentence], list[Sentence]]) -> list[Sentence]:
+        seen: dict[Sentence, None] = {}
+        queue = deque(step(start))
+        while queue:
+            sent = queue.popleft()
+            if sent in seen:
+                continue
+            seen[sent] = None
+            queue.extend(step(sent))
+        return list(seen)
+
+    # ------------------------------------------------------------------
+    # Figure-1 classification
+    # ------------------------------------------------------------------
+    def component(self, start: Sentence) -> tuple[set[Sentence], set[Sentence]]:
+        """The bipartite (sources, destinations) component containing ``start``.
+
+        The component is grown by alternating "all destinations of my
+        sources" / "all sources of my destinations" until fixpoint.  This is
+        exactly the unit over which Figure 1's cost-assignment rules operate:
+        e.g. two lines implemented by one function *and* that function also
+        implementing a third line all land in one component.
+        """
+        srcs: set[Sentence] = set()
+        dsts: set[Sentence] = set()
+        if self._forward.get(start):
+            srcs.add(start)
+        if self._backward.get(start):
+            dsts.add(start)
+        if not srcs and not dsts:
+            return set(), set()
+        changed = True
+        while changed:
+            changed = False
+            for s in list(srcs):
+                for d in self._forward.get(s, []):
+                    if d not in dsts:
+                        dsts.add(d)
+                        changed = True
+            for d in list(dsts):
+                for s in self._backward.get(d, []):
+                    if s not in srcs:
+                        srcs.add(s)
+                        changed = True
+        return srcs, dsts
+
+    def classify(self, start: Sentence) -> MappingType:
+        """Classify the mapping component of ``start`` per Figure 1."""
+        srcs, dsts = self.component(start)
+        if not srcs or not dsts:
+            raise KeyError(f"{start} has no mappings")
+        if len(srcs) == 1 and len(dsts) == 1:
+            return MappingType.ONE_TO_ONE
+        if len(srcs) == 1:
+            return MappingType.ONE_TO_MANY
+        if len(dsts) == 1:
+            return MappingType.MANY_TO_ONE
+        return MappingType.MANY_TO_MANY
+
+    def components(self) -> list[tuple[set[Sentence], set[Sentence]]]:
+        """All bipartite components of the graph (each reported once)."""
+        seen: set[Sentence] = set()
+        out = []
+        for src, _ in self._edges:
+            if src in seen:
+                continue
+            srcs, dsts = self.component(src)
+            seen.update(srcs)
+            out.append((srcs, dsts))
+        return out
+
+    def merge(self, other: "MappingGraph") -> int:
+        """Union another graph into this one; returns number of new edges."""
+        return self.add_all(iter(other))

@@ -1,0 +1,347 @@
+"""The Set of Active Sentences (SAS).
+
+Section 4.2: "The Set of Active Sentences (SAS) is a data structure that
+records the current execution state of each level of abstraction similar to
+the way a procedure call stack keeps track of active functions.  Whenever a
+sentence at any level of abstraction becomes active, it adds itself to the
+SAS, and when any sentence becomes inactive, it deletes itself from the SAS.
+Any two sentences contained in the SAS concurrently are considered to
+dynamically map to one another."
+
+Key behaviours reproduced here:
+
+* multiset semantics -- re-entrant activations are counted, a sentence stays
+  active until its matching deactivation;
+* **interest filtering** (Section 4.2 size reduction + limitation #2): a SAS
+  may ignore notifications for sentences no attached question cares about.
+  Ignored notifications are *counted* (their run-time cost was still paid by
+  the application -- ablation abl3 measures this) but not stored;
+* **question watching**: attached questions get satisfied/unsatisfied
+  transitions evaluated on every state change, with accumulated
+  satisfied-time, which is what SAS-gated instrumentation predicates read;
+* **dynamic mapping discovery**: optional recording of co-active sentence
+  pairs as dynamic mappings;
+* per-node replication (Section 4.2.3) is achieved by creating one SAS per
+  node; cross-node forwarding lives in :mod:`repro.dbsim.forwarding`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Iterable
+
+from .events import EventKind, Trace
+from .mapping import Mapping, MappingGraph, MappingOrigin
+from .nouns import Sentence, Vocabulary
+from .questions import OrderedQuestion, PerformanceQuestion, QExpr
+
+__all__ = ["QuestionWatcher", "ActiveSentenceSet", "DynamicMappingRecorder", "interest_from_questions"]
+
+
+@dataclass
+class QuestionWatcher:
+    """Tracks the satisfaction state of one attached question.
+
+    ``question`` may be a :class:`PerformanceQuestion`, a boolean
+    :class:`QExpr`, or an :class:`OrderedQuestion`; all three expose the
+    state transitions that instrumentation predicates subscribe to.
+    """
+
+    question: PerformanceQuestion | QExpr | OrderedQuestion
+    satisfied: bool = False
+    satisfied_since: float = 0.0
+    satisfied_time: float = 0.0
+    transitions: int = 0
+
+    def __post_init__(self) -> None:
+        self.on_satisfied: list[Callable[[float], None]] = []
+        self.on_unsatisfied: list[Callable[[float], None]] = []
+        # Incremental evaluation for plain conjunction questions: per-component
+        # counts of matching active sentences.  Keeps notification cost
+        # independent of the SAS size (profiled hot path, ablation abl5);
+        # boolean expressions and ordered questions fall back to full scans.
+        self._counts: list[int] | None = (
+            [0] * len(self.question.components)
+            if isinstance(self.question, PerformanceQuestion)
+            else None
+        )
+
+    def _evaluate(self, sas: "ActiveSentenceSet") -> bool:
+        q = self.question
+        if isinstance(q, OrderedQuestion):
+            return q.satisfied(sas.active_with_times())
+        if isinstance(q, PerformanceQuestion):
+            return q.satisfied(sas.active_sentences())
+        return q.evaluate(sas.active_sentences())
+
+    def _seed_counts(self, sas: "ActiveSentenceSet") -> None:
+        if self._counts is None:
+            return
+        components = self.question.components  # type: ignore[union-attr]
+        self._counts = [
+            sum(1 for s in sas.active_sentences() if p.matches(s)) for p in components
+        ]
+
+    def _update(
+        self,
+        sas: "ActiveSentenceSet",
+        now: float,
+        sent: Sentence | None = None,
+        became_member: bool | None = None,
+    ) -> None:
+        if self._counts is not None and sent is not None:
+            if became_member is None:
+                return  # nested (re-entrant) notification: membership unchanged
+            components = self.question.components  # type: ignore[union-attr]
+            delta = 1 if became_member else -1
+            for i, pattern in enumerate(components):
+                if pattern.matches(sent):
+                    self._counts[i] += delta
+            new = all(c > 0 for c in self._counts)
+        else:
+            new = self._evaluate(sas)
+        if new == self.satisfied:
+            return
+        self.transitions += 1
+        self.satisfied = new
+        if new:
+            self.satisfied_since = now
+            for cb in self.on_satisfied:
+                cb(now)
+        else:
+            self.satisfied_time += now - self.satisfied_since
+            for cb in self.on_unsatisfied:
+                cb(now)
+
+    def total_satisfied_time(self, now: float) -> float:
+        """Accumulated satisfied time, counting an open interval up to ``now``."""
+        if self.satisfied:
+            return self.satisfied_time + (now - self.satisfied_since)
+        return self.satisfied_time
+
+
+class ActiveSentenceSet:
+    """One node's Set of Active Sentences.
+
+    Parameters
+    ----------
+    clock:
+        Zero-argument callable returning the current (virtual) time; defaults
+        to an internal step counter so the SAS is usable standalone.
+    node_id:
+        Identity of the owning node, recorded into traces.
+    interest:
+        Optional predicate; sentences it rejects are counted as ignored
+        notifications and not stored.
+    trace:
+        Optional :class:`~repro.core.events.Trace` receiving every *handled*
+        transition.
+    """
+
+    def __init__(
+        self,
+        clock: Callable[[], float] | None = None,
+        node_id: int | None = None,
+        interest: Callable[[Sentence], bool] | None = None,
+        trace: Trace | None = None,
+    ):
+        self._ticks = 0
+        self.clock = clock if clock is not None else self._tick
+        self.node_id = node_id
+        self.interest = interest
+        self.trace = trace
+        # active multiset: sentence -> stack of activation times
+        self._active: dict[Sentence, list[float]] = {}
+        # insertion-ordered membership set (dict keys preserve activation
+        # order; O(1) add/remove keeps notifications off the O(|SAS|) path)
+        self._order: dict[Sentence, None] = {}
+        self.watchers: list[QuestionWatcher] = []
+        self.notifications = 0
+        self.ignored_notifications = 0
+        self.co_active_listeners: list[Callable[[Sentence, Sentence, float], None]] = []
+        # generic transition hooks: (sentence, became_active, time); fired for
+        # every *handled* notification (cross-node forwarding subscribes here)
+        self.on_transition: list[Callable[[Sentence, bool, float], None]] = []
+
+    def _tick(self) -> float:
+        self._ticks += 1
+        return float(self._ticks)
+
+    # ------------------------------------------------------------------
+    # notifications from the application / runtime / system layers
+    # ------------------------------------------------------------------
+    def activate(self, sent: Sentence) -> bool:
+        """A sentence became active.  Returns False if filtered out.
+
+        Any part of an application (user code, programming libraries, or
+        system level code) may call this and "need not know about the
+        existence of other layers to do so".
+        """
+        self.notifications += 1
+        if self.interest is not None and not self.interest(sent):
+            self.ignored_notifications += 1
+            return False
+        now = self.clock()
+        stack = self._active.setdefault(sent, [])
+        became_member = not stack
+        if became_member:
+            self._order[sent] = None
+            if self.co_active_listeners:
+                for other in self._order:
+                    if other != sent:
+                        for cb in self.co_active_listeners:
+                            cb(other, sent, now)
+        stack.append(now)
+        if self.trace is not None:
+            self.trace.record(now, EventKind.ACTIVATE, sent, self.node_id)
+        self._update_watchers(now, sent, True if became_member else None)
+        for cb in self.on_transition:
+            cb(sent, True, now)
+        return True
+
+    def deactivate(self, sent: Sentence) -> bool:
+        """A sentence became inactive.  Returns False if filtered/unknown."""
+        self.notifications += 1
+        if self.interest is not None and not self.interest(sent):
+            self.ignored_notifications += 1
+            return False
+        stack = self._active.get(sent)
+        if not stack:
+            raise ValueError(f"deactivate of non-active sentence {sent}")
+        now = self.clock()
+        stack.pop()
+        left_membership = not stack
+        if left_membership:
+            del self._active[sent]
+            del self._order[sent]
+        if self.trace is not None:
+            self.trace.record(now, EventKind.DEACTIVATE, sent, self.node_id)
+        self._update_watchers(now, sent, False if left_membership else None)
+        for cb in self.on_transition:
+            cb(sent, False, now)
+        return True
+
+    # ------------------------------------------------------------------
+    # queries ("monitoring code queries the SAS to determine what sentences
+    # are currently active")
+    # ------------------------------------------------------------------
+    def active_sentences(self) -> tuple[Sentence, ...]:
+        """Snapshot of active sentences in first-activation order (Figure 5)."""
+        return tuple(self._order)
+
+    def active_with_times(self) -> list[tuple[Sentence, float]]:
+        """Active sentences paired with their outermost activation time."""
+        return [(s, self._active[s][0]) for s in self._order]
+
+    def is_active(self, sent: Sentence) -> bool:
+        return sent in self._active
+
+    def activation_depth(self, sent: Sentence) -> int:
+        return len(self._active.get(sent, ()))
+
+    def __len__(self) -> int:
+        return len(self._order)
+
+    def snapshot_by_level(self, vocab: Vocabulary | None = None) -> list[Sentence]:
+        """Active sentences ordered most-abstract-first, as Figure 5 renders.
+
+        Without a vocabulary, falls back to grouping by level name in
+        activation order.
+        """
+        order = list(self._order)
+        if vocab is None:
+            seen: list[str] = []
+            for s in order:
+                if s.abstraction not in seen:
+                    seen.append(s.abstraction)
+            return sorted(order, key=lambda s: (seen.index(s.abstraction),))
+        position = {s: i for i, s in enumerate(order)}
+        return sorted(
+            order,
+            key=lambda s: (-vocab.level(s.abstraction).rank, position[s]),
+        )
+
+    # ------------------------------------------------------------------
+    # questions
+    # ------------------------------------------------------------------
+    def attach_question(
+        self, question: PerformanceQuestion | QExpr | OrderedQuestion
+    ) -> QuestionWatcher:
+        """Register a question; its watcher updates on every transition.
+
+        The question is evaluated immediately against the current state.
+        """
+        watcher = QuestionWatcher(question)
+        self.watchers.append(watcher)
+        watcher._seed_counts(self)
+        watcher._update(self, self.clock() if self._order else 0.0)
+        return watcher
+
+    def detach_question(self, watcher: QuestionWatcher) -> None:
+        self.watchers.remove(watcher)
+
+    def _update_watchers(
+        self, now: float, sent: Sentence | None = None, became_member: bool | None = None
+    ) -> None:
+        for watcher in self.watchers:
+            watcher._update(self, now, sent, became_member)
+
+    def restrict_to_questions(self) -> None:
+        """Enable the Section-4.2 size reduction: only keep sentences that
+        could satisfy some attached question.
+
+        Must be called while the SAS is empty (otherwise already-stored
+        sentences could be stranded without their deactivations).
+        """
+        if self._order:
+            raise RuntimeError("cannot restrict a non-empty SAS")
+        questions = [w.question for w in self.watchers]
+        self.interest = interest_from_questions(questions)
+
+
+def interest_from_questions(
+    questions: Iterable[PerformanceQuestion | QExpr | OrderedQuestion],
+) -> Callable[[Sentence], bool]:
+    """Build an interest predicate keeping only question-relevant sentences."""
+    patterns = []
+    for q in questions:
+        if isinstance(q, (PerformanceQuestion, OrderedQuestion)):
+            patterns.extend(q.components)
+        else:
+            patterns.extend(q.patterns())
+
+    def interesting(sent: Sentence) -> bool:
+        return any(p.matches(sent) for p in patterns)
+
+    return interesting
+
+
+class DynamicMappingRecorder:
+    """Derives dynamic mapping records from SAS co-activity.
+
+    "Any two sentences contained in the SAS concurrently are considered to
+    dynamically map to one another."  The recorder orients each co-active
+    pair lower-level -> higher-level using the vocabulary's level ranks
+    (same-level pairs are recorded in both directions) and registers the
+    result in a :class:`~repro.core.mapping.MappingGraph`.
+    """
+
+    def __init__(self, vocab: Vocabulary, graph: MappingGraph | None = None):
+        self.vocab = vocab
+        self.graph = graph if graph is not None else MappingGraph()
+        self.pairs_seen = 0
+
+    def attach(self, sas: ActiveSentenceSet) -> None:
+        sas.co_active_listeners.append(self._on_pair)
+
+    def _on_pair(self, a: Sentence, b: Sentence, _now: float) -> None:
+        self.pairs_seen += 1
+        rank_a = self.vocab.level(a.abstraction).rank
+        rank_b = self.vocab.level(b.abstraction).rank
+        if rank_a == rank_b:
+            self.graph.add(Mapping(a, b, MappingOrigin.DYNAMIC))
+            self.graph.add(Mapping(b, a, MappingOrigin.DYNAMIC))
+        elif rank_a < rank_b:
+            self.graph.add(Mapping(a, b, MappingOrigin.DYNAMIC))
+        else:
+            self.graph.add(Mapping(b, a, MappingOrigin.DYNAMIC))

@@ -1,0 +1,18 @@
+"""Distributed database study: cross-node SAS communication (Section 4.2.3)."""
+
+from .forwarding import SASForwarder
+from .model import DB_LEVEL, Query, db_vocabulary, query_active, server_disk_read
+from .study import CLIENT_NODE, SERVER_NODE, DBOutcome, run_db_study
+
+__all__ = [
+    "CLIENT_NODE",
+    "DB_LEVEL",
+    "DBOutcome",
+    "Query",
+    "SASForwarder",
+    "SERVER_NODE",
+    "db_vocabulary",
+    "query_active",
+    "run_db_study",
+    "server_disk_read",
+]

@@ -1,0 +1,57 @@
+"""Cross-node SAS sentence forwarding (Section 4.2.3).
+
+"The SAS information that is necessary to answer such a performance
+question (*server reads from disk, client query is active*) would be
+distributed between the SAS on the client and the SAS on the server. ...
+the client's SAS would need to send one sentence (i.e., *client query is
+active*) to the server's SAS whenever that sentence became active or
+inactive."
+
+:class:`SASForwarder` implements exactly that: it watches one SAS's
+transitions, and for sentences matching a filter, delivers the same
+transition to a remote SAS after a network latency.  Each forwarded
+transition is one message -- the count is the ablation-abl4 cost of
+distributed questions (questions answerable locally forward nothing).
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from ..core import ActiveSentenceSet, Sentence
+from ..machine.sim import Simulator
+
+__all__ = ["SASForwarder"]
+
+
+class SASForwarder:
+    """Forwards matching sentence transitions from one SAS to another."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        source: ActiveSentenceSet,
+        target: ActiveSentenceSet,
+        interesting: Callable[[Sentence], bool],
+        latency: float = 5e-6,
+    ):
+        self.sim = sim
+        self.source = source
+        self.target = target
+        self.interesting = interesting
+        self.latency = latency
+        self.messages_sent = 0
+        source.on_transition.append(self._on_transition)
+
+    def _on_transition(self, sentence: Sentence, became_active: bool, _now: float) -> None:
+        if not self.interesting(sentence):
+            return
+        self.messages_sent += 1
+        if became_active:
+            self.sim.call_at(
+                self.sim.now + self.latency, lambda: self.target.activate(sentence)
+            )
+        else:
+            self.sim.call_at(
+                self.sim.now + self.latency, lambda: self.target.deactivate(sentence)
+            )

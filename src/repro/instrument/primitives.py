@@ -1,0 +1,105 @@
+"""Instrumentation primitives: counters and timers.
+
+Section 4.1: dynamic instrumentation defines "*points* at which
+instrumentation can be inserted, *predicates* that guard the firing of the
+instrumentation code, and *primitives* that implement counters and timers."
+
+Both primitives keep per-node values (SPMD instrumentation) and aggregate on
+demand.  Timers come in the two Paradyn flavours: *process* timers read a
+node's consumed-CPU clock, *wall* timers read the virtual wall clock; the
+:class:`~repro.instrument.manager.InstrumentationManager` supplies the right
+reading at start/stop.
+"""
+
+from __future__ import annotations
+
+__all__ = ["Counter", "Timer", "PROCESS", "WALL"]
+
+PROCESS = "process"
+WALL = "wall"
+
+
+class Counter:
+    """A per-node counter primitive."""
+
+    def __init__(self, name: str):
+        self.name = name
+        self._values: dict[int, float] = {}
+        self.increments = 0
+
+    def increment(self, node_id: int, amount: float = 1.0) -> None:
+        self._values[node_id] = self._values.get(node_id, 0.0) + amount
+        self.increments += 1
+
+    def value(self, node_id: int | None = None) -> float:
+        """Per-node value, or the sum over all nodes when ``node_id`` is None."""
+        if node_id is not None:
+            return self._values.get(node_id, 0.0)
+        return sum(self._values.values())
+
+    def per_node(self) -> dict[int, float]:
+        return dict(self._values)
+
+    def reset(self) -> None:
+        self._values.clear()
+
+    def __repr__(self) -> str:
+        return f"<Counter {self.name}={self.value():g}>"
+
+
+class Timer:
+    """A per-node accumulating timer primitive.
+
+    ``start``/``stop`` calls may nest (re-entrant activations accumulate one
+    outer interval), matching how Paradyn timers behave when the same code
+    region re-enters before exiting.
+    """
+
+    def __init__(self, name: str, kind: str = PROCESS):
+        if kind not in (PROCESS, WALL):
+            raise ValueError(f"timer kind must be process or wall, got {kind!r}")
+        self.name = name
+        self.kind = kind
+        self._accum: dict[int, float] = {}
+        self._start: dict[int, float] = {}
+        self._depth: dict[int, int] = {}
+        self.starts = 0
+
+    def start(self, node_id: int, now: float) -> None:
+        depth = self._depth.get(node_id, 0)
+        if depth == 0:
+            self._start[node_id] = now
+        self._depth[node_id] = depth + 1
+        self.starts += 1
+
+    def stop(self, node_id: int, now: float) -> None:
+        depth = self._depth.get(node_id, 0)
+        if depth == 0:
+            raise RuntimeError(f"timer {self.name!r} stopped while not running on node {node_id}")
+        self._depth[node_id] = depth - 1
+        if depth == 1:
+            self._accum[node_id] = self._accum.get(node_id, 0.0) + now - self._start.pop(node_id)
+
+    def running(self, node_id: int) -> bool:
+        return self._depth.get(node_id, 0) > 0
+
+    def value(self, node_id: int | None = None, now: float | None = None) -> float:
+        """Accumulated time; ``now`` closes any open interval for sampling."""
+
+        def one(nid: int) -> float:
+            total = self._accum.get(nid, 0.0)
+            if now is not None and self._depth.get(nid, 0) > 0:
+                total += now - self._start[nid]
+            return total
+
+        if node_id is not None:
+            return one(node_id)
+        nodes = set(self._accum) | set(self._start)
+        return sum(one(nid) for nid in nodes)
+
+    def per_node(self) -> dict[int, float]:
+        nodes = set(self._accum) | set(self._start)
+        return {nid: self.value(nid) for nid in nodes}
+
+    def __repr__(self) -> str:
+        return f"<Timer {self.name} [{self.kind}] {self.value():.6g}s>"

@@ -1,0 +1,45 @@
+"""Simulated CM-5-like distributed-memory machine.
+
+This package substitutes for the paper's hardware testbed: a deterministic
+discrete-event kernel (:mod:`~repro.machine.sim`), parallel nodes with
+ground-truth time ledgers (:mod:`~repro.machine.node`), a latency/bandwidth
+network with observer hooks (:mod:`~repro.machine.network`), and a control
+processor (:mod:`~repro.machine.control`), assembled by
+:class:`~repro.machine.machine.Machine`.
+"""
+
+from .control import ControlProcessor
+from .machine import Machine, MachineConfig
+from .network import CONTROL_PROCESSOR, Message, MessageEvent, Network, NetworkConfig
+from .node import Node, TimeAccounts
+from .sim import (
+    Channel,
+    ChannelGet,
+    Process,
+    ProcessCrashed,
+    Signal,
+    SimulationError,
+    Simulator,
+    Timeout,
+)
+
+__all__ = [
+    "Channel",
+    "ChannelGet",
+    "CONTROL_PROCESSOR",
+    "ControlProcessor",
+    "Machine",
+    "MachineConfig",
+    "Message",
+    "MessageEvent",
+    "Network",
+    "NetworkConfig",
+    "Node",
+    "Process",
+    "ProcessCrashed",
+    "Signal",
+    "SimulationError",
+    "Simulator",
+    "TimeAccounts",
+    "Timeout",
+]

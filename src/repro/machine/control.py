@@ -1,0 +1,64 @@
+"""Control processor of the simulated machine.
+
+On the CM-5, a front-end *control processor* ran the scalar part of a CM
+Fortran program and broadcast *node code blocks* to the parallel nodes, which
+is why Figure 9 includes control-processor-centric metrics (Node Activations,
+Argument Processing Time, Idle Time).  This class provides the generic
+dispatch/acknowledge machinery; the CMRTS layer defines what a dispatched work
+descriptor means.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generator
+
+from .network import CONTROL_PROCESSOR, Network
+from .sim import Simulator, Timeout
+
+__all__ = ["ControlProcessor"]
+
+
+class ControlProcessor:
+    """Front-end processor that drives the parallel nodes.
+
+    The control processor is not a :class:`~repro.machine.node.Node`: it has
+    no element compute model and no time ledger.  It sequences the program,
+    broadcasts work, and collects acknowledgements.
+    """
+
+    def __init__(self, sim: Simulator, network: Network, scalar_op_time: float = 5e-8):
+        self.sim = sim
+        self.network = network
+        self.scalar_op_time = scalar_op_time
+        self.dispatches = 0
+
+    def scalar_compute(self, ops: float) -> Generator:
+        """Spend time executing scalar (front-end) code."""
+        if ops < 0:
+            raise ValueError("negative work")
+        yield Timeout(ops * self.scalar_op_time)
+
+    def dispatch(self, descriptor: Any, size_bytes: int) -> Generator:
+        """Broadcast a work descriptor (a *node activation*) to every node."""
+        self.dispatches += 1
+        yield from self.network.broadcast("dispatch", descriptor, size_bytes)
+
+    def shutdown(self) -> Generator:
+        """Broadcast the end-of-program sentinel."""
+        yield from self.network.broadcast("shutdown", None, 1)
+
+    def gather_acks(self, count: int | None = None) -> Generator:
+        """Receive ``count`` acknowledgement messages (default: one per node)."""
+        expected = len(self.network.nodes) if count is None else count
+        payloads = []
+        for _ in range(expected):
+            msg = yield from self.network.control_receive()
+            if msg.tag != "ack":
+                raise RuntimeError(f"control processor expected ack, got {msg.tag!r}")
+            payloads.append(msg.payload)
+        payloads.sort(key=lambda p: p[0] if isinstance(p, tuple) else 0)
+        return payloads
+
+    def send_to_node(self, dst: int, tag: str, payload: Any, size_bytes: int) -> Generator:
+        """Point-to-point message from the control processor to one node."""
+        yield from self.network.send(CONTROL_PROCESSOR, dst, tag, payload, size_bytes)

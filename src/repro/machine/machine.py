@@ -1,0 +1,83 @@
+"""Facade assembling a complete simulated parallel machine.
+
+A :class:`Machine` is the reproduction's stand-in for the paper's CM-5: a set
+of parallel nodes, an interconnection network, and a control processor, all
+driven by one deterministic event kernel.  Higher layers (the CMRTS runtime,
+the UNIX study, the distributed-DB study) build their process structure on
+top of it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .control import ControlProcessor
+from .network import Network, NetworkConfig
+from .node import Node
+from .sim import Simulator
+
+__all__ = ["MachineConfig", "Machine"]
+
+
+@dataclass(frozen=True)
+class MachineConfig:
+    """Static description of the simulated machine.
+
+    ``node_flop_times`` optionally gives each node its own per-element cost
+    (heterogeneous machine / degraded node); when set it overrides
+    ``flop_time`` and must have one entry per node.
+    """
+
+    num_nodes: int = 4
+    flop_time: float = 1e-7  # virtual seconds per element-operation
+    scalar_op_time: float = 5e-8
+    network: NetworkConfig = field(default_factory=NetworkConfig)
+    node_flop_times: tuple[float, ...] | None = None
+
+    def __post_init__(self) -> None:
+        if self.num_nodes < 1:
+            raise ValueError("need at least one node")
+        if self.flop_time <= 0 or self.scalar_op_time <= 0:
+            raise ValueError("op times must be positive")
+        if self.node_flop_times is not None:
+            if len(self.node_flop_times) != self.num_nodes:
+                raise ValueError("node_flop_times must have one entry per node")
+            if any(t <= 0 for t in self.node_flop_times):
+                raise ValueError("node flop times must be positive")
+
+    def flop_time_of(self, node_id: int) -> float:
+        if self.node_flop_times is not None:
+            return self.node_flop_times[node_id]
+        return self.flop_time
+
+
+class Machine:
+    """A simulated distributed-memory parallel computer."""
+
+    def __init__(self, config: MachineConfig | None = None, sim: Simulator | None = None):
+        self.config = config or MachineConfig()
+        self.sim = sim or Simulator()
+        self.nodes = [
+            Node(self.sim, i, flop_time=self.config.flop_time_of(i))
+            for i in range(self.config.num_nodes)
+        ]
+        self.network = Network(self.sim, self.nodes, self.config.network)
+        self.control = ControlProcessor(self.sim, self.network, self.config.scalar_op_time)
+
+    @property
+    def num_nodes(self) -> int:
+        return self.config.num_nodes
+
+    def node(self, node_id: int) -> Node:
+        return self.nodes[node_id]
+
+    def total_accounts(self) -> dict[str, float]:
+        """Sum the ground-truth time ledgers over all nodes."""
+        totals: dict[str, float] = {}
+        for node in self.nodes:
+            for key, value in node.accounts.as_dict().items():
+                totals[key] = totals.get(key, 0.0) + value
+        return totals
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<Machine nodes={self.num_nodes} t={self.sim.now:.6g}>"

@@ -1,0 +1,297 @@
+"""Deterministic discrete-event simulation kernel.
+
+The reproduction replaces the paper's CM-5 hardware with a simulated
+distributed-memory machine.  This module provides the event kernel that the
+machine is built on: a virtual clock, an ordered event queue, and
+generator-based *processes* in the style of SimPy (which is not available
+offline, so we implement the small subset we need).
+
+A process is a Python generator that yields:
+
+* :class:`Timeout` -- suspend for a span of virtual time,
+* :class:`Signal`  -- suspend until another process succeeds the signal,
+* :class:`ChannelGet` (returned by :meth:`Channel.get`) -- suspend until a
+  message is available.
+
+Determinism: events at equal virtual times fire in the order they were
+scheduled (a monotonically increasing sequence number breaks ties), so a
+simulation run is a pure function of its inputs.  Nothing in the kernel reads
+wall-clock time or global random state.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+from typing import Any, Callable, Generator, Iterable
+
+__all__ = [
+    "Simulator",
+    "Process",
+    "Timeout",
+    "Signal",
+    "Channel",
+    "ChannelGet",
+    "SimulationError",
+    "ProcessCrashed",
+]
+
+
+class SimulationError(Exception):
+    """Raised for kernel-level misuse (bad yields, negative delays...)."""
+
+
+class ProcessCrashed(SimulationError):
+    """Raised by :meth:`Simulator.run` when a process raised an exception."""
+
+    def __init__(self, process: "Process", original: BaseException):
+        super().__init__(f"process {process.name!r} crashed: {original!r}")
+        self.process = process
+        self.original = original
+
+
+@dataclass(frozen=True)
+class Timeout:
+    """Yielded by a process to suspend for ``delay`` units of virtual time."""
+
+    delay: float
+
+    def __post_init__(self) -> None:
+        if self.delay < 0:
+            raise SimulationError(f"negative timeout: {self.delay}")
+
+
+class Signal:
+    """A one-shot synchronization point carrying an optional value.
+
+    Any number of processes may ``yield`` the same signal; all of them resume
+    (in yield order) once :meth:`succeed` is called.  Succeeding twice is an
+    error -- create a new Signal per occurrence.
+    """
+
+    __slots__ = ("sim", "value", "_fired", "_waiters")
+
+    def __init__(self, sim: "Simulator"):
+        self.sim = sim
+        self.value: Any = None
+        self._fired = False
+        self._waiters: list[Process] = []
+
+    @property
+    def fired(self) -> bool:
+        return self._fired
+
+    def succeed(self, value: Any = None) -> None:
+        """Fire the signal, waking every waiter at the current virtual time."""
+        if self._fired:
+            raise SimulationError("signal succeeded twice")
+        self._fired = True
+        self.value = value
+        for proc in self._waiters:
+            self.sim._schedule_resume(proc, value)
+        self._waiters.clear()
+
+    def _add_waiter(self, proc: "Process") -> None:
+        if self._fired:
+            self.sim._schedule_resume(proc, self.value)
+        else:
+            self._waiters.append(proc)
+
+
+@dataclass
+class ChannelGet:
+    """Yielded by a process that wants the next message from a channel."""
+
+    channel: "Channel"
+
+
+class Channel:
+    """An unbounded FIFO message queue between processes.
+
+    ``put`` never blocks.  ``get`` returns a :class:`ChannelGet` request to be
+    yielded; the process resumes with the message as the yield value.  Messages
+    are delivered in put order; competing getters are served in get order.
+    """
+
+    __slots__ = ("sim", "name", "_items", "_getters", "puts", "gets")
+
+    def __init__(self, sim: "Simulator", name: str = ""):
+        self.sim = sim
+        self.name = name
+        self._items: list[Any] = []
+        self._getters: list[Process] = []
+        self.puts = 0
+        self.gets = 0
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def put(self, item: Any) -> None:
+        """Enqueue ``item``; wakes the oldest waiting getter, if any."""
+        self.puts += 1
+        if self._getters:
+            proc = self._getters.pop(0)
+            self.gets += 1
+            self.sim._schedule_resume(proc, item)
+        else:
+            self._items.append(item)
+
+    def get(self) -> ChannelGet:
+        """Build a get-request; ``yield`` it to receive the next message."""
+        return ChannelGet(self)
+
+    def _register(self, proc: "Process") -> None:
+        if self._items:
+            self.gets += 1
+            self.sim._schedule_resume(proc, self._items.pop(0))
+        else:
+            self._getters.append(proc)
+
+
+class Process:
+    """A running generator inside the simulator."""
+
+    __slots__ = ("sim", "name", "generator", "done", "result", "exception", "_completion")
+
+    def __init__(self, sim: "Simulator", generator: Generator, name: str):
+        self.sim = sim
+        self.name = name
+        self.generator = generator
+        self.done = False
+        self.result: Any = None
+        self.exception: BaseException | None = None
+        self._completion: Signal | None = None
+
+    @property
+    def completion(self) -> Signal:
+        """A signal that fires (with the process result) when it finishes."""
+        if self._completion is None:
+            self._completion = Signal(self.sim)
+            if self.done:
+                self._completion.succeed(self.result)
+        return self._completion
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        state = "done" if self.done else "running"
+        return f"<Process {self.name!r} {state}>"
+
+
+@dataclass(order=True)
+class _QueueEntry:
+    time: float
+    seq: int
+    action: Callable[[], None] = field(compare=False)
+
+
+class Simulator:
+    """The event kernel: virtual clock + ordered event queue + processes."""
+
+    def __init__(self) -> None:
+        self._now = 0.0
+        self._seq = 0
+        self._queue: list[_QueueEntry] = []
+        self._crashed: ProcessCrashed | None = None
+        self.processes: list[Process] = []
+
+    # ------------------------------------------------------------------
+    # public API
+    # ------------------------------------------------------------------
+    @property
+    def now(self) -> float:
+        """Current virtual time."""
+        return self._now
+
+    def signal(self) -> Signal:
+        """Create a fresh one-shot :class:`Signal`."""
+        return Signal(self)
+
+    def channel(self, name: str = "") -> Channel:
+        """Create a fresh FIFO :class:`Channel`."""
+        return Channel(self, name)
+
+    def spawn(self, generator: Generator, name: str = "proc") -> Process:
+        """Start ``generator`` as a process at the current virtual time."""
+        proc = Process(self, generator, name)
+        self.processes.append(proc)
+        self._schedule(0.0, lambda: self._step(proc, None))
+        return proc
+
+    def call_at(self, time: float, action: Callable[[], None]) -> None:
+        """Schedule a plain callback at absolute virtual ``time``."""
+        if time < self._now:
+            raise SimulationError(f"cannot schedule in the past: {time} < {self._now}")
+        self._schedule(time - self._now, action)
+
+    def run(self, until: float | None = None) -> float:
+        """Run until the queue drains or virtual time reaches ``until``.
+
+        Returns the final virtual time.  Re-raises process crashes as
+        :class:`ProcessCrashed`.
+        """
+        while self._queue:
+            if until is not None and self._queue[0].time > until:
+                self._now = until
+                break
+            entry = heapq.heappop(self._queue)
+            self._now = entry.time
+            entry.action()
+            if self._crashed is not None:
+                crash = self._crashed
+                self._crashed = None
+                raise crash
+        else:
+            if until is not None and until > self._now:
+                self._now = until
+        return self._now
+
+    def run_all(self, processes: Iterable[Generator], names: Iterable[str] | None = None) -> float:
+        """Spawn every generator and run to completion; returns final time."""
+        names = list(names) if names is not None else None
+        for i, gen in enumerate(processes):
+            self.spawn(gen, names[i] if names else f"proc{i}")
+        return self.run()
+
+    # ------------------------------------------------------------------
+    # internals
+    # ------------------------------------------------------------------
+    def _schedule(self, delay: float, action: Callable[[], None]) -> None:
+        if delay < 0:
+            raise SimulationError(f"negative delay: {delay}")
+        self._seq += 1
+        heapq.heappush(self._queue, _QueueEntry(self._now + delay, self._seq, action))
+
+    def _schedule_resume(self, proc: Process, value: Any) -> None:
+        self._schedule(0.0, lambda: self._step(proc, value))
+
+    def _step(self, proc: Process, send_value: Any) -> None:
+        if proc.done:
+            return
+        try:
+            yielded = proc.generator.send(send_value)
+        except StopIteration as stop:
+            proc.done = True
+            proc.result = stop.value
+            if proc._completion is not None:
+                proc._completion.succeed(stop.value)
+            return
+        except BaseException as exc:  # noqa: BLE001 - surfaced via run()
+            proc.done = True
+            proc.exception = exc
+            self._crashed = ProcessCrashed(proc, exc)
+            return
+
+        if isinstance(yielded, Timeout):
+            self._schedule(yielded.delay, lambda: self._step(proc, None))
+        elif isinstance(yielded, Signal):
+            yielded._add_waiter(proc)
+        elif isinstance(yielded, ChannelGet):
+            yielded.channel._register(proc)
+        elif isinstance(yielded, Process):
+            yielded.completion._add_waiter(proc)
+        elif isinstance(yielded, (int, float)):
+            self._schedule(float(yielded), lambda: self._step(proc, None))
+        else:
+            proc.done = True
+            err = SimulationError(f"process {proc.name!r} yielded unsupported {yielded!r}")
+            proc.exception = err
+            self._crashed = ProcessCrashed(proc, err)

@@ -1,0 +1,41 @@
+"""MDL: the Metric Description Language (Section 6.3).
+
+A lexer/parser for metric definitions, a compiler producing guarded
+instrumentation requests, and the standard library defining every Figure-9
+metric in MDL source.
+"""
+
+from .ast import (
+    AtClause,
+    Comparison,
+    Condition,
+    Conjunction,
+    ContainsTest,
+    Disjunction,
+    MetricDef,
+    Negation,
+)
+from .compiler import CompiledMetric, compile_metric, condition_to_predicate
+from .library import FIGURE9_MDL, FIGURE9_ROWS, metric_named, standard_metrics
+from .parser import MDLSyntaxError, parse_mdl, tokenize_mdl
+
+__all__ = [
+    "AtClause",
+    "Comparison",
+    "CompiledMetric",
+    "Condition",
+    "Conjunction",
+    "Disjunction",
+    "Negation",
+    "ContainsTest",
+    "FIGURE9_MDL",
+    "FIGURE9_ROWS",
+    "MDLSyntaxError",
+    "MetricDef",
+    "compile_metric",
+    "condition_to_predicate",
+    "metric_named",
+    "parse_mdl",
+    "standard_metrics",
+    "tokenize_mdl",
+]

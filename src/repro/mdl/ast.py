@@ -1,0 +1,121 @@
+"""MDL abstract syntax.
+
+Section 6.3: "Paradyn's dynamic instrumentation system includes a language
+for describing how to measure new metrics.  This language (called Metric
+Description Language, or MDL) allows users to precisely specify when to turn
+on/off process-clock timers and wall-clock timers and when to increment and
+decrement counters."
+
+The reproduction's MDL describes a metric as a *style* (counter, or
+process/wall timer) plus *at-clauses* binding actions (count/start/stop) to
+instrumentation points, optionally guarded by ``when`` conditions over the
+point's context fields::
+
+    metric summation_time {
+        units "seconds";
+        style timer process;
+        at cmrts.reduce entry when verb == "Sum" start;
+        at cmrts.reduce exit  when verb == "Sum" stop;
+    }
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Union
+
+__all__ = [
+    "Comparison",
+    "ContainsTest",
+    "Conjunction",
+    "Disjunction",
+    "Negation",
+    "Condition",
+    "AtClause",
+    "MetricDef",
+]
+
+
+@dataclass(frozen=True)
+class Comparison:
+    """``field == value`` where value is a string or number."""
+
+    field: str
+    value: Union[str, float]
+
+
+@dataclass(frozen=True)
+class ContainsTest:
+    """``field contains value`` -- membership in a context collection."""
+
+    field: str
+    value: Union[str, float]
+
+
+@dataclass(frozen=True)
+class Conjunction:
+    """``cond and cond and ...``"""
+
+    terms: tuple["Condition", ...]
+
+
+@dataclass(frozen=True)
+class Disjunction:
+    """``cond or cond or ...`` (binds looser than ``and``)"""
+
+    terms: tuple["Condition", ...]
+
+
+@dataclass(frozen=True)
+class Negation:
+    """``not test``"""
+
+    term: "Condition"
+
+
+Condition = Union[Comparison, ContainsTest, Conjunction, Disjunction, Negation]
+
+
+@dataclass(frozen=True)
+class AtClause:
+    """One instrumentation binding: point + phase + optional guard + action.
+
+    ``action`` is ``"count"``, ``"start"`` or ``"stop"``; ``amount`` applies
+    to count only and is a number or a context field name.
+    """
+
+    point: str
+    phase: str  # "entry" | "exit"
+    action: str
+    amount: Union[float, str, None] = None
+    condition: Condition | None = None
+
+
+@dataclass(frozen=True)
+class MetricDef:
+    """A complete metric definition."""
+
+    name: str
+    style: str  # "counter" | "timer"
+    timer_kind: str | None = None  # "process" | "wall" (timers only)
+    units: str = ""
+    description: str = ""
+    aggregate: str = "sum"  # how per-node values combine: "sum" | "mean" | "max"
+    clauses: tuple[AtClause, ...] = field(default_factory=tuple)
+
+    def __post_init__(self) -> None:
+        if self.style not in ("counter", "timer"):
+            raise ValueError(f"metric {self.name}: bad style {self.style!r}")
+        if self.style == "timer" and self.timer_kind not in ("process", "wall"):
+            raise ValueError(f"metric {self.name}: timer needs process/wall kind")
+        if self.aggregate not in ("sum", "mean", "max"):
+            raise ValueError(f"metric {self.name}: bad aggregate {self.aggregate!r}")
+        for clause in self.clauses:
+            if self.style == "counter" and clause.action != "count":
+                raise ValueError(
+                    f"metric {self.name}: counter metrics may only 'count'"
+                )
+            if self.style == "timer" and clause.action not in ("start", "stop"):
+                raise ValueError(
+                    f"metric {self.name}: timer metrics may only 'start'/'stop'"
+                )

@@ -1,0 +1,168 @@
+"""MDL compiler: metric definitions -> instrumentation requests.
+
+"Paradyn compiles the descriptions into code that is inserted into running
+applications at precisely the moment when the particular metric is
+requested."  Here, compilation builds the primitive (counter or timer) and
+the guarded :class:`~repro.instrument.manager.InstrumentationRequest` list;
+*insertion* happens separately (and dynamically) via
+:meth:`CompiledMetric.insert` / :meth:`CompiledMetric.remove`.
+
+A *focus* predicate (the Paradyn resource constraint: a particular array, a
+particular statement, a SAS question gate) is ANDed onto every clause's
+condition at compile time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..instrument import (
+    AndPredicate,
+    NotPredicate,
+    OrPredicate,
+    ContextContains,
+    ContextEquals,
+    Counter,
+    IncrementCounter,
+    InsertedHandle,
+    InstrumentationManager,
+    InstrumentationRequest,
+    StartTimer,
+    StopTimer,
+    Timer,
+)
+from .ast import (
+    AtClause,
+    Comparison,
+    Condition,
+    Conjunction,
+    ContainsTest,
+    Disjunction,
+    MetricDef,
+    Negation,
+)
+
+__all__ = ["CompiledMetric", "compile_metric", "condition_to_predicate"]
+
+
+def condition_to_predicate(condition: Condition):
+    """Translate an MDL condition tree to an instrumentation predicate."""
+    if isinstance(condition, Comparison):
+        return ContextEquals(condition.field, condition.value)
+    if isinstance(condition, ContainsTest):
+        return ContextContains(condition.field, condition.value)
+    if isinstance(condition, Conjunction):
+        return AndPredicate(*(condition_to_predicate(t) for t in condition.terms))
+    if isinstance(condition, Disjunction):
+        return OrPredicate(*(condition_to_predicate(t) for t in condition.terms))
+    if isinstance(condition, Negation):
+        return NotPredicate(condition_to_predicate(condition.term))
+    raise TypeError(f"unknown condition {condition!r}")
+
+
+@dataclass
+class CompiledMetric:
+    """A metric ready for dynamic insertion."""
+
+    definition: MetricDef
+    primitive: object  # Counter | Timer
+    requests: list[InstrumentationRequest]
+    manager: InstrumentationManager
+    handles: list[InsertedHandle] = field(default_factory=list)
+
+    @property
+    def name(self) -> str:
+        return self.definition.name
+
+    @property
+    def inserted(self) -> bool:
+        return bool(self.handles)
+
+    def insert(self) -> None:
+        """Insert all of this metric's instrumentation into the application."""
+        if self.handles:
+            raise RuntimeError(f"metric {self.name!r} already inserted")
+        self.handles = [self.manager.insert(req) for req in self.requests]
+
+    def remove(self) -> None:
+        """Dynamically delete this metric's instrumentation."""
+        for handle in self.handles:
+            self.manager.remove(handle)
+        self.handles = []
+
+    # ------------------------------------------------------------------
+    def value(self, node_id: int | None = None) -> float:
+        """Current metric value (aggregated over nodes when node_id is None).
+
+        Open timer intervals are sampled at the current clock, so values are
+        monotone mid-run.
+        """
+        prim = self.primitive
+        if isinstance(prim, Counter):
+            if node_id is not None:
+                return prim.value(node_id)
+            values = prim.per_node()
+            return self._aggregate(list(values.values()))
+        # timer
+        if node_id is not None:
+            return prim.value(node_id, now=self.manager.now(prim.kind, node_id))
+        per_node = [
+            prim.value(nid, now=self.manager.now(prim.kind, nid))
+            for nid in (set(prim.per_node()) or set())
+        ]
+        return self._aggregate(per_node)
+
+    def _aggregate(self, values: list[float]) -> float:
+        if not values:
+            return 0.0
+        agg = self.definition.aggregate
+        if agg == "sum":
+            return float(sum(values))
+        if agg == "mean":
+            return float(sum(values) / len(values))
+        return float(max(values))
+
+
+def compile_metric(
+    definition: MetricDef,
+    manager: InstrumentationManager,
+    focus_predicate=None,
+    name_suffix: str = "",
+) -> CompiledMetric:
+    """Compile a metric definition against an instrumentation manager.
+
+    ``focus_predicate`` constrains the metric to a resource focus -- it is
+    ANDed with each clause's own condition.  ``name_suffix`` distinguishes
+    multiple foci of the same metric ("summation_time<A>").
+    """
+    label = definition.name + name_suffix
+    if definition.style == "counter":
+        primitive: Counter | Timer = Counter(label)
+    else:
+        primitive = Timer(label, definition.timer_kind or "process")
+
+    requests = []
+    for clause in definition.clauses:
+        action = _clause_action(clause, primitive)
+        predicate = None
+        if clause.condition is not None:
+            predicate = condition_to_predicate(clause.condition)
+        if focus_predicate is not None:
+            predicate = (
+                focus_predicate
+                if predicate is None
+                else AndPredicate(predicate, focus_predicate)
+            )
+        requests.append(
+            InstrumentationRequest(clause.point, clause.phase, action, predicate, label)
+        )
+    return CompiledMetric(definition, primitive, requests, manager)
+
+
+def _clause_action(clause: AtClause, primitive):
+    if clause.action == "count":
+        amount = 1.0 if clause.amount is None else clause.amount
+        return IncrementCounter(primitive, amount)
+    if clause.action == "start":
+        return StartTimer(primitive)
+    return StopTimer(primitive)

@@ -1,0 +1,265 @@
+"""The Figure-9 metric library, defined in MDL source.
+
+"We have used MDL to define many new metrics that are specific to CM
+Fortran and CMRTS."  Every row of Figure 9 is defined below against the
+CMRTS instrumentation points (:data:`repro.cmrts.POINTS`).  Each metric can
+be constrained to parallel arrays, statements, or combinations -- the focus
+predicate is supplied at compile time by the tool.
+
+Notes on two point choices:
+
+* *Broadcast Time* is measured over the argument-processing window: on this
+  machine a node's broadcast handling **is** receiving its arguments from
+  the control processor, so the two CMRTS verbs share an interval (their
+  counts remain distinct).
+* *Idle Time* is a wall timer (waiting consumes no CPU).
+"""
+
+from __future__ import annotations
+
+from .ast import MetricDef
+from .parser import parse_mdl
+
+__all__ = ["FIGURE9_MDL", "standard_metrics", "metric_named", "FIGURE9_ROWS"]
+
+FIGURE9_MDL = """
+# ---------------------------------------------------------------- CMF level
+metric computations {
+    description "Count of computation operations.";
+    units "operations"; style counter;
+    at cmrts.compute entry count 1;
+}
+metric computation_time {
+    description "Time spent computing results.";
+    units "seconds"; style timer process;
+    at cmrts.compute entry start;
+    at cmrts.compute exit stop;
+}
+
+metric reductions {
+    description "Count of array reductions.";
+    units "operations"; style counter;
+    at cmrts.reduce entry count 1;
+}
+metric reduction_time {
+    description "Time spent reducing arrays.";
+    units "seconds"; style timer process;
+    at cmrts.reduce entry start;
+    at cmrts.reduce exit stop;
+}
+metric summations {
+    description "Count of array summations.";
+    units "operations"; style counter;
+    at cmrts.reduce entry when verb == "Sum" count 1;
+}
+metric summation_time {
+    description "Time spent summing arrays.";
+    units "seconds"; style timer process;
+    at cmrts.reduce entry when verb == "Sum" start;
+    at cmrts.reduce exit when verb == "Sum" stop;
+}
+metric maxval_count {
+    description "Count of MAXVAL reductions.";
+    units "operations"; style counter;
+    at cmrts.reduce entry when verb == "MaxVal" count 1;
+}
+metric maxval_time {
+    description "Time spent computing MAXVALs.";
+    units "seconds"; style timer process;
+    at cmrts.reduce entry when verb == "MaxVal" start;
+    at cmrts.reduce exit when verb == "MaxVal" stop;
+}
+metric minval_count {
+    description "Count of MINVAL reductions.";
+    units "operations"; style counter;
+    at cmrts.reduce entry when verb == "MinVal" count 1;
+}
+metric minval_time {
+    description "Time spent computing MINVALs.";
+    units "seconds"; style timer process;
+    at cmrts.reduce entry when verb == "MinVal" start;
+    at cmrts.reduce exit when verb == "MinVal" stop;
+}
+
+metric array_transformations {
+    description "Count of array transformations.";
+    units "operations"; style counter;
+    at cmrts.shift entry count 1;
+    at cmrts.transpose entry count 1;
+}
+metric transformation_time {
+    description "Time spent transforming arrays.";
+    units "seconds"; style timer process;
+    at cmrts.shift entry start;
+    at cmrts.shift exit stop;
+    at cmrts.transpose entry start;
+    at cmrts.transpose exit stop;
+}
+metric rotations {
+    description "Count of array rotations.";
+    units "operations"; style counter;
+    at cmrts.shift entry when verb == "Rotate" count 1;
+}
+metric rotation_time {
+    description "Time spent on rotations.";
+    units "seconds"; style timer process;
+    at cmrts.shift entry when verb == "Rotate" start;
+    at cmrts.shift exit when verb == "Rotate" stop;
+}
+metric shifts {
+    description "Count of array shifts.";
+    units "operations"; style counter;
+    at cmrts.shift entry when verb == "Shift" count 1;
+}
+metric shift_time {
+    description "Time spent shifting arrays.";
+    units "seconds"; style timer process;
+    at cmrts.shift entry when verb == "Shift" start;
+    at cmrts.shift exit when verb == "Shift" stop;
+}
+metric transposes {
+    description "Count of array transposes.";
+    units "operations"; style counter;
+    at cmrts.transpose entry count 1;
+}
+metric transpose_time {
+    description "Time spent transposing arrays.";
+    units "seconds"; style timer process;
+    at cmrts.transpose entry start;
+    at cmrts.transpose exit stop;
+}
+
+metric scans {
+    description "Count of array scans.";
+    units "operations"; style counter;
+    at cmrts.scan entry count 1;
+}
+metric scan_time {
+    description "Time spent scanning arrays.";
+    units "seconds"; style timer process;
+    at cmrts.scan entry start;
+    at cmrts.scan exit stop;
+}
+
+metric sorts {
+    description "Count of array sorts.";
+    units "operations"; style counter;
+    at cmrts.sort entry count 1;
+}
+metric sort_time {
+    description "Time spent sorting arrays.";
+    units "seconds"; style timer process;
+    at cmrts.sort entry start;
+    at cmrts.sort exit stop;
+}
+
+# -------------------------------------------------------------- CMRTS level
+metric argument_processing_time {
+    description "Time spent receiving arguments from CM-5 control processor.";
+    units "seconds"; style timer process;
+    at cmrts.argument_processing entry start;
+    at cmrts.argument_processing exit stop;
+}
+
+metric broadcasts {
+    description "Count of broadcast operations.";
+    units "operations"; style counter;
+    at cmrts.broadcast entry count 1;
+}
+metric broadcast_time {
+    description "Time spent broadcasting.";
+    units "seconds"; style timer process;
+    at cmrts.argument_processing entry start;
+    at cmrts.argument_processing exit stop;
+}
+
+metric cleanups {
+    description "Count of resets of node vector units.";
+    units "operations"; style counter;
+    at cmrts.cleanup entry count 1;
+}
+metric cleanup_time {
+    description "Time spent resetting node vector units.";
+    units "seconds"; style timer process;
+    at cmrts.cleanup entry start;
+    at cmrts.cleanup exit stop;
+}
+
+metric idle_time {
+    description "Time spent waiting for control processor.";
+    units "seconds"; style timer wall;
+    at cmrts.idle entry start;
+    at cmrts.idle exit stop;
+}
+
+metric node_activations {
+    description "Count of node activations by control processor.";
+    units "operations"; style counter;
+    at cmrts.node_activation entry count 1;
+}
+
+metric point_to_point_operations {
+    description "Count of inter-node communication operations.";
+    units "operations"; style counter;
+    at cmrts.p2p entry count 1;
+}
+metric point_to_point_time {
+    description "Time spent sending data between parallel nodes.";
+    units "seconds"; style timer wall;
+    at cmrts.p2p entry start;
+    at cmrts.p2p exit stop;
+}
+"""
+
+#: Figure-9 rows in paper order: (level, metric name)
+FIGURE9_ROWS = (
+    ("CMF", "computations"),
+    ("CMF", "computation_time"),
+    ("CMF", "reductions"),
+    ("CMF", "reduction_time"),
+    ("CMF", "summations"),
+    ("CMF", "summation_time"),
+    ("CMF", "maxval_count"),
+    ("CMF", "maxval_time"),
+    ("CMF", "minval_count"),
+    ("CMF", "minval_time"),
+    ("CMF", "array_transformations"),
+    ("CMF", "transformation_time"),
+    ("CMF", "rotations"),
+    ("CMF", "rotation_time"),
+    ("CMF", "shifts"),
+    ("CMF", "shift_time"),
+    ("CMF", "transposes"),
+    ("CMF", "transpose_time"),
+    ("CMF", "scans"),
+    ("CMF", "scan_time"),
+    ("CMF", "sorts"),
+    ("CMF", "sort_time"),
+    ("CMRTS", "argument_processing_time"),
+    ("CMRTS", "broadcasts"),
+    ("CMRTS", "broadcast_time"),
+    ("CMRTS", "cleanups"),
+    ("CMRTS", "cleanup_time"),
+    ("CMRTS", "idle_time"),
+    ("CMRTS", "node_activations"),
+    ("CMRTS", "point_to_point_operations"),
+    ("CMRTS", "point_to_point_time"),
+)
+
+_cache: dict[str, MetricDef] | None = None
+
+
+def standard_metrics() -> dict[str, MetricDef]:
+    """Parse (once) and return the Figure-9 metric library by name."""
+    global _cache
+    if _cache is None:
+        _cache = {m.name: m for m in parse_mdl(FIGURE9_MDL)}
+    return dict(_cache)
+
+
+def metric_named(name: str) -> MetricDef:
+    """Look up one Figure-9 metric definition by name."""
+    try:
+        return standard_metrics()[name]
+    except KeyError:
+        raise KeyError(f"no standard metric named {name!r}") from None

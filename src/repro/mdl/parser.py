@@ -1,0 +1,243 @@
+"""MDL lexer and parser.
+
+Grammar::
+
+    file       : metric*
+    metric     : 'metric' IDENT '{' property* '}'
+    property   : 'units' STRING ';'
+               | 'description' STRING ';'
+               | 'style' ('counter' | 'timer' ('process'|'wall')) ';'
+               | 'aggregate' ('sum'|'mean'|'max') ';'
+               | at_clause
+    at_clause  : 'at' POINT ('entry'|'exit') ['when' condition] action ';'
+    condition  : conjunction ('or' conjunction)*
+    conjunction: unary ('and' unary)*
+    unary      : ['not'] unary | test
+    test       : IDENT '==' (STRING | NUMBER)
+               | IDENT 'contains' (STRING | NUMBER)
+    action     : 'count' (NUMBER | IDENT) | 'start' | 'stop'
+
+POINT is a dotted identifier (``cmrts.reduce``).  ``#`` comments run to end
+of line.
+"""
+
+from __future__ import annotations
+
+import re
+
+from .ast import (
+    AtClause,
+    Comparison,
+    Condition,
+    Conjunction,
+    ContainsTest,
+    Disjunction,
+    MetricDef,
+    Negation,
+)
+
+__all__ = ["MDLSyntaxError", "parse_mdl", "tokenize_mdl"]
+
+
+class MDLSyntaxError(SyntaxError):
+    """Malformed MDL source."""
+
+
+_TOKEN_RE = re.compile(
+    r"""
+    (?P<ws>\s+)
+  | (?P<comment>\#[^\n]*)
+  | (?P<string>"[^"]*")
+  | (?P<number>-?\d+(\.\d+)?([eE][+-]?\d+)?)
+  | (?P<point>[A-Za-z_][\w]*(\.[\w]+)+)
+  | (?P<ident>[A-Za-z_]\w*)
+  | (?P<eq>==)
+  | (?P<punct>[{};])
+""",
+    re.VERBOSE,
+)
+
+
+def tokenize_mdl(source: str) -> list[tuple[str, str, int]]:
+    """Tokenize MDL into (kind, text, line) triples ending with EOF."""
+    tokens: list[tuple[str, str, int]] = []
+    pos = 0
+    line = 1
+    while pos < len(source):
+        m = _TOKEN_RE.match(source, pos)
+        if m is None:
+            raise MDLSyntaxError(f"line {line}: bad character {source[pos]!r}")
+        kind = m.lastgroup
+        text = m.group()
+        line += text.count("\n")
+        pos = m.end()
+        if kind in ("ws", "comment"):
+            continue
+        tokens.append((kind, text, line))
+    tokens.append(("eof", "", line))
+    return tokens
+
+
+class _Parser:
+    def __init__(self, tokens):
+        self.tokens = tokens
+        self.pos = 0
+
+    @property
+    def cur(self):
+        return self.tokens[self.pos]
+
+    def advance(self):
+        tok = self.cur
+        if tok[0] != "eof":
+            self.pos += 1
+        return tok
+
+    def expect_text(self, text):
+        kind, got, line = self.cur
+        if got != text:
+            raise MDLSyntaxError(f"line {line}: expected {text!r}, got {got!r}")
+        return self.advance()
+
+    def expect_kind(self, kind):
+        got_kind, text, line = self.cur
+        if got_kind != kind:
+            raise MDLSyntaxError(f"line {line}: expected {kind}, got {text!r}")
+        return self.advance()
+
+    def at_text(self, text):
+        return self.cur[1] == text
+
+    # ------------------------------------------------------------------
+    def file(self) -> list[MetricDef]:
+        metrics = []
+        while self.cur[0] != "eof":
+            metrics.append(self.metric())
+        return metrics
+
+    def metric(self) -> MetricDef:
+        self.expect_text("metric")
+        name = self.expect_kind("ident")[1]
+        self.expect_text("{")
+        units = ""
+        description = ""
+        style = None
+        timer_kind = None
+        aggregate = "sum"
+        clauses: list[AtClause] = []
+        while not self.at_text("}"):
+            kind, text, line = self.cur
+            if text == "units":
+                self.advance()
+                units = self.expect_kind("string")[1].strip('"')
+                self.expect_text(";")
+            elif text == "description":
+                self.advance()
+                description = self.expect_kind("string")[1].strip('"')
+                self.expect_text(";")
+            elif text == "style":
+                self.advance()
+                style = self.advance()[1]
+                if style == "timer":
+                    timer_kind = self.advance()[1]
+                self.expect_text(";")
+            elif text == "aggregate":
+                self.advance()
+                aggregate = self.advance()[1]
+                self.expect_text(";")
+            elif text == "at":
+                clauses.append(self.at_clause())
+            elif kind == "eof":
+                raise MDLSyntaxError(f"line {line}: unterminated metric {name!r}")
+            else:
+                raise MDLSyntaxError(f"line {line}: unexpected {text!r} in metric body")
+        self.expect_text("}")
+        if style is None:
+            raise MDLSyntaxError(f"metric {name!r}: missing style")
+        try:
+            return MetricDef(
+                name=name,
+                style=style,
+                timer_kind=timer_kind,
+                units=units,
+                description=description,
+                aggregate=aggregate,
+                clauses=tuple(clauses),
+            )
+        except ValueError as exc:
+            raise MDLSyntaxError(str(exc)) from exc
+
+    def at_clause(self) -> AtClause:
+        self.expect_text("at")
+        kind, point, line = self.advance()
+        if kind not in ("point", "ident"):
+            raise MDLSyntaxError(f"line {line}: expected point name, got {point!r}")
+        phase = self.advance()[1]
+        if phase not in ("entry", "exit"):
+            raise MDLSyntaxError(f"line {line}: expected entry/exit, got {phase!r}")
+        condition = None
+        if self.at_text("when"):
+            self.advance()
+            condition = self.condition()
+        kind, action, line = self.advance()
+        amount = None
+        if action == "count":
+            akind, atext, aline = self.advance()
+            if akind == "number":
+                amount = float(atext)
+            elif akind == "ident":
+                amount = atext
+            else:
+                raise MDLSyntaxError(f"line {aline}: count needs a number or field name")
+        elif action not in ("start", "stop"):
+            raise MDLSyntaxError(f"line {line}: expected count/start/stop, got {action!r}")
+        self.expect_text(";")
+        return AtClause(point, phase, action, amount, condition)
+
+    def condition(self) -> Condition:
+        """disjunction of conjunctions of (optionally negated) tests."""
+        terms = [self.conjunction()]
+        while self.at_text("or"):
+            self.advance()
+            terms.append(self.conjunction())
+        if len(terms) == 1:
+            return terms[0]
+        return Disjunction(tuple(terms))
+
+    def conjunction(self) -> Condition:
+        terms = [self.unary()]
+        while self.at_text("and"):
+            self.advance()
+            terms.append(self.unary())
+        if len(terms) == 1:
+            return terms[0]
+        return Conjunction(tuple(terms))
+
+    def unary(self) -> Condition:
+        if self.at_text("not"):
+            self.advance()
+            return Negation(self.unary())
+        return self.test()
+
+    def test(self) -> Condition:
+        field = self.expect_kind("ident")[1]
+        kind, op, line = self.advance()
+        if kind == "eq":
+            value = self.value()
+            return Comparison(field, value)
+        if op == "contains":
+            return ContainsTest(field, self.value())
+        raise MDLSyntaxError(f"line {line}: expected == or contains, got {op!r}")
+
+    def value(self):
+        kind, text, line = self.advance()
+        if kind == "string":
+            return text.strip('"')
+        if kind == "number":
+            return float(text)
+        raise MDLSyntaxError(f"line {line}: expected a value, got {text!r}")
+
+
+def parse_mdl(source: str) -> list[MetricDef]:
+    """Parse MDL source text into metric definitions."""
+    return _Parser(tokenize_mdl(source)).file()

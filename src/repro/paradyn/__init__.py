@@ -1,0 +1,44 @@
+"""Paradyn: the performance measurement tool (Sections 5-6).
+
+Per-node daemons, the Data Manager merging static (PIF) and dynamic mapping
+information, the where axis, the MDL-driven metric manager with SAS-gated
+array foci, ASCII visualization modules, the Performance Consultant, and the
+:class:`Paradyn` facade tying one measured execution together.
+"""
+
+from .consultant import DEFAULT_HYPOTHESES, Finding, Hypothesis, PerformanceConsultant
+from .daemon import Daemon
+from .export import samples_to_csv, trace_to_chrome, trace_to_csv
+from .histogram import TimeHistogram
+from .datamgr import DataManager
+from .metrics import Focus, MetricInstance, MetricManager
+from .session import load_session, save_session, session_to_dict
+from .tool import Paradyn, QuestionRequest
+from .visualize import bar_chart, text_table, time_plot
+from .whereaxis import ResourceNode, WhereAxis
+
+__all__ = [
+    "Daemon",
+    "DataManager",
+    "DEFAULT_HYPOTHESES",
+    "Finding",
+    "Focus",
+    "Hypothesis",
+    "MetricInstance",
+    "MetricManager",
+    "Paradyn",
+    "QuestionRequest",
+    "PerformanceConsultant",
+    "ResourceNode",
+    "TimeHistogram",
+    "WhereAxis",
+    "bar_chart",
+    "samples_to_csv",
+    "save_session",
+    "session_to_dict",
+    "load_session",
+    "trace_to_chrome",
+    "trace_to_csv",
+    "text_table",
+    "time_plot",
+]

@@ -1,0 +1,84 @@
+"""Exporters: metric streams and sentence traces to CSV / Chrome trace JSON.
+
+Paradyn's visualization interface was open ("we could build specialized
+visualization modules..."); these exporters are the modern equivalent:
+metric samples go to CSV for any plotting tool, and sentence traces go to
+the Chrome trace-event format so a SAS timeline can be inspected in
+``chrome://tracing`` / Perfetto, one row per level of abstraction.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import json
+from typing import Iterable
+
+from ..core import EventKind, Trace
+from .metrics import MetricInstance
+
+__all__ = ["samples_to_csv", "trace_to_csv", "trace_to_chrome"]
+
+
+def samples_to_csv(instances: Iterable[MetricInstance]) -> str:
+    """One CSV row per sample: metric, focus, time, value, units."""
+    out = io.StringIO()
+    writer = csv.writer(out)
+    writer.writerow(["metric", "focus", "time", "value", "units"])
+    for inst in instances:
+        for t, v in inst.samples:
+            writer.writerow([inst.name, inst.focus.describe(), f"{t:.9g}", f"{v:.9g}", inst.units])
+    return out.getvalue()
+
+
+def trace_to_csv(trace: Trace) -> str:
+    """One CSV row per sentence transition."""
+    out = io.StringIO()
+    writer = csv.writer(out)
+    writer.writerow(["time", "event", "level", "sentence", "node"])
+    for event in trace:
+        writer.writerow(
+            [
+                f"{event.time:.9g}",
+                "activate" if event.kind is EventKind.ACTIVATE else "deactivate",
+                event.sentence.abstraction,
+                str(event.sentence),
+                "" if event.node_id is None else event.node_id,
+            ]
+        )
+    return out.getvalue()
+
+
+def trace_to_chrome(trace: Trace, time_scale: float = 1e6) -> str:
+    """Chrome trace-event JSON: B/E duration events per sentence.
+
+    ``time_scale`` converts virtual seconds to the format's microseconds.
+    Each level of abstraction becomes a thread row; nesting within a level
+    follows activation order, which the trace guarantees is balanced.
+    """
+    events = []
+    tids: dict[str, int] = {}
+    for event in trace:
+        level = event.sentence.abstraction
+        tid = tids.setdefault(level, len(tids) + 1)
+        events.append(
+            {
+                "name": str(event.sentence),
+                "cat": level,
+                "ph": "B" if event.kind is EventKind.ACTIVATE else "E",
+                "ts": event.time * time_scale,
+                "pid": event.node_id if event.node_id is not None else 0,
+                "tid": tid,
+            }
+        )
+    meta = [
+        {
+            "name": "thread_name",
+            "ph": "M",
+            "pid": 0,
+            "tid": tid,
+            "args": {"name": level},
+        }
+        for level, tid in tids.items()
+    ]
+    return json.dumps({"traceEvents": meta + events, "displayTimeUnit": "ms"}, indent=1)

@@ -1,0 +1,92 @@
+"""Fixed-size folding time histogram for metric streams.
+
+Paradyn stored each metric stream in a fixed-size histogram of time buckets:
+when execution outgrew the buckets, the histogram *folded* -- adjacent
+buckets merged pairwise and the bucket width doubled -- so arbitrarily long
+runs fit constant space at proportionally coarser resolution.  The
+visualization modules consumed these histograms.
+
+Values are *rates*: add(t0, t1, delta) spreads ``delta`` uniformly over the
+interval, so a bucket's value is the amount of metric accrued during that
+bucket's time span regardless of folds.
+"""
+
+from __future__ import annotations
+
+import math
+
+__all__ = ["TimeHistogram"]
+
+
+class TimeHistogram:
+    """Fixed-bucket-count histogram over [0, capacity) virtual time."""
+
+    def __init__(self, num_buckets: int = 64, initial_width: float = 1e-4):
+        if num_buckets < 2 or num_buckets % 2:
+            raise ValueError("need an even number of buckets >= 2")
+        if initial_width <= 0:
+            raise ValueError("bucket width must be positive")
+        self.num_buckets = num_buckets
+        self.bucket_width = initial_width
+        self.buckets = [0.0] * num_buckets
+        self.folds = 0
+
+    @property
+    def capacity(self) -> float:
+        """Time horizon currently representable without folding."""
+        return self.num_buckets * self.bucket_width
+
+    def _fold(self) -> None:
+        """Merge bucket pairs; double the width (Paradyn's fold operation)."""
+        half = self.num_buckets // 2
+        for i in range(half):
+            self.buckets[i] = self.buckets[2 * i] + self.buckets[2 * i + 1]
+        for i in range(half, self.num_buckets):
+            self.buckets[i] = 0.0
+        self.bucket_width *= 2
+        self.folds += 1
+
+    def add(self, t0: float, t1: float, delta: float) -> None:
+        """Accrue ``delta`` of the metric uniformly over [t0, t1)."""
+        if t1 < t0:
+            raise ValueError("interval ends before it starts")
+        if delta < 0:
+            raise ValueError("negative metric delta")
+        while t1 > self.capacity:
+            self._fold()
+        span = t1 - t0
+        rate = delta / span if span > 0 else float("inf")
+        if span <= 0 or not math.isfinite(rate):
+            # empty or subnormally-thin interval: treat as a point sample so
+            # the rate arithmetic can't overflow
+            idx = min(self.num_buckets - 1, int(t0 / self.bucket_width))
+            self.buckets[idx] += delta
+            return
+        first = int(t0 / self.bucket_width)
+        last = min(self.num_buckets - 1, int(t1 / self.bucket_width))
+        for i in range(first, last + 1):
+            lo = max(t0, i * self.bucket_width)
+            hi = min(t1, (i + 1) * self.bucket_width)
+            if hi > lo:
+                self.buckets[i] += rate * (hi - lo)
+
+    def total(self) -> float:
+        return sum(self.buckets)
+
+    def series(self) -> list[tuple[float, float]]:
+        """(bucket midpoint time, value) pairs, for the time plots."""
+        return [
+            ((i + 0.5) * self.bucket_width, v) for i, v in enumerate(self.buckets)
+        ]
+
+    def value_at(self, t: float) -> float:
+        """Value of the bucket containing time ``t``."""
+        if not 0 <= t < self.capacity:
+            raise IndexError(f"time {t} outside histogram capacity {self.capacity}")
+        return self.buckets[int(t / self.bucket_width)]
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"<TimeHistogram {self.num_buckets}x{self.bucket_width:g}s "
+            f"folds={self.folds} total={self.total():g}>"
+        )

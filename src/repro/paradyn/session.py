@@ -1,0 +1,70 @@
+"""Measurement-session persistence.
+
+Serializes everything a finished :class:`~repro.paradyn.tool.Paradyn` run
+produced -- program identity, metric values (global and per node), block
+timers, mapping statistics, machine ground truth -- to a JSON document, so
+results can be archived, diffed between runs, or post-processed without
+re-running the simulation.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any
+
+__all__ = ["session_to_dict", "save_session", "load_session"]
+
+
+def session_to_dict(tool) -> dict[str, Any]:
+    """Snapshot a finished Paradyn session as plain JSON-able data."""
+    if not tool._ran:
+        raise RuntimeError("run() the tool before saving its session")
+    num_nodes = tool.machine.num_nodes
+    metrics = []
+    for inst in tool.metrics.instances:
+        metrics.append(
+            {
+                "name": inst.name,
+                "focus": inst.focus.describe(),
+                "units": inst.units,
+                "value": inst.value(),
+                "per_node": {str(i): inst.value(i) for i in range(num_nodes)},
+                "samples": [[t, v] for t, v in inst.samples],
+            }
+        )
+    block_times = {name: timer.value() for name, timer in tool._block_timers.items()}
+    return {
+        "program": {
+            "name": tool.program.name,
+            "source_file": tool.program.source_file,
+            "blocks": [b.name for b in tool.program.plan.blocks],
+            "dispatches": tool.runtime.dispatches,
+        },
+        "machine": {
+            "num_nodes": num_nodes,
+            "elapsed": tool.elapsed,
+            "accounts": tool.machine.total_accounts(),
+            "messages": tool.machine.network.stats.total_messages,
+            "broadcasts": tool.machine.network.stats.broadcasts,
+        },
+        "mapping_information": {
+            "static_records": tool.datamgr.static_records,
+            "dynamic_records": tool.datamgr.dynamic_records,
+            "mappings": len(tool.datamgr.graph),
+        },
+        "metrics": metrics,
+        "block_times": block_times,
+        "perturbation": sum(n.accounts.instrumentation for n in tool.machine.nodes),
+    }
+
+
+def save_session(tool, path) -> None:
+    """Write the session snapshot to ``path`` as indented JSON."""
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(session_to_dict(tool), fh, indent=2, sort_keys=True)
+
+
+def load_session(path) -> dict[str, Any]:
+    """Read a saved session snapshot."""
+    with open(path, encoding="utf-8") as fh:
+        return json.load(fh)

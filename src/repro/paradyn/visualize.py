@@ -1,0 +1,101 @@
+"""ASCII visualization modules: time plots, bar charts, and tables.
+
+Section 5: "Paradyn includes performance display modules that allow users
+to view performance metric streams graphically."  The reproduction renders
+to plain text so displays embed in test output, bench reports, and docs.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+__all__ = ["time_plot", "bar_chart", "text_table"]
+
+_GLYPHS = "*o+x#@%&"
+
+
+def _fmt(value: float) -> str:
+    if value == 0:
+        return "0"
+    if abs(value) >= 1e4 or abs(value) < 1e-3:
+        return f"{value:.3g}"
+    return f"{value:.4g}"
+
+
+def time_plot(
+    series: Mapping[str, Sequence[tuple[float, float]]],
+    width: int = 60,
+    height: int = 12,
+    title: str = "",
+) -> str:
+    """Plot one or more (time, value) series as an ASCII chart."""
+    points = [(t, v) for s in series.values() for t, v in s]
+    if not points:
+        return f"{title}\n(no samples)"
+    t_max = max(t for t, _ in points) or 1.0
+    t_min = min(t for t, _ in points)
+    v_max = max(v for _, v in points) or 1.0
+    span_t = (t_max - t_min) or 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    for si, (name, pts) in enumerate(series.items()):
+        glyph = _GLYPHS[si % len(_GLYPHS)]
+        for t, v in pts:
+            col = min(width - 1, int((t - t_min) / span_t * (width - 1)))
+            row = min(height - 1, int(v / v_max * (height - 1)))
+            grid[height - 1 - row][col] = glyph
+
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(f"{_fmt(v_max):>10} +" + "-" * width)
+    for row in grid:
+        lines.append(" " * 10 + " |" + "".join(row))
+    lines.append(f"{_fmt(0.0):>10} +" + "-" * width)
+    lines.append(" " * 12 + f"t={_fmt(t_min)}" + " " * max(1, width - 20) + f"t={_fmt(t_max)}")
+    legend = "   ".join(
+        f"{_GLYPHS[i % len(_GLYPHS)]} {name}" for i, name in enumerate(series)
+    )
+    lines.append(" " * 12 + legend)
+    return "\n".join(lines)
+
+
+def bar_chart(
+    values: Mapping[str, float], width: int = 50, title: str = "", units: str = ""
+) -> str:
+    """Horizontal ASCII bar chart."""
+    lines = [title] if title else []
+    if not values:
+        return (title + "\n" if title else "") + "(no data)"
+    label_w = max(len(k) for k in values)
+    v_max = max(values.values()) or 1.0
+    for name, value in values.items():
+        bar = "#" * max(0, int(value / v_max * width))
+        lines.append(f"{name:<{label_w}} |{bar:<{width}}| {_fmt(value)} {units}".rstrip())
+    return "\n".join(lines)
+
+
+def text_table(
+    rows: Sequence[Sequence[object]], headers: Sequence[str] | None = None
+) -> str:
+    """Fixed-width text table."""
+    str_rows = [[str(c) for c in row] for row in rows]
+    all_rows = ([list(headers)] if headers else []) + str_rows
+    if not all_rows:
+        return "(empty table)"
+    n_cols = max(len(r) for r in all_rows)
+    widths = [
+        max(len(r[c]) if c < len(r) else 0 for r in all_rows) for c in range(n_cols)
+    ]
+
+    def render(row: list[str]) -> str:
+        return "  ".join(
+            (row[c] if c < len(row) else "").ljust(widths[c]) for c in range(n_cols)
+        ).rstrip()
+
+    lines = []
+    if headers:
+        lines.append(render(list(headers)))
+        lines.append("  ".join("-" * w for w in widths))
+    lines.extend(render(r) for r in str_rows)
+    return "\n".join(lines)

@@ -1,0 +1,119 @@
+"""The where axis: Paradyn's resource hierarchy display (Figure 8).
+
+Resources form a forest of hierarchies under a synthetic root: *CMFstmts*
+(source statements by file), *CMFarrays* (arrays by module/function, with
+per-node subregions), *CMRTS* (run-time system nodes), and *Base* (node code
+blocks and processors).  "Users may interact with the where axis display to
+choose resources from the CMFstmts hierarchy, from the CMFarrays hierarchy,
+or from a combination of the two hierarchies."
+
+A *focus* is one selected node per hierarchy (defaulting to the hierarchy
+root = unconstrained), which the metric manager translates into predicates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Iterator
+
+__all__ = ["ResourceNode", "WhereAxis"]
+
+
+@dataclass
+class ResourceNode:
+    """One resource in the where axis."""
+
+    name: str
+    kind: str  # "root" | "hierarchy" | "module" | "function" | "array" | ...
+    payload: Any = None
+    children: list["ResourceNode"] = field(default_factory=list)
+
+    def child(self, name: str) -> "ResourceNode":
+        for c in self.children:
+            if c.name == name:
+                return c
+        raise KeyError(f"{self.name!r} has no child {name!r}")
+
+    def has_child(self, name: str) -> bool:
+        return any(c.name == name for c in self.children)
+
+    def ensure_child(self, name: str, kind: str, payload: Any = None) -> "ResourceNode":
+        for c in self.children:
+            if c.name == name:
+                return c
+        node = ResourceNode(name, kind, payload)
+        self.children.append(node)
+        return node
+
+    def walk(self) -> Iterator["ResourceNode"]:
+        yield self
+        for c in self.children:
+            yield from c.walk()
+
+    def leaf_count(self) -> int:
+        if not self.children:
+            return 1
+        return sum(c.leaf_count() for c in self.children)
+
+
+class WhereAxis:
+    """The resource forest with path-based insertion and ASCII rendering."""
+
+    def __init__(self) -> None:
+        self.root = ResourceNode("Whole Program", "root")
+
+    def add_path(self, parts: list[tuple[str, str]], payload: Any = None) -> ResourceNode:
+        """Insert ``[(name, kind), ...]`` under the root; returns the leaf."""
+        node = self.root
+        for i, (name, kind) in enumerate(parts):
+            node = node.ensure_child(name, kind, payload if i == len(parts) - 1 else None)
+        return node
+
+    def hierarchy(self, name: str) -> ResourceNode:
+        return self.root.child(name)
+
+    def hierarchies(self) -> list[str]:
+        return [c.name for c in self.root.children]
+
+    def find(self, name: str) -> ResourceNode | None:
+        """First resource with this name anywhere in the forest."""
+        for node in self.root.walk():
+            if node.name == name:
+                return node
+        return None
+
+    def path_of(self, name: str) -> list[str] | None:
+        """Root-to-node path for the first resource named ``name``."""
+
+        def search(node: ResourceNode, trail: list[str]) -> list[str] | None:
+            trail = trail + [node.name]
+            if node.name == name:
+                return trail
+            for c in node.children:
+                hit = search(c, trail)
+                if hit:
+                    return hit
+            return None
+
+        return search(self.root, [])
+
+    def render(self, max_children: int | None = None) -> str:
+        """ASCII tree in the style of the Figure-8 display."""
+        lines: list[str] = [self.root.name]
+
+        def rec(node: ResourceNode, prefix: str) -> None:
+            children = node.children
+            shown = children if max_children is None else children[:max_children]
+            for i, child in enumerate(shown):
+                last = i == len(shown) - 1 and len(shown) == len(children)
+                connector = "`-- " if last else "|-- "
+                lines.append(f"{prefix}{connector}{child.name}")
+                rec(child, prefix + ("    " if last else "|   "))
+            if max_children is not None and len(children) > max_children:
+                lines.append(f"{prefix}`-- ... ({len(children) - max_children} more)")
+
+        rec(self.root, "")
+        return "\n".join(lines)
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self.root.walk())

@@ -1,0 +1,36 @@
+"""PIF: the Paradyn Information Format for static mapping information.
+
+Record model (Figures 2-3), text serialization, and the utility that
+generates PIF files by parsing CM Fortran compiler listing files
+(Section 6.2).
+"""
+
+from .format import PIFSyntaxError, dump, dumps, load, loads
+from .generator import ListingParseError, generate_pif, parse_listing
+from .records import (
+    LevelDef,
+    MappingDef,
+    NounDef,
+    PIFDocument,
+    ResolutionError,
+    SentenceRef,
+    VerbDef,
+)
+
+__all__ = [
+    "LevelDef",
+    "ListingParseError",
+    "MappingDef",
+    "NounDef",
+    "PIFDocument",
+    "PIFSyntaxError",
+    "ResolutionError",
+    "SentenceRef",
+    "VerbDef",
+    "dump",
+    "dumps",
+    "generate_pif",
+    "load",
+    "loads",
+    "parse_listing",
+]

@@ -1,0 +1,140 @@
+"""PIF text serialization, in the record syntax of Figure 2.
+
+A PIF file is a sequence of records separated by blank lines::
+
+    NOUN
+    name = line1160
+    abstraction = CM Fortran
+    description = line #1160 in source file /usr/src/prog/main.fcm
+
+    MAPPING
+    source = {cmpe_corr_6_(), CPU Utilization}
+    destination = {line1160, Executes}
+
+Sentence syntax: ``{noun, noun, ..., verb}`` -- nouns first, verb last,
+exactly as the paper prints them.  Noun names may not contain commas or
+braces; descriptions are free text to end of line.
+"""
+
+from __future__ import annotations
+
+from .records import LevelDef, MappingDef, NounDef, PIFDocument, SentenceRef, VerbDef
+
+__all__ = ["PIFSyntaxError", "dumps", "loads", "dump", "load"]
+
+
+class PIFSyntaxError(ValueError):
+    """Malformed PIF text."""
+
+
+# ----------------------------------------------------------------------
+# serialization
+# ----------------------------------------------------------------------
+def _fields(pairs: list[tuple[str, str]]) -> str:
+    return "\n".join(f"{key} = {value}" for key, value in pairs if value != "")
+
+
+def dumps(doc: PIFDocument) -> str:
+    """Render a PIF document to text."""
+    chunks: list[str] = []
+    for lv in doc.levels:
+        chunks.append(
+            "LEVEL\n"
+            + _fields([("name", lv.name), ("rank", str(lv.rank)), ("description", lv.description)])
+        )
+    for nd in doc.nouns:
+        chunks.append(
+            "NOUN\n"
+            + _fields(
+                [("name", nd.name), ("abstraction", nd.abstraction), ("description", nd.description)]
+            )
+        )
+    for vd in doc.verbs:
+        chunks.append(
+            "VERB\n"
+            + _fields(
+                [("name", vd.name), ("abstraction", vd.abstraction), ("description", vd.description)]
+            )
+        )
+    for md in doc.mappings:
+        chunks.append(
+            "MAPPING\n"
+            + _fields([("source", str(md.source)), ("destination", str(md.destination))])
+        )
+    return "\n\n".join(chunks) + "\n"
+
+
+# ----------------------------------------------------------------------
+# parsing
+# ----------------------------------------------------------------------
+def _parse_sentence(text: str, where: str) -> SentenceRef:
+    text = text.strip()
+    if not (text.startswith("{") and text.endswith("}")):
+        raise PIFSyntaxError(f"{where}: sentence must be braced, got {text!r}")
+    parts = [p.strip() for p in text[1:-1].split(",")]
+    if not parts or any(not p for p in parts):
+        raise PIFSyntaxError(f"{where}: empty sentence component in {text!r}")
+    return SentenceRef(tuple(parts[:-1]), parts[-1])
+
+
+def loads(text: str) -> PIFDocument:
+    """Parse PIF text into a document."""
+    doc = PIFDocument()
+    blocks = [b for b in text.split("\n\n") if b.strip()]
+    for i, block in enumerate(blocks):
+        lines = [ln for ln in block.splitlines() if ln.strip()]
+        rectype = lines[0].strip()
+        fields: dict[str, str] = {}
+        for ln in lines[1:]:
+            if "=" not in ln:
+                raise PIFSyntaxError(f"record {i}: bad field line {ln!r}")
+            key, _, value = ln.partition("=")
+            fields[key.strip()] = value.strip()
+
+        if rectype == "LEVEL":
+            try:
+                rank = int(fields["rank"])
+            except (KeyError, ValueError) as exc:
+                raise PIFSyntaxError(f"record {i}: LEVEL needs integer rank") from exc
+            doc.levels.append(LevelDef(fields.get("name", ""), rank, fields.get("description", "")))
+            if not doc.levels[-1].name:
+                raise PIFSyntaxError(f"record {i}: LEVEL needs a name")
+        elif rectype == "NOUN":
+            _require(fields, i, "name", "abstraction")
+            doc.nouns.append(
+                NounDef(fields["name"], fields["abstraction"], fields.get("description", ""))
+            )
+        elif rectype == "VERB":
+            _require(fields, i, "name", "abstraction")
+            doc.verbs.append(
+                VerbDef(fields["name"], fields["abstraction"], fields.get("description", ""))
+            )
+        elif rectype == "MAPPING":
+            _require(fields, i, "source", "destination")
+            doc.mappings.append(
+                MappingDef(
+                    _parse_sentence(fields["source"], f"record {i} source"),
+                    _parse_sentence(fields["destination"], f"record {i} destination"),
+                )
+            )
+        else:
+            raise PIFSyntaxError(f"record {i}: unknown record type {rectype!r}")
+    return doc
+
+
+def _require(fields: dict[str, str], i: int, *keys: str) -> None:
+    for key in keys:
+        if key not in fields or not fields[key]:
+            raise PIFSyntaxError(f"record {i}: missing field {key!r}")
+
+
+def dump(doc: PIFDocument, path) -> None:
+    """Write a PIF document to a file path."""
+    with open(path, "w", encoding="utf-8") as fh:
+        fh.write(dumps(doc))
+
+
+def load(path) -> PIFDocument:
+    """Read a PIF document from a file path."""
+    with open(path, encoding="utf-8") as fh:
+        return loads(fh.read())

@@ -1,0 +1,232 @@
+"""The PIF generator: compiler listing files -> PIF documents.
+
+Section 6.2: "We create CM Fortran PIF files with a simple utility that
+parses CM Fortran compiler output files.  The utility scans the compiler
+output files for lists of parallel statements, parallel arrays, and
+node-code blocks.  It then produces a PIF file that defines the statements
+and arrays for Paradyn and describes the mappings from statements to code
+blocks."
+
+This module is that utility.  It works purely from the listing *text* (never
+from compiler in-memory structures), producing:
+
+* CM Fortran-level nouns for every parallel statement line and array;
+* Base-level nouns for every node code block (``cmpe_..._()``);
+* verbs: ``Executes`` and the operation verbs (Compute/Sum/.../Sort) at the
+  CM Fortran level, ``CPU Utilization`` at the Base level;
+* mappings ``{block(), CPU Utilization} -> {lineN, Executes}`` for every
+  line a block implements (a merged block thus produces the paper's
+  one-to-many mapping), and ``{block(), CPU Utilization} -> {ARRAY, Verb}``
+  for the array operation each block performs.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+
+from .records import LevelDef, MappingDef, NounDef, PIFDocument, SentenceRef, VerbDef
+
+__all__ = ["ListingParseError", "parse_listing", "generate_pif"]
+
+
+class ListingParseError(ValueError):
+    """The compiler listing does not match the expected format."""
+
+
+_ARRAY_RE = re.compile(
+    r"^PARALLEL ARRAY (\w+) (\w+) \(([\d,]+)\) line (\d+) layout (\S+)(?: owner (\w+))?$"
+)
+_SUBROUTINE_RE = re.compile(r"^SUBROUTINE (\w+) line (\d+)$")
+_SCALAR_RE = re.compile(r"^SCALAR (\w+) (\w+) line (\d+)$")
+_STMT_RE = re.compile(
+    r"^PARALLEL STMT line (\d+) kind (\S+) writes (\S+) reads (\S+) reductions (\S+)$"
+)
+_BLOCK_RE = re.compile(r"^NODE BLOCK (\S+) kind (\S+) lines ([\d,]+) arrays (\S+)$")
+
+#: statement kind -> CM Fortran operation verb
+_KIND_VERBS = {
+    "elementwise": "Compute",
+    "CSHIFT": "Rotate",
+    "EOSHIFT": "Shift",
+    "TRANSPOSE": "Transpose",
+    "SCAN": "Scan",
+    "SORT": "Sort",
+    "scalar": "Compute",
+}
+
+_VERB_DESCRIPTIONS = {
+    "Executes": 'units are "% CPU"',
+    "Compute": "elementwise computation on arrays",
+    "Sum": "SUM reduction of an array",
+    "MaxVal": "MAXVAL reduction of an array",
+    "MinVal": "MINVAL reduction of an array",
+    "Rotate": "circular shift (CSHIFT) of an array",
+    "Shift": "end-off shift (EOSHIFT) of an array",
+    "Transpose": "TRANSPOSE of an array",
+    "Scan": "prefix scan of an array",
+    "Sort": "parallel sort of an array",
+}
+
+
+@dataclass
+class ParsedListing:
+    """Structured view of one compiler listing file."""
+
+    program: str
+    source_file: str
+    arrays: list[tuple[str, str, tuple[int, ...], int, str, str]]
+    scalars: list[tuple[str, str, int]]
+    stmts: dict[int, dict]
+    blocks: list[tuple[str, str, tuple[int, ...], tuple[str, ...]]]
+    subroutines: list[tuple[str, int]] = None  # type: ignore[assignment]
+
+
+def parse_listing(text: str) -> ParsedListing:
+    """Parse a compiler listing into structured fields."""
+    program = ""
+    source_file = ""
+    arrays = []
+    scalars = []
+    stmts: dict[int, dict] = {}
+    blocks = []
+    subroutines = []
+    for raw in text.splitlines():
+        line = raw.strip()
+        if not line:
+            continue
+        if line.startswith("*"):
+            if line.startswith("* program:"):
+                program = line.split(":", 1)[1].strip()
+            elif line.startswith("* source:"):
+                source_file = line.split(":", 1)[1].strip()
+            continue
+        m = _ARRAY_RE.match(line)
+        if m:
+            name, dtype, dims, decl_line, layout, owner = m.groups()
+            arrays.append(
+                (
+                    name,
+                    dtype,
+                    tuple(int(d) for d in dims.split(",")),
+                    int(decl_line),
+                    layout,
+                    owner or "",
+                )
+            )
+            continue
+        m = _SUBROUTINE_RE.match(line)
+        if m:
+            subroutines.append((m.group(1), int(m.group(2))))
+            continue
+        m = _SCALAR_RE.match(line)
+        if m:
+            scalars.append((m.group(1), m.group(2), int(m.group(3))))
+            continue
+        m = _STMT_RE.match(line)
+        if m:
+            lineno, kind, writes, reads, reductions = m.groups()
+            red_pairs = []
+            if reductions != "-":
+                for pair in reductions.split(";"):
+                    verb, _, arr = pair.partition(":")
+                    red_pairs.append((verb, arr))
+            stmts[int(lineno)] = {
+                "kind": kind,
+                "writes": [] if writes == "-" else writes.split(","),
+                "reads": [] if reads == "-" else reads.split(","),
+                "reductions": red_pairs,
+            }
+            continue
+        m = _BLOCK_RE.match(line)
+        if m:
+            name, kind, lines, arrs = m.groups()
+            blocks.append(
+                (
+                    name,
+                    kind,
+                    tuple(int(x) for x in lines.split(",")),
+                    () if arrs == "-" else tuple(arrs.split(",")),
+                )
+            )
+            continue
+        raise ListingParseError(f"unrecognized listing line: {line!r}")
+    if not program:
+        raise ListingParseError("listing missing '* program:' header")
+    return ParsedListing(program, source_file, arrays, scalars, stmts, blocks, subroutines)
+
+
+def generate_pif(listing_text: str) -> PIFDocument:
+    """Produce a PIF document from compiler listing text."""
+    parsed = parse_listing(listing_text)
+    doc = PIFDocument()
+    doc.levels.append(LevelDef("CM Fortran", 2, "data-parallel source level"))
+    doc.levels.append(LevelDef("Base", 0, "functions, processors and messages"))
+
+    # nouns: arrays, statement lines, node code blocks
+    for name, dtype, shape, decl_line, layout, owner in parsed.arrays:
+        dims = "x".join(str(d) for d in shape)
+        owner_note = f" in {owner}" if owner else ""
+        doc.nouns.append(
+            NounDef(
+                name,
+                "CM Fortran",
+                f"parallel array {name} ({dtype} {dims}, {layout}) declared "
+                f"line {decl_line}{owner_note}",
+            )
+        )
+    stmt_lines = sorted(parsed.stmts)
+    for lineno in stmt_lines:
+        doc.nouns.append(
+            NounDef(
+                f"line{lineno}",
+                "CM Fortran",
+                f"line #{lineno} in source file {parsed.source_file}",
+            )
+        )
+    for name, _kind, _lines, _arrays in parsed.blocks:
+        doc.nouns.append(
+            NounDef(
+                f"{name}()",
+                "Base",
+                "compiler generated function, source code not available",
+            )
+        )
+
+    # verbs: Executes + whatever operations the program performs
+    used_verbs = {"Executes"}
+    for info in parsed.stmts.values():
+        used_verbs.add(_KIND_VERBS.get(info["kind"], "Compute"))
+        for verb, _arr in info["reductions"]:
+            used_verbs.add(verb)
+    for verb in sorted(used_verbs):
+        doc.verbs.append(VerbDef(verb, "CM Fortran", _VERB_DESCRIPTIONS.get(verb, "")))
+    doc.verbs.append(VerbDef("CPU Utilization", "Base", 'units are "% CPU"'))
+
+    # mappings: block -> each implemented line, block -> array operations
+    declared_arrays = {a[0] for a in parsed.arrays}
+    for name, kind, lines, _arrays in parsed.blocks:
+        src = SentenceRef((f"{name}()",), "CPU Utilization")
+        for lineno in lines:
+            doc.mappings.append(
+                MappingDef(src, SentenceRef((f"line{lineno}",), "Executes"))
+            )
+        seen: set[tuple[str, str]] = set()
+        for lineno in lines:
+            info = parsed.stmts.get(lineno)
+            if info is None:
+                continue
+            if kind == "reduce":
+                # reduce blocks map only to their reduction verbs
+                for verb, arr in info["reductions"]:
+                    if arr in declared_arrays:
+                        seen.add((arr, verb))
+                continue
+            op_verb = _KIND_VERBS.get(info["kind"], "Compute")
+            targets = info["writes"] if info["kind"] == "elementwise" else info["reads"]
+            for arr in targets:
+                if arr in declared_arrays:
+                    seen.add((arr, op_verb))
+        for arr, verb in sorted(seen):
+            doc.mappings.append(MappingDef(src, SentenceRef((arr,), verb)))
+    return doc

@@ -1,0 +1,163 @@
+"""Paradyn Information Format (PIF) records.
+
+Figure 3 defines three components of mapping information -- noun
+definitions, verb definitions, and mapping definitions (source sentence +
+destination sentence).  Figure 2 shows their concrete record syntax.  This
+module models those records plus a LEVEL record (the paper has levels
+implied by noun/verb ``abstraction`` fields; an explicit record lets a
+parser validate them).
+
+Records are the *wire format*: plain strings, no resolved objects.  The Data
+Manager resolves a :class:`PIFDocument` against its vocabulary to produce
+:class:`~repro.core.nouns.Sentence` and :class:`~repro.core.mapping.Mapping`
+values (see :meth:`PIFDocument.build_vocabulary` /
+:meth:`PIFDocument.resolve_mappings`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..core import (
+    AbstractionLevel,
+    Mapping,
+    MappingGraph,
+    MappingOrigin,
+    Noun,
+    Sentence,
+    Verb,
+    Vocabulary,
+)
+
+__all__ = ["LevelDef", "NounDef", "VerbDef", "SentenceRef", "MappingDef", "PIFDocument"]
+
+
+@dataclass(frozen=True)
+class LevelDef:
+    """LEVEL record: an abstraction level (explicit-rank extension)."""
+
+    name: str
+    rank: int
+    description: str = ""
+
+
+@dataclass(frozen=True)
+class NounDef:
+    """NOUN record (Figure 3: name / level of abstraction / description)."""
+
+    name: str
+    abstraction: str
+    description: str = ""
+
+
+@dataclass(frozen=True)
+class VerbDef:
+    """VERB record (Figure 3: name / level of abstraction / description)."""
+
+    name: str
+    abstraction: str
+    description: str = ""
+
+
+@dataclass(frozen=True)
+class SentenceRef:
+    """An unresolved sentence: noun names plus a verb name.
+
+    Figure 2 writes these as ``{cmpe_corr_6_(), CPU Utilization}`` -- nouns
+    first, verb last.
+    """
+
+    nouns: tuple[str, ...]
+    verb: str
+
+    def __str__(self) -> str:
+        return "{" + ", ".join([*self.nouns, self.verb]) + "}"
+
+
+@dataclass(frozen=True)
+class MappingDef:
+    """MAPPING record (Figure 3: source sentence / destination sentence)."""
+
+    source: SentenceRef
+    destination: SentenceRef
+
+
+class ResolutionError(Exception):
+    """A PIF record references an undefined noun/verb or is ambiguous."""
+
+
+@dataclass
+class PIFDocument:
+    """An in-memory PIF file: ordered record lists."""
+
+    levels: list[LevelDef] = field(default_factory=list)
+    nouns: list[NounDef] = field(default_factory=list)
+    verbs: list[VerbDef] = field(default_factory=list)
+    mappings: list[MappingDef] = field(default_factory=list)
+
+    def __len__(self) -> int:
+        return len(self.levels) + len(self.nouns) + len(self.verbs) + len(self.mappings)
+
+    # ------------------------------------------------------------------
+    # resolution into core-model objects
+    # ------------------------------------------------------------------
+    def build_vocabulary(self, into: Vocabulary | None = None) -> Vocabulary:
+        """Register this document's levels, nouns and verbs."""
+        vocab = into if into is not None else Vocabulary()
+        for lv in self.levels:
+            vocab.add_level(AbstractionLevel(lv.rank, lv.name, lv.description))
+        for nd in self.nouns:
+            vocab.add_noun(Noun(nd.name, nd.abstraction, nd.description))
+        for vd in self.verbs:
+            vocab.add_verb(Verb(vd.name, vd.abstraction, vd.description))
+        return vocab
+
+    def _resolve_name(self, vocab: Vocabulary, name: str, kind: str):
+        """Find a noun/verb by bare name across this document's levels."""
+        defs = self.nouns if kind == "noun" else self.verbs
+        matches = [d for d in defs if d.name == name]
+        if not matches:
+            raise ResolutionError(f"mapping references undefined {kind} {name!r}")
+        if len({d.abstraction for d in matches}) > 1:
+            raise ResolutionError(
+                f"{kind} {name!r} is ambiguous across levels "
+                f"{sorted({d.abstraction for d in matches})}"
+            )
+        d = matches[0]
+        if kind == "noun":
+            return vocab.noun(d.abstraction, d.name)
+        return vocab.verb(d.abstraction, d.name)
+
+    def resolve_sentence(self, vocab: Vocabulary, ref: SentenceRef) -> Sentence:
+        verb = self._resolve_name(vocab, ref.verb, "verb")
+        nouns = tuple(self._resolve_name(vocab, n, "noun") for n in ref.nouns)
+        return Sentence(verb, nouns)
+
+    def resolve_mappings(
+        self, vocab: Vocabulary, into: MappingGraph | None = None
+    ) -> MappingGraph:
+        """Resolve every MAPPING record into a mapping graph.
+
+        All PIF-derived mappings carry :attr:`MappingOrigin.STATIC` -- this
+        is the "static mapping information" channel of Section 3.
+        """
+        graph = into if into is not None else MappingGraph()
+        for md in self.mappings:
+            graph.add(
+                Mapping(
+                    self.resolve_sentence(vocab, md.source),
+                    self.resolve_sentence(vocab, md.destination),
+                    MappingOrigin.STATIC,
+                )
+            )
+        return graph
+
+    def merge(self, other: "PIFDocument") -> None:
+        """Append another document's records (deduplicated)."""
+        for attr in ("levels", "nouns", "verbs", "mappings"):
+            mine = getattr(self, attr)
+            seen = set(mine)
+            for rec in getattr(other, attr):
+                if rec not in seen:
+                    mine.append(rec)
+                    seen.add(rec)

@@ -1,0 +1,37 @@
+"""UNIX process/kernel study: asynchronous sentence activations (Figure 7).
+
+A simulated user process makes write() system calls; the kernel defers the
+physical disk writes.  The study demonstrates SAS limitation #1 (the SAS
+cannot attribute asynchronous work) and the causal-tag extension that fixes
+it.
+"""
+
+from .kernel import DirtyBuffer, DiskWriteRecord, Kernel, KernelConfig
+from .nv import (
+    KERNEL_LEVEL,
+    USER_LEVEL,
+    func_executes,
+    kernel_disk_write,
+    syscall_write,
+    unix_vocabulary,
+)
+from .process import FunctionSpec, UserProcess
+from .study import AttributionOutcome, default_script, run_figure7_study
+
+__all__ = [
+    "AttributionOutcome",
+    "DirtyBuffer",
+    "DiskWriteRecord",
+    "FunctionSpec",
+    "Kernel",
+    "KernelConfig",
+    "KERNEL_LEVEL",
+    "USER_LEVEL",
+    "UserProcess",
+    "default_script",
+    "func_executes",
+    "kernel_disk_write",
+    "run_figure7_study",
+    "syscall_write",
+    "unix_vocabulary",
+]

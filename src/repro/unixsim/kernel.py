@@ -1,0 +1,147 @@
+"""Simulated UNIX kernel with a buffer cache and deferred disk writes.
+
+Figure 7's second column: the user process makes a ``write()`` system call;
+the kernel copies the data into a dirty buffer and returns immediately; the
+*actual* disk write happens later, when the flusher daemon gets to the
+buffer -- by which time the calling function has typically returned.
+
+Each dirty buffer carries ground-truth provenance (which function's write()
+created it), which the SAS cannot see -- that gap is exactly the paper's
+first limitation, and what the causal-tag extension recovers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Generator
+
+from ..core import ActiveSentenceSet, Sentence
+from ..machine.sim import Simulator, Timeout
+from .nv import kernel_disk_write
+
+__all__ = ["KernelConfig", "DirtyBuffer", "DiskWriteRecord", "Kernel"]
+
+
+@dataclass(frozen=True)
+class KernelConfig:
+    """Timing model for the simulated kernel."""
+
+    syscall_time: float = 2e-5  # write() in-kernel copy time
+    flush_delay: float = 5e-3  # age before the flusher picks a buffer up
+    flush_scan_interval: float = 1e-3  # flusher wake-up period
+    disk_write_time: float = 8e-4  # time to write one buffer to disk
+
+    def __post_init__(self) -> None:
+        if min(
+            self.syscall_time,
+            self.flush_delay,
+            self.flush_scan_interval,
+            self.disk_write_time,
+        ) <= 0:
+            raise ValueError("kernel times must be positive")
+
+
+@dataclass
+class DirtyBuffer:
+    """One buffered write awaiting flush, with ground-truth provenance."""
+
+    created: float
+    owner_func: str  # ground truth: the function whose write() made it
+    nbytes: int
+    causal_tags: tuple[Sentence, ...] = ()  # snapshot taken at write() time
+
+
+@dataclass
+class DiskWriteRecord:
+    """One completed physical disk write."""
+
+    start: float
+    end: float
+    owner_func: str
+    nbytes: int
+    causal_tags: tuple[Sentence, ...] = ()
+
+
+class Kernel:
+    """Buffer cache + flusher daemon.
+
+    ``sas`` is the node's Set of Active Sentences; the kernel (like any
+    layer) notifies it of its own activity -- disk-write sentences -- without
+    knowing what the user level put there.
+
+    ``causal_snapshot`` optionally captures the active user-level sentences
+    at write() time into the buffer (the reproduction's extension fixing
+    limitation #1); the vanilla paper behaviour is ``None``.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        config: KernelConfig | None = None,
+        sas: ActiveSentenceSet | None = None,
+        causal_snapshot: Callable[[], tuple[Sentence, ...]] | None = None,
+        device: str = "disk0",
+    ):
+        self.sim = sim
+        self.config = config or KernelConfig()
+        self.sas = sas
+        self.causal_snapshot = causal_snapshot
+        self.device = device
+        self.dirty: list[DirtyBuffer] = []
+        self.disk_writes: list[DiskWriteRecord] = []
+        self.disk_write_sentence = kernel_disk_write(device)
+        self._shutdown = False
+
+    # ------------------------------------------------------------------
+    # system-call interface (called from the user process's generator)
+    # ------------------------------------------------------------------
+    def write(self, owner_func: str, nbytes: int) -> Generator:
+        """The write() system call: buffer the data and return quickly."""
+        tags: tuple[Sentence, ...] = ()
+        if self.causal_snapshot is not None:
+            tags = self.causal_snapshot()
+        yield Timeout(self.config.syscall_time)
+        self.dirty.append(DirtyBuffer(self.sim.now, owner_func, nbytes, tags))
+
+    # ------------------------------------------------------------------
+    # flusher daemon
+    # ------------------------------------------------------------------
+    def flusher(self) -> Generator:
+        """Background process writing aged dirty buffers to disk."""
+        cfg = self.config
+        while not self._shutdown or self.dirty:
+            yield Timeout(cfg.flush_scan_interval)
+            now = self.sim.now
+            ready = [b for b in self.dirty if self._shutdown or now - b.created >= cfg.flush_delay]
+            for buf in ready:
+                self.dirty.remove(buf)
+                yield from self._disk_write(buf)
+
+    def _disk_write(self, buf: DirtyBuffer) -> Generator:
+        start = self.sim.now
+        if self.sas is not None:
+            self.sas.activate(self.disk_write_sentence)
+            # the extension: re-activate the causally-tagged user sentences
+            # as shadows for the duration of the deferred work
+            for tag in buf.causal_tags:
+                self.sas.activate(tag)
+        yield Timeout(self.config.disk_write_time)
+        if self.sas is not None:
+            for tag in reversed(buf.causal_tags):
+                self.sas.deactivate(tag)
+            self.sas.deactivate(self.disk_write_sentence)
+        self.disk_writes.append(
+            DiskWriteRecord(start, self.sim.now, buf.owner_func, buf.nbytes, buf.causal_tags)
+        )
+
+    def shutdown(self) -> None:
+        """Ask the flusher to drain remaining buffers and exit."""
+        self._shutdown = True
+
+    # ------------------------------------------------------------------
+    def ground_truth_by_func(self) -> dict[str, int]:
+        """Actual disk writes per originating function (the oracle)."""
+        out: dict[str, int] = {}
+        for rec in self.disk_writes:
+            out[rec.owner_func] = out.get(rec.owner_func, 0) + 1
+        return out

@@ -1,0 +1,81 @@
+"""Simulated user process for the Figure-7 study.
+
+The process runs a scripted sequence of functions; each function computes,
+makes some write() system calls, and returns.  Function execution and
+outstanding write() calls are announced to the SAS exactly as Figure 7's
+first column shows; the disk writes they cause happen later, in the kernel.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Generator, Sequence
+
+from ..core import ActiveSentenceSet, Sentence
+from ..machine.sim import Simulator, Timeout
+from .kernel import Kernel
+from .nv import func_executes, syscall_write
+
+__all__ = ["FunctionSpec", "UserProcess"]
+
+
+@dataclass(frozen=True)
+class FunctionSpec:
+    """One scripted user function."""
+
+    name: str
+    writes: int  # number of write() calls it makes
+    compute_time: float = 1e-4  # CPU time around the writes
+    write_bytes: int = 4096
+
+    def __post_init__(self) -> None:
+        if self.writes < 0 or self.compute_time < 0:
+            raise ValueError("bad function spec")
+
+
+class UserProcess:
+    """Runs a function script against the kernel, announcing sentences."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        kernel: Kernel,
+        script: Sequence[FunctionSpec],
+        sas: ActiveSentenceSet | None = None,
+    ):
+        self.sim = sim
+        self.kernel = kernel
+        self.script = list(script)
+        self.sas = sas
+        self.calls_made = 0
+
+    def active_user_sentences(self) -> tuple[Sentence, ...]:
+        """Snapshot of user-level sentences (the causal-tag source)."""
+        if self.sas is None:
+            return ()
+        return tuple(
+            s for s in self.sas.active_sentences() if s.abstraction == "UNIX Process"
+        )
+
+    def main(self) -> Generator:
+        for spec in self.script:
+            yield from self._run_function(spec)
+        self.kernel.shutdown()
+
+    def _run_function(self, spec: FunctionSpec) -> Generator:
+        exec_sentence = func_executes(spec.name)
+        write_sentence = syscall_write(spec.name)
+        if self.sas is not None:
+            self.sas.activate(exec_sentence)
+        per_phase = spec.compute_time / (spec.writes + 1) if spec.writes else spec.compute_time
+        yield Timeout(per_phase)
+        for _ in range(spec.writes):
+            if self.sas is not None:
+                self.sas.activate(write_sentence)
+            yield from self.kernel.write(spec.name, spec.write_bytes)
+            self.calls_made += 1
+            if self.sas is not None:
+                self.sas.deactivate(write_sentence)
+            yield Timeout(per_phase)
+        if self.sas is not None:
+            self.sas.deactivate(exec_sentence)

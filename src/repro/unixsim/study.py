@@ -1,0 +1,140 @@
+"""The complete Figure-7 experiment: SAS vs ground truth vs causal tags.
+
+Three attribution strategies for "kernel disk writes on behalf of function
+f" are compared:
+
+* **ground truth** -- buffer provenance recorded by the kernel (the oracle
+  a perfect tool would recover);
+* **SAS-only** -- the paper's mechanism: at each disk write, credit every
+  function whose Executes sentence is in the SAS *right now*.  Because
+  activations are asynchronous, the originating function has usually
+  returned, so counts are wrong (usually credited to a later function or to
+  nobody) -- limitation #1;
+* **causal tags** -- the reproduction's extension: the write() syscall
+  snapshots the active user-level sentences into the buffer; the flusher
+  re-activates them as shadow sentences during the deferred disk write, so
+  the same SAS query now attributes correctly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from ..core import ActiveSentenceSet, Trace
+from ..machine.sim import Simulator
+from .kernel import Kernel, KernelConfig
+from .nv import unix_vocabulary
+from .process import FunctionSpec, UserProcess
+
+__all__ = ["AttributionOutcome", "run_figure7_study", "default_script"]
+
+
+def default_script() -> list[FunctionSpec]:
+    """Three functions, including Figure 7's func() making one write."""
+    return [
+        FunctionSpec("func", writes=2, compute_time=4e-4),
+        FunctionSpec("other", writes=1, compute_time=4e-4),
+        FunctionSpec("idle_tail", writes=0, compute_time=2e-2),
+    ]
+
+
+@dataclass
+class AttributionOutcome:
+    """Per-strategy attribution of disk writes to functions."""
+
+    ground_truth: dict[str, int]
+    sas_attributed: dict[str, int]
+    causal_attributed: dict[str, int]
+    unattributed_sas: int = 0
+    trace: Trace | None = None
+    elapsed: float = 0.0
+    functions: list[str] = field(default_factory=list)
+
+    def sas_error(self) -> int:
+        """Total absolute attribution error of the SAS-only strategy."""
+        funcs = set(self.ground_truth) | set(self.sas_attributed)
+        return sum(
+            abs(self.ground_truth.get(f, 0) - self.sas_attributed.get(f, 0))
+            for f in funcs
+        )
+
+    def causal_error(self) -> int:
+        funcs = set(self.ground_truth) | set(self.causal_attributed)
+        return sum(
+            abs(self.ground_truth.get(f, 0) - self.causal_attributed.get(f, 0))
+            for f in funcs
+        )
+
+
+def run_figure7_study(
+    script: Sequence[FunctionSpec] | None = None,
+    causal: bool = True,
+    config: KernelConfig | None = None,
+) -> AttributionOutcome:
+    """Run the user process + kernel and compare attribution strategies."""
+    script = list(script) if script is not None else default_script()
+    sim = Simulator()
+    trace = Trace()
+    sas = ActiveSentenceSet(clock=lambda: sim.now, trace=trace)
+    config = config or KernelConfig()
+
+    kernel = Kernel(sim, config, sas=sas)
+    process = UserProcess(sim, kernel, script, sas=sas)
+    if causal:
+        kernel.causal_snapshot = process.active_user_sentences
+
+    sas_counts: dict[str, int] = {}
+    causal_counts: dict[str, int] = {}
+    unattributed = 0
+
+    def on_transition(sent, became_active, _now):
+        nonlocal unattributed
+        if not became_active or sent != kernel.disk_write_sentence:
+            return
+        # the SAS-only strategy: which functions are active *right now*?
+        live = [
+            s.nouns[0].name[:-2]
+            for s in sas.active_sentences()
+            if s.abstraction == "UNIX Process" and s.verb.name == "Executes"
+        ]
+        if live:
+            for fname in live:
+                sas_counts[fname] = sas_counts.get(fname, 0) + 1
+        else:
+            unattributed += 1
+
+    sas.on_transition.append(on_transition)
+
+    sim.spawn(process.main(), "user-process")
+    sim.spawn(kernel.flusher(), "kernel-flusher")
+    sim.run()
+
+    # causal attribution: read the shadow tags off the disk-write records
+    for rec in kernel.disk_writes:
+        funcs = {
+            s.nouns[0].name[:-2]
+            for s in rec.causal_tags
+            if s.verb.name == "Executes"
+        }
+        for fname in funcs:
+            causal_counts[fname] = causal_counts.get(fname, 0) + 1
+
+    # note: the SAS-only query runs when the DiskWrite sentence activates,
+    # which is *before* the kernel re-activates any causal shadows, so
+    # sas_attributed stays a faithful paper-mechanism measurement even when
+    # the causal extension is enabled alongside it.
+    return AttributionOutcome(
+        ground_truth=kernel.ground_truth_by_func(),
+        sas_attributed=sas_counts,
+        causal_attributed=causal_counts,
+        unattributed_sas=unattributed,
+        trace=trace,
+        elapsed=sim.now,
+        functions=[s.name for s in script],
+    )
+
+
+def vocabulary():
+    """The UNIX study's two-level vocabulary."""
+    return unix_vocabulary()

@@ -1,0 +1,31 @@
+"""Workload generators and the named program corpus used by benches."""
+
+from .fuzz import FuzzConfig, random_program
+from .corpus import BOW, CORR, HPF_FRAGMENT, SORT_BENCH, STENCIL_HEAT, corpus
+from .generators import (
+    elementwise_chain,
+    full_verb_mix,
+    reduction_mix,
+    skewed_pair,
+    sort_workload,
+    stencil,
+    transform_mix,
+)
+
+__all__ = [
+    "BOW",
+    "CORR",
+    "HPF_FRAGMENT",
+    "SORT_BENCH",
+    "STENCIL_HEAT",
+    "corpus",
+    "FuzzConfig",
+    "random_program",
+    "elementwise_chain",
+    "full_verb_mix",
+    "reduction_mix",
+    "skewed_pair",
+    "sort_workload",
+    "stencil",
+    "transform_mix",
+]

@@ -1,0 +1,104 @@
+"""Named example programs matching the paper's figures.
+
+* ``HPF_FRAGMENT`` -- Figure 4's two-line reduction fragment, padded with
+  array initialization so the reductions have data to move;
+* ``CORR`` -- a correlation-flavoured program whose adjacent parallel lines
+  merge into one node code block (the Figure-2 situation);
+* ``BOW`` -- a program with five parallel arrays including ``TOT``,
+  reproducing the CMFarrays where-axis content of Figure 8 (the paper's
+  ``bow.fcm`` module; our dialect has a single program unit, so the
+  function level holds one entry);
+* ``STENCIL_HEAT`` / ``SORT_BENCH`` -- workload programs for the examples.
+"""
+
+from __future__ import annotations
+
+from .generators import sort_workload, stencil
+
+__all__ = ["HPF_FRAGMENT", "CORR", "BOW", "STENCIL_HEAT", "SORT_BENCH", "corpus"]
+
+HPF_FRAGMENT = """PROGRAM FRAGMENT
+  REAL A(256), B(256)
+  A = 1.5
+  B = 2.5
+  ASUM = SUM(A)
+  BMAX = MAXVAL(B)
+END
+"""
+
+CORR = """PROGRAM CORR
+  REAL X(1024), Y(1024), XY(1024)
+  REAL XS(1024), YS(1024)
+  X = 1.0
+  X = SCAN(X)
+  Y = X * 2.0 + 3.0
+  XY = X * Y
+  XS = X * X
+  YS = Y * Y
+  SXY = SUM(XY)
+  SX = SUM(X)
+  SY = SUM(Y)
+  SXX = SUM(XS)
+  SYY = SUM(YS)
+  NUM = SXY * 1024.0 - SX * SY
+  DEN = (SXX * 1024.0 - SX * SX) * (SYY * 1024.0 - SY * SY)
+  R = NUM / SQRT(DEN)
+END
+"""
+
+BOW = """PROGRAM BOW
+  REAL FIELD(100)
+  CALL INIT()
+  CALL STEP()
+  CALL CORNER()
+  CALL EDGES()
+  CALL REPORT()
+  FIELD = FIELD + 1.0
+END PROGRAM
+
+SUBROUTINE INIT
+  REAL SEED(100)
+  SEED = 1.0
+  SEED = SCAN(SEED)
+END SUBROUTINE
+
+SUBROUTINE STEP
+  REAL STATE(100)
+  STATE = STATE * 0.5 + 1.0
+END SUBROUTINE
+
+SUBROUTINE CORNER
+  REAL TOT(100), U(100), V(100), W(100), P(100)
+  U = 1.0
+  V = 2.0
+  W = U + V
+  P = W * 0.5
+  TOT = U + V + W + P
+  TSUM = SUM(TOT)
+END SUBROUTINE
+
+SUBROUTINE EDGES
+  REAL RIM(100)
+  RIM = CSHIFT(RIM, 1)
+END SUBROUTINE
+
+SUBROUTINE REPORT
+  REAL SUMMARY(100)
+  SUMMARY = RIM * 1.0
+  RMAX = MAXVAL(SUMMARY)
+END SUBROUTINE
+"""
+
+STENCIL_HEAT = stencil(size=512, iterations=6, width=1)
+SORT_BENCH = sort_workload(size=512, repeats=2)
+
+
+def corpus() -> dict[str, str]:
+    """All named programs by name."""
+    return {
+        "HPF_FRAGMENT": HPF_FRAGMENT,
+        "CORR": CORR,
+        "BOW": BOW,
+        "STENCIL_HEAT": STENCIL_HEAT,
+        "SORT_BENCH": SORT_BENCH,
+    }

@@ -1,0 +1,157 @@
+"""Random valid-program generator for differential testing.
+
+Generates seeded-random CMF programs that are guaranteed to pass semantic
+analysis and to be numerically tame (no division by zero, no overflow, no
+NaN sources), so the distributed runtime can be compared bit-for-bit-ish
+against the reference interpreter.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+__all__ = ["FuzzConfig", "random_program"]
+
+
+@dataclass(frozen=True)
+class FuzzConfig:
+    """Knobs for the random program generator."""
+
+    num_1d_arrays: int = 3
+    num_2d_pairs: int = 1  # each pair: M(r,c) and its transpose target (c,r)
+    max_1d_size: int = 40
+    min_1d_size: int = 8
+    statements: int = 10
+    max_expr_depth: int = 3
+    allow_forall: bool = True
+    allow_sort: bool = True
+    allow_do: bool = True
+    allow_subroutines: bool = False
+    allow_layouts: bool = False  # emit LAYOUT (*, BLOCK) on some 2-D arrays
+
+
+@dataclass
+class _State:
+    rng: random.Random
+    cfg: FuzzConfig
+    arrays_1d: list[tuple[str, int]] = field(default_factory=list)
+    arrays_2d: list[tuple[str, int, int]] = field(default_factory=list)
+    scalars: list[str] = field(default_factory=list)
+
+
+def _expr(state: _State, size: int, depth: int) -> str:
+    """A numerically-safe scalar-conformant expression over size-`size` arrays."""
+    rng = state.rng
+    peers = [n for n, s in state.arrays_1d if s == size]
+    if depth <= 0 or rng.random() < 0.3:
+        choices = []
+        if peers:
+            choices += peers * 2
+        if state.scalars and rng.random() < 0.4:
+            choices.append(rng.choice(state.scalars))
+        choices.append(f"{rng.uniform(-4, 4):.3f}")
+        return rng.choice(choices)
+    kind = rng.choice(["bin", "bin", "abs", "sqrt", "minmax", "neg"])
+    if kind == "bin":
+        op = rng.choice(["+", "-", "*", "+"])
+        return f"({_expr(state, size, depth - 1)} {op} {_expr(state, size, depth - 1)})"
+    if kind == "abs":
+        return f"ABS({_expr(state, size, depth - 1)})"
+    if kind == "sqrt":
+        return f"SQRT(ABS({_expr(state, size, depth - 1)}))"
+    if kind == "minmax":
+        fn = rng.choice(["MIN", "MAX"])
+        return f"{fn}({_expr(state, size, depth - 1)}, {_expr(state, size, depth - 1)})"
+    return f"(-{_expr(state, size, depth - 1)})"
+
+
+def _statement(state: _State) -> str:
+    rng = state.rng
+    cfg = state.cfg
+    name, size = rng.choice(state.arrays_1d)
+    roll = rng.random()
+    if roll < 0.30:  # elementwise whole-array assignment
+        return f"  {name} = {_expr(state, size, cfg.max_expr_depth)}"
+    if roll < 0.45:  # reduction into a fresh or existing scalar
+        scalar = f"S{len(state.scalars)}"
+        state.scalars.append(scalar)
+        red = rng.choice(["SUM", "MAXVAL", "MINVAL"])
+        divisor = rng.choice(["", f" / {rng.uniform(1, 8):.2f}", " + 1.5"])
+        return f"  {scalar} = {red}({name}){divisor}"
+    if roll < 0.58:  # shift/rotate into a same-size peer
+        peers = [n for n, s in state.arrays_1d if s == size]
+        dst = rng.choice(peers)
+        fn = rng.choice(["CSHIFT", "EOSHIFT"])
+        amount = rng.randint(-size - 2, size + 2)
+        return f"  {dst} = {fn}({name}, {amount})"
+    if roll < 0.66:  # scan
+        peers = [n for n, s in state.arrays_1d if s == size]
+        return f"  {rng.choice(peers)} = SCAN({name})"
+    if roll < 0.74 and state.arrays_2d:  # transpose round trip halves
+        m, r, c = rng.choice(state.arrays_2d)
+        return f"  {m}T = TRANSPOSE({m})"
+    if roll < 0.84 and cfg.allow_forall and size >= 6:
+        width = rng.randint(1, min(2, size // 3))
+        lo, hi = 1 + width, size - width
+        peers = [n for n, s in state.arrays_1d if s == size]
+        src = rng.choice(peers)
+        sign = rng.choice(["+", "-"])
+        return (
+            f"  FORALL (I = {lo}:{hi}) {name}(I) = "
+            f"{src}(I-{width}) {sign} {src}(I+{width})"
+        )
+    if roll < 0.92 and cfg.allow_sort:
+        return f"  CALL SORT({name})"
+    if cfg.allow_do:
+        inner = f"  {name} = {name} * 0.5 + 1.0"
+        reps = rng.randint(2, 3)
+        return f"  DO K{rng.randint(0, 9)} = 1, {reps}\n  {inner}\n  ENDDO"
+    return f"  {name} = {name} + 1.0"
+
+
+def random_program(seed: int, cfg: FuzzConfig | None = None) -> str:
+    """Generate one random, semantically-valid CMF program."""
+    cfg = cfg or FuzzConfig()
+    rng = random.Random(seed)
+    state = _State(rng, cfg)
+
+    sizes = sorted(
+        {rng.randint(cfg.min_1d_size, cfg.max_1d_size) for _ in range(2)} or {16}
+    )
+    decls = []
+    for i in range(cfg.num_1d_arrays):
+        size = sizes[i % len(sizes)]
+        name = f"A{i}"
+        state.arrays_1d.append((name, size))
+        decls.append(f"  REAL {name}({size})")
+    for i in range(cfg.num_2d_pairs):
+        r, c = rng.randint(3, 8), rng.randint(3, 8)
+        name = f"M{i}"
+        state.arrays_2d.append((name, r, c))
+        decls.append(f"  REAL {name}({r}, {c})")
+        decls.append(f"  REAL {name}T({c}, {r})")
+        if cfg.allow_layouts and rng.random() < 0.7:
+            # random (possibly matched) distributions for the transpose pair
+            decls.append(f"  LAYOUT {name}({rng.choice(['BLOCK, *', '*, BLOCK'])})")
+            decls.append(f"  LAYOUT {name}T({rng.choice(['BLOCK, *', '*, BLOCK'])})")
+
+    body = [f"  A{i} = {rng.uniform(0.5, 3.0):.3f}" for i in range(cfg.num_1d_arrays)]
+    for m, r, c in state.arrays_2d:
+        body.append(f"  {m} = {rng.uniform(0.5, 3.0):.3f}")
+    statements = [_statement(state) for _ in range(cfg.statements)]
+
+    subroutines: list[str] = []
+    if cfg.allow_subroutines and len(statements) >= 4:
+        # hoist a random contiguous slice of the body into a subroutine and
+        # call it (possibly more than once) from the main program
+        cut = rng.randint(2, max(2, len(statements) // 2))
+        start = rng.randint(0, len(statements) - cut)
+        hoisted = statements[start : start + cut]
+        calls = ["  CALL HELPER()"] * rng.randint(1, 2)
+        statements[start : start + cut] = calls
+        subroutines = ["SUBROUTINE HELPER", *hoisted, "END SUBROUTINE"]
+    body.extend(statements)
+
+    lines = ["PROGRAM FUZZ", *decls, *body, "END", *subroutines]
+    return "\n".join(lines) + "\n"

@@ -1,0 +1,137 @@
+"""Parameterized CMF program generators for benches and tests.
+
+Every generator returns CMF *source text* -- workloads go through the real
+compiler like any user program, so benches exercise the entire pipeline.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "elementwise_chain",
+    "reduction_mix",
+    "stencil",
+    "transform_mix",
+    "sort_workload",
+    "skewed_pair",
+    "full_verb_mix",
+]
+
+
+def elementwise_chain(size: int = 1024, statements: int = 8, arrays: int = 3) -> str:
+    """A run of fusable elementwise statements over ``arrays`` arrays."""
+    if arrays < 2:
+        raise ValueError("need at least two arrays")
+    names = [chr(ord("A") + i) for i in range(arrays)]
+    decls = f"  REAL {', '.join(f'{n}({size})' for n in names)}"
+    lines = [f"  {names[0]} = 1.0"]
+    for i in range(statements):
+        dst = names[(i + 1) % arrays]
+        src = names[i % arrays]
+        lines.append(f"  {dst} = {src} * 1.5 + {float(i)}")
+    body = "\n".join(lines)
+    return f"PROGRAM CHAIN\n{decls}\n{body}\nEND\n"
+
+
+def reduction_mix(size: int = 1024, sums: int = 2, maxvals: int = 1, minvals: int = 1) -> str:
+    """SUM/MAXVAL/MINVAL reductions over two arrays."""
+    lines = ["  A = 2.0", "  B = 3.0"]
+    for i in range(sums):
+        lines.append(f"  S{i} = SUM(A)")
+    for i in range(maxvals):
+        lines.append(f"  MX{i} = MAXVAL(B)")
+    for i in range(minvals):
+        lines.append(f"  MN{i} = MINVAL(A)")
+    body = "\n".join(lines)
+    return f"PROGRAM REDUCE\n  REAL A({size}), B({size})\n{body}\nEND\n"
+
+
+def stencil(size: int = 512, iterations: int = 4, width: int = 1) -> str:
+    """Jacobi-style 1-D heat stencil with halo width ``width``."""
+    if not 1 <= width < size // 2:
+        raise ValueError("bad halo width")
+    lo, hi = 1 + width, size - width
+    return (
+        f"PROGRAM HEAT\n"
+        f"  REAL U({size}), UN({size})\n"
+        f"  U = 1.0\n"
+        f"  DO K = 1, {iterations}\n"
+        f"  FORALL (I = {lo}:{hi}) UN(I) = (U(I-{width}) + U(I+{width})) / 2.0\n"
+        f"  FORALL (I = {lo}:{hi}) U(I) = UN(I)\n"
+        f"  ENDDO\n"
+        f"  TOTAL = SUM(U)\n"
+        f"END\n"
+    )
+
+
+def transform_mix(size: int = 256, rotations: int = 2, shifts: int = 1, transposes: int = 1) -> str:
+    """Shift/rotate/transpose traffic over 1-D and 2-D arrays."""
+    side = max(4, int(size**0.5))
+    lines = ["  A = 1.0", "  M = 2.0"]
+    for i in range(rotations):
+        lines.append(f"  B = CSHIFT(A, {i + 1})")
+        lines.append(f"  A = CSHIFT(B, {-(i + 1)})")
+    for i in range(shifts):
+        lines.append(f"  B = EOSHIFT(A, {i + 1})")
+    for _ in range(transposes):
+        lines.append("  N = TRANSPOSE(M)")
+        lines.append("  M = TRANSPOSE(N)")
+    body = "\n".join(lines)
+    return (
+        f"PROGRAM XFORM\n"
+        f"  REAL A({size}), B({size})\n"
+        f"  REAL M({side}, {side}), N({side}, {side})\n"
+        f"{body}\nEND\n"
+    )
+
+
+def sort_workload(size: int = 512, repeats: int = 2) -> str:
+    """Repeated parallel sorts on shuffled data (rotation reshuffles)."""
+    lines = ["  A = SCAN(A)", "  A = CSHIFT(A, 7)"]
+    for _ in range(repeats):
+        lines.append("  CALL SORT(A)")
+        lines.append("  A = CSHIFT(A, 13)")
+    body = "\n".join(lines)
+    return f"PROGRAM SORTW\n  REAL A({size})\n  A = 1.0\n{body}\nEND\n"
+
+
+def skewed_pair(size: int = 2048, heavy_ops: int = 8) -> str:
+    """Two fusable statements with very different per-element work.
+
+    The compiler merges them into one node code block; ground truth says the
+    heavy line does ~``heavy_ops``x the light line's work.  This is the abl1
+    split-vs-merge workload.
+    """
+    heavy = "B"
+    for _ in range(heavy_ops - 1):
+        heavy = f"SQRT(ABS({heavy} * 1.0001))"
+    return (
+        f"PROGRAM SKEW\n"
+        f"  REAL A({size}), B({size})\n"
+        f"  A = B + 1.0\n"
+        f"  B = {heavy} + 0.5\n"
+        f"END\n"
+    )
+
+
+def full_verb_mix(size: int = 400) -> str:
+    """One program exercising every Figure-9 CMF verb at least once."""
+    side = 16
+    return (
+        f"PROGRAM FIG9\n"
+        f"  REAL A({size}), B({size}), C({size})\n"
+        f"  REAL M({side}, {side}), N({side}, {side})\n"
+        f"  A = 1.0\n"
+        f"  B = A * 2.0 + 1.0\n"
+        f"  M = 3.0\n"
+        f"  S = SUM(A)\n"
+        f"  MX = MAXVAL(B)\n"
+        f"  MN = MINVAL(B)\n"
+        f"  C = CSHIFT(A, 3)\n"
+        f"  A = EOSHIFT(C, -2)\n"
+        f"  N = TRANSPOSE(M)\n"
+        f"  C = SCAN(B)\n"
+        f"  CALL SORT(C)\n"
+        f"  FORALL (I = 2:{size - 1}) A(I) = C(I-1) + C(I+1)\n"
+        f"  R = S / {size}.0 + MX - MN\n"
+        f"END\n"
+    )

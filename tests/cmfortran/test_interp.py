@@ -1,0 +1,124 @@
+"""Unit tests for the reference interpreter (the differential oracle)."""
+
+import numpy as np
+import pytest
+
+from repro.cmfortran import compile_source, interpret
+
+
+def run(body, decls="REAL A(12), B(12)", init=None):
+    prog = compile_source(f"PROGRAM T\n{decls}\n{body}\nEND")
+    return interpret(prog.analyzed, initial_arrays=init)
+
+
+def test_elementwise_and_scalars():
+    itp = run("A = 2.0\nB = A * 3.0 + 1.0\nX = 5.0\nA = B - X")
+    assert np.allclose(itp.array("B"), 7.0)
+    assert np.allclose(itp.array("A"), 2.0)
+    assert itp.scalar("X") == 5.0
+    assert itp.scalar("UNSET") == 0.0
+
+
+def test_reductions():
+    data = np.arange(12.0)
+    itp = run("S = SUM(A)\nMX = MAXVAL(A)\nMN = MINVAL(A)", init={"A": data})
+    assert itp.scalar("S") == data.sum()
+    assert itp.scalar("MX") == data.max()
+    assert itp.scalar("MN") == data.min()
+
+
+def test_transforms():
+    data = np.arange(12.0)
+    itp = run("B = CSHIFT(A, 3)", init={"A": data})
+    assert np.allclose(itp.array("B"), np.roll(data, -3))
+    itp = run("B = EOSHIFT(A, -2)", init={"A": data})
+    expected = np.zeros(12)
+    expected[2:] = data[:10]
+    assert np.allclose(itp.array("B"), expected)
+    itp = run("B = SCAN(A)", init={"A": data})
+    assert np.allclose(itp.array("B"), np.cumsum(data))
+
+
+def test_transpose_and_sort():
+    m = np.arange(6.0).reshape(2, 3)
+    itp = run("N = TRANSPOSE(M)", decls="REAL M(2, 3)\nREAL N(3, 2)", init={"M": m})
+    assert np.allclose(itp.array("N"), m.T)
+    data = np.array([3.0, 1.0, 2.0, 0.0])
+    itp = run("CALL SORT(A)", decls="REAL A(4)", init={"A": data})
+    assert np.allclose(itp.array("A"), np.sort(data))
+
+
+def test_forall_evaluate_all_then_assign():
+    """A(I) = A(I-1) must read pre-statement values, not cascaded ones."""
+    data = np.arange(1.0, 13.0)
+    itp = run("FORALL (I = 2:12) A(I) = A(I-1)", init={"A": data})
+    expected = data.copy()
+    expected[1:] = data[:-1]
+    assert np.allclose(itp.array("A"), expected)
+
+
+def test_forall_index_visible_in_expr():
+    itp = run("FORALL (I = 1:12) A(I) = B(I) * 2.0", init={"B": np.arange(12.0)})
+    assert np.allclose(itp.array("A"), np.arange(12.0) * 2)
+
+
+def test_do_loop_and_calls():
+    prog = compile_source(
+        "PROGRAM T\nREAL A(6)\nDO K = 1, 3\nCALL BUMP()\nENDDO\nEND\n"
+        "SUBROUTINE BUMP\nA = A + 1.0\nEND SUBROUTINE"
+    )
+    itp = interpret(prog.analyzed)
+    assert np.allclose(itp.array("A"), 3.0)
+
+
+def test_integer_arrays_cast_like_runtime():
+    itp = run("K = K + 1.5", decls="INTEGER K(4)")
+    assert itp.array("K").dtype == np.int64
+    assert np.all(itp.array("K") == 1)
+
+
+class TestSelfAliasingRegressions:
+    """Pinned coverage for the aliasing bugs differential fuzzing found:
+    self-shift and self-transpose must not clobber unsent source rows."""
+
+    @pytest.mark.parametrize("nodes", [1, 2, 3, 5])
+    @pytest.mark.parametrize("amount", [7, -11, 3])
+    def test_self_cshift(self, nodes, amount):
+        from repro.cmrts import run_program
+
+        data = np.arange(36.0)
+        src = f"PROGRAM T\nREAL A(36)\nA = CSHIFT(A, {amount})\nEND"
+        rt = run_program(compile_source(src), num_nodes=nodes, initial_arrays={"A": data})
+        assert np.allclose(rt.array("A"), np.roll(data, -amount))
+
+    @pytest.mark.parametrize("nodes", [1, 2, 5])
+    @pytest.mark.parametrize("amount", [-11, 11])
+    def test_self_eoshift(self, nodes, amount):
+        from repro.cmrts import run_program
+
+        data = np.arange(1.0, 37.0)
+        src = f"PROGRAM T\nREAL A(36)\nA = EOSHIFT(A, {amount})\nEND"
+        rt = run_program(compile_source(src), num_nodes=nodes, initial_arrays={"A": data})
+        expected = np.zeros(36)
+        if amount >= 0:
+            expected[: 36 - amount] = data[amount:]
+        else:
+            expected[-amount:] = data[: 36 + amount]
+        assert np.allclose(rt.array("A"), expected)
+
+    @pytest.mark.parametrize("nodes", [1, 2, 3])
+    def test_self_transpose_square(self, nodes):
+        from repro.cmrts import run_program
+
+        data = np.arange(36.0).reshape(6, 6)
+        src = "PROGRAM T\nREAL M(6, 6)\nM = TRANSPOSE(M)\nEND"
+        rt = run_program(compile_source(src), num_nodes=nodes, initial_arrays={"M": data})
+        assert np.allclose(rt.array("M"), data.T)
+
+    def test_self_scan(self):
+        from repro.cmrts import run_program
+
+        data = np.arange(1.0, 13.0)
+        src = "PROGRAM T\nREAL A(12)\nA = SCAN(A)\nEND"
+        rt = run_program(compile_source(src), num_nodes=4, initial_arrays={"A": data})
+        assert np.allclose(rt.array("A"), np.cumsum(data))

@@ -1,0 +1,97 @@
+"""Unit tests for the CMF tokenizer."""
+
+import pytest
+
+from repro.cmfortran import LexError, tokenize
+
+
+def kinds(src):
+    return [t.kind for t in tokenize(src)]
+
+
+def texts(src):
+    return [t.text for t in tokenize(src)]
+
+
+def test_keywords_case_insensitive():
+    assert kinds("program foo")[:2] == ["PROGRAM", "IDENT"]
+    assert texts("Program FOO")[1] == "FOO"
+    assert kinds("forall FORALL Forall")[:3] == ["FORALL"] * 3
+
+
+def test_identifiers_canonicalized_upper():
+    toks = tokenize("aSum = a_1")
+    assert toks[0].text == "ASUM"
+    assert toks[2].text == "A_1"
+
+
+def test_int_and_real_literals():
+    toks = tokenize("1 2.5 3. 1e3 2.5e-2 7")
+    assert [t.kind for t in toks[:-2]] == [
+        "INT_LIT",
+        "REAL_LIT",
+        "REAL_LIT",
+        "REAL_LIT",
+        "REAL_LIT",
+        "INT_LIT",
+    ]
+    assert toks[4].text == "2.5e-2"
+
+
+def test_operators_and_power():
+    assert kinds("a = b ** 2 * c / d - e + f")[:-2] == [
+        "IDENT",
+        "ASSIGN",
+        "IDENT",
+        "POWER",
+        "INT_LIT",
+        "STAR",
+        "IDENT",
+        "SLASH",
+        "IDENT",
+        "MINUS",
+        "IDENT",
+        "PLUS",
+        "IDENT",
+    ]
+
+
+def test_comments_stripped():
+    toks = tokenize("a = 1 ! this is a comment\nb = 2")
+    assert "COMMENT" not in {t.kind for t in toks}
+    assert sum(1 for t in toks if t.kind == "NEWLINE") == 2
+
+
+def test_newlines_collapse_blank_lines():
+    toks = tokenize("a = 1\n\n\nb = 2")
+    newlines = [t for t in toks if t.kind == "NEWLINE"]
+    assert len(newlines) == 2  # blank lines produce no tokens
+
+
+def test_line_numbers():
+    toks = tokenize("a = 1\nb = 2\nc = 3")
+    c_tok = [t for t in toks if t.text == "C"][0]
+    assert c_tok.line == 3
+
+
+def test_eof_token_always_last():
+    assert tokenize("")[-1].kind == "EOF"
+    assert tokenize("a")[-1].kind == "EOF"
+
+
+def test_unexpected_character():
+    with pytest.raises(LexError):
+        tokenize("a = b @ c")
+
+
+def test_parens_commas_colon():
+    assert kinds("A(1, 2:3)")[:-2] == [
+        "IDENT",
+        "LPAREN",
+        "INT_LIT",
+        "COMMA",
+        "INT_LIT",
+        "COLON",
+        "INT_LIT",
+        "RPAREN",
+    ]

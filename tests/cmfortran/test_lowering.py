@@ -1,0 +1,196 @@
+"""Unit tests for lowering to node code blocks."""
+
+import pytest
+
+from repro.cmfortran import (
+    DispatchStep,
+    Elementwise,
+    HaloExchange,
+    Ident,
+    LocalReduce,
+    LoopStep,
+    ScalarStep,
+    SemanticError,
+    Shift,
+    Sort,
+    Transpose,
+    compile_source,
+)
+
+
+def compile_body(body, decls="REAL A(16), B(16)\nREAL C(8, 4)\nREAL D(4, 8)", optimize=True):
+    return compile_source(f"PROGRAM T\n{decls}\n{body}\nEND", optimize=optimize)
+
+
+def test_block_naming_convention():
+    prog = compile_body("A = B + 1.0")
+    assert prog.plan.blocks[0].name == "cmpe_t_1_"
+
+
+def test_merge_consecutive_elementwise():
+    """The optimization that creates one-to-many mappings: two adjacent
+    elementwise statements fuse into one block covering both lines."""
+    prog = compile_body("A = B + 1.0\nB = A * 2.0")
+    assert len(prog.plan.blocks) == 1
+    block = prog.plan.blocks[0]
+    assert block.lines == (5, 6)
+    assert len(block.ops) == 2
+    assert prog.lowering.merged_groups == [("cmpe_t_1_", (5, 6))]
+
+
+def test_no_merge_when_optimize_off():
+    prog = compile_body("A = B + 1.0\nB = A * 2.0", optimize=False)
+    assert len(prog.plan.blocks) == 2
+    assert prog.lowering.merged_groups == []
+
+
+def test_no_merge_across_different_shapes():
+    prog = compile_body("A = B + 1.0\nC = C * 2.0")
+    assert len(prog.plan.blocks) == 2
+
+
+def test_no_merge_across_nonfusable():
+    prog = compile_body("A = B + 1.0\nX = SUM(A)\nB = A * 2.0")
+    # compute, reduce, compute
+    kinds = [b.kind for b in prog.plan.blocks]
+    assert kinds == ["compute", "reduce", "compute"]
+
+
+def test_reduction_lowering():
+    prog = compile_body("X = SUM(A)")
+    blocks = prog.plan.blocks
+    assert len(blocks) == 1 and blocks[0].kind == "reduce"
+    op = blocks[0].ops[0]
+    assert isinstance(op, LocalReduce)
+    assert op.verb == "Sum" and op.array == "A" and op.slot == "__R1"
+    # plan: dispatch then scalar step using the slot
+    assert isinstance(prog.plan.steps[0], DispatchStep)
+    scalar = prog.plan.steps[1]
+    assert isinstance(scalar, ScalarStep)
+    assert isinstance(scalar.expr, Ident) and scalar.expr.name == "__R1"
+
+
+def test_two_reductions_two_blocks():
+    prog = compile_body("X = SUM(A) + MAXVAL(B)")
+    reduce_blocks = [b for b in prog.plan.blocks if b.kind == "reduce"]
+    assert len(reduce_blocks) == 2
+    verbs = {b.ops[0].verb for b in reduce_blocks}
+    assert verbs == {"Sum", "MaxVal"}
+
+
+def test_reduction_inside_elementwise_broadcasts():
+    prog = compile_body("A = B - SUM(B) / 16.0")
+    reduce_block = [b for b in prog.plan.blocks if b.kind == "reduce"][0]
+    assert reduce_block.ops[0].broadcast_result
+    compute = [b for b in prog.plan.blocks if b.kind == "compute"][0]
+    assert "__R1" in compute.scalar_args
+
+
+def test_scalar_args_collected():
+    prog = compile_body("X = 2.0\nA = B * X")
+    compute = [b for b in prog.plan.blocks if b.kind == "compute"][0]
+    assert compute.scalar_args == ("X",)
+
+
+def test_shift_lowering():
+    prog = compile_body("A = CSHIFT(B, 3)")
+    block = prog.plan.blocks[0]
+    assert block.kind == "shift"
+    op = block.ops[0]
+    assert isinstance(op, Shift)
+    assert op.amount == 3 and op.circular
+
+
+def test_eoshift_lowering():
+    prog = compile_body("A = EOSHIFT(B, -1)")
+    op = prog.plan.blocks[0].ops[0]
+    assert not op.circular and op.amount == -1
+
+
+def test_transpose_lowering():
+    prog = compile_body("D = TRANSPOSE(C)")
+    assert isinstance(prog.plan.blocks[0].ops[0], Transpose)
+
+
+def test_sort_lowering():
+    prog = compile_body("CALL SORT(A)")
+    assert isinstance(prog.plan.blocks[0].ops[0], Sort)
+
+
+def test_forall_with_halo():
+    prog = compile_body("FORALL (I = 2:15) A(I) = B(I-1) + B(I+1)")
+    block = prog.plan.blocks[0]
+    halos = [op for op in block.ops if isinstance(op, HaloExchange)]
+    assert {(h.array, h.offset) for h in halos} == {("B", -1), ("B", 1)}
+    ew = [op for op in block.ops if isinstance(op, Elementwise)][0]
+    assert ew.index_range == (1, 15)
+    # expression rewritten to reference halo temps
+    names = set()
+
+    def collect(e):
+        if isinstance(e, Ident):
+            names.add(e.name)
+        for attr in ("left", "right", "operand"):
+            if hasattr(e, attr):
+                collect(getattr(e, attr))
+
+    collect(ew.expr)
+    assert names == {"__sh_B_-1", "__sh_B_1"}
+
+
+def test_forall_identity_no_halo():
+    prog = compile_body("FORALL (I = 1:16) A(I) = B(I) * 2.0")
+    block = prog.plan.blocks[0]
+    assert not any(isinstance(op, HaloExchange) for op in block.ops)
+
+
+def test_foralls_with_same_range_merge():
+    prog = compile_body(
+        "FORALL (I = 2:15) A(I) = B(I-1)\nFORALL (I = 2:15) B(I) = A(I+1)"
+    )
+    assert len(prog.plan.blocks) == 1
+
+
+def test_foralls_with_different_ranges_do_not_merge():
+    prog = compile_body(
+        "FORALL (I = 2:15) A(I) = B(I-1)\nFORALL (I = 3:14) B(I) = A(I+1)"
+    )
+    assert len(prog.plan.blocks) == 2
+
+
+def test_do_loop_lowering():
+    prog = compile_body("DO K = 1, 3\nA = A + 1.0\nX = SUM(A)\nENDDO")
+    loop = prog.plan.steps[0]
+    assert isinstance(loop, LoopStep)
+    assert (loop.lo, loop.hi) == (1, 4)
+    # dispatch_count counts loop iterations
+    assert prog.plan.dispatch_count() == 3 * 2
+
+
+def test_reduction_in_forall_rejected():
+    with pytest.raises(SemanticError):
+        compile_body("FORALL (I = 1:16) A(I) = B(I) - SUM(B)")
+
+
+def test_block_named_lookup():
+    prog = compile_body("A = B + 1.0")
+    assert prog.plan.block_named("cmpe_t_1_").kind == "compute"
+    with pytest.raises(KeyError):
+        prog.plan.block_named("nope")
+
+
+def test_listing_contains_everything():
+    prog = compile_body("A = B + 1.0\nB = A * 2.0\nX = SUM(A)")
+    listing = prog.listing
+    assert "* program: T" in listing
+    assert "PARALLEL ARRAY A REAL (16)" in listing
+    assert "PARALLEL STMT line 5 kind elementwise writes A reads B" in listing
+    assert "NODE BLOCK cmpe_t_1_ kind compute lines 5,6 arrays" in listing
+    assert "reductions Sum:A" in listing
+    assert "SCALAR X" in listing
+
+
+def test_source_line_helper():
+    prog = compile_body("A = B + 1.0")
+    assert prog.source_line(5) == "A = B + 1.0"
+    assert prog.source_line(99) == ""

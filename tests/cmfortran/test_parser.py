@@ -1,0 +1,174 @@
+"""Unit tests for the CMF parser."""
+
+import pytest
+
+from repro.cmfortran import (
+    Assignment,
+    BinOp,
+    CallStmt,
+    DoLoop,
+    Forall,
+    Ident,
+    LayoutDecl,
+    Num,
+    ParseError,
+    Ref,
+    TypeDecl,
+    UnaryOp,
+    parse,
+    parse_expression,
+)
+
+SIMPLE = """
+PROGRAM DEMO
+  REAL A(1024), B(1024)
+  REAL X
+  A = B * 2.0
+END PROGRAM
+"""
+
+
+def test_program_name_and_shape():
+    prog = parse(SIMPLE)
+    assert prog.name == "DEMO"
+    assert len(prog.decls) == 2
+    assert len(prog.stmts) == 1
+
+
+def test_declarations():
+    prog = parse(SIMPLE)
+    d0 = prog.decls[0]
+    assert isinstance(d0, TypeDecl)
+    assert d0.type_name == "REAL"
+    assert [e.name for e in d0.entities] == ["A", "B"]
+    assert d0.entities[0].dims == (1024,)
+    assert prog.decls[1].entities[0].dims == ()
+
+
+def test_2d_declaration():
+    prog = parse("PROGRAM P\nREAL M(8, 4)\nEND")
+    assert prog.decls[0].entities[0].dims == (8, 4)
+
+
+def test_layout_decl():
+    prog = parse("PROGRAM P\nREAL M(8, 4)\nLAYOUT M(BLOCK, *)\nEND")
+    layout = prog.decls[1]
+    assert isinstance(layout, LayoutDecl)
+    assert layout.specs == ("BLOCK", "*")
+
+
+def test_assignment_ast():
+    prog = parse(SIMPLE)
+    stmt = prog.stmts[0]
+    assert isinstance(stmt, Assignment)
+    assert isinstance(stmt.target, Ident) and stmt.target.name == "A"
+    assert isinstance(stmt.expr, BinOp) and stmt.expr.op == "*"
+    assert stmt.line == 5
+
+
+def test_forall():
+    prog = parse("PROGRAM P\nREAL A(10)\nFORALL (I = 2:9) A(I) = A(I-1) + 1.0\nEND")
+    stmt = prog.stmts[0]
+    assert isinstance(stmt, Forall)
+    assert stmt.index == "I"
+    assert isinstance(stmt.body.target, Ref)
+    assert stmt.body.target.name == "A"
+
+
+def test_do_loop_with_enddo_and_end_do():
+    for terminator in ("ENDDO", "END DO"):
+        prog = parse(f"PROGRAM P\nREAL A(4)\nDO K = 1, 3\nA = A + 1.0\n{terminator}\nEND")
+        loop = prog.stmts[0]
+        assert isinstance(loop, DoLoop)
+        assert loop.index == "K"
+        assert len(loop.body) == 1
+
+
+def test_nested_do_loops():
+    prog = parse(
+        "PROGRAM P\nREAL A(4)\nDO I = 1, 2\nDO J = 1, 2\nA = A + 1.0\nENDDO\nENDDO\nEND"
+    )
+    outer = prog.stmts[0]
+    assert isinstance(outer.body[0], DoLoop)
+
+
+def test_unterminated_do_raises():
+    with pytest.raises(ParseError):
+        parse("PROGRAM P\nREAL A(4)\nDO I = 1, 2\nA = A + 1.0\nEND")
+
+
+def test_call_statement():
+    prog = parse("PROGRAM P\nREAL A(16)\nCALL SORT(A)\nEND")
+    stmt = prog.stmts[0]
+    assert isinstance(stmt, CallStmt)
+    assert stmt.name == "SORT"
+    assert isinstance(stmt.args[0], Ident)
+
+
+def test_intrinsic_call_in_expression():
+    prog = parse("PROGRAM P\nREAL A(16)\nS = SUM(A)\nEND")
+    expr = prog.stmts[0].expr
+    assert isinstance(expr, Ref) and expr.name == "SUM"
+
+
+def test_precedence():
+    expr = parse_expression("1 + 2 * 3")
+    assert isinstance(expr, BinOp) and expr.op == "+"
+    assert isinstance(expr.right, BinOp) and expr.right.op == "*"
+
+
+def test_power_right_associative_and_binds_tighter():
+    expr = parse_expression("2 * A ** 2 ** 3")
+    assert expr.op == "*"
+    power = expr.right
+    assert power.op == "**"
+    assert isinstance(power.right, BinOp) and power.right.op == "**"
+
+
+def test_unary_minus():
+    expr = parse_expression("-A + 1")
+    assert expr.op == "+"
+    assert isinstance(expr.left, UnaryOp)
+
+
+def test_parenthesized():
+    expr = parse_expression("(1 + 2) * 3")
+    assert expr.op == "*"
+    assert isinstance(expr.left, BinOp) and expr.left.op == "+"
+
+
+def test_numbers():
+    assert parse_expression("2.5").is_real
+    num = parse_expression("7")
+    assert isinstance(num, Num) and not num.is_real
+
+
+def test_end_program_with_name():
+    prog = parse("PROGRAM FOO\nX = 1\nEND PROGRAM FOO")
+    assert prog.name == "FOO"
+
+
+def test_missing_program_keyword():
+    with pytest.raises(ParseError):
+        parse("REAL A(4)\nEND")
+
+
+def test_trailing_garbage_after_end():
+    with pytest.raises(ParseError):
+        parse("PROGRAM P\nX = 1\nEND\nX = 2")
+
+
+def test_two_statements_one_line_rejected():
+    with pytest.raises(ParseError):
+        parse("PROGRAM P\nX = 1 Y = 2\nEND")
+
+
+def test_trailing_expression_junk():
+    with pytest.raises(ParseError):
+        parse_expression("1 + 2 )")
+
+
+def test_source_recorded():
+    prog = parse(SIMPLE, source_file="demo.cmf")
+    assert prog.source_file == "demo.cmf"
+    assert "PROGRAM DEMO" in prog.source

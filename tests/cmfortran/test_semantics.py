@@ -1,0 +1,215 @@
+"""Unit tests for CMF semantic analysis."""
+
+import pytest
+
+from repro.cmfortran import SemanticError, analyze, parse
+
+
+def analyze_src(body, decls="REAL A(16), B(16)\nREAL C(8, 4)\nREAL D(4, 8)"):
+    return analyze(parse(f"PROGRAM T\n{decls}\n{body}\nEND"))
+
+
+def classify_one(body, **kwargs):
+    analyzed = analyze_src(body, **kwargs)
+    assert len(analyzed.classified) == 1
+    return analyzed.classified[0]
+
+
+def test_symbols_collected():
+    analyzed = analyze_src("A = B")
+    assert analyzed.symbols.array("A").shape == (16,)
+    assert analyzed.symbols.array("C").shape == (8, 4)
+    assert analyzed.symbols.array("A").dtype == "REAL"
+
+
+def test_duplicate_declaration():
+    with pytest.raises(SemanticError):
+        analyze_src("A = B", decls="REAL A(4)\nREAL A(8)")
+
+
+def test_rank3_rejected():
+    with pytest.raises(SemanticError):
+        analyze_src("X = 1", decls="REAL A(2, 2, 2)")
+
+
+def test_nonpositive_dim_rejected():
+    with pytest.raises(SemanticError):
+        analyze_src("X = 1", decls="REAL A(0)")
+
+
+def test_layout_for_undeclared_array():
+    with pytest.raises(SemanticError):
+        analyze_src("X = 1", decls="REAL A(4)\nLAYOUT B(BLOCK)")
+
+
+def test_elementwise_classification():
+    sc = classify_one("A = B * 2.0 + 1.0")
+    assert sc.kind == "elementwise"
+    assert sc.arrays_written == ("A",)
+    assert sc.arrays_read == ("B",)
+    assert sc.ops_per_element == 2
+    assert sc.is_parallel
+
+
+def test_scalar_classification():
+    sc = classify_one("X = 1.0 + 2.0")
+    assert sc.kind == "scalar"
+    assert not sc.is_parallel
+
+
+def test_scalar_with_reduction_is_parallel():
+    sc = classify_one("X = SUM(A)")
+    assert sc.kind == "scalar"
+    assert sc.reductions == (("Sum", "A"),)
+    assert sc.is_parallel
+
+
+def test_multiple_reductions_in_one_statement():
+    sc = classify_one("X = SUM(A) + MAXVAL(B)")
+    assert sc.reductions == (("Sum", "A"), ("MaxVal", "B"))
+
+
+def test_reduction_inside_elementwise():
+    sc = classify_one("A = B - SUM(B) / 16.0")
+    assert sc.kind == "elementwise"
+    assert sc.reductions == (("Sum", "B"),)
+
+
+def test_nested_reduction_rejected():
+    with pytest.raises(SemanticError):
+        classify_one("X = SUM(A + MINVAL(B))")
+
+
+def test_shape_mismatch_rejected():
+    with pytest.raises(SemanticError):
+        classify_one("A = C")
+    with pytest.raises(SemanticError):
+        classify_one("A = B + C")
+
+
+def test_scalar_broadcast_into_array_expr():
+    sc = classify_one("A = B + 1.0")
+    assert sc.kind == "elementwise"
+
+
+def test_array_assigned_to_scalar_rejected():
+    with pytest.raises(SemanticError):
+        classify_one("X = A")
+
+
+def test_transform_classification():
+    sc = classify_one("A = CSHIFT(B, 3)")
+    assert sc.kind == "transform"
+    assert sc.transform == "CSHIFT"
+    assert sc.transform_params == (3,)
+
+
+def test_eoshift_negative_amount():
+    sc = classify_one("A = EOSHIFT(B, -2)")
+    assert sc.transform_params == (-2,)
+
+
+def test_transpose_shapes():
+    sc = classify_one("D = TRANSPOSE(C)")
+    assert sc.transform == "TRANSPOSE"
+    with pytest.raises(SemanticError):
+        classify_one("C = TRANSPOSE(C)")  # (8,4) = (4,8) mismatch
+
+
+def test_transpose_needs_rank2():
+    with pytest.raises(SemanticError):
+        classify_one("A = TRANSPOSE(B)")
+
+
+def test_scan_classification():
+    sc = classify_one("A = SCAN(B)")
+    assert sc.transform == "SCAN"
+
+
+def test_transform_must_be_whole_rhs():
+    with pytest.raises(SemanticError):
+        classify_one("A = CSHIFT(B, 1) + 1.0")
+
+
+def test_sort_classification():
+    sc = classify_one("CALL SORT(A)")
+    assert sc.kind == "sort"
+    assert sc.transform == "SORT"
+
+
+def test_sort_needs_rank1():
+    with pytest.raises(SemanticError):
+        classify_one("CALL SORT(C)")
+
+
+def test_unknown_subroutine():
+    with pytest.raises(SemanticError):
+        classify_one("CALL FROBNICATE(A)")
+
+
+def test_forall_classification():
+    sc = classify_one("FORALL (I = 2:15) A(I) = B(I-1) + B(I+1)")
+    assert sc.kind == "elementwise"
+    assert sc.forall_range == (1, 15)  # 0-based half-open
+    assert sc.forall_index == "I"
+    assert sc.arrays_read == ("B",)
+
+
+def test_forall_range_out_of_bounds():
+    with pytest.raises(SemanticError):
+        classify_one("FORALL (I = 0:15) A(I) = B(I)")
+    with pytest.raises(SemanticError):
+        classify_one("FORALL (I = 1:17) A(I) = B(I)")
+
+
+def test_forall_bad_subscript():
+    with pytest.raises(SemanticError):
+        classify_one("FORALL (I = 1:16) A(I) = B(2*I)")
+
+
+def test_forall_target_must_use_index_directly():
+    with pytest.raises(SemanticError):
+        classify_one("FORALL (I = 1:16) A(I+1) = B(I)")
+
+
+def test_forall_on_2d_rejected():
+    with pytest.raises(SemanticError):
+        classify_one("FORALL (I = 1:8) C(I) = 1.0")
+
+
+def test_subscript_outside_forall_rejected():
+    with pytest.raises(SemanticError):
+        classify_one("X = A(3)")
+
+
+def test_do_loop_classification():
+    analyzed = analyze_src("DO K = 1, 3\nA = A + 1.0\nENDDO")
+    sc = analyzed.classified[0]
+    assert sc.kind == "do"
+    assert sc.forall_range == (1, 4)
+    assert len(sc.body) == 1
+    assert sc.body[0].kind == "elementwise"
+
+
+def test_unknown_name_rejected():
+    with pytest.raises(SemanticError):
+        classify_one("A = FOO(B)")
+
+
+def test_implicit_scalars_allowed():
+    analyzed = analyze_src("X = 1.0\nY = X * 2.0")
+    assert "X" in analyzed.symbols.scalars
+    assert "Y" in analyzed.symbols.scalars
+
+
+def test_min_max_two_args():
+    sc = classify_one("A = MAX(A, B)")
+    assert sc.kind == "elementwise"
+    with pytest.raises(SemanticError):
+        classify_one("A = MAX(A)")
+
+
+def test_elementwise_intrinsic_shapes():
+    sc = classify_one("A = SQRT(ABS(B))")
+    assert sc.kind == "elementwise"
+    assert sc.ops_per_element == 2

@@ -1,0 +1,154 @@
+"""Tests for subroutine program units (CALL, per-unit blocks, ownership)."""
+
+import numpy as np
+import pytest
+
+from repro.cmfortran import ParseError, SemanticError, compile_source, parse
+from repro.cmrts import run_program
+
+SRC = """PROGRAM MAIN
+  REAL G(32)
+  CALL FILL()
+  CALL DOUBLE()
+  S = SUM(G)
+END PROGRAM
+
+SUBROUTINE FILL
+  G = 1.0
+END SUBROUTINE
+
+SUBROUTINE DOUBLE
+  REAL LOCALBUF(32)
+  LOCALBUF = G * 2.0
+  G = LOCALBUF
+END SUBROUTINE
+"""
+
+
+def test_parse_subroutines():
+    prog = parse(SRC)
+    assert [s.name for s in prog.subroutines] == ["FILL", "DOUBLE"]
+    assert prog.subroutine("DOUBLE").decls
+    with pytest.raises(KeyError):
+        prog.subroutine("NOPE")
+
+
+def test_parse_subroutine_with_empty_parens():
+    prog = parse("PROGRAM P\nX = 1\nEND\nSUBROUTINE S()\nY = 2\nEND SUBROUTINE S")
+    assert prog.subroutines[0].name == "S"
+
+
+def test_text_after_units_rejected():
+    with pytest.raises(ParseError):
+        parse("PROGRAM P\nX = 1\nEND\nX = 2")
+
+
+def test_semantics_ownership():
+    prog = compile_source(SRC)
+    assert prog.symbols.array("G").owner == "MAIN"
+    assert prog.symbols.array("LOCALBUF").owner == "DOUBLE"
+
+
+def test_duplicate_array_across_units_rejected():
+    with pytest.raises(SemanticError):
+        compile_source("PROGRAM P\nREAL A(4)\nEND\nSUBROUTINE S\nREAL A(8)\nEND SUBROUTINE")
+
+
+def test_duplicate_unit_names_rejected():
+    with pytest.raises(SemanticError):
+        compile_source("PROGRAM P\nEND\nSUBROUTINE S\nEND SUBROUTINE\nSUBROUTINE S\nEND SUBROUTINE")
+
+
+def test_call_with_args_rejected():
+    with pytest.raises(SemanticError):
+        compile_source("PROGRAM P\nREAL A(4)\nCALL S(A)\nEND\nSUBROUTINE S\nA = 1.0\nEND SUBROUTINE")
+
+
+def test_unknown_call_still_rejected():
+    with pytest.raises(SemanticError):
+        compile_source("PROGRAM P\nCALL GHOST()\nEND")
+
+
+def test_recursion_rejected():
+    src = (
+        "PROGRAM P\nCALL A()\nEND\n"
+        "SUBROUTINE A\nCALL B()\nEND SUBROUTINE\n"
+        "SUBROUTINE B\nCALL A()\nEND SUBROUTINE"
+    )
+    with pytest.raises(SemanticError):
+        compile_source(src)
+
+
+def test_self_recursion_rejected():
+    src = "PROGRAM P\nCALL A()\nEND\nSUBROUTINE A\nCALL A()\nEND SUBROUTINE"
+    with pytest.raises(SemanticError):
+        compile_source(src)
+
+
+def test_blocks_named_per_unit():
+    prog = compile_source(SRC)
+    names = [b.name for b in prog.plan.blocks]
+    assert any(n.startswith("cmpe_fill_") for n in names)
+    assert any(n.startswith("cmpe_double_") for n in names)
+    assert any(n.startswith("cmpe_main_") for n in names)
+
+
+def test_repeated_calls_share_blocks():
+    src = (
+        "PROGRAM P\nREAL A(16)\nCALL BUMP()\nCALL BUMP()\nCALL BUMP()\nEND\n"
+        "SUBROUTINE BUMP\nA = A + 1.0\nEND SUBROUTINE"
+    )
+    prog = compile_source(src)
+    bump_blocks = [b for b in prog.plan.blocks if b.name.startswith("cmpe_bump_")]
+    assert len(bump_blocks) == 1  # one compiled block, three call sites
+    assert prog.plan.dispatch_count() == 3
+
+
+def test_nested_calls_inline_transitively():
+    src = (
+        "PROGRAM P\nREAL A(8)\nCALL OUTER()\nEND\n"
+        "SUBROUTINE OUTER\nCALL INNER()\nA = A * 2.0\nEND SUBROUTINE\n"
+        "SUBROUTINE INNER\nA = A + 1.0\nEND SUBROUTINE"
+    )
+    rt = run_program(compile_source(src), num_nodes=2)
+    assert np.allclose(rt.array("A"), 2.0)  # (0 + 1) * 2
+
+
+def test_execution_semantics():
+    rt = run_program(compile_source(SRC), num_nodes=4)
+    assert np.allclose(rt.array("G"), 2.0)
+    assert rt.scalar("S") == pytest.approx(64.0)
+
+
+def test_call_inside_do_loop():
+    src = (
+        "PROGRAM P\nREAL A(8)\nDO K = 1, 4\nCALL BUMP()\nENDDO\nEND\n"
+        "SUBROUTINE BUMP\nA = A + 1.0\nEND SUBROUTINE"
+    )
+    rt = run_program(compile_source(src), num_nodes=2)
+    assert np.allclose(rt.array("A"), 4.0)
+
+
+def test_listing_records_subroutines_and_owners():
+    prog = compile_source(SRC, "main.cmf")
+    assert "SUBROUTINE FILL line" in prog.listing
+    assert "owner DOUBLE" in prog.listing
+    assert "owner MAIN" in prog.listing
+
+
+def test_pif_descriptions_mention_owner():
+    from repro.pif import generate_pif
+
+    doc = generate_pif(compile_source(SRC, "main.cmf").listing)
+    local_noun = next(n for n in doc.nouns if n.name == "LOCALBUF")
+    assert "in DOUBLE" in local_noun.description
+
+
+def test_where_axis_groups_arrays_by_function():
+    from repro.paradyn import Paradyn
+
+    tool = Paradyn.for_program(compile_source(SRC, "main.cmf"), num_nodes=2)
+    tool.run()
+    module = tool.datamgr.where_axis.hierarchy("CMFarrays").child("main.cmf")
+    assert {c.name for c in module.children} == {"MAIN", "DOUBLE"}
+    assert module.child("DOUBLE").child("LOCALBUF")

@@ -1,0 +1,102 @@
+"""Unit tests for distributed parallel arrays."""
+
+import numpy as np
+import pytest
+
+from repro.cmrts import ParallelArray, block_ranges, owner_of
+
+
+def test_block_ranges_balanced():
+    assert block_ranges(10, 4) == [(0, 3), (3, 6), (6, 8), (8, 10)]
+    assert block_ranges(8, 4) == [(0, 2), (2, 4), (4, 6), (6, 8)]
+
+
+def test_block_ranges_fewer_elements_than_parts():
+    ranges = block_ranges(2, 4)
+    assert ranges == [(0, 1), (1, 2), (2, 2), (2, 2)]
+
+
+def test_block_ranges_cover_everything_exactly():
+    for n in (0, 1, 7, 64, 100):
+        for p in (1, 2, 3, 8):
+            ranges = block_ranges(n, p)
+            assert len(ranges) == p
+            assert ranges[0][0] == 0 and ranges[-1][1] == n
+            for (a, b), (c, d) in zip(ranges, ranges[1:]):
+                assert b == c and a <= b
+
+    with pytest.raises(ValueError):
+        block_ranges(-1, 4)
+    with pytest.raises(ValueError):
+        block_ranges(4, 0)
+
+
+def test_owner_of():
+    ranges = block_ranges(10, 3)
+    assert owner_of(0, ranges) == 0
+    assert owner_of(9, ranges) == 2
+    with pytest.raises(IndexError):
+        owner_of(10, ranges)
+
+
+def test_array_validation():
+    with pytest.raises(ValueError):
+        ParallelArray("A", "COMPLEX", (4,), 2)
+    with pytest.raises(ValueError):
+        ParallelArray("A", "REAL", (2, 2, 2), 2)
+    with pytest.raises(ValueError):
+        ParallelArray("A", "REAL", (0,), 2)
+
+
+def test_local_blocks_and_global_roundtrip():
+    arr = ParallelArray("A", "REAL", (10,), 3)
+    data = np.arange(10, dtype=float)
+    arr.set_global(data)
+    assert np.allclose(arr.global_value(), data)
+    assert np.allclose(arr.local(0), data[0:4])
+    assert np.allclose(arr.local(2), data[7:10])
+
+
+def test_2d_distribution_along_rows():
+    arr = ParallelArray("M", "REAL", (6, 5), 2)
+    assert arr.local(0).shape == (3, 5)
+    assert arr.local_range(1) == (3, 6)
+    assert arr.row_bytes == 40
+    assert arr.local_size(0) == 15
+
+
+def test_integer_dtype():
+    arr = ParallelArray("K", "INTEGER", (4,), 2)
+    assert arr.local(0).dtype == np.int64
+
+
+def test_set_local_shape_checked():
+    arr = ParallelArray("A", "REAL", (10,), 3)
+    with pytest.raises(ValueError):
+        arr.set_local(0, np.zeros(3))
+    arr.set_local(0, np.ones(4))
+    assert arr.global_value()[:4].sum() == 4.0
+
+
+def test_set_global_shape_checked():
+    arr = ParallelArray("A", "REAL", (10,), 3)
+    with pytest.raises(ValueError):
+        arr.set_global(np.zeros(9))
+
+
+def test_locals_are_mutable_views():
+    arr = ParallelArray("A", "REAL", (10,), 2)
+    arr.local(0)[...] = 7.0
+    assert arr.global_value()[:5].sum() == 35.0
+
+
+def test_subregion_description():
+    arr = ParallelArray("TOT", "REAL", (100,), 4)
+    assert arr.subregion_description(1) == "TOT[25:50] on node 1"
+    arr2 = ParallelArray("M", "REAL", (8, 3), 2)
+    assert "M[0:4, :]" in arr2.subregion_description(0)
+
+
+def test_total_bytes():
+    assert ParallelArray("A", "REAL", (100,), 4).total_bytes() == 800
+    assert ParallelArray("M", "REAL", (4, 4), 2).total_bytes() == 128

@@ -1,0 +1,217 @@
+"""Unit tests for transfer planning and SPMD collectives."""
+
+import numpy as np
+import pytest
+
+from repro.cmrts import (
+    NodeComm,
+    block_ranges,
+    chain_exclusive_scan,
+    plan_redistribution,
+    plan_shift_transfers,
+    plan_transpose_transfers,
+    tree_broadcast_from_zero,
+    tree_reduce_to_zero,
+)
+from repro.machine import Machine, MachineConfig
+
+
+def apply_transfers(src, transfers, n, fill=0.0):
+    """Oracle: apply a transfer plan to a global array serially."""
+    dst = np.full(n, fill)
+    for t in transfers:
+        dst[t.dst_rows[0] : t.dst_rows[1]] = src[t.src_rows[0] : t.src_rows[1]]
+    return dst
+
+
+class TestShiftPlanning:
+    def test_eoshift_positive(self):
+        n, ranges = 10, block_ranges(10, 3)
+        transfers = plan_shift_transfers(n, ranges, 3, circular=False)
+        src = np.arange(10.0)
+        expected = np.zeros(10)
+        expected[:7] = src[3:]
+        assert np.allclose(apply_transfers(src, transfers, n), expected)
+
+    def test_eoshift_negative(self):
+        n, ranges = 10, block_ranges(10, 4)
+        transfers = plan_shift_transfers(n, ranges, -2, circular=False)
+        src = np.arange(10.0)
+        expected = np.zeros(10)
+        expected[2:] = src[:8]
+        assert np.allclose(apply_transfers(src, transfers, n), expected)
+
+    def test_cshift_wraps(self):
+        n, ranges = 10, block_ranges(10, 3)
+        for amount in (0, 1, 3, 9, 10, 13, -4):
+            transfers = plan_shift_transfers(n, ranges, amount, circular=True)
+            src = np.arange(10.0)
+            expected = np.roll(src, -amount)  # CSHIFT: dst[i] = src[i+amount]
+            assert np.allclose(apply_transfers(src, transfers, n), expected), amount
+
+    def test_shift_larger_than_array_eoshift(self):
+        n, ranges = 5, block_ranges(5, 2)
+        transfers = plan_shift_transfers(n, ranges, 7, circular=False)
+        assert transfers == []
+
+    def test_transfers_respect_ownership(self):
+        n, ranges = 16, block_ranges(16, 4)
+        transfers = plan_shift_transfers(n, ranges, 5, circular=True)
+        for t in transfers:
+            slo, shi = t.src_rows
+            assert ranges[t.src_node][0] <= slo and shi <= ranges[t.src_node][1]
+            dlo, dhi = t.dst_rows
+            assert ranges[t.dst_node][0] <= dlo and dhi <= ranges[t.dst_node][1]
+            assert t.nrows == dhi - dlo > 0
+
+
+class TestRedistribution:
+    def test_uneven_counts_back_to_block(self):
+        dst_ranges = block_ranges(12, 3)  # 4/4/4
+        counts = [7, 2, 3]
+        transfers = plan_redistribution(counts, dst_ranges)
+        src = np.arange(12.0)
+        assert np.allclose(apply_transfers(src, transfers, 12), src)
+
+    def test_count_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            plan_redistribution([3, 3], block_ranges(10, 2))
+
+    def test_empty_counts(self):
+        dst_ranges = block_ranges(6, 3)
+        transfers = plan_redistribution([6, 0, 0], dst_ranges)
+        src = np.arange(6.0)
+        assert np.allclose(apply_transfers(src, transfers, 6), src)
+
+
+def test_transpose_pairs_skip_empty_ranges():
+    src_ranges = block_ranges(2, 3)  # last node empty
+    dst_ranges = block_ranges(5, 3)
+    pairs = plan_transpose_transfers(src_ranges, dst_ranges)
+    assert all(p < 2 for p, _ in pairs)
+    assert len(pairs) == 2 * 3
+
+
+# ----------------------------------------------------------------------
+# collectives on a live machine
+# ----------------------------------------------------------------------
+def run_collective(n_nodes, body):
+    """Spawn ``body(comm, node_id)`` per node; return list of results."""
+    machine = Machine(MachineConfig(num_nodes=n_nodes))
+    results = [None] * n_nodes
+
+    def wrap(i):
+        comm = NodeComm(machine.network, i)
+        value = yield from body(comm, i)
+        results[i] = value
+
+    for i in range(n_nodes):
+        machine.sim.spawn(wrap(i), f"n{i}")
+    machine.sim.run()
+    return results, machine
+
+
+@pytest.mark.parametrize("n_nodes", [1, 2, 3, 4, 7, 8])
+def test_tree_reduce_sum(n_nodes):
+    def body(comm, i):
+        total = yield from tree_reduce_to_zero(
+            comm, n_nodes, float(i + 1), lambda a, b: a + b, "t"
+        )
+        return total
+
+    results, _ = run_collective(n_nodes, body)
+    assert results[0] == sum(range(1, n_nodes + 1))
+    assert all(r is None for r in results[1:])
+
+
+@pytest.mark.parametrize("n_nodes", [1, 2, 3, 5, 8])
+def test_tree_broadcast(n_nodes):
+    def body(comm, i):
+        value = yield from tree_broadcast_from_zero(
+            comm, n_nodes, "hello" if i == 0 else None, "b", 8
+        )
+        return value
+
+    results, _ = run_collective(n_nodes, body)
+    assert results == ["hello"] * n_nodes
+
+
+@pytest.mark.parametrize("n_nodes", [1, 2, 4, 6])
+def test_chain_exclusive_scan(n_nodes):
+    def body(comm, i):
+        offset = yield from chain_exclusive_scan(comm, n_nodes, float(i + 1), "s")
+        return offset
+
+    results, _ = run_collective(n_nodes, body)
+    expected = [sum(range(1, i + 1)) for i in range(n_nodes)]
+    assert results == expected
+
+
+def test_reduce_message_count_is_n_minus_1():
+    n = 8
+
+    def body(comm, i):
+        return (yield from tree_reduce_to_zero(comm, n, 1.0, lambda a, b: a + b, "t"))
+
+    _, machine = run_collective(n, body)
+    assert machine.network.stats.total_messages == n - 1
+
+
+def test_matched_recv_buffers_out_of_order():
+    machine = Machine(MachineConfig(num_nodes=3))
+    got = []
+
+    def receiver():
+        comm = NodeComm(machine.network, 0)
+        msg_b = yield from comm.recv(tag="b")
+        msg_a = yield from comm.recv(tag="a")
+        got.extend([msg_b.payload, msg_a.payload])
+
+    def sender():
+        comm = NodeComm(machine.network, 1)
+        yield from comm.send(0, "a", "first", 8)
+        yield from comm.send(0, "b", "second", 8)
+
+    machine.sim.spawn(receiver(), "r")
+    machine.sim.spawn(sender(), "s")
+    machine.sim.run()
+    assert got == ["second", "first"]
+
+
+def test_recv_by_source():
+    machine = Machine(MachineConfig(num_nodes=3))
+    got = []
+
+    def receiver():
+        comm = NodeComm(machine.network, 0)
+        msg = yield from comm.recv(src=2, tag="x")
+        got.append(msg.src)
+
+    def sender(i, delay):
+        def gen():
+            comm = NodeComm(machine.network, i)
+            yield delay
+            yield from comm.send(0, "x", i, 8)
+
+        return gen()
+
+    machine.sim.spawn(receiver(), "r")
+    machine.sim.spawn(sender(1, 0.0), "s1")
+    machine.sim.spawn(sender(2, 1.0), "s2")
+    machine.sim.run()
+    assert got == [2]
+
+
+def test_send_hooks_fire():
+    machine = Machine(MachineConfig(num_nodes=2))
+    events = []
+
+    def sender():
+        comm = NodeComm(machine.network, 0)
+        comm.on_send.append(lambda dst, tag, size: events.append(("pre", dst)))
+        comm.on_send_done.append(lambda dst, tag, size: events.append(("post", dst)))
+        yield from comm.send(1, "t", None, 8)
+
+    machine.sim.spawn(sender(), "s")
+    machine.sim.run()
+    assert events == [("pre", 1), ("post", 1)]

@@ -1,0 +1,167 @@
+"""Tests for 2-D data layouts: LAYOUT (BLOCK, *) vs (*, BLOCK)."""
+
+import numpy as np
+import pytest
+
+from repro.cmfortran import SemanticError, compile_source, interpret
+from repro.cmrts import ParallelArray, run_program
+
+DATA = np.arange(96.0).reshape(12, 8)
+
+
+def run_src(src, nodes=4, init=None):
+    return run_program(compile_source(src), num_nodes=nodes, initial_arrays=init)
+
+
+class TestParallelArrayAxis1:
+    def test_column_blocks(self):
+        arr = ParallelArray("M", "REAL", (6, 10), 4, dist_axis=1)
+        assert arr.local(0).shape == (6, 3)
+        assert arr.local(3).shape == (6, 2)
+        arr.set_global(np.arange(60.0).reshape(6, 10))
+        assert np.allclose(arr.global_value(), np.arange(60.0).reshape(6, 10))
+        assert np.allclose(arr.local(1), np.arange(60.0).reshape(6, 10)[:, 3:6])
+
+    def test_local_size_counts_elements(self):
+        arr = ParallelArray("M", "REAL", (6, 10), 4, dist_axis=1)
+        assert arr.local_size(0) == 18
+        assert sum(arr.local_size(i) for i in range(4)) == 60
+
+    def test_subregion_description(self):
+        arr = ParallelArray("M", "REAL", (6, 10), 2, dist_axis=1)
+        assert arr.subregion_description(1) == "M[:, 5:10] on node 1"
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ParallelArray("A", "REAL", (8,), 2, dist_axis=1)  # rank-1
+        with pytest.raises(ValueError):
+            ParallelArray("A", "REAL", (8, 8), 2, dist_axis=2)
+
+
+class TestLayoutSemantics:
+    def test_bad_layouts_rejected(self):
+        with pytest.raises(SemanticError):
+            compile_source("PROGRAM P\nREAL M(4, 4)\nLAYOUT M(BLOCK)\nEND")  # rank mismatch
+        with pytest.raises(SemanticError):
+            compile_source("PROGRAM P\nREAL M(4, 4)\nLAYOUT M(*, *)\nEND")  # no BLOCK
+        with pytest.raises(SemanticError):
+            compile_source("PROGRAM P\nREAL M(4, 4)\nLAYOUT M(BLOCK, BLOCK)\nEND")
+
+    def test_mixed_distribution_elementwise_rejected(self):
+        src = (
+            "PROGRAM P\nREAL M(4, 4), N(4, 4)\nLAYOUT M(*, BLOCK)\n"
+            "LAYOUT N(BLOCK, *)\nM = M + N\nEND"
+        )
+        with pytest.raises(SemanticError):
+            compile_source(src)
+
+    def test_mixed_distribution_shift_rejected(self):
+        src = (
+            "PROGRAM P\nREAL M(4, 4), N(4, 4)\nLAYOUT M(*, BLOCK)\n"
+            "N = CSHIFT(M, 1)\nEND"
+        )
+        with pytest.raises(SemanticError):
+            compile_source(src)
+
+    def test_dist_axis_property(self):
+        prog = compile_source(
+            "PROGRAM P\nREAL M(4, 4), N(4, 4)\nLAYOUT M(*, BLOCK)\nLAYOUT N(BLOCK, *)\nEND"
+        )
+        assert prog.symbols.array("M").dist_axis == 1
+        assert prog.symbols.array("N").dist_axis == 0
+
+
+class TestColumnDistributedExecution:
+    def test_elementwise_and_reduction(self):
+        src = (
+            "PROGRAM P\nREAL M(12, 8), N(12, 8)\nLAYOUT M(*, BLOCK)\nLAYOUT N(*, BLOCK)\n"
+            "N = M * 2.0 + 1.0\nS = SUM(N)\nEND"
+        )
+        rt = run_src(src, init={"M": DATA})
+        assert np.allclose(rt.array("N"), DATA * 2 + 1)
+        assert rt.scalar("S") == pytest.approx((DATA * 2 + 1).sum())
+
+    @pytest.mark.parametrize("amount", [3, -5, 0, 13])
+    def test_shift_is_local_and_correct(self, amount):
+        src = (
+            f"PROGRAM P\nREAL M(12, 8), N(12, 8)\nLAYOUT M(*, BLOCK)\nLAYOUT N(*, BLOCK)\n"
+            f"N = CSHIFT(M, {amount})\nEND"
+        )
+        rt = run_src(src, init={"M": DATA})
+        assert np.allclose(rt.array("N"), np.roll(DATA, -amount, axis=0))
+        data_msgs = sum(w.stats.p2p_sends for w in rt.workers) - rt.dispatches * 4
+        assert data_msgs == 0  # shift along the non-distributed axis is free
+
+    @pytest.mark.parametrize("amount", [2, -7])
+    def test_eoshift_column_distributed(self, amount):
+        src = (
+            f"PROGRAM P\nREAL M(12, 8), N(12, 8)\nLAYOUT M(*, BLOCK)\nLAYOUT N(*, BLOCK)\n"
+            f"N = EOSHIFT(M, {amount})\nEND"
+        )
+        rt = run_src(src, init={"M": DATA})
+        expected = np.zeros_like(DATA)
+        if amount >= 0:
+            expected[: 12 - amount] = DATA[amount:]
+        else:
+            expected[-amount:] = DATA[: 12 + amount]
+        assert np.allclose(rt.array("N"), expected)
+
+
+class TestTransposeLayouts:
+    def _count(self, src, nodes=4):
+        rt = run_src(src, nodes=nodes, init={"M": DATA})
+        ok = np.allclose(rt.array("MT"), DATA.T)
+        data_msgs = sum(w.stats.p2p_sends for w in rt.workers) - rt.dispatches * nodes
+        return ok, data_msgs
+
+    def test_matched_layouts_zero_messages(self):
+        ok, msgs = self._count(
+            "PROGRAM P\nREAL M(12, 8)\nREAL MT(8, 12)\n"
+            "LAYOUT M(BLOCK, *)\nLAYOUT MT(*, BLOCK)\nMT = TRANSPOSE(M)\nEND"
+        )
+        assert ok and msgs == 0
+
+    def test_matched_layouts_reverse_direction(self):
+        ok, msgs = self._count(
+            "PROGRAM P\nREAL M(12, 8)\nREAL MT(8, 12)\n"
+            "LAYOUT M(*, BLOCK)\nLAYOUT MT(BLOCK, *)\nMT = TRANSPOSE(M)\nEND"
+        )
+        assert ok and msgs == 0
+
+    def test_default_layouts_need_all_to_all(self):
+        ok, msgs = self._count(
+            "PROGRAM P\nREAL M(12, 8)\nREAL MT(8, 12)\nMT = TRANSPOSE(M)\nEND"
+        )
+        assert ok and msgs == 4 * 3  # every node to every other
+
+    def test_both_column_distributed(self):
+        ok, msgs = self._count(
+            "PROGRAM P\nREAL M(12, 8)\nREAL MT(8, 12)\n"
+            "LAYOUT M(*, BLOCK)\nLAYOUT MT(*, BLOCK)\nMT = TRANSPOSE(M)\nEND"
+        )
+        assert ok and msgs == 4 * 3
+
+    @pytest.mark.parametrize("nodes", [1, 2, 3, 5])
+    def test_all_layout_combos_against_oracle(self, nodes):
+        for lm in ("(BLOCK, *)", "(*, BLOCK)"):
+            for lt in ("(BLOCK, *)", "(*, BLOCK)"):
+                src = (
+                    f"PROGRAM P\nREAL M(12, 8)\nREAL MT(8, 12)\n"
+                    f"LAYOUT M{lm}\nLAYOUT MT{lt}\n"
+                    f"M = M + 1.0\nMT = TRANSPOSE(M)\nS = SUM(MT)\nEND"
+                )
+                prog = compile_source(src)
+                rt = run_program(prog, num_nodes=nodes, initial_arrays={"M": DATA})
+                oracle = interpret(prog.analyzed, initial_arrays={"M": DATA})
+                assert np.allclose(rt.array("MT"), oracle.array("MT")), (lm, lt, nodes)
+                assert rt.scalar("S") == pytest.approx(oracle.scalar("S"))
+
+
+def test_where_axis_shows_column_subregions():
+    from repro.paradyn import Paradyn
+
+    src = "PROGRAM P\nREAL M(12, 8)\nLAYOUT M(*, BLOCK)\nM = 1.0\nEND"
+    tool = Paradyn.for_program(compile_source(src, "p.cmf"), num_nodes=2)
+    tool.run()
+    node = tool.datamgr.where_axis.find("M[:, 0:4] on node 0")
+    assert node is not None

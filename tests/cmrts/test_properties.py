@@ -1,0 +1,149 @@
+"""Property-based tests for the CMRTS substrate against numpy oracles."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cmfortran import compile_source
+from repro.cmrts import (
+    block_ranges,
+    plan_redistribution,
+    plan_shift_transfers,
+    run_program,
+)
+
+
+# ----------------------------------------------------------------------
+# partitioning
+# ----------------------------------------------------------------------
+@given(st.integers(0, 500), st.integers(1, 16))
+def test_block_ranges_partition(n, parts):
+    ranges = block_ranges(n, parts)
+    assert len(ranges) == parts
+    covered = []
+    for lo, hi in ranges:
+        assert 0 <= lo <= hi <= n
+        covered.extend(range(lo, hi))
+    assert covered == list(range(n))
+    sizes = [hi - lo for lo, hi in ranges]
+    assert max(sizes) - min(sizes) <= 1  # balanced
+
+
+# ----------------------------------------------------------------------
+# shift transfer plans vs numpy oracle
+# ----------------------------------------------------------------------
+def _apply(src, transfers, n, fill):
+    dst = np.full(n, fill)
+    seen = np.zeros(n, dtype=bool)
+    for t in transfers:
+        a, b = t.dst_rows
+        assert not seen[a:b].any(), "transfer plan writes a row twice"
+        seen[a:b] = True
+        dst[a:b] = src[t.src_rows[0] : t.src_rows[1]]
+    return dst
+
+
+@given(
+    st.integers(1, 60),
+    st.integers(1, 8),
+    st.integers(-70, 70),
+    st.booleans(),
+)
+@settings(max_examples=200, deadline=None)
+def test_shift_plan_matches_numpy(n, parts, amount, circular):
+    ranges = block_ranges(n, parts)
+    transfers = plan_shift_transfers(n, ranges, amount, circular)
+    src = np.arange(float(n))
+    got = _apply(src, transfers, n, fill=0.0)
+    if circular:
+        expected = np.roll(src, -amount)
+    else:
+        expected = np.zeros(n)
+        if amount >= 0:
+            if amount < n:
+                expected[: n - amount] = src[amount:]
+        else:
+            if -amount < n:
+                expected[-amount:] = src[: n + amount]
+    assert np.allclose(got, expected)
+
+
+@given(st.lists(st.integers(0, 30), min_size=1, max_size=8))
+@settings(max_examples=100, deadline=None)
+def test_redistribution_is_identity_on_values(counts):
+    n = sum(counts)
+    if n == 0:
+        return
+    dst_ranges = block_ranges(n, len(counts))
+    transfers = plan_redistribution(counts, dst_ranges)
+    src = np.arange(float(n))
+    got = _apply(src, transfers, n, fill=-1.0)
+    assert np.allclose(got, src)
+
+
+# ----------------------------------------------------------------------
+# end-to-end runtime vs numpy for generated programs
+# ----------------------------------------------------------------------
+@given(
+    st.integers(8, 80),
+    st.integers(1, 6),
+    st.integers(-12, 12),
+    st.integers(0, 2**31 - 1),
+)
+@settings(max_examples=25, deadline=None)
+def test_pipeline_cshift_sum_oracle(size, nodes, amount, seed):
+    rng = np.random.default_rng(seed)
+    data = rng.uniform(-10, 10, size)
+    src = f"PROGRAM P\nREAL A({size}), B({size})\nB = CSHIFT(A, {amount})\nS = SUM(B)\nEND"
+    rt = run_program(compile_source(src), num_nodes=nodes, initial_arrays={"A": data})
+    assert np.allclose(rt.array("B"), np.roll(data, -amount))
+    assert np.isclose(rt.scalar("S"), data.sum())
+
+
+@given(st.integers(4, 60), st.integers(1, 6), st.integers(0, 2**31 - 1))
+@settings(max_examples=25, deadline=None)
+def test_pipeline_sort_oracle(size, nodes, seed):
+    rng = np.random.default_rng(seed)
+    data = rng.uniform(-100, 100, size)
+    src = f"PROGRAM P\nREAL A({size})\nCALL SORT(A)\nEND"
+    rt = run_program(compile_source(src), num_nodes=nodes, initial_arrays={"A": data})
+    assert np.allclose(rt.array("A"), np.sort(data))
+
+
+@given(st.integers(6, 50), st.integers(1, 5), st.integers(0, 2**31 - 1))
+@settings(max_examples=20, deadline=None)
+def test_pipeline_scan_oracle(size, nodes, seed):
+    rng = np.random.default_rng(seed)
+    data = rng.uniform(-1, 1, size)
+    src = f"PROGRAM P\nREAL A({size}), B({size})\nB = SCAN(A)\nEND"
+    rt = run_program(compile_source(src), num_nodes=nodes, initial_arrays={"A": data})
+    assert np.allclose(rt.array("B"), np.cumsum(data))
+
+
+@given(st.integers(2, 12), st.integers(2, 12), st.integers(1, 5), st.integers(0, 2**31 - 1))
+@settings(max_examples=20, deadline=None)
+def test_pipeline_transpose_oracle(rows, cols, nodes, seed):
+    rng = np.random.default_rng(seed)
+    data = rng.uniform(-5, 5, (rows, cols))
+    src = f"PROGRAM P\nREAL M({rows}, {cols})\nREAL N({cols}, {rows})\nN = TRANSPOSE(M)\nEND"
+    rt = run_program(compile_source(src), num_nodes=nodes, initial_arrays={"M": data})
+    assert np.allclose(rt.array("N"), data.T)
+
+
+@given(st.integers(1, 6), st.integers(0, 2**31 - 1))
+@settings(max_examples=15, deadline=None)
+def test_determinism_under_node_count(nodes, seed):
+    """Same program + data -> same numeric results regardless of node count,
+    and same elapsed time for the same node count across runs."""
+    rng = np.random.default_rng(seed)
+    data = rng.uniform(0, 1, 40)
+    src = "PROGRAM P\nREAL A(40), B(40)\nB = CSHIFT(A, 3)\nS = SUM(B)\nMX = MAXVAL(A)\nEND"
+
+    def run():
+        return run_program(compile_source(src), num_nodes=nodes, initial_arrays={"A": data})
+
+    r1, r2 = run(), run()
+    assert r1.scalar("S") == r2.scalar("S")
+    assert r1.elapsed == r2.elapsed
+    assert np.isclose(r1.scalar("S"), data.sum())
+    assert np.isclose(r1.scalar("MX"), data.max())

@@ -1,0 +1,222 @@
+"""Integration tests: compiled CMF programs produce numpy-oracle results."""
+
+import numpy as np
+import pytest
+
+from repro.cmfortran import compile_source
+from repro.cmrts import CMRTSRuntime, RuntimeConfig, run_program
+
+
+def run_body(body, decls="REAL A(100), B(100)", nodes=4, init=None, **kwargs):
+    prog = compile_source(f"PROGRAM T\n{decls}\n{body}\nEND", "t.cmf")
+    return run_program(prog, num_nodes=nodes, initial_arrays=init, **kwargs)
+
+
+@pytest.mark.parametrize("nodes", [1, 2, 3, 4, 7])
+def test_elementwise_chain(nodes):
+    rt = run_body("A = 1.0\nB = 2.5\nA = A * 2.0 + B", nodes=nodes)
+    assert np.allclose(rt.array("A"), 4.5)
+
+
+def test_scalar_broadcast_into_parallel_statement():
+    rt = run_body("X = 3.0\nA = B + X", init={"B": np.arange(100.0)})
+    assert np.allclose(rt.array("A"), np.arange(100.0) + 3.0)
+
+
+@pytest.mark.parametrize("nodes", [1, 2, 4, 8])
+def test_reductions(nodes):
+    data = np.linspace(-5, 17, 100)
+    rt = run_body("S = SUM(A)\nMX = MAXVAL(A)\nMN = MINVAL(A)", nodes=nodes, init={"A": data})
+    assert rt.scalar("S") == pytest.approx(data.sum())
+    assert rt.scalar("MX") == pytest.approx(data.max())
+    assert rt.scalar("MN") == pytest.approx(data.min())
+
+
+def test_reduction_in_scalar_arithmetic():
+    data = np.arange(100.0)
+    rt = run_body("X = SUM(A) / 100.0 + 1.0", init={"A": data})
+    assert rt.scalar("X") == pytest.approx(data.mean() + 1.0)
+
+
+def test_reduction_broadcast_into_elementwise():
+    data = np.arange(100.0)
+    rt = run_body("B = A - SUM(A) / 100.0", init={"A": data})
+    assert np.allclose(rt.array("B"), data - data.mean())
+
+
+@pytest.mark.parametrize("amount", [1, 3, -2, 0, 99, 100, 103])
+def test_cshift(amount):
+    data = np.arange(100.0)
+    rt = run_body(f"B = CSHIFT(A, {amount})", init={"A": data})
+    assert np.allclose(rt.array("B"), np.roll(data, -amount))
+
+
+@pytest.mark.parametrize("amount", [2, -3])
+def test_eoshift(amount):
+    data = np.arange(100.0) + 1
+    rt = run_body(f"B = EOSHIFT(A, {amount})", init={"A": data})
+    expected = np.zeros(100)
+    if amount >= 0:
+        expected[: 100 - amount] = data[amount:]
+    else:
+        expected[-amount:] = data[: 100 + amount]
+    assert np.allclose(rt.array("B"), expected)
+
+
+@pytest.mark.parametrize("nodes", [1, 2, 3, 4])
+def test_transpose(nodes):
+    data = np.arange(16 * 12, dtype=float).reshape(16, 12)
+    rt = run_body(
+        "D = TRANSPOSE(C)",
+        decls="REAL C(16, 12)\nREAL D(12, 16)",
+        nodes=nodes,
+        init={"C": data},
+    )
+    assert np.allclose(rt.array("D"), data.T)
+
+
+@pytest.mark.parametrize("nodes", [1, 2, 4, 5])
+def test_scan(nodes):
+    data = np.linspace(0.5, 3.0, 64)
+    rt = run_body("B = SCAN(A)", decls="REAL A(64), B(64)", nodes=nodes, init={"A": data})
+    assert np.allclose(rt.array("B"), np.cumsum(data))
+
+
+@pytest.mark.parametrize("nodes", [1, 2, 3, 4, 8])
+def test_sort(nodes):
+    rng = np.random.default_rng(42)
+    data = rng.permutation(np.arange(97, dtype=float))
+    rt = run_body("CALL SORT(A)", decls="REAL A(97)", nodes=nodes, init={"A": data})
+    assert np.allclose(rt.array("A"), np.sort(data))
+
+
+def test_sort_with_duplicates():
+    rng = np.random.default_rng(7)
+    data = rng.integers(0, 5, 60).astype(float)
+    rt = run_body("CALL SORT(A)", decls="REAL A(60)", nodes=4, init={"A": data})
+    assert np.allclose(rt.array("A"), np.sort(data))
+
+
+@pytest.mark.parametrize("nodes", [1, 3, 4])
+def test_forall_stencil(nodes):
+    data = np.arange(100.0) ** 1.5
+    rt = run_body(
+        "FORALL (I = 2:99) B(I) = A(I-1) + A(I+1)",
+        nodes=nodes,
+        init={"A": data, "B": np.zeros(100)},
+    )
+    expected = np.zeros(100)
+    expected[1:99] = data[0:98] + data[2:100]
+    assert np.allclose(rt.array("B"), expected)
+
+
+def test_forall_wide_halo():
+    data = np.arange(50.0)
+    rt = run_body(
+        "FORALL (I = 4:47) B(I) = A(I-3) * A(I+3)",
+        decls="REAL A(50), B(50)",
+        nodes=4,
+        init={"A": data},
+    )
+    expected = np.zeros(50)
+    expected[3:47] = data[0:44] * data[6:50]
+    assert np.allclose(rt.array("B"), expected)
+
+
+def test_do_loop_iterates():
+    rt = run_body("DO K = 1, 5\nA = A + 1.0\nENDDO")
+    assert np.allclose(rt.array("A"), 5.0)
+
+
+def test_do_loop_index_visible_as_scalar():
+    rt = run_body("DO K = 1, 3\nA = A + K\nENDDO")
+    assert np.allclose(rt.array("A"), 1.0 + 2.0 + 3.0)
+
+
+def test_elementwise_intrinsics():
+    data = np.linspace(1, 4, 100)
+    rt = run_body("B = SQRT(A) + ABS(A - 2.0)", init={"A": data})
+    assert np.allclose(rt.array("B"), np.sqrt(data) + np.abs(data - 2.0))
+
+
+def test_min_max_elementwise():
+    a = np.linspace(0, 1, 100)
+    b = np.linspace(1, 0, 100)
+    rt = run_body("A = MAX(A, B)\nB = MIN(A, B)", init={"A": a, "B": b})
+    assert np.allclose(rt.array("A"), np.maximum(a, b))
+
+
+def test_merged_block_executes_both_statements():
+    rt = run_body("A = 2.0\nB = A * 3.0")
+    assert np.allclose(rt.array("B"), 6.0)
+
+
+def test_unoptimized_program_same_result():
+    src = "PROGRAM T\nREAL A(40), B(40)\nA = 2.0\nB = A * 3.0\nX = SUM(B)\nEND"
+    r1 = run_program(compile_source(src, optimize=True), num_nodes=3)
+    r2 = run_program(compile_source(src, optimize=False), num_nodes=3)
+    assert r1.scalar("X") == r2.scalar("X") == pytest.approx(240.0)
+
+
+def test_runtime_accounting_nonzero():
+    rt = run_body("A = 1.0\nX = SUM(A)")
+    totals = rt.machine.total_accounts()
+    assert totals["compute"] > 0
+    assert totals["argument_processing"] > 0
+    assert totals["idle"] > 0
+    assert totals["instrumentation"] == 0.0  # no probes attached
+
+
+def test_uninstrumented_run_has_zero_perturbation():
+    rt = run_body("A = 1.0\nB = CSHIFT(A, 1)\nX = SUM(B)")
+    for node in rt.machine.nodes:
+        assert node.accounts.instrumentation == 0.0
+
+
+def test_allocation_fires_mapping_points():
+    prog = compile_source("PROGRAM T\nREAL A(10), B(10)\nA = 1.0\nEND")
+    rt = CMRTSRuntime(prog, num_nodes=2)
+    events = []
+    rt.heap.on_allocate.append(lambda ev: events.append(ev.array.name))
+    rt.run()
+    assert events == ["A", "B"]
+    ev_names = {a.name for a in rt.heap.arrays()}
+    assert ev_names == {"A", "B"}
+
+
+def test_runtime_cannot_run_twice():
+    prog = compile_source("PROGRAM T\nREAL A(10)\nA = 1.0\nEND")
+    rt = CMRTSRuntime(prog, num_nodes=2).run()
+    with pytest.raises(RuntimeError):
+        rt.run()
+
+
+def test_dispatch_count_matches_plan():
+    rt = run_body("A = 1.0\nB = 2.0\nX = SUM(A)\nDO K = 1, 3\nA = A + 1.0\nENDDO")
+    assert rt.dispatches == rt.program.plan.dispatch_count()
+
+
+def test_node_activations_counted():
+    rt = run_body("A = 1.0\nX = SUM(A)")
+    for node in rt.machine.nodes:
+        assert node.activations == rt.dispatches
+
+
+def test_determinism_same_elapsed():
+    times = set()
+    for _ in range(2):
+        rt = run_body("A = 1.0\nB = CSHIFT(A, 5)\nX = SUM(B)\nCALL SORT(B)")
+        times.add(rt.elapsed)
+    assert len(times) == 1
+
+
+def test_runtime_config_validation():
+    with pytest.raises(ValueError):
+        RuntimeConfig(arg_fixed_time=0.0)
+
+
+def test_integer_arrays():
+    rt = run_body(
+        "K = K + 1\nX = SUM(K)", decls="INTEGER K(10)", init={"K": np.arange(10)}
+    )
+    assert rt.scalar("X") == pytest.approx(np.arange(10).sum() + 10)

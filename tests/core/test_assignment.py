@@ -1,0 +1,167 @@
+"""Unit tests for cost assignment: split vs merge (Figure 1 rules)."""
+
+import pytest
+
+from repro.core import (
+    CPU_TIME,
+    CostVector,
+    Mapping,
+    MappingGraph,
+    MergePolicy,
+    Noun,
+    SentenceGroup,
+    SplitPolicy,
+    Verb,
+    assign_costs,
+    attribution_error,
+    sentence,
+)
+
+EXEC = Verb("Executes", "CM Fortran")
+CPU = Verb("CPU Utilization", "Base")
+
+
+def line(n):
+    return sentence(EXEC, Noun(f"line{n}", "CM Fortran"))
+
+
+def func(name):
+    return sentence(CPU, Noun(name, "Base"))
+
+
+def cv(t):
+    return CostVector({CPU_TIME: t})
+
+
+def one_to_many_graph():
+    g = MappingGraph()
+    g.add(Mapping(func("cmpe_corr_6_"), line(1160)))
+    g.add(Mapping(func("cmpe_corr_6_"), line(1161)))
+    return g
+
+
+def test_one_to_one_passes_cost_through():
+    g = MappingGraph()
+    g.add(Mapping(func("f"), line(1)))
+    for policy in (SplitPolicy(), MergePolicy()):
+        att = assign_costs([(func("f"), cv(10.0))], g, policy)
+        assert att.cost_of(line(1)).get(CPU_TIME) == 10.0
+        assert not att.per_group
+
+
+def test_split_divides_evenly():
+    att = assign_costs([(func("cmpe_corr_6_"), cv(10.0))], one_to_many_graph(), SplitPolicy())
+    assert att.cost_of(line(1160)).get(CPU_TIME) == pytest.approx(5.0)
+    assert att.cost_of(line(1161)).get(CPU_TIME) == pytest.approx(5.0)
+
+
+def test_merge_creates_inseparable_group():
+    att = assign_costs([(func("cmpe_corr_6_"), cv(10.0))], one_to_many_graph(), MergePolicy())
+    assert att.cost_of(line(1160)).is_zero()
+    assert len(att.per_group) == 1
+    (group, vec), = att.per_group.items()
+    assert line(1160) in group and line(1161) in group
+    assert vec.get(CPU_TIME) == 10.0
+    # covering cost: upper bound for a member includes the group
+    assert att.covering_cost(line(1160)).get(CPU_TIME) == 10.0
+
+
+def test_many_to_one_aggregates_then_assigns():
+    # Figure 1 row 3: "First aggregate costs of F1, F2, ... then assign to L."
+    g = MappingGraph()
+    g.add(Mapping(func("F1"), line(5)))
+    g.add(Mapping(func("F2"), line(5)))
+    measured = [(func("F1"), cv(3.0)), (func("F2"), cv(4.0))]
+    att = assign_costs(measured, g, MergePolicy())
+    assert att.cost_of(line(5)).get(CPU_TIME) == 7.0
+
+
+def test_many_to_one_mean_aggregation():
+    g = MappingGraph()
+    g.add(Mapping(func("F1"), line(5)))
+    g.add(Mapping(func("F2"), line(5)))
+    measured = [(func("F1"), cv(3.0)), (func("F2"), cv(5.0))]
+    att = assign_costs(measured, g, MergePolicy(), aggregate="mean")
+    assert att.cost_of(line(5)).get(CPU_TIME) == 4.0
+
+
+def test_bad_aggregate_name():
+    with pytest.raises(ValueError):
+        assign_costs([], MappingGraph(), MergePolicy(), aggregate="max")
+
+
+def test_many_to_many_reduces_to_one_to_many():
+    # Figure 1 row 4: aggregate F1, F2 then treat as one-to-many over L1, L2.
+    g = MappingGraph()
+    g.add(Mapping(func("F1"), line(1)))
+    g.add(Mapping(func("F1"), line(2)))
+    g.add(Mapping(func("F2"), line(2)))
+    measured = [(func("F1"), cv(6.0)), (func("F2"), cv(2.0))]
+
+    split = assign_costs(measured, g, SplitPolicy())
+    assert split.cost_of(line(1)).get(CPU_TIME) == pytest.approx(4.0)
+    assert split.cost_of(line(2)).get(CPU_TIME) == pytest.approx(4.0)
+
+    merge = assign_costs(measured, g, MergePolicy())
+    (group, vec), = merge.per_group.items()
+    assert vec.get(CPU_TIME) == 8.0
+    assert len(group) == 2
+
+
+def test_unmapped_measurement_kept_as_is():
+    g = MappingGraph()
+    att = assign_costs([(func("orphan"), cv(2.0))], g, SplitPolicy())
+    assert att.cost_of(func("orphan")).get(CPU_TIME) == 2.0
+
+
+def test_cost_conservation_under_both_policies():
+    g = MappingGraph()
+    g.add(Mapping(func("F1"), line(1)))
+    g.add(Mapping(func("F1"), line(2)))
+    g.add(Mapping(func("F2"), line(2)))
+    g.add(Mapping(func("F3"), line(3)))
+    measured = [(func("F1"), cv(6.0)), (func("F2"), cv(2.0)), (func("F3"), cv(1.0))]
+    for policy in (SplitPolicy(), MergePolicy()):
+        att = assign_costs(measured, g, policy)
+        assert att.total().get(CPU_TIME) == pytest.approx(9.0)
+
+
+def test_weighted_split():
+    weights = {line(1160): 3.0, line(1161): 1.0}
+    policy = SplitPolicy(weights=lambda s: weights[s])
+    att = assign_costs([(func("cmpe_corr_6_"), cv(8.0))], one_to_many_graph(), policy)
+    assert att.cost_of(line(1160)).get(CPU_TIME) == pytest.approx(6.0)
+    assert att.cost_of(line(1161)).get(CPU_TIME) == pytest.approx(2.0)
+
+
+def test_weighted_split_zero_weights_falls_back_to_even():
+    policy = SplitPolicy(weights=lambda s: 0.0)
+    att = assign_costs([(func("cmpe_corr_6_"), cv(8.0))], one_to_many_graph(), policy)
+    assert att.cost_of(line(1160)).get(CPU_TIME) == pytest.approx(4.0)
+
+
+def test_sentence_group_normalizes_order():
+    g1 = SentenceGroup((line(1), line(2)))
+    g2 = SentenceGroup((line(2), line(1)))
+    assert g1 == g2
+    assert hash(g1) == hash(g2)
+    with pytest.raises(ValueError):
+        SentenceGroup(())
+
+
+def test_attribution_error_split_wrong_when_skewed():
+    """The paper's criticism: splitting assumes equal distribution of work.
+
+    Ground truth: line1160 did 90% of the merged block's work.  Split
+    attributes 50/50 and is wrong; merge declines to guess and has no error.
+    """
+    g = one_to_many_graph()
+    measured = [(func("cmpe_corr_6_"), cv(10.0))]
+    truth = {line(1160): cv(9.0), line(1161): cv(1.0)}
+
+    split_err = attribution_error(assign_costs(measured, g, SplitPolicy()), truth, CPU_TIME)
+    merge_err = attribution_error(assign_costs(measured, g, MergePolicy()), truth, CPU_TIME)
+
+    assert split_err.absolute == pytest.approx(8.0)  # |5-9| + |5-1|
+    assert split_err.relative == pytest.approx(0.8)
+    assert merge_err.absolute == 0.0

@@ -1,0 +1,120 @@
+"""Unit tests for costs, cost vectors, and the cost table."""
+
+import pytest
+
+from repro.core import (
+    COUNT,
+    CPU_TIME,
+    WALL_TIME,
+    Cost,
+    CostTable,
+    CostVector,
+    Resource,
+    Verb,
+    aggregate_mean,
+    aggregate_sum,
+    sentence,
+)
+
+
+def test_negative_cost_rejected():
+    with pytest.raises(ValueError):
+        Cost(CPU_TIME, -1.0)
+    with pytest.raises(ValueError):
+        CostVector({CPU_TIME: -0.5})
+
+
+def test_cost_vector_accumulates_per_resource():
+    vec = CostVector()
+    vec.add(CPU_TIME, 1.5)
+    vec.add(CPU_TIME, 0.5)
+    vec.add(COUNT, 3)
+    assert vec.get(CPU_TIME) == 2.0
+    assert vec.get(COUNT) == 3
+    assert vec.get(WALL_TIME) == 0.0
+
+
+def test_cost_vector_addition_is_per_resource():
+    a = CostVector({CPU_TIME: 1.0, COUNT: 2.0})
+    b = CostVector({CPU_TIME: 0.25, WALL_TIME: 4.0})
+    c = a + b
+    assert c.get(CPU_TIME) == 1.25
+    assert c.get(COUNT) == 2.0
+    assert c.get(WALL_TIME) == 4.0
+    # operands unchanged
+    assert a.get(CPU_TIME) == 1.0
+
+
+def test_scaled_splits_all_resources():
+    vec = CostVector({CPU_TIME: 2.0, COUNT: 4.0})
+    half = vec.scaled(0.5)
+    assert half.get(CPU_TIME) == 1.0
+    assert half.get(COUNT) == 2.0
+    with pytest.raises(ValueError):
+        vec.scaled(-1.0)
+
+
+def test_equality_and_zero():
+    assert CostVector({CPU_TIME: 0.0}) == CostVector()
+    assert CostVector({CPU_TIME: 1.0}) != CostVector({CPU_TIME: 1.5})
+    assert CostVector().is_zero()
+    assert not CostVector({COUNT: 1.0}).is_zero()
+
+
+def test_cost_vector_unhashable():
+    with pytest.raises(TypeError):
+        hash(CostVector())
+
+
+def test_aggregate_sum_and_mean():
+    vecs = [CostVector({CPU_TIME: 1.0}), CostVector({CPU_TIME: 3.0, COUNT: 2.0})]
+    total = aggregate_sum(vecs)
+    assert total.get(CPU_TIME) == 4.0
+    assert total.get(COUNT) == 2.0
+    mean = aggregate_mean(vecs)
+    assert mean.get(CPU_TIME) == 2.0
+    assert mean.get(COUNT) == 1.0
+    assert aggregate_mean([]).is_zero()
+
+
+def test_custom_resource():
+    bw = Resource("channel_bandwidth", "bytes/s")
+    vec = CostVector.single(bw, 1e6)
+    assert vec.get(bw) == 1e6
+    assert str(bw) == "channel_bandwidth"
+
+
+class TestCostTable:
+    def setup_method(self):
+        self.sum_verb = Verb("Sum", "CM Fortran")
+        self.send_verb = Verb("Send", "Base")
+        self.s1 = sentence(self.sum_verb)
+        self.s2 = sentence(self.send_verb)
+
+    def test_charge_accumulates(self):
+        table = CostTable()
+        table.charge(self.s1, CPU_TIME, 1.0)
+        table.charge(self.s1, CPU_TIME, 2.0)
+        assert table.cost(self.s1).get(CPU_TIME) == 3.0
+        assert len(table) == 1
+
+    def test_missing_sentence_has_zero_cost(self):
+        table = CostTable()
+        assert table.cost(self.s1).is_zero()
+        assert self.s1 not in table
+
+    def test_total_over_sentences(self):
+        table = CostTable()
+        table.charge(self.s1, CPU_TIME, 1.0)
+        table.charge(self.s2, CPU_TIME, 2.0)
+        table.charge(self.s2, COUNT, 5.0)
+        assert table.total(CPU_TIME) == 3.0
+        assert table.total(COUNT) == 5.0
+
+    def test_charge_vector(self):
+        table = CostTable()
+        table.charge_vector(self.s1, CostVector({CPU_TIME: 1.0}))
+        table.charge_vector(self.s1, CostVector({COUNT: 2.0}))
+        vec = table.cost(self.s1)
+        assert vec.get(CPU_TIME) == 1.0
+        assert vec.get(COUNT) == 2.0

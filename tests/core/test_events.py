@@ -1,0 +1,107 @@
+"""Unit tests for sentence event traces."""
+
+import pytest
+
+from repro.core import EventKind, Noun, Trace, Verb, sentence
+
+SUM = Verb("Sum", "HPF")
+A_SUM = sentence(SUM, Noun("A", "HPF"))
+B_SUM = sentence(SUM, Noun("B", "HPF"))
+
+
+def make_trace(events):
+    t = Trace()
+    for time, kind, sent in events:
+        t.record(time, kind, sent)
+    return t
+
+
+def test_time_must_be_monotone():
+    t = Trace()
+    t.record(1.0, EventKind.ACTIVATE, A_SUM)
+    with pytest.raises(ValueError):
+        t.record(0.5, EventKind.ACTIVATE, B_SUM)
+
+
+def test_intervals_simple():
+    t = make_trace(
+        [
+            (1.0, EventKind.ACTIVATE, A_SUM),
+            (3.0, EventKind.DEACTIVATE, A_SUM),
+            (5.0, EventKind.ACTIVATE, A_SUM),
+            (6.0, EventKind.DEACTIVATE, A_SUM),
+        ]
+    )
+    assert t.intervals(A_SUM) == [(1.0, 3.0), (5.0, 6.0)]
+    assert t.active_time(A_SUM) == pytest.approx(3.0)
+
+
+def test_intervals_flatten_nesting():
+    t = make_trace(
+        [
+            (1.0, EventKind.ACTIVATE, A_SUM),
+            (2.0, EventKind.ACTIVATE, A_SUM),
+            (3.0, EventKind.DEACTIVATE, A_SUM),
+            (4.0, EventKind.DEACTIVATE, A_SUM),
+        ]
+    )
+    assert t.intervals(A_SUM) == [(1.0, 4.0)]
+
+
+def test_open_interval_closed_at_end_time():
+    t = make_trace([(1.0, EventKind.ACTIVATE, A_SUM)])
+    assert t.intervals(A_SUM, end_time=10.0) == [(1.0, 10.0)]
+
+
+def test_unbalanced_deactivate_raises():
+    t = make_trace([(1.0, EventKind.DEACTIVATE, A_SUM)])
+    with pytest.raises(ValueError):
+        t.intervals(A_SUM)
+
+
+def test_snapshot_at():
+    t = make_trace(
+        [
+            (1.0, EventKind.ACTIVATE, A_SUM),
+            (2.0, EventKind.ACTIVATE, B_SUM),
+            (3.0, EventKind.DEACTIVATE, A_SUM),
+        ]
+    )
+    assert t.snapshot_at(0.5) == []
+    assert t.snapshot_at(1.5) == [A_SUM]
+    assert t.snapshot_at(2.0) == [A_SUM, B_SUM]
+    assert t.snapshot_at(3.5) == [B_SUM]
+
+
+def test_filters():
+    t = make_trace(
+        [
+            (1.0, EventKind.ACTIVATE, A_SUM),
+            (2.0, EventKind.ACTIVATE, B_SUM),
+        ]
+    )
+    assert len(t.for_sentence(A_SUM)) == 1
+    assert len(t.at_level("HPF")) == 2
+    assert len(t.at_level("Base")) == 0
+
+
+def test_merge_traces():
+    t1 = make_trace([(1.0, EventKind.ACTIVATE, A_SUM), (4.0, EventKind.DEACTIVATE, A_SUM)])
+    t2 = make_trace([(2.0, EventKind.ACTIVATE, B_SUM), (3.0, EventKind.DEACTIVATE, B_SUM)])
+    merged = t1.merged([t2])
+    times = [e.time for e in merged]
+    assert times == sorted(times)
+    assert len(merged) == 4
+
+
+def test_time_bounds_and_events_before():
+    t = make_trace(
+        [
+            (1.0, EventKind.ACTIVATE, A_SUM),
+            (2.0, EventKind.ACTIVATE, B_SUM),
+            (5.0, EventKind.DEACTIVATE, B_SUM),
+        ]
+    )
+    assert t.time_bounds() == (1.0, 5.0)
+    assert len(t.events_before(2.0)) == 2
+    assert Trace().time_bounds() == (0.0, 0.0)

@@ -1,0 +1,149 @@
+"""Unit tests for mapping records and the mapping graph (Figure 1 types)."""
+
+import pytest
+
+from repro.core import (
+    Mapping,
+    MappingGraph,
+    MappingOrigin,
+    MappingType,
+    Noun,
+    Verb,
+    sentence,
+)
+
+EXEC = Verb("Executes", "CM Fortran")
+CPU = Verb("CPU Utilization", "Base")
+REDUCE = Verb("Reduction", "CM Fortran")
+SEND = Verb("Send", "Base")
+
+
+def line(n):
+    return sentence(EXEC, Noun(f"line{n}", "CM Fortran"))
+
+
+def func(name):
+    return sentence(CPU, Noun(name, "Base"))
+
+
+def test_self_mapping_rejected():
+    s = line(1)
+    with pytest.raises(ValueError):
+        Mapping(s, s)
+
+
+def test_add_deduplicates():
+    g = MappingGraph()
+    assert g.add(Mapping(func("f"), line(1)))
+    assert not g.add(Mapping(func("f"), line(1), MappingOrigin.DYNAMIC))
+    assert len(g) == 1
+
+
+def test_destinations_and_sources():
+    g = MappingGraph()
+    g.add(Mapping(func("f"), line(1)))
+    g.add(Mapping(func("f"), line(2)))
+    assert set(g.destinations(func("f"))) == {line(1), line(2)}
+    assert g.sources(line(1)) == [func("f")]
+    assert g.destinations(line(1)) == []
+
+
+def test_classify_one_to_one():
+    # Figure 1 row 1: low-level message send S implements reduction R.
+    g = MappingGraph()
+    s = sentence(SEND, Noun("S", "Base"))
+    r = sentence(REDUCE, Noun("R", "CM Fortran"))
+    g.add(Mapping(s, r))
+    assert g.classify(s) == MappingType.ONE_TO_ONE
+    assert g.classify(r) == MappingType.ONE_TO_ONE
+
+
+def test_classify_one_to_many():
+    # Figure 1 row 2: low-level function F implements reductions R1, R2.
+    g = MappingGraph()
+    f = func("F")
+    r1 = sentence(REDUCE, Noun("R1", "CM Fortran"))
+    r2 = sentence(REDUCE, Noun("R2", "CM Fortran"))
+    g.add(Mapping(f, r1))
+    g.add(Mapping(f, r2))
+    assert g.classify(f) == MappingType.ONE_TO_MANY
+    assert g.classify(r1) == MappingType.ONE_TO_MANY
+
+
+def test_classify_many_to_one():
+    # Figure 1 row 3: functions F1, F2 implement one source line L.
+    g = MappingGraph()
+    g.add(Mapping(func("F1"), line(10)))
+    g.add(Mapping(func("F2"), line(10)))
+    assert g.classify(func("F1")) == MappingType.MANY_TO_ONE
+    assert g.classify(line(10)) == MappingType.MANY_TO_ONE
+
+
+def test_classify_many_to_many():
+    # Figure 1 row 4: lines L1, L2 implemented by overlapping functions.
+    g = MappingGraph()
+    g.add(Mapping(func("F1"), line(1)))
+    g.add(Mapping(func("F1"), line(2)))
+    g.add(Mapping(func("F2"), line(2)))
+    assert g.classify(func("F1")) == MappingType.MANY_TO_MANY
+    assert g.classify(func("F2")) == MappingType.MANY_TO_MANY
+    assert g.classify(line(1)) == MappingType.MANY_TO_MANY
+
+
+def test_classify_unmapped_raises():
+    g = MappingGraph()
+    with pytest.raises(KeyError):
+        g.classify(line(1))
+
+
+def test_component_closure_pulls_in_overlaps():
+    # F1 -> {L1, L2}, F2 -> {L2}: the component of L1 must include F2,
+    # otherwise F2's cost would leak out of the merge group.
+    g = MappingGraph()
+    g.add(Mapping(func("F1"), line(1)))
+    g.add(Mapping(func("F1"), line(2)))
+    g.add(Mapping(func("F2"), line(2)))
+    srcs, dsts = g.component(line(1))
+    assert srcs == {func("F1"), func("F2")}
+    assert dsts == {line(1), line(2)}
+
+
+def test_components_partition():
+    g = MappingGraph()
+    g.add(Mapping(func("F1"), line(1)))
+    g.add(Mapping(func("F2"), line(2)))
+    g.add(Mapping(func("F2"), line(3)))
+    comps = g.components()
+    assert len(comps) == 2
+    sizes = sorted((len(s), len(d)) for s, d in comps)
+    assert sizes == [(1, 1), (1, 2)]
+
+
+def test_closure_up_transitive_through_levels():
+    # Base send -> CMRTS reduce-op -> CMF SUM (three-level chain)
+    g = MappingGraph()
+    send = sentence(SEND, Noun("msg", "Base"))
+    rts = sentence(Verb("ReduceOp", "CMRTS"), Noun("red7", "CMRTS"))
+    cmf = sentence(REDUCE, Noun("A", "CM Fortran"))
+    g.add(Mapping(send, rts))
+    g.add(Mapping(rts, cmf))
+    up = g.closure_up(send)
+    assert set(up) == {rts, cmf}
+    down = g.closure_down(cmf)
+    assert set(down) == {rts, send}
+
+
+def test_merge_graphs():
+    g1, g2 = MappingGraph(), MappingGraph()
+    g1.add(Mapping(func("F1"), line(1)))
+    g2.add(Mapping(func("F1"), line(1)))
+    g2.add(Mapping(func("F2"), line(2)))
+    added = g1.merge(g2)
+    assert added == 1
+    assert len(g1) == 2
+
+
+def test_sentences_lists_all_endpoints():
+    g = MappingGraph()
+    g.add(Mapping(func("F1"), line(1)))
+    assert set(g.sentences()) == {func("F1"), line(1)}

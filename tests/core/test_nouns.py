@@ -1,0 +1,131 @@
+"""Unit tests for the NV-model vocabulary: nouns, verbs, sentences, levels."""
+
+import pytest
+
+from repro.core import (
+    BASE_LEVEL,
+    AbstractionLevel,
+    Noun,
+    Sentence,
+    Verb,
+    Vocabulary,
+    sentence,
+)
+
+CMF = AbstractionLevel(2, "CM Fortran", "data-parallel source level")
+CMRTS = AbstractionLevel(1, "CMRTS", "run-time system level")
+
+
+def test_level_ordering_by_rank():
+    assert BASE_LEVEL < CMRTS < CMF
+    assert sorted([CMF, BASE_LEVEL, CMRTS]) == [BASE_LEVEL, CMRTS, CMF]
+
+
+def test_level_requires_name():
+    with pytest.raises(ValueError):
+        AbstractionLevel(1, "")
+
+
+def test_noun_identity_ignores_description():
+    a = Noun("line1160", "CM Fortran", "line #1160 in main.fcm")
+    b = Noun("line1160", "CM Fortran", "different words")
+    assert a == b
+    assert hash(a) == hash(b)
+
+
+def test_noun_requires_name_and_level():
+    with pytest.raises(ValueError):
+        Noun("", "CM Fortran")
+    with pytest.raises(ValueError):
+        Noun("A", "")
+
+
+def test_verb_identity():
+    assert Verb("Executes", "CM Fortran") == Verb("Executes", "CM Fortran", "units % CPU")
+    assert Verb("Executes", "CM Fortran") != Verb("Executes", "Base")
+
+
+def test_sentence_level_comes_from_verb():
+    sends = Verb("Send", "Base")
+    proc = Noun("Processor_0", "Base")
+    s = sentence(sends, proc)
+    assert s.abstraction == "Base"
+    assert s.nouns == (proc,)
+
+
+def test_sentence_describe_matches_figure6_style():
+    sums = Verb("Sum", "CM Fortran")
+    a = Noun("A", "CM Fortran")
+    assert sentence(sums, a).describe() == "{A Sum}"
+    assert sentence(sums).describe() == "{Sum}"
+
+
+def test_sentence_accepts_list_nouns():
+    v = Verb("Executes", "CM Fortran")
+    n = Noun("line1", "CM Fortran")
+    s = Sentence(v, [n])  # type: ignore[arg-type]
+    assert s.nouns == (n,)
+    assert s == sentence(v, n)
+
+
+class TestVocabulary:
+    def make(self):
+        vocab = Vocabulary.with_levels([BASE_LEVEL, CMRTS, CMF])
+        return vocab
+
+    def test_levels_sorted(self):
+        vocab = self.make()
+        assert [lv.name for lv in vocab.levels()] == ["Base", "CMRTS", "CM Fortran"]
+
+    def test_reregister_same_level_is_noop(self):
+        vocab = self.make()
+        vocab.add_level(AbstractionLevel(2, "CM Fortran"))
+        assert len(vocab.levels()) == 3
+
+    def test_reregister_conflicting_rank_raises(self):
+        vocab = self.make()
+        with pytest.raises(ValueError):
+            vocab.add_level(AbstractionLevel(7, "CM Fortran"))
+
+    def test_noun_requires_registered_level(self):
+        vocab = self.make()
+        with pytest.raises(KeyError):
+            vocab.add_noun(Noun("x", "HPF"))
+
+    def test_noun_lookup(self):
+        vocab = self.make()
+        n = vocab.add_noun(Noun("A", "CM Fortran", "parallel array"))
+        assert vocab.noun("CM Fortran", "A") is n
+        with pytest.raises(KeyError):
+            vocab.noun("CM Fortran", "B")
+
+    def test_duplicate_noun_returns_first(self):
+        vocab = self.make()
+        first = vocab.add_noun(Noun("A", "CM Fortran", "first"))
+        second = vocab.add_noun(Noun("A", "CM Fortran", "second"))
+        assert second is first
+        assert second.description == "first"
+
+    def test_nouns_at_level(self):
+        vocab = self.make()
+        vocab.add_noun(Noun("A", "CM Fortran"))
+        vocab.add_noun(Noun("B", "CM Fortran"))
+        vocab.add_noun(Noun("node0", "Base"))
+        assert [n.name for n in vocab.nouns_at("CM Fortran")] == ["A", "B"]
+        assert [n.name for n in vocab.nouns_at("Base")] == ["node0"]
+
+    def test_verbs_at_level(self):
+        vocab = self.make()
+        vocab.add_verb(Verb("Sum", "CM Fortran"))
+        vocab.add_verb(Verb("Send", "Base"))
+        assert [v.name for v in vocab.verbs_at("CM Fortran")] == ["Sum"]
+
+    def test_merge_unions_definitions(self):
+        a = self.make()
+        a.add_noun(Noun("A", "CM Fortran"))
+        b = Vocabulary.with_levels([CMF])
+        b.add_noun(Noun("B", "CM Fortran"))
+        b.add_verb(Verb("Sum", "CM Fortran"))
+        a.merge(b)
+        assert a.noun("CM Fortran", "B").name == "B"
+        assert a.verb("CM Fortran", "Sum").name == "Sum"

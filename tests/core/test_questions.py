@@ -1,0 +1,189 @@
+"""Unit tests for performance questions, wildcards, boolean and ordered forms."""
+
+import pytest
+
+from repro.core import (
+    WILDCARD,
+    Noun,
+    OrderedQuestion,
+    PerformanceQuestion,
+    QAtom,
+    QAnd,
+    QNot,
+    QOr,
+    SentencePattern,
+    Verb,
+    sentence,
+)
+
+SUM = Verb("Sum", "HPF")
+SEND = Verb("Send", "Base")
+A = Noun("A", "HPF")
+B = Noun("B", "HPF")
+P0 = Noun("Processor_0", "Base")
+P1 = Noun("Processor_1", "Base")
+
+A_SUM = sentence(SUM, A)
+B_SUM = sentence(SUM, B)
+P0_SEND = sentence(SEND, P0)
+P1_SEND = sentence(SEND, P1)
+
+
+class TestSentencePattern:
+    def test_exact_match(self):
+        p = SentencePattern("Sum", ("A",))
+        assert p.matches(A_SUM)
+        assert not p.matches(B_SUM)
+        assert not p.matches(P0_SEND)
+
+    def test_wildcard_noun_matches_any_subject(self):
+        # Figure 6's {? Sum}: "cost of sends while anything is being summed"
+        p = SentencePattern("Sum", (WILDCARD,))
+        assert p.matches(A_SUM)
+        assert p.matches(B_SUM)
+        assert not p.matches(P0_SEND)
+
+    def test_wildcard_noun_requires_some_noun(self):
+        p = SentencePattern("Sum", (WILDCARD,))
+        assert not p.matches(sentence(SUM))  # no participating nouns
+
+    def test_wildcard_verb(self):
+        p = SentencePattern(WILDCARD, ("A",))
+        assert p.matches(A_SUM)
+        assert p.matches(sentence(Verb("Assign", "HPF"), A))
+        assert not p.matches(B_SUM)
+
+    def test_subset_semantics(self):
+        # {A Sum} matches a sentence with extra participating nouns
+        p = SentencePattern("Sum", ("A",))
+        assert p.matches(sentence(SUM, A, B))
+
+    def test_level_constraint(self):
+        p = SentencePattern("Sum", ("A",), level="HPF")
+        assert p.matches(A_SUM)
+        assert not SentencePattern("Sum", ("A",), level="Base").matches(A_SUM)
+
+    def test_is_wildcard_only(self):
+        assert SentencePattern(WILDCARD).is_wildcard_only()
+        assert SentencePattern(WILDCARD, (WILDCARD,)).is_wildcard_only()
+        assert not SentencePattern("Sum").is_wildcard_only()
+
+    def test_empty_verb_rejected(self):
+        with pytest.raises(ValueError):
+            SentencePattern("")
+
+    def test_str_matches_figure6(self):
+        assert str(SentencePattern("Sum", ("A",))) == "{A Sum}"
+        assert str(SentencePattern("Send", ("Processor_P",))) == "{Processor_P Send}"
+
+
+class TestPerformanceQuestion:
+    def q(self, *patterns):
+        return PerformanceQuestion("q", tuple(patterns))
+
+    def test_single_component(self):
+        q = self.q(SentencePattern("Sum", ("A",)))
+        assert q.satisfied([A_SUM])
+        assert not q.satisfied([B_SUM])
+        assert not q.satisfied([])
+
+    def test_conjunction_requires_all(self):
+        # Figure 6 row 3: {A Sum}, {Processor_P Send}
+        q = self.q(SentencePattern("Sum", ("A",)), SentencePattern("Send", ("Processor_0",)))
+        assert q.satisfied([A_SUM, P0_SEND])
+        assert not q.satisfied([A_SUM])
+        assert not q.satisfied([P0_SEND])
+        assert not q.satisfied([B_SUM, P0_SEND])
+
+    def test_wildcard_conjunction(self):
+        # Figure 6 row 4: {? Sum}, {Processor_P Send}
+        q = self.q(SentencePattern("Sum", (WILDCARD,)), SentencePattern("Send", ("Processor_0",)))
+        assert q.satisfied([B_SUM, P0_SEND])
+        assert q.satisfied([A_SUM, P0_SEND])
+        assert not q.satisfied([P0_SEND])
+
+    def test_empty_components_rejected(self):
+        with pytest.raises(ValueError):
+            PerformanceQuestion("bad", ())
+
+    def test_relevance_for_interest_filtering(self):
+        q = self.q(SentencePattern("Sum", ("A",)))
+        assert q.relevant(A_SUM)
+        assert not q.relevant(B_SUM)
+
+    def test_as_expr_equivalent(self):
+        q = self.q(SentencePattern("Sum", ("A",)), SentencePattern("Send", ("Processor_0",)))
+        expr = q.as_expr()
+        for active in ([A_SUM, P0_SEND], [A_SUM], [], [B_SUM, P0_SEND]):
+            assert expr.evaluate(active) == q.satisfied(active)
+
+
+class TestBooleanExtension:
+    def test_disjunction(self):
+        expr = QAtom(SentencePattern("Sum", ("A",))) | QAtom(SentencePattern("Sum", ("B",)))
+        assert expr.evaluate([A_SUM])
+        assert expr.evaluate([B_SUM])
+        assert not expr.evaluate([P0_SEND])
+
+    def test_negation(self):
+        expr = ~QAtom(SentencePattern("Sum", ("B",)))
+        assert expr.evaluate([A_SUM])
+        assert not expr.evaluate([B_SUM])
+
+    def test_composed(self):
+        # sends by P0 while A (but not B) is being summed
+        expr = QAnd(
+            (
+                QAtom(SentencePattern("Send", ("Processor_0",))),
+                QAtom(SentencePattern("Sum", ("A",))),
+                QNot(QAtom(SentencePattern("Sum", ("B",)))),
+            )
+        )
+        assert expr.evaluate([P0_SEND, A_SUM])
+        assert not expr.evaluate([P0_SEND, A_SUM, B_SUM])
+
+    def test_patterns_collected_through_tree(self):
+        expr = (QAtom(SentencePattern("Sum", ("A",))) | QAtom(SentencePattern("Sum", ("B",)))) & ~QAtom(
+            SentencePattern("Send", (WILDCARD,))
+        )
+        assert len(expr.patterns()) == 3
+
+    def test_empty_junctions_rejected(self):
+        with pytest.raises(ValueError):
+            QAnd(())
+        with pytest.raises(ValueError):
+            QOr(())
+
+
+class TestOrderedQuestion:
+    def test_order_distinguishes_the_two_readings(self):
+        """Section 4.2.4 limitation #3: with ordering, 'messages sent for the
+        summation of A' != 'summations of A while messages are sent'."""
+        sum_then_send = OrderedQuestion("q1", (SentencePattern("Sum", ("A",)), SentencePattern("Send", (WILDCARD,))))
+        send_then_sum = OrderedQuestion("q2", (SentencePattern("Send", (WILDCARD,)), SentencePattern("Sum", ("A",))))
+
+        # A's summation activated at t=1, send at t=2
+        state = [(A_SUM, 1.0), (P0_SEND, 2.0)]
+        assert sum_then_send.satisfied(state)
+        assert not send_then_sum.satisfied(state)
+
+        # reversed activation order
+        state = [(A_SUM, 3.0), (P0_SEND, 2.0)]
+        assert not sum_then_send.satisfied(state)
+        assert send_then_sum.satisfied(state)
+
+    def test_equal_times_satisfy_both(self):
+        q = OrderedQuestion("q", (SentencePattern("Sum", ("A",)), SentencePattern("Send", (WILDCARD,))))
+        assert q.satisfied([(A_SUM, 1.0), (P0_SEND, 1.0)])
+
+    def test_same_sentence_cannot_play_two_roles_out_of_order(self):
+        q = OrderedQuestion(
+            "q",
+            (
+                SentencePattern("Sum", ("A",)),
+                SentencePattern("Sum", ("B",)),
+                SentencePattern("Send", (WILDCARD,)),
+            ),
+        )
+        assert q.satisfied([(A_SUM, 1.0), (B_SUM, 2.0), (P0_SEND, 3.0)])
+        assert not q.satisfied([(A_SUM, 4.0), (B_SUM, 2.0), (P0_SEND, 3.0)])

@@ -1,0 +1,130 @@
+"""Tests for the distributed database SAS study (Section 4.2.3)."""
+
+import pytest
+
+from repro.core import ActiveSentenceSet, Noun, Sentence, Verb
+from repro.dbsim import Query, SASForwarder, db_vocabulary, run_db_study
+from repro.machine import Simulator
+
+
+def test_query_validation():
+    with pytest.raises(ValueError):
+        Query("bad", disk_reads=-1)
+
+
+def test_vocabulary():
+    vocab = db_vocabulary()
+    assert vocab.verb("Database", "QueryActive") is not None
+    assert vocab.verb("DB Server", "DiskRead") is not None
+
+
+class TestForwarder:
+    def make(self):
+        sim = Simulator()
+        src = ActiveSentenceSet(clock=lambda: sim.now)
+        dst = ActiveSentenceSet(clock=lambda: sim.now)
+        verb = Verb("QueryActive", "Database")
+        sent = Sentence(verb, (Noun("Q1", "Database"),))
+        other = Sentence(Verb("Other", "Database"), (Noun("X", "Database"),))
+        fwd = SASForwarder(sim, src, dst, lambda s: s.verb.name == "QueryActive", latency=1e-3)
+        return sim, src, dst, fwd, sent, other
+
+    def test_matching_sentence_forwarded_after_latency(self):
+        sim, src, dst, fwd, sent, _ = self.make()
+        src.activate(sent)
+        assert not dst.is_active(sent)  # not yet: latency
+        sim.run()
+        assert dst.is_active(sent)
+        assert fwd.messages_sent == 1
+
+    def test_deactivation_forwarded(self):
+        sim, src, dst, fwd, sent, _ = self.make()
+        src.activate(sent)
+        src.deactivate(sent)
+        sim.run()
+        assert not dst.is_active(sent)
+        assert fwd.messages_sent == 2
+
+    def test_uninteresting_sentences_not_forwarded(self):
+        sim, src, dst, fwd, _, other = self.make()
+        src.activate(other)
+        sim.run()
+        assert not dst.is_active(other)
+        assert fwd.messages_sent == 0
+
+
+def test_distributed_question_measures_ground_truth():
+    out = run_db_study(forwarding=True)
+    assert out.measured == out.ground_truth
+    assert out.total_reads_local_question == sum(out.ground_truth.values())
+
+
+def test_forward_count_is_two_per_query():
+    """One message per activation-state change: activate + deactivate."""
+    queries = [Query("A", 2), Query("B", 4)]
+    out = run_db_study(queries, forwarding=True)
+    assert out.forwarded_messages == 2 * len(queries)
+
+
+def test_local_question_needs_no_forwarding():
+    """Figure-6-style single-SAS questions cost zero cross-node messages."""
+    out = run_db_study(forwarding=False)
+    assert out.forwarded_messages == 0
+    assert out.total_reads_local_question == sum(out.ground_truth.values())
+
+
+def test_without_forwarding_distributed_question_reads_zero():
+    out = run_db_study(forwarding=False)
+    assert all(v == 0 for v in out.measured.values())
+
+
+def test_watcher_satisfied_time_positive_only_with_forwarding():
+    with_fwd = run_db_study(forwarding=True)
+    without = run_db_study(forwarding=False)
+    assert all(t > 0 for t in with_fwd.per_query_watcher_time.values())
+    assert all(t == 0 for t in without.per_query_watcher_time.values())
+
+
+def test_notification_counts():
+    queries = [Query("A", 3)]
+    out = run_db_study(queries, forwarding=True)
+    # client: activate+deactivate for one query
+    assert out.client_sas_notifications == 2
+    # server: 2 per read + 2 forwarded
+    assert out.server_sas_notifications == 3 * 2 + 2
+
+
+class TestMultipleClients:
+    """'server disk reads that correspond to a particular client' (plural
+    clients, Section 4.2.3)."""
+
+    def queries(self):
+        return [Query(f"Q{i}", disk_reads=2 + i % 3) for i in range(6)]
+
+    def test_per_client_exact_when_serial(self):
+        # a single client serializes queries: per-client == ground truth
+        out = run_db_study(self.queries(), forwarding=True, num_clients=1)
+        assert out.per_client_measured == out.per_client_truth
+
+    def test_per_client_counts_with_concurrency(self):
+        out = run_db_study(self.queries(), forwarding=True, num_clients=3)
+        assert sum(out.per_client_truth.values()) == sum(out.ground_truth.values())
+        # with concurrent outstanding queries the SAS cannot tell *which*
+        # active query a read serves, so counts may over-credit -- the SAS's
+        # honest granularity limit -- but never under-credit
+        for c, truth in out.per_client_truth.items():
+            assert out.per_client_measured[c] >= truth
+
+    def test_forwarding_scales_with_clients(self):
+        queries = self.queries()
+        out = run_db_study(queries, forwarding=True, num_clients=3)
+        assert out.forwarded_messages == 2 * len(queries)
+
+    def test_no_forwarding_blind_per_client(self):
+        out = run_db_study(self.queries(), forwarding=False, num_clients=2)
+        assert all(v == 0 for v in out.per_client_measured.values())
+        assert out.total_reads_local_question == sum(out.ground_truth.values())
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            run_db_study(self.queries(), num_clients=0)

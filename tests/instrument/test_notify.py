@@ -1,0 +1,105 @@
+"""Unit tests for sentence-notification sites."""
+
+from repro.core import ActiveSentenceSet, Noun, Verb, sentence
+from repro.instrument import SentenceNotifier
+
+SUM = Verb("Sum", "HPF")
+A_SUM = sentence(SUM, Noun("A", "HPF"))
+B_SUM = sentence(SUM, Noun("B", "HPF"))
+
+
+def make(n=2, **kwargs):
+    sases = [ActiveSentenceSet(node_id=i) for i in range(n)]
+    return SentenceNotifier(sases, notify_cost=1e-6, **kwargs), sases
+
+
+def test_enabled_site_notifies_and_costs():
+    notifier, sases = make()
+    cost = notifier.activate(0, "array.A", A_SUM)
+    assert cost == 1e-6
+    assert sases[0].is_active(A_SUM)
+    assert not sases[1].is_active(A_SUM)
+    cost = notifier.deactivate(0, "array.A", A_SUM)
+    assert cost == 1e-6
+    assert not sases[0].is_active(A_SUM)
+    assert notifier.notifications == 2
+
+
+def test_disabled_site_is_free_and_silent():
+    notifier, sases = make()
+    notifier.disable_site("array.B")
+    assert notifier.activate(0, "array.B", B_SUM) == 0.0
+    assert not sases[0].is_active(B_SUM)
+    assert notifier.suppressed == 1
+    # other sites unaffected
+    assert notifier.activate(0, "array.A", A_SUM) > 0
+
+
+def test_disable_all_with_site_override():
+    notifier, sases = make()
+    notifier.disable_all()
+    notifier.enable_site("stmt")
+    assert notifier.activate(0, "array.A", A_SUM) == 0.0
+    assert notifier.activate(0, "stmt", A_SUM) > 0.0
+    assert notifier.site_enabled("stmt")
+    assert not notifier.site_enabled("msg")
+
+
+def test_enable_all_clears_overrides():
+    notifier, _ = make()
+    notifier.disable_site("msg")
+    notifier.enable_all()
+    assert notifier.site_enabled("msg")
+
+
+def test_start_disabled():
+    notifier, sases = make(enabled=False)
+    assert notifier.activate(1, "stmt", A_SUM) == 0.0
+    assert len(sases[1]) == 0
+
+
+def test_sas_accessor():
+    notifier, sases = make()
+    assert notifier.sas(1) is sases[1]
+
+
+class TestToggleBalance:
+    """Sites may be deleted at any moment without unbalancing the SAS."""
+
+    def test_deactivation_delivered_for_predisable_activation(self):
+        notifier, sases = make()
+        notifier.activate(0, "array.A", A_SUM)
+        notifier.disable_all()
+        # the matching deactivation still reaches the SAS (and costs)
+        assert notifier.deactivate(0, "array.A", A_SUM) > 0
+        assert not sases[0].is_active(A_SUM)
+
+    def test_deactivation_without_delivered_activation_suppressed(self):
+        notifier, sases = make()
+        notifier.disable_all()
+        notifier.activate(0, "array.A", A_SUM)  # suppressed
+        notifier.enable_all()
+        assert notifier.deactivate(0, "array.A", A_SUM) == 0.0
+        assert notifier.suppressed == 2
+        assert not sases[0].is_active(A_SUM)
+
+    def test_nested_activations_balanced(self):
+        notifier, sases = make()
+        notifier.activate(0, "stmt", A_SUM)
+        notifier.activate(0, "stmt", A_SUM)
+        notifier.disable_all()
+        notifier.deactivate(0, "stmt", A_SUM)
+        assert sases[0].is_active(A_SUM)  # one delivered activation remains
+        notifier.deactivate(0, "stmt", A_SUM)
+        assert not sases[0].is_active(A_SUM)
+
+    def test_balance_is_per_node(self):
+        # node 1 got the activation; with sites disabled, node 0's
+        # deactivate is suppressed while node 1's is delivered
+        notifier, sases = make()
+        notifier.activate(1, "stmt", A_SUM)
+        notifier.disable_all()
+        assert notifier.deactivate(0, "stmt", A_SUM) == 0.0
+        assert sases[1].is_active(A_SUM)
+        assert notifier.deactivate(1, "stmt", A_SUM) > 0
+        assert not sases[1].is_active(A_SUM)

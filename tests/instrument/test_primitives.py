@@ -1,0 +1,78 @@
+"""Unit tests for counters and timers."""
+
+import pytest
+
+from repro.instrument import PROCESS, WALL, Counter, Timer
+
+
+class TestCounter:
+    def test_per_node_and_total(self):
+        c = Counter("sends")
+        c.increment(0)
+        c.increment(0, 2.0)
+        c.increment(3, 5.0)
+        assert c.value(0) == 3.0
+        assert c.value(3) == 5.0
+        assert c.value(1) == 0.0
+        assert c.value() == 8.0
+        assert c.increments == 3
+
+    def test_per_node_dict_and_reset(self):
+        c = Counter("x")
+        c.increment(1)
+        assert c.per_node() == {1: 1.0}
+        c.reset()
+        assert c.value() == 0.0
+
+
+class TestTimer:
+    def test_kind_validated(self):
+        with pytest.raises(ValueError):
+            Timer("t", "cpu")
+
+    def test_accumulates_intervals(self):
+        t = Timer("t", WALL)
+        t.start(0, 1.0)
+        t.stop(0, 3.0)
+        t.start(0, 10.0)
+        t.stop(0, 11.5)
+        assert t.value(0) == pytest.approx(3.5)
+
+    def test_nested_start_stop_counts_outer_interval(self):
+        t = Timer("t")
+        t.start(0, 1.0)
+        t.start(0, 2.0)  # re-entrant
+        t.stop(0, 3.0)
+        assert t.running(0)
+        t.stop(0, 5.0)
+        assert not t.running(0)
+        assert t.value(0) == pytest.approx(4.0)
+
+    def test_stop_without_start_raises(self):
+        t = Timer("t")
+        with pytest.raises(RuntimeError):
+            t.stop(0, 1.0)
+
+    def test_sampling_open_interval(self):
+        t = Timer("t")
+        t.start(0, 2.0)
+        assert t.value(0, now=5.0) == pytest.approx(3.0)
+        assert t.value(0) == pytest.approx(0.0)  # closed portion only
+
+    def test_independent_nodes(self):
+        t = Timer("t")
+        t.start(0, 0.0)
+        t.start(1, 0.0)
+        t.stop(0, 1.0)
+        t.stop(1, 4.0)
+        assert t.value(0) == 1.0
+        assert t.value(1) == 4.0
+        assert t.value() == 5.0
+        assert t.per_node() == {0: 1.0, 1: 4.0}
+
+    def test_total_value_with_open_intervals(self):
+        t = Timer("t", PROCESS)
+        t.start(0, 0.0)
+        t.stop(0, 2.0)
+        t.start(1, 1.0)
+        assert t.value(None, now=4.0) == pytest.approx(2.0 + 3.0)

@@ -1,0 +1,115 @@
+"""Edge-path coverage across layers: error handling and odd-but-legal cases."""
+
+import numpy as np
+import pytest
+
+from repro.cmfortran import (
+    EvalError,
+    Ident,
+    compile_source,
+    eval_expr,
+    parse_expression,
+)
+from repro.cmrts import CMRTSRuntime, run_program
+from repro.machine import ProcessCrashed
+from repro.paradyn import time_plot
+
+
+def test_eval_expr_unresolved_name():
+    with pytest.raises(EvalError):
+        eval_expr(Ident("GHOST"), {})
+
+
+def test_eval_expr_unexpected_call():
+    with pytest.raises(EvalError):
+        eval_expr(parse_expression("SUM(A)"), {"A": np.ones(3)})
+
+
+def test_node_crashes_on_unexpected_message():
+    """A stray message with an unknown tag crashes the node loudly (no
+    silent drops in the dispatch protocol)."""
+    prog = compile_source("PROGRAM P\nREAL A(8)\nA = 1.0\nEND")
+    rt = CMRTSRuntime(prog, num_nodes=2)
+    rt.machine.nodes[0].inbox.put(
+        type("Msg", (), {"tag": "garbage", "payload": None, "size_bytes": 1})()
+    )
+    with pytest.raises(ProcessCrashed) as exc:
+        rt.run()
+    assert "unexpected" in str(exc.value.original)
+
+
+def test_single_element_arrays():
+    rt = run_program(
+        compile_source("PROGRAM P\nREAL A(1), B(1)\nA = 3.0\nB = CSHIFT(A, 5)\nS = SUM(B)\nEND"),
+        num_nodes=4,  # more nodes than elements: most locals are empty
+    )
+    assert rt.scalar("S") == pytest.approx(3.0)
+
+
+def test_empty_local_reductions():
+    # 2 elements on 5 nodes: 3 nodes reduce empty slices (identity elements)
+    rt = run_program(
+        compile_source("PROGRAM P\nREAL A(2)\nA = -4.0\nMX = MAXVAL(A)\nMN = MINVAL(A)\nEND"),
+        num_nodes=5,
+    )
+    assert rt.scalar("MX") == -4.0
+    assert rt.scalar("MN") == -4.0
+
+
+def test_sort_more_nodes_than_elements():
+    data = np.array([3.0, 1.0, 2.0])
+    rt = run_program(
+        compile_source("PROGRAM P\nREAL A(3)\nCALL SORT(A)\nEND"),
+        num_nodes=6,
+        initial_arrays={"A": data},
+    )
+    assert np.allclose(rt.array("A"), np.sort(data))
+
+
+def test_scan_with_empty_locals():
+    data = np.arange(3.0)
+    rt = run_program(
+        compile_source("PROGRAM P\nREAL A(3), B(3)\nB = SCAN(A)\nEND"),
+        num_nodes=7,
+        initial_arrays={"A": data},
+    )
+    assert np.allclose(rt.array("B"), np.cumsum(data))
+
+
+def test_do_loop_zero_iterations():
+    rt = run_program(
+        compile_source("PROGRAM P\nREAL A(4)\nDO K = 1, 0\nA = A + 1.0\nENDDO\nEND"),
+        num_nodes=2,
+    )
+    assert np.allclose(rt.array("A"), 0.0)
+    assert rt.dispatches == 0
+
+
+def test_program_with_no_parallel_statements():
+    rt = run_program(compile_source("PROGRAM P\nX = 1.0\nY = X + 2.0\nEND"), num_nodes=2)
+    assert rt.scalar("Y") == 3.0
+    assert rt.dispatches == 0
+    assert rt.machine.network.stats.total_messages == 0  # only broadcasts
+
+
+def test_time_plot_degenerate_inputs():
+    # single point and all-zero values must not divide by zero
+    out = time_plot({"x": [(0.0, 0.0)]}, width=10, height=4)
+    assert "+" in out
+    out = time_plot({"x": [(1.0, 0.0), (2.0, 0.0)]}, width=10, height=4)
+    assert "x" in out
+
+
+def test_whole_pipeline_single_node():
+    """num_nodes=1: every collective degenerates gracefully."""
+    from repro.workloads import full_verb_mix
+
+    prog = compile_source(full_verb_mix(size=64))
+    rt = run_program(prog, num_nodes=1)
+    from repro.cmfortran import interpret
+
+    oracle = interpret(prog.analyzed)
+    for name in prog.symbols.arrays:
+        assert np.allclose(rt.array(name), oracle.array(name))
+    # one node sends nothing except acks and reduce results to the CP
+    assert rt.machine.network.stats.sends[0] == rt.dispatches + 3  # 3 reductions

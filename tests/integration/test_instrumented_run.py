@@ -1,0 +1,199 @@
+"""Integration: dynamic instrumentation measuring a live CMF program.
+
+This is the paper's core scenario end-to-end: compile, run on the simulated
+machine, insert counters/timers at CMRTS points, gate them with SAS
+questions, and check the measurements against the machine's ground-truth
+ledgers.
+"""
+
+import numpy as np
+import pytest
+
+from repro.cmfortran import compile_source
+from repro.cmrts import CMRTSRuntime, POINTS
+from repro.core import ActiveSentenceSet, PerformanceQuestion, SentencePattern
+from repro.instrument import (
+    ContextEquals,
+    Counter,
+    IncrementCounter,
+    InstrumentationManager,
+    InstrumentationRequest,
+    SASGate,
+    SentenceNotifier,
+    StartTimer,
+    StopTimer,
+    Timer,
+)
+
+SRC = """PROGRAM APP
+  REAL A(120), B(120)
+  A = 1.0
+  B = 2.0
+  SA = SUM(A)
+  MB = MAXVAL(B)
+  SB = SUM(B)
+  A = CSHIFT(B, 5)
+END
+"""
+
+
+def build(num_nodes=4, with_sas=False):
+    prog = compile_source(SRC, "app.cmf")
+    sases = [ActiveSentenceSet(node_id=i) for i in range(num_nodes)]
+    rt = CMRTSRuntime(prog, num_nodes=num_nodes)
+    for i, s in enumerate(sases):
+        s.clock = lambda sim=rt.machine.sim: sim.now
+    mgr = InstrumentationManager(rt.machine)
+    mgr.register_points(POINTS)
+    rt.probe = mgr
+    notifier = None
+    if with_sas:
+        notifier = SentenceNotifier(sases, notify_cost=1e-7)
+        rt.notifier = notifier
+    return prog, rt, mgr, sases, notifier
+
+
+def test_count_reductions_by_verb():
+    _, rt, mgr, _, _ = build()
+    sums = Counter("summations")
+    maxes = Counter("maxvals")
+    mgr.insert(
+        InstrumentationRequest(
+            "cmrts.reduce", "entry", IncrementCounter(sums), ContextEquals("verb", "Sum")
+        )
+    )
+    mgr.insert(
+        InstrumentationRequest(
+            "cmrts.reduce", "entry", IncrementCounter(maxes), ContextEquals("verb", "MaxVal")
+        )
+    )
+    rt.run()
+    # two SUMs and one MAXVAL, each executing once per node
+    assert sums.value() == 2 * rt.machine.num_nodes
+    assert maxes.value() == 1 * rt.machine.num_nodes
+    assert sums.value(0) == 2
+
+
+def test_node_activation_count_matches_dispatches():
+    _, rt, mgr, _, _ = build()
+    c = Counter("activations")
+    mgr.insert(InstrumentationRequest("cmrts.node_activation", "entry", IncrementCounter(c)))
+    rt.run()
+    assert c.value(0) == rt.dispatches
+    assert c.value() == rt.dispatches * rt.machine.num_nodes
+
+
+def test_idle_wall_timer_matches_ground_truth():
+    _, rt, mgr, _, _ = build()
+    t = Timer("idle_time", "wall")
+    mgr.insert(InstrumentationRequest("cmrts.idle", "entry", StartTimer(t)))
+    mgr.insert(InstrumentationRequest("cmrts.idle", "exit", StopTimer(t)))
+    rt.run()
+    for node in rt.machine.nodes:
+        measured = t.value(node.node_id, now=rt.machine.sim.now)
+        # wall idle timer >= ledger idle (timer interval includes the brief
+        # non-wait bookkeeping around the receive); they should be close
+        assert measured == pytest.approx(node.accounts.idle, rel=0.05)
+
+
+def test_argument_processing_timer():
+    _, rt, mgr, _, _ = build()
+    t = Timer("arg_time", "process")
+    mgr.insert(InstrumentationRequest("cmrts.argument_processing", "entry", StartTimer(t)))
+    mgr.insert(InstrumentationRequest("cmrts.argument_processing", "exit", StopTimer(t)))
+    rt.run()
+    total_truth = sum(n.accounts.argument_processing for n in rt.machine.nodes)
+    total_perturb = sum(n.accounts.instrumentation for n in rt.machine.nodes)
+    # the timer interval includes the probe's own perturbation (measured
+    # time dilates under instrumentation, as on real systems), so the
+    # measurement brackets the ground truth from above by at most the
+    # perturbation charged
+    assert total_truth <= t.value() <= total_truth + total_perturb + 1e-12
+
+
+def test_perturbation_charged_to_nodes():
+    _, rt, mgr, _, _ = build()
+    c = Counter("all_computes")
+    mgr.insert(InstrumentationRequest("cmrts.compute", "entry", IncrementCounter(c)))
+    rt.run()
+    perturb = sum(n.accounts.instrumentation for n in rt.machine.nodes)
+    assert perturb == pytest.approx(mgr.total_cost)
+    assert perturb > 0
+
+
+def test_uninstrumented_points_cost_nothing():
+    _, rt, mgr, _, _ = build()
+    rt.run()
+    assert mgr.total_cost == 0.0
+    assert all(n.accounts.instrumentation == 0.0 for n in rt.machine.nodes)
+
+
+def test_sas_gated_per_array_metric():
+    """Section 6.1's two-step array measurement: a SAS question for array B
+    gates a reduction counter, so only B's reductions are counted."""
+    _, rt, mgr, sases, _ = build(with_sas=True)
+    question = PerformanceQuestion(
+        "B active", (SentencePattern("?", ("B",), level="CM Fortran"),)
+    )
+    watchers = [s.attach_question(question) for s in sases]
+    c = Counter("b_reductions")
+    mgr.insert(
+        InstrumentationRequest(
+            "cmrts.reduce", "entry", IncrementCounter(c), SASGate(watchers)
+        )
+    )
+    rt.run()
+    # B has MAXVAL and SUM (2 reductions/node); A's SUM must not count
+    assert c.value() == 2 * rt.machine.num_nodes
+
+
+def test_sas_snapshot_during_run_contains_statement_and_array():
+    _, rt, mgr, sases, _ = build(with_sas=True)
+    snapshots = []
+
+    def spy(node_id, ctx):
+        snapshots.append(tuple(str(s) for s in sases[0].active_sentences()))
+        return True
+
+    from repro.instrument import FnPredicate
+
+    c = Counter("spy")
+    mgr.insert(
+        InstrumentationRequest(
+            "cmrts.reduce", "entry", IncrementCounter(c), FnPredicate(spy)
+        )
+    )
+    rt.run()
+    flat = [s for snap in snapshots for s in snap]
+    assert any("Sum" in s for s in flat)
+    assert any("Executes" in s or "line" in s for s in flat)
+
+
+def test_notification_cost_charged_when_sas_attached():
+    _, rt, _, _, notifier = build(with_sas=True)
+    rt.run()
+    assert notifier.notifications > 0
+    perturb = sum(n.accounts.instrumentation for n in rt.machine.nodes)
+    assert perturb == pytest.approx(notifier.notifications * notifier.notify_cost)
+
+
+def test_disabling_notification_sites_removes_cost():
+    _, rt, _, _, notifier = build(with_sas=True)
+    notifier.disable_all()
+    rt.run()
+    assert notifier.notifications == 0
+    assert notifier.suppressed > 0
+    assert all(n.accounts.instrumentation == 0.0 for n in rt.machine.nodes)
+
+
+def test_results_unchanged_by_instrumentation():
+    _, rt_plain, _, _, _ = build()
+    rt_plain.run()
+    _, rt_instr, mgr, sases, _ = build(with_sas=True)
+    c = Counter("x")
+    mgr.insert(InstrumentationRequest("cmrts.compute", "entry", IncrementCounter(c)))
+    rt_instr.run()
+    assert rt_plain.scalar("SA") == rt_instr.scalar("SA")
+    assert np.allclose(rt_plain.array("A"), rt_instr.array("A"))
+    # but instrumentation made it slower
+    assert rt_instr.elapsed > rt_plain.elapsed

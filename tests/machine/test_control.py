@@ -1,0 +1,123 @@
+"""Unit tests for the control processor and remaining machine edge paths."""
+
+import pytest
+
+from repro.machine import (
+    CONTROL_PROCESSOR,
+    Machine,
+    MachineConfig,
+    ProcessCrashed,
+    Timeout,
+)
+
+
+def make(n=2, **cfg):
+    return Machine(MachineConfig(num_nodes=n, **cfg))
+
+
+def test_gather_acks_rejects_wrong_tag():
+    m = make(1)
+
+    def node_proc():
+        node = m.nodes[0]
+        yield from node.idle_receive()
+        yield from m.network.send(0, CONTROL_PROCESSOR, "oops", None, 8)
+
+    def cp():
+        yield from m.control.dispatch(None, 8)
+        yield from m.control.gather_acks()
+
+    m.sim.spawn(node_proc(), "n0")
+    m.sim.spawn(cp(), "cp")
+    with pytest.raises(ProcessCrashed) as exc:
+        m.sim.run()
+    assert "expected ack" in str(exc.value.original)
+
+
+def test_gather_acks_sorts_by_node_id():
+    m = make(3)
+
+    def node_proc(i, delay):
+        def gen():
+            node = m.nodes[i]
+            yield from node.idle_receive()
+            yield Timeout(delay)
+            yield from m.network.send(i, CONTROL_PROCESSOR, "ack", (i, "done"), 8)
+
+        return gen()
+
+    def cp():
+        yield from m.control.dispatch(None, 8)
+        acks = yield from m.control.gather_acks()
+        return acks
+
+    # later nodes ack first; gather still returns them ordered
+    m.sim.spawn(node_proc(0, 3e-3), "n0")
+    m.sim.spawn(node_proc(1, 2e-3), "n1")
+    m.sim.spawn(node_proc(2, 1e-3), "n2")
+    p = m.sim.spawn(cp(), "cp")
+    m.sim.run()
+    assert [a[0] for a in p.result] == [0, 1, 2]
+
+
+def test_send_to_node():
+    m = make(2)
+    got = []
+
+    def node_proc():
+        msg = yield from m.network.receive(1)
+        got.append((msg.src, msg.tag, msg.payload))
+
+    def cp():
+        yield from m.control.send_to_node(1, "steer", {"x": 1}, 16)
+
+    m.sim.spawn(node_proc(), "n1")
+    m.sim.spawn(cp(), "cp")
+    m.sim.run()
+    assert got == [(CONTROL_PROCESSOR, "steer", {"x": 1})]
+
+
+def test_scalar_compute_rejects_negative():
+    m = make(1)
+
+    def cp():
+        yield from m.control.scalar_compute(-1)
+
+    m.sim.spawn(cp(), "cp")
+    with pytest.raises(ProcessCrashed):
+        m.sim.run()
+
+
+def test_heterogeneous_config_validation():
+    with pytest.raises(ValueError):
+        MachineConfig(num_nodes=2, node_flop_times=(1e-7,))
+    with pytest.raises(ValueError):
+        MachineConfig(num_nodes=2, node_flop_times=(1e-7, -1e-7))
+    cfg = MachineConfig(num_nodes=2, node_flop_times=(1e-7, 3e-7))
+    assert cfg.flop_time_of(1) == 3e-7
+    m = Machine(cfg)
+    assert m.nodes[1].flop_time == 3e-7
+
+
+def test_heterogeneous_nodes_compute_at_different_rates():
+    m = Machine(MachineConfig(num_nodes=2, node_flop_times=(1e-7, 5e-7)))
+
+    def work(i):
+        yield from m.nodes[i].compute(1000)
+
+    m.sim.spawn(work(0), "fast")
+    m.sim.spawn(work(1), "slow")
+    m.sim.run()
+    assert m.nodes[1].accounts.compute == pytest.approx(5 * m.nodes[0].accounts.compute)
+
+
+def test_many_nodes_machine():
+    """The machinery scales to CM-ish node counts (no quadratic blowups)."""
+    from repro.cmfortran import compile_source
+    from repro.cmrts import run_program
+    import numpy as np
+
+    src = "PROGRAM P\nREAL A(640)\nA = 1.0\nS = SUM(A)\nCALL SORT(A)\nEND"
+    rt = run_program(compile_source(src), num_nodes=32)
+    assert rt.scalar("S") == pytest.approx(640.0)
+    assert np.allclose(rt.array("A"), 1.0)

@@ -1,0 +1,174 @@
+"""Unit tests for the simulated interconnection network."""
+
+import pytest
+
+from repro.machine import (
+    CONTROL_PROCESSOR,
+    Machine,
+    MachineConfig,
+    Message,
+    NetworkConfig,
+)
+
+
+def make_machine(n=2, **net_kwargs):
+    return Machine(MachineConfig(num_nodes=n, network=NetworkConfig(**net_kwargs)))
+
+
+def test_message_validation():
+    with pytest.raises(ValueError):
+        Message(0, 1, "t", None, -5)
+    with pytest.raises(ValueError):
+        NetworkConfig(latency=0.0)
+
+
+def test_p2p_send_receive_timing():
+    m = make_machine(2, latency=1e-3, bandwidth=1e6, send_overhead=1e-4)
+    net = m.network
+    arrival_times = []
+
+    def sender():
+        yield from net.send(0, 1, "p2p", b"x", 1000)
+
+    def receiver():
+        msg = yield from net.receive(1)
+        arrival_times.append((m.sim.now, msg.payload))
+
+    m.sim.spawn(sender(), "s")
+    m.sim.spawn(receiver(), "r")
+    m.sim.run()
+    # arrival = latency + size/bandwidth = 1e-3 + 1e-3
+    assert arrival_times[0][0] == pytest.approx(2e-3)
+    assert arrival_times[0][1] == b"x"
+
+
+def test_sender_charged_communication_time():
+    m = make_machine(2, latency=1e-3, bandwidth=1e6, send_overhead=1e-4)
+
+    def sender():
+        yield from m.network.send(0, 1, "p2p", None, 1000)
+
+    m.sim.spawn(sender(), "s")
+    m.sim.run()
+    # occupation = overhead + size/bandwidth
+    assert m.nodes[0].accounts.communication == pytest.approx(1e-4 + 1e-3)
+    assert m.nodes[1].accounts.communication == 0.0
+
+
+def test_network_stats_counts():
+    m = make_machine(3)
+
+    def sender():
+        yield from m.network.send(0, 1, "p2p", None, 100)
+        yield from m.network.send(0, 2, "p2p", None, 50)
+
+    def receiver(i):
+        yield from m.network.receive(i)
+
+    m.sim.spawn(sender(), "s")
+    m.sim.spawn(receiver(1), "r1")
+    m.sim.spawn(receiver(2), "r2")
+    m.sim.run()
+    s = m.network.stats
+    assert s.sends[0] == 2
+    assert s.receives[1] == 1 and s.receives[2] == 1
+    assert s.bytes_sent[0] == 150
+    assert s.total_messages == 2
+
+
+def test_observer_sees_every_send():
+    m = make_machine(2)
+    seen = []
+    m.network.subscribe(lambda ev: seen.append((ev.kind, ev.message.tag)))
+
+    def sender():
+        yield from m.network.send(0, 1, "data", None, 10)
+        yield from m.network.send(0, CONTROL_PROCESSOR, "ack", None, 10)
+
+    def receiver():
+        yield from m.network.receive(1)
+
+    m.sim.spawn(sender(), "s")
+    m.sim.spawn(receiver(), "r")
+    m.sim.run()
+    assert ("p2p", "data") in seen
+    assert ("control", "ack") in seen
+
+
+def test_unsubscribe():
+    m = make_machine(2)
+    seen = []
+    obs = lambda ev: seen.append(ev)
+    m.network.subscribe(obs)
+    m.network.unsubscribe(obs)
+
+    def sender():
+        yield from m.network.send(0, 1, "p2p", None, 10)
+
+    m.sim.spawn(sender(), "s")
+    m.sim.run()
+    assert seen == []
+
+
+def test_broadcast_reaches_all_nodes_simultaneously():
+    m = make_machine(4, broadcast_latency=1e-3, bandwidth=1e6)
+    arrivals = []
+
+    def listener(i):
+        node = m.nodes[i]
+        msg = yield node.inbox.get()
+        arrivals.append((i, m.sim.now, msg.tag))
+
+    def cp():
+        yield from m.network.broadcast("dispatch", {"block": 1}, 1000)
+
+    for i in range(4):
+        m.sim.spawn(listener(i), f"l{i}")
+    m.sim.spawn(cp(), "cp")
+    m.sim.run()
+    assert len(arrivals) == 4
+    times = {t for _, t, _ in arrivals}
+    assert len(times) == 1  # simultaneous delivery
+    assert times.pop() == pytest.approx(1e-3 + 1e-3)
+    assert m.network.stats.broadcasts == 1
+
+
+def test_control_processor_dispatch_and_acks():
+    m = make_machine(3)
+
+    def node_proc(i):
+        node = m.nodes[i]
+        msg = yield from node.idle_receive()
+        assert msg.tag == "dispatch"
+        yield from m.network.send(i, CONTROL_PROCESSOR, "ack", (i, "ok"), 8)
+
+    def cp():
+        yield from m.control.dispatch({"block": "b0"}, 64)
+        acks = yield from m.control.gather_acks()
+        return acks
+
+    for i in range(3):
+        m.sim.spawn(node_proc(i), f"n{i}")
+    p = m.sim.spawn(cp(), "cp")
+    m.sim.run()
+    assert p.result == [(0, "ok"), (1, "ok"), (2, "ok")]
+    assert m.control.dispatches == 1
+
+
+def test_nodes_idle_while_waiting_for_dispatch():
+    m = make_machine(2, broadcast_latency=1e-3)
+
+    def node_proc(i):
+        node = m.nodes[i]
+        yield from node.idle_receive()
+
+    def cp():
+        yield from m.control.scalar_compute(1000)  # front-end work first
+        yield from m.control.dispatch(None, 1)
+
+    for i in range(2):
+        m.sim.spawn(node_proc(i), f"n{i}")
+    m.sim.spawn(cp(), "cp")
+    m.sim.run()
+    for node in m.nodes:
+        assert node.accounts.idle > 0

@@ -1,0 +1,166 @@
+"""Unit tests for the MDL compiler and the Figure-9 standard library."""
+
+import pytest
+
+from repro.cmfortran import compile_source
+from repro.cmrts import CMRTSRuntime, POINTS
+from repro.instrument import ContextContains, Counter, InstrumentationManager, Timer
+from repro.machine import Machine, MachineConfig
+from repro.mdl import (
+    FIGURE9_ROWS,
+    compile_metric,
+    metric_named,
+    parse_mdl,
+    standard_metrics,
+)
+
+
+@pytest.fixture
+def machine():
+    return Machine(MachineConfig(num_nodes=2))
+
+
+@pytest.fixture
+def mgr(machine):
+    m = InstrumentationManager(machine)
+    m.register_points(POINTS)
+    return m
+
+
+def test_compile_counter(mgr):
+    (mdef,) = parse_mdl(
+        'metric s { style counter; at cmrts.reduce entry when verb == "Sum" count 1; }'
+    )
+    metric = compile_metric(mdef, mgr)
+    assert isinstance(metric.primitive, Counter)
+    assert not metric.inserted
+    metric.insert()
+    assert metric.inserted and mgr.inserted_count() == 1
+
+    mgr.fire("cmrts.reduce", "entry", 0, {"verb": "Sum"})
+    mgr.fire("cmrts.reduce", "entry", 0, {"verb": "MaxVal"})
+    assert metric.value() == 1.0
+    assert metric.value(0) == 1.0
+    assert metric.value(1) == 0.0
+
+    metric.remove()
+    assert mgr.inserted_count() == 0
+    mgr.fire("cmrts.reduce", "entry", 0, {"verb": "Sum"})
+    assert metric.value() == 1.0  # frozen after removal
+
+
+def test_double_insert_rejected(mgr):
+    metric = compile_metric(metric_named("summations"), mgr)
+    metric.insert()
+    with pytest.raises(RuntimeError):
+        metric.insert()
+
+
+def test_compile_timer_samples_open_interval(mgr, machine):
+    metric = compile_metric(metric_named("idle_time"), mgr)
+    assert isinstance(metric.primitive, Timer)
+    metric.insert()
+
+    def proc():
+        mgr.fire("cmrts.idle", "entry", 0, {})
+        yield 3.0
+
+    machine.sim.spawn(proc(), "p")
+    machine.sim.run()
+    assert metric.value(0) == pytest.approx(3.0)  # open interval sampled
+
+
+def test_focus_predicate_anded(mgr):
+    metric = compile_metric(
+        metric_named("summations"), mgr, focus_predicate=ContextContains("arrays", "A"),
+        name_suffix="<A>",
+    )
+    metric.insert()
+    mgr.fire("cmrts.reduce", "entry", 0, {"verb": "Sum", "arrays": ("A",)})
+    mgr.fire("cmrts.reduce", "entry", 0, {"verb": "Sum", "arrays": ("B",)})
+    mgr.fire("cmrts.reduce", "entry", 0, {"verb": "MaxVal", "arrays": ("A",)})
+    assert metric.value() == 1.0
+    assert metric.primitive.name == "summations<A>"
+
+
+def test_library_parses_and_covers_figure9():
+    metrics = standard_metrics()
+    assert len(metrics) == 31
+    for level, name in FIGURE9_ROWS:
+        assert name in metrics, name
+    # all points referenced exist in the runtime
+    for m in metrics.values():
+        for clause in m.clauses:
+            assert clause.point in POINTS, (m.name, clause.point)
+
+
+def test_metric_named_unknown():
+    with pytest.raises(KeyError):
+        metric_named("warp_drive_time")
+
+
+def test_library_counts_against_live_run():
+    src = """PROGRAM M
+  REAL A(60), B(60)
+  A = 1.0
+  B = 2.0
+  S = SUM(A)
+  MX = MAXVAL(A)
+  MN = MINVAL(B)
+  B = CSHIFT(A, 1)
+  A = SCAN(B)
+  CALL SORT(A)
+END
+"""
+    prog = compile_source(src)
+    rt = CMRTSRuntime(prog, num_nodes=4)
+    mgr = InstrumentationManager(rt.machine)
+    mgr.register_points(POINTS)
+    rt.probe = mgr
+    names = [
+        "summations",
+        "maxval_count",
+        "minval_count",
+        "reductions",
+        "rotations",
+        "shifts",
+        "scans",
+        "sorts",
+        "transposes",
+        "node_activations",
+        "cleanups",
+    ]
+    metrics = {n: compile_metric(metric_named(n), mgr) for n in names}
+    for m in metrics.values():
+        m.insert()
+    rt.run()
+    n = rt.machine.num_nodes
+    assert metrics["summations"].value() == 1 * n
+    assert metrics["maxval_count"].value() == 1 * n
+    assert metrics["minval_count"].value() == 1 * n
+    assert metrics["reductions"].value() == 3 * n
+    assert metrics["rotations"].value() == 1 * n
+    assert metrics["shifts"].value() == 0
+    assert metrics["scans"].value() == 1 * n
+    assert metrics["sorts"].value() == 1 * n
+    assert metrics["transposes"].value() == 0
+    assert metrics["node_activations"].value(0) == rt.dispatches
+    assert metrics["cleanups"].value() == sum(nd.cleanups for nd in rt.machine.nodes)
+
+
+def test_library_times_against_ground_truth():
+    src = "PROGRAM M\nREAL A(80)\nA = 1.0\nS = SUM(A)\nEND\n"
+    prog = compile_source(src)
+    rt = CMRTSRuntime(prog, num_nodes=3)
+    mgr = InstrumentationManager(rt.machine, guard_cost=0.0, action_cost=0.0)
+    mgr.register_points(POINTS)
+    rt.probe = mgr
+    arg_t = compile_metric(metric_named("argument_processing_time"), mgr)
+    idle_t = compile_metric(metric_named("idle_time"), mgr)
+    arg_t.insert()
+    idle_t.insert()
+    rt.run()
+    truth_arg = sum(n.accounts.argument_processing for n in rt.machine.nodes)
+    assert arg_t.value() == pytest.approx(truth_arg, rel=1e-9)
+    truth_idle = sum(n.accounts.idle for n in rt.machine.nodes)
+    assert idle_t.value() == pytest.approx(truth_idle, rel=1e-9)

@@ -1,0 +1,195 @@
+"""Unit tests for the MDL lexer/parser."""
+
+import pytest
+
+from repro.mdl import (
+    AtClause,
+    Comparison,
+    Conjunction,
+    ContainsTest,
+    MDLSyntaxError,
+    parse_mdl,
+    tokenize_mdl,
+)
+
+
+def test_tokenize_kinds():
+    toks = tokenize_mdl('metric x { at a.b entry when v == "Sum" count 2; }')
+    kinds = [k for k, _, _ in toks]
+    assert "point" in kinds and "string" in kinds and "number" in kinds and "eq" in kinds
+    assert kinds[-1] == "eof"
+
+
+def test_tokenize_comments_and_lines():
+    toks = tokenize_mdl("# a comment\nmetric x { style counter; }")
+    assert toks[0][1] == "metric"
+    assert toks[0][2] == 2  # line number after comment
+
+
+def test_tokenize_bad_character():
+    with pytest.raises(MDLSyntaxError):
+        tokenize_mdl("metric x @ {}")
+
+
+def test_parse_counter_metric():
+    (m,) = parse_mdl(
+        """
+        metric summations {
+            description "Count of array summations.";
+            units "operations";
+            style counter;
+            at cmrts.reduce entry when verb == "Sum" count 1;
+        }
+        """
+    )
+    assert m.name == "summations"
+    assert m.style == "counter"
+    assert m.units == "operations"
+    assert m.description == "Count of array summations."
+    assert m.clauses == (
+        AtClause("cmrts.reduce", "entry", "count", 1.0, Comparison("verb", "Sum")),
+    )
+
+
+def test_parse_timer_metric():
+    (m,) = parse_mdl(
+        """
+        metric t {
+            style timer wall;
+            at cmrts.idle entry start;
+            at cmrts.idle exit stop;
+        }
+        """
+    )
+    assert m.style == "timer" and m.timer_kind == "wall"
+    assert [c.action for c in m.clauses] == ["start", "stop"]
+
+
+def test_parse_count_field_amount():
+    (m,) = parse_mdl("metric e { style counter; at cmrts.compute entry count elements; }")
+    assert m.clauses[0].amount == "elements"
+
+
+def test_parse_conjunction_and_contains():
+    (m,) = parse_mdl(
+        """
+        metric x {
+            style counter;
+            at p.q entry when verb == "Sum" and arrays contains "A" count 1;
+        }
+        """
+    )
+    cond = m.clauses[0].condition
+    assert isinstance(cond, Conjunction)
+    assert isinstance(cond.terms[1], ContainsTest)
+    assert cond.terms[1].value == "A"
+
+
+def test_parse_numeric_comparison():
+    (m,) = parse_mdl("metric x { style counter; at p.q entry when node == 3 count 1; }")
+    assert m.clauses[0].condition == Comparison("node", 3.0)
+
+
+def test_aggregate_property():
+    (m,) = parse_mdl("metric x { style counter; aggregate mean; at p.q entry count 1; }")
+    assert m.aggregate == "mean"
+
+
+def test_multiple_metrics():
+    ms = parse_mdl(
+        "metric a { style counter; at p.q entry count 1; }"
+        "metric b { style timer process; at p.q entry start; at p.q exit stop; }"
+    )
+    assert [m.name for m in ms] == ["a", "b"]
+
+
+class TestErrors:
+    def test_missing_style(self):
+        with pytest.raises(MDLSyntaxError):
+            parse_mdl("metric x { units \"s\"; }")
+
+    def test_counter_with_start(self):
+        with pytest.raises(MDLSyntaxError):
+            parse_mdl("metric x { style counter; at p.q entry start; }")
+
+    def test_timer_with_count(self):
+        with pytest.raises(MDLSyntaxError):
+            parse_mdl("metric x { style timer process; at p.q entry count 1; }")
+
+    def test_bad_phase(self):
+        with pytest.raises(MDLSyntaxError):
+            parse_mdl("metric x { style counter; at p.q middle count 1; }")
+
+    def test_unterminated_metric(self):
+        with pytest.raises(MDLSyntaxError):
+            parse_mdl("metric x { style counter; at p.q entry count 1;")
+
+    def test_bad_timer_kind(self):
+        with pytest.raises(MDLSyntaxError):
+            parse_mdl("metric x { style timer sundial; at p.q entry start; }")
+
+    def test_missing_semicolon(self):
+        with pytest.raises(MDLSyntaxError):
+            parse_mdl('metric x { units "s" style counter; }')
+
+    def test_bad_count_amount(self):
+        with pytest.raises(MDLSyntaxError):
+            parse_mdl('metric x { style counter; at p.q entry count "str"; }')
+
+
+class TestBooleanConditions:
+    def test_disjunction(self):
+        from repro.mdl import Disjunction
+
+        (m,) = parse_mdl(
+            'metric x { style counter;'
+            ' at p.q entry when verb == "Sum" or verb == "MaxVal" count 1; }'
+        )
+        cond = m.clauses[0].condition
+        assert isinstance(cond, Disjunction)
+        assert len(cond.terms) == 2
+
+    def test_negation(self):
+        from repro.mdl import Negation
+
+        (m,) = parse_mdl(
+            'metric x { style counter; at p.q entry when not verb == "Sum" count 1; }'
+        )
+        assert isinstance(m.clauses[0].condition, Negation)
+
+    def test_precedence_and_binds_tighter_than_or(self):
+        from repro.mdl import Conjunction, Disjunction
+
+        (m,) = parse_mdl(
+            'metric x { style counter;'
+            ' at p.q entry when a == 1 and b == 2 or c == 3 count 1; }'
+        )
+        cond = m.clauses[0].condition
+        assert isinstance(cond, Disjunction)
+        assert isinstance(cond.terms[0], Conjunction)
+
+    def test_double_negation(self):
+        from repro.mdl import Negation
+
+        (m,) = parse_mdl(
+            'metric x { style counter; at p.q entry when not not a == 1 count 1; }'
+        )
+        cond = m.clauses[0].condition
+        assert isinstance(cond, Negation) and isinstance(cond.term, Negation)
+
+    def test_compiled_boolean_predicate(self):
+        from repro.instrument import InstrumentationManager
+        from repro.machine import Machine, MachineConfig
+        from repro.mdl import compile_metric
+
+        (m,) = parse_mdl(
+            'metric reds_not_sum { style counter;'
+            ' at cmrts.reduce entry when verb == "MaxVal" or verb == "MinVal" count 1; }'
+        )
+        mgr = InstrumentationManager(Machine(MachineConfig(num_nodes=1)))
+        metric = compile_metric(m, mgr)
+        metric.insert()
+        mgr.fire("cmrts.reduce", "entry", 0, {"verb": "Sum"})
+        mgr.fire("cmrts.reduce", "entry", 0, {"verb": "MaxVal"})
+        mgr.fire("cmrts.reduce", "entry", 0, {"verb": "MinVal"})
+        assert metric.value() == 2.0

@@ -1,0 +1,110 @@
+"""Tests for the Performance Consultant's why/where search."""
+
+import pytest
+
+from repro.cmfortran import compile_source
+from repro.paradyn import PerformanceConsultant
+
+SORT_HEAVY = """PROGRAM SH
+  REAL A(400), B(40)
+  A = 1.0
+  CALL SORT(A)
+  CALL SORT(A)
+  CALL SORT(A)
+END
+"""
+
+COMPUTE_HEAVY = """PROGRAM CH
+  REAL A(4000)
+  DO K = 1, 6
+  A = A * 2.0 + 1.0
+  A = SQRT(ABS(A)) + A
+  ENDDO
+END
+"""
+
+
+def test_sort_heavy_program_flags_sort_bound():
+    pc = PerformanceConsultant(compile_source(SORT_HEAVY), num_nodes=4, threshold=0.15)
+    findings = pc.search()
+    names = [f.hypothesis for f in findings]
+    assert "SortBound" in names
+    sort_finding = next(f for f in findings if f.hypothesis == "SortBound")
+    assert sort_finding.fraction > 0.15
+    # refinement names the sorted array
+    assert any("array A" == c.focus for c in sort_finding.children)
+    assert pc.runs == 2
+
+
+def test_compute_heavy_program_flags_compute_bound():
+    pc = PerformanceConsultant(compile_source(COMPUTE_HEAVY), num_nodes=4, threshold=0.2)
+    findings = pc.search(refine=False)
+    assert findings, "expected at least one finding"
+    assert findings[0].hypothesis in ("ComputeBound", "ExcessiveIdle")
+    assert any(f.hypothesis == "ComputeBound" for f in findings)
+    assert pc.runs == 1
+
+
+def test_findings_sorted_by_fraction():
+    pc = PerformanceConsultant(compile_source(SORT_HEAVY), num_nodes=4, threshold=0.01)
+    findings = pc.search(refine=False)
+    fractions = [f.fraction for f in findings]
+    assert fractions == sorted(fractions, reverse=True)
+
+
+def test_high_threshold_yields_nothing():
+    pc = PerformanceConsultant(compile_source(COMPUTE_HEAVY), num_nodes=2, threshold=2.0)
+    findings = pc.search()
+    assert findings == []
+    assert "no hypothesis" in pc.report(findings)
+
+
+def test_report_renders_tree():
+    pc = PerformanceConsultant(compile_source(SORT_HEAVY), num_nodes=2, threshold=0.15)
+    findings = pc.search()
+    text = pc.report(findings)
+    assert "Performance Consultant findings:" in text
+    assert "SortBound" in text
+    assert "% of capacity" in text
+    assert "execution(s)" in text
+
+
+def test_load_imbalance_detected_on_heterogeneous_machine():
+    """One 4x-slower node makes the consultant flag LoadImbalance at it."""
+    from repro.machine import MachineConfig
+
+    program = compile_source(COMPUTE_HEAVY)
+    pc = PerformanceConsultant(
+        program,
+        num_nodes=4,
+        threshold=0.1,
+        machine_config=MachineConfig(
+            num_nodes=4, node_flop_times=(1e-7, 1e-7, 4e-7, 1e-7)
+        ),
+    )
+    findings = pc.search(refine=False)
+    imbalance = [f for f in findings if f.hypothesis == "LoadImbalance"]
+    assert imbalance, [f.hypothesis for f in findings]
+    assert imbalance[0].focus == "node 2"
+    assert imbalance[0].fraction > 0.25
+
+
+def test_no_imbalance_on_homogeneous_machine():
+    pc = PerformanceConsultant(compile_source(COMPUTE_HEAVY), num_nodes=4, threshold=0.1)
+    findings = pc.search(refine=False)
+    assert not any(f.hypothesis == "LoadImbalance" for f in findings)
+
+
+def test_refinement_tolerates_synthesized_findings():
+    from repro.machine import MachineConfig
+
+    pc = PerformanceConsultant(
+        compile_source(COMPUTE_HEAVY),
+        num_nodes=4,
+        threshold=0.1,
+        machine_config=MachineConfig(
+            num_nodes=4, node_flop_times=(1e-7, 1e-7, 4e-7, 1e-7)
+        ),
+    )
+    findings = pc.search(refine=True)  # must not crash on LoadImbalance
+    assert findings

@@ -1,0 +1,138 @@
+"""Unit tests for the Data Manager and dynamic mapping discovery."""
+
+import pytest
+
+from repro.cmfortran import compile_source
+from repro.cmrts import AllocationManager, standard_vocabulary
+from repro.core import (
+    CPU_TIME,
+    CostVector,
+    Mapping,
+    MappingOrigin,
+    MergePolicy,
+    Noun,
+    Sentence,
+    Verb,
+    sentence,
+)
+from repro.paradyn import DataManager, Paradyn
+from repro.pif import generate_pif
+from repro.workloads import HPF_FRAGMENT
+
+
+@pytest.fixture
+def dm():
+    dm = DataManager(standard_vocabulary())
+    dm.set_program("FRAG", "frag.cmf")
+    dm.register_machine(2)
+    return dm
+
+
+def test_load_pif_counts_static_records(dm):
+    doc = generate_pif(compile_source(HPF_FRAGMENT, "frag.cmf").listing)
+    dm.load_pif(doc)
+    assert dm.static_records == len(doc)
+    assert len(dm.graph) == len(doc.mappings)
+
+
+def test_allocation_event_builds_distribution(dm):
+    heap = AllocationManager(2)
+    heap.on_allocate.append(dm.on_allocation)
+    heap.on_deallocate.append(dm.on_deallocation)
+    heap.allocate("A", "REAL", (10,), owner="FRAG")
+    assert dm.nodes_holding("A") == [0, 1]
+    assert dm.dynamic_records == 1
+    heap.deallocate("A")
+    with pytest.raises(KeyError):
+        dm.nodes_holding("A")
+
+
+def test_empty_subregions_skipped(dm):
+    heap = AllocationManager(2)
+    heap.on_allocate.append(dm.on_allocation)
+    heap.allocate("TINY", "REAL", (1,), owner="FRAG")
+    assert dm.nodes_holding("TINY") == [0]
+    array_node = dm.where_axis.find("TINY")
+    assert len(array_node.children) == 1  # node 1's empty subregion omitted
+
+
+def test_add_dynamic_mapping_dedupes(dm):
+    send = sentence(Verb("Send", "Base"), Noun("Processor_0", "Base"))
+    summ = sentence(Verb("Sum", "CM Fortran"), Noun("A", "CM Fortran"))
+    m = Mapping(send, summ, MappingOrigin.DYNAMIC)
+    dm.add_dynamic_mapping(m)
+    dm.add_dynamic_mapping(m)
+    assert dm.dynamic_records == 1
+    assert len(dm.graph) == 1
+
+
+def test_upward_query(dm):
+    doc = generate_pif(compile_source(HPF_FRAGMENT, "frag.cmf").listing)
+    dm.load_pif(doc)
+    block = Sentence(
+        dm.vocabulary.verb("Base", "CPU Utilization"),
+        (dm.vocabulary.noun("Base", "cmpe_fragment_1_()"),),
+    )
+    up = dm.upward(block)
+    assert any(s.verb.name == "Executes" for s in up)
+
+
+def test_attribute_through_datamgr(dm):
+    doc = generate_pif(compile_source(HPF_FRAGMENT, "frag.cmf").listing)
+    dm.load_pif(doc)
+    block = Sentence(
+        dm.vocabulary.verb("Base", "CPU Utilization"),
+        (dm.vocabulary.noun("Base", "cmpe_fragment_1_()"),),
+    )
+    att = dm.attribute([(block, CostVector({CPU_TIME: 4.0}))], MergePolicy())
+    assert att.total().get(CPU_TIME) == pytest.approx(4.0)
+
+
+class TestDynamicMappingDiscovery:
+    def test_co_activity_becomes_dynamic_records(self):
+        tool = Paradyn.for_program(compile_source(HPF_FRAGMENT, "f.cmf"), num_nodes=2)
+        tool.discover_dynamic_mappings()
+        before = tool.datamgr.dynamic_records
+        tool.run()
+        dynamic = [m for m in tool.datamgr.graph if m.origin is MappingOrigin.DYNAMIC]
+        assert dynamic
+        assert tool.datamgr.dynamic_records > before
+        # the paper's headline dynamic mapping: low-level send -> {A Sum}
+        assert any(
+            m.source.verb.name in ("Send", "PointToPoint")
+            and m.destination.verb.name == "Sum"
+            for m in dynamic
+        )
+        # orientation respects level ranks: Base maps upward to CM Fortran
+        for m in dynamic:
+            src_rank = tool.datamgr.vocabulary.level(m.source.abstraction).rank
+            dst_rank = tool.datamgr.vocabulary.level(m.destination.abstraction).rank
+            assert src_rank <= dst_rank
+
+    def test_requires_sas(self):
+        tool = Paradyn.for_program(
+            compile_source(HPF_FRAGMENT, "f.cmf"), num_nodes=2, enable_sas=False
+        )
+        with pytest.raises(RuntimeError):
+            tool.discover_dynamic_mappings()
+
+    def test_idempotent(self):
+        tool = Paradyn.for_program(compile_source(HPF_FRAGMENT, "f.cmf"), num_nodes=2)
+        tool.discover_dynamic_mappings()
+        recorder = tool._mapping_recorder
+        tool.discover_dynamic_mappings()
+        assert tool._mapping_recorder is recorder
+
+
+def test_downward_mapping_direction(dm):
+    """Mapping direction independence: which functions implement a line?"""
+    doc = generate_pif(compile_source(HPF_FRAGMENT, "frag.cmf").listing)
+    dm.load_pif(doc)
+    # lines 3 and 4 (A = 1.5 / B = 2.5) are fused into cmpe_fragment_1_
+    funcs = dm.implementing_functions(3)
+    assert funcs == ["cmpe_fragment_1_()"]
+    assert dm.implementing_functions(3) == dm.implementing_functions(4)
+    # a reduce line maps down to its own reduce block
+    funcs5 = dm.implementing_functions(5)
+    assert any("cmpe_fragment_" in f for f in funcs5)
+    assert funcs5 != funcs

@@ -1,0 +1,72 @@
+"""Unit tests for the folding time histogram."""
+
+import pytest
+
+from repro.cmfortran import compile_source
+from repro.paradyn import Paradyn, TimeHistogram
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        TimeHistogram(num_buckets=3)  # odd
+    with pytest.raises(ValueError):
+        TimeHistogram(num_buckets=0)
+    with pytest.raises(ValueError):
+        TimeHistogram(initial_width=0.0)
+    h = TimeHistogram(4, 1.0)
+    with pytest.raises(ValueError):
+        h.add(2.0, 1.0, 1.0)
+    with pytest.raises(ValueError):
+        h.add(0.0, 1.0, -1.0)
+
+
+def test_uniform_spread_within_interval():
+    h = TimeHistogram(4, 1.0)
+    h.add(0.5, 2.5, 4.0)  # rate 2/s over two full + two half buckets
+    assert h.buckets == pytest.approx([1.0, 2.0, 1.0, 0.0])
+    assert h.total() == pytest.approx(4.0)
+
+
+def test_point_sample_lands_in_one_bucket():
+    h = TimeHistogram(4, 1.0)
+    h.add(2.2, 2.2, 5.0)
+    assert h.buckets == pytest.approx([0.0, 0.0, 5.0, 0.0])
+
+
+def test_fold_merges_pairwise_and_doubles_width():
+    h = TimeHistogram(4, 1.0)
+    h.add(0.0, 4.0, 8.0)  # 2 per bucket
+    h.add(4.0, 5.0, 6.0)  # beyond capacity: forces a fold
+    assert h.folds == 1
+    assert h.bucket_width == 2.0
+    # old buckets merged to [4, 4]; new accrual lands in bucket 2 ([4, 6))
+    assert h.buckets == pytest.approx([4.0, 4.0, 6.0, 0.0])
+    assert h.total() == pytest.approx(14.0)
+
+
+def test_multiple_folds_preserve_total():
+    h = TimeHistogram(4, 1.0)
+    h.add(0.0, 40.0, 40.0)  # needs several folds to fit 40s into 4 buckets
+    assert h.capacity >= 40.0
+    assert h.total() == pytest.approx(40.0)
+    assert h.folds >= 3
+
+
+def test_value_at_and_series():
+    h = TimeHistogram(4, 1.0)
+    h.add(1.0, 2.0, 3.0)
+    assert h.value_at(1.5) == pytest.approx(3.0)
+    with pytest.raises(IndexError):
+        h.value_at(99.0)
+    series = h.series()
+    assert len(series) == 4
+    assert series[1] == (1.5, pytest.approx(3.0))
+
+
+def test_metric_instances_accrue_into_histograms():
+    src = "PROGRAM T\nREAL A(200)\nDO K = 1, 8\nA = A + 1.0\nENDDO\nS = SUM(A)\nEND"
+    tool = Paradyn.for_program(compile_source(src), num_nodes=2, sample_interval=2e-5)
+    inst = tool.request_metric("computation_time")
+    tool.run()
+    assert inst.histogram.total() == pytest.approx(inst.value(), rel=0.05)
+    assert any(v > 0 for _, v in inst.histogram.series())

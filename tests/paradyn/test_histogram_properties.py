@@ -1,0 +1,85 @@
+"""Property-based tests for the folding time histogram and PIF round-trips."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.paradyn import TimeHistogram
+from repro.pif import (
+    LevelDef,
+    MappingDef,
+    NounDef,
+    PIFDocument,
+    SentenceRef,
+    VerbDef,
+    dumps,
+    loads,
+)
+
+intervals = st.lists(
+    st.tuples(
+        st.floats(min_value=0.0, max_value=50.0, allow_nan=False),
+        st.floats(min_value=0.0, max_value=50.0, allow_nan=False),
+        st.floats(min_value=0.0, max_value=100.0, allow_nan=False),
+    ),
+    max_size=40,
+)
+
+
+@given(intervals)
+@settings(max_examples=200, deadline=None)
+def test_histogram_total_is_sum_of_deltas(items):
+    h = TimeHistogram(num_buckets=8, initial_width=0.5)
+    expected = 0.0
+    for a, b, delta in items:
+        t0, t1 = min(a, b), max(a, b)
+        h.add(t0, t1, delta)
+        expected += delta
+    assert abs(h.total() - expected) <= max(1.0, expected) * 1e-9
+    assert all(v >= -1e-12 for v in h.buckets)
+
+
+@given(st.floats(min_value=0.001, max_value=1e4, allow_nan=False))
+@settings(max_examples=50, deadline=None)
+def test_histogram_capacity_always_covers_latest_time(t_end):
+    h = TimeHistogram(num_buckets=4, initial_width=0.25)
+    h.add(0.0, t_end, 1.0)
+    assert h.capacity >= t_end
+    assert h.total() == 1.0 or abs(h.total() - 1.0) < 1e-9
+
+
+# ----------------------------------------------------------------------
+# PIF random round-trips
+# ----------------------------------------------------------------------
+name = st.text(
+    alphabet=st.characters(whitelist_categories=("Lu", "Ll", "Nd"), whitelist_characters="_"),
+    min_size=1,
+    max_size=12,
+)
+desc = st.text(
+    alphabet=st.characters(blacklist_characters="\n\r", blacklist_categories=("Cs", "Cc")),
+    max_size=40,
+).map(str.strip)
+
+level_defs = st.builds(LevelDef, name=name, rank=st.integers(0, 9), description=desc)
+noun_defs = st.builds(NounDef, name=name, abstraction=name, description=desc)
+verb_defs = st.builds(VerbDef, name=name, abstraction=name, description=desc)
+sentence_refs = st.builds(
+    SentenceRef, nouns=st.tuples(name) | st.tuples(name, name), verb=name
+)
+mapping_defs = st.builds(MappingDef, source=sentence_refs, destination=sentence_refs)
+
+
+@given(
+    st.lists(level_defs, max_size=3),
+    st.lists(noun_defs, max_size=5),
+    st.lists(verb_defs, max_size=5),
+    st.lists(mapping_defs, max_size=5),
+)
+@settings(max_examples=150, deadline=None)
+def test_pif_text_roundtrip(levels, nouns, verbs, mappings):
+    doc = PIFDocument(levels=levels, nouns=nouns, verbs=verbs, mappings=mappings)
+    parsed = loads(dumps(doc))
+    assert parsed.levels == doc.levels
+    assert parsed.nouns == doc.nouns
+    assert parsed.verbs == doc.verbs
+    assert parsed.mappings == doc.mappings

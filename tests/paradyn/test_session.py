@@ -1,0 +1,56 @@
+"""Tests for measurement-session persistence."""
+
+import pytest
+
+from repro.cmfortran import compile_source
+from repro.paradyn import Paradyn, load_session, save_session, session_to_dict
+from repro.workloads import HPF_FRAGMENT
+
+
+def make_tool():
+    tool = Paradyn.for_program(
+        compile_source(HPF_FRAGMENT, "frag.cmf"), num_nodes=2, sample_interval=2e-5
+    )
+    tool.request_metric("summations")
+    tool.request_metric("reduction_time", focus={"array": "A"})
+    tool.measure_block_times()
+    tool.run()
+    return tool
+
+
+def test_requires_run():
+    tool = Paradyn.for_program(compile_source(HPF_FRAGMENT, "f.cmf"), num_nodes=2)
+    with pytest.raises(RuntimeError):
+        session_to_dict(tool)
+
+
+def test_snapshot_contents():
+    tool = make_tool()
+    doc = session_to_dict(tool)
+    assert doc["program"]["name"] == "FRAGMENT"
+    assert doc["machine"]["num_nodes"] == 2
+    assert doc["machine"]["elapsed"] == tool.elapsed
+    by_name = {(m["name"], m["focus"]): m for m in doc["metrics"]}
+    summ = by_name[("summations", "<whole program>")]
+    assert summ["value"] == 2.0
+    assert sum(summ["per_node"].values()) == summ["value"]
+    assert by_name[("reduction_time", "<array=A>")]["value"] > 0
+    assert doc["block_times"]
+    assert doc["mapping_information"]["static_records"] > 0
+    assert doc["perturbation"] > 0
+
+
+def test_roundtrip_through_file(tmp_path):
+    tool = make_tool()
+    path = tmp_path / "session.json"
+    save_session(tool, path)
+    loaded = load_session(path)
+    assert loaded == session_to_dict(tool)  # JSON round-trip is lossless here
+    assert loaded["program"]["blocks"] == [b.name for b in tool.program.plan.blocks]
+    assert loaded["metrics"][0]["samples"]
+
+
+def test_sessions_are_reproducible(tmp_path):
+    a = session_to_dict(make_tool())
+    b = session_to_dict(make_tool())
+    assert a == b  # deterministic simulator => identical sessions

@@ -1,0 +1,295 @@
+"""Integration tests for the Paradyn facade, data manager and daemons."""
+
+import numpy as np
+import pytest
+
+from repro.cmfortran import compile_source
+from repro.core import CPU_TIME, MappingType
+from repro.paradyn import Focus, Paradyn
+
+SRC = """PROGRAM CORR
+  REAL A(120), B(120)
+  A = 1.0
+  B = A * 2.0
+  ASUM = SUM(A)
+  BMAX = MAXVAL(B)
+  A = CSHIFT(B, 3)
+END
+"""
+
+
+@pytest.fixture
+def tool():
+    return Paradyn.for_program(compile_source(SRC, "corr.cmf"), num_nodes=4)
+
+
+def test_pif_loaded_at_startup(tool):
+    assert tool.datamgr.static_records > 0
+    vocab = tool.datamgr.vocabulary
+    assert vocab.noun("Base", "cmpe_corr_1_()") is not None
+    assert vocab.noun("CM Fortran", "line3") is not None
+
+
+def test_merged_block_one_to_many_in_datamgr(tool):
+    vocab = tool.datamgr.vocabulary
+    from repro.core import Sentence
+
+    src = Sentence(
+        vocab.verb("Base", "CPU Utilization"), (vocab.noun("Base", "cmpe_corr_1_()"),)
+    )
+    assert tool.datamgr.graph.classify(src) == MappingType.ONE_TO_MANY
+
+
+def test_allocation_events_build_cmfarrays_hierarchy(tool):
+    tool.run()
+    assert tool.datamgr.dynamic_records >= 2
+    wa = tool.datamgr.where_axis
+    arrays = wa.hierarchy("CMFarrays").child("corr.cmf").child("CORR")
+    assert {c.name for c in arrays.children} == {"A", "B"}
+    sub = arrays.child("A").children
+    assert len(sub) == 4
+    assert sub[0].name == "A[0:30] on node 0"
+    assert tool.datamgr.nodes_holding("A") == [0, 1, 2, 3]
+
+
+def test_nodes_holding_unknown_array(tool):
+    with pytest.raises(KeyError):
+        tool.datamgr.nodes_holding("GHOST")
+
+
+def test_metric_request_and_report(tool):
+    tool.request_metric("summations")
+    tool.request_metric("reduction_time", focus={"array": "B"})
+    tool.run()
+    report = tool.report()
+    assert "summations" in report
+    assert "<array=B>" in report
+    table = tool.metrics.table()
+    assert table[0][2] == 4.0  # one SUM per node
+
+
+def test_unknown_metric_rejected(tool):
+    with pytest.raises(KeyError):
+        tool.request_metric("frobnications")
+
+
+def test_focus_constrains_by_array_via_sas(tool):
+    a_reds = tool.request_metric("reductions", focus={"array": "A"})
+    b_reds = tool.request_metric("reductions", focus={"array": "B"})
+    tool.run()
+    # A: SUM only; B: MAXVAL only (CSHIFT isn't a reduction)
+    assert a_reds.value() == 4.0
+    assert b_reds.value() == 4.0
+
+
+def test_focus_without_sas_uses_context(tool):
+    plain = Paradyn.for_program(compile_source(SRC, "corr.cmf"), num_nodes=4, enable_sas=False)
+    a_reds = plain.request_metric("reductions", focus={"array": "A"})
+    plain.run()
+    assert a_reds.value() == 4.0
+
+
+def test_node_focus(tool):
+    inst = tool.request_metric("node_activations", focus=Focus(node=1))
+    tool.run()
+    assert inst.value() == tool.runtime.dispatches
+    assert inst.value(0) == 0.0
+
+
+def test_line_focus(tool):
+    inst = tool.request_metric("reductions", focus={"line": 5})  # ASUM = SUM(A)
+    tool.run()
+    assert inst.value() == 4.0
+
+
+def test_dynamic_disable_freezes_value():
+    tool = Paradyn.for_program(compile_source(SRC, "corr.cmf"), num_nodes=2)
+    inst = tool.request_metric("node_activations")
+    tool.metrics.disable(inst)
+    tool.run()
+    assert inst.value() == 0.0
+    assert not inst.enabled
+
+
+def test_sampling_produces_monotone_stream():
+    tool = Paradyn.for_program(
+        compile_source(SRC, "corr.cmf"), num_nodes=2, sample_interval=1e-5
+    )
+    inst = tool.request_metric("computation_time")
+    tool.run()
+    assert len(inst.samples) >= 2
+    values = [v for _, v in inst.samples]
+    assert values == sorted(values)
+    times = [t for t, _ in inst.samples]
+    assert times == sorted(times)
+
+
+def test_attribution_merge_vs_split(tool):
+    tool.measure_block_times()
+    tool.run()
+    merge = tool.attribute("merge")
+    split = tool.attribute("split")
+    # lines 3 and 4 are fused -> merge reports a group, split reports halves
+    group = [g for g in merge.per_group if len(g) >= 2]
+    assert group, "expected a merged group for the fused block"
+    vocab = tool.datamgr.vocabulary
+    from repro.core import Sentence
+
+    line3 = Sentence(vocab.verb("CM Fortran", "Executes"), (vocab.noun("CM Fortran", "line3"),))
+    line4 = Sentence(vocab.verb("CM Fortran", "Executes"), (vocab.noun("CM Fortran", "line4"),))
+    assert split.cost_of(line3).get(CPU_TIME) > 0
+    assert split.cost_of(line3).approx_equal(split.cost_of(line4))
+    # totals agree across policies
+    assert merge.total().approx_equal(split.total())
+
+
+def test_attribution_requires_run(tool):
+    tool.measure_block_times()
+    with pytest.raises(RuntimeError):
+        tool.attribute("merge")
+    with pytest.raises(ValueError):
+        tool.run().attribute("bogus")
+
+
+def test_where_axis_render_contains_hierarchies(tool):
+    tool.run()
+    text = tool.where_axis()
+    for name in ("CMFstmts", "CMFarrays", "CMRTS", "Base", "Processor_0"):
+        assert name in text
+
+
+def test_program_results_correct_under_tool(tool):
+    tool.run()
+    assert tool.runtime.scalar("ASUM") == pytest.approx(120.0)
+    assert np.allclose(tool.runtime.array("B"), 2.0)
+
+
+def test_daemon_counters(tool):
+    tool.run()
+    assert tool.daemons[0].forwarded_static == len(tool.pif)
+    assert tool.daemons[0].forwarded_dynamic == 2  # two allocations
+
+
+class TestLazyNotificationSites:
+    """Section 5's 'eventually': sites enabled only on metric requests."""
+
+    def make(self):
+        return Paradyn.for_program(
+            compile_source(SRC, "corr.cmf"), num_nodes=2, lazy_notification_sites=True
+        )
+
+    def test_no_requests_means_no_notifications(self):
+        tool = self.make()
+        tool.run()
+        assert tool.notifier.notifications == 0
+        assert tool.notifier.suppressed > 0
+        assert all(n.accounts.instrumentation == 0.0 for n in tool.machine.nodes)
+
+    def test_array_request_enables_only_its_site(self):
+        tool = self.make()
+        inst = tool.request_metric("reductions", focus={"array": "A"})
+        assert tool.notifier.site_enabled("array.A")
+        assert not tool.notifier.site_enabled("array.B")
+        assert not tool.notifier.site_enabled("stmt")
+        tool.run()
+        assert inst.value() == 2.0  # one SUM(A) per node
+        # only A's sentences were ever delivered
+        assert all(
+            s.nouns[0].name == "A"
+            for sas in tool.sases
+            for s in sas.active_sentences()
+        ) or all(len(sas) == 0 for sas in tool.sases)
+
+    def test_disable_releases_site(self):
+        tool = self.make()
+        a1 = tool.request_metric("reductions", focus={"array": "A"})
+        a2 = tool.request_metric("summations", focus={"array": "A"})
+        tool.metrics.disable(a1)
+        assert tool.notifier.site_enabled("array.A")  # still referenced by a2
+        tool.metrics.disable(a2)
+        assert not tool.notifier.site_enabled("array.A")
+
+    def test_lazy_costs_less_than_eager(self):
+        eager = Paradyn.for_program(compile_source(SRC, "corr.cmf"), num_nodes=2)
+        eager.request_metric("reductions", focus={"array": "A"})
+        eager.run()
+        lazy = self.make()
+        lazy.request_metric("reductions", focus={"array": "A"})
+        lazy.run()
+        eager_cost = sum(n.accounts.instrumentation for n in eager.machine.nodes)
+        lazy_cost = sum(n.accounts.instrumentation for n in lazy.machine.nodes)
+        assert lazy_cost < eager_cost
+
+
+class TestAskQuestion:
+    """Tool-level Figure-6 questions over the per-node SASes."""
+
+    def test_conjunction_question_across_all_nodes(self):
+        from repro.core import PerformanceQuestion, SentencePattern, WILDCARD
+
+        tool = Paradyn.for_program(compile_source(SRC, "corr.cmf"), num_nodes=3)
+        q = PerformanceQuestion(
+            "sends while summing A",
+            (SentencePattern("Sum", ("A",)), SentencePattern("Send", (WILDCARD,))),
+        )
+        req = tool.ask_question(q)
+        tool.run()
+        assert req.satisfied_time() > 0
+        assert req.transitions() >= 2
+        assert req.satisfied_time() == pytest.approx(
+            sum(req.satisfied_time(i) for i in range(3))
+        )
+        assert not req.satisfied_now(0)  # program finished
+
+    def test_single_node_question(self):
+        from repro.core import PerformanceQuestion, SentencePattern
+
+        tool = Paradyn.for_program(compile_source(SRC, "corr.cmf"), num_nodes=3)
+        req = tool.ask_question(
+            PerformanceQuestion("a", (SentencePattern("Sum", ("A",)),)), node=1
+        )
+        tool.run()
+        assert set(req.watchers) == {1}
+        assert req.satisfied_time(1) > 0
+
+    def test_requires_sas(self):
+        tool = Paradyn.for_program(
+            compile_source(SRC, "corr.cmf"), num_nodes=2, enable_sas=False
+        )
+        from repro.core import PerformanceQuestion, SentencePattern
+
+        with pytest.raises(RuntimeError):
+            tool.ask_question(PerformanceQuestion("a", (SentencePattern("Sum", ("A",)),)))
+
+
+class TestFocusFor:
+    """Where-axis resource selection -> metric focus (Section 6.2)."""
+
+    def make_ran_tool(self):
+        # two tools: one run to populate the where axis (allocations happen
+        # at run time), a second fresh one to request focused metrics
+        scout = Paradyn.for_program(compile_source(SRC, "corr.cmf"), num_nodes=4)
+        scout.run()
+        return scout
+
+    def test_statement_array_node_subregion(self):
+        tool = self.make_ran_tool()
+        assert tool.focus_for("line5") == Focus(line=5)
+        assert tool.focus_for("A") == Focus(array="A")
+        assert tool.focus_for("A[0:30] on node 0") == Focus(array="A", node=0)
+        assert tool.focus_for("node2") == Focus(node=2)
+        assert tool.focus_for("Processor_1") == Focus(node=1)
+
+    def test_unknown_and_unfocusable(self):
+        tool = self.make_ran_tool()
+        with pytest.raises(KeyError):
+            tool.focus_for("GHOST")
+        with pytest.raises(KeyError):
+            tool.focus_for("CMFarrays")  # a hierarchy root, not a resource
+
+    def test_subregion_focus_measures_one_node(self):
+        # fresh tool; allocations fire during run, so request via dict focus
+        tool = Paradyn.for_program(compile_source(SRC, "corr.cmf"), num_nodes=4)
+        inst = tool.request_metric("reductions", focus=Focus(array="A", node=0))
+        tool.run()
+        assert inst.value() == 1.0  # SUM(A) counted on node 0 only

@@ -1,0 +1,62 @@
+"""Unit tests for the ASCII visualization modules."""
+
+from repro.paradyn import bar_chart, text_table, time_plot
+
+
+def test_time_plot_basic():
+    series = {"cpu": [(0.0, 0.0), (1.0, 5.0), (2.0, 10.0)]}
+    out = time_plot(series, width=20, height=5, title="cpu over time")
+    assert out.startswith("cpu over time")
+    assert "*" in out
+    assert "10" in out  # max label
+
+
+def test_time_plot_two_series_different_glyphs():
+    series = {
+        "a": [(0.0, 1.0), (1.0, 2.0)],
+        "b": [(0.0, 2.0), (1.0, 1.0)],
+    }
+    out = time_plot(series, width=10, height=4)
+    assert "*" in out and "o" in out
+    assert "* a" in out and "o b" in out
+
+
+def test_time_plot_empty():
+    assert "(no samples)" in time_plot({"x": []}, title="t")
+
+
+def test_bar_chart():
+    out = bar_chart({"A": 10.0, "B": 5.0}, width=10, units="s")
+    lines = out.splitlines()
+    assert lines[0].startswith("A")
+    assert lines[0].count("#") == 10
+    assert lines[1].count("#") == 5
+    assert "10 s" in lines[0]
+
+
+def test_bar_chart_empty_and_title():
+    assert "(no data)" in bar_chart({}, title="empty")
+    assert bar_chart({"x": 1.0}, title="T").splitlines()[0] == "T"
+
+
+def test_text_table_alignment():
+    out = text_table(
+        [("summations", 4, "ops"), ("t", 0.5, "s")],
+        headers=("metric", "value", "units"),
+    )
+    lines = out.splitlines()
+    assert lines[0].startswith("metric")
+    assert set(lines[1]) <= {"-", " "}
+    assert lines[2].startswith("summations")
+    # columns aligned: 'value' column starts at same offset everywhere
+    col = lines[0].index("value")
+    assert lines[2][col:col + 1] == "4"
+
+
+def test_text_table_empty():
+    assert text_table([]) == "(empty table)"
+
+
+def test_text_table_ragged_rows():
+    out = text_table([("a",), ("b", "c")])
+    assert "b  c" in out

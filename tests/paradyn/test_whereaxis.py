@@ -1,0 +1,77 @@
+"""Unit tests for the where axis."""
+
+import pytest
+
+from repro.paradyn import WhereAxis
+
+
+def build():
+    wa = WhereAxis()
+    wa.add_path([("CMFstmts", "hierarchy"), ("bow.fcm", "module"), ("line10", "statement")])
+    wa.add_path([("CMFstmts", "hierarchy"), ("bow.fcm", "module"), ("line11", "statement")])
+    wa.add_path(
+        [
+            ("CMFarrays", "hierarchy"),
+            ("bow.fcm", "module"),
+            ("CORNER", "function"),
+            ("TOT", "array"),
+            ("TOT[0:25] on node 0", "subregion"),
+        ],
+        payload=("TOT", 0),
+    )
+    return wa
+
+
+def test_paths_shared_prefixes_merge():
+    wa = build()
+    module = wa.hierarchy("CMFstmts").child("bow.fcm")
+    assert [c.name for c in module.children] == ["line10", "line11"]
+
+
+def test_hierarchies_listed():
+    wa = build()
+    assert wa.hierarchies() == ["CMFstmts", "CMFarrays"]
+
+
+def test_find_and_path_of():
+    wa = build()
+    node = wa.find("TOT")
+    assert node is not None and node.kind == "array"
+    assert wa.path_of("line11") == ["Whole Program", "CMFstmts", "bow.fcm", "line11"]
+    assert wa.find("missing") is None
+    assert wa.path_of("missing") is None
+
+
+def test_payload_on_leaf():
+    wa = build()
+    leaf = wa.find("TOT[0:25] on node 0")
+    assert leaf.payload == ("TOT", 0)
+
+
+def test_missing_child_raises():
+    wa = build()
+    with pytest.raises(KeyError):
+        wa.hierarchy("CMFstmts").child("nope")
+
+
+def test_render_figure8_style():
+    text = build().render()
+    assert text.splitlines()[0] == "Whole Program"
+    assert "|-- CMFstmts" in text
+    assert "`-- TOT[0:25] on node 0" in text
+
+
+def test_render_truncation():
+    wa = WhereAxis()
+    for i in range(10):
+        wa.add_path([("H", "hierarchy"), (f"n{i}", "x")])
+    text = wa.render(max_children=3)
+    assert "... (7 more)" in text
+
+
+def test_len_and_leaf_count():
+    wa = build()
+    # root + (CMFstmts, bow.fcm, line10, line11) + (CMFarrays, bow.fcm,
+    # CORNER, TOT, subregion)
+    assert len(wa) == 10
+    assert wa.root.leaf_count() == 3

@@ -1,0 +1,139 @@
+"""Unit tests for PIF records and text round-tripping."""
+
+import pytest
+
+from repro.core import MappingType, Vocabulary
+from repro.pif import (
+    LevelDef,
+    MappingDef,
+    NounDef,
+    PIFDocument,
+    PIFSyntaxError,
+    ResolutionError,
+    SentenceRef,
+    VerbDef,
+    dumps,
+    loads,
+)
+
+
+def figure2_document() -> PIFDocument:
+    """The exact static mapping information of the paper's Figure 2."""
+    doc = PIFDocument()
+    doc.levels += [LevelDef("CM Fortran", 2), LevelDef("Base", 0)]
+    doc.nouns += [
+        NounDef("line1160", "CM Fortran", "line #1160 in source file /usr/src/prog/main.fcm"),
+        NounDef("line1161", "CM Fortran", "line #1161 in source file /usr/src/prog/main.fcm"),
+        NounDef("cmpe_corr_6_()", "Base", "compiler generated function, source code not available"),
+    ]
+    doc.verbs += [
+        VerbDef("Executes", "CM Fortran", 'units are "% CPU"'),
+        VerbDef("CPU Utilization", "Base", 'units are "% CPU"'),
+    ]
+    src = SentenceRef(("cmpe_corr_6_()",), "CPU Utilization")
+    doc.mappings += [
+        MappingDef(src, SentenceRef(("line1160",), "Executes")),
+        MappingDef(src, SentenceRef(("line1161",), "Executes")),
+    ]
+    return doc
+
+
+def test_roundtrip_figure2():
+    doc = figure2_document()
+    text = dumps(doc)
+    parsed = loads(text)
+    assert parsed.levels == doc.levels
+    assert parsed.nouns == doc.nouns
+    assert parsed.verbs == doc.verbs
+    assert parsed.mappings == doc.mappings
+
+
+def test_dumps_matches_figure2_syntax():
+    text = dumps(figure2_document())
+    assert "NOUN\nname = line1160\nabstraction = CM Fortran" in text
+    assert "source = {cmpe_corr_6_(), CPU Utilization}" in text
+    assert "destination = {line1160, Executes}" in text
+
+
+def test_resolution_builds_one_to_many():
+    doc = figure2_document()
+    vocab = doc.build_vocabulary()
+    graph = doc.resolve_mappings(vocab)
+    src = doc.resolve_sentence(vocab, doc.mappings[0].source)
+    assert len(graph.destinations(src)) == 2
+    assert graph.classify(src) == MappingType.ONE_TO_MANY
+
+
+def test_resolution_undefined_noun():
+    doc = figure2_document()
+    doc.mappings.append(
+        MappingDef(SentenceRef(("ghost",), "Executes"), SentenceRef(("line1160",), "Executes"))
+    )
+    vocab = doc.build_vocabulary()
+    with pytest.raises(ResolutionError):
+        doc.resolve_mappings(vocab)
+
+
+def test_resolution_ambiguous_across_levels():
+    doc = figure2_document()
+    doc.nouns.append(NounDef("line1160", "Base", "collision"))
+    vocab = doc.build_vocabulary()
+    with pytest.raises(ResolutionError):
+        doc.resolve_sentence(vocab, SentenceRef(("line1160",), "Executes"))
+
+
+def test_multi_noun_sentence_roundtrip():
+    doc = PIFDocument()
+    doc.levels.append(LevelDef("L", 0))
+    doc.nouns += [NounDef("A", "L"), NounDef("B", "L")]
+    doc.verbs.append(VerbDef("V", "L"))
+    doc.mappings.append(
+        MappingDef(SentenceRef(("A", "B"), "V"), SentenceRef(("A",), "V"))
+    )
+    parsed = loads(dumps(doc))
+    assert parsed.mappings[0].source.nouns == ("A", "B")
+    assert parsed.mappings[0].source.verb == "V"
+
+
+def test_merge_deduplicates():
+    a, b = figure2_document(), figure2_document()
+    b.nouns.append(NounDef("extra", "Base"))
+    a.merge(b)
+    assert len([n for n in a.nouns if n.name == "line1160"]) == 1
+    assert any(n.name == "extra" for n in a.nouns)
+
+
+def test_vocabulary_merge_into_existing():
+    vocab = Vocabulary()
+    figure2_document().build_vocabulary(into=vocab)
+    assert vocab.noun("CM Fortran", "line1160").description.startswith("line #1160")
+
+
+class TestSyntaxErrors:
+    def test_unknown_record_type(self):
+        with pytest.raises(PIFSyntaxError):
+            loads("WIDGET\nname = x\n")
+
+    def test_missing_required_field(self):
+        with pytest.raises(PIFSyntaxError):
+            loads("NOUN\nname = x\n")  # no abstraction
+
+    def test_bad_field_line(self):
+        with pytest.raises(PIFSyntaxError):
+            loads("NOUN\nname x\nabstraction = L\n")
+
+    def test_level_needs_integer_rank(self):
+        with pytest.raises(PIFSyntaxError):
+            loads("LEVEL\nname = L\nrank = high\n")
+
+    def test_unbraced_sentence(self):
+        with pytest.raises(PIFSyntaxError):
+            loads("MAPPING\nsource = a, b\ndestination = {x, y}\n")
+
+    def test_empty_sentence_component(self):
+        with pytest.raises(PIFSyntaxError):
+            loads("MAPPING\nsource = {a,, v}\ndestination = {x, y}\n")
+
+
+def test_len_counts_records():
+    assert len(figure2_document()) == 2 + 3 + 2 + 2

@@ -1,0 +1,112 @@
+"""Unit tests for the compiler-listing -> PIF generator (Section 6.2)."""
+
+import pytest
+
+from repro.cmfortran import compile_source
+from repro.core import MappingType
+from repro.pif import ListingParseError, generate_pif, loads, dumps, parse_listing
+
+SRC = """PROGRAM CORR
+  REAL A(64), B(64)
+  REAL M(8, 8), N(8, 8)
+  A = B * 2.0
+  B = A + 1.0
+  ASUM = SUM(A)
+  N = TRANSPOSE(M)
+  A = CSHIFT(B, 2)
+  CALL SORT(A)
+END
+"""
+
+
+@pytest.fixture(scope="module")
+def compiled():
+    return compile_source(SRC, "corr.cmf")
+
+
+@pytest.fixture(scope="module")
+def pif_doc(compiled):
+    return generate_pif(compiled.listing)
+
+
+def test_parse_listing_structured(compiled):
+    parsed = parse_listing(compiled.listing)
+    assert parsed.program == "CORR"
+    assert parsed.source_file == "corr.cmf"
+    assert [a[0] for a in parsed.arrays] == ["A", "B", "M", "N"]
+    assert 4 in parsed.stmts and parsed.stmts[4]["kind"] == "elementwise"
+    assert parsed.stmts[6]["reductions"] == [("Sum", "A")]
+    assert any(b[1] == "sort" for b in parsed.blocks)
+
+
+def test_bad_listing_rejected():
+    with pytest.raises(ListingParseError):
+        parse_listing("NOT A LISTING LINE")
+    with pytest.raises(ListingParseError):
+        parse_listing("")  # missing program header
+
+
+def test_nouns_cover_arrays_lines_blocks(pif_doc):
+    names = {(n.name, n.abstraction) for n in pif_doc.nouns}
+    assert ("A", "CM Fortran") in names
+    assert ("line4", "CM Fortran") in names
+    assert ("cmpe_corr_1_()", "Base") in names
+    # every block noun is base-level and function-shaped
+    base = [n for n in pif_doc.nouns if n.abstraction == "Base"]
+    assert all(n.name.endswith("()") for n in base)
+    assert all("compiler generated" in n.description for n in base)
+
+
+def test_verbs_include_operations(pif_doc):
+    verbs = {v.name for v in pif_doc.verbs}
+    assert {"Executes", "Compute", "Sum", "Transpose", "Rotate", "Sort", "CPU Utilization"} <= verbs
+
+
+def test_merged_block_yields_one_to_many(pif_doc):
+    """Lines 4 and 5 fuse into cmpe_corr_1_: the Figure-2 situation."""
+    vocab = pif_doc.build_vocabulary()
+    graph = pif_doc.resolve_mappings(vocab)
+    src = pif_doc.resolve_sentence(
+        vocab, [m.source for m in pif_doc.mappings if "cmpe_corr_1_" in str(m.source)][0]
+    )
+    dests = {str(d) for d in graph.destinations(src)}
+    assert "{line4 Executes}" in dests
+    assert "{line5 Executes}" in dests
+    assert graph.classify(src) == MappingType.ONE_TO_MANY
+
+
+def test_reduce_block_maps_to_array_sum(pif_doc):
+    mapping_strs = {f"{m.source} -> {m.destination}" for m in pif_doc.mappings}
+    assert any("-> {A, Sum}" in s for s in mapping_strs)
+
+
+def test_transform_blocks_map_to_array_verbs(pif_doc):
+    mapping_strs = {str(m.destination) for m in pif_doc.mappings}
+    assert "{M, Transpose}" in mapping_strs
+    assert "{B, Rotate}" in mapping_strs
+    assert "{A, Sort}" in mapping_strs
+
+
+def test_generated_pif_roundtrips(pif_doc):
+    parsed = loads(dumps(pif_doc))
+    assert len(parsed) == len(pif_doc)
+    assert parsed.mappings == pif_doc.mappings
+
+
+def test_generated_pif_resolves_cleanly(pif_doc):
+    vocab = pif_doc.build_vocabulary()
+    graph = pif_doc.resolve_mappings(vocab)
+    assert len(graph) == len(pif_doc.mappings)
+
+
+def test_unoptimized_compile_gives_one_to_one(compiled):
+    prog = compile_source(SRC, "corr.cmf", optimize=False)
+    doc = generate_pif(prog.listing)
+    vocab = doc.build_vocabulary()
+    graph = doc.resolve_mappings(vocab)
+    # line4's block maps only to line4
+    src = doc.resolve_sentence(
+        vocab, [m.source for m in doc.mappings if "cmpe_corr_1_" in str(m.source)][0]
+    )
+    line_dests = [d for d in graph.destinations(src) if d.verb.name == "Executes"]
+    assert len(line_dests) == 1

@@ -1,0 +1,125 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+@pytest.fixture
+def heat_file(tmp_path):
+    from repro.workloads import stencil
+
+    path = tmp_path / "heat.cmf"
+    path.write_text(stencil(size=64, iterations=2))
+    return str(path)
+
+
+def test_compile_prints_blocks(heat_file, capsys):
+    assert main(["compile", heat_file]) == 0
+    out = capsys.readouterr().out
+    assert "node code blocks" in out
+    assert "cmpe_heat_1_" in out
+
+
+def test_compile_writes_listing_and_pif(heat_file, tmp_path, capsys):
+    listing = tmp_path / "out.lst"
+    pif = tmp_path / "out.pif"
+    main(["compile", heat_file, "--listing", str(listing), "--pif", str(pif)])
+    assert "CM Fortran Compiler Listing" in listing.read_text()
+    text = pif.read_text()
+    assert "MAPPING" in text and "Executes" in text
+    # the generated PIF parses back
+    from repro.pif import loads
+
+    assert len(loads(text)) > 0
+
+
+def test_compile_no_optimize(heat_file, capsys):
+    main(["compile", heat_file, "--no-optimize"])
+    out = capsys.readouterr().out
+    assert "merged statement groups" not in out
+
+
+def test_run_prints_scalars(heat_file, capsys):
+    assert main(["run", heat_file, "--nodes", "3", "--scalars", "TOTAL"]) == 0
+    out = capsys.readouterr().out
+    assert "virtual ms on 3 nodes" in out
+    assert "TOTAL =" in out
+
+
+def test_measure_with_metrics_and_attribution(heat_file, capsys):
+    code = main(
+        [
+            "measure",
+            heat_file,
+            "--metric",
+            "computation_time",
+            "--metric",
+            "summations@array=U",
+            "--attribute",
+            "merge",
+            "--where-axis",
+        ]
+    )
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "computation_time" in out
+    assert "<array=U>" in out
+    assert "attribution (merge policy):" in out
+    assert "CMFarrays" in out
+
+
+def test_measure_block_times(heat_file, capsys):
+    main(["measure", heat_file, "--block-times"])
+    out = capsys.readouterr().out
+    assert "node code block" in out and "cmpe_heat_1_" in out
+
+
+def test_bad_focus_spec(heat_file):
+    with pytest.raises(SystemExit):
+        main(["measure", heat_file, "--metric", "summations@rack=9"])
+
+
+def test_consultant(heat_file, capsys):
+    assert main(["consultant", heat_file, "--threshold", "0.05"]) == 0
+    out = capsys.readouterr().out
+    assert "Performance Consultant" in out
+
+
+def test_metrics_listing(capsys):
+    assert main(["metrics"]) == 0
+    out = capsys.readouterr().out
+    assert "summation_time" in out
+    assert "point_to_point_operations" in out
+    assert out.count("\n") > 30
+
+
+def test_unknown_command_rejected():
+    with pytest.raises(SystemExit):
+        main(["frobnicate"])
+
+
+def test_fuzz_command(capsys):
+    assert main(["fuzz", "--count", "3", "--seed", "7", "--nodes", "3"]) == 0
+    out = capsys.readouterr().out
+    assert "3/3 programs matched the oracle" in out
+
+
+def test_fuzz_command_with_layouts(capsys):
+    assert main(["fuzz", "--count", "2", "--seed", "11", "--layouts"]) == 0
+    assert "2/2 programs matched the oracle" in capsys.readouterr().out
+
+
+def test_module_entry_point_subprocess():
+    """``python -m repro`` works as an installed console entry."""
+    import subprocess
+    import sys
+
+    proc = subprocess.run(
+        [sys.executable, "-m", "repro", "metrics"],
+        capture_output=True,
+        text=True,
+        timeout=120,
+    )
+    assert proc.returncode == 0
+    assert "summation_time" in proc.stdout

@@ -1,0 +1,89 @@
+"""Tests: every generated workload compiles and runs correctly."""
+
+import numpy as np
+import pytest
+
+from repro.cmfortran import compile_source
+from repro.cmrts import run_program
+from repro.workloads import (
+    corpus,
+    elementwise_chain,
+    full_verb_mix,
+    reduction_mix,
+    skewed_pair,
+    sort_workload,
+    stencil,
+    transform_mix,
+)
+
+ALL_GENERATORS = [
+    ("chain", lambda: elementwise_chain(size=64, statements=4)),
+    ("reduce", lambda: reduction_mix(size=64)),
+    ("stencil", lambda: stencil(size=64, iterations=2)),
+    ("xform", lambda: transform_mix(size=64)),
+    ("sort", lambda: sort_workload(size=64, repeats=1)),
+    ("skew", lambda: skewed_pair(size=64)),
+    ("fig9", lambda: full_verb_mix(size=64)),
+]
+
+
+@pytest.mark.parametrize("name,gen", ALL_GENERATORS, ids=[n for n, _ in ALL_GENERATORS])
+def test_generated_source_compiles_and_runs(name, gen):
+    prog = compile_source(gen(), f"{name}.cmf")
+    rt = run_program(prog, num_nodes=3)
+    assert rt.elapsed > 0
+
+
+@pytest.mark.parametrize("name", list(corpus()))
+def test_corpus_compiles_and_runs(name):
+    prog = compile_source(corpus()[name], f"{name.lower()}.cmf")
+    rt = run_program(prog, num_nodes=4)
+    assert rt.elapsed > 0
+
+
+def test_corr_computes_perfect_correlation():
+    """The corpus CORR program builds Y as an affine map of X: R == 1."""
+    prog = compile_source(corpus()["CORR"], "corr.cmf")
+    rt = run_program(prog, num_nodes=4)
+    assert np.allclose(rt.array("X"), np.arange(1, 1025))
+    assert rt.scalar("R") == pytest.approx(1.0)
+    assert rt.scalar("SX") == pytest.approx(rt.array("X").sum())
+    assert rt.scalar("SXY") == pytest.approx((rt.array("X") * rt.array("Y")).sum())
+
+
+def test_stencil_heat_converges_towards_uniform():
+    src = stencil(size=64, iterations=8)
+    prog = compile_source(src, "heat.cmf")
+    rt = run_program(prog, num_nodes=4)
+    u = rt.array("U")
+    assert rt.scalar("TOTAL") == pytest.approx(u.sum())
+
+
+def test_skewed_pair_is_merged_by_compiler():
+    prog = compile_source(skewed_pair(size=128, heavy_ops=6))
+    assert len([b for b in prog.plan.blocks if b.kind == "compute"]) == 1
+    block = prog.plan.blocks[0]
+    assert len(block.lines) == 2
+    ops = [op.ops_per_element for op in block.ops]
+    assert max(ops) >= 6 * min(ops)  # work skew is real
+
+
+def test_full_verb_mix_covers_all_kinds():
+    prog = compile_source(full_verb_mix(size=100))
+    kinds = {b.kind for b in prog.plan.blocks}
+    assert kinds == {"compute", "reduce", "shift", "transpose", "scan", "sort"}
+    verbs = set()
+    from repro.cmfortran import LocalReduce
+
+    for b in prog.plan.blocks:
+        for op in b.ops:
+            if isinstance(op, LocalReduce):
+                verbs.add(op.verb)
+    assert verbs == {"Sum", "MaxVal", "MinVal"}
+
+
+def test_generator_validation():
+    with pytest.raises(ValueError):
+        elementwise_chain(arrays=1)
+    with pytest.raises(ValueError):
+        stencil(size=8, width=5)
