@@ -13,10 +13,26 @@ the bench bodies; absolute numbers are simulator-dependent by design.
 from __future__ import annotations
 
 import pathlib
+import warnings
 
 import pytest
 
 OUT_DIR = pathlib.Path(__file__).parent / "out"
+
+#: --baseline warns when throughput drops more than this vs the committed artifact.
+BASELINE_DROP_TOLERANCE = 0.20
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--baseline",
+        action="store_true",
+        default=False,
+        help=(
+            "compare perf-bench throughput against the committed artifacts in "
+            "benchmarks/out/ and warn on a >20%% regression"
+        ),
+    )
 
 
 @pytest.fixture(scope="session")
@@ -36,3 +52,41 @@ def save_artifact(artifact_dir):
         return path
 
     return save
+
+
+@pytest.fixture
+def baseline_guard(request):
+    """``baseline_guard(name, ops_per_sec)`` -> warn on throughput regression.
+
+    Only active under ``--baseline``.  Reads the committed
+    ``benchmarks/out/<name>.txt`` artifact's ``indexed_ops_per_sec:`` line
+    and warns when the fresh measurement is more than
+    ``BASELINE_DROP_TOLERANCE`` below it.  Call it *before* ``save_artifact``
+    overwrites the committed file.
+    """
+    enabled = request.config.getoption("--baseline")
+
+    def check(name: str, ops_per_sec: float) -> None:
+        if not enabled:
+            return
+        path = OUT_DIR / f"{name}.txt"
+        if not path.exists():
+            warnings.warn(f"--baseline: no committed artifact at {path}")
+            return
+        baseline = None
+        for line in path.read_text(encoding="utf-8").splitlines():
+            if line.startswith("indexed_ops_per_sec:"):
+                baseline = float(line.split(":", 1)[1])
+                break
+        if baseline is None:
+            warnings.warn(f"--baseline: no indexed_ops_per_sec line in {path}")
+            return
+        floor = baseline * (1.0 - BASELINE_DROP_TOLERANCE)
+        if ops_per_sec < floor:
+            warnings.warn(
+                f"{name} throughput regression: {ops_per_sec:,.0f} ops/s is "
+                f">{BASELINE_DROP_TOLERANCE:.0%} below the committed baseline "
+                f"{baseline:,.0f} ops/s"
+            )
+
+    return check

@@ -142,3 +142,20 @@ class Trace:
     def events_before(self, time: float) -> list[SentenceEvent]:
         idx = bisect.bisect_right([e.time for e in self._events], time)
         return self._events[:idx]
+
+    # ------------------------------------------------------------------
+    # replay
+    # ------------------------------------------------------------------
+    def replay_into(self, sas) -> None:
+        """Replay this trace's transitions into a SAS engine, in order.
+
+        This is the differential-oracle driver: one trace replayed through
+        two engines (indexed and naive) must leave them observably
+        identical.  Timing is governed by the target SAS's own clock; the
+        trace's recorded times are not re-imposed.
+        """
+        for event in self._events:
+            if event.kind is EventKind.ACTIVATE:
+                sas.activate(event.sentence)
+            else:
+                sas.deactivate(event.sentence)

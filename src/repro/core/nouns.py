@@ -101,6 +101,10 @@ class Sentence:
     attach to (see :class:`repro.core.cost.CostVector`).
 
     A sentence's level of abstraction is its verb's level.
+
+    Sentences sit on the SAS notification hot path, so their hash is computed
+    once and cached, and equality short-circuits on identity -- interned
+    sentences (see :meth:`Vocabulary.intern`) compare in O(1).
     """
 
     verb: Verb
@@ -109,6 +113,20 @@ class Sentence:
     def __post_init__(self) -> None:
         if not isinstance(self.nouns, tuple):
             object.__setattr__(self, "nouns", tuple(self.nouns))
+
+    def __hash__(self) -> int:
+        cached = self.__dict__.get("_hash")
+        if cached is None:
+            cached = hash((self.verb, self.nouns))
+            object.__setattr__(self, "_hash", cached)
+        return cached
+
+    def __eq__(self, other: object) -> bool:
+        if self is other:
+            return True
+        if not isinstance(other, Sentence):
+            return NotImplemented
+        return self.verb == other.verb and self.nouns == other.nouns
 
     @property
     def abstraction(self) -> str:
@@ -140,6 +158,7 @@ class Vocabulary:
         self._levels: dict[str, AbstractionLevel] = {}
         self._nouns: dict[tuple[str, str], Noun] = {}
         self._verbs: dict[tuple[str, str], Verb] = {}
+        self._sentences: dict[Sentence, Sentence] = {}
 
     # -- levels ---------------------------------------------------------
     def add_level(self, level: AbstractionLevel) -> AbstractionLevel:
@@ -195,6 +214,26 @@ class Vocabulary:
 
     def __iter__(self) -> Iterator[Noun]:
         return iter(self._nouns.values())
+
+    # -- sentence interning ----------------------------------------------
+    def intern(self, sent: Sentence) -> Sentence:
+        """Return the canonical instance of ``sent``.
+
+        Structurally-equal sentences intern to the *same object*
+        (``intern(a) is intern(b)`` whenever ``a == b``), so SAS engines fed
+        interned sentences resolve membership by identity and never re-hash:
+        the cached :meth:`Sentence.__hash__` is computed once per canonical
+        instance, and ``__eq__`` short-circuits on ``is``.
+        """
+        cached = self._sentences.get(sent)
+        if cached is None:
+            cached = sent
+            self._sentences[sent] = sent
+        return cached
+
+    def interned_count(self) -> int:
+        """Number of distinct sentences interned so far."""
+        return len(self._sentences)
 
     def merge(self, other: "Vocabulary") -> None:
         """Union ``other`` into this vocabulary (used when loading PIF files)."""

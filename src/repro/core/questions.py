@@ -85,6 +85,29 @@ class SentencePattern:
         """True if this pattern matches every sentence (at its level)."""
         return self.verb == WILDCARD and all(n == WILDCARD for n in self.nouns)
 
+    def index_key(self) -> tuple[str, str] | None:
+        """The pattern's most selective discriminator for inverted indexing.
+
+        A sentence can only match this pattern if it carries the returned
+        (kind, name) key: a concrete noun name (nouns are subset-required,
+        so any one is a safe key, and noun populations are far larger than
+        verb populations -- the better discriminator), else a concrete verb
+        name, else the required abstraction level.  ``None`` means the
+        pattern has no concrete component (wildcard-only) and must be
+        checked against every sentence.
+        :class:`~repro.core.sas.ActiveSentenceSet` buckets watchers under
+        these keys so a transition touches only watchers whose patterns
+        could possibly match the transitioning sentence.
+        """
+        for noun in self.nouns:
+            if noun != WILDCARD:
+                return ("n", noun)
+        if self.verb != WILDCARD:
+            return ("v", self.verb)
+        if self.level is not None:
+            return ("l", self.level)
+        return None
+
     def __str__(self) -> str:
         inner = " ".join([*self.nouns, self.verb])
         return "{" + inner + "}"
@@ -216,6 +239,10 @@ class PerformanceQuestion:
             return QAtom(self.components[0])
         return QAnd(tuple(QAtom(p) for p in self.components))
 
+    def patterns(self) -> list[SentencePattern]:
+        """All component patterns (uniform accessor shared with QExpr)."""
+        return list(self.components)
+
     def relevant(self, sent: Sentence) -> bool:
         """True if ``sent`` could contribute to satisfying this question.
 
@@ -264,6 +291,14 @@ class OrderedQuestion:
                 if self._match(entries, idx + 1, t):
                     return True
         return False
+
+    def patterns(self) -> list[SentencePattern]:
+        """All component patterns (uniform accessor shared with QExpr)."""
+        return list(self.components)
+
+    def relevant(self, sent: Sentence) -> bool:
+        """True if ``sent`` could contribute to satisfying this question."""
+        return any(p.matches(sent) for p in self.components)
 
     def __str__(self) -> str:
         return " then ".join(str(p) for p in self.components)

@@ -14,7 +14,7 @@ paper:
 
 from __future__ import annotations
 
-from typing import Any, Callable, Protocol, Sequence
+from typing import Any, Callable, Mapping, Protocol, Sequence
 
 from ..core import QuestionWatcher
 
@@ -88,17 +88,32 @@ class SASGate:
 
     ``watchers[node_id]`` is the :class:`~repro.core.sas.QuestionWatcher`
     attached to that node's SAS -- the "node-global boolean variable" of
-    Section 6.1.
+    Section 6.1.  Reading the flag is O(1) regardless of SAS engine: the
+    indexed engine keeps every watcher's ``satisfied`` bit incrementally
+    up to date, so the gate never triggers an evaluation.
+
+    ``watchers`` may be a sequence indexed by node id or a mapping
+    ``node_id -> watcher`` (the shape produced when a question is attached
+    to a subset of nodes, e.g. ``Paradyn.ask_question(q, node=3)``).
     """
 
-    def __init__(self, watchers: Sequence[QuestionWatcher]):
-        self.watchers = list(watchers)
+    def __init__(self, watchers: Sequence[QuestionWatcher] | Mapping[int, QuestionWatcher]):
+        if isinstance(watchers, Mapping):
+            self.watchers: dict[int, QuestionWatcher] | list[QuestionWatcher] = dict(watchers)
+        else:
+            self.watchers = list(watchers)
 
     def __call__(self, node_id: int, ctx: dict) -> bool:
         return self.watchers[node_id].satisfied
 
     def __repr__(self) -> str:
-        return f"SASGate({self.watchers[0].question if self.watchers else '?'})"
+        if not self.watchers:
+            return "SASGate(?)"
+        if isinstance(self.watchers, dict):
+            first = next(iter(self.watchers.values()))
+        else:
+            first = self.watchers[0]
+        return f"SASGate({first.question})"
 
 
 class AndPredicate:

@@ -6,6 +6,9 @@ from .generators import (
     elementwise_chain,
     full_verb_mix,
     reduction_mix,
+    sas_event_trace,
+    sas_questions,
+    sas_sentence_pool,
     skewed_pair,
     sort_workload,
     stencil,
@@ -24,6 +27,9 @@ __all__ = [
     "elementwise_chain",
     "full_verb_mix",
     "reduction_mix",
+    "sas_event_trace",
+    "sas_questions",
+    "sas_sentence_pool",
     "skewed_pair",
     "sort_workload",
     "stencil",

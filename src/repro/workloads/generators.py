@@ -1,10 +1,40 @@
-"""Parameterized CMF program generators for benches and tests.
+"""Parameterized workload generators for benches and tests.
 
-Every generator returns CMF *source text* -- workloads go through the real
-compiler like any user program, so benches exercise the entire pipeline.
+Two families live here:
+
+* **CMF program generators** (`elementwise_chain` ... `full_verb_mix`):
+  return CMF *source text* -- workloads go through the real compiler like
+  any user program, so benches exercise the entire pipeline.
+* **SAS event-trace generators** (`sas_sentence_pool`, `sas_event_trace`,
+  `sas_questions`): seeded random vocabularies, balanced
+  activation/deactivation sequences, and random questions of all three
+  kinds.  These feed the differential oracle
+  (``tests/core/test_sas_differential.py``), which replays each trace
+  through the indexed and naive SAS engines and asserts identical
+  observable state.
 """
 
 from __future__ import annotations
+
+import random
+
+from ..core import (
+    AbstractionLevel,
+    EventKind,
+    Noun,
+    OrderedQuestion,
+    PerformanceQuestion,
+    QAnd,
+    QAtom,
+    QExpr,
+    QNot,
+    QOr,
+    Sentence,
+    SentencePattern,
+    Verb,
+    Vocabulary,
+    WILDCARD,
+)
 
 __all__ = [
     "elementwise_chain",
@@ -14,6 +44,9 @@ __all__ = [
     "sort_workload",
     "skewed_pair",
     "full_verb_mix",
+    "sas_sentence_pool",
+    "sas_event_trace",
+    "sas_questions",
 ]
 
 
@@ -111,6 +144,138 @@ def skewed_pair(size: int = 2048, heavy_ops: int = 8) -> str:
         f"  B = {heavy} + 0.5\n"
         f"END\n"
     )
+
+
+# ----------------------------------------------------------------------
+# SAS event-trace generators (differential-oracle inputs)
+# ----------------------------------------------------------------------
+def sas_sentence_pool(
+    seed: int,
+    levels: int = 3,
+    verbs: int = 4,
+    nouns: int = 6,
+    sentences: int = 14,
+) -> tuple[Vocabulary, list[Sentence]]:
+    """A seeded random vocabulary plus a pool of distinct sentences.
+
+    Levels are ranked 0..levels-1; verbs and nouns are spread across them
+    uniformly.  Each pool sentence combines one verb with 0-3 nouns, so
+    patterns with subset semantics, wildcards, and level constraints all
+    have something to bite on.
+    """
+    rng = random.Random(seed)
+    vocab = Vocabulary.with_levels(
+        [AbstractionLevel(i, f"L{i}") for i in range(levels)]
+    )
+    verb_pool = [
+        vocab.add_verb(Verb(f"V{i}", f"L{rng.randrange(levels)}"))
+        for i in range(verbs)
+    ]
+    noun_pool = [
+        vocab.add_noun(Noun(f"N{i}", f"L{rng.randrange(levels)}"))
+        for i in range(nouns)
+    ]
+    pool: list[Sentence] = []
+    seen: set[Sentence] = set()
+    while len(pool) < sentences:
+        verb = rng.choice(verb_pool)
+        chosen = tuple(rng.sample(noun_pool, rng.randint(0, min(3, len(noun_pool)))))
+        sent = vocab.intern(Sentence(verb, chosen))
+        if sent not in seen:
+            seen.add(sent)
+            pool.append(sent)
+    return vocab, pool
+
+
+def sas_event_trace(
+    seed: int,
+    pool: list[Sentence],
+    events: int = 80,
+    reactivation_bias: float = 0.35,
+) -> list[tuple[EventKind, Sentence]]:
+    """A balanced-prefix activation/deactivation sequence over ``pool``.
+
+    Every deactivation targets a currently-active sentence (so replaying
+    through a SAS never raises), activations may be re-entrant
+    (``reactivation_bias`` steers toward already-active sentences to
+    exercise the multiset path), and some activations are left open at the
+    end -- open satisfied intervals are part of the observable state the
+    oracle compares.
+    """
+    rng = random.Random(seed)
+    depth: dict[Sentence, int] = {}
+    out: list[tuple[EventKind, Sentence]] = []
+    for _ in range(events):
+        active = [s for s, d in depth.items() if d > 0]
+        if active and rng.random() < 0.5:
+            sent = rng.choice(active)
+            depth[sent] -= 1
+            out.append((EventKind.DEACTIVATE, sent))
+            continue
+        if active and rng.random() < reactivation_bias:
+            sent = rng.choice(active)  # re-entrant activation
+        else:
+            sent = rng.choice(pool)
+        depth[sent] = depth.get(sent, 0) + 1
+        out.append((EventKind.ACTIVATE, sent))
+    return out
+
+
+def _random_pattern(rng: random.Random, pool: list[Sentence]) -> SentencePattern:
+    """A pattern derived from a pool sentence, degraded with wildcards."""
+    model = rng.choice(pool)
+    verb = model.verb.name if rng.random() < 0.7 else WILDCARD
+    nouns: list[str] = []
+    for noun in model.nouns:
+        roll = rng.random()
+        if roll < 0.5:
+            nouns.append(noun.name)
+        elif roll < 0.65:
+            nouns.append(WILDCARD)
+    level = model.abstraction if rng.random() < 0.25 else None
+    if verb == WILDCARD and not nouns and level is None and rng.random() < 0.5:
+        # avoid over-representing match-everything patterns
+        verb = model.verb.name
+    return SentencePattern(verb, tuple(nouns), level)
+
+
+def _random_expr(rng: random.Random, pool: list[Sentence], depth: int) -> QExpr:
+    if depth <= 0 or rng.random() < 0.35:
+        return QAtom(_random_pattern(rng, pool))
+    roll = rng.random()
+    if roll < 0.4:
+        return QAnd(tuple(_random_expr(rng, pool, depth - 1) for _ in range(2)))
+    if roll < 0.8:
+        return QOr(tuple(_random_expr(rng, pool, depth - 1) for _ in range(2)))
+    return QNot(_random_expr(rng, pool, depth - 1))
+
+
+def sas_questions(
+    seed: int,
+    pool: list[Sentence],
+    count: int = 5,
+) -> list[PerformanceQuestion | QExpr | OrderedQuestion]:
+    """Seeded random questions covering all three kinds.
+
+    Roughly half are plain conjunction :class:`PerformanceQuestion`\\ s, the
+    rest split between boolean :class:`QExpr` trees (with OR and NOT) and
+    :class:`OrderedQuestion`\\ s, mirroring what the oracle must hold
+    identical across engines.
+    """
+    rng = random.Random(seed)
+    questions: list[PerformanceQuestion | QExpr | OrderedQuestion] = []
+    for i in range(count):
+        roll = rng.random()
+        patterns = tuple(
+            _random_pattern(rng, pool) for _ in range(rng.randint(1, 3))
+        )
+        if roll < 0.5:
+            questions.append(PerformanceQuestion(f"q{i}", patterns))
+        elif roll < 0.75:
+            questions.append(_random_expr(rng, pool, depth=2))
+        else:
+            questions.append(OrderedQuestion(f"o{i}", patterns))
+    return questions
 
 
 def full_verb_mix(size: int = 400) -> str:

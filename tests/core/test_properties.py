@@ -5,17 +5,25 @@ from hypothesis import strategies as st
 
 from repro.core import (
     CPU_TIME,
+    ActiveSentenceSet,
     CostVector,
     Mapping,
     MappingGraph,
     MergePolicy,
     Noun,
+    OrderedQuestion,
     PerformanceQuestion,
+    QAnd,
+    QAtom,
+    QNot,
+    QOr,
+    Sentence,
     SentencePattern,
     SplitPolicy,
     Verb,
-    ActiveSentenceSet,
+    Vocabulary,
     assign_costs,
+    make_sas,
     sentence,
 )
 
@@ -157,3 +165,96 @@ def test_question_equals_expression_form(patterns, active_idx):
     q = PerformanceQuestion("q", tuple(patterns))
     active = [SENTS[i] for i in active_idx]
     assert q.satisfied(active) == q.as_expr().evaluate(active)
+
+
+# ----------------------------------------------------------------------
+# indexed SAS engine: round-trips, interning, index superset
+# ----------------------------------------------------------------------
+ops_strategy = st.lists(st.tuples(st.integers(0, 4), st.booleans()), max_size=100)
+
+expr_strategy = st.recursive(
+    st.builds(QAtom, pattern_strategy),
+    lambda children: st.one_of(
+        st.builds(lambda a, b: QAnd((a, b)), children, children),
+        st.builds(lambda a, b: QOr((a, b)), children, children),
+        st.builds(QNot, children),
+    ),
+    max_leaves=4,
+)
+
+question_strategy = st.one_of(
+    st.builds(
+        lambda ps: PerformanceQuestion("q", tuple(ps)),
+        st.lists(pattern_strategy, min_size=1, max_size=3),
+    ),
+    st.builds(
+        lambda ps: OrderedQuestion("o", tuple(ps)),
+        st.lists(pattern_strategy, min_size=1, max_size=2),
+    ),
+    expr_strategy,
+)
+
+
+@given(ops_strategy)
+def test_sas_multiset_roundtrip_unwinds_to_empty(ops):
+    """Balanced ops + a full unwind leave either engine exactly empty."""
+    for engine in ("indexed", "naive"):
+        sas = make_sas(engine, vocabulary=Vocabulary())
+        depth = [0] * len(SENTS)
+        for idx, is_activate in ops:
+            if is_activate:
+                sas.activate(SENTS[idx])
+                depth[idx] += 1
+            elif depth[idx] > 0:
+                sas.deactivate(SENTS[idx])
+                depth[idx] -= 1
+        for idx, d in enumerate(depth):
+            for _ in range(d):
+                sas.deactivate(SENTS[idx])
+        assert len(sas) == 0
+        assert sas.active_sentences() == ()
+        assert sas.active_with_times() == []
+        assert all(not sas.is_active(s) for s in SENTS)
+
+
+verb_strategy = st.sampled_from(["Sum", "Exec", "Send"])
+noun_names_strategy = st.lists(st.sampled_from("ABCDE"), max_size=3)
+
+
+@given(verb_strategy, noun_names_strategy, st.integers(0, 3))
+def test_interning_idempotent(verb_name, noun_names, extra_copies):
+    vocab = Vocabulary()
+    s = sentence(Verb(verb_name, "HI"), *[Noun(n, "HI") for n in noun_names])
+    canonical = vocab.intern(s)
+    assert vocab.intern(s) is canonical
+    for _ in range(extra_copies + 1):
+        copy = Sentence(s.verb, tuple(s.nouns))  # structurally equal, new object
+        assert copy == s and hash(copy) == hash(s)
+        assert vocab.intern(copy) is canonical
+    assert vocab.interned_count() == 1
+
+
+@given(ops_strategy, st.lists(question_strategy, min_size=1, max_size=5))
+@settings(max_examples=200, deadline=None)
+def test_index_notification_set_covers_actual_changes(ops, questions):
+    """affected_watchers(sent) ⊇ watchers whose satisfaction changes."""
+    sas = ActiveSentenceSet()
+    watchers = [sas.attach_question(q) for q in questions]
+    depth = [0] * len(SENTS)
+    for idx, is_activate in ops:
+        sent = SENTS[idx]
+        if not is_activate and depth[idx] == 0:
+            continue
+        before = [w.satisfied for w in watchers]
+        affected = {id(w) for w in sas.affected_watchers(sent)}
+        if is_activate:
+            sas.activate(sent)
+            depth[idx] += 1
+        else:
+            sas.deactivate(sent)
+            depth[idx] -= 1
+        for w, was in zip(watchers, before):
+            if w.satisfied != was:
+                assert id(w) in affected, (
+                    f"watcher for {w.question} changed without being notified"
+                )
