@@ -83,7 +83,7 @@ def test_abl5b_indexed_sas(benchmark, save_artifact, baseline_guard):
     ]
     text = (
         "Ablation 5b -- indexed vs naive SAS engine throughput\n"
-        f"(10,000 active sentences, 100 attached questions, probe toggles q0)\n\n"
+        "(10,000 active sentences, 100 attached questions, probe toggles q0)\n\n"
         + text_table(rows, headers=("engine", "notifications/s", "relative"))
         + "\n\n"
         f"indexed_ops_per_sec: {indexed:.1f}\n"

@@ -24,18 +24,18 @@ NODES = 4
 
 def program(rows, cols, matched: bool):
     layout = (
-        f"  LAYOUT M(BLOCK, *)\n  LAYOUT MT(*, BLOCK)\n" if matched else ""
+        "  LAYOUT M(BLOCK, *)\n  LAYOUT MT(*, BLOCK)\n" if matched else ""
     )
     body = "".join(
         "  MT = TRANSPOSE(M)\n  M = TRANSPOSE(MT)\n" for _ in range(REPEATS)
     )
     return (
-        f"PROGRAM LAYOUTS\n"
+        "PROGRAM LAYOUTS\n"
         f"  REAL M({rows}, {cols})\n"
         f"  REAL MT({cols}, {rows})\n"
         f"{layout}"
         f"  M = 1.5\n{body}"
-        f"  S = SUM(M)\nEND\n"
+        "  S = SUM(M)\nEND\n"
     )
 
 

@@ -70,8 +70,8 @@ def test_fig7_async(benchmark, save_artifact):
         table,
         "",
         f"SAS-only absolute error : {out.sas_error()} writes "
-        f"(kernel disk writes on behalf of func() could not be measured"
-        f" with the help of the SAS alone)",
+        "(kernel disk writes on behalf of func() could not be measured"
+        " with the help of the SAS alone)",
         f"causal-tag absolute error: {out.causal_error()} writes",
     ]
     save_artifact("fig7_async", "\n".join(lines))

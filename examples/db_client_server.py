@@ -43,13 +43,13 @@ def main() -> None:
 
     print("\n=== cross-node SAS traffic ===")
     print(f"  forwarding on : {with_fwd.forwarded_messages} messages "
-          f"(2 per query: activate + deactivate)")
+          "(2 per query: activate + deactivate)")
     print(f"  forwarding off: {without.forwarded_messages} messages")
 
     print("\n=== local question (no cross-node information needed) ===")
     print(
         f"  total server disk reads: {with_fwd.total_reads_local_question} "
-        f"-- answered from the server's own SAS with zero forwarded messages,"
+        "-- answered from the server's own SAS with zero forwarded messages,"
     )
     print("  exactly as the paper claims for all of Figure 6's questions.")
 

@@ -31,7 +31,6 @@ from .ast import (
     Forall,
     Ident,
     Num,
-    Program,
     Ref,
     Stmt,
     UnaryOp,

@@ -19,7 +19,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from .ast import Assignment, BinOp, Expr, Forall, Ident, Num, Ref, UnaryOp
+from .ast import Assignment, BinOp, Expr, Forall, Ident, Ref, UnaryOp
 from .ir import (
     BlockOp,
     DispatchStep,
@@ -42,7 +42,6 @@ from .semantics import (
     SemanticError,
     StmtClass,
     _subscript_offset,
-    const_int,
 )
 
 __all__ = ["lower", "LoweringResult"]

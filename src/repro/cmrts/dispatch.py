@@ -46,7 +46,7 @@ from .comm import (
     tree_broadcast_from_zero,
     tree_reduce_to_zero,
 )
-from .nv import TRANSFORM_VERB_NAMES, array_op, cmrts_activity, line_executes, processor_sends
+from .nv import array_op, cmrts_activity, line_executes, processor_sends
 
 if TYPE_CHECKING:  # pragma: no cover
     from .runtime import CMRTSRuntime

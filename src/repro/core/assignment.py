@@ -171,8 +171,18 @@ def assign_costs(
     Works component-by-component, exactly as Figure 1 prescribes: costs of
     all measured sources in a bipartite component are first aggregated
     (``"sum"`` or ``"mean"``), then handed to ``policy`` to distribute over
-    the component's destinations.  Measured sentences with no mappings are
-    kept as-is (they are already at the right level, or unmappable).
+    the component's destinations.  Measured sentences with no mappings at
+    all are kept as-is (they are already at the right level, or unmappable).
+
+    A measured sentence that appears in a component *only as a destination*
+    is **subsumed** by the component's measured sources: Figure 1's
+    one-to-one rule says "measurements of the source are equivalent to
+    measurements of the destination", so charging the destination its own
+    direct measurement *and* the mapped source cost would count the same
+    activity twice in :meth:`Attribution.total`.  Its direct measurement is
+    used only when the component has no measured sources at all -- then
+    there is nothing to subsume it with, and each measured destination is
+    reported against itself.
     """
     if aggregate not in ("sum", "mean"):
         raise ValueError(f"aggregate must be 'sum' or 'mean', got {aggregate!r}")
@@ -187,16 +197,25 @@ def assign_costs(
     for sent in table:
         if sent in done_components:
             continue
-        if not graph.destinations(sent):
+        srcs, dsts = graph.component(sent)
+        if not srcs and not dsts:
             # Unmapped measurement: report it against itself.
             out.charge_sentence(sent, table[sent])
             done_components.add(sent)
             continue
-        srcs, dsts = graph.component(sent)
+        # claim the whole component (sources AND destinations) so a measured
+        # pure destination cannot re-trigger assignment for it later
         done_components.update(srcs)
+        done_components.update(dsts)
         vectors = [table[s] for s in sorted(srcs, key=str) if s in table]
-        total = agg(vectors)
-        policy.assign(total, sorted(dsts, key=str), out)
+        if vectors:
+            policy.assign(agg(vectors), sorted(dsts, key=str), out)
+        else:
+            # no measured sources: fall back to the destinations' own
+            # direct measurements (nothing subsumes them)
+            for dest in sorted(dsts, key=str):
+                if dest in table:
+                    out.charge_sentence(dest, table[dest])
     return out
 
 

@@ -153,33 +153,34 @@ class MappingGraph:
     def component(self, start: Sentence) -> tuple[set[Sentence], set[Sentence]]:
         """The bipartite (sources, destinations) component containing ``start``.
 
-        The component is grown by alternating "all destinations of my
-        sources" / "all sources of my destinations" until fixpoint.  This is
-        exactly the unit over which Figure 1's cost-assignment rules operate:
-        e.g. two lines implemented by one function *and* that function also
-        implementing a third line all land in one component.
+        The component is the weakly-connected set of sentences reachable
+        from ``start`` over mapping edges in either direction; within it,
+        *sources* are the members with at least one outgoing mapping and
+        *destinations* those with at least one incoming mapping (a chain
+        member like ``b`` in ``a -> b -> c`` is both).  This is exactly the
+        unit over which Figure 1's cost-assignment rules operate: e.g. two
+        lines implemented by one function *and* that function also
+        implementing a third line all land in one component -- and every
+        member reports the *same* component, which the old alternating
+        srcs/dsts fixpoint got wrong for transitive chains (``component(a)``
+        stopped at ``({a}, {b})``, never following ``b``'s outgoing edge).
         """
-        srcs: set[Sentence] = set()
-        dsts: set[Sentence] = set()
-        if self._forward.get(start):
-            srcs.add(start)
-        if self._backward.get(start):
-            dsts.add(start)
-        if not srcs and not dsts:
+        if not self._forward.get(start) and not self._backward.get(start):
             return set(), set()
-        changed = True
-        while changed:
-            changed = False
-            for s in list(srcs):
-                for d in self._forward.get(s, []):
-                    if d not in dsts:
-                        dsts.add(d)
-                        changed = True
-            for d in list(dsts):
-                for s in self._backward.get(d, []):
-                    if s not in srcs:
-                        srcs.add(s)
-                        changed = True
+        seen: set[Sentence] = {start}
+        queue = deque([start])
+        while queue:
+            sent = queue.popleft()
+            for neighbour in self._forward.get(sent, []):
+                if neighbour not in seen:
+                    seen.add(neighbour)
+                    queue.append(neighbour)
+            for neighbour in self._backward.get(sent, []):
+                if neighbour not in seen:
+                    seen.add(neighbour)
+                    queue.append(neighbour)
+        srcs = {s for s in seen if self._forward.get(s)}
+        dsts = {s for s in seen if self._backward.get(s)}
         return srcs, dsts
 
     def classify(self, start: Sentence) -> MappingType:
@@ -196,7 +197,12 @@ class MappingGraph:
         return MappingType.MANY_TO_MANY
 
     def components(self) -> list[tuple[set[Sentence], set[Sentence]]]:
-        """All bipartite components of the graph (each reported once)."""
+        """All bipartite components of the graph (each reported once).
+
+        Deduplicated by full component membership: a sentence that is both a
+        destination and a source (a chain) must not seed a second,
+        overlapping component.
+        """
         seen: set[Sentence] = set()
         out = []
         for src, _ in self._edges:
@@ -204,6 +210,7 @@ class MappingGraph:
                 continue
             srcs, dsts = self.component(src)
             seen.update(srcs)
+            seen.update(dsts)
             out.append((srcs, dsts))
         return out
 

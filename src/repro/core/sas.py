@@ -22,7 +22,9 @@ Key behaviours reproduced here:
 * **dynamic mapping discovery**: optional recording of co-active sentence
   pairs as dynamic mappings;
 * per-node replication (Section 4.2.3) is achieved by creating one SAS per
-  node; cross-node forwarding lives in :mod:`repro.dbsim.forwarding`.
+  node; cross-node forwarding lives in :mod:`repro.dbsim.bus` (the
+  fault-tolerant batching bus; :mod:`repro.dbsim.forwarding` keeps the
+  naive fire-and-forget baseline).
 
 Two engines implement these semantics:
 
@@ -380,6 +382,11 @@ class ActiveSentenceSet:
         self._watch_keys: dict[QuestionWatcher, list[tuple[str, str]] | None] = {}
         self.notifications = 0
         self.ignored_notifications = 0
+        # monotonically increasing sequence number of *handled* transitions;
+        # incremented before on_transition fires, so forwarding layers can
+        # stamp each captured transition with its position in this SAS's
+        # history (the bus asserts per-link epoch monotonicity on delivery)
+        self.transition_epoch = 0
         self.co_active_listeners: list[Callable[[Sentence, Sentence, float], None]] = []
         # generic transition hooks: (sentence, became_active, time); fired for
         # every *handled* notification (cross-node forwarding subscribes here)
@@ -419,6 +426,7 @@ class ActiveSentenceSet:
         if self.trace is not None:
             self.trace.record(now, EventKind.ACTIVATE, sent, self.node_id)
         self._update_watchers(now, sent, True if became_member else None)
+        self.transition_epoch += 1
         for cb in self.on_transition:
             cb(sent, True, now)
         return True
@@ -443,6 +451,7 @@ class ActiveSentenceSet:
         if self.trace is not None:
             self.trace.record(now, EventKind.DEACTIVATE, sent, self.node_id)
         self._update_watchers(now, sent, False if left_membership else None)
+        self.transition_epoch += 1
         for cb in self.on_transition:
             cb(sent, False, now)
         return True

@@ -7,9 +7,18 @@ Two kinds of questions are measured over a client/server database run:
   exactly as the paper claims for all of Figure 6's questions;
 * **distributed questions** -- "server disk reads while query Q is active":
   the client's SAS must forward Q's activation state to the server's SAS
-  (one message per transition).  With forwarding disabled the question
-  silently reads zero -- the failure mode of pretending a per-node SAS is
-  global.
+  (one transition forwarded per activate/deactivate).  With forwarding
+  disabled the question silently reads zero -- the failure mode of
+  pretending a per-node SAS is global.
+
+Forwarding runs over one of two transports:
+
+* ``transport="bus"`` (default): the :class:`~repro.dbsim.bus.ForwardingBus`
+  -- batched, sequenced, retransmitted over the machine's network cost
+  model, optionally under a seeded :class:`~repro.dbsim.bus.FaultPlan`;
+* ``transport="naive"``: the legacy per-transition
+  :class:`~repro.dbsim.forwarding.SASForwarder` shim (fixed latency, no
+  delivery guarantees) kept as the ablation baseline.
 """
 
 from __future__ import annotations
@@ -20,6 +29,7 @@ from typing import Generator, Sequence
 from ..core import ActiveSentenceSet, PerformanceQuestion, SentencePattern
 from ..machine import Machine, MachineConfig
 from ..cmrts.comm import NodeComm
+from .bus import BusConfig, FaultPlan, ForwardingBus
 from .forwarding import SASForwarder
 from .model import Query, query_active, server_disk_read
 
@@ -36,13 +46,16 @@ class DBOutcome:
     ground_truth: dict[str, int]  # query -> actual disk reads served
     measured: dict[str, int]  # query -> reads counted via the SAS question
     total_reads_local_question: int  # local-only question, no forwarding
-    forwarded_messages: int
+    forwarded_messages: int  # transitions forwarded (2 per query)
     elapsed: float = 0.0
     client_sas_notifications: int = 0
     server_sas_notifications: int = 0
     per_query_watcher_time: dict[str, float] = field(default_factory=dict)
     per_client_truth: dict[int, int] = field(default_factory=dict)
     per_client_measured: dict[int, int] = field(default_factory=dict)
+    network_messages: int = 0  # data messages on the wire (bus: batches+retries)
+    bus_stats: dict[str, float] = field(default_factory=dict)
+    stray_watchers: int = 0  # on_transition hooks left on client SASes after close
 
 
 def run_db_study(
@@ -50,6 +63,9 @@ def run_db_study(
     forwarding: bool = True,
     think_time: float = 2e-4,
     num_clients: int = 1,
+    transport: str = "bus",
+    bus_config: BusConfig | None = None,
+    fault_plan: FaultPlan | None = None,
 ) -> DBOutcome:
     """Run the client(s)/server scenario and answer both question kinds.
 
@@ -67,6 +83,8 @@ def run_db_study(
         ]
     if num_clients < 1:
         raise ValueError("need at least one client")
+    if transport not in ("bus", "naive"):
+        raise ValueError(f"unknown transport {transport!r}")
     server_node = num_clients
     machine = Machine(MachineConfig(num_nodes=num_clients + 1))
     sim = machine.sim
@@ -74,19 +92,32 @@ def run_db_study(
         ActiveSentenceSet(clock=lambda: sim.now, node_id=i) for i in range(num_clients)
     ]
     server_sas = ActiveSentenceSet(clock=lambda: sim.now, node_id=server_node)
+    baseline_watchers = [len(cs.on_transition) for cs in client_sases]
 
-    forwarders = []
+    def interesting(s):
+        return s.verb.name == "QueryActive"
+
+    forwarders: list[SASForwarder] = []
+    bus: ForwardingBus | None = None
     if forwarding:
-        forwarders = [
-            SASForwarder(
-                sim,
-                cs,
-                server_sas,
-                interesting=lambda s: s.verb.name == "QueryActive",
-                latency=machine.config.network.latency,
-            )
-            for cs in client_sases
-        ]
+        if transport == "bus":
+            bus = ForwardingBus(machine.network, bus_config, fault_plan)
+            bus.register_replica(server_node, server_sas)
+            for c, cs in enumerate(client_sases):
+                bus.register_replica(c, cs)
+                bus.subscribe(c, server_node, interesting)
+        else:
+            forwarders = [
+                SASForwarder(
+                    sim,
+                    cs,
+                    server_sas,
+                    interesting=interesting,
+                    latency=machine.config.network.latency,
+                    fault_plan=fault_plan,
+                )
+                for cs in client_sases
+            ]
 
     by_client = {c: [q for i, q in enumerate(queries) if i % num_clients == c]
                  for c in range(num_clients)}
@@ -173,11 +204,27 @@ def run_db_study(
         sim.spawn(client_main(c), f"db-client{c}")
     sim.run()
 
+    if bus is not None:
+        forwarded = bus.stats.transitions_forwarded
+        network_messages = bus.stats.messages_sent
+        bus_stats = bus.metrics()
+        bus.close()
+    else:
+        forwarded = sum(f.messages_sent for f in forwarders)
+        network_messages = forwarded if forwarding else 0
+        bus_stats = {}
+        for f in forwarders:
+            f.close()
+    stray = sum(
+        len(cs.on_transition) - base
+        for cs, base in zip(client_sases, baseline_watchers)
+    )
+
     return DBOutcome(
         ground_truth=truth,
         measured=counts,
         total_reads_local_question=local_reads["n"],
-        forwarded_messages=sum(f.messages_sent for f in forwarders),
+        forwarded_messages=forwarded,
         elapsed=sim.now,
         client_sas_notifications=sum(cs.notifications for cs in client_sases),
         server_sas_notifications=server_sas.notifications,
@@ -186,4 +233,7 @@ def run_db_study(
         },
         per_client_truth=client_truth,
         per_client_measured=client_counts,
+        network_messages=network_messages,
+        bus_stats=bus_stats,
+        stray_watchers=stray,
     )

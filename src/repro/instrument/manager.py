@@ -15,7 +15,7 @@ paper's central property of dynamic instrumentation.
 from __future__ import annotations
 
 import itertools
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import TYPE_CHECKING, Union
 
 from .primitives import PROCESS, WALL, Counter, Timer

@@ -35,9 +35,17 @@ class SentenceNotifier:
         sas_by_node: Sequence[ActiveSentenceSet],
         notify_cost: float = 5e-7,
         enabled: bool = True,
+        bus=None,
     ):
         self.sas_by_node = list(sas_by_node)
         self.notify_cost = notify_cost
+        # ``bus`` is duck-typed (anything with register_replica) rather than
+        # a repro.dbsim.bus.ForwardingBus annotation: paradyn imports this
+        # module, so naming dbsim here would close an import cycle
+        self.bus = bus
+        if bus is not None:
+            for node_id, sas in enumerate(self.sas_by_node):
+                bus.register_replica(node_id, sas)
         self._all_enabled = enabled
         self._site_overrides: dict[str, bool] = {}
         self.notifications = 0

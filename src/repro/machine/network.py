@@ -55,7 +55,7 @@ class MessageEvent:
 
     time: float
     message: Message
-    kind: str  # "p2p" | "broadcast" | "control"
+    kind: str  # "p2p" | "broadcast" | "control" | "datagram"
 
 
 @dataclass(frozen=True)
@@ -80,6 +80,7 @@ class NetworkStats:
         self.receives = [0] * num_nodes
         self.bytes_sent = [0] * num_nodes
         self.broadcasts = 0
+        self.datagrams = 0
         self.total_messages = 0
         self.total_bytes = 0
 
@@ -147,6 +148,46 @@ class Network:
         inbox = self._inbox_of(dst)
         self.sim.call_at(arrival, lambda: inbox.put(msg))
         yield Timeout(occupy)
+
+    def datagram(
+        self,
+        src: int,
+        dst: int,
+        tag: str,
+        payload: Any,
+        size_bytes: int,
+        handler: Callable[[Message], None],
+        extra_delays: Sequence[float] = (0.0,),
+    ) -> Message:
+        """Unreliable fire-and-forget delivery to a callback endpoint.
+
+        Unlike :meth:`send`, a datagram does not occupy a sender *process*
+        (daemons such as the SAS forwarding bus run beside the application),
+        but the sender node still pays ``send_overhead + size/bandwidth`` on
+        its ``communication`` account -- the wire cost is real even when the
+        receiver never sees the message.
+
+        ``extra_delays`` gives one entry per delivered copy, each added on
+        top of the cost-model transfer time: an empty sequence models a lost
+        message, two entries a link-level duplicate, unequal entries
+        reordering.  This is the link layer that
+        :class:`repro.dbsim.bus.FaultPlan` injects faults through.
+        """
+        msg = Message(src, dst, tag, payload, size_bytes)
+        cfg = self.config
+        if 0 <= src < len(self.nodes):
+            self.nodes[src].accounts.charge(
+                "communication", cfg.send_overhead + size_bytes / cfg.bandwidth
+            )
+        self.stats.record_send(src, dst, size_bytes)
+        self.stats.datagrams += 1
+        self._notify(MessageEvent(self.sim.now, msg, "datagram"))
+        base_arrival = self.sim.now + self.transfer_time(size_bytes)
+        for delay in extra_delays:
+            if delay < 0:
+                raise ValueError("negative datagram delay")
+            self.sim.call_at(base_arrival + delay, lambda m=msg: handler(m))
+        return msg
 
     def receive(self, node_id: int) -> Generator:
         """Blocking receive into ``node_id``'s inbox, charged to *communication*.

@@ -52,6 +52,50 @@ class DataManager:
         self.dynamic_records = 0
         self._source_file = ""
         self._program_name = ""
+        # forwarding buses whose delivery counters we export as metrics;
+        # duck-typed (anything with a metrics() -> dict) rather than a
+        # repro.dbsim annotation to keep paradyn free of a dbsim import
+        self._forwarding_buses: list = []
+
+    # ------------------------------------------------------------------
+    # forwarding-bus channel (Section 4.2.3 cross-node SAS transport)
+    # ------------------------------------------------------------------
+    def attach_forwarding_bus(self, bus) -> None:
+        """Register a SAS forwarding bus for metric export.
+
+        ``bus`` needs only a ``metrics() -> dict[str, float]`` method
+        (satisfied by :class:`repro.dbsim.bus.ForwardingBus`).
+        """
+        self._forwarding_buses.append(bus)
+
+    def forwarding_metrics(self) -> dict[str, float]:
+        """Combined delivery counters over every attached bus.
+
+        Counter-like metrics (``fwd_messages_sent``, ``fwd_retries``, ...)
+        sum across buses; ``fwd_max_gap`` and ``fwd_latency_max`` take the
+        max; ``fwd_latency_mean`` is re-weighted by each bus's applied
+        transition count.
+        """
+        out: dict[str, float] = {}
+        if not self._forwarding_buses:
+            return out
+        max_keys = {"fwd_max_gap", "fwd_latency_max"}
+        weighted_lat = 0.0
+        applied = 0.0
+        for bus in self._forwarding_buses:
+            m = bus.metrics()
+            n = m.get("fwd_transitions_applied", 0.0)
+            weighted_lat += m.get("fwd_latency_mean", 0.0) * n
+            applied += n
+            for key, value in m.items():
+                if key == "fwd_latency_mean":
+                    continue
+                if key in max_keys:
+                    out[key] = max(out.get(key, 0.0), value)
+                else:
+                    out[key] = out.get(key, 0.0) + value
+        out["fwd_latency_mean"] = weighted_lat / applied if applied else 0.0
+        return out
 
     # ------------------------------------------------------------------
     # static channel (PIF files, Section 3 / Section 5)

@@ -12,7 +12,7 @@ first limitation, and what the causal-tag extension recovers.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, Generator
 
 from ..core import ActiveSentenceSet, Sentence

@@ -84,15 +84,15 @@ def stencil(size: int = 512, iterations: int = 4, width: int = 1) -> str:
         raise ValueError("bad halo width")
     lo, hi = 1 + width, size - width
     return (
-        f"PROGRAM HEAT\n"
+        "PROGRAM HEAT\n"
         f"  REAL U({size}), UN({size})\n"
-        f"  U = 1.0\n"
+        "  U = 1.0\n"
         f"  DO K = 1, {iterations}\n"
         f"  FORALL (I = {lo}:{hi}) UN(I) = (U(I-{width}) + U(I+{width})) / 2.0\n"
         f"  FORALL (I = {lo}:{hi}) U(I) = UN(I)\n"
-        f"  ENDDO\n"
-        f"  TOTAL = SUM(U)\n"
-        f"END\n"
+        "  ENDDO\n"
+        "  TOTAL = SUM(U)\n"
+        "END\n"
     )
 
 
@@ -110,7 +110,7 @@ def transform_mix(size: int = 256, rotations: int = 2, shifts: int = 1, transpos
         lines.append("  M = TRANSPOSE(N)")
     body = "\n".join(lines)
     return (
-        f"PROGRAM XFORM\n"
+        "PROGRAM XFORM\n"
         f"  REAL A({size}), B({size})\n"
         f"  REAL M({side}, {side}), N({side}, {side})\n"
         f"{body}\nEND\n"
@@ -138,11 +138,11 @@ def skewed_pair(size: int = 2048, heavy_ops: int = 8) -> str:
     for _ in range(heavy_ops - 1):
         heavy = f"SQRT(ABS({heavy} * 1.0001))"
     return (
-        f"PROGRAM SKEW\n"
+        "PROGRAM SKEW\n"
         f"  REAL A({size}), B({size})\n"
-        f"  A = B + 1.0\n"
+        "  A = B + 1.0\n"
         f"  B = {heavy} + 0.5\n"
-        f"END\n"
+        "END\n"
     )
 
 
@@ -282,21 +282,21 @@ def full_verb_mix(size: int = 400) -> str:
     """One program exercising every Figure-9 CMF verb at least once."""
     side = 16
     return (
-        f"PROGRAM FIG9\n"
+        "PROGRAM FIG9\n"
         f"  REAL A({size}), B({size}), C({size})\n"
         f"  REAL M({side}, {side}), N({side}, {side})\n"
-        f"  A = 1.0\n"
-        f"  B = A * 2.0 + 1.0\n"
-        f"  M = 3.0\n"
-        f"  S = SUM(A)\n"
-        f"  MX = MAXVAL(B)\n"
-        f"  MN = MINVAL(B)\n"
-        f"  C = CSHIFT(A, 3)\n"
-        f"  A = EOSHIFT(C, -2)\n"
-        f"  N = TRANSPOSE(M)\n"
-        f"  C = SCAN(B)\n"
-        f"  CALL SORT(C)\n"
+        "  A = 1.0\n"
+        "  B = A * 2.0 + 1.0\n"
+        "  M = 3.0\n"
+        "  S = SUM(A)\n"
+        "  MX = MAXVAL(B)\n"
+        "  MN = MINVAL(B)\n"
+        "  C = CSHIFT(A, 3)\n"
+        "  A = EOSHIFT(C, -2)\n"
+        "  N = TRANSPOSE(M)\n"
+        "  C = SCAN(B)\n"
+        "  CALL SORT(C)\n"
         f"  FORALL (I = 2:{size - 1}) A(I) = C(I-1) + C(I+1)\n"
         f"  R = S / {size}.0 + MX - MN\n"
-        f"END\n"
+        "END\n"
     )

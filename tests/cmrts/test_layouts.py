@@ -84,7 +84,7 @@ class TestColumnDistributedExecution:
     @pytest.mark.parametrize("amount", [3, -5, 0, 13])
     def test_shift_is_local_and_correct(self, amount):
         src = (
-            f"PROGRAM P\nREAL M(12, 8), N(12, 8)\nLAYOUT M(*, BLOCK)\nLAYOUT N(*, BLOCK)\n"
+            "PROGRAM P\nREAL M(12, 8), N(12, 8)\nLAYOUT M(*, BLOCK)\nLAYOUT N(*, BLOCK)\n"
             f"N = CSHIFT(M, {amount})\nEND"
         )
         rt = run_src(src, init={"M": DATA})
@@ -95,7 +95,7 @@ class TestColumnDistributedExecution:
     @pytest.mark.parametrize("amount", [2, -7])
     def test_eoshift_column_distributed(self, amount):
         src = (
-            f"PROGRAM P\nREAL M(12, 8), N(12, 8)\nLAYOUT M(*, BLOCK)\nLAYOUT N(*, BLOCK)\n"
+            "PROGRAM P\nREAL M(12, 8), N(12, 8)\nLAYOUT M(*, BLOCK)\nLAYOUT N(*, BLOCK)\n"
             f"N = EOSHIFT(M, {amount})\nEND"
         )
         rt = run_src(src, init={"M": DATA})
@@ -146,9 +146,9 @@ class TestTransposeLayouts:
         for lm in ("(BLOCK, *)", "(*, BLOCK)"):
             for lt in ("(BLOCK, *)", "(*, BLOCK)"):
                 src = (
-                    f"PROGRAM P\nREAL M(12, 8)\nREAL MT(8, 12)\n"
+                    "PROGRAM P\nREAL M(12, 8)\nREAL MT(8, 12)\n"
                     f"LAYOUT M{lm}\nLAYOUT MT{lt}\n"
-                    f"M = M + 1.0\nMT = TRANSPOSE(M)\nS = SUM(MT)\nEND"
+                    "M = M + 1.0\nMT = TRANSPOSE(M)\nS = SUM(MT)\nEND"
                 )
                 prog = compile_source(src)
                 rt = run_program(prog, num_nodes=nodes, initial_arrays={"M": DATA})

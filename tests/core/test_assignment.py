@@ -114,6 +114,53 @@ def test_unmapped_measurement_kept_as_is():
     assert att.cost_of(func("orphan")).get(CPU_TIME) == 2.0
 
 
+class TestMeasuredDestinationSubsumed:
+    """Regression: a measured sentence with only backward mappings used to
+    be charged against itself *and* receive its component's aggregated
+    source cost, double-counting in Attribution.total().  Pinned semantics:
+    the direct measurement of a pure destination is subsumed by measured
+    sources in its component (Figure 1 one-to-one: "measurements of the
+    source are equivalent to measurements of the destination"); it is kept
+    only when the component has no measured sources."""
+
+    def graph(self):
+        g = MappingGraph()
+        g.add(Mapping(func("f"), line(1)))
+        return g
+
+    def test_no_double_count(self):
+        # both endpoints measured: the same activity seen at two levels
+        measured = [(func("f"), cv(5.0)), (line(1), cv(5.0))]
+        for policy in (SplitPolicy(), MergePolicy()):
+            att = assign_costs(measured, self.graph(), policy)
+            assert att.cost_of(line(1)).get(CPU_TIME) == 5.0
+            assert att.total().get(CPU_TIME) == pytest.approx(5.0)
+
+    def test_order_independent(self):
+        g = self.graph()
+        fwd = assign_costs([(func("f"), cv(5.0)), (line(1), cv(5.0))], g, MergePolicy())
+        rev = assign_costs([(line(1), cv(5.0)), (func("f"), cv(5.0))], g, MergePolicy())
+        assert fwd.per_sentence == rev.per_sentence
+        assert fwd.total().get(CPU_TIME) == rev.total().get(CPU_TIME) == 5.0
+
+    def test_destination_kept_when_no_source_measured(self):
+        # nothing subsumes the destination's own measurement here
+        att = assign_costs([(line(1), cv(3.0))], self.graph(), MergePolicy())
+        assert att.cost_of(line(1)).get(CPU_TIME) == 3.0
+        assert att.total().get(CPU_TIME) == 3.0
+
+    def test_chain_counts_middle_as_source_once(self):
+        # a -> b -> c with a and b measured: b's cost participates as a
+        # source exactly once (with the old overlapping components it was
+        # aggregated twice)
+        g = MappingGraph()
+        a, b, c = func("a"), line(1), line(2)
+        g.add(Mapping(a, b))
+        g.add(Mapping(b, c))
+        att = assign_costs([(a, cv(2.0)), (b, cv(3.0))], g, SplitPolicy())
+        assert att.total().get(CPU_TIME) == pytest.approx(5.0)
+
+
 def test_cost_conservation_under_both_policies():
     g = MappingGraph()
     g.add(Mapping(func("F1"), line(1)))

@@ -133,6 +133,48 @@ def test_closure_up_transitive_through_levels():
     assert set(down) == {rts, send}
 
 
+class TestTransitiveChain:
+    """Regression: chain a -> b -> c, where b is both a destination and a
+    source.  The old alternating srcs/dsts fixpoint reported overlapping
+    components (({a},{b}) from a, ({a,b},{b,c}) from b) and classified
+    inconsistently depending on the start sentence."""
+
+    def chain(self):
+        g = MappingGraph()
+        a, b, c = func("a"), line(1), sentence(REDUCE, Noun("c", "CM Fortran"))
+        g.add(Mapping(a, b))
+        g.add(Mapping(b, c))
+        return g, a, b, c
+
+    def test_component_same_from_every_start(self):
+        g, a, b, c = self.chain()
+        expected = ({a, b}, {b, c})
+        assert g.component(a) == expected
+        assert g.component(b) == expected
+        assert g.component(c) == expected
+
+    def test_components_reports_chain_once(self):
+        g, a, b, c = self.chain()
+        comps = g.components()
+        assert comps == [({a, b}, {b, c})]
+
+    def test_components_never_overlap(self):
+        g, _, _, _ = self.chain()
+        g.add(Mapping(func("F9"), line(9)))  # plus an unrelated pair
+        comps = g.components()
+        assert len(comps) == 2
+        members = [s | d for s, d in comps]
+        assert members[0] & members[1] == set()
+
+    def test_classify_consistent_from_every_start(self):
+        g, a, b, c = self.chain()
+        # two sources {a, b} and two destinations {b, c}: many-to-many,
+        # no matter which member asks
+        assert g.classify(a) == MappingType.MANY_TO_MANY
+        assert g.classify(b) == MappingType.MANY_TO_MANY
+        assert g.classify(c) == MappingType.MANY_TO_MANY
+
+
 def test_merge_graphs():
     g1, g2 = MappingGraph(), MappingGraph()
     g1.add(Mapping(func("F1"), line(1)))

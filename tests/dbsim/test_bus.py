@@ -1,0 +1,346 @@
+"""Tests for the fault-tolerant SAS forwarding bus (Section 4.2.3).
+
+The contract under test: for *any* seeded fault plan, every subscribed
+transition is applied at the destination replica exactly once, in source
+order -- so the destination's observable state (applied log, final active
+set, question-watcher history) is identical to the zero-fault run; only
+timing and wire-message counts differ.
+"""
+
+import pytest
+
+from repro.core import (
+    ActiveSentenceSet,
+    Noun,
+    PerformanceQuestion,
+    Sentence,
+    SentencePattern,
+    Verb,
+)
+from repro.dbsim import BusConfig, FaultPlan, ForwardingBus
+from repro.machine import Machine, MachineConfig
+
+QUERY = Verb("QueryActive", "Database")
+OTHER = Verb("Other", "Database")
+
+
+def q_sentence(name):
+    return Sentence(QUERY, (Noun(name, "Database"),))
+
+
+def make_pair(config=None, fault_plan=None, num_nodes=2):
+    machine = Machine(MachineConfig(num_nodes=num_nodes))
+    sim = machine.sim
+    sases = [
+        ActiveSentenceSet(clock=lambda: sim.now, node_id=i) for i in range(num_nodes)
+    ]
+    bus = ForwardingBus(machine.network, config, fault_plan)
+    for i, sas in enumerate(sases):
+        bus.register_replica(i, sas)
+    bus.subscribe(0, 1, lambda s: s.verb.name == "QueryActive")
+    return machine, sim, sases, bus
+
+
+class _ScriptedFaults:
+    """Duck-typed fault plan with an explicit per-message delivery script."""
+
+    def __init__(self, script):
+        self.script = list(script)
+
+    def delivery_delays(self):
+        if self.script:
+            return self.script.pop(0)
+        return [0.0]
+
+
+class TestDelivery:
+    def test_matching_transition_forwarded(self):
+        _, sim, (src, dst), bus = make_pair()
+        sent = q_sentence("Q1")
+        src.activate(sent)
+        assert not dst.is_active(sent)  # flush window + network latency
+        sim.run()
+        assert dst.is_active(sent)
+        assert bus.stats.transitions_applied == 1
+
+    def test_uninteresting_not_forwarded(self):
+        _, sim, (src, dst), bus = make_pair()
+        other = Sentence(OTHER, (Noun("X", "Database"),))
+        src.activate(other)
+        sim.run()
+        assert not dst.is_active(other)
+        assert bus.stats.transitions_forwarded == 0
+        assert bus.stats.messages_sent == 0
+
+    def test_transitions_within_flush_window_coalesce(self):
+        _, sim, (src, dst), bus = make_pair()
+        for i in range(5):
+            src.activate(q_sentence(f"Q{i}"))
+        sim.run()
+        assert bus.stats.transitions_forwarded == 5
+        assert bus.stats.batches_sent == 1
+        assert bus.stats.messages_sent == 1
+        assert len(dst) == 5
+
+    def test_transitions_in_separate_windows_do_not_coalesce(self):
+        _, sim, (src, dst), bus = make_pair(BusConfig(flush_window=1e-6))
+
+        def driver():
+            for i in range(3):
+                src.activate(q_sentence(f"Q{i}"))
+                yield 1e-3  # far beyond the flush window
+
+        sim.spawn(driver(), "driver")
+        sim.run()
+        assert bus.stats.batches_sent == 3
+
+    def test_same_instant_activate_deactivate_in_order(self):
+        """A same-instant activate -> deactivate pair (ordered only by the
+        simulator's `_seq` FIFO tie-break) must arrive in order and leave
+        the remote SAS empty."""
+        _, sim, (src, dst), bus = make_pair()
+        sent = q_sentence("Q1")
+        applied = []
+        bus.on_apply.append(lambda node, s, active, now: applied.append(active))
+        src.activate(sent)
+        src.deactivate(sent)  # same virtual instant, same batch
+        sim.run()
+        assert applied == [True, False]
+        assert not dst.is_active(sent)
+        assert len(dst) == 0
+        assert bus.stats.batches_sent == 1  # and they coalesced
+
+    def test_uses_network_cost_model(self):
+        machine, sim, (src, dst), bus = make_pair()
+        src.activate(q_sentence("Q1"))
+        sim.run()
+        # data batch one way, ack back: both visible to network stats and
+        # charged to the sender's communication account
+        assert machine.network.stats.datagrams == 2
+        assert machine.nodes[0].accounts.communication > 0
+        assert machine.nodes[1].accounts.communication > 0
+
+
+class TestReliability:
+    def test_dropped_batch_is_retransmitted(self):
+        plan = _ScriptedFaults([[]])  # first wire message lost, rest clean
+        _, sim, (src, dst), bus = make_pair(fault_plan=plan)
+        sent = q_sentence("Q1")
+        src.activate(sent)
+        sim.run()
+        assert dst.is_active(sent)
+        assert bus.stats.retries == 1
+        assert bus.stats.messages_sent == 2
+        assert bus.stats.transitions_applied == 1
+
+    def test_duplicate_batch_suppressed(self):
+        plan = _ScriptedFaults([[0.0, 0.0]])  # link duplicates the batch
+        _, sim, (src, dst), bus = make_pair(fault_plan=plan)
+        sent = q_sentence("Q1")
+        src.activate(sent)
+        sim.run()
+        assert dst.activation_depth(sent) == 1  # applied exactly once
+        assert bus.stats.duplicates_suppressed == 1
+
+    def test_reordered_batches_apply_in_sequence(self):
+        # first batch delayed past the second: receiver must buffer the
+        # out-of-order arrival (gap) and apply both in sequence order
+        plan = _ScriptedFaults([[5e-4], [0.0]])
+        _, sim, (src, dst), bus = make_pair(BusConfig(flush_window=1e-6), plan)
+        sent = q_sentence("Q1")
+        applied = []
+        bus.on_apply.append(lambda node, s, active, now: applied.append(active))
+
+        def driver():
+            src.activate(sent)
+            yield 1e-4  # separate flush windows -> separate batches
+            src.deactivate(sent)
+
+        sim.spawn(driver(), "driver")
+        sim.run()
+        assert applied == [True, False]
+        assert len(dst) == 0
+        assert bus.stats.gaps_detected >= 1
+        assert bus.stats.max_gap >= 1
+
+    def test_lost_ack_triggers_retransmit_not_reapply(self):
+        plan = _ScriptedFaults([[0.0], []])  # batch arrives, its ack is lost
+        _, sim, (src, dst), bus = make_pair(fault_plan=plan)
+        sent = q_sentence("Q1")
+        src.activate(sent)
+        sim.run()
+        assert dst.activation_depth(sent) == 1
+        assert bus.stats.retries == 1
+        assert bus.stats.duplicates_suppressed == 1  # the retransmission
+
+    def test_gives_up_after_max_retries(self):
+        plan = FaultPlan(drop=1.0)  # dead link
+        cfg = BusConfig(ack_timeout=1e-5, max_backoff=2e-5, max_retries=3)
+        _, sim, (src, dst), bus = make_pair(cfg, plan)
+        src.activate(q_sentence("Q1"))
+        sim.run()  # must terminate: retry timers stop after giving up
+        assert not dst.is_active(q_sentence("Q1"))
+        assert bus.stats.gave_up == 1
+        assert bus.stats.messages_sent == 3
+
+
+class TestDifferential:
+    """The ISSUE acceptance criterion: seeded 5% drop + 5% duplicate +
+    reorder reaches the same final observable state as the zero-fault run."""
+
+    def drive(self, fault_plan, rounds=40):
+        machine, sim, (src, dst), bus = make_pair(fault_plan=fault_plan)
+        watcher = dst.attach_question(
+            PerformanceQuestion(
+                "Q0 active remotely",
+                (SentencePattern("QueryActive", ("Q0",)),),
+            )
+        )
+        applied = []
+        bus.on_apply.append(
+            lambda node, s, active, now: applied.append((str(s), active))
+        )
+
+        def driver():
+            for i in range(rounds):
+                sent = q_sentence(f"Q{i % 4}")
+                src.activate(sent)
+                yield 3e-4
+                src.deactivate(sent)
+                yield 2e-4
+
+        sim.spawn(driver(), "driver")
+        sim.run()
+        return {
+            "applied": applied,
+            "final_active": sorted(str(s) for s in dst.active_sentences()),
+            "watcher_transitions": watcher.transitions,
+            "watcher_satisfied": watcher.satisfied,
+            "stats": bus.stats,
+        }
+
+    def test_faulty_run_reaches_same_observable_state(self):
+        clean = self.drive(None)
+        faulty = self.drive(FaultPlan(drop=0.05, duplicate=0.05, reorder=True, seed=42))
+        assert faulty["applied"] == clean["applied"]
+        assert faulty["final_active"] == clean["final_active"] == []
+        assert faulty["watcher_transitions"] == clean["watcher_transitions"]
+        assert faulty["watcher_satisfied"] == clean["watcher_satisfied"] is False
+        # and the faults actually happened -- the plan wasn't a no-op
+        st = faulty["stats"]
+        assert st.retries > 0
+        assert st.duplicates_suppressed > 0
+        assert st.transitions_applied == clean["stats"].transitions_applied == 80
+        assert st.epoch_regressions == 0
+
+    @pytest.mark.parametrize("seed", [1, 7, 1234])
+    def test_multiple_seeds(self, seed):
+        clean = self.drive(None, rounds=20)
+        faulty = self.drive(
+            FaultPlan(drop=0.1, duplicate=0.1, delay=0.2, reorder=True, seed=seed),
+            rounds=20,
+        )
+        assert faulty["applied"] == clean["applied"]
+        assert faulty["final_active"] == []
+
+
+class TestLifecycle:
+    def test_close_detaches_all_subscriptions(self):
+        _, sim, (src, dst), bus = make_pair()
+        before = len(src.on_transition)
+        assert before >= 1
+        bus.close()
+        assert len(src.on_transition) == before - 1
+        bus.close()  # idempotent
+        src.activate(q_sentence("Q1"))
+        sim.run()
+        assert not dst.is_active(q_sentence("Q1"))
+        assert bus.stats.transitions_forwarded == 0
+
+    def test_subscribe_after_close_rejected(self):
+        _, _, _, bus = make_pair()
+        bus.close()
+        with pytest.raises(RuntimeError):
+            bus.subscribe(0, 1, lambda s: True)
+
+    def test_subscribe_requires_registered_replicas(self):
+        machine = Machine(MachineConfig(num_nodes=2))
+        bus = ForwardingBus(machine.network)
+        sas = ActiveSentenceSet(clock=lambda: machine.sim.now)
+        bus.register_replica(0, sas)
+        with pytest.raises(KeyError):
+            bus.subscribe(0, 1, lambda s: True)
+
+
+class TestValidation:
+    def test_bad_config(self):
+        with pytest.raises(ValueError):
+            BusConfig(flush_window=-1.0)
+        with pytest.raises(ValueError):
+            BusConfig(backoff_factor=0.5)
+        with pytest.raises(ValueError):
+            BusConfig(max_retries=0)
+
+    def test_bad_fault_plan(self):
+        with pytest.raises(ValueError):
+            FaultPlan(drop=1.5)
+        with pytest.raises(ValueError):
+            FaultPlan(extra_delay=-1.0)
+
+    def test_fault_plan_is_seeded(self):
+        a = [FaultPlan(drop=0.5, seed=3).delivery_delays() for _ in range(50)]
+        b = [FaultPlan(drop=0.5, seed=3).delivery_delays() for _ in range(50)]
+        assert a == b
+
+
+class TestMetricsExport:
+    def test_bus_metrics_names(self):
+        _, sim, (src, dst), bus = make_pair()
+        src.activate(q_sentence("Q1"))
+        sim.run()
+        m = bus.metrics()
+        for key in (
+            "fwd_transitions_forwarded",
+            "fwd_batches_sent",
+            "fwd_messages_sent",
+            "fwd_retries",
+            "fwd_duplicates_suppressed",
+            "fwd_max_gap",
+            "fwd_latency_mean",
+            "fwd_latency_max",
+        ):
+            assert key in m
+        assert m["fwd_latency_mean"] > 0
+        assert bus.stats.latency.total() == pytest.approx(1.0)  # one sample
+
+    def test_datamgr_combines_buses(self):
+        from repro.paradyn.datamgr import DataManager
+
+        dm = DataManager()
+        assert dm.forwarding_metrics() == {}
+        m1, sim1, (s1, _), bus1 = make_pair()
+        m2, sim2, (s2, _), bus2 = make_pair()
+        s1.activate(q_sentence("Q1"))
+        s2.activate(q_sentence("Q2"))
+        sim1.run()
+        sim2.run()
+        dm.attach_forwarding_bus(bus1)
+        dm.attach_forwarding_bus(bus2)
+        combined = dm.forwarding_metrics()
+        assert combined["fwd_messages_sent"] == 2.0
+        assert combined["fwd_transitions_applied"] == 2.0
+        assert combined["fwd_latency_mean"] > 0
+        assert combined["fwd_latency_max"] >= combined["fwd_latency_mean"]
+
+    def test_notifier_registers_replicas_on_bus(self):
+        from repro.instrument.notify import SentenceNotifier
+
+        machine = Machine(MachineConfig(num_nodes=2))
+        sim = machine.sim
+        sases = [
+            ActiveSentenceSet(clock=lambda: sim.now, node_id=i) for i in range(2)
+        ]
+        bus = ForwardingBus(machine.network)
+        SentenceNotifier(sases, bus=bus)
+        assert bus.replicas == {0: sases[0], 1: sases[1]}
+        bus.subscribe(0, 1, lambda s: True)  # replicas are wired for use

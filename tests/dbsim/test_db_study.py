@@ -52,6 +52,31 @@ class TestForwarder:
         assert not dst.is_active(other)
         assert fwd.messages_sent == 0
 
+    def test_close_detaches_and_is_idempotent(self):
+        sim, src, dst, fwd, sent, _ = self.make()
+        before = len(src.on_transition)
+        fwd.close()
+        fwd.close()
+        assert len(src.on_transition) == before - 1
+        src.activate(sent)
+        sim.run()
+        assert not dst.is_active(sent)
+        assert fwd.messages_sent == 0
+
+    def test_same_instant_pair_arrives_in_order(self):
+        """Both transitions are scheduled for the same remote instant; only
+        the simulator's `_seq` FIFO tie-break keeps activate before
+        deactivate, so the remote SAS ends empty instead of crashing on a
+        deactivate-before-activate."""
+        sim, src, dst, fwd, sent, _ = self.make()
+        src.activate(sent)
+        src.deactivate(sent)  # same virtual time as the activate
+        sim.run()
+        assert not dst.is_active(sent)
+        assert len(dst) == 0
+        assert dst.notifications == 2  # both arrived, in order
+        assert fwd.messages_sent == 2
+
 
 def test_distributed_question_measures_ground_truth():
     out = run_db_study(forwarding=True)
@@ -92,6 +117,55 @@ def test_notification_counts():
     assert out.client_sas_notifications == 2
     # server: 2 per read + 2 forwarded
     assert out.server_sas_notifications == 3 * 2 + 2
+
+
+class TestTransports:
+    """The study runs on either transport; results agree, wiring is clean."""
+
+    def test_bus_and_naive_agree_on_measurements(self):
+        bus = run_db_study(transport="bus")
+        naive = run_db_study(transport="naive")
+        assert bus.measured == naive.measured == bus.ground_truth
+        assert bus.forwarded_messages == naive.forwarded_messages
+        assert bus.per_client_measured == naive.per_client_measured
+
+    def test_bus_stats_exported(self):
+        out = run_db_study(transport="bus")
+        assert out.bus_stats["fwd_transitions_applied"] == out.forwarded_messages
+        assert out.network_messages == out.bus_stats["fwd_messages_sent"]
+        assert out.bus_stats["fwd_latency_mean"] > 0
+
+    def test_naive_has_no_bus_stats(self):
+        out = run_db_study(transport="naive")
+        assert out.bus_stats == {}
+        assert out.network_messages == out.forwarded_messages
+
+    def test_unknown_transport_rejected(self):
+        with pytest.raises(ValueError):
+            run_db_study(transport="carrier-pigeon")
+
+    @pytest.mark.parametrize("transport", ["bus", "naive"])
+    def test_no_stray_watchers_after_repeated_runs(self, transport):
+        """Regression: forwarders used to append to source.on_transition
+        with no way to detach, leaking watchers across repeated studies."""
+        first = run_db_study(transport=transport)
+        second = run_db_study(transport=transport)
+        assert first.stray_watchers == 0
+        assert second.stray_watchers == 0
+        assert second.measured == second.ground_truth or transport == "naive"
+
+    def test_bus_survives_seeded_faults(self):
+        from repro.dbsim import FaultPlan
+
+        out = run_db_study(
+            fault_plan=FaultPlan(drop=0.05, duplicate=0.05, reorder=True, seed=11)
+        )
+        clean = run_db_study()
+        # every transition still applied exactly once, so the server's SAS
+        # saw the same notifications and ends in the same (empty) state
+        assert out.bus_stats["fwd_transitions_applied"] == 2 * len(out.ground_truth)
+        assert out.server_sas_notifications == clean.server_sas_notifications
+        assert out.total_reads_local_question == clean.total_reads_local_question
 
 
 class TestMultipleClients:

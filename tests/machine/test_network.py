@@ -98,7 +98,9 @@ def test_observer_sees_every_send():
 def test_unsubscribe():
     m = make_machine(2)
     seen = []
-    obs = lambda ev: seen.append(ev)
+    def obs(ev):
+        seen.append(ev)
+
     m.network.subscribe(obs)
     m.network.unsubscribe(obs)
 

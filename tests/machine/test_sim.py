@@ -255,6 +255,19 @@ def test_call_at_schedules_callback():
         sim.call_at(1.0, lambda: None)  # in the past now
 
 
+def test_equal_time_callbacks_fire_in_schedule_order():
+    """`_seq` FIFO tie-breaking: callbacks at the same instant run in the
+    order they were scheduled, which is what keeps a forwarded same-instant
+    activate -> deactivate pair in order (see tests/dbsim)."""
+    sim = Simulator()
+    fired = []
+    for i in range(5):
+        sim.call_at(1.0, lambda i=i: fired.append(i))
+    sim.call_at(0.5, lambda: fired.append("early"))
+    sim.run()
+    assert fired == ["early", 0, 1, 2, 3, 4]
+
+
 def test_run_all_helper():
     sim = Simulator()
     log = []

@@ -1,7 +1,5 @@
 """Tests for the Performance Consultant's why/where search."""
 
-import pytest
-
 from repro.cmfortran import compile_source
 from repro.paradyn import PerformanceConsultant
 
