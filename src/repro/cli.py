@@ -8,6 +8,7 @@ Usage::
         --metric summation_time@array=U --block-times --attribute merge
     python -m repro consultant heat.cmf --nodes 8
     python -m repro metrics
+    python -m repro sweep db --clients 1,2,4 --queries 1,3,6 --workers 4 --verify
 """
 
 from __future__ import annotations
@@ -68,6 +69,30 @@ def build_parser() -> argparse.ArgumentParser:
     p_pc.add_argument("--no-refine", action="store_true")
 
     sub.add_parser("metrics", help="list the Figure-9 MDL metric library")
+
+    p_sweep = sub.add_parser(
+        "sweep", help="run a study's configuration grid across a worker pool"
+    )
+    p_sweep.add_argument("study", choices=("db", "unix", "kernel"))
+    p_sweep.add_argument(
+        "--workers", type=int, default=None, help="pool size (default: cpu count)"
+    )
+    p_sweep.add_argument("--serial", action="store_true", help="run in-process, no pool")
+    p_sweep.add_argument(
+        "--verify",
+        action="store_true",
+        help="also run serially and assert the results are byte-identical",
+    )
+    p_sweep.add_argument("--json", metavar="OUT", help="write results as JSON here")
+    p_sweep.add_argument("--clients", default="", help="db: comma list of client counts")
+    p_sweep.add_argument("--queries", default="", help="db: comma list of query counts")
+    p_sweep.add_argument(
+        "--transports", default="", help="db: comma list of transports (bus,naive)"
+    )
+    p_sweep.add_argument(
+        "--scales", default="", help="kernel: comma list of clients:shards pairs"
+    )
+    p_sweep.add_argument("--seeds", default="", help="kernel: comma list of seeds")
 
     p_fuzz = sub.add_parser(
         "fuzz", help="differential-test random programs against the oracle"
@@ -175,6 +200,75 @@ def _cmd_metrics(_args) -> int:
     return 0
 
 
+def _sweep_headline(value: dict) -> str:
+    """One-line summary of a study result for the sweep table."""
+    parts = []
+    for key, label in (
+        ("elapsed", "elapsed"),
+        ("final_time", "final_time"),
+        ("forwarded_messages", "fwd"),
+        ("unattributed_sas", "unattributed"),
+        ("events", "events"),
+    ):
+        if key in value:
+            v = value[key]
+            parts.append(f"{label}={v:.6g}" if isinstance(v, float) else f"{label}={v}")
+    return ", ".join(parts)
+
+
+def _cmd_sweep(args) -> int:
+    import json
+    import time as _time
+
+    from .paradyn import text_table
+    from .sweep import SweepRunner, build_grid, fingerprint
+
+    def ints(text: str) -> tuple[int, ...]:
+        return tuple(int(x) for x in text.split(",") if x)
+
+    options: dict = {}
+    if args.study == "db":
+        if args.clients:
+            options["clients"] = ints(args.clients)
+        if args.queries:
+            options["queries"] = ints(args.queries)
+        if args.transports:
+            options["transports"] = tuple(
+                t.strip() for t in args.transports.split(",") if t.strip()
+            )
+    elif args.study == "kernel":
+        if args.scales:
+            options["scales"] = tuple(
+                tuple(int(p) for p in pair.split(":")) for pair in args.scales.split(",") if pair
+            )
+        if args.seeds:
+            options["seeds"] = ints(args.seeds)
+    tasks = build_grid(args.study, **options)
+
+    runner = SweepRunner(workers=1 if args.serial else args.workers)
+    t0 = _time.perf_counter()
+    results = runner.run(tasks, parallel=not args.serial)
+    dt = _time.perf_counter() - t0
+    mode = "serial" if args.serial or runner.workers == 1 else f"{runner.workers} workers"
+    print(f"{len(results)} configurations in {dt:.3f}s ({mode})")
+
+    rows = [(r.key, _sweep_headline(r.value)) for r in results]
+    print(text_table(rows, headers=("configuration", "summary")))
+
+    if args.verify:
+        serial = runner.run_serial(tasks)
+        if fingerprint(serial) == fingerprint(results):
+            print("verify: parallel results byte-identical to serial run")
+        else:
+            print("verify: MISMATCH between parallel and serial results")
+            return 1
+    if args.json:
+        payload = [{"key": r.key, "seed": r.seed, "value": r.value} for r in results]
+        Path(args.json).write_text(json.dumps(payload, indent=2), encoding="utf-8")
+        print(f"results written to {args.json}")
+    return 0
+
+
 def _cmd_fuzz(args) -> int:
     import numpy as np
 
@@ -215,6 +309,7 @@ _COMMANDS = {
     "measure": _cmd_measure,
     "consultant": _cmd_consultant,
     "metrics": _cmd_metrics,
+    "sweep": _cmd_sweep,
     "fuzz": _cmd_fuzz,
 }
 

@@ -17,12 +17,24 @@ Determinism: events at equal virtual times fire in the order they were
 scheduled (a monotonically increasing sequence number breaks ties), so a
 simulation run is a pure function of its inputs.  Nothing in the kernel reads
 wall-clock time or global random state.
+
+Hot-path representation: every scheduled event is a plain
+``(time, seq, kind, obj, arg)`` tuple.  ``seq`` is unique, so heap
+comparisons resolve on ``(time, seq)`` at C speed and never look at the
+payload; ``kind`` is a small int tag (:data:`_KIND_STEP` resumes the process
+``obj`` with ``arg``, :data:`_KIND_CALL` invokes the callback ``obj``), which
+eliminates the per-event closure allocation the seed kernel paid for every
+resume.  :meth:`Simulator.run` drains all events sharing one timestamp in a
+tight inner loop (one clock write and one ``until`` check per *instant*
+instead of per event).  The seed kernel is preserved verbatim in
+:mod:`repro.machine.sim_legacy` as the differential oracle for these
+semantics.
 """
 
 from __future__ import annotations
 
-import heapq
-from dataclasses import dataclass, field
+from collections import deque
+from heapq import heappop, heappush
 from typing import Any, Callable, Generator, Iterable
 
 __all__ = [
@@ -50,15 +62,27 @@ class ProcessCrashed(SimulationError):
         self.original = original
 
 
-@dataclass(frozen=True)
 class Timeout:
     """Yielded by a process to suspend for ``delay`` units of virtual time."""
 
-    delay: float
+    __slots__ = ("delay",)
 
-    def __post_init__(self) -> None:
-        if self.delay < 0:
-            raise SimulationError(f"negative timeout: {self.delay}")
+    def __init__(self, delay: float):
+        if delay < 0:
+            raise SimulationError(f"negative timeout: {delay}")
+        object.__setattr__(self, "delay", delay)
+
+    def __setattr__(self, name: str, value: Any) -> None:
+        raise AttributeError("Timeout is immutable")
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, Timeout) and other.delay == self.delay
+
+    def __hash__(self) -> int:
+        return hash((Timeout, self.delay))
+
+    def __repr__(self) -> str:
+        return f"Timeout(delay={self.delay})"
 
 
 class Signal:
@@ -75,7 +99,7 @@ class Signal:
         self.sim = sim
         self.value: Any = None
         self._fired = False
-        self._waiters: list[Process] = []
+        self._waiters: deque[Process] = deque()
 
     @property
     def fired(self) -> bool:
@@ -98,11 +122,13 @@ class Signal:
             self._waiters.append(proc)
 
 
-@dataclass
 class ChannelGet:
     """Yielded by a process that wants the next message from a channel."""
 
-    channel: "Channel"
+    __slots__ = ("channel",)
+
+    def __init__(self, channel: "Channel"):
+        self.channel = channel
 
 
 class Channel:
@@ -111,6 +137,8 @@ class Channel:
     ``put`` never blocks.  ``get`` returns a :class:`ChannelGet` request to be
     yielded; the process resumes with the message as the yield value.  Messages
     are delivered in put order; competing getters are served in get order.
+    Both sides are :class:`collections.deque`, so serving the oldest item or
+    getter is O(1) rather than the ``list.pop(0)`` O(n) the seed paid.
     """
 
     __slots__ = ("sim", "name", "_items", "_getters", "puts", "gets")
@@ -118,8 +146,8 @@ class Channel:
     def __init__(self, sim: "Simulator", name: str = ""):
         self.sim = sim
         self.name = name
-        self._items: list[Any] = []
-        self._getters: list[Process] = []
+        self._items: deque[Any] = deque()
+        self._getters: deque[Process] = deque()
         self.puts = 0
         self.gets = 0
 
@@ -130,7 +158,7 @@ class Channel:
         """Enqueue ``item``; wakes the oldest waiting getter, if any."""
         self.puts += 1
         if self._getters:
-            proc = self._getters.pop(0)
+            proc = self._getters.popleft()
             self.gets += 1
             self.sim._schedule_resume(proc, item)
         else:
@@ -143,7 +171,7 @@ class Channel:
     def _register(self, proc: "Process") -> None:
         if self._items:
             self.gets += 1
-            self.sim._schedule_resume(proc, self._items.pop(0))
+            self.sim._schedule_resume(proc, self._items.popleft())
         else:
             self._getters.append(proc)
 
@@ -151,7 +179,7 @@ class Channel:
 class Process:
     """A running generator inside the simulator."""
 
-    __slots__ = ("sim", "name", "generator", "done", "result", "exception", "_completion")
+    __slots__ = ("sim", "name", "generator", "done", "result", "exception", "_completion", "_send")
 
     def __init__(self, sim: "Simulator", generator: Generator, name: str):
         self.sim = sim
@@ -161,6 +189,7 @@ class Process:
         self.result: Any = None
         self.exception: BaseException | None = None
         self._completion: Signal | None = None
+        self._send = generator.send  # bound once; _step calls it per event
 
     @property
     def completion(self) -> Signal:
@@ -176,11 +205,9 @@ class Process:
         return f"<Process {self.name!r} {state}>"
 
 
-@dataclass(order=True)
-class _QueueEntry:
-    time: float
-    seq: int
-    action: Callable[[], None] = field(compare=False)
+#: Event kind tags: resume a process generator / invoke a plain callback.
+_KIND_STEP = 0
+_KIND_CALL = 1
 
 
 class Simulator:
@@ -189,7 +216,10 @@ class Simulator:
     def __init__(self) -> None:
         self._now = 0.0
         self._seq = 0
-        self._queue: list[_QueueEntry] = []
+        # (time, seq, kind, obj, arg): kind==_KIND_STEP resumes process obj
+        # with arg; kind==_KIND_CALL invokes callback obj.  seq is unique, so
+        # heap ordering is decided entirely by (time, seq).
+        self._queue: list[tuple[float, int, int, Any, Any]] = []
         self._crashed: ProcessCrashed | None = None
         self.processes: list[Process] = []
 
@@ -213,7 +243,7 @@ class Simulator:
         """Start ``generator`` as a process at the current virtual time."""
         proc = Process(self, generator, name)
         self.processes.append(proc)
-        self._schedule(0.0, lambda: self._step(proc, None))
+        self._schedule_step(proc, None)
         return proc
 
     def call_at(self, time: float, action: Callable[[], None]) -> None:
@@ -226,22 +256,32 @@ class Simulator:
         """Run until the queue drains or virtual time reaches ``until``.
 
         Returns the final virtual time.  Re-raises process crashes as
-        :class:`ProcessCrashed`.
+        :class:`ProcessCrashed`.  All events sharing one timestamp drain in a
+        micro-batch: the ``until`` bound and the clock are touched once per
+        distinct instant, and events scheduled *at* the current instant by a
+        firing event join the same batch (in seq order, preserving the FIFO
+        tie-break).
         """
-        while self._queue:
-            if until is not None and self._queue[0].time > until:
+        queue = self._queue
+        step = self._step
+        while queue:
+            now = queue[0][0]
+            if until is not None and now > until:
                 self._now = until
-                break
-            entry = heapq.heappop(self._queue)
-            self._now = entry.time
-            entry.action()
-            if self._crashed is not None:
-                crash = self._crashed
-                self._crashed = None
-                raise crash
-        else:
-            if until is not None and until > self._now:
-                self._now = until
+                return until
+            self._now = now
+            while queue and queue[0][0] == now:
+                _, _, kind, obj, arg = heappop(queue)
+                if kind == _KIND_STEP:
+                    step(obj, arg)
+                else:
+                    obj()
+                if self._crashed is not None:
+                    crash = self._crashed
+                    self._crashed = None
+                    raise crash
+        if until is not None and until > self._now:
+            self._now = until
         return self._now
 
     def run_all(self, processes: Iterable[Generator], names: Iterable[str] | None = None) -> float:
@@ -258,16 +298,24 @@ class Simulator:
         if delay < 0:
             raise SimulationError(f"negative delay: {delay}")
         self._seq += 1
-        heapq.heappush(self._queue, _QueueEntry(self._now + delay, self._seq, action))
+        heappush(self._queue, (self._now + delay, self._seq, _KIND_CALL, action, None))
+
+    def _schedule_step(self, proc: Process, value: Any, delay: float = 0.0) -> None:
+        if delay < 0:
+            raise SimulationError(f"negative delay: {delay}")
+        self._seq += 1
+        heappush(self._queue, (self._now + delay, self._seq, _KIND_STEP, proc, value))
 
     def _schedule_resume(self, proc: Process, value: Any) -> None:
-        self._schedule(0.0, lambda: self._step(proc, value))
+        # resume at the current instant: no delay to validate, push directly
+        self._seq += 1
+        heappush(self._queue, (self._now, self._seq, _KIND_STEP, proc, value))
 
     def _step(self, proc: Process, send_value: Any) -> None:
         if proc.done:
             return
         try:
-            yielded = proc.generator.send(send_value)
+            yielded = proc._send(send_value)
         except StopIteration as stop:
             proc.done = True
             proc.result = stop.value
@@ -280,8 +328,21 @@ class Simulator:
             self._crashed = ProcessCrashed(proc, exc)
             return
 
-        if isinstance(yielded, Timeout):
-            self._schedule(yielded.delay, lambda: self._step(proc, None))
+        # exact-type dispatch first (no kernel class is subclassed); the
+        # isinstance chain below stays as the general fallback
+        cls = yielded.__class__
+        if cls is Timeout:
+            # Timeout validated its delay at construction: push directly
+            self._seq += 1
+            heappush(self._queue, (self._now + yielded.delay, self._seq, _KIND_STEP, proc, None))
+        elif cls is ChannelGet:
+            yielded.channel._register(proc)
+        elif cls is Signal:
+            yielded._add_waiter(proc)
+        elif cls is Process:
+            yielded.completion._add_waiter(proc)
+        elif isinstance(yielded, Timeout):
+            self._schedule_step(proc, None, yielded.delay)
         elif isinstance(yielded, Signal):
             yielded._add_waiter(proc)
         elif isinstance(yielded, ChannelGet):
@@ -289,7 +350,7 @@ class Simulator:
         elif isinstance(yielded, Process):
             yielded.completion._add_waiter(proc)
         elif isinstance(yielded, (int, float)):
-            self._schedule(float(yielded), lambda: self._step(proc, None))
+            self._schedule_step(proc, None, float(yielded))
         else:
             proc.done = True
             err = SimulationError(f"process {proc.name!r} yielded unsupported {yielded!r}")

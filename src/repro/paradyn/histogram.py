@@ -46,6 +46,26 @@ class TimeHistogram:
         self.bucket_width *= 2
         self.folds += 1
 
+    def _accrue(self, t0: float, t1: float, delta: float) -> None:
+        """Spread ``delta`` over [t0, t1); caller guarantees t1 <= capacity."""
+        span = t1 - t0
+        rate = delta / span if span > 0 else float("inf")
+        num_buckets = self.num_buckets
+        width = self.bucket_width
+        buckets = self.buckets
+        if span <= 0 or not math.isfinite(rate):
+            # empty or subnormally-thin interval: treat as a point sample so
+            # the rate arithmetic can't overflow
+            buckets[min(num_buckets - 1, int(t0 / width))] += delta
+            return
+        first = int(t0 / width)
+        last = min(num_buckets - 1, int(t1 / width))
+        for i in range(first, last + 1):
+            lo = t0 if t0 > i * width else i * width
+            hi = t1 if t1 < (i + 1) * width else (i + 1) * width
+            if hi > lo:
+                buckets[i] += rate * (hi - lo)
+
     def add(self, t0: float, t1: float, delta: float) -> None:
         """Accrue ``delta`` of the metric uniformly over [t0, t1)."""
         if t1 < t0:
@@ -54,36 +74,62 @@ class TimeHistogram:
             raise ValueError("negative metric delta")
         while t1 > self.capacity:
             self._fold()
-        span = t1 - t0
-        rate = delta / span if span > 0 else float("inf")
-        if span <= 0 or not math.isfinite(rate):
-            # empty or subnormally-thin interval: treat as a point sample so
-            # the rate arithmetic can't overflow
-            idx = min(self.num_buckets - 1, int(t0 / self.bucket_width))
-            self.buckets[idx] += delta
+        self._accrue(t0, t1, delta)
+
+    def add_many(self, samples) -> None:
+        """Accrue a batch of ``(t0, t1, delta)`` triples.
+
+        Equivalent to ``add`` per triple but amortized: the whole batch is
+        validated up front (so a bad triple mutates nothing), the fold loop
+        runs once against the batch's maximum end time instead of per
+        sample, and the accrual loop binds bucket state once.  This is the
+        metric-ingest hot path: the sampler hands over whole windows of
+        deltas instead of crossing the method per sample.
+        """
+        batch = [s for s in samples]
+        if not batch:
             return
-        first = int(t0 / self.bucket_width)
-        last = min(self.num_buckets - 1, int(t1 / self.bucket_width))
-        for i in range(first, last + 1):
-            lo = max(t0, i * self.bucket_width)
-            hi = min(t1, (i + 1) * self.bucket_width)
-            if hi > lo:
-                self.buckets[i] += rate * (hi - lo)
+        max_t1 = 0.0
+        for t0, t1, delta in batch:
+            if t1 < t0:
+                raise ValueError("interval ends before it starts")
+            if delta < 0:
+                raise ValueError("negative metric delta")
+            if t1 > max_t1:
+                max_t1 = t1
+        while max_t1 > self.capacity:
+            self._fold()
+        accrue = self._accrue
+        for t0, t1, delta in batch:
+            accrue(t0, t1, delta)
 
     def total(self) -> float:
         return sum(self.buckets)
 
     def series(self) -> list[tuple[float, float]]:
-        """(bucket midpoint time, value) pairs, for the time plots."""
+        """(bucket midpoint time, value) pairs, for the time plots.
+
+        Midpoints always use the *current* (post-fold) ``bucket_width``:
+        after ``folds`` folds each bucket spans ``initial_width * 2**folds``
+        seconds, and the last midpoint sits at ``capacity - width / 2``.
+        """
         return [
             ((i + 0.5) * self.bucket_width, v) for i, v in enumerate(self.buckets)
         ]
 
     def value_at(self, t: float) -> float:
-        """Value of the bucket containing time ``t``."""
+        """Value of the bucket containing time ``t``.
+
+        The histogram covers the half-open interval ``[0, capacity)``:
+        ``t == capacity`` is out of range (IndexError) exactly as any
+        ``t >= capacity`` is, while any ``t < capacity`` -- including times
+        that were folded into wider buckets -- resolves to a bucket.  The
+        index is clamped so float division at the top boundary can never
+        round up past the last bucket.
+        """
         if not 0 <= t < self.capacity:
             raise IndexError(f"time {t} outside histogram capacity {self.capacity}")
-        return self.buckets[int(t / self.bucket_width)]
+        return self.buckets[min(self.num_buckets - 1, int(t / self.bucket_width))]
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return (

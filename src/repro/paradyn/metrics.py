@@ -58,14 +58,33 @@ class Focus:
 
 @dataclass
 class MetricInstance:
-    """One requested metric x focus, streaming samples while enabled."""
+    """One requested metric x focus, streaming samples while enabled.
+
+    Histogram ingest is batched: deltas buffer in ``_pending`` and fold into
+    the histogram through :meth:`TimeHistogram.add_many` once per flush
+    window instead of once per sample.  Reading :attr:`histogram` flushes
+    first, so consumers never observe a partial view.
+    """
 
     compiled: CompiledMetric
     focus: Focus
     units: str
     samples: list[tuple[float, float]] = field(default_factory=list)
-    histogram: TimeHistogram = field(default_factory=TimeHistogram)
+    _histogram: TimeHistogram = field(default_factory=TimeHistogram)
     _last_sample: tuple[float, float] = (0.0, 0.0)
+    _pending: list[tuple[float, float, float]] = field(default_factory=list)
+
+    @property
+    def histogram(self) -> TimeHistogram:
+        """The folding histogram, with any buffered deltas applied."""
+        self.flush_histogram()
+        return self._histogram
+
+    def flush_histogram(self) -> None:
+        """Drain buffered ``(t0, t1, delta)`` triples into the histogram."""
+        if self._pending:
+            self._histogram.add_many(self._pending)
+            self._pending.clear()
 
     @property
     def name(self) -> str:
@@ -142,6 +161,7 @@ class MetricManager:
         reference-counted back off.
         """
         instance.compiled.remove()
+        instance.flush_histogram()
         if self.lazy_sites and self.notifier is not None and instance.focus.array is not None:
             self._release_site(f"array.{instance.focus.array}")
 
@@ -190,8 +210,12 @@ class MetricManager:
         self.sample_interval = interval
         self.runtime.machine.sim.spawn(self._sampler(interval), "paradyn-sampler")
 
+    #: buffered histogram deltas flush every this many samples per instance
+    FLUSH_BATCH = 64
+
     def _sampler(self, interval: float):
         sim = self.runtime.machine.sim
+        flush_batch = self.FLUSH_BATCH
 
         def take(now: float) -> None:
             for inst in self.instances:
@@ -200,14 +224,18 @@ class MetricManager:
                 value = inst.value()
                 inst.samples.append((now, value))
                 last_t, last_v = inst._last_sample
-                if value > last_v:  # accrue the delta into the histogram
-                    inst.histogram.add(last_t, now, value - last_v)
+                if value > last_v:  # buffer the delta for batched ingest
+                    inst._pending.append((last_t, now, value - last_v))
+                    if len(inst._pending) >= flush_batch:
+                        inst.flush_histogram()
                 inst._last_sample = (now, value)
 
         while not self.runtime.done:
             yield interval
             take(sim.now)
         take(sim.now)
+        for inst in self.instances:
+            inst.flush_histogram()
 
     # ------------------------------------------------------------------
     def table(self) -> list[tuple[str, str, float, str]]:

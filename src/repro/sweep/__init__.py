@@ -1,0 +1,29 @@
+"""Deterministic process-parallel parameter sweeps.
+
+The reproduction's methodology (after the paper's own) is repeated
+instrumented runs over configuration grids.  This package fans those runs
+across a ``multiprocessing`` pool while guaranteeing the merged output is
+byte-identical to a serial run: per-task seeds, ordered merges, and
+crash surfacing -- see :mod:`repro.sweep.runner`.  Study adapters for the
+dbsim / unixsim / kernel grids live in :mod:`repro.sweep.studies`; the
+``python -m repro sweep`` subcommand and the abl8 bench drive them.
+"""
+
+from .runner import SweepResult, SweepRunner, SweepTask, SweepWorkerError, fingerprint
+from .studies import STUDIES, build_grid, db_grid, db_task, kernel_grid, kernel_task, unix_grid, unix_task
+
+__all__ = [
+    "STUDIES",
+    "SweepResult",
+    "SweepRunner",
+    "SweepTask",
+    "SweepWorkerError",
+    "build_grid",
+    "db_grid",
+    "db_task",
+    "fingerprint",
+    "kernel_grid",
+    "kernel_task",
+    "unix_grid",
+    "unix_task",
+]

@@ -1,0 +1,169 @@
+"""Process-parallel parameter sweeps with a hard determinism guarantee.
+
+Every figure and ablation in this reproduction is built from repeated
+instrumented runs over a grid of configurations (number of clients, query
+mixes, fault plans, kernel scales...).  The simulation kernel is a pure
+function of its inputs, so those runs are embarrassingly parallel -- but
+only if the harness around them is careful:
+
+* each task gets its *own* seed, applied identically whether the task runs
+  in-process or in a worker, so no task ever observes another task's RNG
+  draws;
+* results merge back **in task order**, never in completion order;
+* a worker crash surfaces as :class:`SweepWorkerError` carrying the remote
+  traceback instead of a bare ``Pool`` hang or a half-filled result list.
+
+Under those rules the parallel run's output is byte-identical to the serial
+run's -- :func:`fingerprint` hashes a result list so callers (the abl8
+bench, the ``sweep --verify`` CLI) can assert it.
+
+Tasks must be picklable: ``fn`` is a module-level callable and every
+argument a plain value.  The study adapters in
+:mod:`repro.sweep.studies` satisfy this for the dbsim / unixsim / kernel
+grids.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import multiprocessing
+import os
+import random
+import traceback
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterable, Mapping, Sequence
+
+__all__ = [
+    "SweepTask",
+    "SweepResult",
+    "SweepRunner",
+    "SweepWorkerError",
+    "fingerprint",
+]
+
+
+@dataclass(frozen=True)
+class SweepTask:
+    """One independent configuration to run.
+
+    ``fn`` must be picklable (a module-level callable); ``seed`` -- when not
+    ``None`` -- is applied to the global RNGs just before ``fn`` runs, in
+    the worker and in the serial path alike.
+    """
+
+    key: str
+    fn: Callable[..., Any]
+    args: tuple = ()
+    kwargs: Mapping[str, Any] = field(default_factory=dict)
+    seed: int | None = None
+
+
+@dataclass(frozen=True)
+class SweepResult:
+    """The outcome of one task: deliberately excludes wall-clock/worker
+    identity so serial and parallel runs compare byte-identical."""
+
+    key: str
+    value: Any
+    seed: int | None = None
+
+
+class SweepWorkerError(RuntimeError):
+    """A task raised inside a worker; carries the remote traceback."""
+
+    def __init__(self, key: str, message: str, remote_traceback: str = ""):
+        super().__init__(f"sweep task {key!r} failed: {message}")
+        self.key = key
+        self.remote_traceback = remote_traceback
+
+
+def _seed_rngs(seed: int | None) -> None:
+    if seed is None:
+        return
+    random.seed(seed)
+    try:  # numpy is an optional consumer of task seeds
+        import numpy as np
+
+        np.random.seed(seed % 2**32)
+    except ImportError:  # pragma: no cover - numpy ships with the repo
+        pass
+
+
+def _execute(task: SweepTask) -> SweepResult:
+    """Run one task (shared by the serial path and the workers)."""
+    _seed_rngs(task.seed)
+    value = task.fn(*task.args, **dict(task.kwargs))
+    return SweepResult(task.key, value, task.seed)
+
+
+def _worker(task: SweepTask) -> tuple[str, bool, Any]:
+    """Pool entry point: never raises, so crashes surface with tracebacks."""
+    try:
+        return (task.key, True, _execute(task))
+    except Exception as exc:  # noqa: BLE001 - re-raised as SweepWorkerError
+        return (task.key, False, (repr(exc), traceback.format_exc()))
+
+
+def fingerprint(results: Iterable[SweepResult]) -> str:
+    """Order-sensitive digest of a result list.
+
+    Serial and parallel runs of the same tasks must produce the same
+    fingerprint -- this is the determinism guarantee made checkable.
+    """
+    h = hashlib.sha256()
+    for r in results:
+        h.update(repr((r.key, r.seed, r.value)).encode("utf-8"))
+    return h.hexdigest()
+
+
+class SweepRunner:
+    """Fans independent tasks across a ``multiprocessing`` pool.
+
+    ``workers=1`` (or a single task) short-circuits to the in-process
+    serial path, which is also what :meth:`run_serial` exposes directly;
+    both paths execute tasks through the same :func:`_execute`, so the only
+    difference between them is *where* a task runs.
+    """
+
+    def __init__(self, workers: int | None = None, mp_context: str | None = None):
+        self.workers = workers if workers is not None else (os.cpu_count() or 1)
+        if self.workers < 1:
+            raise ValueError("need at least one worker")
+        if mp_context is None:
+            mp_context = "fork" if "fork" in multiprocessing.get_all_start_methods() else "spawn"
+        self.mp_context = mp_context
+
+    # ------------------------------------------------------------------
+    def run_serial(self, tasks: Sequence[SweepTask]) -> list[SweepResult]:
+        """Run every task in-process, in order."""
+        self._check_keys(tasks)
+        return [_execute(task) for task in tasks]
+
+    def run(self, tasks: Sequence[SweepTask], parallel: bool = True) -> list[SweepResult]:
+        """Run the grid; results come back in task order regardless of
+        which worker finished first."""
+        tasks = list(tasks)
+        self._check_keys(tasks)
+        if not parallel or self.workers == 1 or len(tasks) <= 1:
+            return [_execute(task) for task in tasks]
+        ctx = multiprocessing.get_context(self.mp_context)
+        results: list[SweepResult] = []
+        with ctx.Pool(processes=min(self.workers, len(tasks))) as pool:
+            # imap (not imap_unordered): completion order may vary, merge
+            # order may not.  chunksize=1 keeps long tasks load-balanced.
+            for key, ok, payload in pool.imap(_worker, tasks, chunksize=1):
+                if not ok:
+                    message, remote_tb = payload
+                    pool.terminate()
+                    raise SweepWorkerError(key, message, remote_tb)
+                results.append(payload)
+        return results
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _check_keys(tasks: Sequence[SweepTask]) -> None:
+        seen: set[str] = set()
+        for task in tasks:
+            if task.key in seen:
+                raise ValueError(f"duplicate sweep task key {task.key!r}")
+            seen.add(task.key)

@@ -1,0 +1,236 @@
+"""Picklable sweep adapters for the repository's studies.
+
+Each ``*_task`` function runs one configuration of a study and returns a
+plain-data summary (dicts / lists / numbers / strings only), so results
+pickle cleanly across the worker pool, ``repr`` deterministically for
+:func:`repro.sweep.runner.fingerprint`, and dump straight to JSON.
+
+Crucially the summaries include the *observable dynamic record* of each run
+-- final virtual times, metric counters, and SAS transition logs -- not just
+scalar outputs, so the serial-vs-parallel differential has teeth: a sweep
+that perturbed event ordering anywhere would change a transition log and
+break the fingerprint.
+
+Each ``*_grid`` builder expands option tuples into an ordered
+:class:`~repro.sweep.runner.SweepTask` list; :func:`build_grid` is the
+string-keyed dispatcher the CLI uses.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Any, Sequence
+
+from ..dbsim import FaultPlan, Query, run_db_study
+from ..machine.sim import Simulator, Timeout
+from ..unixsim import FunctionSpec, run_figure7_study
+from .runner import SweepTask
+
+__all__ = [
+    "db_task",
+    "db_grid",
+    "unix_task",
+    "unix_grid",
+    "kernel_task",
+    "kernel_grid",
+    "build_grid",
+    "STUDIES",
+]
+
+
+# ----------------------------------------------------------------------
+# dbsim: the abl4 client/server grid
+# ----------------------------------------------------------------------
+def db_task(
+    num_clients: int = 1,
+    num_queries: int = 3,
+    transport: str = "bus",
+    think_time: float = 2e-4,
+    fault_seed: int | None = None,
+) -> dict[str, Any]:
+    """One ``run_db_study`` configuration, summarized as plain data."""
+    queries = [Query(f"Q{i}", disk_reads=(i % 4) + 1) for i in range(num_queries)]
+    fault_plan = None
+    if fault_seed is not None:
+        fault_plan = FaultPlan(drop=0.1, duplicate=0.05, delay=0.2, seed=fault_seed)
+    outcome = run_db_study(
+        queries,
+        num_clients=num_clients,
+        transport=transport,
+        think_time=think_time,
+        fault_plan=fault_plan,
+    )
+    return {
+        "config": {
+            "num_clients": num_clients,
+            "num_queries": num_queries,
+            "transport": transport,
+            "fault_seed": fault_seed,
+        },
+        "elapsed": outcome.elapsed,
+        "ground_truth": dict(sorted(outcome.ground_truth.items())),
+        "measured": dict(sorted(outcome.measured.items())),
+        "forwarded_messages": outcome.forwarded_messages,
+        "network_messages": outcome.network_messages,
+        "client_notifications": outcome.client_sas_notifications,
+        "server_notifications": outcome.server_sas_notifications,
+        "bus_stats": dict(sorted(outcome.bus_stats.items())),
+    }
+
+
+def db_grid(
+    clients: Sequence[int] = (1, 2, 4),
+    queries: Sequence[int] = (1, 3, 6),
+    transports: Sequence[str] = ("bus",),
+    fault_seeds: Sequence[int | None] = (None,),
+) -> list[SweepTask]:
+    return [
+        SweepTask(
+            key=f"db/c{c}q{q}-{t}" + (f"-f{s}" if s is not None else ""),
+            fn=db_task,
+            kwargs={
+                "num_clients": c,
+                "num_queries": q,
+                "transport": t,
+                "fault_seed": s,
+            },
+        )
+        for c in clients
+        for q in queries
+        for t in transports
+        for s in fault_seeds
+    ]
+
+
+# ----------------------------------------------------------------------
+# unixsim: the Figure-7 attribution grid
+# ----------------------------------------------------------------------
+def unix_task(
+    writes: Sequence[int] = (2, 1, 0),
+    compute_time: float = 4e-4,
+    causal: bool = True,
+) -> dict[str, Any]:
+    """One ``run_figure7_study`` configuration, transition log included."""
+    script = [
+        FunctionSpec(f"f{i}", writes=w, compute_time=compute_time)
+        for i, w in enumerate(writes)
+    ]
+    script.append(FunctionSpec("idle_tail", writes=0, compute_time=2e-2))
+    outcome = run_figure7_study(script, causal=causal)
+    transitions = [
+        (round(e.time, 12), e.kind.value, str(e.sentence), e.node_id)
+        for e in outcome.trace
+    ]
+    return {
+        "config": {"writes": list(writes), "causal": causal},
+        "elapsed": outcome.elapsed,
+        "ground_truth": dict(sorted(outcome.ground_truth.items())),
+        "sas_attributed": dict(sorted(outcome.sas_attributed.items())),
+        "causal_attributed": dict(sorted(outcome.causal_attributed.items())),
+        "unattributed_sas": outcome.unattributed_sas,
+        "transitions": transitions,
+    }
+
+
+def unix_grid(
+    write_mixes: Sequence[Sequence[int]] = ((2, 1, 0), (3, 3, 1), (1, 0, 4)),
+    causal_options: Sequence[bool] = (True, False),
+) -> list[SweepTask]:
+    return [
+        SweepTask(
+            key=f"unix/w{'-'.join(map(str, mix))}-{'causal' if c else 'sas'}",
+            fn=unix_task,
+            kwargs={"writes": tuple(mix), "causal": c},
+        )
+        for mix in write_mixes
+        for c in causal_options
+    ]
+
+
+# ----------------------------------------------------------------------
+# machine: the sharded abl4-shaped kernel workload
+# ----------------------------------------------------------------------
+def kernel_task(
+    clients: int = 128,
+    shards: int = 32,
+    queries: int = 6,
+    reads: int = 3,
+    read_time: float = 5e-5,
+    seed: int = 0,
+) -> dict[str, Any]:
+    """Run the abl4-shaped workload on the event kernel; log its behaviour.
+
+    Think times are drawn from ``random.Random(seed)`` per client (exercising
+    the per-task seeding path), and the returned summary pins both the final
+    clock and an ordered sample of the event log.
+    """
+    rng = random.Random(seed)
+    thinks = [rng.uniform(1e-4, 3e-4) for _ in range(clients)]
+    sim = Simulator()
+    reqs = [sim.channel(f"req{s}") for s in range(shards)]
+    replies = [sim.channel(f"rep{c}") for c in range(clients)]
+    log: list[tuple[float, str]] = []
+    per_shard = clients // shards
+
+    def server(s: int):
+        for _ in range(per_shard * queries):
+            c, q = yield reqs[s].get()
+            for _ in range(reads):
+                yield Timeout(read_time)
+            log.append((sim.now, f"served c{c} q{q}"))
+            replies[c].put(q)
+
+    def client(c: int):
+        for q in range(queries):
+            yield Timeout(thinks[c])
+            reqs[c % shards].put((c, q))
+            yield replies[c].get()
+
+    for s in range(shards):
+        sim.spawn(server(s), f"db-server{s}")
+    for c in range(clients):
+        sim.spawn(client(c), f"db-client{c}")
+    sim.run()
+    return {
+        "config": {"clients": clients, "shards": shards, "queries": queries, "seed": seed},
+        "final_time": sim.now,
+        "events": sim._seq,
+        "served": len(log),
+        "log_head": [(round(t, 12), what) for t, what in log[:50]],
+        "log_tail": [(round(t, 12), what) for t, what in log[-50:]],
+    }
+
+
+def kernel_grid(
+    scales: Sequence[tuple[int, int]] = ((64, 16), (128, 32), (256, 64)),
+    queries: Sequence[int] = (6,),
+    seeds: Sequence[int] = (0, 1),
+) -> list[SweepTask]:
+    return [
+        SweepTask(
+            key=f"kernel/c{c}s{s}q{q}-seed{seed}",
+            fn=kernel_task,
+            kwargs={"clients": c, "shards": s, "queries": q, "seed": seed},
+            seed=seed,
+        )
+        for (c, s) in scales
+        for q in queries
+        for seed in seeds
+    ]
+
+
+# ----------------------------------------------------------------------
+# dispatcher
+# ----------------------------------------------------------------------
+STUDIES = {"db": db_grid, "unix": unix_grid, "kernel": kernel_grid}
+
+
+def build_grid(study: str, **options: Any) -> list[SweepTask]:
+    """Expand the named study's grid; unknown names raise ``KeyError``."""
+    try:
+        builder = STUDIES[study]
+    except KeyError:
+        raise KeyError(
+            f"unknown study {study!r}; choose from {sorted(STUDIES)}"
+        ) from None
+    return builder(**options)

@@ -1,0 +1,156 @@
+"""Edge semantics of the tuple-based event kernel.
+
+Pins the behaviours the kernel rewrite must not move: `call_at` past-time
+rejection, `run(until=...)` clock advance with empty vs non-empty queues,
+and the same-time FIFO tie-break (the property PR 2's forwarding-bus tests
+lean on for same-instant activate -> deactivate pairs).
+"""
+
+import pytest
+
+from repro.machine import SimulationError, Simulator, Timeout
+from repro.machine.sim import ProcessCrashed
+
+
+class TestCallAt:
+    def test_past_time_rejected(self):
+        sim = Simulator()
+
+        def advance():
+            yield Timeout(5.0)
+
+        sim.spawn(advance(), "a")
+        sim.run()
+        assert sim.now == 5.0
+        with pytest.raises(SimulationError):
+            sim.call_at(4.9, lambda: None)
+
+    def test_exactly_now_is_allowed(self):
+        """[now, inf) is schedulable: the boundary t == now is *not* past."""
+        sim = Simulator()
+
+        def advance():
+            yield Timeout(2.0)
+
+        sim.spawn(advance(), "a")
+        sim.run()
+        fired = []
+        sim.call_at(2.0, lambda: fired.append(sim.now))
+        sim.run()
+        assert fired == [2.0]
+
+
+class TestRunUntil:
+    def test_empty_queue_advances_clock(self):
+        sim = Simulator()
+        assert sim.run(until=3.0) == 3.0
+        assert sim.now == 3.0
+
+    def test_empty_queue_never_rewinds_clock(self):
+        sim = Simulator()
+        sim.run(until=3.0)
+        assert sim.run(until=2.0) == 3.0
+
+    def test_nonempty_queue_stops_before_future_event(self):
+        sim = Simulator()
+        fired = []
+        sim.call_at(5.0, lambda: fired.append(sim.now))
+        assert sim.run(until=4.0) == 4.0
+        assert fired == []
+        # resuming without a bound executes the pending event
+        assert sim.run() == 5.0
+        assert fired == [5.0]
+
+    def test_event_exactly_at_until_fires(self):
+        """The bound is inclusive: only events strictly beyond it wait."""
+        sim = Simulator()
+        fired = []
+        sim.call_at(5.0, lambda: fired.append("at"))
+        assert sim.run(until=5.0) == 5.0
+        assert fired == ["at"]
+
+    def test_queue_drained_clock_advances_past_last_event(self):
+        sim = Simulator()
+        sim.call_at(1.0, lambda: None)
+        assert sim.run(until=10.0) == 10.0
+
+
+class TestSameTimeFifo:
+    def test_mixed_kinds_fire_in_schedule_order(self):
+        """Callbacks (kind CALL) and process steps (kind STEP) scheduled at
+        one instant interleave strictly by sequence number -- the global
+        FIFO tie-break, regardless of event kind."""
+        sim = Simulator()
+        order = []
+
+        def one_shot(tag):
+            order.append(tag)
+            return
+            yield  # pragma: no cover
+
+        def setup():
+            yield Timeout(1.0)
+            sim.call_at(1.0, lambda: order.append("cb0"))
+            sim.spawn(one_shot("p0"), "p0")
+            sim.call_at(1.0, lambda: order.append("cb1"))
+            sim.spawn(one_shot("p1"), "p1")
+
+        sim.spawn(setup(), "setup")
+        sim.run()
+        assert order == ["cb0", "p0", "cb1", "p1"]
+
+    def test_forwarded_pair_regression(self):
+        """PR 2's tie-break trace, replayed on the tuple kernel: a
+        same-instant activate -> deactivate pair forwarded as two
+        zero-delay callbacks must arrive in order, leaving the replica
+        inactive (not stuck active)."""
+        sim = Simulator()
+        replica = []
+
+        def forward(change):
+            sim.call_at(sim.now, lambda: replica.append(change))
+
+        def client():
+            yield Timeout(1.0)
+            forward(("Q1", True))
+            forward(("Q1", False))
+
+        sim.spawn(client(), "client")
+        sim.run()
+        assert replica == [("Q1", True), ("Q1", False)]
+        active = {name for name, on in replica if on} - {
+            name for name, on in replica if not on
+        }
+        assert active == set()
+
+    def test_batch_drain_admits_events_scheduled_at_current_instant(self):
+        """An event firing at t may schedule more work at t; the same-time
+        drain must pick it up in seq order within the same batch."""
+        sim = Simulator()
+        order = []
+
+        def chain():
+            order.append("first")
+            sim.call_at(1.0, lambda: order.append("chained"))
+
+        sim.call_at(1.0, chain)
+        sim.call_at(1.0, lambda: order.append("second"))
+        sim.run()
+        assert order == ["first", "second", "chained"]
+
+    def test_crash_mid_batch_preserves_rest_of_queue(self):
+        sim = Simulator()
+        fired = []
+
+        def bad():
+            raise RuntimeError("boom")
+            yield  # pragma: no cover
+
+        sim.call_at(0.0, lambda: fired.append("before"))
+        sim.spawn(bad(), "bad")
+        sim.call_at(0.0, lambda: fired.append("after"))
+        with pytest.raises(ProcessCrashed):
+            sim.run()
+        assert fired == ["before"]
+        sim.run()
+        assert fired == ["before", "after"]

@@ -70,3 +70,58 @@ def test_metric_instances_accrue_into_histograms():
     tool.run()
     assert inst.histogram.total() == pytest.approx(inst.value(), rel=0.05)
     assert any(v > 0 for _, v in inst.histogram.series())
+
+
+def test_value_at_capacity_boundary_after_folds():
+    """The interval is half-open: t == capacity raises even after folds,
+    while t just below capacity resolves to the last bucket (the clamp
+    guards against float division rounding up past it)."""
+    h = TimeHistogram(4, 1.0)
+    h.add(0.0, 8.0, 8.0)  # one fold: width 2.0, capacity 8.0
+    assert h.folds == 1
+    with pytest.raises(IndexError):
+        h.value_at(h.capacity)
+    with pytest.raises(IndexError):
+        h.value_at(-0.1)
+    just_below = h.capacity - 1e-12
+    assert h.value_at(just_below) == pytest.approx(h.buckets[-1])
+
+
+def test_series_midpoints_use_post_fold_width():
+    h = TimeHistogram(4, 1.0)
+    h.add(0.0, 8.0, 8.0)
+    times = [t for t, _ in h.series()]
+    assert times == pytest.approx([1.0, 3.0, 5.0, 7.0])
+    assert times[-1] == pytest.approx(h.capacity - h.bucket_width / 2)
+
+
+def test_add_many_matches_repeated_add():
+    samples = [(0.0, 1.0, 2.0), (0.5, 2.5, 4.0), (3.0, 3.0, 1.0), (2.0, 9.0, 7.0)]
+    one = TimeHistogram(4, 1.0)
+    for s in samples:
+        one.add(*s)
+    many = TimeHistogram(4, 1.0)
+    many.add_many(samples)  # batch crosses a fold (t1 = 9 > capacity 4)
+    assert many.folds == one.folds
+    assert many.bucket_width == one.bucket_width
+    assert many.buckets == pytest.approx(one.buckets)
+
+
+def test_add_many_empty_batch_is_a_noop():
+    h = TimeHistogram(4, 1.0)
+    h.add_many([])
+    h.add_many(iter(()))
+    assert h.total() == 0.0
+    assert h.folds == 0
+
+
+def test_add_many_validates_before_mutating():
+    h = TimeHistogram(4, 1.0)
+    h.add(0.0, 1.0, 1.0)
+    before = list(h.buckets)
+    with pytest.raises(ValueError):
+        h.add_many([(0.0, 1.0, 1.0), (2.0, 1.0, 1.0)])  # second triple bad
+    with pytest.raises(ValueError):
+        h.add_many([(0.0, 20.0, 1.0), (0.0, 1.0, -1.0)])  # no fold either
+    assert h.buckets == before
+    assert h.folds == 0

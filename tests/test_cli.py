@@ -123,3 +123,40 @@ def test_module_entry_point_subprocess():
     )
     assert proc.returncode == 0
     assert "summation_time" in proc.stdout
+
+
+def test_sweep_db_with_verify(capsys):
+    rc = main(
+        [
+            "sweep", "db",
+            "--clients", "1,2",
+            "--queries", "1,3",
+            "--workers", "2",
+            "--verify",
+        ]
+    )
+    out = capsys.readouterr().out
+    assert rc == 0
+    assert "4 configurations" in out
+    assert "db/c1q1-bus" in out
+    assert "byte-identical" in out
+
+
+def test_sweep_kernel_json_output(tmp_path, capsys):
+    dest = tmp_path / "sweep.json"
+    rc = main(
+        [
+            "sweep", "kernel",
+            "--scales", "16:4",
+            "--seeds", "0,1",
+            "--serial",
+            "--json", str(dest),
+        ]
+    )
+    assert rc == 0
+    assert "serial" in capsys.readouterr().out
+    import json
+
+    rows = json.loads(dest.read_text())
+    assert [r["key"] for r in rows] == ["kernel/c16s4q6-seed0", "kernel/c16s4q6-seed1"]
+    assert all(r["value"]["served"] == 16 * 6 for r in rows)
