@@ -9,6 +9,8 @@ Usage::
     python -m repro consultant heat.cmf --nodes 8
     python -m repro metrics
     python -m repro sweep db --clients 1,2,4 --queries 1,3,6 --workers 4 --verify
+    python -m repro trace record db --out run.rtrc --clients 2
+    python -m repro trace query run.rtrc --pattern "{Q0 QueryActive}" --mappings
 """
 
 from __future__ import annotations
@@ -93,6 +95,73 @@ def build_parser() -> argparse.ArgumentParser:
         "--scales", default="", help="kernel: comma list of clients:shards pairs"
     )
     p_sweep.add_argument("--seeds", default="", help="kernel: comma list of seeds")
+    p_sweep.add_argument(
+        "--capture",
+        metavar="DIR",
+        help="db/unix: record each task's run to DIR/<key>.rtrc and fold the "
+        "trace sha256 into the verified fingerprint",
+    )
+
+    p_trace = sub.add_parser(
+        "trace", help="record .rtrc trace files and analyze them post-mortem"
+    )
+    tsub = p_trace.add_subparsers(dest="trace_command", required=True)
+
+    t_record = tsub.add_parser("record", help="run a study, persisting its trace")
+    t_record.add_argument("study", choices=("db", "unix"))
+    t_record.add_argument("--out", required=True, metavar="FILE.rtrc")
+    t_record.add_argument("--clients", type=int, default=2, help="db: client count")
+    t_record.add_argument("--queries", type=int, default=3, help="db: query count")
+    t_record.add_argument("--transport", choices=("bus", "naive"), default="bus")
+    t_record.add_argument(
+        "--writes", default="2,1,0", help="unix: comma list of per-function write counts"
+    )
+    t_record.add_argument(
+        "--no-causal", action="store_true", help="unix: disable causal write tags"
+    )
+    t_record.add_argument(
+        "--snapshot-every", type=int, default=1024, help="SAS snapshot frame cadence"
+    )
+
+    t_info = tsub.add_parser("info", help="summarize a trace file")
+    t_info.add_argument("file")
+    t_info.add_argument("--json", action="store_true")
+
+    t_query = tsub.add_parser(
+        "query", help="evaluate questions / windowed mappings retrospectively"
+    )
+    t_query.add_argument("file")
+    t_query.add_argument(
+        "--pattern",
+        action="append",
+        default=[],
+        metavar='"{A Sum}[@Level]"',
+        help="sentence pattern; repeat to build a conjunction question",
+    )
+    t_query.add_argument(
+        "--ordered",
+        action="store_true",
+        help="require component activation times non-decreasing in pattern order",
+    )
+    t_query.add_argument("--node", type=int, default=None, help="restrict to one node")
+    t_query.add_argument(
+        "--window", type=float, default=0.0, help="lag window (seconds) for --mappings"
+    )
+    t_query.add_argument(
+        "--mappings", action="store_true", help="report lag-windowed dynamic mappings"
+    )
+    t_query.add_argument(
+        "--stats", action="store_true", help="per-sentence activation statistics"
+    )
+    t_query.add_argument("--json", action="store_true")
+
+    t_diff = tsub.add_parser("diff", help="compare two traces per sentence and level")
+    t_diff.add_argument("file_a")
+    t_diff.add_argument("file_b")
+    t_diff.add_argument(
+        "--tolerance", type=float, default=0.0, help="active-time delta to ignore"
+    )
+    t_diff.add_argument("--json", action="store_true")
 
     p_fuzz = sub.add_parser(
         "fuzz", help="differential-test random programs against the oracle"
@@ -243,6 +312,10 @@ def _cmd_sweep(args) -> int:
             )
         if args.seeds:
             options["seeds"] = ints(args.seeds)
+    if args.capture:
+        if args.study == "kernel":
+            raise SystemExit("--capture needs a SAS-bearing study (db or unix)")
+        options["capture_dir"] = args.capture
     tasks = build_grid(args.study, **options)
 
     runner = SweepRunner(workers=1 if args.serial else args.workers)
@@ -303,6 +376,192 @@ def _cmd_fuzz(args) -> int:
     return 1 if failures else 0
 
 
+def _trace_record(args) -> int:
+    from .trace import TraceWriter
+
+    if args.study == "db":
+        from .dbsim import Query, run_db_study
+
+        queries = [Query(f"Q{i}", disk_reads=(i % 4) + 1) for i in range(args.queries)]
+        meta = {"study": "db", "clients": args.clients, "queries": args.queries}
+        with TraceWriter(args.out, snapshot_every=args.snapshot_every, metadata=meta) as w:
+            outcome = run_db_study(
+                queries,
+                num_clients=args.clients,
+                transport=args.transport,
+                recorder=w,
+            )
+    else:
+        from .unixsim import FunctionSpec, run_figure7_study
+
+        writes = [int(x) for x in args.writes.split(",") if x]
+        script = [
+            FunctionSpec(f"f{i}", writes=n, compute_time=4e-4)
+            for i, n in enumerate(writes)
+        ]
+        script.append(FunctionSpec("idle_tail", writes=0, compute_time=2e-2))
+        meta = {"study": "unix", "writes": writes, "causal": not args.no_causal}
+        with TraceWriter(args.out, snapshot_every=args.snapshot_every, metadata=meta) as w:
+            outcome = run_figure7_study(script, causal=not args.no_causal, recorder=w)
+    print(
+        f"recorded {w.transitions} transitions over {outcome.elapsed * 1e3:.4f} "
+        f"virtual ms to {args.out}"
+    )
+    return 0
+
+
+def _trace_info(args) -> int:
+    import json
+
+    from .trace import TraceReader
+
+    info = TraceReader(args.file).info()
+    if args.json:
+        print(json.dumps(info, indent=2, sort_keys=True))
+        return 0
+    for key in (
+        "path",
+        "bytes",
+        "transitions",
+        "metric_samples",
+        "mappings",
+        "sentences",
+        "strings",
+        "snapshots",
+    ):
+        print(f"{key}: {info[key]}")
+    t0, t1 = info["time_bounds"]
+    print(f"time_bounds: [{t0:.6g}, {t1:.6g}]")
+    for level, n in sorted(info["sentences_by_level"].items()):
+        print(f"  level {level!r}: {n} sentences")
+    if info["meta"]:
+        print(f"metadata: {json.dumps(info['meta'], sort_keys=True)}")
+    return 0
+
+
+def _trace_query(args) -> int:
+    import json
+
+    from .core import OrderedQuestion, PerformanceQuestion
+    from .trace import (
+        TraceReader,
+        evaluate_questions,
+        parse_pattern,
+        trace_stats,
+        windowed_mappings,
+    )
+
+    reader = TraceReader(args.file)
+    payload: dict = {}
+    if args.pattern:
+        components = tuple(parse_pattern(text) for text in args.pattern)
+        cls = OrderedQuestion if args.ordered else PerformanceQuestion
+        question = cls(" & ".join(args.pattern), components)
+        answers = evaluate_questions(reader, [question], node=args.node)
+        payload["questions"] = {
+            name: {
+                "satisfied_time": a.satisfied_time,
+                "transitions": a.transitions,
+                "satisfied_at_end": a.satisfied_at_end,
+            }
+            for name, a in answers.items()
+        }
+    if args.mappings:
+        found = windowed_mappings(reader, window=args.window)
+        payload["mappings"] = [
+            {
+                "source": str(m.source),
+                "destination": str(m.destination),
+                "lag": m.lag,
+                "overlaps": m.overlaps,
+            }
+            for m in found
+        ]
+    if args.stats or not payload:
+        payload["stats"] = {
+            str(sent): {
+                "activations": st.activations,
+                "active_time": st.active_time,
+            }
+            for sent, st in sorted(trace_stats(reader).items(), key=lambda kv: str(kv[0]))
+        }
+    if args.json:
+        print(json.dumps(payload, indent=2, sort_keys=True))
+        return 0
+    for name, ans in payload.get("questions", {}).items():
+        state = "satisfied" if ans["satisfied_at_end"] else "not satisfied"
+        print(
+            f"question {name}: satisfied {ans['satisfied_time'] * 1e3:.4f} virtual ms "
+            f"across {ans['transitions']} transitions ({state} at end)"
+        )
+    for m in payload.get("mappings", []):
+        print(
+            f"mapping {m['source']} -> {m['destination']} "
+            f"(lag {m['lag'] * 1e3:.4f} ms, {m['overlaps']} overlaps)"
+        )
+    for sent, st in payload.get("stats", {}).items():
+        print(
+            f"{sent}: {st['activations']} activations, "
+            f"{st['active_time'] * 1e3:.4f} virtual ms active"
+        )
+    return 0
+
+
+def _trace_diff(args) -> int:
+    import json
+
+    from .trace import TraceReader, diff_traces
+
+    diff = diff_traces(
+        TraceReader(args.file_a), TraceReader(args.file_b), time_tolerance=args.tolerance
+    )
+    if args.json:
+        payload = {
+            "identical": diff.is_identical(),
+            "only_a": sorted(str(s) for s in diff.only_a),
+            "only_b": sorted(str(s) for s in diff.only_b),
+            "changed": {
+                str(sent): {
+                    "activations": [a.activations, b.activations],
+                    "active_time": [a.active_time, b.active_time],
+                }
+                for sent, a, b in sorted(diff.changed, key=lambda c: str(c[0]))
+            },
+            "unchanged": diff.unchanged,
+            "level_deltas": {
+                level: {"activations": d_act, "active_time": d_time}
+                for level, (d_act, d_time) in sorted(diff.level_deltas.items())
+            },
+        }
+        print(json.dumps(payload, indent=2, sort_keys=True))
+        return 0 if diff.is_identical() else 1
+    if diff.is_identical():
+        print("traces are identical per sentence")
+        return 0
+    for sent in sorted(diff.only_a, key=str):
+        print(f"only in A: {sent}")
+    for sent in sorted(diff.only_b, key=str):
+        print(f"only in B: {sent}")
+    for sent, a, b in sorted(diff.changed, key=lambda c: str(c[0])):
+        print(
+            f"changed {sent}: activations {a.activations} -> {b.activations}, "
+            f"active time {a.active_time:.6g}s -> {b.active_time:.6g}s"
+        )
+    print(f"{diff.unchanged} sentences unchanged")
+    for level, (d_act, d_time) in sorted(diff.level_deltas.items()):
+        print(f"level {level!r}: {d_act:+d} activations, {d_time:+.6g}s active time")
+    return 1
+
+
+def _cmd_trace(args) -> int:
+    return {
+        "record": _trace_record,
+        "info": _trace_info,
+        "query": _trace_query,
+        "diff": _trace_diff,
+    }[args.trace_command](args)
+
+
 _COMMANDS = {
     "compile": _cmd_compile,
     "run": _cmd_run,
@@ -311,6 +570,7 @@ _COMMANDS = {
     "metrics": _cmd_metrics,
     "sweep": _cmd_sweep,
     "fuzz": _cmd_fuzz,
+    "trace": _cmd_trace,
 }
 
 

@@ -107,20 +107,30 @@ class Trace:
         return sum(e - s for s, e in self.intervals(sentence, end_time))
 
     def snapshot_at(self, time: float) -> list[Sentence]:
-        """Sentences active at ``time`` (events *at* ``time`` included)."""
+        """Sentences active at ``time`` (events *at* ``time`` included), in
+        first-activation order.
+
+        An unbalanced deactivate raises ``ValueError`` -- the same contract
+        as :meth:`intervals` (it used to be swallowed here, leaving the
+        depth negative so a later re-activation silently vanished from the
+        snapshot).
+        """
         depth: dict[Sentence, int] = {}
         order: list[Sentence] = []
         for event in self._events:
             if event.time > time:
                 break
+            d = depth.get(event.sentence, 0)
             if event.kind is EventKind.ACTIVATE:
-                if depth.get(event.sentence, 0) == 0:
+                if d == 0:
                     order.append(event.sentence)
-                depth[event.sentence] = depth.get(event.sentence, 0) + 1
+                depth[event.sentence] = d + 1
             else:
-                depth[event.sentence] = depth.get(event.sentence, 0) - 1
-                if depth[event.sentence] <= 0:
-                    order = [s for s in order if s != event.sentence]
+                if d == 0:
+                    raise ValueError(f"deactivate without activate for {event.sentence}")
+                depth[event.sentence] = d - 1
+                if d == 1:
+                    order.remove(event.sentence)
         return order
 
     def time_bounds(self) -> tuple[float, float]:
@@ -129,7 +139,14 @@ class Trace:
         return (self._events[0].time, self._events[-1].time)
 
     def merged(self, others: Iterable["Trace"]) -> "Trace":
-        """A new trace merging this one with ``others``, sorted by time."""
+        """A new trace merging this one with ``others``, sorted by time.
+
+        Same-instant ties keep input order: the sort is stable over the
+        concatenation ``[self, *others]``, so events at equal times appear
+        in trace-argument order and, within one trace, in recorded order.
+        Per-node causality (activate before its matching deactivate) is
+        therefore preserved across the merge.
+        """
         events = sorted(
             [e for t in [self, *others] for e in t._events],
             key=lambda e: e.time,
@@ -140,6 +157,8 @@ class Trace:
         return out
 
     def events_before(self, time: float) -> list[SentenceEvent]:
+        """Events with ``event.time <= time`` -- the bound is *inclusive*,
+        matching :meth:`snapshot_at` (events at exactly ``time`` count)."""
         idx = bisect.bisect_right([e.time for e in self._events], time)
         return self._events[:idx]
 

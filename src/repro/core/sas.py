@@ -517,6 +517,35 @@ class ActiveSentenceSet:
         self.watchers.remove(watcher)
         self._unregister_watcher(watcher)
 
+    # ------------------------------------------------------------------
+    # recorders (the persistent trace store subscribes here)
+    # ------------------------------------------------------------------
+    def attach_recorder(self, recorder) -> Callable[[Sentence, bool, float], None]:
+        """Stream every handled transition into ``recorder``.
+
+        ``recorder`` is anything with a ``transition(time, kind, sentence,
+        node_id)`` method -- normally a
+        :class:`~repro.trace.store.TraceWriter`.  Unlike ``trace=``, a
+        recorder can be shared by many SASes (each transition carries this
+        SAS's ``node_id``) and attached/detached mid-run.  Returns the hook
+        to pass to :meth:`detach_recorder`.
+        """
+        node_id = self.node_id
+
+        def hook(sent: Sentence, became_active: bool, now: float) -> None:
+            recorder.transition(
+                now,
+                EventKind.ACTIVATE if became_active else EventKind.DEACTIVATE,
+                sent,
+                node_id,
+            )
+
+        self.on_transition.append(hook)
+        return hook
+
+    def detach_recorder(self, hook: Callable[[Sentence, bool, float], None]) -> None:
+        self.on_transition.remove(hook)
+
     # -- inverted index hooks (overridden by the naive engine) -----------
     def _register_watcher(self, watcher: QuestionWatcher) -> None:
         patterns = watcher.question.patterns()

@@ -66,6 +66,7 @@ def run_db_study(
     transport: str = "bus",
     bus_config: BusConfig | None = None,
     fault_plan: FaultPlan | None = None,
+    recorder=None,
 ) -> DBOutcome:
     """Run the client(s)/server scenario and answer both question kinds.
 
@@ -74,6 +75,12 @@ def run_db_study(
     Per-query *and* per-client distributed questions are asked on the
     server's SAS ("server disk reads that correspond to a particular client
     or a particular query").
+
+    ``recorder`` (e.g. a :class:`~repro.trace.TraceWriter`) receives every
+    handled transition of every SAS -- client transitions under their node
+    ids and the server's (including forwarded client state, which is the
+    server's view) under the server node -- so the run can be re-queried
+    post-mortem.
     """
     if queries is None:
         queries = [
@@ -92,6 +99,12 @@ def run_db_study(
         ActiveSentenceSet(clock=lambda: sim.now, node_id=i) for i in range(num_clients)
     ]
     server_sas = ActiveSentenceSet(clock=lambda: sim.now, node_id=server_node)
+    if recorder is not None:
+        # attached before the baseline snapshot below, so recorder hooks are
+        # part of the baseline and don't count as strays
+        for cs in client_sases:
+            cs.attach_recorder(recorder)
+        server_sas.attach_recorder(recorder)
     baseline_watchers = [len(cs.on_transition) for cs in client_sases]
 
     def interesting(s):

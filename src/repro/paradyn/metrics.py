@@ -118,6 +118,10 @@ class MetricManager:
         self.library = library or standard_metrics()
         self.instances: list[MetricInstance] = []
         self.sample_interval: float | None = None
+        # recorders receive every sample taken: objects with a
+        # metric_sample(time, name, focus, value, units) method, normally a
+        # repro.trace.TraceWriter persisting the stream
+        self.recorders: list = []
         # Section 5's closing remark: "Eventually, we could tie the enabling
         # and disabling of individual mapping instrumentation points to
         # requests for performance information."  With lazy_sites the
@@ -213,16 +217,26 @@ class MetricManager:
     #: buffered histogram deltas flush every this many samples per instance
     FLUSH_BATCH = 64
 
+    def attach_recorder(self, recorder) -> None:
+        """Persist every future sample through ``recorder.metric_sample``."""
+        self.recorders.append(recorder)
+
+    def detach_recorder(self, recorder) -> None:
+        self.recorders.remove(recorder)
+
     def _sampler(self, interval: float):
         sim = self.runtime.machine.sim
         flush_batch = self.FLUSH_BATCH
 
         def take(now: float) -> None:
+            recorders = self.recorders
             for inst in self.instances:
                 if not inst.enabled:
                     continue
                 value = inst.value()
                 inst.samples.append((now, value))
+                for rec in recorders:
+                    rec.metric_sample(now, inst.name, inst.focus.describe(), value, inst.units)
                 last_t, last_v = inst._last_sample
                 if value > last_v:  # buffer the delta for batched ingest
                     inst._pending.append((last_t, now, value - last_v))

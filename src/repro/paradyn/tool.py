@@ -185,6 +185,21 @@ class Paradyn:
         recorder.attach(self.sases[0])
         self._mapping_recorder = recorder
 
+    def record_to(self, recorder, nodes: list[int] | None = None) -> None:
+        """Stream this tool's dynamic record into a trace recorder.
+
+        Attaches ``recorder`` (normally a :class:`~repro.trace.TraceWriter`)
+        to every node SAS (or just ``nodes``) and to the metric sampler, so
+        the whole run persists for post-mortem analysis with
+        :mod:`repro.trace.retro`.  Call before :meth:`run`.
+        """
+        if not self.sases:
+            raise RuntimeError("trace recording needs the SAS enabled")
+        targets = nodes if nodes is not None else range(len(self.sases))
+        for i in targets:
+            self.sases[i].attach_recorder(recorder)
+        self.metrics.attach_recorder(recorder)
+
     # ------------------------------------------------------------------
     @classmethod
     def for_program(cls, program: CompiledProgram, **kwargs) -> "Paradyn":

@@ -49,6 +49,11 @@ class SweepTask:
     ``fn`` must be picklable (a module-level callable); ``seed`` -- when not
     ``None`` -- is applied to the global RNGs just before ``fn`` runs, in
     the worker and in the serial path alike.
+
+    ``capture_path`` -- when set -- is injected into ``fn``'s kwargs as
+    ``record_path``: the task function records its run to that ``.rtrc``
+    file and folds the file's sha256 into its summary, extending the
+    serial-vs-parallel fingerprint to the recorded trace bytes.
     """
 
     key: str
@@ -56,6 +61,7 @@ class SweepTask:
     args: tuple = ()
     kwargs: Mapping[str, Any] = field(default_factory=dict)
     seed: int | None = None
+    capture_path: str | None = None
 
 
 @dataclass(frozen=True)
@@ -92,7 +98,10 @@ def _seed_rngs(seed: int | None) -> None:
 def _execute(task: SweepTask) -> SweepResult:
     """Run one task (shared by the serial path and the workers)."""
     _seed_rngs(task.seed)
-    value = task.fn(*task.args, **dict(task.kwargs))
+    kwargs = dict(task.kwargs)
+    if task.capture_path is not None:
+        kwargs["record_path"] = task.capture_path
+    value = task.fn(*task.args, **kwargs)
     return SweepResult(task.key, value, task.seed)
 
 

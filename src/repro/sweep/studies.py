@@ -18,7 +18,9 @@ string-keyed dispatcher the CLI uses.
 
 from __future__ import annotations
 
+import hashlib
 import random
+from pathlib import Path
 from typing import Any, Sequence
 
 from ..dbsim import FaultPlan, Query, run_db_study
@@ -39,6 +41,31 @@ __all__ = [
 
 
 # ----------------------------------------------------------------------
+# trace capture (the sweep's opt-in per-task recording path)
+# ----------------------------------------------------------------------
+def _open_recorder(record_path: str | None, metadata: dict):
+    """A TraceWriter for the task's capture path, or None."""
+    if record_path is None:
+        return None
+    from ..trace import TraceWriter
+
+    Path(record_path).parent.mkdir(parents=True, exist_ok=True)
+    return TraceWriter(record_path, metadata=metadata)
+
+
+def _capture_summary(writer) -> dict[str, Any]:
+    """Close the writer and fingerprint the recorded bytes.
+
+    The encoding is fully deterministic (no wall-clock anywhere), so the
+    sha256 folds into the sweep's serial-vs-parallel fingerprint: a sweep
+    that perturbed any recorded transition changes the trace bytes.
+    """
+    writer.close()
+    digest = hashlib.sha256(Path(writer.path).read_bytes()).hexdigest()
+    return {"trace_sha256": digest, "trace_transitions": writer.transitions}
+
+
+# ----------------------------------------------------------------------
 # dbsim: the abl4 client/server grid
 # ----------------------------------------------------------------------
 def db_task(
@@ -47,26 +74,32 @@ def db_task(
     transport: str = "bus",
     think_time: float = 2e-4,
     fault_seed: int | None = None,
+    record_path: str | None = None,
 ) -> dict[str, Any]:
     """One ``run_db_study`` configuration, summarized as plain data."""
     queries = [Query(f"Q{i}", disk_reads=(i % 4) + 1) for i in range(num_queries)]
     fault_plan = None
     if fault_seed is not None:
         fault_plan = FaultPlan(drop=0.1, duplicate=0.05, delay=0.2, seed=fault_seed)
+    config = {
+        "num_clients": num_clients,
+        "num_queries": num_queries,
+        "transport": transport,
+        "fault_seed": fault_seed,
+    }
+    writer = _open_recorder(record_path, {"study": "db", "config": config})
     outcome = run_db_study(
         queries,
         num_clients=num_clients,
         transport=transport,
         think_time=think_time,
         fault_plan=fault_plan,
+        recorder=writer,
     )
+    capture = _capture_summary(writer) if writer is not None else {}
     return {
-        "config": {
-            "num_clients": num_clients,
-            "num_queries": num_queries,
-            "transport": transport,
-            "fault_seed": fault_seed,
-        },
+        **capture,
+        "config": config,
         "elapsed": outcome.elapsed,
         "ground_truth": dict(sorted(outcome.ground_truth.items())),
         "measured": dict(sorted(outcome.measured.items())),
@@ -78,28 +111,39 @@ def db_task(
     }
 
 
+def _capture_path(capture_dir: str | None, key: str) -> str | None:
+    if capture_dir is None:
+        return None
+    return str(Path(capture_dir) / (key.replace("/", "_") + ".rtrc"))
+
+
 def db_grid(
     clients: Sequence[int] = (1, 2, 4),
     queries: Sequence[int] = (1, 3, 6),
     transports: Sequence[str] = ("bus",),
     fault_seeds: Sequence[int | None] = (None,),
+    capture_dir: str | None = None,
 ) -> list[SweepTask]:
-    return [
-        SweepTask(
-            key=f"db/c{c}q{q}-{t}" + (f"-f{s}" if s is not None else ""),
-            fn=db_task,
-            kwargs={
-                "num_clients": c,
-                "num_queries": q,
-                "transport": t,
-                "fault_seed": s,
-            },
-        )
-        for c in clients
-        for q in queries
-        for t in transports
-        for s in fault_seeds
-    ]
+    tasks = []
+    for c in clients:
+        for q in queries:
+            for t in transports:
+                for s in fault_seeds:
+                    key = f"db/c{c}q{q}-{t}" + (f"-f{s}" if s is not None else "")
+                    tasks.append(
+                        SweepTask(
+                            key=key,
+                            fn=db_task,
+                            kwargs={
+                                "num_clients": c,
+                                "num_queries": q,
+                                "transport": t,
+                                "fault_seed": s,
+                            },
+                            capture_path=_capture_path(capture_dir, key),
+                        )
+                    )
+    return tasks
 
 
 # ----------------------------------------------------------------------
@@ -109,6 +153,7 @@ def unix_task(
     writes: Sequence[int] = (2, 1, 0),
     compute_time: float = 4e-4,
     causal: bool = True,
+    record_path: str | None = None,
 ) -> dict[str, Any]:
     """One ``run_figure7_study`` configuration, transition log included."""
     script = [
@@ -116,13 +161,17 @@ def unix_task(
         for i, w in enumerate(writes)
     ]
     script.append(FunctionSpec("idle_tail", writes=0, compute_time=2e-2))
-    outcome = run_figure7_study(script, causal=causal)
+    config = {"writes": list(writes), "causal": causal}
+    writer = _open_recorder(record_path, {"study": "unix", "config": config})
+    outcome = run_figure7_study(script, causal=causal, recorder=writer)
+    capture = _capture_summary(writer) if writer is not None else {}
     transitions = [
         (round(e.time, 12), e.kind.value, str(e.sentence), e.node_id)
         for e in outcome.trace
     ]
     return {
-        "config": {"writes": list(writes), "causal": causal},
+        **capture,
+        "config": config,
         "elapsed": outcome.elapsed,
         "ground_truth": dict(sorted(outcome.ground_truth.items())),
         "sas_attributed": dict(sorted(outcome.sas_attributed.items())),
@@ -135,16 +184,21 @@ def unix_task(
 def unix_grid(
     write_mixes: Sequence[Sequence[int]] = ((2, 1, 0), (3, 3, 1), (1, 0, 4)),
     causal_options: Sequence[bool] = (True, False),
+    capture_dir: str | None = None,
 ) -> list[SweepTask]:
-    return [
-        SweepTask(
-            key=f"unix/w{'-'.join(map(str, mix))}-{'causal' if c else 'sas'}",
-            fn=unix_task,
-            kwargs={"writes": tuple(mix), "causal": c},
-        )
-        for mix in write_mixes
-        for c in causal_options
-    ]
+    tasks = []
+    for mix in write_mixes:
+        for c in causal_options:
+            key = f"unix/w{'-'.join(map(str, mix))}-{'causal' if c else 'sas'}"
+            tasks.append(
+                SweepTask(
+                    key=key,
+                    fn=unix_task,
+                    kwargs={"writes": tuple(mix), "causal": c},
+                    capture_path=_capture_path(capture_dir, key),
+                )
+            )
+    return tasks
 
 
 # ----------------------------------------------------------------------

@@ -1,0 +1,49 @@
+"""Persistent trace store with retrospective mapping.
+
+The run's dynamic record -- SAS transitions, metric samples, dynamic
+mappings -- recorded to a compact binary ``.rtrc`` file
+(:class:`TraceWriter`), read back with indexed O(log n) seeks
+(:class:`TraceReader`), and analyzed post-mortem: live-identical Figure-6
+question evaluation, lag-windowed dynamic mappings that recover Figure 7's
+asynchronous activations, and per-sentence run diffs (:mod:`.retro`).
+"""
+
+from .codec import CodecError
+from .retro import (
+    AttributionResult,
+    RetroAnswer,
+    SentenceStats,
+    TraceDiff,
+    WindowedMapping,
+    diff_traces,
+    evaluate_questions,
+    parse_pattern,
+    question_name,
+    sentence_intervals,
+    trace_stats,
+    windowed_attribution,
+    windowed_mappings,
+)
+from .store import MappingEvent, MetricSample, SASState, TraceReader, TraceWriter
+
+__all__ = [
+    "AttributionResult",
+    "CodecError",
+    "MappingEvent",
+    "MetricSample",
+    "RetroAnswer",
+    "SASState",
+    "SentenceStats",
+    "TraceDiff",
+    "TraceReader",
+    "TraceWriter",
+    "WindowedMapping",
+    "diff_traces",
+    "evaluate_questions",
+    "parse_pattern",
+    "question_name",
+    "sentence_intervals",
+    "trace_stats",
+    "windowed_attribution",
+    "windowed_mappings",
+]

@@ -1,0 +1,284 @@
+"""Binary codec for the persistent trace store (``.rtrc`` files).
+
+The on-disk format is a compact append-only record stream framed with
+varints, designed so every value round-trips *exactly* (timestamps and
+metric values are IEEE-754 lossless) while staying small:
+
+* **varint framing** -- every record starts with a tag varint; payload
+  fields are unsigned varints (zigzag for signed values);
+* **interned string tables** -- level, noun, verb, metric, and focus names
+  are interned once per file (``DEF_STR``) and referenced by id; sentences
+  intern likewise (``DEF_SENT``) so a transition record is typically 4-6
+  bytes;
+* **delta-encoded timestamps** -- each timed record stores the XOR of its
+  time's IEEE-754 bits against the previous timed record's; nearby times
+  share their high (sign/exponent/top-mantissa) bits, so the XOR is a small
+  integer and the varint short.  Identical times (the simulator batches
+  same-instant events) cost one byte.  Snapshot records carry an absolute
+  time and reset the chain, so a reader can start decoding at any snapshot
+  offset.
+
+The record stream is followed by a footer that repeats the complete string
+and sentence tables plus the snapshot index, so :class:`~.store.TraceReader`
+can seek without scanning the stream; the trailer stores the footer offset.
+
+File layout::
+
+    header  := MAGIC "RTRC" | version u8 | meta_len varint | meta_json
+    records := (DEF_STR | DEF_SENT | TRANS | METRIC | MAPPING | SNAPSHOT)*
+    footer  := string table | sentence table | snapshot index | counts | bounds
+    trailer := footer_offset u64le | MAGIC_END "CRTR"
+
+Noun/verb *descriptions* are not persisted: sentence identity is
+``(name, abstraction)`` (descriptions are ``compare=False`` annotations),
+so decoded events compare equal to the originals event-for-event.
+"""
+
+from __future__ import annotations
+
+import struct
+
+from ..core import Noun, Sentence, Verb
+from ..core.mapping import MappingOrigin
+
+__all__ = [
+    "MAGIC",
+    "MAGIC_END",
+    "VERSION",
+    "TAG_DEF_STR",
+    "TAG_DEF_SENT",
+    "TAG_TRANS",
+    "TAG_METRIC",
+    "TAG_MAPPING",
+    "TAG_SNAPSHOT",
+    "append_uvarint",
+    "read_uvarint",
+    "zigzag",
+    "unzigzag",
+    "float_to_bits",
+    "bits_to_float",
+    "delta_bits",
+    "undelta_bits",
+    "encode_node",
+    "decode_node",
+    "StringTable",
+    "SentenceTable",
+    "CodecError",
+]
+
+MAGIC = b"RTRC"
+MAGIC_END = b"CRTR"
+VERSION = 1
+
+TAG_DEF_STR = 1  # len varint | utf-8 bytes             -> next string id
+TAG_DEF_SENT = 2  # verb(level,name) | n | n*(level,name) -> next sentence id
+TAG_TRANS = 3  # sent_id | flags(bit0 activate, rest node) | tdelta
+TAG_METRIC = 4  # name_sid | focus_sid | units_sid | tdelta | f64 value
+TAG_MAPPING = 5  # src_sent | dst_sent | origin | tdelta
+TAG_SNAPSHOT = 6  # f64 abs time | nevents | nentries | entries...
+
+_PACK_D = struct.Struct("<d")
+_PACK_Q = struct.Struct("<Q")
+
+
+class CodecError(ValueError):
+    """Malformed or truncated ``.rtrc`` data."""
+
+
+# ----------------------------------------------------------------------
+# varints
+# ----------------------------------------------------------------------
+def append_uvarint(buf: bytearray, value: int) -> None:
+    """Append ``value`` (>= 0) to ``buf`` as a LEB128 varint."""
+    while value > 0x7F:
+        buf.append((value & 0x7F) | 0x80)
+        value >>= 7
+    buf.append(value)
+
+
+def read_uvarint(data, pos: int) -> tuple[int, int]:
+    """Decode a varint at ``pos``; returns ``(value, next_pos)``."""
+    value = 0
+    shift = 0
+    n = len(data)
+    while True:
+        if pos >= n:
+            raise CodecError("truncated varint")
+        byte = data[pos]
+        pos += 1
+        value |= (byte & 0x7F) << shift
+        if not byte & 0x80:
+            return value, pos
+        shift += 7
+
+
+def zigzag(value: int) -> int:
+    """Map a signed int to unsigned (0,-1,1,-2 -> 0,1,2,3)."""
+    return (value << 1) ^ (value >> 63) if value >= 0 else ((-value) << 1) - 1
+
+
+def unzigzag(value: int) -> int:
+    return (value >> 1) if not value & 1 else -((value + 1) >> 1)
+
+
+# ----------------------------------------------------------------------
+# lossless float deltas
+# ----------------------------------------------------------------------
+def float_to_bits(value: float) -> int:
+    return _PACK_Q.unpack(_PACK_D.pack(value))[0]
+
+
+def bits_to_float(bits: int) -> float:
+    return _PACK_D.unpack(_PACK_Q.pack(bits))[0]
+
+
+def delta_bits(prev_bits: int, bits: int) -> int:
+    """XOR delta of two IEEE-754 bit patterns.
+
+    Nearby floats share their high (sign/exponent/top-mantissa) bits, so
+    the XOR is a small integer and varints short; identical times XOR to 0
+    (one byte).  XOR is an involution given ``prev_bits``, hence exactly
+    lossless -- no subtraction rounding anywhere.
+    """
+    return prev_bits ^ bits
+
+
+def undelta_bits(prev_bits: int, delta: int) -> int:
+    return prev_bits ^ delta
+
+
+# ----------------------------------------------------------------------
+# small field codecs
+# ----------------------------------------------------------------------
+def encode_node(node_id: int | None) -> int:
+    """Node ids may be None (standalone SAS); 0 encodes None."""
+    return 0 if node_id is None else zigzag(node_id) + 1
+
+
+def decode_node(field: int) -> int | None:
+    return None if field == 0 else unzigzag(field - 1)
+
+
+#: MappingOrigin wire values (stable across enum reordering).
+ORIGIN_CODES = {MappingOrigin.STATIC: 0, MappingOrigin.DYNAMIC: 1}
+ORIGIN_BY_CODE = {code: origin for origin, code in ORIGIN_CODES.items()}
+
+
+# ----------------------------------------------------------------------
+# interning tables
+# ----------------------------------------------------------------------
+class StringTable:
+    """Write-side string interner that emits ``DEF_STR`` records.
+
+    Ids are assigned densely in first-use order; the same order is used
+    when the table is re-serialized into the footer, so stream and footer
+    agree on every id.
+    """
+
+    def __init__(self) -> None:
+        self._ids: dict[str, int] = {}
+        self.strings: list[str] = []
+
+    def intern(self, text: str, buf: bytearray) -> int:
+        sid = self._ids.get(text)
+        if sid is None:
+            sid = len(self.strings)
+            self._ids[text] = sid
+            self.strings.append(text)
+            raw = text.encode("utf-8")
+            append_uvarint(buf, TAG_DEF_STR)
+            append_uvarint(buf, len(raw))
+            buf += raw
+        return sid
+
+    def encode_table(self, buf: bytearray) -> None:
+        append_uvarint(buf, len(self.strings))
+        for text in self.strings:
+            raw = text.encode("utf-8")
+            append_uvarint(buf, len(raw))
+            buf += raw
+
+    @staticmethod
+    def decode_table(data, pos: int) -> tuple[list[str], int]:
+        count, pos = read_uvarint(data, pos)
+        out: list[str] = []
+        for _ in range(count):
+            length, pos = read_uvarint(data, pos)
+            out.append(bytes(data[pos : pos + length]).decode("utf-8"))
+            pos += length
+        return out, pos
+
+
+class SentenceTable:
+    """Write-side sentence interner that emits ``DEF_SENT`` records."""
+
+    def __init__(self, strings: StringTable) -> None:
+        self._strings = strings
+        self._ids: dict[Sentence, int] = {}
+        self.sentences: list[Sentence] = []
+
+    def intern(self, sent: Sentence, buf: bytearray) -> int:
+        sid = self._ids.get(sent)
+        if sid is None:
+            sid = len(self.sentences)
+            self._ids[sent] = sid
+            self.sentences.append(sent)
+            # string interning first, so DEF_STRs precede the DEF_SENT
+            fields = self._field_ids(sent, buf)
+            append_uvarint(buf, TAG_DEF_SENT)
+            self._encode_fields(fields, buf)
+        return sid
+
+    def _field_ids(self, sent: Sentence, buf: bytearray) -> list[int]:
+        intern = self._strings.intern
+        fields = [intern(sent.verb.abstraction, buf), intern(sent.verb.name, buf)]
+        for noun in sent.nouns:
+            fields.append(intern(noun.abstraction, buf))
+            fields.append(intern(noun.name, buf))
+        return fields
+
+    @staticmethod
+    def _encode_fields(fields: list[int], buf: bytearray) -> None:
+        append_uvarint(buf, fields[0])
+        append_uvarint(buf, fields[1])
+        append_uvarint(buf, (len(fields) - 2) // 2)
+        for field in fields[2:]:
+            append_uvarint(buf, field)
+
+    def encode_table(self, buf: bytearray) -> None:
+        append_uvarint(buf, len(self.sentences))
+        scratch = bytearray()  # strings already interned; discard DEF_STRs
+        for sent in self.sentences:
+            self._encode_fields(self._field_ids(sent, scratch), buf)
+
+    @staticmethod
+    def skip_fields(data, pos: int) -> int:
+        """Skip one encoded sentence (shared by stream skip and table)."""
+        _, pos = read_uvarint(data, pos)
+        _, pos = read_uvarint(data, pos)
+        nnouns, pos = read_uvarint(data, pos)
+        for _ in range(2 * nnouns):
+            _, pos = read_uvarint(data, pos)
+        return pos
+
+    @staticmethod
+    def decode_fields(data, pos: int, strings: list[str]) -> tuple[Sentence, int]:
+        vlevel, pos = read_uvarint(data, pos)
+        vname, pos = read_uvarint(data, pos)
+        nnouns, pos = read_uvarint(data, pos)
+        nouns = []
+        for _ in range(nnouns):
+            nlevel, pos = read_uvarint(data, pos)
+            nname, pos = read_uvarint(data, pos)
+            nouns.append(Noun(strings[nname], strings[nlevel]))
+        verb = Verb(strings[vname], strings[vlevel])
+        return Sentence(verb, tuple(nouns)), pos
+
+    @staticmethod
+    def decode_table(data, pos: int, strings: list[str]) -> tuple[list[Sentence], int]:
+        count, pos = read_uvarint(data, pos)
+        out: list[Sentence] = []
+        for _ in range(count):
+            sent, pos = SentenceTable.decode_fields(data, pos, strings)
+            out.append(sent)
+        return out, pos

@@ -71,12 +71,21 @@ def run_figure7_study(
     script: Sequence[FunctionSpec] | None = None,
     causal: bool = True,
     config: KernelConfig | None = None,
+    recorder=None,
 ) -> AttributionOutcome:
-    """Run the user process + kernel and compare attribution strategies."""
+    """Run the user process + kernel and compare attribution strategies.
+
+    ``recorder`` (e.g. a :class:`~repro.trace.TraceWriter`) additionally
+    persists every SAS transition, so the asynchronous-activation case can
+    be re-analyzed post-mortem with lag-windowed retrospective mapping
+    (:func:`repro.trace.retro.windowed_attribution`).
+    """
     script = list(script) if script is not None else default_script()
     sim = Simulator()
     trace = Trace()
     sas = ActiveSentenceSet(clock=lambda: sim.now, trace=trace)
+    if recorder is not None:
+        sas.attach_recorder(recorder)
     config = config or KernelConfig()
 
     kernel = Kernel(sim, config, sas=sas)

@@ -1,6 +1,6 @@
 """Workload generators and the named program corpus used by benches."""
 
-from .fuzz import FuzzConfig, random_program
+from .fuzz import FuzzConfig, random_program, random_trace
 from .corpus import BOW, CORR, HPF_FRAGMENT, SORT_BENCH, STENCIL_HEAT, corpus
 from .generators import (
     elementwise_chain,
@@ -24,6 +24,7 @@ __all__ = [
     "corpus",
     "FuzzConfig",
     "random_program",
+    "random_trace",
     "elementwise_chain",
     "full_verb_mix",
     "reduction_mix",

@@ -11,7 +11,7 @@ from __future__ import annotations
 import random
 from dataclasses import dataclass, field
 
-__all__ = ["FuzzConfig", "random_program"]
+__all__ = ["FuzzConfig", "random_program", "random_trace"]
 
 
 @dataclass(frozen=True)
@@ -155,3 +155,58 @@ def random_program(seed: int, cfg: FuzzConfig | None = None) -> str:
 
     lines = ["PROGRAM FUZZ", *decls, *body, "END", *subroutines]
     return "\n".join(lines) + "\n"
+
+
+def random_trace(
+    seed: int,
+    events: int = 120,
+    nodes: int = 2,
+    sentences: int = 14,
+    tie_bias: float = 0.15,
+    reactivation_bias: float = 0.35,
+):
+    """A seeded random timed multi-node :class:`~repro.core.events.Trace`.
+
+    Per-node balanced-prefix event sequences (from
+    :func:`~repro.workloads.generators.sas_event_trace`) over one shared
+    sentence pool are interleaved under a single globally-monotone clock;
+    ``tie_bias`` controls how often consecutive events land on the *same*
+    instant (exercising tie ordering in merges, snapshots, and codec time
+    deltas).  Per-node causality holds by construction -- a deactivation
+    never precedes its activation on that node -- so the result replays
+    cleanly through a SAS, a :class:`~repro.trace.TraceWriter`, or the
+    retrospective analyses.  Some activations stay open at the end.
+    """
+    from ..core import Trace
+    from .generators import sas_event_trace, sas_sentence_pool
+
+    if nodes < 1:
+        raise ValueError("need at least one node")
+    # distinct stream from the per-node sequence seeds
+    rng = random.Random(seed * 2654435761 % 2**32)
+    _vocab, pool = sas_sentence_pool(seed, sentences=sentences)
+    queues = [
+        list(
+            sas_event_trace(
+                seed * 31 + n + 1,
+                pool,
+                events=max(1, events // nodes),
+                reactivation_bias=reactivation_bias,
+            )
+        )
+        for n in range(nodes)
+    ]
+    heads = [0] * nodes
+    trace = Trace()
+    t = 0.0
+    while True:
+        ready = [n for n in range(nodes) if heads[n] < len(queues[n])]
+        if not ready:
+            break
+        n = rng.choice(ready)
+        kind, sent = queues[n][heads[n]]
+        heads[n] += 1
+        if not (len(trace) and rng.random() < tie_bias):
+            t += rng.uniform(1e-6, 1e-3)
+        trace.record(t, kind, sent, node_id=n)
+    return trace

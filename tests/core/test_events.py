@@ -105,3 +105,81 @@ def test_time_bounds_and_events_before():
     assert t.time_bounds() == (1.0, 5.0)
     assert len(t.events_before(2.0)) == 2
     assert Trace().time_bounds() == (0.0, 0.0)
+
+
+def test_snapshot_unbalanced_deactivate_raises():
+    # pinned: snapshot_at shares intervals()' contract instead of silently
+    # going negative (which made a later re-activation vanish)
+    t = make_trace([(1.0, EventKind.DEACTIVATE, A_SUM)])
+    with pytest.raises(ValueError, match="deactivate without activate"):
+        t.snapshot_at(2.0)
+
+
+def test_snapshot_reentrant_depth_counts():
+    t = make_trace(
+        [
+            (1.0, EventKind.ACTIVATE, A_SUM),
+            (2.0, EventKind.ACTIVATE, A_SUM),
+            (3.0, EventKind.DEACTIVATE, A_SUM),
+        ]
+    )
+    # one deactivate of a doubly-activated sentence leaves it active
+    assert t.snapshot_at(3.5) == [A_SUM]
+
+
+def test_snapshot_events_at_exact_time_included():
+    t = make_trace(
+        [
+            (1.0, EventKind.ACTIVATE, A_SUM),
+            (2.0, EventKind.DEACTIVATE, A_SUM),
+        ]
+    )
+    assert t.snapshot_at(1.0) == [A_SUM]
+    assert t.snapshot_at(2.0) == []
+
+
+def test_merged_same_instant_ties_keep_argument_order():
+    # pinned: the merge sort is stable over [self, *others], so same-instant
+    # events appear in trace-argument order -- per-node causality survives
+    t1 = make_trace([(1.0, EventKind.ACTIVATE, A_SUM), (2.0, EventKind.DEACTIVATE, A_SUM)])
+    t2 = make_trace([(1.0, EventKind.ACTIVATE, B_SUM), (2.0, EventKind.DEACTIVATE, B_SUM)])
+    merged = t1.merged([t2])
+    events = merged.events()
+    assert [(e.time, e.sentence) for e in events] == [
+        (1.0, A_SUM),
+        (1.0, B_SUM),
+        (2.0, A_SUM),
+        (2.0, B_SUM),
+    ]
+    # and the merged trace snapshots/intervals cleanly
+    assert merged.snapshot_at(1.0) == [A_SUM, B_SUM]
+    assert merged.intervals(A_SUM) == [(1.0, 2.0)]
+
+
+def test_merged_preserves_causality_within_each_trace():
+    # activate and its matching deactivate at the SAME instant must not swap
+    t1 = make_trace(
+        [(1.0, EventKind.ACTIVATE, A_SUM), (1.0, EventKind.DEACTIVATE, A_SUM)]
+    )
+    t2 = make_trace([(1.0, EventKind.ACTIVATE, B_SUM)])
+    merged = t2.merged([t1])
+    kinds = [(e.sentence, e.kind) for e in merged]
+    assert kinds.index((A_SUM, EventKind.ACTIVATE)) < kinds.index(
+        (A_SUM, EventKind.DEACTIVATE)
+    )
+    merged.intervals(A_SUM)  # must not raise
+
+
+def test_events_before_bound_is_inclusive():
+    # pinned: events_before(t) includes events AT t, matching snapshot_at
+    t = make_trace(
+        [
+            (1.0, EventKind.ACTIVATE, A_SUM),
+            (2.0, EventKind.ACTIVATE, B_SUM),
+            (2.0, EventKind.DEACTIVATE, A_SUM),
+            (3.0, EventKind.DEACTIVATE, B_SUM),
+        ]
+    )
+    assert len(t.events_before(2.0)) == 3
+    assert len(t.events_before(1.9999)) == 1
+    assert len(t.events_before(0.0)) == 0

@@ -57,3 +57,34 @@ def test_trace_to_chrome():
     assert len(begins) == len(ends) > 0
     ts = [e["ts"] for e in events if e.get("ph") in "BE"]
     assert ts == sorted(ts)
+
+
+def test_exports_stream_to_file_objects(tmp_path):
+    import io
+
+    tool = make_tool()
+    buf = io.StringIO()
+    assert trace_to_csv(tool.trace, out=buf) is None  # streamed, not returned
+    assert buf.getvalue() == trace_to_csv(tool.trace)
+
+    buf = io.StringIO()
+    assert samples_to_csv(tool.metrics.instances, out=buf) is None
+    assert buf.getvalue() == samples_to_csv(tool.metrics.instances)
+
+    path = tmp_path / "trace.json"
+    with open(path, "w", encoding="utf-8") as fh:
+        assert trace_to_chrome(tool.trace, out=fh) is None
+    assert json.loads(path.read_text()) == json.loads(trace_to_chrome(tool.trace))
+
+
+def test_exports_accept_a_trace_reader(tmp_path):
+    from repro.trace import TraceReader, TraceWriter
+
+    tool = make_tool()
+    path = tmp_path / "run.rtrc"
+    with TraceWriter(path) as w:
+        w.record_trace(tool.trace)
+    reader = TraceReader(path)
+    # a recorded file exports identically to the in-memory trace
+    assert trace_to_csv(reader) == trace_to_csv(tool.trace)
+    assert trace_to_chrome(reader) == trace_to_chrome(tool.trace)

@@ -13,6 +13,7 @@ from repro.sweep import (
     db_task,
     fingerprint,
     kernel_task,
+    unix_grid,
     unix_task,
 )
 
@@ -127,3 +128,61 @@ class TestStudies:
         assert a == b
         assert a["final_time"] != c["final_time"]
         assert a["served"] == 16 * 2
+
+
+# module-level so the parallel pool can pickle it
+def _echo_record_path(record_path=None):
+    return {"record_path": record_path}
+
+
+class TestCapture:
+    def test_capture_path_injected_as_record_path_kwarg(self, tmp_path):
+        dest = str(tmp_path / "t.rtrc")
+        tasks = [
+            SweepTask("plain", _echo_record_path),
+            SweepTask("captured", _echo_record_path, capture_path=dest),
+        ]
+        results = SweepRunner(workers=1).run_serial(tasks)
+        assert results[0].value == {"record_path": None}
+        assert results[1].value == {"record_path": dest}
+
+    def test_db_task_capture_is_deterministic(self, tmp_path):
+        a = db_task(num_clients=1, num_queries=2, record_path=str(tmp_path / "a.rtrc"))
+        b = db_task(num_clients=1, num_queries=2, record_path=str(tmp_path / "b.rtrc"))
+        assert a["trace_sha256"] == b["trace_sha256"]
+        assert a["trace_transitions"] == b["trace_transitions"] > 0
+        # uncaptured runs agree on everything but the capture fields
+        plain = db_task(num_clients=1, num_queries=2)
+        assert {k: v for k, v in a.items() if not k.startswith("trace_")} == plain
+
+    def test_unix_task_capture_matches_file_on_disk(self, tmp_path):
+        import hashlib
+
+        from repro.trace import TraceReader
+
+        dest = tmp_path / "u.rtrc"
+        out = unix_task(writes=(2, 1), record_path=str(dest))
+        assert out["trace_sha256"] == hashlib.sha256(dest.read_bytes()).hexdigest()
+        assert out["trace_transitions"] == TraceReader(dest).transitions
+
+    def test_capture_fingerprint_identical_serial_vs_parallel(self, tmp_path):
+        def grid(sub):
+            d = tmp_path / sub
+            return db_grid(clients=(1, 2), queries=(1,), capture_dir=str(d))
+
+        runner = SweepRunner(workers=2)
+        serial = runner.run_serial(grid("serial"))
+        par = runner.run(grid("par"))
+        assert [r.value["trace_sha256"] for r in serial] == [
+            r.value["trace_sha256"] for r in par
+        ]
+        assert fingerprint(serial) == fingerprint(par)
+
+    def test_grids_derive_capture_paths_from_keys(self, tmp_path):
+        tasks = db_grid(clients=(1,), queries=(1,), transports=("bus",), capture_dir=str(tmp_path))
+        assert tasks[0].capture_path == str(tmp_path / "db_c1q1-bus.rtrc")
+        utasks = unix_grid(capture_dir=str(tmp_path))
+        assert all(t.capture_path.endswith(".rtrc") for t in utasks)
+        assert all("/" not in t.capture_path.rsplit("/", 1)[-1] for t in utasks)
+        plain = db_grid(clients=(1,), queries=(1,), transports=("bus",))
+        assert plain[0].capture_path is None

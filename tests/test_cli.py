@@ -160,3 +160,136 @@ def test_sweep_kernel_json_output(tmp_path, capsys):
     rows = json.loads(dest.read_text())
     assert [r["key"] for r in rows] == ["kernel/c16s4q6-seed0", "kernel/c16s4q6-seed1"]
     assert all(r["value"]["served"] == 16 * 6 for r in rows)
+
+
+@pytest.fixture
+def db_rtrc(tmp_path):
+    path = tmp_path / "db.rtrc"
+    assert (
+        main(["trace", "record", "db", "--out", str(path), "--clients", "2", "--queries", "3"])
+        == 0
+    )
+    return str(path)
+
+
+def test_trace_record_reports_transitions(tmp_path, capsys):
+    dest = tmp_path / "db.rtrc"
+    assert main(["trace", "record", "db", "--out", str(dest)]) == 0
+    out = capsys.readouterr().out
+    assert "recorded 24 transitions" in out
+    assert "virtual ms" in out and str(dest) in out
+
+
+def test_trace_record_unix(tmp_path, capsys):
+    dest = tmp_path / "u.rtrc"
+    assert main(["trace", "record", "unix", "--out", str(dest), "--writes", "2,1"]) == 0
+    assert "recorded 30 transitions" in capsys.readouterr().out
+    assert dest.stat().st_size > 0
+
+
+def test_trace_info(db_rtrc, capsys):
+    capsys.readouterr()
+    assert main(["trace", "info", db_rtrc]) == 0
+    out = capsys.readouterr().out
+    assert "transitions: 24" in out
+    assert "level 'Database': 3 sentences" in out
+    assert '"study": "db"' in out  # metadata echoed back
+
+
+def test_trace_info_json(db_rtrc, capsys):
+    import json
+
+    capsys.readouterr()
+    assert main(["trace", "info", db_rtrc, "--json"]) == 0
+    info = json.loads(capsys.readouterr().out)
+    assert info["transitions"] == 24
+    assert info["meta"]["clients"] == 2
+
+
+def test_trace_query_defaults_to_stats(db_rtrc, capsys):
+    capsys.readouterr()
+    assert main(["trace", "query", db_rtrc]) == 0
+    out = capsys.readouterr().out
+    assert "{server0 DiskRead}: 6 activations" in out
+
+
+def test_trace_query_question_json(db_rtrc, capsys):
+    import json
+
+    capsys.readouterr()
+    rc = main(["trace", "query", db_rtrc, "--pattern", "{server0 DiskRead}", "--json"])
+    assert rc == 0
+    payload = json.loads(capsys.readouterr().out)
+    answer = payload["questions"]["{server0 DiskRead}"]
+    assert answer["transitions"] == 12
+    assert answer["satisfied_time"] == pytest.approx(0.0018)
+
+
+def test_trace_query_windowed_mappings(tmp_path, capsys):
+    # async flushes (--no-causal): the live co-activity rule (window 0) sees
+    # no WriteCall -> DiskWrite mapping; a lag window recovers it (fig 7)
+    dest = tmp_path / "u.rtrc"
+    main(["trace", "record", "unix", "--out", str(dest), "--writes", "2,1", "--no-causal"])
+    capsys.readouterr()
+    assert main(["trace", "query", str(dest), "--mappings", "--window", "0.01"]) == 0
+    with_window = capsys.readouterr().out
+    assert "mapping {f0() WriteCall} -> {disk0 DiskWrite} (lag 5.6933 ms" in with_window
+    assert main(["trace", "query", str(dest), "--mappings"]) == 0
+    without = capsys.readouterr().out
+    assert "WriteCall} -> {disk0 DiskWrite}" not in without
+
+
+def test_trace_diff_identical_exits_zero(db_rtrc, capsys):
+    capsys.readouterr()
+    assert main(["trace", "diff", db_rtrc, db_rtrc]) == 0
+    assert "identical per sentence" in capsys.readouterr().out
+
+
+def test_trace_diff_reports_changes_and_exits_one(db_rtrc, tmp_path, capsys):
+    other = tmp_path / "other.rtrc"
+    main(["trace", "record", "db", "--out", str(other), "--clients", "2", "--queries", "4"])
+    capsys.readouterr()
+    assert main(["trace", "diff", db_rtrc, str(other)]) == 1
+    out = capsys.readouterr().out
+    assert "only in B: {Q3 client1 QueryActive}" in out
+    assert "changed {server0 DiskRead}: activations 6 -> 10" in out
+    assert "level 'DB Server': +4 activations" in out
+
+
+def test_trace_diff_json(db_rtrc, tmp_path, capsys):
+    import json
+
+    other = tmp_path / "other.rtrc"
+    main(["trace", "record", "db", "--out", str(other), "--clients", "2", "--queries", "4"])
+    capsys.readouterr()
+    assert main(["trace", "diff", db_rtrc, str(other), "--json"]) == 1
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["identical"] is False
+    assert payload["only_b"] == ["{Q3 client1 QueryActive}"]
+    assert payload["changed"]["{server0 DiskRead}"]["activations"] == [6, 10]
+
+
+def test_sweep_capture_writes_rtrc_and_fingerprints(tmp_path, capsys):
+    from repro.trace import TraceReader
+
+    cap = tmp_path / "caps"
+    rc = main(
+        [
+            "sweep", "db",
+            "--clients", "1,2",
+            "--queries", "1",
+            "--workers", "2",
+            "--verify",
+            "--capture", str(cap),
+        ]
+    )
+    assert rc == 0
+    assert "byte-identical" in capsys.readouterr().out
+    files = sorted(p.name for p in cap.iterdir())
+    assert files == ["db_c1q1-bus.rtrc", "db_c2q1-bus.rtrc"]
+    assert TraceReader(cap / files[0]).transitions > 0
+
+
+def test_sweep_capture_rejects_kernel_study(tmp_path):
+    with pytest.raises(SystemExit, match="SAS-bearing"):
+        main(["sweep", "kernel", "--scales", "16:4", "--capture", str(tmp_path)])

@@ -1,0 +1,174 @@
+"""Unit tests for the .rtrc binary codec primitives."""
+
+import pytest
+
+from repro.core import Noun, Sentence, Verb
+from repro.trace.codec import (
+    CodecError,
+    SentenceTable,
+    StringTable,
+    append_uvarint,
+    bits_to_float,
+    decode_node,
+    delta_bits,
+    encode_node,
+    float_to_bits,
+    read_uvarint,
+    undelta_bits,
+    unzigzag,
+    zigzag,
+)
+
+
+class TestVarints:
+    @pytest.mark.parametrize(
+        "value", [0, 1, 127, 128, 300, 2**14, 2**21 - 1, 2**35, 2**63, 2**64 - 1]
+    )
+    def test_round_trip(self, value):
+        buf = bytearray()
+        append_uvarint(buf, value)
+        got, pos = read_uvarint(buf, 0)
+        assert got == value
+        assert pos == len(buf)
+
+    def test_one_byte_below_128(self):
+        buf = bytearray()
+        append_uvarint(buf, 127)
+        assert len(buf) == 1
+        append_uvarint(buf, 128)
+        assert len(buf) == 3  # 127 took one, 128 takes two
+
+    def test_sequence_decodes_in_order(self):
+        buf = bytearray()
+        values = [5, 0, 1000, 77]
+        for v in values:
+            append_uvarint(buf, v)
+        pos = 0
+        for v in values:
+            got, pos = read_uvarint(buf, pos)
+            assert got == v
+
+    def test_truncated_raises(self):
+        buf = bytearray()
+        append_uvarint(buf, 2**21)
+        with pytest.raises(CodecError):
+            read_uvarint(buf[:-1], 0)
+        with pytest.raises(CodecError):
+            read_uvarint(b"", 0)
+
+
+class TestZigzag:
+    @pytest.mark.parametrize("value", [0, -1, 1, -2, 2, 12345, -12345, 2**40, -(2**40)])
+    def test_round_trip(self, value):
+        assert unzigzag(zigzag(value)) == value
+
+    def test_small_magnitudes_stay_small(self):
+        # the point of zigzag: -1 must not encode as a huge unsigned value
+        assert zigzag(0) == 0
+        assert zigzag(-1) == 1
+        assert zigzag(1) == 2
+        assert zigzag(-2) == 3
+
+
+class TestFloatDeltas:
+    @pytest.mark.parametrize(
+        "prev,cur",
+        [
+            (0.0, 0.0),
+            (0.0, 1.5e-3),
+            (1.0000001, 1.0000002),
+            (1e300, -1e300),
+            (3.141592653589793, 3.141592653589793),
+            (0.1 + 0.2, 0.3),  # differ in the last bits only
+        ],
+    )
+    def test_exactly_lossless(self, prev, cur):
+        pb, cb = float_to_bits(prev), float_to_bits(cur)
+        assert bits_to_float(undelta_bits(pb, delta_bits(pb, cb))) == cur
+
+    def test_identical_times_cost_one_byte(self):
+        bits = float_to_bits(0.123456789)
+        buf = bytearray()
+        append_uvarint(buf, delta_bits(bits, bits))
+        assert len(buf) == 1
+
+    def test_nearby_times_compress(self):
+        # simulator-scale step: shared sign/exponent/high-mantissa bytes
+        prev, cur = 0.004117, 0.004118
+        buf = bytearray()
+        append_uvarint(buf, delta_bits(float_to_bits(prev), float_to_bits(cur)))
+        assert len(buf) <= 6  # vs 10 for a raw 8-byte varint
+
+
+class TestNodeField:
+    @pytest.mark.parametrize("node", [None, 0, 1, -1, 63, 1024])
+    def test_round_trip(self, node):
+        assert decode_node(encode_node(node)) == node
+
+    def test_none_is_zero(self):
+        assert encode_node(None) == 0
+        assert encode_node(0) == 1  # distinct from None
+
+
+class TestStringTable:
+    def test_intern_dedupes_and_emits_defs_once(self):
+        table = StringTable()
+        buf = bytearray()
+        a = table.intern("alpha", buf)
+        b = table.intern("beta", buf)
+        a2 = table.intern("alpha", buf)
+        assert (a, b, a2) == (0, 1, 0)
+        first_len = len(buf)
+        table.intern("alpha", buf)
+        assert len(buf) == first_len  # no new DEF_STR for a known string
+
+    def test_footer_table_round_trip(self):
+        table = StringTable()
+        scratch = bytearray()
+        for text in ["", "HPF", "Sum", "unicode éµ"]:
+            table.intern(text, scratch)
+        footer = bytearray()
+        table.encode_table(footer)
+        decoded, pos = StringTable.decode_table(footer, 0)
+        assert decoded == ["", "HPF", "Sum", "unicode éµ"]
+        assert pos == len(footer)
+
+
+class TestSentenceTable:
+    def test_round_trip_preserves_identity_not_descriptions(self):
+        strings = StringTable()
+        table = SentenceTable(strings)
+        buf = bytearray()
+        described = Sentence(
+            Verb("Sum", "HPF", "summation of an array"),
+            (Noun("A", "HPF", "the A array"),),
+        )
+        nullary = Sentence(Verb("Idle", "CMRTS"), ())
+        assert table.intern(described, buf) == 0
+        assert table.intern(nullary, buf) == 1
+        assert table.intern(described, buf) == 0  # deduped
+
+        footer = bytearray()
+        strings.encode_table(footer)
+        split = len(footer)
+        table.encode_table(footer)
+        decoded_strings, pos = StringTable.decode_table(footer, 0)
+        assert pos == split
+        decoded, pos = SentenceTable.decode_table(footer, pos, decoded_strings)
+        assert pos == len(footer)
+        # identity is (name, abstraction): descriptions are compare=False
+        assert decoded == [described, nullary]
+        assert decoded[0].verb.description == ""
+
+    def test_skip_fields_matches_encoding_length(self):
+        strings = StringTable()
+        table = SentenceTable(strings)
+        buf = bytearray()
+        sent = Sentence(Verb("Send", "CMRTS"), (Noun("node0", "CMRTS"), Noun("A", "HPF")))
+        # interning emits DEF_STRs then the DEF_SENT; find the DEF_SENT start
+        table.intern(sent, buf)
+        fields = bytearray()
+        SentenceTable._encode_fields(
+            [0, 1, 2, 3, 4, 5], fields
+        )
+        assert SentenceTable.skip_fields(fields, 0) == len(fields)

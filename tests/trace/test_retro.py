@@ -1,0 +1,299 @@
+"""Unit tests for retrospective analysis (questions, mappings, diffs)."""
+
+import pytest
+
+from repro.core import (
+    ActiveSentenceSet,
+    EventKind,
+    Noun,
+    OrderedQuestion,
+    PerformanceQuestion,
+    SentencePattern,
+    Trace,
+    Verb,
+    sentence,
+)
+from repro.trace import (
+    TraceReader,
+    TraceWriter,
+    diff_traces,
+    evaluate_questions,
+    parse_pattern,
+    sentence_intervals,
+    trace_stats,
+    windowed_attribution,
+    windowed_mappings,
+)
+
+SUM = Verb("Sum", "HPF")
+SEND = Verb("Send", "CMRTS")
+A_SUM = sentence(SUM, Noun("A", "HPF"))
+B_SUM = sentence(SUM, Noun("B", "HPF"))
+N0_SEND = sentence(SEND, Noun("node0", "CMRTS"))
+
+
+def make_trace(rows):
+    t = Trace()
+    for time, kind, sent in rows:
+        t.record(time, kind, sent)
+    return t
+
+
+class TestParsePattern:
+    def test_nouns_and_verb(self):
+        p = parse_pattern("{A Sum}")
+        assert p == SentencePattern("Sum", ("A",))
+
+    def test_verb_only_and_wildcards(self):
+        assert parse_pattern("{Send}") == SentencePattern("Send", ())
+        assert parse_pattern("{? Sum}") == SentencePattern("Sum", ("?",))
+
+    def test_level_suffix(self):
+        p = parse_pattern("{disk0 DiskWrite}@UNIX Kernel")
+        assert p == SentencePattern("DiskWrite", ("disk0",), "UNIX Kernel")
+
+    def test_round_trips_pattern_str(self):
+        p = SentencePattern("Sum", ("A", "B"))
+        assert parse_pattern(str(p)) == p
+
+    def test_errors(self):
+        with pytest.raises(ValueError):
+            parse_pattern("{}")
+        with pytest.raises(ValueError):
+            parse_pattern("{A Sum} trailing")
+
+
+class TestEvaluateQuestions:
+    def questions(self):
+        return [
+            PerformanceQuestion("{A Sum}", (SentencePattern("Sum", ("A",)),)),
+            PerformanceQuestion(
+                "{A Sum}, {node0 Send}",
+                (SentencePattern("Sum", ("A",)), SentencePattern("Send", ("node0",))),
+            ),
+            OrderedQuestion(
+                "ordered", (SentencePattern("Sum", ("A",)), SentencePattern("Send", ("node0",)))
+            ),
+        ]
+
+    def drive(self, sas, rows, clock):
+        for time, kind, sent in rows:
+            clock["t"] = time
+            if kind is EventKind.ACTIVATE:
+                sas.activate(sent)
+            else:
+                sas.deactivate(sent)
+
+    ROWS = [
+        (1.0, EventKind.ACTIVATE, A_SUM),
+        (2.0, EventKind.ACTIVATE, N0_SEND),
+        (3.0, EventKind.DEACTIVATE, N0_SEND),
+        (4.0, EventKind.DEACTIVATE, A_SUM),
+        (5.0, EventKind.ACTIVATE, N0_SEND),  # send with no sum: conj unsatisfied
+        (6.0, EventKind.DEACTIVATE, N0_SEND),
+        (7.0, EventKind.ACTIVATE, A_SUM),  # still open at the end
+    ]
+
+    def test_matches_live_watchers_exactly(self):
+        clock = {"t": 0.0}
+        sas = ActiveSentenceSet(clock=lambda: clock["t"])
+        watchers = [sas.attach_question(q) for q in self.questions()]
+        self.drive(sas, self.ROWS, clock)
+        end = 8.0
+        live = [(w.total_satisfied_time(end), w.transitions, w.satisfied) for w in watchers]
+
+        answers = evaluate_questions(make_trace(self.ROWS), self.questions(), end_time=end)
+        retro = [
+            (a.satisfied_time, a.transitions, a.satisfied_at_end)
+            for a in (answers[q.name] for q in self.questions())
+        ]
+        assert retro == live
+        assert live[0] == (4.0, 3, True)  # sanity: open interval counts to end
+        assert live[1][0] == 1.0
+
+    def test_node_filter(self):
+        trace = Trace()
+        trace.record(1.0, EventKind.ACTIVATE, A_SUM, node_id=0)
+        trace.record(2.0, EventKind.ACTIVATE, A_SUM, node_id=1)
+        trace.record(3.0, EventKind.DEACTIVATE, A_SUM, node_id=0)
+        trace.record(6.0, EventKind.DEACTIVATE, A_SUM, node_id=1)
+        q = [PerformanceQuestion("q", (SentencePattern("Sum", ("A",)),))]
+        assert evaluate_questions(trace, q, node=0)["q"].satisfied_time == 2.0
+        assert evaluate_questions(trace, q, node=1)["q"].satisfied_time == 4.0
+        assert evaluate_questions(trace, q)["q"].satisfied_time == 5.0
+
+    def test_works_from_a_trace_reader(self, tmp_path):
+        path = tmp_path / "t.rtrc"
+        with TraceWriter(path) as w:
+            w.record_trace(make_trace(self.ROWS))
+        a = evaluate_questions(TraceReader(path), self.questions(), end_time=8.0)
+        b = evaluate_questions(make_trace(self.ROWS), self.questions(), end_time=8.0)
+        assert {k: vars(v) for k, v in a.items()} == {k: vars(v) for k, v in b.items()}
+
+
+class TestIntervals:
+    def test_flattens_and_closes_open(self):
+        rows = [
+            (1.0, EventKind.ACTIVATE, A_SUM),
+            (2.0, EventKind.ACTIVATE, A_SUM),
+            (3.0, EventKind.DEACTIVATE, A_SUM),
+            (4.0, EventKind.DEACTIVATE, A_SUM),
+            (5.0, EventKind.ACTIVATE, B_SUM),
+        ]
+        ivs = sentence_intervals(make_trace(rows), end_time=9.0)
+        assert ivs[A_SUM] == [(1.0, 4.0)]
+        assert ivs[B_SUM] == [(5.0, 9.0)]
+
+    def test_unbalanced_raises(self):
+        trace = Trace()
+        trace.record(1.0, EventKind.DEACTIVATE, A_SUM)
+        with pytest.raises(ValueError, match="deactivate without activate"):
+            sentence_intervals(trace)
+
+
+class TestWindowedMappings:
+    ROWS = [
+        (1.0, EventKind.ACTIVATE, A_SUM),
+        (2.0, EventKind.DEACTIVATE, A_SUM),
+        (2.5, EventKind.ACTIVATE, N0_SEND),  # 0.5 after A deactivated
+        (3.0, EventKind.DEACTIVATE, N0_SEND),
+    ]
+
+    def test_window_zero_is_the_live_rule(self):
+        found = windowed_mappings(make_trace(self.ROWS), window=0.0)
+        assert found == []  # never co-active: the live SAS records nothing
+
+    def test_positive_window_recovers_the_deferred_mapping(self):
+        found = windowed_mappings(
+            make_trace(self.ROWS),
+            window=1.0,
+            src_filter=SentencePattern("Sum", ("A",)),
+            dst_filter=SentencePattern("Send", ("node0",)),
+        )
+        assert len(found) == 1
+        m = found[0]
+        assert (m.source, m.destination) == (A_SUM, N0_SEND)
+        assert m.lag == pytest.approx(0.5)
+        assert m.overlaps == 1
+
+    def test_concurrent_overlap_has_zero_lag(self):
+        rows = [
+            (1.0, EventKind.ACTIVATE, A_SUM),
+            (1.5, EventKind.ACTIVATE, N0_SEND),
+            (2.0, EventKind.DEACTIVATE, N0_SEND),
+            (3.0, EventKind.DEACTIVATE, A_SUM),
+        ]
+        found = windowed_mappings(make_trace(rows), window=0.0)
+        by_pair = {(m.source, m.destination): m for m in found}
+        assert by_pair[(A_SUM, N0_SEND)].lag == 0.0
+        assert (A_SUM, A_SUM) not in by_pair  # no self-mappings
+
+
+class TestWindowedAttribution:
+    # two producers, their consumers fire after a flush delay, FIFO order
+    ROWS = [
+        (1.0, EventKind.ACTIVATE, A_SUM),
+        (1.1, EventKind.DEACTIVATE, A_SUM),
+        (1.2, EventKind.ACTIVATE, B_SUM),
+        (1.3, EventKind.DEACTIVATE, B_SUM),
+        (2.0, EventKind.ACTIVATE, N0_SEND),  # belongs to A (FIFO)
+        (2.1, EventKind.DEACTIVATE, N0_SEND),
+        (2.2, EventKind.ACTIVATE, N0_SEND),  # belongs to B
+        (2.3, EventKind.DEACTIVATE, N0_SEND),
+    ]
+
+    def test_fifo_matches_one_to_one(self):
+        res = windowed_attribution(
+            make_trace(self.ROWS),
+            producer=SentencePattern("Sum", ("?",)),
+            consumer=SentencePattern("Send", ("node0",)),
+            window=2.0,
+            key=lambda s: s.nouns[0].name,
+        )
+        assert res.counts == {"A": 1, "B": 1}
+        assert res.unattributed == 0
+        assert [(str(p), round(lag, 6)) for p, _c, lag in res.pairs] == [
+            ("{A Sum}", 0.9),
+            ("{B Sum}", 0.9),
+        ]
+
+    def test_all_policy_overcredits(self):
+        res = windowed_attribution(
+            make_trace(self.ROWS),
+            producer=SentencePattern("Sum", ("?",)),
+            consumer=SentencePattern("Send", ("node0",)),
+            window=2.0,
+            policy="all",
+            key=lambda s: s.nouns[0].name,
+        )
+        # every producer's window covers both consumers
+        assert res.counts == {"A": 2, "B": 2}
+
+    def test_narrow_window_leaves_unattributed(self):
+        res = windowed_attribution(
+            make_trace(self.ROWS),
+            producer=SentencePattern("Sum", ("?",)),
+            consumer=SentencePattern("Send", ("node0",)),
+            window=0.1,
+        )
+        assert res.counts == {}
+        assert res.unattributed == 2
+
+    def test_unknown_policy_raises(self):
+        with pytest.raises(ValueError, match="unknown attribution policy"):
+            windowed_attribution(make_trace(self.ROWS), lambda s: True, lambda s: True, 1.0, policy="lifo")
+
+
+class TestStatsAndDiff:
+    def test_trace_stats(self):
+        rows = [
+            (1.0, EventKind.ACTIVATE, A_SUM),
+            (2.0, EventKind.DEACTIVATE, A_SUM),
+            (3.0, EventKind.ACTIVATE, A_SUM),
+            (5.0, EventKind.DEACTIVATE, A_SUM),
+        ]
+        stats = trace_stats(make_trace(rows))
+        st = stats[A_SUM]
+        assert (st.activations, st.active_time, st.first, st.last) == (2, 3.0, 1.0, 5.0)
+
+    def test_diff_identical(self):
+        rows = [(1.0, EventKind.ACTIVATE, A_SUM), (2.0, EventKind.DEACTIVATE, A_SUM)]
+        diff = diff_traces(make_trace(rows), make_trace(rows))
+        assert diff.is_identical()
+        assert diff.unchanged == 1
+        assert diff.level_deltas["HPF"] == (0, 0.0)
+
+    def test_diff_reports_changes_and_exclusives(self):
+        a = make_trace(
+            [
+                (1.0, EventKind.ACTIVATE, A_SUM),
+                (2.0, EventKind.DEACTIVATE, A_SUM),
+                (3.0, EventKind.ACTIVATE, B_SUM),
+                (4.0, EventKind.DEACTIVATE, B_SUM),
+            ]
+        )
+        b = make_trace(
+            [
+                (1.0, EventKind.ACTIVATE, A_SUM),
+                (5.0, EventKind.DEACTIVATE, A_SUM),  # longer active time
+                (6.0, EventKind.ACTIVATE, N0_SEND),
+                (7.0, EventKind.DEACTIVATE, N0_SEND),
+            ]
+        )
+        diff = diff_traces(a, b)
+        assert not diff.is_identical()
+        assert diff.only_a == [B_SUM]
+        assert diff.only_b == [N0_SEND]
+        assert [s for s, _a, _b in diff.changed] == [A_SUM]
+        d_act, d_time = diff.level_deltas["HPF"]
+        assert d_act == -1  # B_SUM's activation disappeared
+        assert d_time == pytest.approx(3.0 - 1.0)  # A grew 3s, B lost its 1s
+        assert diff.level_deltas["CMRTS"] == (1, pytest.approx(1.0))
+
+    def test_time_tolerance_suppresses_jitter(self):
+        a = make_trace([(1.0, EventKind.ACTIVATE, A_SUM), (2.0, EventKind.DEACTIVATE, A_SUM)])
+        b = make_trace(
+            [(1.0, EventKind.ACTIVATE, A_SUM), (2.0000001, EventKind.DEACTIVATE, A_SUM)]
+        )
+        assert not diff_traces(a, b).is_identical()
+        assert diff_traces(a, b, time_tolerance=1e-6).is_identical()
