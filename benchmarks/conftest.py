@@ -71,7 +71,7 @@ def baseline_guard(request):
             return
         path = OUT_DIR / f"{name}.txt"
         if not path.exists():
-            warnings.warn(f"--baseline: no committed artifact at {path}")
+            warnings.warn(f"--baseline: no committed artifact at {path}", stacklevel=2)
             return
         baseline = None
         for line in path.read_text(encoding="utf-8").splitlines():
@@ -79,14 +79,15 @@ def baseline_guard(request):
                 baseline = float(line.split(":", 1)[1])
                 break
         if baseline is None:
-            warnings.warn(f"--baseline: no indexed_ops_per_sec line in {path}")
+            warnings.warn(f"--baseline: no indexed_ops_per_sec line in {path}", stacklevel=2)
             return
         floor = baseline * (1.0 - BASELINE_DROP_TOLERANCE)
         if ops_per_sec < floor:
             warnings.warn(
                 f"{name} throughput regression: {ops_per_sec:,.0f} ops/s is "
                 f">{BASELINE_DROP_TOLERANCE:.0%} below the committed baseline "
-                f"{baseline:,.0f} ops/s"
+                f"{baseline:,.0f} ops/s",
+                stacklevel=2,
             )
 
     return check

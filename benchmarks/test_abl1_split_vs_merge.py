@@ -90,7 +90,7 @@ def test_abl1_split_vs_merge(benchmark, save_artifact):
     assert errs[0] < 0.05
     # ...and increasingly wrong as the skew grows
     assert errs[-1] > 0.5
-    assert all(a <= b + 1e-9 for a, b in zip(errs, errs[1:]))
+    assert all(a <= b + 1e-9 for a, b in zip(errs, errs[1:], strict=False))
 
     table = text_table(
         [

@@ -76,7 +76,7 @@ def test_abl2_perturbation(benchmark, save_artifact):
     assert all(e >= elapsed[0] for e in elapsed)
     assert elapsed[-1] > elapsed[0]
     # perturbation is roughly linear in executions (constant cost per callout)
-    per_exec = [p / e for p, e in zip(perturbs[1:], execs[1:])]
+    per_exec = [p / e for p, e in zip(perturbs[1:], execs[1:], strict=True)]
     assert max(per_exec) / min(per_exec) < 1.05
 
     rows = []

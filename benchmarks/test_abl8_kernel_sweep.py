@@ -147,7 +147,7 @@ def test_abl8_kernel_sweep(benchmark, save_artifact, baseline_guard, artifact_di
 
     # differential: parallel sweep output is byte-identical to serial --
     # same final times, metric counters, and SAS transition logs per config
-    for s, p in zip(r["serial_results"], r["parallel_results"]):
+    for s, p in zip(r["serial_results"], r["parallel_results"], strict=True):
         assert s.key == p.key
         assert s.value == p.value, f"sweep result diverged for {s.key}"
     assert fingerprint(r["serial_results"]) == fingerprint(r["parallel_results"])

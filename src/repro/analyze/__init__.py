@@ -1,0 +1,44 @@
+"""Static mapping-information analyzer (NV lint) + trace sanitizer.
+
+The paper's static mapping information (PIF, Section 3 / Figures 2-3) is
+declared *before* execution -- which means it can also be *checked*
+before execution.  This package lints every layer that carries mapping
+information:
+
+* :mod:`.nv` -- PIF documents: declarations, resolution, level graph,
+  one-to-many discipline (NV001-NV008);
+* :mod:`.mdlpass` -- MDL metrics against instrumentation points and the
+  declared vocabulary (NV009-NV010);
+* :mod:`.cmfpass` -- compiled CM Fortran IR: arrays without mapping
+  points, mapping points without uses (NV011-NV012);
+* :mod:`.sanitize` -- recorded ``.rtrc`` runs cross-checked against the
+  static declarations: attribution leaks and dead declarations
+  (NV013-NV016);
+* :mod:`.driver` -- the ``repro lint`` entry point tying them together.
+"""
+
+from .cmfpass import analyze_program
+from .diagnostics import CODES, Diagnostic, Severity, counts, diag, max_severity
+from .driver import LintResult, format_json, format_text, lint_paths
+from .mdlpass import analyze_mdl
+from .nv import analyze_pif, merge_documents
+from .sanitize import builtin_level_ranks, sanitize_trace
+
+__all__ = [
+    "CODES",
+    "Diagnostic",
+    "LintResult",
+    "Severity",
+    "analyze_mdl",
+    "analyze_pif",
+    "analyze_program",
+    "builtin_level_ranks",
+    "counts",
+    "diag",
+    "format_json",
+    "format_text",
+    "lint_paths",
+    "max_severity",
+    "merge_documents",
+    "sanitize_trace",
+]

@@ -1,0 +1,67 @@
+"""Static analysis of compiled CM Fortran programs (IR pass).
+
+Mapping information for node code starts at the *mapping points* the
+compiler plants: every dispatched node code block is one (Section 5's
+``cmpe_corr_6_()``), because dispatch is where the runtime can emit
+dynamic mapping records tying base-level activity back to source lines
+and arrays.  Two defects break that chain statically:
+
+* an array no node code block ever touches has no allocation-site
+  mapping point, so no dynamic record can ever name it (NV011);
+* a node code block that is lowered but never dispatched -- e.g. an
+  uncalled subroutine -- is a mapping point dominating no use (NV012).
+"""
+
+from __future__ import annotations
+
+from ..cmfortran.ir import DispatchStep, LoopStep, PlanStep
+from ..cmfortran.program import CompiledProgram
+from .diagnostics import Diagnostic, diag
+
+__all__ = ["analyze_program"]
+
+
+def _dispatched_blocks(steps: list[PlanStep]) -> set[str]:
+    names: set[str] = set()
+    for step in steps:
+        if isinstance(step, DispatchStep):
+            names.add(step.block.name)
+        elif isinstance(step, LoopStep):
+            names |= _dispatched_blocks(step.body)
+    return names
+
+
+def analyze_program(program: CompiledProgram, path: str = "") -> list[Diagnostic]:
+    """NV011/NV012 over one compiled program's lowering output."""
+    out: list[Diagnostic] = []
+    plan = program.plan
+
+    touched: set[str] = set()
+    for block in plan.blocks:
+        touched |= set(block.arrays_used)
+    for name, sym in sorted(program.symbols.arrays.items()):
+        if name not in touched:
+            out.append(
+                diag(
+                    "NV011",
+                    f"parallel array {name!r} is touched by no node code block; "
+                    f"no mapping point can ever attribute cost to it",
+                    path,
+                    line=sym.decl_line,
+                )
+            )
+
+    dispatched = _dispatched_blocks(plan.steps)
+    for block in plan.blocks:
+        if block.name not in dispatched:
+            line = min(block.lines) if block.lines else None
+            out.append(
+                diag(
+                    "NV012",
+                    f"node code block {block.name!r} is never dispatched; "
+                    f"its mapping point dominates no use",
+                    path,
+                    line=line,
+                )
+            )
+    return out

@@ -1,0 +1,200 @@
+"""The lint driver: classify inputs, run every pass, format results.
+
+``lint_paths`` is what ``repro lint`` calls.  Inputs are classified by
+extension (``.pif``, ``.mdl``, ``.cmf``/``.fcm``, ``.rtrc``) and
+processed in dependency order: PIF and CM Fortran sources first (they
+build the static context), then MDL (checked against that context's
+vocabulary), then traces (sanitized against the merged static
+document).  A CM Fortran source contributes twice: the IR pass runs over
+its lowering output, and the PIF generated from its listing is folded
+into the static context so traces of the program can be sanitized
+against it.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+from dataclasses import dataclass, field
+
+from ..cmfortran import compile_source
+from ..cmrts.dispatch import POINTS
+from ..cmrts.nv import standard_vocabulary
+from ..mdl.library import standard_metrics
+from ..mdl.parser import parse_mdl
+from ..pif import generate_pif
+from ..pif import load as load_pif
+from ..pif.records import PIFDocument
+from .cmfpass import analyze_program
+from .diagnostics import Diagnostic, Severity, counts, diag, max_severity
+from .mdlpass import analyze_mdl
+from .nv import analyze_pif, merge_documents
+from .sanitize import sanitize_trace
+
+__all__ = ["LintResult", "lint_paths", "format_text", "format_json"]
+
+#: pseudo-path the --mdl-library input is reported under
+LIBRARY_PATH = "<figure9-library>"
+
+_LINE_RE = re.compile(r"\bline\s+(\d+)", re.IGNORECASE)
+
+
+@dataclass
+class LintResult:
+    """Everything one lint run produced."""
+
+    diagnostics: list[Diagnostic] = field(default_factory=list)
+    inputs: list[str] = field(default_factory=list)
+
+    @property
+    def worst(self) -> Severity | None:
+        return max_severity(self.diagnostics)
+
+    def counts(self) -> dict[str, int]:
+        return counts(self.diagnostics)
+
+    def codes(self, path: str | None = None) -> list[str]:
+        """Sorted unique codes, optionally restricted to one input."""
+        return sorted(
+            {d.code for d in self.diagnostics if path is None or d.path == path}
+        )
+
+    def fails(self, threshold: Severity) -> bool:
+        worst = self.worst
+        return worst is not None and worst >= threshold
+
+
+def _error_line(exc: Exception) -> int | None:
+    """Pull a source line out of an exception, if it reports one."""
+    lineno = getattr(exc, "lineno", None)
+    if isinstance(lineno, int):
+        return lineno
+    m = _LINE_RE.search(str(exc))
+    return int(m.group(1)) if m else None
+
+
+def _classify(path: str) -> str:
+    lower = path.lower()
+    for ext, kind in ((".pif", "pif"), (".mdl", "mdl"), (".cmf", "cmf"), (".fcm", "cmf"), (".rtrc", "rtrc")):
+        if lower.endswith(ext):
+            return kind
+    return "unknown"
+
+
+def lint_paths(paths: list[str], mdl_library: bool = False) -> LintResult:
+    """Run every applicable analyzer pass over the given input files."""
+    result = LintResult(inputs=list(paths))
+    out = result.diagnostics
+
+    by_kind: dict[str, list[str]] = {"pif": [], "mdl": [], "cmf": [], "rtrc": []}
+    for path in paths:
+        kind = _classify(path)
+        if kind == "unknown":
+            out.append(
+                diag("NV000", "unrecognized input type (expected .pif/.mdl/.cmf/.rtrc)", path)
+            )
+        else:
+            by_kind[kind].append(path)
+
+    # ---- static context: PIF files and PIF generated from CMF listings
+    docs: list[tuple[str, PIFDocument]] = []
+    pif_docs: list[tuple[str, PIFDocument]] = []
+    for path in by_kind["pif"]:
+        try:
+            doc = load_pif(path)
+        except Exception as exc:
+            out.append(diag("NV000", f"cannot load PIF: {exc}", path, line=_error_line(exc)))
+            continue
+        out.extend(analyze_pif(doc, path))
+        docs.append((path, doc))
+        pif_docs.append((path, doc))
+
+    for path in by_kind["cmf"]:
+        try:
+            with open(path, encoding="utf-8") as fh:
+                source = fh.read()
+            program = compile_source(source, source_file=path)
+        except Exception as exc:
+            out.append(diag("NV000", f"cannot compile: {exc}", path, line=_error_line(exc)))
+            continue
+        out.extend(analyze_program(program, path))
+        generated = generate_pif(program.listing)
+        out.extend(analyze_pif(generated, path))
+        docs.append((path, generated))
+
+    # Explicit PIF inputs assert one shared mapping universe, so cross-file
+    # redefinition conflicts between them are reportable; compiler-generated
+    # documents are per-program namespaces and merge is not attempted.
+    if len(pif_docs) > 1:
+        _merged, merge_diags = merge_documents(pif_docs)
+        out.extend(merge_diags)
+
+    # ---- MDL, checked against PIF vocabulary + the standard CMRTS world
+    vocab = standard_vocabulary()
+    known_verbs = {v.name for lv in vocab.levels() for v in vocab.verbs_at(lv.name)}
+    known_verbs |= {d.name for _p, doc in docs for d in doc.verbs}
+    known_nouns = {d.name for _p, doc in docs for d in doc.nouns} or None
+    points = frozenset(POINTS)
+
+    mdl_inputs: list[tuple[str, object]] = []
+    if mdl_library:
+        mdl_inputs.append((LIBRARY_PATH, list(standard_metrics().values())))
+        result.inputs.append(LIBRARY_PATH)
+    for path in by_kind["mdl"]:
+        try:
+            with open(path, encoding="utf-8") as fh:
+                metrics = parse_mdl(fh.read())
+        except Exception as exc:
+            out.append(diag("NV000", f"cannot parse MDL: {exc}", path, line=_error_line(exc)))
+            continue
+        mdl_inputs.append((path, metrics))
+    for path, metrics in mdl_inputs:
+        out.extend(
+            analyze_mdl(metrics, path, points=points, verbs=known_verbs, nouns=known_nouns)
+        )
+
+    # ---- traces, sanitized against every static document
+    static_docs = [doc for _path, doc in docs]
+    for path in by_kind["rtrc"]:
+        try:
+            from ..trace import TraceReader
+
+            reader = TraceReader(path)
+        except Exception as exc:
+            out.append(diag("NV000", f"cannot read trace: {exc}", path))
+            continue
+        out.extend(sanitize_trace(reader, static_docs, path))
+
+    return result
+
+
+# ----------------------------------------------------------------------
+# output formats
+# ----------------------------------------------------------------------
+def format_text(result: LintResult) -> str:
+    lines = [d.render() for d in result.diagnostics]
+    c = result.counts()
+    lines.append(
+        f"{len(result.inputs)} input(s): "
+        f"{c['error']} error(s), {c['warn']} warning(s), {c['info']} info"
+    )
+    return "\n".join(lines)
+
+
+def format_json(result: LintResult) -> str:
+    payload = {
+        "inputs": result.inputs,
+        "counts": result.counts(),
+        "diagnostics": [
+            {
+                "code": d.code,
+                "severity": d.severity.label,
+                "message": d.message,
+                "path": d.path,
+                "record": d.record,
+                "line": d.line,
+            }
+            for d in result.diagnostics
+        ],
+    }
+    return json.dumps(payload, indent=2, sort_keys=True)

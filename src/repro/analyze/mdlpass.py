@@ -1,0 +1,104 @@
+"""Static analysis of MDL metric definitions against the NV world.
+
+An MDL metric is only as good as the instrumentation points and context
+fields it names: a clause at a nonexistent point never fires, and a
+``when verb == "Summ"`` guard over a verb nobody declares silently
+matches nothing.  Both defects are invisible at parse time and at run
+time -- the metric just reads zero -- so they are exactly the class of
+bug a lint pass should catch.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+
+from ..mdl.ast import (
+    Comparison,
+    Condition,
+    Conjunction,
+    ContainsTest,
+    Disjunction,
+    MetricDef,
+    Negation,
+)
+from .diagnostics import Diagnostic, diag
+
+__all__ = ["analyze_mdl"]
+
+#: context fields whose values name nouns / verbs (see mdl.compiler's
+#: ContextEquals/ContextContains consumers in the instrumentation layer)
+_VERB_FIELDS = frozenset({"verb"})
+_NOUN_FIELDS = frozenset({"noun", "array", "block", "line"})
+
+
+def _condition_refs(cond: Condition) -> Iterable[tuple[str, str]]:
+    """Yield ``(kind, name)`` for every noun/verb a condition names."""
+    if isinstance(cond, (Comparison, ContainsTest)):
+        if isinstance(cond.value, str):
+            if cond.field in _VERB_FIELDS:
+                yield ("verb", cond.value)
+            elif cond.field in _NOUN_FIELDS:
+                yield ("noun", cond.value)
+    elif isinstance(cond, (Conjunction, Disjunction)):
+        for term in cond.terms:
+            yield from _condition_refs(term)
+    elif isinstance(cond, Negation):
+        yield from _condition_refs(cond.term)
+
+
+def analyze_mdl(
+    metrics: list[MetricDef],
+    path: str = "",
+    *,
+    points: frozenset[str] | set[str],
+    verbs: set[str],
+    nouns: set[str] | None = None,
+) -> list[Diagnostic]:
+    """Check metric clauses against known points and declared vocabulary.
+
+    ``verbs`` is the union of verb names the PIF inputs and the standard
+    CMRTS vocabulary declare; ``nouns`` likewise for noun names.  When
+    ``nouns`` is None (no PIF supplied alongside the MDL), noun-valued
+    guards are not checked -- noun populations are program-specific.
+    """
+    out: list[Diagnostic] = []
+    seen: dict[str, MetricDef] = {}
+    for m in metrics:
+        prev = seen.get(m.name)
+        if prev is not None:
+            code = "NV004" if prev == m else "NV003"
+            detail = "identical" if prev == m else "a different"
+            out.append(diag(code, f"metric {m.name!r} redefined with {detail} definition", path))
+            continue
+        seen[m.name] = m
+        for clause in m.clauses:
+            if clause.point not in points:
+                out.append(
+                    diag(
+                        "NV009",
+                        f"metric {m.name!r}: unknown instrumentation point {clause.point!r}",
+                        path,
+                    )
+                )
+            if clause.condition is None:
+                continue
+            for kind, name in _condition_refs(clause.condition):
+                if kind == "verb" and name not in verbs:
+                    out.append(
+                        diag(
+                            "NV010",
+                            f"metric {m.name!r}: condition references verb {name!r} "
+                            f"that no vocabulary declares",
+                            path,
+                        )
+                    )
+                elif kind == "noun" and nouns is not None and name not in nouns:
+                    out.append(
+                        diag(
+                            "NV010",
+                            f"metric {m.name!r}: condition references noun {name!r} "
+                            f"that no PIF declares",
+                            path,
+                        )
+                    )
+    return out

@@ -1,0 +1,370 @@
+"""Static analysis passes over PIF documents (the NV model).
+
+These passes work on :class:`~repro.pif.records.PIFDocument` *records* --
+the unresolved wire form -- so they can diagnose exactly the inputs that
+would make resolution blow up later (undefined names, ambiguous names,
+conflicting redefinitions) instead of crashing on them.
+
+Record indices in diagnostics follow the canonical dump order of
+:func:`repro.pif.format.dumps` (levels, then nouns, then verbs, then
+mappings), which matches the on-disk record order for every file this
+package writes.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+
+from ..pif.records import MappingDef, PIFDocument, SentenceRef
+from .diagnostics import Diagnostic, diag
+
+__all__ = ["analyze_pif", "merge_documents"]
+
+
+def _rec_index(doc: PIFDocument, kind: str, i: int) -> int:
+    """Canonical record index of the i-th record of ``kind``."""
+    base = 0
+    for attr in ("levels", "nouns", "verbs", "mappings"):
+        if attr == kind:
+            return base + i
+        base += len(getattr(doc, attr))
+    raise ValueError(kind)
+
+
+# ----------------------------------------------------------------------
+# declaration passes: NV001-NV004
+# ----------------------------------------------------------------------
+def _check_levels(doc: PIFDocument, path: str, out: list[Diagnostic]) -> None:
+    first: dict[str, tuple[int, object]] = {}
+    exact: set = set()
+    for i, lv in enumerate(doc.levels):
+        rec = _rec_index(doc, "levels", i)
+        if lv in exact:
+            out.append(diag("NV004", f"duplicate LEVEL record for {lv.name!r}", path, rec))
+            continue
+        exact.add(lv)
+        if lv.name in first:
+            _frec, prev = first[lv.name]
+            if prev.rank != lv.rank:
+                out.append(
+                    diag(
+                        "NV001",
+                        f"level {lv.name!r} redefined with rank {lv.rank} "
+                        f"(previously rank {prev.rank})",
+                        path,
+                        rec,
+                    )
+                )
+            else:
+                out.append(
+                    diag(
+                        "NV003",
+                        f"level {lv.name!r} redefined with a different description",
+                        path,
+                        rec,
+                    )
+                )
+        else:
+            first[lv.name] = (rec, lv)
+
+
+def _check_nounverbs(doc: PIFDocument, path: str, out: list[Diagnostic]) -> None:
+    level_names = {lv.name for lv in doc.levels}
+    for kind, defs in (("noun", doc.nouns), ("verb", doc.verbs)):
+        attr = kind + "s"
+        first: dict[tuple[str, str], object] = {}
+        exact: set = set()
+        for i, d in enumerate(defs):
+            rec = _rec_index(doc, attr, i)
+            if level_names and d.abstraction not in level_names:
+                out.append(
+                    diag(
+                        "NV002",
+                        f"{kind} {d.name!r} declared at undefined level {d.abstraction!r}",
+                        path,
+                        rec,
+                    )
+                )
+            if d in exact:
+                out.append(
+                    diag(
+                        "NV004",
+                        f"duplicate {kind.upper()} record for {d.name!r} at {d.abstraction!r}",
+                        path,
+                        rec,
+                    )
+                )
+                continue
+            exact.add(d)
+            key = (d.name, d.abstraction)
+            if key in first:
+                out.append(
+                    diag(
+                        "NV003",
+                        f"{kind} {d.name!r} at level {d.abstraction!r} redefined "
+                        f"with a different description",
+                        path,
+                        rec,
+                    )
+                )
+            else:
+                first[key] = d
+
+
+# ----------------------------------------------------------------------
+# mapping passes: NV004 (dup), NV005 (resolution)
+# ----------------------------------------------------------------------
+def _ref_levels(doc: PIFDocument, ref: SentenceRef) -> set[str]:
+    """Abstraction levels a sentence ref touches (of its resolvable names)."""
+    levels: set[str] = set()
+    for name in ref.nouns:
+        matches = {d.abstraction for d in doc.nouns if d.name == name}
+        levels |= matches
+    levels |= {d.abstraction for d in doc.verbs if d.name == ref.verb}
+    return levels
+
+
+def _check_ref(
+    doc: PIFDocument, ref: SentenceRef, path: str, rec: int, where: str, out: list[Diagnostic]
+) -> bool:
+    """NV005 for one endpoint; True if every name resolves uniquely."""
+    ok = True
+    for kind, names, defs in (
+        ("noun", ref.nouns, doc.nouns),
+        ("verb", (ref.verb,), doc.verbs),
+    ):
+        for name in names:
+            levels = sorted({d.abstraction for d in defs if d.name == name})
+            if not levels:
+                out.append(
+                    diag(
+                        "NV005",
+                        f"mapping {where} references undefined {kind} {name!r}",
+                        path,
+                        rec,
+                    )
+                )
+                ok = False
+            elif len(levels) > 1:
+                out.append(
+                    diag(
+                        "NV005",
+                        f"mapping {where} {kind} {name!r} is ambiguous across levels {levels}",
+                        path,
+                        rec,
+                    )
+                )
+                ok = False
+    return ok
+
+
+def _check_mappings(doc: PIFDocument, path: str, out: list[Diagnostic]) -> list[MappingDef]:
+    """NV004/NV005 over MAPPING records; returns the fully-resolvable ones."""
+    resolvable: list[MappingDef] = []
+    exact: set = set()
+    for i, md in enumerate(doc.mappings):
+        rec = _rec_index(doc, "mappings", i)
+        if md in exact:
+            out.append(
+                diag("NV004", f"duplicate MAPPING record {md.source} -> {md.destination}", path, rec)
+            )
+            continue
+        exact.add(md)
+        src_ok = _check_ref(doc, md.source, path, rec, f"source {md.source}", out)
+        dst_ok = _check_ref(doc, md.destination, path, rec, f"destination {md.destination}", out)
+        if src_ok and dst_ok:
+            resolvable.append(md)
+    return resolvable
+
+
+# ----------------------------------------------------------------------
+# level-graph passes: NV006 (cycles), NV007 (reachability)
+# ----------------------------------------------------------------------
+def _level_edges(doc: PIFDocument, mappings: list[MappingDef]) -> set[tuple[str, str]]:
+    """Directed level transitions induced by resolvable mappings."""
+    edges: set[tuple[str, str]] = set()
+    for md in mappings:
+        for src in _ref_levels(doc, md.source):
+            for dst in _ref_levels(doc, md.destination):
+                if src != dst:
+                    edges.add((src, dst))
+    return edges
+
+
+def _find_cycle(edges: set[tuple[str, str]]) -> list[str] | None:
+    """Any directed cycle through the level graph, as a node list."""
+    succ: dict[str, list[str]] = defaultdict(list)
+    for a, b in sorted(edges):
+        succ[a].append(b)
+    WHITE, GRAY, BLACK = 0, 1, 2
+    color: dict[str, int] = defaultdict(int)
+    stack: list[str] = []
+
+    def visit(node: str) -> list[str] | None:
+        color[node] = GRAY
+        stack.append(node)
+        for nxt in succ[node]:
+            if color[nxt] == GRAY:
+                return stack[stack.index(nxt) :] + [nxt]
+            if color[nxt] == WHITE:
+                cyc = visit(nxt)
+                if cyc is not None:
+                    return cyc
+        stack.pop()
+        color[node] = BLACK
+        return None
+
+    for node in sorted(succ):
+        if color[node] == WHITE:
+            cyc = visit(node)
+            if cyc is not None:
+                return cyc
+    return None
+
+
+def _check_level_graph(
+    doc: PIFDocument, mappings: list[MappingDef], path: str, out: list[Diagnostic]
+) -> None:
+    edges = _level_edges(doc, mappings)
+    cycle = _find_cycle(edges)
+    if cycle is not None:
+        out.append(
+            diag("NV006", "mapping cycle through levels " + " -> ".join(repr(c) for c in cycle), path)
+        )
+        return  # reachability is meaningless while the graph is cyclic
+
+    # NV007: a declared level whose sentences can never reach the top
+    # abstraction through the mapping graph.  Only meaningful when the
+    # document declares ranked levels and at least one mapping.
+    if not doc.levels or not mappings:
+        return
+    ranks: dict[str, int] = {}
+    for lv in doc.levels:
+        ranks.setdefault(lv.name, lv.rank)
+    top = max(ranks, key=lambda name: ranks[name])
+    # Treat mapping edges as undirected for connectivity: the paper maps
+    # both upward (dynamic) and downward (static), and either direction
+    # lets the tool carry attribution across the pair of levels.
+    adj: dict[str, set[str]] = defaultdict(set)
+    for a, b in edges:
+        adj[a].add(b)
+        adj[b].add(a)
+    reached = {top}
+    frontier = [top]
+    while frontier:
+        node = frontier.pop()
+        for nxt in adj[node]:
+            if nxt not in reached:
+                reached.add(nxt)
+                frontier.append(nxt)
+    declared = {d.abstraction for d in doc.nouns} | {d.abstraction for d in doc.verbs}
+    for name in sorted(ranks):
+        if name != top and name in declared and name not in reached:
+            out.append(
+                diag(
+                    "NV007",
+                    f"level {name!r} has no mapping path to top level {top!r}",
+                    path,
+                )
+            )
+
+
+# ----------------------------------------------------------------------
+# one-to-many discipline pass: NV008
+# ----------------------------------------------------------------------
+def _check_destination_overlap(
+    doc: PIFDocument, mappings: list[MappingDef], path: str, out: list[Diagnostic]
+) -> None:
+    """NV008: relay diamonds -- the PR-2 double-count shape, caught statically.
+
+    Distinct sources sharing destinations is normal (assign_costs
+    aggregates weakly-connected components, so the shared cost is
+    accounted once).  What no split/merge discipline can reconcile is a
+    source S whose destination set contains another mapping source X
+    *and* overlaps X's own destinations: D is then charged both directly
+    from S and again through the S -> X -> D relay.
+    """
+    by_source: dict[SentenceRef, set[SentenceRef]] = defaultdict(set)
+    for md in mappings:
+        by_source[md.source].add(md.destination)
+    for src_a in sorted(by_source, key=str):
+        dst_a = by_source[src_a]
+        for src_b in sorted(by_source, key=str):
+            if src_b is src_a or src_b not in dst_a:
+                continue
+            common = dst_a & by_source[src_b]
+            if common:
+                shared = ", ".join(sorted(str(d) for d in common))
+                out.append(
+                    diag(
+                        "NV008",
+                        f"{src_a} maps to {{{shared}}} both directly and through "
+                        f"{src_b} (split/merge double-count hazard)",
+                        path,
+                    )
+                )
+
+
+# ----------------------------------------------------------------------
+# entry points
+# ----------------------------------------------------------------------
+def analyze_pif(doc: PIFDocument, path: str = "") -> list[Diagnostic]:
+    """Run every static NV pass over one PIF document."""
+    out: list[Diagnostic] = []
+    _check_levels(doc, path, out)
+    _check_nounverbs(doc, path, out)
+    resolvable = _check_mappings(doc, path, out)
+    _check_level_graph(doc, resolvable, path, out)
+    _check_destination_overlap(doc, resolvable, path, out)
+    return out
+
+
+def merge_documents(docs: list[tuple[str, PIFDocument]]) -> tuple[PIFDocument, list[Diagnostic]]:
+    """Merge documents leniently, reporting cross-file conflicts.
+
+    Unlike :meth:`PIFDocument.merge` (which now raises on conflicting
+    redefinitions), this collects each conflict as an NV001/NV003
+    diagnostic and keeps the first definition, so downstream passes and
+    the trace sanitizer still get a usable combined document.
+    """
+    merged = PIFDocument()
+    out: list[Diagnostic] = []
+    level_by_name: dict[str, object] = {}
+    nv_by_key: dict[tuple[str, str, str], object] = {}
+    for path, doc in docs:
+        for lv in doc.levels:
+            prev = level_by_name.get(lv.name)
+            if prev is None:
+                level_by_name[lv.name] = lv
+                merged.levels.append(lv)
+            elif prev.rank != lv.rank:
+                out.append(
+                    diag(
+                        "NV001",
+                        f"level {lv.name!r} redefined with rank {lv.rank} "
+                        f"(previously rank {prev.rank})",
+                        path,
+                    )
+                )
+        for kind, defs in (("noun", doc.nouns), ("verb", doc.verbs)):
+            for d in defs:
+                key = (kind, d.name, d.abstraction)
+                prev = nv_by_key.get(key)
+                if prev is None:
+                    nv_by_key[key] = d
+                    getattr(merged, kind + "s").append(d)
+                elif prev.description != d.description:
+                    out.append(
+                        diag(
+                            "NV003",
+                            f"{kind} {d.name!r} at level {d.abstraction!r} redefined "
+                            f"with a different description",
+                            path,
+                        )
+                    )
+        seen = set(merged.mappings)
+        for md in doc.mappings:
+            if md not in seen:
+                merged.mappings.append(md)
+                seen.add(md)
+    return merged, out

@@ -11,6 +11,10 @@ Usage::
     python -m repro sweep db --clients 1,2,4 --queries 1,3,6 --workers 4 --verify
     python -m repro trace record db --out run.rtrc --clients 2
     python -m repro trace query run.rtrc --pattern "{Q0 QueryActive}" --mappings
+    python -m repro lint examples/fragment.pif run.rtrc --mdl-library --fail-on error
+
+Exit codes: 0 success, 1 findings/divergence at or above the requested
+threshold, 2 usage or input errors.
 """
 
 from __future__ import annotations
@@ -162,6 +166,25 @@ def build_parser() -> argparse.ArgumentParser:
         "--tolerance", type=float, default=0.0, help="active-time delta to ignore"
     )
     t_diff.add_argument("--json", action="store_true")
+
+    p_lint = sub.add_parser(
+        "lint", help="statically check PIF/MDL/CMF mapping information and sanitize traces"
+    )
+    p_lint.add_argument(
+        "files", nargs="+", metavar="FILE", help="inputs: .pif, .mdl, .cmf/.fcm, .rtrc"
+    )
+    p_lint.add_argument("--format", choices=("text", "json"), default="text")
+    p_lint.add_argument(
+        "--fail-on",
+        choices=("warn", "error"),
+        default="error",
+        help="exit 1 when findings at/above this severity exist (default: error)",
+    )
+    p_lint.add_argument(
+        "--mdl-library",
+        action="store_true",
+        help="also lint the built-in Figure-9 MDL metric library",
+    )
 
     p_fuzz = sub.add_parser(
         "fuzz", help="differential-test random programs against the oracle"
@@ -553,6 +576,14 @@ def _trace_diff(args) -> int:
     return 1
 
 
+def _cmd_lint(args) -> int:
+    from .analyze import Severity, format_json, format_text, lint_paths
+
+    result = lint_paths(args.files, mdl_library=args.mdl_library)
+    print(format_json(result) if args.format == "json" else format_text(result))
+    return 1 if result.fails(Severity.parse(args.fail_on)) else 0
+
+
 def _cmd_trace(args) -> int:
     return {
         "record": _trace_record,
@@ -571,6 +602,7 @@ _COMMANDS = {
     "sweep": _cmd_sweep,
     "fuzz": _cmd_fuzz,
     "trace": _cmd_trace,
+    "lint": _cmd_lint,
 }
 
 
@@ -588,6 +620,13 @@ def main(argv: list[str] | None = None) -> int:
         except OSError:
             pass
         return 0
+    except Exception as exc:
+        import os
+
+        if os.environ.get("REPRO_DEBUG"):
+            raise
+        print(f"repro: error: {exc}", file=sys.stderr)
+        return 2
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -117,7 +117,7 @@ def _segments_to_transfers(
             if src_lo < cut < src_hi:
                 pieces.append(cut)
         pieces.append(src_hi)
-        for a, b in zip(pieces, pieces[1:]):
+        for a, b in zip(pieces, pieces[1:], strict=False):
             d_lo = dst_lo + (a - src_lo)
             # split further on destination ownership boundaries
             dst_cuts = sorted({c for lo, hi in dst_ranges for c in (lo, hi)})
@@ -127,7 +127,7 @@ def _segments_to_transfers(
                 if 0 < rel < b - a:
                     sub.append(a + rel)
             sub.append(b)
-            for u, v in zip(sub, sub[1:]):
+            for u, v in zip(sub, sub[1:], strict=False):
                 src_node = _owner(u, src_ranges)
                 dst_node = _owner(d_lo + (u - a), dst_ranges)
                 out.append(

@@ -142,7 +142,7 @@ class SplitPolicy(AssignmentPolicy):
             share = 1.0 / len(destinations)
             weights = [1.0] * len(destinations)
             norm = float(len(destinations))
-        for dest, w in zip(destinations, weights):
+        for dest, w in zip(destinations, weights, strict=True):
             out.charge_sentence(dest, total.scaled(w / norm))
 
 

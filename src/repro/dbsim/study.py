@@ -230,7 +230,7 @@ def run_db_study(
             f.close()
     stray = sum(
         len(cs.on_transition) - base
-        for cs, base in zip(client_sases, baseline_watchers)
+        for cs, base in zip(client_sases, baseline_watchers, strict=True)
     )
 
     return DBOutcome(

@@ -38,7 +38,7 @@ def time_plot(
     span_t = (t_max - t_min) or 1.0
 
     grid = [[" "] * width for _ in range(height)]
-    for si, (name, pts) in enumerate(series.items()):
+    for si, (_name, pts) in enumerate(series.items()):
         glyph = _GLYPHS[si % len(_GLYPHS)]
         for t, v in pts:
             col = min(width - 1, int((t - t_min) / span_t * (width - 1)))

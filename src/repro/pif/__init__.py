@@ -10,6 +10,7 @@ from .generator import ListingParseError, generate_pif, parse_listing
 from .records import (
     LevelDef,
     MappingDef,
+    MergeConflictError,
     NounDef,
     PIFDocument,
     ResolutionError,
@@ -21,6 +22,7 @@ __all__ = [
     "LevelDef",
     "ListingParseError",
     "MappingDef",
+    "MergeConflictError",
     "NounDef",
     "PIFDocument",
     "PIFSyntaxError",

@@ -31,7 +31,15 @@ __all__ = ["ListingParseError", "parse_listing", "generate_pif"]
 
 
 class ListingParseError(ValueError):
-    """The compiler listing does not match the expected format."""
+    """The compiler listing does not match the expected format.
+
+    ``lineno`` is the 1-based listing line the parser rejected (None when
+    the failure is not tied to a single line, e.g. a missing header).
+    """
+
+    def __init__(self, message: str, lineno: int | None = None):
+        super().__init__(f"line {lineno}: {message}" if lineno is not None else message)
+        self.lineno = lineno
 
 
 _ARRAY_RE = re.compile(
@@ -91,7 +99,7 @@ def parse_listing(text: str) -> ParsedListing:
     stmts: dict[int, dict] = {}
     blocks = []
     subroutines = []
-    for raw in text.splitlines():
+    for lineno, raw in enumerate(text.splitlines(), start=1):
         line = raw.strip()
         if not line:
             continue
@@ -125,13 +133,13 @@ def parse_listing(text: str) -> ParsedListing:
             continue
         m = _STMT_RE.match(line)
         if m:
-            lineno, kind, writes, reads, reductions = m.groups()
+            stmt_line, kind, writes, reads, reductions = m.groups()
             red_pairs = []
             if reductions != "-":
                 for pair in reductions.split(";"):
                     verb, _, arr = pair.partition(":")
                     red_pairs.append((verb, arr))
-            stmts[int(lineno)] = {
+            stmts[int(stmt_line)] = {
                 "kind": kind,
                 "writes": [] if writes == "-" else writes.split(","),
                 "reads": [] if reads == "-" else reads.split(","),
@@ -150,7 +158,7 @@ def parse_listing(text: str) -> ParsedListing:
                 )
             )
             continue
-        raise ListingParseError(f"unrecognized listing line: {line!r}")
+        raise ListingParseError(f"unrecognized listing line: {line!r}", lineno)
     if not program:
         raise ListingParseError("listing missing '* program:' header")
     return ParsedListing(program, source_file, arrays, scalars, stmts, blocks, subroutines)

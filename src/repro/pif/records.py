@@ -29,7 +29,15 @@ from ..core import (
     Vocabulary,
 )
 
-__all__ = ["LevelDef", "NounDef", "VerbDef", "SentenceRef", "MappingDef", "PIFDocument"]
+__all__ = [
+    "LevelDef",
+    "NounDef",
+    "VerbDef",
+    "SentenceRef",
+    "MappingDef",
+    "PIFDocument",
+    "MergeConflictError",
+]
 
 
 @dataclass(frozen=True)
@@ -84,6 +92,10 @@ class MappingDef:
 
 class ResolutionError(Exception):
     """A PIF record references an undefined noun/verb or is ambiguous."""
+
+
+class MergeConflictError(ValueError):
+    """Two documents redefine the same name with different payloads."""
 
 
 @dataclass
@@ -153,7 +165,31 @@ class PIFDocument:
         return graph
 
     def merge(self, other: "PIFDocument") -> None:
-        """Append another document's records (deduplicated)."""
+        """Append another document's records (deduplicated).
+
+        Raises :class:`MergeConflictError` when the other document
+        *redefines* an existing name with a different payload: a level
+        with the same name but a different rank or description, or a
+        noun/verb with the same (name, level) but a different
+        description.  Identical records deduplicate silently.
+        """
+        by_level_name = {lv.name: lv for lv in self.levels}
+        for lv in other.levels:
+            prev = by_level_name.get(lv.name)
+            if prev is not None and prev != lv:
+                raise MergeConflictError(
+                    f"level {lv.name!r} redefined: rank {prev.rank} described "
+                    f"{prev.description!r} vs rank {lv.rank} described {lv.description!r}"
+                )
+        for kind, attr in (("noun", "nouns"), ("verb", "verbs")):
+            by_key = {(d.name, d.abstraction): d for d in getattr(self, attr)}
+            for d in getattr(other, attr):
+                prev = by_key.get((d.name, d.abstraction))
+                if prev is not None and prev != d:
+                    raise MergeConflictError(
+                        f"{kind} {d.name!r} at level {d.abstraction!r} redefined: "
+                        f"described {prev.description!r} vs {d.description!r}"
+                    )
         for attr in ("levels", "nouns", "verbs", "mappings"):
             mine = getattr(self, attr)
             seen = set(mine)

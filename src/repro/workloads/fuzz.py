@@ -9,9 +9,10 @@ against the reference interpreter.
 from __future__ import annotations
 
 import random
+import re
 from dataclasses import dataclass, field
 
-__all__ = ["FuzzConfig", "random_program", "random_trace"]
+__all__ = ["FuzzConfig", "mutate_pif", "random_program", "random_trace"]
 
 
 @dataclass(frozen=True)
@@ -137,7 +138,7 @@ def random_program(seed: int, cfg: FuzzConfig | None = None) -> str:
             decls.append(f"  LAYOUT {name}T({rng.choice(['BLOCK, *', '*, BLOCK'])})")
 
     body = [f"  A{i} = {rng.uniform(0.5, 3.0):.3f}" for i in range(cfg.num_1d_arrays)]
-    for m, r, c in state.arrays_2d:
+    for m, _r, _c in state.arrays_2d:
         body.append(f"  {m} = {rng.uniform(0.5, 3.0):.3f}")
     statements = [_statement(state) for _ in range(cfg.statements)]
 
@@ -155,6 +156,56 @@ def random_program(seed: int, cfg: FuzzConfig | None = None) -> str:
 
     lines = ["PROGRAM FUZZ", *decls, *body, "END", *subroutines]
     return "\n".join(lines) + "\n"
+
+
+def mutate_pif(text: str, seed: int, mutations: int = 3) -> str:
+    """Structurally mutate PIF document text.
+
+    Starting from a *valid* document, applies ``mutations`` seeded-random
+    edits at the record level: duplicating, dropping, and reordering
+    records, renaming field values, rewriting ranks, deleting field lines,
+    and shuffling fields within a record.  The result may or may not still
+    parse -- the contract under fuzz is that the static analyzer either
+    parses-and-diagnoses it or rejects it with a syntax error, but never
+    crashes with anything else.
+    """
+    rng = random.Random(seed)
+    blocks = [b for b in text.split("\n\n") if b.strip()]
+    for _ in range(mutations):
+        if not blocks:
+            break
+        i = rng.randrange(len(blocks))
+        op = rng.choice(["dup", "drop", "rename", "rank", "swap", "chop", "shuffle"])
+        if op == "dup":
+            blocks.insert(i, blocks[i])
+        elif op == "drop":
+            blocks.pop(i)
+        elif op == "rename":
+            lines = blocks[i].splitlines()
+            j = rng.randrange(len(lines))
+            key, eq, _value = lines[j].partition("=")
+            if eq:
+                lines[j] = f"{key}= X{rng.randrange(100)}"
+            blocks[i] = "\n".join(lines)
+        elif op == "rank":
+            blocks[i] = re.sub(
+                r"rank = -?\d+", f"rank = {rng.randrange(-1, 5)}", blocks[i]
+            )
+        elif op == "swap":
+            j = rng.randrange(len(blocks))
+            blocks[i], blocks[j] = blocks[j], blocks[i]
+        elif op == "chop":
+            lines = blocks[i].splitlines()
+            if len(lines) > 1:
+                lines.pop(rng.randrange(1, len(lines)))
+            blocks[i] = "\n".join(lines)
+        else:  # shuffle field order within the record
+            lines = blocks[i].splitlines()
+            if len(lines) > 2:
+                tail = lines[1:]
+                rng.shuffle(tail)
+                blocks[i] = "\n".join([lines[0], *tail])
+    return "\n\n".join(blocks) + "\n"
 
 
 def random_trace(

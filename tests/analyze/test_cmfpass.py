@@ -1,0 +1,49 @@
+"""Unit tests for the CM Fortran IR pass (NV011-NV012)."""
+
+from repro.analyze import analyze_program
+from repro.cmfortran import compile_source
+from repro.workloads import HPF_FRAGMENT, STENCIL_HEAT
+
+
+def codes(source: str) -> list[str]:
+    program = compile_source(source, "t.cmf")
+    return sorted({d.code for d in analyze_program(program, "t.cmf")})
+
+
+def test_shipped_workloads_are_clean():
+    assert codes(HPF_FRAGMENT) == []
+    assert codes(STENCIL_HEAT) == []
+
+
+def test_untouched_array_is_nv011_with_decl_line():
+    program = compile_source(
+        "PROGRAM P\n  REAL A(64), B(64)\n  A = 1.0\n  S = SUM(A)\nEND\n", "t.cmf"
+    )
+    diags = analyze_program(program, "t.cmf")
+    assert [d.code for d in diags] == ["NV011"]
+    assert "'B'" in diags[0].message
+    assert diags[0].line == 2  # B's declaration line
+
+
+def test_uncalled_subroutine_is_nv012():
+    source = (
+        "PROGRAM MAIN\n  REAL A(64)\n  A = 1.0\n  S = SUM(A)\nEND PROGRAM\n\n"
+        "SUBROUTINE GHOST\n  REAL G(64)\n  G = 2.0\nEND SUBROUTINE\n"
+    )
+    program = compile_source(source, "t.cmf")
+    diags = analyze_program(program, "t.cmf")
+    assert [d.code for d in diags] == ["NV012"]
+    assert "never dispatched" in diags[0].message
+
+
+def test_called_subroutine_blocks_are_not_flagged():
+    source = (
+        "PROGRAM MAIN\n  REAL A(64)\n  A = 1.0\n  CALL HELPER()\n  S = SUM(A)\nEND PROGRAM\n\n"
+        "SUBROUTINE HELPER\n  REAL H(64)\n  H = 2.0\nEND SUBROUTINE\n"
+    )
+    assert codes(source) == []
+
+
+def test_blocks_dispatched_inside_do_loops_count_as_used():
+    source = "PROGRAM LOOPY\n  REAL A(64)\n  A = 0.0\n  DO I = 1, 3\n    A = A + 1.0\n  END DO\nEND\n"
+    assert codes(source) == []

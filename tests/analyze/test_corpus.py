@@ -1,0 +1,48 @@
+"""The defect corpus: every bad input reports exactly its expected codes.
+
+``corpus/manifest.json`` pairs each corpus file with the diagnostic
+codes ``repro lint`` must report for it -- the stable contract the CI
+lint job also enforces.  A corpus file producing extra codes is as much
+a regression as one producing none.
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.analyze import CODES, Severity, lint_paths
+
+CORPUS = Path(__file__).parent / "corpus"
+MANIFEST = json.loads((CORPUS / "manifest.json").read_text(encoding="utf-8"))
+
+
+def test_manifest_covers_every_corpus_file():
+    files = {p.name for p in CORPUS.iterdir() if p.name != "manifest.json"}
+    assert files == set(MANIFEST)
+
+
+@pytest.mark.parametrize("name", sorted(MANIFEST))
+def test_corpus_file_reports_expected_codes(name):
+    result = lint_paths([str(CORPUS / name)])
+    assert result.codes() == sorted(MANIFEST[name])
+
+
+def test_manifest_codes_are_registered():
+    for codes in MANIFEST.values():
+        for code in codes:
+            assert code in CODES
+
+
+def test_corpus_covers_most_of_the_code_table():
+    # NV014/NV015/NV016 need trace+doc combinations exercised in
+    # test_sanitize; everything else must have a corpus witness.
+    covered = {code for codes in MANIFEST.values() for code in codes}
+    assert {f"NV{i:03d}" for i in range(14)} <= covered
+
+
+def test_whole_corpus_fails_an_error_gate():
+    paths = [str(CORPUS / name) for name in sorted(MANIFEST)]
+    result = lint_paths(paths)
+    assert result.fails(Severity.ERROR)
+    assert result.counts()["error"] >= 8

@@ -1,0 +1,53 @@
+"""Robustness fuzz: the analyzer never crashes on mutated PIF documents.
+
+Every input either parses and yields diagnostics or is rejected with the
+format's own syntax error -- any other exception is an analyzer bug.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analyze import CODES, analyze_pif, merge_documents
+from repro.cmfortran import compile_source
+from repro.pif import PIFSyntaxError, dumps, generate_pif, loads
+from repro.workloads import HPF_FRAGMENT, STENCIL_HEAT
+from repro.workloads.fuzz import mutate_pif
+
+SEEDS = [
+    dumps(generate_pif(compile_source(src, name).listing))
+    for src, name in [(HPF_FRAGMENT, "fragment.cmf"), (STENCIL_HEAT, "heat.cmf")]
+]
+
+
+@settings(max_examples=120, deadline=None)
+@given(
+    base=st.sampled_from(SEEDS),
+    seed=st.integers(0, 2**32 - 1),
+    mutations=st.integers(1, 8),
+)
+def test_analyzer_never_crashes_on_mutated_pif(base, seed, mutations):
+    text = mutate_pif(base, seed, mutations)
+    try:
+        doc = loads(text)
+    except PIFSyntaxError:
+        return  # NV000 territory: the driver reports it, no crash
+    diags = analyze_pif(doc, "fuzz.pif")
+    assert all(d.code in CODES for d in diags)
+
+
+@settings(max_examples=40, deadline=None)
+@given(seed=st.integers(0, 2**32 - 1), mutations=st.integers(1, 6))
+def test_cross_file_merge_never_crashes_on_mutants(seed, mutations):
+    try:
+        mutant = loads(mutate_pif(SEEDS[0], seed, mutations))
+    except PIFSyntaxError:
+        return
+    pristine = loads(SEEDS[0])
+    merged, diags = merge_documents([("a.pif", pristine), ("b.pif", mutant)])
+    assert all(d.code in CODES for d in diags)
+    assert len(merged.levels) >= len(pristine.levels)
+
+
+def test_mutations_are_deterministic_per_seed():
+    assert mutate_pif(SEEDS[0], 7) == mutate_pif(SEEDS[0], 7)
+    assert mutate_pif(SEEDS[0], 7) != mutate_pif(SEEDS[0], 8)

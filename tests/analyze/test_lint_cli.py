@@ -1,0 +1,79 @@
+"""The ``repro lint`` subcommand: formats, thresholds, exit codes."""
+
+import json
+from pathlib import Path
+
+from repro.cli import main
+
+CORPUS = Path(__file__).parent / "corpus"
+REPO = Path(__file__).resolve().parents[2]
+
+
+def test_clean_input_exits_zero(capsys):
+    rc = main(["lint", str(REPO / "examples" / "fragment.pif")])
+    out = capsys.readouterr().out
+    assert rc == 0
+    assert "0 error(s)" in out
+
+
+def test_errors_exit_one_and_render_locations(capsys):
+    rc = main(["lint", str(CORPUS / "unresolved_mapping.pif")])
+    out = capsys.readouterr().out
+    assert rc == 1
+    assert "error NV005" in out
+    assert "unresolved_mapping.pif:rec" in out
+
+
+def test_fail_on_threshold_distinguishes_warnings(capsys):
+    warn_only = str(CORPUS / "duplicate_records.pif")
+    assert main(["lint", warn_only]) == 0  # default gate: error
+    assert "warn NV004" in capsys.readouterr().out
+    assert main(["lint", "--fail-on", "warn", warn_only]) == 1
+
+
+def test_json_format_is_machine_readable(capsys):
+    rc = main(["lint", "--format", "json", str(CORPUS / "bad_point.mdl")])
+    payload = json.loads(capsys.readouterr().out)
+    assert rc == 1
+    assert payload["counts"]["error"] == 1
+    (entry,) = payload["diagnostics"]
+    assert entry["code"] == "NV009"
+    assert entry["severity"] == "error"
+    assert entry["path"].endswith("bad_point.mdl")
+
+
+def test_missing_file_is_nv000(capsys, tmp_path):
+    rc = main(["lint", str(tmp_path / "ghost.pif")])
+    assert rc == 1
+    assert "NV000" in capsys.readouterr().out
+
+
+def test_unknown_extension_is_nv000(capsys, tmp_path):
+    path = tmp_path / "notes.txt"
+    path.write_text("hello\n", encoding="utf-8")
+    rc = main(["lint", str(path)])
+    assert rc == 1
+    assert "NV000" in capsys.readouterr().out
+
+
+def test_mdl_library_gate_is_clean(capsys):
+    rc = main(["lint", "--mdl-library", str(REPO / "examples" / "fragment.pif")])
+    out = capsys.readouterr().out
+    assert rc == 0
+    assert "2 input(s)" in out  # the library counts as an input
+
+
+def test_shipped_examples_pass_the_error_gate(capsys):
+    files = sorted(
+        str(p) for p in (REPO / "examples").iterdir() if p.suffix in {".cmf", ".pif"}
+    )
+    assert files
+    rc = main(["lint", "--fail-on", "error", *files])
+    assert rc == 0, capsys.readouterr().out
+
+
+def test_runtime_errors_in_any_subcommand_exit_two(capsys, monkeypatch):
+    monkeypatch.delenv("REPRO_DEBUG", raising=False)
+    rc = main(["trace", "info", "/nonexistent/ghost.rtrc"])
+    assert rc == 2
+    assert "repro: error:" in capsys.readouterr().err

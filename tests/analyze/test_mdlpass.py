@@ -1,0 +1,67 @@
+"""Unit tests for the MDL pass (NV009-NV010) and the Figure-9 library gate."""
+
+from repro.analyze import analyze_mdl
+from repro.cmrts.dispatch import POINTS
+from repro.cmrts.nv import BASE_VERBS, CMF_VERBS, CMRTS_VERBS
+from repro.mdl import parse_mdl
+from repro.mdl.library import standard_metrics
+
+VERBS = {v.name for v in (*CMF_VERBS, *CMRTS_VERBS, *BASE_VERBS)}
+
+
+def run(source: str, nouns=None):
+    return analyze_mdl(
+        parse_mdl(source), "t.mdl", points=frozenset(POINTS), verbs=VERBS, nouns=nouns
+    )
+
+
+def test_figure9_library_is_clean():
+    diags = analyze_mdl(
+        list(standard_metrics().values()),
+        "<figure9-library>",
+        points=frozenset(POINTS),
+        verbs=VERBS,
+    )
+    assert diags == []
+
+
+def test_unknown_point_is_nv009():
+    diags = run(
+        'metric m { units "ops"; style counter; at cmrts.ghost entry count 1; }'
+    )
+    assert [d.code for d in diags] == ["NV009"]
+    assert "cmrts.ghost" in diags[0].message
+
+
+def test_unknown_verb_guard_is_nv010():
+    diags = run(
+        'metric m { units "s"; style timer process;'
+        ' at cmrts.reduce entry when verb == "Summ" start;'
+        " at cmrts.reduce exit stop; }"
+    )
+    assert [d.code for d in diags] == ["NV010"]
+
+
+def test_verb_guard_inside_boolean_operators_is_checked():
+    diags = run(
+        'metric m { units "ops"; style counter;'
+        ' at cmrts.reduce entry when verb == "Sum" or verb == "Summ" count 1; }'
+    )
+    assert [d.code for d in diags] == ["NV010"]
+
+
+def test_noun_guards_skipped_without_pif_context():
+    source = (
+        'metric m { units "ops"; style counter;'
+        ' at cmrts.compute entry when array == "GHOST" count 1; }'
+    )
+    assert run(source) == []  # no PIF: noun population unknown
+    diags = run(source, nouns={"A", "B"})
+    assert [d.code for d in diags] == ["NV010"]
+
+
+def test_duplicate_metric_names():
+    same = 'metric m { units "ops"; style counter; at cmrts.compute entry count 1; }'
+    different = 'metric m { units "ops"; style counter; at cmrts.reduce entry count 1; }'
+    assert [d.code for d in run(same + same)] == ["NV004"]
+    assert [d.code for d in run(same + different)] == ["NV003"]

@@ -1,0 +1,120 @@
+"""Unit tests for the PIF static passes (NV001-NV008)."""
+
+from repro.analyze import Severity, analyze_pif, diag, merge_documents
+from repro.pif import loads
+
+CLEAN = """LEVEL
+name = App
+rank = 1
+
+LEVEL
+name = Base
+rank = 0
+
+NOUN
+name = worker
+abstraction = Base
+
+NOUN
+name = request
+abstraction = App
+
+VERB
+name = Runs
+abstraction = Base
+
+VERB
+name = Acts
+abstraction = App
+
+MAPPING
+source = {worker, Runs}
+destination = {request, Acts}
+"""
+
+
+def codes(doc_text: str) -> list[str]:
+    return sorted({d.code for d in analyze_pif(loads(doc_text), "t.pif")})
+
+
+def test_clean_document_has_no_diagnostics():
+    assert analyze_pif(loads(CLEAN), "t.pif") == []
+
+
+def test_severities_follow_the_registry():
+    text = CLEAN + "\nMAPPING\nsource = {worker, Runs}\ndestination = {ghost, Acts}\n"
+    diags = analyze_pif(loads(text), "t.pif")
+    assert [d.code for d in diags] == ["NV005"]
+    assert diags[0].severity is Severity.ERROR
+    assert "t.pif" in diags[0].render()
+
+
+def test_record_index_points_at_the_offending_record():
+    text = CLEAN + "\nMAPPING\nsource = {worker, Runs}\ndestination = {ghost, Acts}\n"
+    d = analyze_pif(loads(text), "t.pif")[0]
+    # canonical order: 2 levels + 2 nouns + 2 verbs + 2 mappings -> index 7
+    assert d.record == 7
+    assert "rec7" in d.location()
+
+
+def test_nv002_only_fires_when_levels_are_declared():
+    # a document with no LEVEL records cannot validate abstractions
+    text = "NOUN\nname = x\nabstraction = Anywhere\n"
+    assert codes(text) == []
+
+
+def test_nv003_requires_differing_payload():
+    # byte-identical duplicates are NV004, not NV003
+    dup = CLEAN + "\nNOUN\nname = worker\nabstraction = Base\n"
+    assert "NV004" in codes(dup)
+    assert "NV003" not in codes(dup)
+
+
+def test_nv006_cycle_reports_participating_levels():
+    text = CLEAN + "\nMAPPING\nsource = {request, Acts}\ndestination = {worker, Runs}\n"
+    diags = analyze_pif(loads(text), "t.pif")
+    assert [d.code for d in diags] == ["NV006"]
+    assert "'App'" in diags[0].message and "'Base'" in diags[0].message
+
+
+def test_nv007_needs_mappings_to_judge_reachability():
+    # declarations without any MAPPING records: nothing to check
+    no_mappings = CLEAN.split("MAPPING")[0]
+    assert codes(no_mappings) == []
+
+
+def test_nv008_ignores_shared_destinations_without_relay():
+    # two sources feeding the same destination is the normal many-to-one
+    # shape; assign_costs aggregates the component, so no hazard
+    text = (
+        CLEAN
+        + "\nNOUN\nname = helper\nabstraction = Base\n"
+        + "\nMAPPING\nsource = {helper, Runs}\ndestination = {request, Acts}\n"
+    )
+    assert codes(text) == []
+
+
+def test_nv008_fires_on_relay_diamond():
+    text = (
+        CLEAN
+        + "\nNOUN\nname = helper\nabstraction = Base\n"
+        + "\nMAPPING\nsource = {worker, Runs}\ndestination = {helper, Runs}\n"
+        + "\nMAPPING\nsource = {helper, Runs}\ndestination = {request, Acts}\n"
+    )
+    assert codes(text) == ["NV008"]
+
+
+def test_merge_documents_reports_cross_file_conflicts_and_keeps_first():
+    a = loads("LEVEL\nname = App\nrank = 2\n")
+    b = loads("LEVEL\nname = App\nrank = 1\n")
+    merged, diags = merge_documents([("a.pif", a), ("b.pif", b)])
+    assert [d.code for d in diags] == ["NV001"]
+    assert diags[0].path == "b.pif"
+    assert [lv.rank for lv in merged.levels] == [2]
+
+
+def test_diag_rejects_unregistered_codes():
+    import pytest
+
+    with pytest.raises(ValueError):
+        diag("NV999", "nope")

@@ -1,0 +1,156 @@
+"""The trace sanitizer: attribution leaks, orphans, dead declarations.
+
+Covers the acceptance pair from the issue: a recorded run with a seeded
+attribution leak (deferred non-causal disk writes) must produce NV013,
+and the shipped fig6 sample trace linted together with its program's
+static mapping information must produce zero errors.
+"""
+
+from pathlib import Path
+
+import pytest
+
+from repro.analyze import Severity, lint_paths, sanitize_trace
+from repro.core import EventKind, Sentence, SentenceEvent, Noun, Verb
+from repro.pif import generate_pif, loads
+from repro.cmfortran import compile_source
+from repro.trace import TraceReader, TraceWriter
+from repro.unixsim import FunctionSpec, run_figure7_study
+from repro.workloads import HPF_FRAGMENT
+
+REPO = Path(__file__).resolve().parents[2]
+FIG6 = REPO / "benchmarks" / "out" / "sample_fig6.rtrc"
+
+
+def record_unix(path: Path, causal: bool, idle_tail: bool) -> None:
+    script = [
+        FunctionSpec(f"f{i}", writes=n, compute_time=4e-4) for i, n in enumerate([2, 1, 1])
+    ]
+    if idle_tail:
+        script.append(FunctionSpec("idle_tail", writes=0, compute_time=2e-2))
+    with TraceWriter(str(path), metadata={"study": "unix", "causal": causal}) as w:
+        run_figure7_study(script, causal=causal, recorder=w)
+
+
+def test_seeded_leak_is_nv013(tmp_path):
+    path = tmp_path / "leak.rtrc"
+    record_unix(path, causal=False, idle_tail=False)
+    diags = sanitize_trace(TraceReader(str(path)), None, "leak.rtrc")
+    assert [d.code for d in diags] == ["NV013"]
+    assert diags[0].severity is Severity.ERROR
+    assert "UNIX Kernel" in diags[0].message
+
+
+def test_causal_run_is_clean(tmp_path):
+    path = tmp_path / "ok.rtrc"
+    record_unix(path, causal=True, idle_tail=True)
+    assert sanitize_trace(TraceReader(str(path)), None, "ok.rtrc") == []
+
+
+def test_fig6_sample_trace_has_zero_errors():
+    program = compile_source(HPF_FRAGMENT, "fragment.cmf")
+    doc = generate_pif(program.listing)
+    diags = sanitize_trace(TraceReader(str(FIG6)), doc, "sample_fig6.rtrc")
+    assert all(d.severity < Severity.ERROR for d in diags)
+
+
+def test_lone_orphan_in_attributed_level_is_nv014():
+    # one Base sentence overlaps user activity, its sibling runs after
+    # everything else: the level as a whole attributes, the sibling warns
+    top = Sentence(Verb("Compute", "CM Fortran"), (Noun("A", "CM Fortran"),))
+    good = Sentence(Verb("Send", "Base"), (Noun("node0", "Base"),))
+    orphan = Sentence(Verb("Send", "Base"), (Noun("node1", "Base"),))
+    events = [
+        SentenceEvent(0.0, EventKind.ACTIVATE, top),
+        SentenceEvent(1.0, EventKind.ACTIVATE, good),
+        SentenceEvent(2.0, EventKind.DEACTIVATE, good),
+        SentenceEvent(10.0, EventKind.DEACTIVATE, top),
+        SentenceEvent(20.0, EventKind.ACTIVATE, orphan),
+        SentenceEvent(21.0, EventKind.DEACTIVATE, orphan),
+    ]
+    diags = sanitize_trace(events, None, "t.rtrc")
+    assert [d.code for d in diags] == ["NV014"]
+    assert diags[0].severity is Severity.WARNING
+    assert "{node1 Send}" in diags[0].message
+
+
+def test_dead_declaration_is_nv015():
+    doc = loads(
+        "LEVEL\nname = App\nrank = 1\n\nLEVEL\nname = Base\nrank = 0\n\n"
+        "NOUN\nname = worker\nabstraction = Base\n\n"
+        "NOUN\nname = request\nabstraction = App\n\n"
+        "VERB\nname = Runs\nabstraction = Base\n\n"
+        "VERB\nname = Acts\nabstraction = App\n\n"
+        "MAPPING\nsource = {worker, Runs}\ndestination = {request, Acts}\n"
+    )
+    request_acts = Sentence(Verb("Acts", "App"), (Noun("request", "App"),))
+    events = [
+        SentenceEvent(0.0, EventKind.ACTIVATE, request_acts),
+        SentenceEvent(1.0, EventKind.DEACTIVATE, request_acts),
+    ]
+    diags = sanitize_trace(events, doc, "t.rtrc")
+    assert [d.code for d in diags] == ["NV015"]
+    assert "{worker Runs}" in diags[0].message
+
+
+def test_exercised_declaration_is_not_dead():
+    doc = loads(
+        "LEVEL\nname = App\nrank = 1\n\nLEVEL\nname = Base\nrank = 0\n\n"
+        "NOUN\nname = worker\nabstraction = Base\n\n"
+        "NOUN\nname = request\nabstraction = App\n\n"
+        "VERB\nname = Runs\nabstraction = Base\n\n"
+        "VERB\nname = Acts\nabstraction = App\n\n"
+        "MAPPING\nsource = {worker, Runs}\ndestination = {request, Acts}\n"
+    )
+    worker_runs = Sentence(Verb("Runs", "Base"), (Noun("worker", "Base"),))
+    request_acts = Sentence(Verb("Acts", "App"), (Noun("request", "App"),))
+    events = [
+        SentenceEvent(0.0, EventKind.ACTIVATE, request_acts),
+        SentenceEvent(0.2, EventKind.ACTIVATE, worker_runs),
+        SentenceEvent(0.8, EventKind.DEACTIVATE, worker_runs),
+        SentenceEvent(1.0, EventKind.DEACTIVATE, request_acts),
+    ]
+    assert sanitize_trace(events, doc, "t.rtrc") == []
+
+
+def test_unknown_level_is_nv016_and_not_leak_checked():
+    mystery = Sentence(Verb("Hums", "Mystery"), (Noun("box", "Mystery"),))
+    events = [
+        SentenceEvent(0.0, EventKind.ACTIVATE, mystery),
+        SentenceEvent(1.0, EventKind.DEACTIVATE, mystery),
+    ]
+    diags = sanitize_trace(events, None, "t.rtrc")
+    assert [d.code for d in diags] == ["NV016"]
+    assert diags[0].severity is Severity.INFO
+
+
+def test_static_path_rescues_non_coactive_sentence():
+    # worker active strictly after request: no co-activity, but the
+    # static mapping still ties it to the top level
+    doc = loads(
+        "LEVEL\nname = App\nrank = 1\n\nLEVEL\nname = Base\nrank = 0\n\n"
+        "NOUN\nname = worker\nabstraction = Base\n\n"
+        "NOUN\nname = request\nabstraction = App\n\n"
+        "VERB\nname = Runs\nabstraction = Base\n\n"
+        "VERB\nname = Acts\nabstraction = App\n\n"
+        "MAPPING\nsource = {worker, Runs}\ndestination = {request, Acts}\n"
+    )
+    worker_runs = Sentence(Verb("Runs", "Base"), (Noun("worker", "Base"),))
+    request_acts = Sentence(Verb("Acts", "App"), (Noun("request", "App"),))
+    events = [
+        SentenceEvent(0.0, EventKind.ACTIVATE, request_acts),
+        SentenceEvent(1.0, EventKind.DEACTIVATE, request_acts),
+        SentenceEvent(2.0, EventKind.ACTIVATE, worker_runs),
+        SentenceEvent(3.0, EventKind.DEACTIVATE, worker_runs),
+    ]
+    diags = sanitize_trace(events, doc, "t.rtrc")
+    assert [d.code for d in diags] == []
+
+
+@pytest.mark.skipif(not FIG6.exists(), reason="sample trace not present")
+def test_lint_paths_fig6_acceptance(tmp_path):
+    # the full driver path: fragment source + generated PIF + sample trace
+    cmf = tmp_path / "fragment.cmf"
+    cmf.write_text(HPF_FRAGMENT, encoding="utf-8")
+    result = lint_paths([str(cmf), str(FIG6)])
+    assert not result.fails(Severity.ERROR)

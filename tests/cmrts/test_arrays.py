@@ -22,7 +22,7 @@ def test_block_ranges_cover_everything_exactly():
             ranges = block_ranges(n, p)
             assert len(ranges) == p
             assert ranges[0][0] == 0 and ranges[-1][1] == n
-            for (a, b), (c, d) in zip(ranges, ranges[1:]):
+            for (a, b), (c, _d) in zip(ranges, ranges[1:], strict=False):
                 assert b == c and a <= b
 
     with pytest.raises(ValueError):

@@ -189,3 +189,47 @@ def test_sentences_lists_all_endpoints():
     g = MappingGraph()
     g.add(Mapping(func("F1"), line(1)))
     assert set(g.sentences()) == {func("F1"), line(1)}
+
+
+class TestDegenerateGraphs:
+    """Degenerate shapes the static analyzer leans on: mutual self-maps,
+    isolated sentences, and chains relayed through an otherwise-empty
+    level must not confuse component discovery or classification."""
+
+    def test_two_cycle_collapses_to_one_component(self):
+        # A <-> B: each endpoint is both source and destination; the
+        # component must be reported exactly once, not twice
+        g = MappingGraph()
+        a, b = func("a"), line(1)
+        g.add(Mapping(a, b))
+        g.add(Mapping(b, a))
+        assert g.components() == [({a, b}, {a, b})]
+        assert g.classify(a) == MappingType.MANY_TO_MANY
+        assert g.classify(b) == g.classify(a)
+
+    def test_isolated_sentence_stays_out_of_every_component(self):
+        g = MappingGraph()
+        g.add(Mapping(func("F1"), line(1)))
+        loner = func("hermit")
+        assert g.sources(loner) == []
+        assert g.destinations(loner) == []
+        assert all(loner not in (s | d) for s, d in g.components())
+        with pytest.raises(KeyError):
+            g.classify(loner)
+
+    def test_chain_through_level_with_no_other_sentences(self):
+        # Base -> Runtime -> CM Fortran where 'Runtime' contributes only
+        # the relay sentence itself
+        g = MappingGraph()
+        base = sentence(SEND, Noun("msg", "Base"))
+        relay = sentence(Verb("Hop", "Runtime"), Noun("r0", "Runtime"))
+        app = sentence(REDUCE, Noun("A", "CM Fortran"))
+        g.add(Mapping(base, relay))
+        g.add(Mapping(relay, app))
+        assert set(g.closure_up(base)) == {relay, app}
+        assert set(g.closure_down(app)) == {relay, base}
+        assert g.component(relay) == ({base, relay}, {relay, app})
+        # every member agrees on the classification
+        assert {g.classify(s) for s in (base, relay, app)} == {
+            MappingType.MANY_TO_MANY
+        }

@@ -253,7 +253,7 @@ def test_index_notification_set_covers_actual_changes(ops, questions):
         else:
             sas.deactivate(sent)
             depth[idx] -= 1
-        for w, was in zip(watchers, before):
+        for w, was in zip(watchers, before, strict=True):
             if w.satisfied != was:
                 assert id(w) in affected, (
                     f"watcher for {w.question} changed without being notified"

@@ -146,7 +146,7 @@ def test_trace_replay_into_drives_both_engines():
         replayed_watchers = [replayed.attach_question(q) for q in questions]
         recorded.replay_into(replayed)
         assert replayed.active_sentences() == live.active_sentences()
-        for lw, rw in zip(live_watchers, replayed_watchers):
+        for lw, rw in zip(live_watchers, replayed_watchers, strict=True):
             assert rw.satisfied == lw.satisfied
             assert rw.transitions == lw.transitions
             assert rw.satisfied_time == pytest.approx(lw.satisfied_time)

@@ -41,7 +41,7 @@ def build(num_nodes=4, with_sas=False):
     prog = compile_source(SRC, "app.cmf")
     sases = [ActiveSentenceSet(node_id=i) for i in range(num_nodes)]
     rt = CMRTSRuntime(prog, num_nodes=num_nodes)
-    for i, s in enumerate(sases):
+    for _i, s in enumerate(sases):
         s.clock = lambda sim=rt.machine.sim: sim.now
     mgr = InstrumentationManager(rt.machine)
     mgr.register_points(POINTS)

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.machine import Machine, MachineConfig, Node, Simulator, TimeAccounts
+from repro.machine import Machine, MachineConfig, Node, ProcessCrashed, Simulator, TimeAccounts
 
 
 def run_on_node(node, gen_factory):
@@ -32,7 +32,7 @@ def test_negative_work_rejected():
         yield from node.compute(-1)
 
     sim.spawn(work(), "w")
-    with pytest.raises(Exception):
+    with pytest.raises(ProcessCrashed, match="negative work"):
         sim.run()
 
 

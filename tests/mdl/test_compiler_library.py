@@ -86,7 +86,7 @@ def test_focus_predicate_anded(mgr):
 def test_library_parses_and_covers_figure9():
     metrics = standard_metrics()
     assert len(metrics) == 31
-    for level, name in FIGURE9_ROWS:
+    for _level, name in FIGURE9_ROWS:
         assert name in metrics, name
     # all points referenced exist in the runtime
     for m in metrics.values():

@@ -6,6 +6,7 @@ from repro.core import MappingType, Vocabulary
 from repro.pif import (
     LevelDef,
     MappingDef,
+    MergeConflictError,
     NounDef,
     PIFDocument,
     PIFSyntaxError,
@@ -101,6 +102,44 @@ def test_merge_deduplicates():
     a.merge(b)
     assert len([n for n in a.nouns if n.name == "line1160"]) == 1
     assert any(n.name == "extra" for n in a.nouns)
+
+
+class TestMergeConflicts:
+    def test_level_rank_conflict_raises(self):
+        a, b = figure2_document(), figure2_document()
+        b.levels[0] = LevelDef("CM Fortran", 3)
+        with pytest.raises(MergeConflictError, match="CM Fortran"):
+            a.merge(b)
+
+    def test_noun_description_conflict_raises(self):
+        a, b = figure2_document(), figure2_document()
+        b.nouns[0] = NounDef("line1160", "CM Fortran", "something else entirely")
+        with pytest.raises(MergeConflictError, match="line1160"):
+            a.merge(b)
+
+    def test_verb_description_conflict_raises(self):
+        a, b = figure2_document(), figure2_document()
+        b.verbs[0] = VerbDef("Executes", "CM Fortran", "different units")
+        with pytest.raises(MergeConflictError, match="Executes"):
+            a.merge(b)
+
+    def test_conflict_leaves_target_unchanged(self):
+        a, b = figure2_document(), figure2_document()
+        before = dumps(a)
+        b.levels[0] = LevelDef("CM Fortran", 3)
+        b.nouns.append(NounDef("extra", "Base"))
+        with pytest.raises(MergeConflictError):
+            a.merge(b)
+        assert dumps(a) == before  # no partial merge
+
+    def test_same_name_at_different_level_is_not_a_conflict(self):
+        a, b = figure2_document(), figure2_document()
+        b.nouns.append(NounDef("line1160", "Base", "a different namespace"))
+        a.merge(b)
+        assert len([n for n in a.nouns if n.name == "line1160"]) == 2
+
+    def test_merge_conflict_is_a_value_error(self):
+        assert issubclass(MergeConflictError, ValueError)
 
 
 def test_vocabulary_merge_into_existing():

@@ -46,6 +46,17 @@ def test_bad_listing_rejected():
         parse_listing("")  # missing program header
 
 
+def test_parse_error_carries_line_number(compiled):
+    # corrupt one mid-listing line; the error must name that exact line
+    lines = compiled.listing.splitlines()
+    victim = next(i for i, ln in enumerate(lines) if ln.strip()) + 2
+    lines[victim - 1] = "%% corrupted %%"
+    with pytest.raises(ListingParseError) as exc_info:
+        parse_listing("\n".join(lines))
+    assert exc_info.value.lineno == victim
+    assert f"line {victim}:" in str(exc_info.value)
+
+
 def test_nouns_cover_arrays_lines_blocks(pif_doc):
     names = {(n.name, n.abstraction) for n in pif_doc.nouns}
     assert ("A", "CM Fortran") in names

@@ -44,7 +44,7 @@ def test_encode_decode_round_trip_identity(params):
         decoded = list(reader)
         original = trace.events()
         assert len(decoded) == len(original) == reader.transitions
-        for got, want in zip(decoded, original):
+        for got, want in zip(decoded, original, strict=True):
             assert got.time == want.time  # bit-exact, not approx
             assert got.kind is want.kind
             assert got.sentence == want.sentence

@@ -219,7 +219,7 @@ class TestWriterContract:
         path = tmp_path / "big.rtrc"
         with TraceWriter(path, snapshot_every=500) as w:
             t = 0.0
-            for i in range(20_000):
+            for _ in range(20_000):
                 t += 1e-6
                 w.transition(t, EventKind.ACTIVATE, A_SUM, 0)
                 t += 1e-6
