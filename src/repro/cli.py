@@ -85,6 +85,21 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_sweep.add_argument("--serial", action="store_true", help="run in-process, no pool")
     p_sweep.add_argument(
+        "--chunk-size",
+        type=int,
+        default=None,
+        metavar="N",
+        help="tasks dispatched per worker round-trip (default: auto, "
+        "~4 chunks per worker)",
+    )
+    p_sweep.add_argument(
+        "--start-method",
+        choices=("fork", "spawn", "forkserver"),
+        default=None,
+        help="multiprocessing start method (default: fork where available; "
+        "fork hydrates the grid in workers by copy-on-write)",
+    )
+    p_sweep.add_argument(
         "--verify",
         action="store_true",
         help="also run serially and assert the results are byte-identical",
@@ -341,7 +356,13 @@ def _cmd_sweep(args) -> int:
         options["capture_dir"] = args.capture
     tasks = build_grid(args.study, **options)
 
-    runner = SweepRunner(workers=1 if args.serial else args.workers)
+    # bad --chunk-size / unavailable --start-method raise ValueError, which
+    # main() reports under the usage-error exit code (2)
+    runner = SweepRunner(
+        workers=1 if args.serial else args.workers,
+        chunk_size=args.chunk_size,
+        start_method=args.start_method,
+    )
     t0 = _time.perf_counter()
     results = runner.run(tasks, parallel=not args.serial)
     dt = _time.perf_counter() - t0

@@ -11,14 +11,34 @@ only if the harness around them is careful:
   draws;
 * results merge back **in task order**, never in completion order;
 * a worker crash surfaces as :class:`SweepWorkerError` carrying the remote
-  traceback instead of a bare ``Pool`` hang or a half-filled result list.
+  traceback and the failing task's key -- a killed worker process (OOM,
+  ``os._exit``) fails the sweep loudly instead of hanging the pool.
 
 Under those rules the parallel run's output is byte-identical to the serial
 run's -- :func:`fingerprint` hashes a result list so callers (the abl8
 bench, the ``sweep --verify`` CLI) can assert it.
 
-Tasks must be picklable: ``fn`` is a module-level callable and every
-argument a plain value.  The study adapters in
+Dispatch is **pickle-free on the hot path** (this is what turned the
+seed's 0.79x "speedup" into a real one):
+
+* the grid is hydrated **once per worker**, not once per task -- under
+  ``fork`` the workers inherit the parent's task list by copy-on-write and
+  nothing is pickled at all; under ``spawn``/``forkserver`` one pickled
+  blob rides the pool initializer;
+* tasks dispatch as **index chunks** (:mod:`repro.sweep.chunking`): one
+  IPC round-trip carries ``chunk_size`` tasks, and the payload is a tuple
+  of ints;
+* results return through the **transport arena**
+  (:mod:`repro.sweep.transport`): workers pack plain-data summaries into a
+  compact binary codec and publish the bytes via named
+  ``multiprocessing.shared_memory`` segments, so no live
+  ``MetricInstance``/SAS object -- and for large results not even the
+  bytes -- ever crosses the pool pipe;
+* per-task ``.rtrc`` trace capture stays on the worker's disk: the summary
+  ships the file path plus its sha256, never the trace bytes.
+
+Tasks must be *describable* by a picklable spec: ``fn`` a module-level
+callable, every argument plain data.  The study adapters in
 :mod:`repro.sweep.studies` satisfy this for the dbsim / unixsim / kernel
 grids.
 """
@@ -28,10 +48,17 @@ from __future__ import annotations
 import hashlib
 import multiprocessing
 import os
+import pickle
 import random
 import traceback
+import uuid
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
 from typing import Any, Callable, Iterable, Mapping, Sequence
+
+from . import transport
+from .chunking import chunk_indices, resolve_chunk_size
 
 __all__ = [
     "SweepTask",
@@ -44,24 +71,41 @@ __all__ = [
 
 @dataclass(frozen=True)
 class SweepTask:
-    """One independent configuration to run.
+    """One independent configuration to run -- a small picklable *spec*.
 
     ``fn`` must be picklable (a module-level callable); ``seed`` -- when not
     ``None`` -- is applied to the global RNGs just before ``fn`` runs, in
     the worker and in the serial path alike.
 
+    ``kwargs`` may be passed as any mapping (or an iterable of pairs) and is
+    normalized at construction to a **sorted tuple of items**: the task is
+    then hashable, pickles a snapshot rather than a live mapping a caller
+    could mutate after grid construction, and two tasks built from dicts
+    with different insertion orders compare (and hash) equal.
+
     ``capture_path`` -- when set -- is injected into ``fn``'s kwargs as
     ``record_path``: the task function records its run to that ``.rtrc``
-    file and folds the file's sha256 into its summary, extending the
-    serial-vs-parallel fingerprint to the recorded trace bytes.
+    file and folds the file's path and sha256 into its summary, extending
+    the serial-vs-parallel fingerprint to the recorded trace bytes without
+    ever shipping them between processes.
     """
 
     key: str
     fn: Callable[..., Any]
     args: tuple = ()
-    kwargs: Mapping[str, Any] = field(default_factory=dict)
+    kwargs: Mapping[str, Any] | tuple = field(default_factory=tuple)
     seed: int | None = None
     capture_path: str | None = None
+
+    def __post_init__(self):
+        object.__setattr__(self, "args", tuple(self.args))
+        items = self.kwargs.items() if isinstance(self.kwargs, Mapping) else self.kwargs
+        object.__setattr__(self, "kwargs", tuple(sorted(items)))
+
+    @property
+    def kwargs_dict(self) -> dict[str, Any]:
+        """The normalized kwargs as a fresh dict (what ``fn`` receives)."""
+        return dict(self.kwargs)
 
 
 @dataclass(frozen=True)
@@ -98,19 +142,66 @@ def _seed_rngs(seed: int | None) -> None:
 def _execute(task: SweepTask) -> SweepResult:
     """Run one task (shared by the serial path and the workers)."""
     _seed_rngs(task.seed)
-    kwargs = dict(task.kwargs)
+    kwargs = task.kwargs_dict
     if task.capture_path is not None:
         kwargs["record_path"] = task.capture_path
     value = task.fn(*task.args, **kwargs)
     return SweepResult(task.key, value, task.seed)
 
 
-def _worker(task: SweepTask) -> tuple[str, bool, Any]:
-    """Pool entry point: never raises, so crashes surface with tracebacks."""
-    try:
-        return (task.key, True, _execute(task))
-    except Exception as exc:  # noqa: BLE001 - re-raised as SweepWorkerError
-        return (task.key, False, (repr(exc), traceback.format_exc()))
+# ----------------------------------------------------------------------
+# worker side: grid hydration + chunk execution
+# ----------------------------------------------------------------------
+#: set in the parent just before a ``fork``-context pool spins up, so the
+#: children inherit the grid by copy-on-write without pickling anything
+_PARENT_TASKS: list[SweepTask] | None = None
+
+#: each worker's hydrated view of the grid (set once by the initializer)
+_WORKER_TASKS: list[SweepTask] | None = None
+
+
+def _init_worker(tasks_blob: bytes | None) -> None:
+    """Pool initializer: hydrate the full grid once per worker process.
+
+    ``fork`` contexts pass ``None`` and read the parent's module global
+    straight out of the copy-on-write address space; ``spawn`` and
+    ``forkserver`` contexts ship one pickled blob per *worker* (not per
+    task -- that was the seed bottleneck).
+    """
+    global _WORKER_TASKS
+    _WORKER_TASKS = _PARENT_TASKS if tasks_blob is None else pickle.loads(tasks_blob)
+
+
+def _execute_chunk(tasks: Sequence[SweepTask]) -> list[SweepResult]:
+    """Run a chunk's tasks in order, re-seeding before each exactly as the
+    serial path does -- the property suite pins draw-for-draw equality."""
+    return [_execute(task) for task in tasks]
+
+
+def _run_chunk(indices: tuple[int, ...], name: str, arena_mode: str) -> tuple:
+    """Worker entry point: execute one index chunk against the hydrated grid.
+
+    Never raises: a failing task returns ``("error", key, message, tb)``
+    so the parent re-raises :class:`SweepWorkerError` with the *task's*
+    identity, not the chunk's.  On success the packed results go through
+    the transport arena and only the handle returns.  Nothing is published
+    until the whole chunk has run, so a task failure never strands a
+    partial segment.
+    """
+    tasks = _WORKER_TASKS
+    if tasks is None:  # pragma: no cover - initializer contract violation
+        return ("error", "<init>", "worker grid was never hydrated", "")
+    blobs = []
+    for idx in indices:
+        task = tasks[idx]
+        try:
+            result = _execute(task)
+            # packing inside the per-task guard attributes a non-plain-data
+            # summary (transport raises TypeError) to the task that made it
+            blobs.append(transport.pack((idx, result.key, result.seed, result.value)))
+        except Exception as exc:  # noqa: BLE001 - re-raised as SweepWorkerError
+            return ("error", task.key, repr(exc), traceback.format_exc())
+    return ("ok", transport.publish(b"".join(blobs), name, mode=arena_mode))
 
 
 def fingerprint(results: Iterable[SweepResult]) -> str:
@@ -126,27 +217,60 @@ def fingerprint(results: Iterable[SweepResult]) -> str:
 
 
 class SweepRunner:
-    """Fans independent tasks across a ``multiprocessing`` pool.
+    """Fans independent tasks across a process pool, pickle-free.
 
     ``workers=1`` (or a single task) short-circuits to the in-process
     serial path, which is also what :meth:`run_serial` exposes directly;
     both paths execute tasks through the same :func:`_execute`, so the only
     difference between them is *where* a task runs.
+
+    ``chunk_size=None`` picks the auto policy in
+    :func:`repro.sweep.chunking.resolve_chunk_size`; ``start_method``
+    defaults to ``fork`` where available (copy-on-write grid hydration)
+    and ``spawn`` elsewhere.  ``arena`` selects the result transport:
+    ``"auto"`` (shared memory above a size threshold), ``"shm"``, or
+    ``"inline"`` -- the merged output is byte-identical either way.
     """
 
-    def __init__(self, workers: int | None = None, mp_context: str | None = None):
+    def __init__(
+        self,
+        workers: int | None = None,
+        start_method: str | None = None,
+        chunk_size: int | None = None,
+        arena: str = "auto",
+        mp_context: str | None = None,
+    ):
         self.workers = workers if workers is not None else (os.cpu_count() or 1)
         if self.workers < 1:
             raise ValueError("need at least one worker")
-        if mp_context is None:
-            mp_context = "fork" if "fork" in multiprocessing.get_all_start_methods() else "spawn"
-        self.mp_context = mp_context
+        if start_method is None:
+            start_method = mp_context  # pre-chunking name for the same knob
+        if start_method is None:
+            start_method = "fork" if "fork" in multiprocessing.get_all_start_methods() else "spawn"
+        if start_method not in multiprocessing.get_all_start_methods():
+            raise ValueError(
+                f"start method {start_method!r} unavailable here; "
+                f"choose from {multiprocessing.get_all_start_methods()}"
+            )
+        self.start_method = start_method
+        if chunk_size is not None and chunk_size < 1:
+            raise ValueError(f"chunk_size must be >= 1, got {chunk_size}")
+        self.chunk_size = chunk_size
+        if arena not in ("auto", "shm", "inline"):
+            raise ValueError(f"arena must be auto|shm|inline, got {arena!r}")
+        self.arena = arena
+
+    # kept for callers written against the pre-chunking runner
+    @property
+    def mp_context(self) -> str:
+        return self.start_method
 
     # ------------------------------------------------------------------
     def run_serial(self, tasks: Sequence[SweepTask]) -> list[SweepResult]:
         """Run every task in-process, in order."""
+        tasks = list(tasks)
         self._check_keys(tasks)
-        return [_execute(task) for task in tasks]
+        return _execute_chunk(tasks)
 
     def run(self, tasks: Sequence[SweepTask], parallel: bool = True) -> list[SweepResult]:
         """Run the grid; results come back in task order regardless of
@@ -154,19 +278,63 @@ class SweepRunner:
         tasks = list(tasks)
         self._check_keys(tasks)
         if not parallel or self.workers == 1 or len(tasks) <= 1:
-            return [_execute(task) for task in tasks]
-        ctx = multiprocessing.get_context(self.mp_context)
-        results: list[SweepResult] = []
-        with ctx.Pool(processes=min(self.workers, len(tasks))) as pool:
-            # imap (not imap_unordered): completion order may vary, merge
-            # order may not.  chunksize=1 keeps long tasks load-balanced.
-            for key, ok, payload in pool.imap(_worker, tasks, chunksize=1):
-                if not ok:
-                    message, remote_tb = payload
-                    pool.terminate()
-                    raise SweepWorkerError(key, message, remote_tb)
-                results.append(payload)
-        return results
+            return _execute_chunk(tasks)
+        return self._run_pool(tasks)
+
+    # ------------------------------------------------------------------
+    def _run_pool(self, tasks: list[SweepTask]) -> list[SweepResult]:
+        global _PARENT_TASKS
+        chunk_size = resolve_chunk_size(len(tasks), self.workers, self.chunk_size)
+        chunks = chunk_indices(len(tasks), chunk_size)
+        token = uuid.uuid4().hex[:12]
+        names = [transport.arena_name(token, i) for i in range(len(chunks))]
+        ctx = multiprocessing.get_context(self.start_method)
+        if self.start_method == "fork":
+            init_blob = None  # children inherit _PARENT_TASKS copy-on-write
+            _PARENT_TASKS = tasks
+        else:
+            init_blob = pickle.dumps(tasks, protocol=pickle.HIGHEST_PROTOCOL)
+        out: list[SweepResult | None] = [None] * len(tasks)
+        try:
+            with ProcessPoolExecutor(
+                max_workers=min(self.workers, len(chunks)),
+                mp_context=ctx,
+                initializer=_init_worker,
+                initargs=(init_blob,),
+            ) as pool:
+                futures = [
+                    pool.submit(_run_chunk, chunk, names[i], self.arena)
+                    for i, chunk in enumerate(chunks)
+                ]
+                try:
+                    # futures are consumed in chunk order (not completion
+                    # order): the merge is ordered by construction
+                    for future in futures:
+                        reply = future.result()
+                        if reply[0] == "error":
+                            _, key, message, remote_tb = reply
+                            raise SweepWorkerError(key, message, remote_tb)
+                        for idx, key, seed, value in transport.unpack_stream(
+                            transport.claim(reply[1])
+                        ):
+                            out[idx] = SweepResult(key, value, seed)
+                except BrokenProcessPool as exc:
+                    raise SweepWorkerError(
+                        "<pool>",
+                        "a sweep worker process died abruptly "
+                        f"(killed / out of memory?): {exc}",
+                    ) from exc
+                finally:
+                    for future in futures:
+                        future.cancel()
+        finally:
+            _PARENT_TASKS = None
+            # deterministic names let the parent sweep every possible
+            # segment -- including ones published by workers whose replies
+            # were never consumed -- so /dev/shm ends clean on any path
+            for name in names:
+                transport.release(name)
+        return out  # type: ignore[return-value] - every slot filled above
 
     # ------------------------------------------------------------------
     @staticmethod

@@ -2,7 +2,9 @@
 
 Each ``*_task`` function runs one configuration of a study and returns a
 plain-data summary (dicts / lists / numbers / strings only), so results
-pickle cleanly across the worker pool, ``repr`` deterministically for
+travel the worker pool's compact transport (:mod:`repro.sweep.transport`
+packs exactly this vocabulary -- a live object here is a loud
+``TypeError``), ``repr`` deterministically for
 :func:`repro.sweep.runner.fingerprint`, and dump straight to JSON.
 
 Crucially the summaries include the *observable dynamic record* of each run
@@ -56,6 +58,11 @@ def _open_recorder(record_path: str | None, metadata: dict):
 def _capture_summary(writer) -> dict[str, Any]:
     """Close the writer and fingerprint the recorded bytes.
 
+    A worker's recording stays on its disk: only the sha256 crosses the
+    process boundary (the file's *path* already rides the task spec as
+    ``capture_path``), never the trace bytes.  The digest -- not the
+    location -- is what the summary carries, so fingerprints stay
+    byte-identical across runs that capture into different directories.
     The encoding is fully deterministic (no wall-clock anywhere), so the
     sha256 folds into the sweep's serial-vs-parallel fingerprint: a sweep
     that perturbed any recorded transition changes the trace bytes.

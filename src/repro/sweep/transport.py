@@ -1,0 +1,315 @@
+"""Compact result transport for the sweep worker pool.
+
+Workers never return live objects -- a chunk's results are serialized with
+:func:`pack` (a small deterministic binary codec for the plain-data trees
+the study adapters emit) and published through a
+``multiprocessing.shared_memory`` *arena*: the worker writes the packed
+bytes into a named segment, the parent attaches, copies them out, and
+unlinks it.  The value crossing the pool pipe is just ``("shm", name,
+size)`` -- a few dozen bytes however large the results are -- instead of a
+recursive pickle of every metric counter and SAS transition log.
+
+Codec contract (pinned by ``tests/sweep/test_transport.py``):
+
+* round-trips **exactly**: ``unpack(pack(v)) == v`` with identical types
+  (``tuple`` vs ``list`` preserved, ``bool`` never collapses to ``int``,
+  floats carried as IEEE-754 bits, dict insertion order kept), so the
+  serial-vs-parallel fingerprint -- a hash over ``repr`` -- cannot tell the
+  transports apart;
+* homogeneous ``float``/``int`` runs are packed as contiguous machine
+  arrays (``array('d')`` / ``array('q')``), so a metric series costs 8
+  bytes per sample plus a tag, not a pickled object graph;
+* only plain data is accepted (``None``/``bool``/``int``/``float``/``str``
+  /``bytes``/``list``/``tuple``/``dict``); anything else raises
+  ``TypeError`` -- by design, so a study adapter that leaks a live object
+  fails loudly in *both* the serial and parallel paths' tests rather than
+  silently pickling it.
+
+Arena lifecycle: segment names are deterministic
+(``rtswp_<token>_<chunk>``, see :func:`arena_name`), so the parent can
+sweep every possible segment after a run -- success, task failure, or a
+killed worker alike -- and the fault suite asserts ``/dev/shm`` ends clean.
+Hosts without POSIX shared memory fall back to shipping the packed bytes
+inline through the pipe (same codec, same merge), which is also the fast
+path for small payloads where a segment round-trip costs more than it
+saves.
+"""
+
+from __future__ import annotations
+
+import struct
+from array import array
+from typing import Any
+
+from ..trace.codec import append_uvarint, read_uvarint
+
+__all__ = [
+    "pack",
+    "unpack",
+    "unpack_stream",
+    "arena_name",
+    "publish",
+    "claim",
+    "release",
+    "ARENA_MIN_BYTES",
+]
+
+#: payloads smaller than this ship inline: a pipe write beats three shm
+#: syscalls (create/attach/unlink) for a few hundred bytes of summaries
+ARENA_MIN_BYTES = 1 << 14
+
+_TAG_NONE = 0x00
+_TAG_TRUE = 0x01
+_TAG_FALSE = 0x02
+_TAG_INT = 0x03  # zigzag varint
+_TAG_BIGINT = 0x04  # sign byte + length-prefixed magnitude
+_TAG_FLOAT = 0x05  # 8-byte IEEE-754 big-endian
+_TAG_STR = 0x06
+_TAG_BYTES = 0x07
+_TAG_LIST = 0x08
+_TAG_TUPLE = 0x09
+_TAG_DICT = 0x0A
+_TAG_FLOAT_ARRAY = 0x0B  # homogeneous float list, array('d') payload
+_TAG_FLOAT_ARRAY_T = 0x0C  # ... as tuple
+_TAG_INT_ARRAY = 0x0D  # homogeneous int64 list, array('q') payload
+_TAG_INT_ARRAY_T = 0x0E  # ... as tuple
+
+#: below this length a homogeneous run is cheaper as individual values
+_ARRAY_MIN = 8
+
+_INT64_MIN = -(1 << 63)
+_INT64_MAX = (1 << 63) - 1
+
+
+def _is_float_run(value: list | tuple) -> bool:
+    return len(value) >= _ARRAY_MIN and all(type(x) is float for x in value)
+
+
+def _is_int64_run(value: list | tuple) -> bool:
+    return len(value) >= _ARRAY_MIN and all(
+        type(x) is int and _INT64_MIN <= x <= _INT64_MAX for x in value
+    )
+
+
+def _pack_into(value: Any, out: bytearray) -> None:
+    kind = type(value)
+    if value is None:
+        out.append(_TAG_NONE)
+    elif kind is bool:
+        out.append(_TAG_TRUE if value else _TAG_FALSE)
+    elif kind is int:
+        if _INT64_MIN <= value <= _INT64_MAX:
+            out.append(_TAG_INT)
+            append_uvarint(out, (value << 1) ^ (value >> 63) if value < 0 else value << 1)
+        else:
+            out.append(_TAG_BIGINT)
+            out.append(1 if value < 0 else 0)
+            mag = abs(value)
+            raw = mag.to_bytes((mag.bit_length() + 7) // 8, "big")
+            append_uvarint(out, len(raw))
+            out += raw
+    elif kind is float:
+        out.append(_TAG_FLOAT)
+        out += struct.pack(">d", value)
+    elif kind is str:
+        raw = value.encode("utf-8")
+        out.append(_TAG_STR)
+        append_uvarint(out, len(raw))
+        out += raw
+    elif kind is bytes:
+        out.append(_TAG_BYTES)
+        append_uvarint(out, len(value))
+        out += value
+    elif kind is list or kind is tuple:
+        if _is_float_run(value):
+            out.append(_TAG_FLOAT_ARRAY if kind is list else _TAG_FLOAT_ARRAY_T)
+            append_uvarint(out, len(value))
+            out += array("d", value).tobytes()
+        elif _is_int64_run(value):
+            out.append(_TAG_INT_ARRAY if kind is list else _TAG_INT_ARRAY_T)
+            append_uvarint(out, len(value))
+            out += array("q", value).tobytes()
+        else:
+            out.append(_TAG_LIST if kind is list else _TAG_TUPLE)
+            append_uvarint(out, len(value))
+            for item in value:
+                _pack_into(item, out)
+    elif kind is dict:
+        out.append(_TAG_DICT)
+        append_uvarint(out, len(value))
+        for k, v in value.items():
+            _pack_into(k, out)
+            _pack_into(v, out)
+    else:
+        raise TypeError(
+            f"sweep results must be plain data, got {kind.__name__}: {value!r} "
+            "(return dicts/lists/numbers/strings from task functions)"
+        )
+
+
+def pack(value: Any) -> bytes:
+    """Serialize a plain-data tree to compact bytes (exact round-trip)."""
+    out = bytearray()
+    _pack_into(value, out)
+    return bytes(out)
+
+
+def _unpack_from(buf: bytes, pos: int) -> tuple[Any, int]:
+    tag = buf[pos]
+    pos += 1
+    if tag == _TAG_NONE:
+        return None, pos
+    if tag == _TAG_TRUE:
+        return True, pos
+    if tag == _TAG_FALSE:
+        return False, pos
+    if tag == _TAG_INT:
+        z, pos = read_uvarint(buf, pos)
+        return (z >> 1) ^ -(z & 1), pos
+    if tag == _TAG_BIGINT:
+        sign = buf[pos]
+        pos += 1
+        n, pos = read_uvarint(buf, pos)
+        mag = int.from_bytes(buf[pos : pos + n], "big")
+        return (-mag if sign else mag), pos + n
+    if tag == _TAG_FLOAT:
+        return struct.unpack_from(">d", buf, pos)[0], pos + 8
+    if tag == _TAG_STR:
+        n, pos = read_uvarint(buf, pos)
+        return buf[pos : pos + n].decode("utf-8"), pos + n
+    if tag == _TAG_BYTES:
+        n, pos = read_uvarint(buf, pos)
+        return bytes(buf[pos : pos + n]), pos + n
+    if tag in (_TAG_LIST, _TAG_TUPLE):
+        n, pos = read_uvarint(buf, pos)
+        items = []
+        for _ in range(n):
+            item, pos = _unpack_from(buf, pos)
+            items.append(item)
+        return (items if tag == _TAG_LIST else tuple(items)), pos
+    if tag == _TAG_DICT:
+        n, pos = read_uvarint(buf, pos)
+        d = {}
+        for _ in range(n):
+            k, pos = _unpack_from(buf, pos)
+            v, pos = _unpack_from(buf, pos)
+            d[k] = v
+        return d, pos
+    if tag in (_TAG_FLOAT_ARRAY, _TAG_FLOAT_ARRAY_T):
+        n, pos = read_uvarint(buf, pos)
+        arr = array("d")
+        arr.frombytes(buf[pos : pos + 8 * n])
+        values = arr.tolist()
+        return (values if tag == _TAG_FLOAT_ARRAY else tuple(values)), pos + 8 * n
+    if tag in (_TAG_INT_ARRAY, _TAG_INT_ARRAY_T):
+        n, pos = read_uvarint(buf, pos)
+        arr = array("q")
+        arr.frombytes(buf[pos : pos + 8 * n])
+        values = arr.tolist()
+        return (values if tag == _TAG_INT_ARRAY else tuple(values)), pos + 8 * n
+    raise ValueError(f"corrupt sweep transport payload: unknown tag 0x{tag:02x} at {pos - 1}")
+
+
+def unpack(buf: bytes) -> Any:
+    """Inverse of :func:`pack`; raises ``ValueError`` on trailing garbage."""
+    value, pos = _unpack_from(buf, 0)
+    if pos != len(buf):
+        raise ValueError(f"corrupt sweep transport payload: {len(buf) - pos} trailing bytes")
+    return value
+
+
+def unpack_stream(buf: bytes):
+    """Decode a concatenation of :func:`pack` payloads, in order.
+
+    Workers pack each task's result entry separately (so a bad value is
+    attributed to its task) and join the blobs; the parent walks them back
+    out with this.
+    """
+    pos = 0
+    while pos < len(buf):
+        value, pos = _unpack_from(buf, pos)
+        yield value
+
+
+# ----------------------------------------------------------------------
+# shared-memory arena
+# ----------------------------------------------------------------------
+def arena_name(token: str, chunk_id: int) -> str:
+    """Deterministic segment name, so the parent can sweep leftovers.
+
+    The parent generates ``token`` once per run and can therefore unlink
+    *every* chunk's segment after the run without needing a message from
+    the worker that created it -- the cleanup that keeps ``/dev/shm`` empty
+    even when a worker is killed mid-publish.
+    """
+    return f"rtswp_{token}_{chunk_id}"
+
+
+def publish(payload: bytes, name: str, mode: str = "auto") -> tuple:
+    """Worker side: hand ``payload`` to the parent, cheaply.
+
+    Returns a picklable handle: ``("shm", name, size)`` when the bytes went
+    into a shared-memory segment, or ``("inline", payload)`` when the
+    payload is small (< :data:`ARENA_MIN_BYTES` under ``mode="auto"``) or
+    the host has no usable POSIX shared memory.  ``mode`` forces a path for
+    tests: ``"shm"`` / ``"inline"``.
+    """
+    if mode == "inline" or (mode == "auto" and len(payload) < ARENA_MIN_BYTES):
+        return ("inline", payload)
+    try:
+        from multiprocessing import shared_memory
+
+        # size=0 is rejected by the OS; the handle carries the true length
+        seg = shared_memory.SharedMemory(name=name, create=True, size=max(1, len(payload)))
+    except (ImportError, OSError):
+        if mode == "shm":
+            raise
+        return ("inline", payload)
+    # ownership transfers to the parent, which unlinks after claiming; drop
+    # the creator's resource-tracker registration so a fork-context worker's
+    # tracker doesn't warn about (and double-unlink) a segment the parent
+    # already released
+    try:
+        from multiprocessing import resource_tracker
+
+        resource_tracker.unregister(seg._name, "shared_memory")
+    except Exception:  # noqa: BLE001 - tracker layout differs off-POSIX
+        pass
+    try:
+        seg.buf[: len(payload)] = payload
+    finally:
+        seg.close()  # worker drops its mapping; the parent unlinks
+    return ("shm", name, len(payload))
+
+
+def claim(handle: tuple) -> bytes:
+    """Parent side: copy the payload out and *unlink* its segment."""
+    kind = handle[0]
+    if kind == "inline":
+        return handle[1]
+    if kind != "shm":
+        raise ValueError(f"unknown sweep transport handle {handle!r}")
+    from multiprocessing import shared_memory
+
+    _, name, size = handle
+    seg = shared_memory.SharedMemory(name=name)
+    try:
+        return bytes(seg.buf[:size])
+    finally:
+        seg.close()
+        seg.unlink()
+
+
+def release(name: str) -> None:
+    """Unlink a segment if it exists (idempotent, best-effort cleanup)."""
+    try:
+        from multiprocessing import shared_memory
+
+        seg = shared_memory.SharedMemory(name=name)
+    except (ImportError, OSError):
+        return
+    try:
+        seg.close()
+        seg.unlink()
+    except OSError:  # pragma: no cover - already unlinked concurrently
+        pass

@@ -1,0 +1,76 @@
+"""SweepTask is a small, hashable, snapshot-semantics spec.
+
+Pins the fix for the frozen-dataclass footgun: the seed `kwargs:
+Mapping = field(default_factory=dict)` made every task unhashable
+(``frozen=True`` promises hashability, dict values break it) and pickled
+the *live* mapping -- a caller mutating its options dict after building a
+grid would silently reconfigure tasks already dispatched.  Construction
+now normalizes kwargs to a sorted tuple of items.
+"""
+
+import pickle
+
+import pytest
+
+from repro.sweep import SweepRunner, SweepTask
+from repro.sweep.runner import _execute
+
+
+def _concat(a, b="", c=""):
+    return f"{a}|{b}|{c}"
+
+
+class TestNormalization:
+    def test_kwargs_normalize_to_sorted_item_tuple(self):
+        task = SweepTask("t", _concat, kwargs={"c": "z", "b": "y"})
+        assert task.kwargs == (("b", "y"), ("c", "z"))
+        assert task.kwargs_dict == {"b": "y", "c": "z"}
+
+    def test_insertion_order_does_not_distinguish_tasks(self):
+        one = SweepTask("t", _concat, kwargs={"b": 1, "c": 2})
+        two = SweepTask("t", _concat, kwargs={"c": 2, "b": 1})
+        assert one == two
+        assert hash(one) == hash(two)
+
+    def test_item_pairs_and_empty_defaults_accepted(self):
+        from_pairs = SweepTask("t", _concat, kwargs=(("b", 1),))
+        assert from_pairs.kwargs == (("b", 1),)
+        assert SweepTask("t", _concat).kwargs == ()
+
+    def test_args_normalize_to_tuple(self):
+        assert SweepTask("t", _concat, args=["a"]).args == ("a",)
+
+
+class TestHashabilityAndPickling:
+    def test_tasks_are_hashable(self):
+        # the seed dataclass raised TypeError here: dict field in a frozen
+        # (hence hash-bearing) dataclass
+        task = SweepTask("t", _concat, args=("a",), kwargs={"b": "y"}, seed=3)
+        assert isinstance(hash(task), int)
+        assert len({task, task}) == 1
+
+    def test_pickle_round_trips_the_spec(self):
+        task = SweepTask("t", _concat, args=("a",), kwargs={"b": "y"})
+        clone = pickle.loads(pickle.dumps(task))
+        assert clone == task
+        assert clone.kwargs == (("b", "y"),)
+
+    def test_construction_snapshots_the_mapping(self):
+        options = {"b": "before"}
+        task = SweepTask("t", _concat, args=("a",), kwargs=options)
+        options["b"] = "after"  # mutating the caller's dict must not leak in
+        assert task.kwargs == (("b", "before"),)
+        assert _execute(task).value == "a|before|"
+
+    def test_frozen_fields_reject_assignment(self):
+        task = SweepTask("t", _concat)
+        with pytest.raises(AttributeError):
+            task.key = "other"
+
+
+class TestExecution:
+    def test_normalized_kwargs_reach_the_function_intact(self):
+        results = SweepRunner(workers=1).run(
+            [SweepTask("t", _concat, args=("a",), kwargs={"c": "z", "b": "y"})]
+        )
+        assert results[0].value == "a|y|z"

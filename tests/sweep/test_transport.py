@@ -1,0 +1,187 @@
+"""The compact result transport: codec exactness + arena lifecycle.
+
+The sweep's determinism guarantee flows *through* this codec -- the
+fingerprint hashes ``repr`` of merged results, so ``unpack(pack(v))``
+must reproduce ``v`` with identical types, not merely equal-ish values.
+The hypothesis suite drives arbitrary plain-data trees through the
+round-trip; the unit tests pin the edges (int64 boundaries, bigints,
+array packing, tuple-vs-list, bool-vs-int, dict order) and the
+shared-memory arena's publish/claim/release lifecycle.
+"""
+
+import sys
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sweep.transport import (
+    ARENA_MIN_BYTES,
+    arena_name,
+    claim,
+    pack,
+    publish,
+    release,
+    unpack,
+    unpack_stream,
+)
+
+# NaN excluded: the codec carries NaN bits exactly, but NaN != NaN would
+# make the equality assertions vacuous
+_scalars = (
+    st.none()
+    | st.booleans()
+    | st.integers()
+    | st.floats(allow_nan=False)
+    | st.text(max_size=40)
+    | st.binary(max_size=40)
+)
+_keys = st.none() | st.booleans() | st.integers() | st.text(max_size=20)
+_plain = st.recursive(
+    _scalars,
+    lambda kids: (
+        st.lists(kids, max_size=8)
+        | st.lists(kids, max_size=8).map(tuple)
+        | st.dictionaries(_keys, kids, max_size=8)
+    ),
+    max_leaves=40,
+)
+
+
+def _types_match(a, b):
+    """Recursive type-exact equality (tuple != list, bool != int)."""
+    if type(a) is not type(b):
+        return False
+    if isinstance(a, (list, tuple)):
+        return len(a) == len(b) and all(_types_match(x, y) for x, y in zip(a, b, strict=True))
+    if isinstance(a, dict):
+        return list(a.keys()) == list(b.keys()) and all(
+            _types_match(a[k], b[k]) for k in a
+        )
+    return a == b
+
+
+class TestCodecProperties:
+    @settings(max_examples=200, deadline=None)
+    @given(_plain)
+    def test_round_trip_identity(self, value):
+        back = unpack(pack(value))
+        assert back == value
+        assert _types_match(back, value)
+        # repr identity is what the sweep fingerprint actually hashes
+        assert repr(back) == repr(value)
+
+    @settings(max_examples=50, deadline=None)
+    @given(st.lists(_plain, max_size=6))
+    def test_stream_of_packed_entries_walks_back_in_order(self, values):
+        buf = b"".join(pack(v) for v in values)
+        assert list(unpack_stream(buf)) == values
+
+
+class TestCodecEdges:
+    @pytest.mark.parametrize(
+        "value",
+        [
+            0,
+            -1,
+            2**63 - 1,
+            -(2**63),
+            2**63,  # first bigint
+            -(2**63) - 1,
+            2**200,
+            -(2**200),
+            0.0,
+            -0.0,
+            float("inf"),
+            float("-inf"),
+            5e-324,  # smallest subnormal: bit-exactness matters
+        ],
+        ids=repr,
+    )
+    def test_numeric_boundaries(self, value):
+        back = unpack(pack(value))
+        assert back == value and type(back) is type(value)
+        assert repr(back) == repr(value)
+
+    def test_tuple_list_and_bool_int_distinctions_survive(self):
+        value = {"t": (1, 2), "l": [1, 2], "b": True, "i": 1, "f": 1.0}
+        back = unpack(pack(value))
+        assert type(back["t"]) is tuple and type(back["l"]) is list
+        assert back["b"] is True and type(back["i"]) is int
+        assert type(back["f"]) is float
+
+    def test_dict_insertion_order_preserved(self):
+        value = {"z": 1, "a": 2, "m": 3}
+        assert list(unpack(pack(value))) == ["z", "a", "m"]
+
+    def test_homogeneous_series_pack_as_machine_arrays(self):
+        floats = [float(i) / 7 for i in range(512)]
+        ints = list(range(512))
+        # ~8 bytes/sample + header, nowhere near the per-element encoding
+        assert len(pack(floats)) < 512 * 9 + 16
+        assert len(pack(ints)) < 512 * 9 + 16
+        assert unpack(pack(floats)) == floats
+        assert unpack(pack(tuple(floats))) == tuple(floats)
+        assert unpack(pack(ints)) == ints
+        assert unpack(pack(tuple(ints))) == tuple(ints)
+
+    def test_bool_runs_never_hit_the_int_array_path(self):
+        value = [True] * 32  # bools are ints to isinstance, not to the codec
+        back = unpack(pack(value))
+        assert back == value and all(type(x) is bool for x in back)
+
+    def test_mixed_and_overflowing_int_runs_fall_back_to_per_element(self):
+        mixed = [1, 2.0] * 16
+        huge = [2**64] * 16
+        for value in (mixed, huge):
+            back = unpack(pack(value))
+            assert back == value and _types_match(back, value)
+
+    def test_live_objects_are_rejected_loudly(self):
+        class Opaque:
+            pass
+
+        with pytest.raises(TypeError, match="plain data"):
+            pack({"leaked": Opaque()})
+        with pytest.raises(TypeError, match="plain data"):
+            pack({1, 2, 3})  # sets are not in the result vocabulary
+
+    def test_corrupt_payloads_raise(self):
+        with pytest.raises(ValueError, match="unknown tag"):
+            unpack(b"\xff")
+        with pytest.raises(ValueError, match="trailing"):
+            unpack(pack(1) + b"\x00")
+
+
+@pytest.mark.skipif(sys.platform == "win32", reason="POSIX shared memory")
+class TestArena:
+    def test_publish_claim_round_trip_and_unlink(self):
+        payload = pack({"series": [float(i) for i in range(64)]})
+        name = arena_name("testtok", 0)
+        handle = publish(payload, name, mode="shm")
+        assert handle == ("shm", name, len(payload))
+        assert claim(handle) == payload
+        # claim unlinked the segment: a second attach must fail
+        with pytest.raises(FileNotFoundError):
+            claim(handle)
+
+    def test_auto_mode_ships_small_payloads_inline(self):
+        small = b"x" * 16
+        assert publish(small, arena_name("testtok", 1)) == ("inline", small)
+        big = b"y" * (ARENA_MIN_BYTES + 1)
+        handle = publish(big, arena_name("testtok", 2))
+        assert handle[0] == "shm"
+        assert claim(handle) == big
+
+    def test_release_is_idempotent_and_tolerates_missing_segments(self):
+        name = arena_name("testtok", 3)
+        release(name)  # never existed: no-op
+        publish(b"z" * (ARENA_MIN_BYTES + 1), name)
+        release(name)
+        release(name)  # already gone: still a no-op
+        with pytest.raises(FileNotFoundError):
+            claim(("shm", name, 1))
+
+    def test_claim_rejects_unknown_handles(self):
+        with pytest.raises(ValueError, match="unknown"):
+            claim(("carrier-pigeon", "x"))
