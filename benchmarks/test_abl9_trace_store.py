@@ -281,9 +281,12 @@ def test_abl9_trace_store(benchmark, save_artifact, artifact_dir):
         "seek_speedup": seek["seek_speedup"],
         "quick": QUICK,
     }
-    (artifact_dir / "BENCH_trace.json").write_text(
-        json.dumps(bench_json, indent=2) + "\n", encoding="utf-8"
-    )
+    # merge, don't overwrite: abl10's columnar numbers live in the same
+    # file under their own key
+    out_path = artifact_dir / "BENCH_trace.json"
+    merged = json.loads(out_path.read_text(encoding="utf-8")) if out_path.exists() else {}
+    merged.update(bench_json)
+    out_path.write_text(json.dumps(merged, indent=2) + "\n", encoding="utf-8")
 
     retro_rows = [
         (name, f"{t_live:.3e}", f"{fig6['retro'][name][0]:.3e}", n_live)

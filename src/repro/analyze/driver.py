@@ -75,14 +75,29 @@ def _error_line(exc: Exception) -> int | None:
 
 def _classify(path: str) -> str:
     lower = path.lower()
-    for ext, kind in ((".pif", "pif"), (".mdl", "mdl"), (".cmf", "cmf"), (".fcm", "cmf"), (".rtrc", "rtrc")):
+    # .rtrcx before .rtrc would not matter for endswith, but keep both
+    # spellings explicit: the two trace layouts lint identically
+    for ext, kind in (
+        (".pif", "pif"),
+        (".mdl", "mdl"),
+        (".cmf", "cmf"),
+        (".fcm", "cmf"),
+        (".rtrcx", "rtrc"),
+        (".rtrc", "rtrc"),
+    ):
         if lower.endswith(ext):
             return kind
     return "unknown"
 
 
-def lint_paths(paths: list[str], mdl_library: bool = False) -> LintResult:
-    """Run every applicable analyzer pass over the given input files."""
+def lint_paths(
+    paths: list[str], mdl_library: bool = False, jobs: int | None = None
+) -> LintResult:
+    """Run every applicable analyzer pass over the given input files.
+
+    ``jobs > 1`` fans trace sanitization's interval scan across the sweep
+    worker pool (columnar ``.rtrcx`` inputs only; row files scan serially).
+    """
     result = LintResult(inputs=list(paths))
     out = result.diagnostics
 
@@ -91,7 +106,7 @@ def lint_paths(paths: list[str], mdl_library: bool = False) -> LintResult:
         kind = _classify(path)
         if kind == "unknown":
             out.append(
-                diag("NV000", "unrecognized input type (expected .pif/.mdl/.cmf/.rtrc)", path)
+                diag("NV000", "unrecognized input type (expected .pif/.mdl/.cmf/.rtrc/.rtrcx)", path)
             )
         else:
             by_kind[kind].append(path)
@@ -157,13 +172,13 @@ def lint_paths(paths: list[str], mdl_library: bool = False) -> LintResult:
     static_docs = [doc for _path, doc in docs]
     for path in by_kind["rtrc"]:
         try:
-            from ..trace import TraceReader
+            from ..trace import open_trace
 
-            reader = TraceReader(path)
+            reader = open_trace(path)
         except Exception as exc:
             out.append(diag("NV000", f"cannot read trace: {exc}", path))
             continue
-        out.extend(sanitize_trace(reader, static_docs, path))
+        out.extend(sanitize_trace(reader, static_docs, path, jobs=jobs))
 
     return result
 

@@ -83,15 +83,17 @@ def sanitize_trace(
     static_docs: PIFDocument | list[PIFDocument] | None = None,
     path: str = "",
     level_ranks: dict[str, int] | None = None,
+    jobs: int | None = None,
 ) -> list[Diagnostic]:
     """Check a recorded run's attribution coverage (NV013-NV016).
 
-    ``reader`` is a :class:`~repro.trace.store.TraceReader` (or anything
+    ``reader`` is a row or columnar trace reader (or anything
     :func:`sentence_intervals` accepts).  ``static_docs`` supplies the PIF
     mapping records declared for the run -- one document or several (each
     resolved in its own namespace); ``level_ranks`` overrides the
     level-name -> rank table (default: the docs' LEVEL records over the
-    built-in study vocabularies).
+    built-in study vocabularies).  ``jobs > 1`` computes the activation
+    intervals with the parallel segment scan (columnar readers only).
     """
     if static_docs is None:
         docs: list[PIFDocument] = []
@@ -101,7 +103,7 @@ def sanitize_trace(
         docs = list(static_docs)
 
     out: list[Diagnostic] = []
-    intervals = sentence_intervals(reader)
+    intervals = sentence_intervals(reader, jobs=jobs)
     if not intervals:
         return out
 

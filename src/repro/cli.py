@@ -122,13 +122,16 @@ def build_parser() -> argparse.ArgumentParser:
     )
 
     p_trace = sub.add_parser(
-        "trace", help="record .rtrc trace files and analyze them post-mortem"
+        "trace", help="record .rtrc/.rtrcx trace files and analyze them post-mortem"
     )
     tsub = p_trace.add_subparsers(dest="trace_command", required=True)
 
     t_record = tsub.add_parser("record", help="run a study, persisting its trace")
     t_record.add_argument("study", choices=("db", "unix"))
-    t_record.add_argument("--out", required=True, metavar="FILE.rtrc")
+    t_record.add_argument(
+        "--out", required=True, metavar="FILE.rtrc[x]",
+        help="destination trace; a .rtrcx suffix records straight to the columnar layout",
+    )
     t_record.add_argument("--clients", type=int, default=2, help="db: client count")
     t_record.add_argument("--queries", type=int, default=3, help="db: query count")
     t_record.add_argument("--transport", choices=("bus", "naive"), default="bus")
@@ -145,6 +148,28 @@ def build_parser() -> argparse.ArgumentParser:
     t_info = tsub.add_parser("info", help="summarize a trace file")
     t_info.add_argument("file")
     t_info.add_argument("--json", action="store_true")
+
+    t_convert = tsub.add_parser(
+        "convert", help="losslessly convert between row .rtrc and columnar .rtrcx"
+    )
+    t_convert.add_argument("src", help="source trace (either format; sniffed by magic)")
+    t_convert.add_argument("dst", help="destination (format from suffix, or --to)")
+    t_convert.add_argument(
+        "--to", choices=("rtrc", "rtrcx"), default=None,
+        help="target format (default: the destination suffix, else the other layout)",
+    )
+    t_convert.add_argument(
+        "--segment-events", type=int, default=4096, metavar="N",
+        help="columnar target: records per segment (zone-map/scan granularity)",
+    )
+    t_convert.add_argument(
+        "--snapshot-every", type=int, default=1024, metavar="N",
+        help="row target: SAS snapshot frame cadence",
+    )
+    t_convert.add_argument(
+        "--verify", action="store_true",
+        help="re-read both files and assert the record streams are identical",
+    )
 
     t_query = tsub.add_parser(
         "query", help="evaluate questions / windowed mappings retrospectively"
@@ -171,6 +196,10 @@ def build_parser() -> argparse.ArgumentParser:
     )
     t_query.add_argument(
         "--stats", action="store_true", help="per-sentence activation statistics"
+    )
+    t_query.add_argument(
+        "--jobs", type=int, default=None, metavar="N",
+        help="parallel segment-scan workers (columnar traces only)",
     )
     t_query.add_argument("--json", action="store_true")
 
@@ -199,6 +228,10 @@ def build_parser() -> argparse.ArgumentParser:
         "--mdl-library",
         action="store_true",
         help="also lint the built-in Figure-9 MDL metric library",
+    )
+    p_lint.add_argument(
+        "--jobs", type=int, default=None, metavar="N",
+        help="parallel segment-scan workers for columnar trace inputs",
     )
 
     p_fuzz = sub.add_parser(
@@ -421,14 +454,19 @@ def _cmd_fuzz(args) -> int:
 
 
 def _trace_record(args) -> int:
-    from .trace import TraceWriter
+    from .trace import ColumnarTraceWriter, TraceWriter
+
+    def writer_for(path: str, meta: dict):
+        if str(path).lower().endswith(".rtrcx"):
+            return ColumnarTraceWriter(path, metadata=meta)
+        return TraceWriter(path, snapshot_every=args.snapshot_every, metadata=meta)
 
     if args.study == "db":
         from .dbsim import Query, run_db_study
 
         queries = [Query(f"Q{i}", disk_reads=(i % 4) + 1) for i in range(args.queries)]
         meta = {"study": "db", "clients": args.clients, "queries": args.queries}
-        with TraceWriter(args.out, snapshot_every=args.snapshot_every, metadata=meta) as w:
+        with writer_for(args.out, meta) as w:
             outcome = run_db_study(
                 queries,
                 num_clients=args.clients,
@@ -445,7 +483,7 @@ def _trace_record(args) -> int:
         ]
         script.append(FunctionSpec("idle_tail", writes=0, compute_time=2e-2))
         meta = {"study": "unix", "writes": writes, "causal": not args.no_causal}
-        with TraceWriter(args.out, snapshot_every=args.snapshot_every, metadata=meta) as w:
+        with writer_for(args.out, meta) as w:
             outcome = run_figure7_study(script, causal=not args.no_causal, recorder=w)
     print(
         f"recorded {w.transitions} transitions over {outcome.elapsed * 1e3:.4f} "
@@ -457,29 +495,66 @@ def _trace_record(args) -> int:
 def _trace_info(args) -> int:
     import json
 
-    from .trace import TraceReader
+    from .trace import open_trace
 
-    info = TraceReader(args.file).info()
+    info = open_trace(args.file).info()
     if args.json:
         print(json.dumps(info, indent=2, sort_keys=True))
         return 0
     for key in (
         "path",
+        "format",
         "bytes",
         "transitions",
         "metric_samples",
         "mappings",
         "sentences",
         "strings",
-        "snapshots",
+        "snapshots",  # row layout
+        "segments",  # columnar layout
     ):
-        print(f"{key}: {info[key]}")
-    t0, t1 = info["time_bounds"]
-    print(f"time_bounds: [{t0:.6g}, {t1:.6g}]")
+        if key in info:
+            print(f"{key}: {info[key]}")
+    bounds = info["time_bounds"]
+    if bounds is None:
+        print("time_bounds: none (empty trace)")
+    else:
+        t0, t1 = bounds
+        print(f"time_bounds: [{t0:.6g}, {t1:.6g}]")
     for level, n in sorted(info["sentences_by_level"].items()):
         print(f"  level {level!r}: {n} sentences")
     if info["meta"]:
         print(f"metadata: {json.dumps(info['meta'], sort_keys=True)}")
+    return 0
+
+
+def _trace_convert(args) -> int:
+    from .trace import convert, open_trace
+
+    stats = convert(
+        args.src,
+        args.dst,
+        to=args.to,
+        segment_records=args.segment_events,
+        snapshot_every=args.snapshot_every,
+    )
+    print(
+        f"converted {stats['records']} records: {stats['source']} "
+        f"({stats['from_format']}, {stats['source_bytes']} bytes) -> "
+        f"{stats['destination']} ({stats['to_format']}, "
+        f"{stats['destination_bytes']} bytes)"
+    )
+    if args.verify:
+        with open_trace(args.src) as a, open_trace(args.dst) as b:
+            ra, rb = a.records(), b.records()
+            for n, (rec_a, rec_b) in enumerate(zip(ra, rb)):
+                if rec_a != rec_b:
+                    print(f"verify: MISMATCH at record {n}: {rec_a!r} != {rec_b!r}")
+                    return 1
+            if next(ra, None) is not None or next(rb, None) is not None:
+                print("verify: MISMATCH: record counts differ")
+                return 1
+        print("verify: record streams identical")
     return 0
 
 
@@ -488,14 +563,14 @@ def _trace_query(args) -> int:
 
     from .core import OrderedQuestion, PerformanceQuestion
     from .trace import (
-        TraceReader,
         evaluate_questions,
+        open_trace,
         parse_pattern,
         trace_stats,
         windowed_mappings,
     )
 
-    reader = TraceReader(args.file)
+    reader = open_trace(args.file)
     payload: dict = {}
     if args.pattern:
         components = tuple(parse_pattern(text) for text in args.pattern)
@@ -511,7 +586,7 @@ def _trace_query(args) -> int:
             for name, a in answers.items()
         }
     if args.mappings:
-        found = windowed_mappings(reader, window=args.window)
+        found = windowed_mappings(reader, window=args.window, jobs=args.jobs)
         payload["mappings"] = [
             {
                 "source": str(m.source),
@@ -527,7 +602,9 @@ def _trace_query(args) -> int:
                 "activations": st.activations,
                 "active_time": st.active_time,
             }
-            for sent, st in sorted(trace_stats(reader).items(), key=lambda kv: str(kv[0]))
+            for sent, st in sorted(
+                trace_stats(reader, jobs=args.jobs).items(), key=lambda kv: str(kv[0])
+            )
         }
     if args.json:
         print(json.dumps(payload, indent=2, sort_keys=True))
@@ -554,10 +631,10 @@ def _trace_query(args) -> int:
 def _trace_diff(args) -> int:
     import json
 
-    from .trace import TraceReader, diff_traces
+    from .trace import diff_traces, open_trace
 
     diff = diff_traces(
-        TraceReader(args.file_a), TraceReader(args.file_b), time_tolerance=args.tolerance
+        open_trace(args.file_a), open_trace(args.file_b), time_tolerance=args.tolerance
     )
     if args.json:
         payload = {
@@ -600,7 +677,7 @@ def _trace_diff(args) -> int:
 def _cmd_lint(args) -> int:
     from .analyze import Severity, format_json, format_text, lint_paths
 
-    result = lint_paths(args.files, mdl_library=args.mdl_library)
+    result = lint_paths(args.files, mdl_library=args.mdl_library, jobs=args.jobs)
     print(format_json(result) if args.format == "json" else format_text(result))
     return 1 if result.fails(Severity.parse(args.fail_on)) else 0
 
@@ -609,6 +686,7 @@ def _cmd_trace(args) -> int:
     return {
         "record": _trace_record,
         "info": _trace_info,
+        "convert": _trace_convert,
         "query": _trace_query,
         "diff": _trace_diff,
     }[args.trace_command](args)

@@ -6,9 +6,23 @@ mappings -- recorded to a compact binary ``.rtrc`` file
 (:class:`TraceReader`), and analyzed post-mortem: live-identical Figure-6
 question evaluation, lag-windowed dynamic mappings that recover Figure 7's
 asynchronous activations, and per-sentence run diffs (:mod:`.retro`).
+
+The chunked columnar ``.rtrcx`` layout (:mod:`.columnar`) stores the same
+record per field, in time-sorted segments with zone maps and embedded SAS
+snapshots, read via mmap; :func:`open_trace` dispatches on a file's magic
+bytes and :func:`convert` moves runs losslessly between the two layouts.
+The common scan API (:mod:`.scan`) gives every retrospective consumer
+pushdown filtering and -- on columnar files -- parallel segment scans.
 """
 
 from .codec import CodecError
+from .columnar import (
+    ColumnarTraceReader,
+    ColumnarTraceWriter,
+    SegmentMeta,
+    convert,
+    open_trace,
+)
 from .retro import (
     AttributionResult,
     RetroAnswer,
@@ -24,24 +38,41 @@ from .retro import (
     windowed_attribution,
     windowed_mappings,
 )
+from .scan import (
+    filtered_intervals,
+    matching_sids,
+    parallel_intervals,
+    question_sids,
+    scan_transitions,
+)
 from .store import MappingEvent, MetricSample, SASState, TraceReader, TraceWriter
 
 __all__ = [
     "AttributionResult",
     "CodecError",
+    "ColumnarTraceReader",
+    "ColumnarTraceWriter",
     "MappingEvent",
     "MetricSample",
     "RetroAnswer",
     "SASState",
+    "SegmentMeta",
     "SentenceStats",
     "TraceDiff",
     "TraceReader",
     "TraceWriter",
     "WindowedMapping",
+    "convert",
     "diff_traces",
     "evaluate_questions",
+    "filtered_intervals",
+    "matching_sids",
+    "open_trace",
+    "parallel_intervals",
     "parse_pattern",
     "question_name",
+    "question_sids",
+    "scan_transitions",
     "sentence_intervals",
     "trace_stats",
     "windowed_attribution",

@@ -51,8 +51,13 @@ __all__ = [
     "TAG_METRIC",
     "TAG_MAPPING",
     "TAG_SNAPSHOT",
+    "MAX_UVARINT_BYTES",
     "append_uvarint",
     "read_uvarint",
+    "read_blob",
+    "read_f64",
+    "check_count",
+    "decode_utf8",
     "zigzag",
     "unzigzag",
     "float_to_bits",
@@ -82,12 +87,17 @@ _PACK_Q = struct.Struct("<Q")
 
 
 class CodecError(ValueError):
-    """Malformed or truncated ``.rtrc`` data."""
+    """Malformed or truncated ``.rtrc``/``.rtrcx`` data."""
 
 
 # ----------------------------------------------------------------------
 # varints
 # ----------------------------------------------------------------------
+#: widest legal varint: a 64-bit value spans ten 7-bit groups.  Anything
+#: longer is corrupt input trying to build an unbounded Python int.
+MAX_UVARINT_BYTES = 10
+
+
 def append_uvarint(buf: bytearray, value: int) -> None:
     """Append ``value`` (>= 0) to ``buf`` as a LEB128 varint."""
     while value > 0x7F:
@@ -97,7 +107,12 @@ def append_uvarint(buf: bytearray, value: int) -> None:
 
 
 def read_uvarint(data, pos: int) -> tuple[int, int]:
-    """Decode a varint at ``pos``; returns ``(value, next_pos)``."""
+    """Decode a varint at ``pos``; returns ``(value, next_pos)``.
+
+    Width is bounded at :data:`MAX_UVARINT_BYTES` (64 bits of payload), so
+    corrupt continuation bits raise :class:`CodecError` instead of looping
+    over the whole file accumulating an arbitrarily large integer.
+    """
     value = 0
     shift = 0
     n = len(data)
@@ -110,6 +125,46 @@ def read_uvarint(data, pos: int) -> tuple[int, int]:
         if not byte & 0x80:
             return value, pos
         shift += 7
+        if shift >= 7 * MAX_UVARINT_BYTES:
+            raise CodecError("varint wider than 64 bits (corrupt continuation bits)")
+
+
+def read_blob(data, pos: int, length: int, what: str = "blob") -> tuple[bytes, int]:
+    """Slice ``length`` validated bytes at ``pos``; returns ``(bytes, next_pos)``.
+
+    A corrupt length field cannot silently short-slice (Python slicing
+    clamps) or trigger a huge allocation: the requested span must lie
+    entirely inside ``data``.
+    """
+    if length < 0 or pos + length > len(data):
+        raise CodecError(f"truncated {what}: {length} bytes claimed at offset {pos}")
+    return bytes(data[pos : pos + length]), pos + length
+
+
+def read_f64(data, pos: int, what: str = "float") -> tuple[float, int]:
+    """Read one little-endian IEEE-754 double with bounds checking."""
+    if pos + 8 > len(data):
+        raise CodecError(f"truncated {what} at offset {pos}")
+    return _PACK_D.unpack_from(data, pos)[0], pos + 8
+
+
+def check_count(count: int, pos: int, end: int, min_item_bytes: int, what: str) -> int:
+    """Validate a decoded element count against the bytes actually present.
+
+    Every element of a counted section costs at least ``min_item_bytes``,
+    so a mangled count that could not possibly fit raises :class:`CodecError`
+    up front instead of driving a huge-range loop or allocation.
+    """
+    if count < 0 or count * min_item_bytes > end - pos:
+        raise CodecError(f"corrupt {what} count {count} at offset {pos}")
+    return count
+
+
+def decode_utf8(raw: bytes, what: str = "string") -> str:
+    try:
+        return raw.decode("utf-8")
+    except UnicodeDecodeError as exc:
+        raise CodecError(f"invalid utf-8 in {what}: {exc}") from exc
 
 
 def zigzag(value: int) -> int:
@@ -129,6 +184,10 @@ def float_to_bits(value: float) -> int:
 
 
 def bits_to_float(bits: int) -> float:
+    if bits >> 64:
+        # a corrupt varint can decode to more than 64 bits; don't let
+        # struct.error escape the codec boundary
+        raise CodecError(f"float bit pattern exceeds 64 bits: {bits:#x}")
     return _PACK_D.unpack(_PACK_Q.pack(bits))[0]
 
 
@@ -201,11 +260,12 @@ class StringTable:
     @staticmethod
     def decode_table(data, pos: int) -> tuple[list[str], int]:
         count, pos = read_uvarint(data, pos)
+        check_count(count, pos, len(data), 1, "string table")
         out: list[str] = []
         for _ in range(count):
             length, pos = read_uvarint(data, pos)
-            out.append(bytes(data[pos : pos + length]).decode("utf-8"))
-            pos += length
+            raw, pos = read_blob(data, pos, length, "string table entry")
+            out.append(decode_utf8(raw, "string table entry"))
         return out, pos
 
 
@@ -257,6 +317,7 @@ class SentenceTable:
         _, pos = read_uvarint(data, pos)
         _, pos = read_uvarint(data, pos)
         nnouns, pos = read_uvarint(data, pos)
+        check_count(nnouns, pos, len(data), 2, "sentence noun")
         for _ in range(2 * nnouns):
             _, pos = read_uvarint(data, pos)
         return pos
@@ -266,17 +327,27 @@ class SentenceTable:
         vlevel, pos = read_uvarint(data, pos)
         vname, pos = read_uvarint(data, pos)
         nnouns, pos = read_uvarint(data, pos)
+        check_count(nnouns, pos, len(data), 2, "sentence noun")
         nouns = []
-        for _ in range(nnouns):
-            nlevel, pos = read_uvarint(data, pos)
-            nname, pos = read_uvarint(data, pos)
-            nouns.append(Noun(strings[nname], strings[nlevel]))
-        verb = Verb(strings[vname], strings[vlevel])
-        return Sentence(verb, tuple(nouns)), pos
+        try:
+            for _ in range(nnouns):
+                nlevel, pos = read_uvarint(data, pos)
+                nname, pos = read_uvarint(data, pos)
+                nouns.append(Noun(strings[nname], strings[nlevel]))
+            verb = Verb(strings[vname], strings[vlevel])
+            sent = Sentence(verb, tuple(nouns))
+        except IndexError as exc:
+            raise CodecError(f"sentence references unknown string id at {pos}") from exc
+        except ValueError as exc:
+            # Noun/Verb validation (empty name or abstraction) — corrupt
+            # string bytes decoded into an out-of-domain table entry.
+            raise CodecError(f"sentence table entry invalid at {pos}: {exc}") from exc
+        return sent, pos
 
     @staticmethod
     def decode_table(data, pos: int, strings: list[str]) -> tuple[list[Sentence], int]:
         count, pos = read_uvarint(data, pos)
+        check_count(count, pos, len(data), 3, "sentence table")
         out: list[Sentence] = []
         for _ in range(count):
             sent, pos = SentenceTable.decode_fields(data, pos, strings)

@@ -1,0 +1,1053 @@
+"""Chunked columnar trace store (``.rtrcx``): mmap reads, zone-map pruning.
+
+The row ``.rtrc`` stream (:mod:`repro.trace.store`) is the interchange
+format: compact, append-only, decoded record by record.  Every
+retrospective question, lag-window attribution, and trace-backed lint run
+pays that per-record varint loop even when it needs two fields of the
+events in one time range.  This module stores the same dynamic record
+*by column*, in time-sorted segments, so a query touches only the bytes
+its patterns need:
+
+* **per-field arrays** -- transition times, sentence ids, kind flags and
+  node ids (and the metric/mapping fields) live in separate contiguous
+  machine arrays (``f64``/``u32``/``u8`` little-endian), bulk-decoded with
+  ``array.frombytes`` instead of per-record varint parsing;
+* **time-sorted segments with zone maps** -- every ``segment_records``
+  records close a segment; the footer records each segment's byte span,
+  time range, distinct sentence-id set, and per-level presence bits, so a
+  scan *prunes* segments whose zone map cannot match before reading a
+  single record byte;
+* **embedded SAS snapshots** -- each segment starts with the full
+  activation state at its first record, so any segment is independently
+  decodable: ``seek`` lands on one segment and replays only its prefix,
+  and the parallel scanner (:mod:`repro.trace.scan`) hands whole segment
+  ranges to workers with no cross-segment replay dependency;
+* **mmap reads** -- :class:`ColumnarTraceReader` never loads the file;
+  ``info``/``time_bounds`` touch only footer pages, a pruned query only
+  the pages of the segments and columns it decodes.
+
+A record-for-record lossless converter (:func:`convert`, surfaced as
+``repro trace convert``) moves runs between the two layouts; an ``ORDER``
+column preserves the original interleaving of transition / metric /
+mapping records so round-trips reproduce the stream exactly.
+
+File layout::
+
+    header  := MAGIC "RTCX" | version u8 | meta_len varint | meta_json
+    segment := snap_len varint | snapshot | ncols varint
+               | (col_id varint | nbytes varint | column bytes)*
+    footer  := string table | sentence table | level table
+               | segment index (zone maps) | counts | bounds
+    trailer := footer_offset u64le | MAGIC_END "XCTR"
+"""
+
+from __future__ import annotations
+
+import bisect
+import json
+import mmap
+import struct
+import sys
+from array import array
+from pathlib import Path
+from typing import Any, Iterable, Iterator
+
+from ..core import EventKind, Sentence, SentenceEvent, Trace
+from ..core.mapping import MappingOrigin
+from .codec import (
+    ORIGIN_BY_CODE,
+    ORIGIN_CODES,
+    CodecError,
+    SentenceTable,
+    StringTable,
+    append_uvarint,
+    check_count,
+    decode_node,
+    decode_utf8,
+    encode_node,
+    read_blob,
+    read_f64,
+    read_uvarint,
+)
+from .store import (
+    ALL_NODES,
+    MAGIC,
+    MappingEvent,
+    MetricSample,
+    SASState,
+    TraceReader,
+    TraceWriter,
+    map_readonly,
+)
+
+__all__ = [
+    "MAGIC_X",
+    "MAGIC_X_END",
+    "VERSION_X",
+    "SegmentMeta",
+    "ColumnarTraceWriter",
+    "ColumnarTraceReader",
+    "open_trace",
+    "convert",
+]
+
+MAGIC_X = b"RTCX"
+MAGIC_X_END = b"XCTR"
+VERSION_X = 1
+
+_F64 = struct.Struct("<d")
+_U64 = struct.Struct("<Q")
+
+#: column ids (fixed on disk; unknown ids are skipped by readers)
+COL_ORDER = 0  # u8 per record: 0 = transition, 1 = metric, 2 = mapping
+COL_T = 1  # f64 transition times
+COL_SID = 2  # u32 sentence ids
+COL_KIND = 3  # u8 activate flag
+COL_NODE = 4  # u32 encode_node() fields
+COL_MT = 5  # f64 metric times
+COL_MNAME = 6  # u32 metric name string ids
+COL_MFOCUS = 7  # u32 focus string ids
+COL_MUNITS = 8  # u32 units string ids
+COL_MVAL = 9  # f64 metric values
+COL_PT = 10  # f64 mapping times
+COL_PSRC = 11  # u32 mapping source sentence ids
+COL_PDST = 12  # u32 mapping destination sentence ids
+COL_PORG = 13  # u8 mapping origin codes
+
+REC_TRANS, REC_METRIC, REC_MAP = 0, 1, 2
+
+_U32 = "I" if array("I").itemsize == 4 else "L"
+if array(_U32).itemsize != 4:  # pragma: no cover - no such CPython platform
+    raise RuntimeError("no 4-byte unsigned array typecode on this platform")
+_BIG_ENDIAN = sys.byteorder == "big"
+_ID_LIMIT = 1 << 32
+
+
+def _tobytes(arr: array) -> bytes:
+    if _BIG_ENDIAN and arr.itemsize > 1:  # pragma: no cover - little-endian hosts
+        arr = array(arr.typecode, arr)
+        arr.byteswap()
+    return arr.tobytes()
+
+
+def _frombytes(typecode: str, raw: bytes) -> array:
+    arr = array(typecode)
+    arr.frombytes(raw)
+    if _BIG_ENDIAN and arr.itemsize > 1:  # pragma: no cover - little-endian hosts
+        arr.byteswap()
+    return arr
+
+
+class SegmentMeta:
+    """One segment's zone map: everything pruning needs, nothing decoded.
+
+    ``sids`` is the distinct sentence-id set touched by the segment's
+    transitions *and* mappings; ``level_mask`` the union of their levels'
+    bits (positions index the reader's ``levels`` table); ``trans_t_max``
+    the transitions-only time bound (``t_min``/``t_max`` cover all record
+    kinds).
+    """
+
+    __slots__ = (
+        "offset",
+        "nbytes",
+        "n_trans",
+        "n_metric",
+        "n_map",
+        "t_min",
+        "t_max",
+        "trans_t_max",
+        "level_mask",
+        "sids",
+    )
+
+    def __init__(self, offset, nbytes, n_trans, n_metric, n_map, t_min, t_max,
+                 trans_t_max, level_mask, sids):
+        self.offset = offset
+        self.nbytes = nbytes
+        self.n_trans = n_trans
+        self.n_metric = n_metric
+        self.n_map = n_map
+        self.t_min = t_min
+        self.t_max = t_max
+        self.trans_t_max = trans_t_max
+        self.level_mask = level_mask
+        self.sids = sids
+
+    def __repr__(self) -> str:
+        return (
+            f"SegmentMeta(t=[{self.t_min:.6g}, {self.t_max:.6g}], "
+            f"trans={self.n_trans}, metrics={self.n_metric}, maps={self.n_map}, "
+            f"sentences={len(self.sids)})"
+        )
+
+
+# ----------------------------------------------------------------------
+# writer
+# ----------------------------------------------------------------------
+class ColumnarTraceWriter:
+    """Streams a run's dynamic record into a segmented ``.rtrcx`` file.
+
+    Exposes the same recorder protocol as :class:`~.store.TraceWriter`
+    (``transition`` / ``metric_sample`` / ``mapping``), so anything that
+    records to a row file records to a columnar one unchanged.  Every
+    ``segment_records`` records the open segment is flushed with its zone
+    map, and the next segment opens with a full SAS snapshot -- the
+    columnar analogue of ``snapshot_every`` (it bounds both seek replay
+    and the granularity of segment pruning/parallel scans).
+    """
+
+    def __init__(
+        self,
+        path: str | Path,
+        segment_records: int = 4096,
+        metadata: dict | None = None,
+    ):
+        if segment_records < 1:
+            raise ValueError("segment_records must be >= 1")
+        self.path = str(path)
+        self.segment_records = segment_records
+        self._fh = open(self.path, "wb")
+        header = bytearray(MAGIC_X)
+        header.append(VERSION_X)
+        raw = json.dumps(metadata or {}, sort_keys=True).encode("utf-8")
+        append_uvarint(header, len(raw))
+        header += raw
+        self._fh.write(header)
+        self._offset = len(header)
+        self._scratch = bytearray()  # interning sink; DEF_* records unused here
+        self._strings = StringTable()
+        self._sents = SentenceTable(self._strings)
+        self._levels: dict[str, int] = {}
+        self._sent_level: list[int] = []  # sentence id -> level id
+        self._last_time = 0.0
+        self._timed = 0
+        self._t0 = 0.0
+        self._t1 = 0.0
+        self.transitions = 0
+        self.metric_samples_count = 0
+        self.mappings_count = 0
+        # live SAS state mirrored for segment snapshots: node -> sid -> stack
+        self._state: dict[Any, dict[int, list[float]]] = {}
+        # flattened-interval bookkeeping: cross-node depth per sentence and
+        # the time that depth last went 0 -> 1.  Persisted in each segment
+        # snapshot because activation stacks alone cannot recover it (the
+        # opening activation may already have been popped while overlapping
+        # ones keep the sentence active) -- the parallel segment scan needs
+        # it to seed a range without replaying earlier segments.
+        self._flat_depth: dict[int, int] = {}
+        self._flat_start: dict[int, float] = {}
+        self._segments: list[SegmentMeta] = []
+        self._attached: list[tuple[Any, Any]] = []
+        self._closed = False
+        self._open_segment()
+
+    # -- recorder protocol ------------------------------------------------
+    def transition(
+        self,
+        time: float,
+        kind: EventKind,
+        sentence: Sentence,
+        node_id: int | None = None,
+    ) -> None:
+        self._check_open()
+        self._maybe_roll()
+        sid = self._intern_sentence(sentence)
+        activate = kind is EventKind.ACTIVATE
+        per = self._state.setdefault(node_id, {})
+        if activate:
+            per.setdefault(sid, []).append(time)
+            d = self._flat_depth.get(sid, 0)
+            if d == 0:
+                self._flat_start[sid] = time
+            self._flat_depth[sid] = d + 1
+        else:
+            stack = per.get(sid)
+            if not stack:
+                raise ValueError(
+                    f"deactivate without activate for {sentence} on node {node_id}"
+                )
+            stack.pop()
+            if not stack:
+                del per[sid]
+            d = self._flat_depth[sid] - 1
+            if d:
+                self._flat_depth[sid] = d
+            else:
+                del self._flat_depth[sid]
+                del self._flat_start[sid]
+        self._clock(time)
+        node_field = encode_node(node_id)
+        if node_field >= _ID_LIMIT:
+            raise CodecError(f"node id {node_id} out of u32 range")
+        self._order.append(REC_TRANS)
+        self._trans_t.append(time)
+        self._trans_sid.append(sid)
+        self._trans_kind.append(1 if activate else 0)
+        self._trans_node.append(node_field)
+        self._seg_sids.add(sid)
+        self._seg_levels |= 1 << self._sent_level[sid]
+        self.transitions += 1
+
+    def metric_sample(
+        self, time: float, name: str, focus: str = "", value: float = 0.0, units: str = ""
+    ) -> None:
+        self._check_open()
+        self._maybe_roll()
+        nsid = self._strings.intern(name, self._scratch)
+        fsid = self._strings.intern(focus, self._scratch)
+        usid = self._strings.intern(units, self._scratch)
+        self._clock(time)
+        self._order.append(REC_METRIC)
+        self._met_t.append(time)
+        self._met_name.append(nsid)
+        self._met_focus.append(fsid)
+        self._met_units.append(usid)
+        self._met_val.append(value)
+        self.metric_samples_count += 1
+
+    def mapping(
+        self,
+        time: float,
+        source: Sentence,
+        destination: Sentence,
+        origin: MappingOrigin = MappingOrigin.DYNAMIC,
+    ) -> None:
+        self._check_open()
+        self._maybe_roll()
+        src = self._intern_sentence(source)
+        dst = self._intern_sentence(destination)
+        self._clock(time)
+        self._order.append(REC_MAP)
+        self._map_t.append(time)
+        self._map_src.append(src)
+        self._map_dst.append(dst)
+        self._map_org.append(ORIGIN_CODES[origin])
+        self._seg_sids.add(src)
+        self._seg_sids.add(dst)
+        self._seg_levels |= (1 << self._sent_level[src]) | (1 << self._sent_level[dst])
+        self.mappings_count += 1
+
+    # -- conveniences -----------------------------------------------------
+    def attach_sas(self, sas) -> Any:
+        """Record every handled transition of ``sas``; detached on close."""
+        hook = sas.attach_recorder(self)
+        self._attached.append((sas, hook))
+        return hook
+
+    def record_trace(self, trace: Trace | Iterable[SentenceEvent]) -> None:
+        """Bulk-record an in-memory trace (or any event iterable)."""
+        for event in trace:
+            self.transition(event.time, event.kind, event.sentence, event.node_id)
+
+    # -- internals --------------------------------------------------------
+    def _check_open(self) -> None:
+        if self._closed:
+            raise ValueError(f"ColumnarTraceWriter({self.path}) is closed")
+
+    def _intern_sentence(self, sentence: Sentence) -> int:
+        sid = self._sents.intern(sentence, self._scratch)
+        if sid == len(self._sent_level):
+            level = sentence.abstraction
+            lid = self._levels.setdefault(level, len(self._levels))
+            self._sent_level.append(lid)
+        if sid >= _ID_LIMIT:  # pragma: no cover - 4e9 distinct sentences
+            raise CodecError("sentence id out of u32 range")
+        return sid
+
+    def _clock(self, time: float) -> None:
+        if self._timed:
+            if time < self._last_time:
+                raise ValueError(
+                    f"trace time went backwards: {time} < {self._last_time}"
+                )
+        else:
+            self._t0 = time
+            self._seg_t_min = time
+        self._t1 = self._last_time = time
+        self._timed += 1
+
+    def _open_segment(self) -> None:
+        self._order = bytearray()
+        self._trans_t = array("d")
+        self._trans_sid = array(_U32)
+        self._trans_kind = bytearray()
+        self._trans_node = array(_U32)
+        self._met_t = array("d")
+        self._met_name = array(_U32)
+        self._met_focus = array(_U32)
+        self._met_units = array(_U32)
+        self._met_val = array("d")
+        self._map_t = array("d")
+        self._map_src = array(_U32)
+        self._map_dst = array(_U32)
+        self._map_org = bytearray()
+        self._seg_sids: set[int] = set()
+        self._seg_levels = 0
+        self._seg_t_min = self._last_time
+        # state before the segment's first record, for the embedded snapshot
+        self._seg_snapshot = self._encode_snapshot()
+
+    def _encode_snapshot(self) -> bytes:
+        buf = bytearray()
+        entries = [
+            (node, sid, stack)
+            for node, per in self._state.items()
+            for sid, stack in per.items()
+        ]
+        append_uvarint(buf, len(entries))
+        for node, sid, stack in entries:
+            append_uvarint(buf, encode_node(node))
+            append_uvarint(buf, sid)
+            append_uvarint(buf, len(stack))
+            for t in stack:
+                buf += _F64.pack(t)
+        # flattened-interval tail: (cross-node depth, outermost start) per
+        # open sentence; readers that only want the SAS state stop before it
+        append_uvarint(buf, len(self._flat_start))
+        for sid in sorted(self._flat_start):
+            append_uvarint(buf, sid)
+            append_uvarint(buf, self._flat_depth[sid])
+            buf += _F64.pack(self._flat_start[sid])
+        return bytes(buf)
+
+    def _maybe_roll(self) -> None:
+        if len(self._order) >= self.segment_records:
+            self._flush_segment()
+            self._open_segment()
+
+    def _flush_segment(self) -> None:
+        if not self._order:
+            return
+        buf = bytearray()
+        append_uvarint(buf, len(self._seg_snapshot))
+        buf += self._seg_snapshot
+        cols = [
+            (COL_ORDER, bytes(self._order)),
+            (COL_T, _tobytes(self._trans_t)),
+            (COL_SID, _tobytes(self._trans_sid)),
+            (COL_KIND, bytes(self._trans_kind)),
+            (COL_NODE, _tobytes(self._trans_node)),
+            (COL_MT, _tobytes(self._met_t)),
+            (COL_MNAME, _tobytes(self._met_name)),
+            (COL_MFOCUS, _tobytes(self._met_focus)),
+            (COL_MUNITS, _tobytes(self._met_units)),
+            (COL_MVAL, _tobytes(self._met_val)),
+            (COL_PT, _tobytes(self._map_t)),
+            (COL_PSRC, _tobytes(self._map_src)),
+            (COL_PDST, _tobytes(self._map_dst)),
+            (COL_PORG, bytes(self._map_org)),
+        ]
+        cols = [(cid, raw) for cid, raw in cols if raw]
+        append_uvarint(buf, len(cols))
+        for cid, raw in cols:
+            append_uvarint(buf, cid)
+            append_uvarint(buf, len(raw))
+            buf += raw
+        self._segments.append(
+            SegmentMeta(
+                offset=self._offset,
+                nbytes=len(buf),
+                n_trans=len(self._trans_t),
+                n_metric=len(self._met_t),
+                n_map=len(self._map_t),
+                t_min=self._seg_t_min,
+                t_max=self._last_time,
+                trans_t_max=self._trans_t[-1] if self._trans_t else self._seg_t_min,
+                level_mask=self._seg_levels,
+                sids=frozenset(self._seg_sids),
+            )
+        )
+        self._fh.write(buf)
+        self._offset += len(buf)
+
+    def close(self) -> None:
+        """Flush the open segment, write footer + trailer (idempotent)."""
+        if self._closed:
+            return
+        for sas, hook in self._attached:
+            sas.detach_recorder(hook)
+        self._attached.clear()
+        self._flush_segment()
+        footer = bytearray()
+        self._strings.encode_table(footer)
+        self._sents.encode_table(footer)
+        append_uvarint(footer, len(self._levels))
+        for name in self._levels:  # insertion order == level id order
+            sid = self._strings.intern(name, self._scratch)
+            append_uvarint(footer, sid)
+        append_uvarint(footer, len(self._segments))
+        for seg in self._segments:
+            append_uvarint(footer, seg.offset)
+            append_uvarint(footer, seg.nbytes)
+            append_uvarint(footer, seg.n_trans)
+            append_uvarint(footer, seg.n_metric)
+            append_uvarint(footer, seg.n_map)
+            footer += _F64.pack(seg.t_min)
+            footer += _F64.pack(seg.t_max)
+            footer += _F64.pack(seg.trans_t_max)
+            append_uvarint(footer, seg.level_mask)
+            append_uvarint(footer, len(seg.sids))
+            prev = 0
+            for sid in sorted(seg.sids):
+                append_uvarint(footer, sid - prev)
+                prev = sid
+        append_uvarint(footer, self.transitions)
+        append_uvarint(footer, self.metric_samples_count)
+        append_uvarint(footer, self.mappings_count)
+        footer += _F64.pack(self._t0)
+        footer += _F64.pack(self._t1)
+        self._fh.write(footer)
+        self._fh.write(_U64.pack(self._offset))
+        self._fh.write(MAGIC_X_END)
+        self._fh.close()
+        self._closed = True
+
+    def __enter__(self) -> "ColumnarTraceWriter":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+# ----------------------------------------------------------------------
+# reader
+# ----------------------------------------------------------------------
+class ColumnarTraceReader:
+    """Random-access mmap reader over a finalized ``.rtrcx`` file.
+
+    Opening decodes only the footer (tables + zone maps); record bytes are
+    touched lazily, column by column, as scans demand them.  The event
+    iterators yield values equal, record for record, to what the row
+    reader yields on the same run -- the converter round-trip test pins
+    this for every shipped study trace.
+    """
+
+    def __init__(self, path: str | Path):
+        self.path = str(path)
+        data = map_readonly(self.path)
+        if len(data) < len(MAGIC_X) + 1 + 12 or data[: len(MAGIC_X)] != MAGIC_X:
+            raise CodecError(f"{self.path}: not an .rtrcx file")
+        if data[len(MAGIC_X)] != VERSION_X:
+            raise CodecError(
+                f"{self.path}: unsupported version {data[len(MAGIC_X)]} (want {VERSION_X})"
+            )
+        if data[-len(MAGIC_X_END) :] != MAGIC_X_END:
+            raise CodecError(f"{self.path}: truncated (missing end magic)")
+        self._data = data
+        pos = len(MAGIC_X) + 1
+        mlen, pos = read_uvarint(data, pos)
+        raw_meta, pos = read_blob(data, pos, mlen, "metadata")
+        try:
+            self.meta: dict = json.loads(decode_utf8(raw_meta, "metadata")) if mlen else {}
+        except json.JSONDecodeError as exc:
+            raise CodecError(f"{self.path}: corrupt metadata json: {exc}") from exc
+        self._records_start = pos
+        footer_offset = _U64.unpack_from(data, len(data) - 12)[0]
+        if not self._records_start <= footer_offset <= len(data) - 12:
+            raise CodecError(f"{self.path}: footer offset out of range")
+        fpos = footer_offset
+        self.strings, fpos = StringTable.decode_table(data, fpos)
+        self.sentences, fpos = SentenceTable.decode_table(data, fpos, self.strings)
+        nlevels, fpos = read_uvarint(data, fpos)
+        check_count(nlevels, fpos, len(data), 1, "level table")
+        self.levels: list[str] = []
+        for _ in range(nlevels):
+            sid, fpos = read_uvarint(data, fpos)
+            if sid >= len(self.strings):
+                raise CodecError(f"{self.path}: level references unknown string id {sid}")
+            self.levels.append(self.strings[sid])
+        nseg, fpos = read_uvarint(data, fpos)
+        check_count(nseg, fpos, len(data), 30, "segment index")
+        self.segments: list[SegmentMeta] = []
+        nsents = len(self.sentences)
+        for _ in range(nseg):
+            offset, fpos = read_uvarint(data, fpos)
+            nbytes, fpos = read_uvarint(data, fpos)
+            n_trans, fpos = read_uvarint(data, fpos)
+            n_metric, fpos = read_uvarint(data, fpos)
+            n_map, fpos = read_uvarint(data, fpos)
+            t_min, fpos = read_f64(data, fpos, "zone map bound")
+            t_max, fpos = read_f64(data, fpos, "zone map bound")
+            trans_t_max, fpos = read_f64(data, fpos, "zone map bound")
+            level_mask, fpos = read_uvarint(data, fpos)
+            nsids, fpos = read_uvarint(data, fpos)
+            check_count(nsids, fpos, len(data), 1, "zone map sid set")
+            sids = []
+            prev = 0
+            for _ in range(nsids):
+                delta, fpos = read_uvarint(data, fpos)
+                prev += delta
+                sids.append(prev)
+            if sids and sids[-1] >= nsents:
+                raise CodecError(f"{self.path}: zone map references unknown sentence id")
+            if not (
+                self._records_start <= offset
+                and offset + nbytes <= footer_offset
+            ):
+                raise CodecError(f"{self.path}: segment span out of range")
+            self.segments.append(
+                SegmentMeta(
+                    offset, nbytes, n_trans, n_metric, n_map,
+                    t_min, t_max, trans_t_max, level_mask, frozenset(sids),
+                )
+            )
+        self.transitions, fpos = read_uvarint(data, fpos)
+        self.metric_count, fpos = read_uvarint(data, fpos)
+        self.mapping_count, fpos = read_uvarint(data, fpos)
+        self.t0, fpos = read_f64(data, fpos, "time bound")
+        self.t1, fpos = read_f64(data, fpos, "time bound")
+        self._seg_t_mins = [s.t_min for s in self.segments]
+        self._col_dirs: dict[int, dict[int, tuple[int, int]]] = {}
+        self._snap_spans: dict[int, tuple[int, int]] = {}
+        self._level_ids = {name: i for i, name in enumerate(self.levels)}
+
+    # -- column access ------------------------------------------------------
+    def _columns(self, i: int) -> dict[int, tuple[int, int]]:
+        """The column directory of segment ``i``: id -> (offset, nbytes)."""
+        cached = self._col_dirs.get(i)
+        if cached is not None:
+            return cached
+        seg = self.segments[i]
+        data = self._data
+        end = seg.offset + seg.nbytes
+        snap_len, pos = read_uvarint(data, seg.offset)
+        if pos + snap_len > end:
+            raise CodecError(f"{self.path}: truncated segment snapshot")
+        self._snap_spans[i] = (pos, snap_len)
+        pos += snap_len
+        ncols, pos = read_uvarint(data, pos)
+        check_count(ncols, pos, end, 2, "column directory")
+        out: dict[int, tuple[int, int]] = {}
+        for _ in range(ncols):
+            cid, pos = read_uvarint(data, pos)
+            nbytes, pos = read_uvarint(data, pos)
+            if pos + nbytes > end:
+                raise CodecError(f"{self.path}: truncated column {cid} in segment {i}")
+            out[cid] = (pos, nbytes)
+            pos += nbytes
+        self._col_dirs[i] = out
+        return out
+
+    def _col_raw(self, i: int, cid: int, expect: int, itemsize: int) -> bytes:
+        span = self._columns(i).get(cid)
+        if span is None:
+            if expect == 0:
+                return b""
+            raise CodecError(f"{self.path}: segment {i} missing column {cid}")
+        pos, nbytes = span
+        if nbytes != expect * itemsize:
+            raise CodecError(
+                f"{self.path}: column {cid} in segment {i} has {nbytes} bytes, "
+                f"want {expect * itemsize}"
+            )
+        return bytes(self._data[pos : pos + nbytes])
+
+    def _col_f64(self, i: int, cid: int, expect: int) -> array:
+        return _frombytes("d", self._col_raw(i, cid, expect, 8))
+
+    def _col_u32(self, i: int, cid: int, expect: int) -> array:
+        return _frombytes(_U32, self._col_raw(i, cid, expect, 4))
+
+    def _col_u8(self, i: int, cid: int, expect: int) -> bytes:
+        return self._col_raw(i, cid, expect, 1)
+
+    def segment_state(self, i: int) -> SASState:
+        """SAS activation state at the *start* of segment ``i`` (decoded
+        from the embedded snapshot; independent of every other segment)."""
+        self._columns(i)  # locates the snapshot span
+        pos, snap_len = self._snap_spans[i]
+        data = self._data
+        end = pos + snap_len
+        nentries, pos = read_uvarint(data, pos)
+        check_count(nentries, pos, end, 3, "snapshot entry")
+        state = SASState()
+        sentences = self.sentences
+        for _ in range(nentries):
+            node_field, pos = read_uvarint(data, pos)
+            sid, pos = read_uvarint(data, pos)
+            depth, pos = read_uvarint(data, pos)
+            if sid >= len(sentences):
+                raise CodecError(f"{self.path}: snapshot references unknown sentence id")
+            check_count(depth, pos, end, 8, "activation stack")
+            times = [_F64.unpack_from(data, pos + 8 * k)[0] for k in range(depth)]
+            pos += 8 * depth
+            state.nodes.setdefault(decode_node(node_field), {})[sentences[sid]] = times
+        return state
+
+    def segment_open_intervals(self, i: int) -> dict[int, tuple[int, float]]:
+        """``sid -> (cross-node depth, flattened-interval start)`` at the
+        start of segment ``i`` -- the snapshot tail that lets a parallel
+        range scan seed interval flattening without earlier segments."""
+        self._columns(i)  # locates the snapshot span
+        pos, snap_len = self._snap_spans[i]
+        data = self._data
+        end = pos + snap_len
+        nentries, pos = read_uvarint(data, pos)
+        check_count(nentries, pos, end, 3, "snapshot entry")
+        for _ in range(nentries):
+            _, pos = read_uvarint(data, pos)
+            _, pos = read_uvarint(data, pos)
+            depth, pos = read_uvarint(data, pos)
+            check_count(depth, pos, end, 8, "activation stack")
+            pos += 8 * depth
+        nopen, pos = read_uvarint(data, pos)
+        check_count(nopen, pos, end, 10, "open-interval tail")
+        out: dict[int, tuple[int, float]] = {}
+        nsents = len(self.sentences)
+        for _ in range(nopen):
+            sid, pos = read_uvarint(data, pos)
+            depth, pos = read_uvarint(data, pos)
+            start, pos = read_f64(data, pos, "open-interval start")
+            if sid >= nsents:
+                raise CodecError(
+                    f"{self.path}: open-interval tail references unknown sentence id"
+                )
+            out[sid] = (depth, start)
+        return out
+
+    def segment_transitions(self, i: int) -> tuple[array, array, bytes, array]:
+        """Raw transition columns of segment ``i``: (times, sids, kinds, nodes)."""
+        seg = self.segments[i]
+        return (
+            self._col_f64(i, COL_T, seg.n_trans),
+            self._col_u32(i, COL_SID, seg.n_trans),
+            self._col_u8(i, COL_KIND, seg.n_trans),
+            self._col_u32(i, COL_NODE, seg.n_trans),
+        )
+
+    # -- iteration ----------------------------------------------------------
+    def events(self) -> Iterator[SentenceEvent]:
+        """All transitions, in recorded order, as core events."""
+        sentences = self.sentences
+        activate, deactivate = EventKind.ACTIVATE, EventKind.DEACTIVATE
+        for i in range(len(self.segments)):
+            times, sids, kinds, nodes = self.segment_transitions(i)
+            for j in range(len(times)):
+                yield SentenceEvent(
+                    times[j],
+                    activate if kinds[j] else deactivate,
+                    sentences[sids[j]],
+                    decode_node(nodes[j]),
+                )
+
+    def __iter__(self) -> Iterator[SentenceEvent]:
+        return self.events()
+
+    def __len__(self) -> int:
+        return self.transitions
+
+    def metric_samples(self) -> Iterator[MetricSample]:
+        strings = self.strings
+        for i, seg in enumerate(self.segments):
+            if not seg.n_metric:
+                continue
+            times = self._col_f64(i, COL_MT, seg.n_metric)
+            names = self._col_u32(i, COL_MNAME, seg.n_metric)
+            foci = self._col_u32(i, COL_MFOCUS, seg.n_metric)
+            units = self._col_u32(i, COL_MUNITS, seg.n_metric)
+            vals = self._col_f64(i, COL_MVAL, seg.n_metric)
+            try:
+                for j in range(len(times)):
+                    yield MetricSample(
+                        times[j], strings[names[j]], strings[foci[j]],
+                        vals[j], strings[units[j]],
+                    )
+            except IndexError as exc:
+                raise CodecError(f"{self.path}: unknown string id in metric") from exc
+
+    def mappings(self) -> Iterator[MappingEvent]:
+        sentences = self.sentences
+        for i, seg in enumerate(self.segments):
+            if not seg.n_map:
+                continue
+            times = self._col_f64(i, COL_PT, seg.n_map)
+            srcs = self._col_u32(i, COL_PSRC, seg.n_map)
+            dsts = self._col_u32(i, COL_PDST, seg.n_map)
+            orgs = self._col_u8(i, COL_PORG, seg.n_map)
+            try:
+                for j in range(len(times)):
+                    yield MappingEvent(
+                        times[j], sentences[srcs[j]], sentences[dsts[j]],
+                        ORIGIN_BY_CODE[orgs[j]],
+                    )
+            except (IndexError, KeyError) as exc:
+                raise CodecError(f"{self.path}: corrupt mapping column") from exc
+
+    def records(self) -> Iterator[tuple]:
+        """Every record, interleaved in recorded order (see
+        :meth:`TraceReader.records`); reconstructed from the ORDER column."""
+        sentences = self.sentences
+        strings = self.strings
+        for i, seg in enumerate(self.segments):
+            total = seg.n_trans + seg.n_metric + seg.n_map
+            order = self._col_u8(i, COL_ORDER, total)
+            times, sids, kinds, nodes = self.segment_transitions(i)
+            if seg.n_metric:
+                mt = self._col_f64(i, COL_MT, seg.n_metric)
+                mname = self._col_u32(i, COL_MNAME, seg.n_metric)
+                mfocus = self._col_u32(i, COL_MFOCUS, seg.n_metric)
+                munits = self._col_u32(i, COL_MUNITS, seg.n_metric)
+                mval = self._col_f64(i, COL_MVAL, seg.n_metric)
+            if seg.n_map:
+                pt = self._col_f64(i, COL_PT, seg.n_map)
+                psrc = self._col_u32(i, COL_PSRC, seg.n_map)
+                pdst = self._col_u32(i, COL_PDST, seg.n_map)
+                porg = self._col_u8(i, COL_PORG, seg.n_map)
+            ti = mi = pi = 0
+            try:
+                for rec in order:
+                    if rec == REC_TRANS:
+                        yield ("trans", times[ti], sentences[sids[ti]],
+                               bool(kinds[ti]), decode_node(nodes[ti]))
+                        ti += 1
+                    elif rec == REC_METRIC:
+                        yield ("metric", mt[mi], strings[mname[mi]], strings[mfocus[mi]],
+                               mval[mi], strings[munits[mi]])
+                        mi += 1
+                    elif rec == REC_MAP:
+                        yield ("map", pt[pi], sentences[psrc[pi]], sentences[pdst[pi]],
+                               ORIGIN_BY_CODE[porg[pi]])
+                        pi += 1
+                    else:
+                        raise CodecError(
+                            f"{self.path}: unknown record kind {rec} in ORDER column"
+                        )
+            except (IndexError, KeyError) as exc:
+                raise CodecError(f"{self.path}: corrupt segment {i} columns") from exc
+
+    # -- scans ---------------------------------------------------------------
+    def scan_transitions(
+        self,
+        sids: frozenset[int] | set[int] | None = None,
+        t_min: float | None = None,
+        t_max: float | None = None,
+        node: Any = ALL_NODES,
+    ) -> Iterator[SentenceEvent]:
+        """Filtered transition scan: the columnar fast path.
+
+        Segments whose zone map cannot intersect the filter (no sentence-id
+        overlap, disjoint time range) are skipped without touching their
+        bytes; surviving segments decode only the four transition columns,
+        and sentence objects materialize only for matching rows.
+        """
+        sentences = self.sentences
+        activate, deactivate = EventKind.ACTIVATE, EventKind.DEACTIVATE
+        want_node = None if node is ALL_NODES else encode_node(node)
+        for i, seg in enumerate(self.segments):
+            if not seg.n_trans:
+                continue
+            if t_min is not None and seg.trans_t_max < t_min:
+                continue
+            if t_max is not None and seg.t_min > t_max:
+                continue
+            if sids is not None and not (seg.sids & sids):
+                continue
+            times, seg_sids, kinds, nodes = self.segment_transitions(i)
+            lo, hi = 0, len(times)
+            if t_min is not None:
+                lo = bisect.bisect_left(times, t_min)
+            if t_max is not None:
+                hi = bisect.bisect_right(times, t_max)
+            for j in range(lo, hi):
+                if sids is not None and seg_sids[j] not in sids:
+                    continue
+                if want_node is not None and nodes[j] != want_node:
+                    continue
+                yield SentenceEvent(
+                    times[j],
+                    activate if kinds[j] else deactivate,
+                    sentences[seg_sids[j]],
+                    decode_node(nodes[j]),
+                )
+
+    def prune_segments(
+        self,
+        sids: frozenset[int] | set[int] | None = None,
+        t_min: float | None = None,
+        t_max: float | None = None,
+    ) -> list[int]:
+        """Indices of segments whose zone map intersects the filter."""
+        out = []
+        for i, seg in enumerate(self.segments):
+            if t_min is not None and seg.t_max < t_min:
+                continue
+            if t_max is not None and seg.t_min > t_max:
+                continue
+            if sids is not None and not (seg.sids & sids):
+                continue
+            out.append(i)
+        return out
+
+    # -- indexed access ------------------------------------------------------
+    def seek(self, time: float) -> SASState:
+        """Full SAS state at ``time`` (events at exactly ``time`` included).
+
+        Bisects the segment index, installs that segment's embedded
+        snapshot, and replays only the prefix of its transition columns up
+        to ``time`` -- no other segment is touched.
+        """
+        idx = bisect.bisect_right(self._seg_t_mins, time) - 1
+        if idx < 0:
+            return SASState()  # before the first record: nothing active
+        state = self.segment_state(idx)
+        times, sids, kinds, nodes = self.segment_transitions(idx)
+        sentences = self.sentences
+        for j in range(bisect.bisect_right(times, time)):
+            state.apply_transition(
+                sentences[sids[j]], bool(kinds[j]), times[j], decode_node(nodes[j])
+            )
+        return state
+
+    # -- summaries -----------------------------------------------------------
+    @property
+    def is_empty(self) -> bool:
+        """True when the file holds no records at all (see
+        :meth:`TraceReader.is_empty` for why counts, not bounds, decide)."""
+        return not (self.transitions or self.metric_count or self.mapping_count)
+
+    def time_bounds(self) -> tuple[float, float] | None:
+        """``(first, last)`` recorded time, or ``None`` for an empty trace."""
+        if self.is_empty:
+            return None
+        return (self.t0, self.t1)
+
+    def last_transition_time(self) -> float | None:
+        """Time of the last transition record, from zone maps alone."""
+        for seg in reversed(self.segments):
+            if seg.n_trans:
+                return seg.trans_t_max
+        return None
+
+    def to_trace(self) -> Trace:
+        """Materialize the transitions as an in-memory core Trace."""
+        trace = Trace()
+        for event in self.events():
+            trace.append(event)
+        return trace
+
+    def info(self) -> dict:
+        """Summary stats for ``repro trace info`` -- footer pages only."""
+        by_level: dict[str, int] = {}
+        for sent in self.sentences:
+            by_level[sent.abstraction] = by_level.get(sent.abstraction, 0) + 1
+        bounds = self.time_bounds()
+        return {
+            "path": self.path,
+            "format": "columnar",
+            "bytes": len(self._data),
+            "meta": self.meta,
+            "empty": self.is_empty,
+            "transitions": self.transitions,
+            "metric_samples": self.metric_count,
+            "mappings": self.mapping_count,
+            "sentences": len(self.sentences),
+            "strings": len(self.strings),
+            "segments": len(self.segments),
+            "levels": list(self.levels),
+            "time_bounds": None if bounds is None else list(bounds),
+            "sentences_by_level": dict(sorted(by_level.items())),
+        }
+
+    def close(self) -> None:
+        """Release the underlying mapping (idempotent)."""
+        data = self._data
+        if isinstance(data, mmap.mmap):
+            data.close()
+
+    def __enter__(self) -> "ColumnarTraceReader":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+# ----------------------------------------------------------------------
+# format dispatch + conversion
+# ----------------------------------------------------------------------
+def open_trace(path: str | Path) -> TraceReader | ColumnarTraceReader:
+    """Open a trace file of either format, dispatching on its magic bytes."""
+    spath = str(path)
+    try:
+        with open(spath, "rb") as fh:
+            magic = fh.read(4)
+    except OSError as exc:
+        raise CodecError(f"{spath}: cannot open: {exc}") from exc
+    if magic == MAGIC:
+        return TraceReader(spath)
+    if magic == MAGIC_X:
+        return ColumnarTraceReader(spath)
+    raise CodecError(f"{spath}: not a trace file (unknown magic {magic!r})")
+
+
+def _replay_records(reader, writer) -> int:
+    """Stream every record of ``reader`` into ``writer``, in order."""
+    n = 0
+    for rec in reader.records():
+        kind = rec[0]
+        if kind == "trans":
+            _, time, sent, activate, node = rec
+            writer.transition(
+                time,
+                EventKind.ACTIVATE if activate else EventKind.DEACTIVATE,
+                sent,
+                node,
+            )
+        elif kind == "metric":
+            _, time, name, focus, value, units = rec
+            writer.metric_sample(time, name, focus, value, units)
+        else:
+            _, time, src, dst, origin = rec
+            writer.mapping(time, src, dst, origin)
+        n += 1
+    return n
+
+
+def convert(
+    src: str | Path,
+    dst: str | Path,
+    *,
+    to: str | None = None,
+    segment_records: int = 4096,
+    snapshot_every: int = 1024,
+    metadata: dict | None = None,
+) -> dict:
+    """Losslessly convert between the row and columnar layouts.
+
+    The source format is sniffed from its magic bytes; the destination
+    defaults to the *other* layout (or to what the destination suffix
+    says), overridable with ``to="rtrc"``/``"rtrcx"``.  Metadata is
+    carried over unless ``metadata`` replaces it.  Returns a stats dict
+    (record count, byte sizes, formats).
+    """
+    reader = open_trace(src)
+    row_input = isinstance(reader, TraceReader)
+    if to is None:
+        suffix = str(dst).lower()
+        if suffix.endswith(".rtrc"):
+            to = "rtrc"
+        elif suffix.endswith(".rtrcx"):
+            to = "rtrcx"
+        else:
+            to = "rtrcx" if row_input else "rtrc"
+    if to not in ("rtrc", "rtrcx"):
+        raise ValueError(f"unknown target format {to!r} (use rtrc or rtrcx)")
+    meta = dict(reader.meta) if metadata is None else metadata
+    if to == "rtrcx":
+        writer = ColumnarTraceWriter(dst, segment_records=segment_records, metadata=meta)
+    else:
+        writer = TraceWriter(dst, snapshot_every=snapshot_every, metadata=meta)
+    try:
+        n = _replay_records(reader, writer)
+    finally:
+        writer.close()
+        reader.close()
+    return {
+        "source": str(src),
+        "destination": str(dst),
+        "from_format": "rtrc" if row_input else "rtrcx",
+        "to_format": to,
+        "records": n,
+        "source_bytes": Path(src).stat().st_size,
+        "destination_bytes": Path(dst).stat().st_size,
+    }

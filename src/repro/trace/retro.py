@@ -23,6 +23,7 @@ answers them *after* the run, from a recorded history (a
 
 from __future__ import annotations
 
+from bisect import bisect_left
 from dataclasses import dataclass, field
 from typing import Callable, Iterable, Sequence
 
@@ -36,6 +37,8 @@ from ..core import (
     SentencePattern,
     make_sas,
 )
+from .scan import filtered_intervals, parallel_intervals, question_sids
+from .store import ALL_NODES
 
 __all__ = [
     "RetroAnswer",
@@ -133,16 +136,42 @@ def evaluate_questions(
     current = {"t": 0.0}
     sas = make_sas(engine, clock=lambda: current["t"])
     watchers = [(question_name(q), sas.attach_question(q)) for q in questions]
+    # pushdown fast path: replay only the sentences the questions' patterns
+    # can observe (watcher satisfaction cannot depend on any other
+    # sentence).  When the caller leaves ``end_time`` defaulted, the legacy
+    # default is the last *replayed* event's time, which a filtered replay
+    # would change -- so the default comes from the reader's
+    # transitions-only bound instead, and sources where that bound is a
+    # full extra walk (row files with no end_time and a node filter) keep
+    # the plain replay.
+    events_iter = None
+    end = end_time
+    if hasattr(source, "scan_transitions") and (
+        end_time is not None or node is None
+    ):
+        sids = question_sids(source.sentences, questions)
+        if sids is not None:
+            if end is None:
+                last_t = source.last_transition_time()
+                end = last_t if last_t is not None else 0.0
+            events_iter = source.scan_transitions(
+                sids=sids, node=ALL_NODES if node is None else node
+            )
+            node_done = True
     last = 0.0
-    for event in _iter_events(source):
-        if node is not None and event.node_id != node:
+    if events_iter is None:
+        events_iter = _iter_events(source)
+        node_done = False
+    for event in events_iter:
+        if not node_done and node is not None and event.node_id != node:
             continue
         current["t"] = last = event.time
         if event.kind is EventKind.ACTIVATE:
             sas.activate(event.sentence)
         else:
             sas.deactivate(event.sentence)
-    end = end_time if end_time is not None else last
+    if end is None:
+        end = last
     return {
         name: RetroAnswer(
             name=name,
@@ -156,39 +185,27 @@ def evaluate_questions(
 
 
 def sentence_intervals(
-    source, end_time: float | None = None
+    source,
+    end_time: float | None = None,
+    matchers: Sequence[Matcher] | None = None,
+    jobs: int | None = None,
 ) -> dict[Sentence, list[tuple[float, float]]]:
-    """Flattened activation intervals for *every* sentence, in one pass.
+    """Flattened activation intervals, via the common scan API.
 
     Re-entrant activations flatten to the outermost interval (the
     :meth:`~repro.core.events.Trace.intervals` semantics, applied to all
     sentences at once); multi-node records merge into one timeline per
     sentence with per-sentence depth counting across nodes.  Still-open
     activations close at ``end_time`` (default: the last event's time).
+
+    ``matchers`` restricts the output to matching sentences -- on a
+    columnar reader the scan then *decodes* only those sentences' events
+    (zone-map segment pruning + sentence-id pushdown); ``jobs > 1``
+    additionally fans segment ranges across the sweep worker pool.
     """
-    depth: dict[Sentence, int] = {}
-    start: dict[Sentence, float] = {}
-    out: dict[Sentence, list[tuple[float, float]]] = {}
-    last = 0.0
-    for event in _iter_events(source):
-        last = event.time
-        sent = event.sentence
-        d = depth.get(sent, 0)
-        if event.kind is EventKind.ACTIVATE:
-            if d == 0:
-                start[sent] = event.time
-                out.setdefault(sent, [])
-            depth[sent] = d + 1
-        else:
-            if d == 0:
-                raise ValueError(f"deactivate without activate for {sent}")
-            depth[sent] = d - 1
-            if d == 1:
-                out[sent].append((start.pop(sent), event.time))
-    end = end_time if end_time is not None else last
-    for sent, s in start.items():
-        out[sent].append((s, end))
-    return out
+    if jobs is not None and jobs > 1 and hasattr(source, "segment_transitions"):
+        return parallel_intervals(source, matchers, end_time, jobs=jobs)
+    return filtered_intervals(source, matchers, end_time)
 
 
 @dataclass(frozen=True)
@@ -207,20 +224,49 @@ class WindowedMapping:
     overlaps: int
 
 
+def _sorted_with_ends(
+    ivs: list[tuple[float, float]],
+) -> tuple[list[tuple[float, float]], list[float] | None]:
+    """Destination intervals prepared for :func:`_window_overlaps`: sorted
+    by start, plus their end times when those are also non-decreasing
+    (always true for flattened -- disjoint -- intervals), else ``None``."""
+    ivs = sorted(ivs)
+    ends = [d1 for _, d1 in ivs]
+    if any(a > b for a, b in zip(ends, ends[1:])):
+        return ivs, None  # overlapping input: early-break only, no bisect
+    return ivs, ends
+
+
 def _window_overlaps(
     src_ivs: list[tuple[float, float]],
     dst_ivs: list[tuple[float, float]],
     window: float,
+    _dst_prepared: tuple[list[tuple[float, float]], list[float] | None] | None = None,
 ) -> tuple[int, float]:
     """(matched pair count, min lag) of dst intervals starting within
-    ``window`` after a src interval (or overlapping it)."""
+    ``window`` after a src interval (or overlapping it).
+
+    The seed version cross-multiplied every (src, dst) interval pair --
+    O(I^2) per sentence pair and the Figure-7 bottleneck on long runs.
+    With destinations sorted by start, each source interval scans only
+    ``d1 >= s0`` (bisect on the sorted end times) through ``d0 <= s1 +
+    window`` (early break), i.e. exactly the matching span.
+    """
     count = 0
     min_lag = float("inf")
+    dst, ends = _sorted_with_ends(dst_ivs) if _dst_prepared is None else _dst_prepared
     for s0, s1 in src_ivs:
-        for d0, d1 in dst_ivs:
-            if d0 <= s1 + window and d1 >= s0:
+        lo = bisect_left(ends, s0) if ends is not None else 0
+        hi_t = s1 + window
+        for j in range(lo, len(dst)):
+            d0, d1 = dst[j]
+            if d0 > hi_t:
+                break  # starts are sorted: no later dst can match
+            if d1 >= s0:
                 count += 1
-                min_lag = min(min_lag, max(0.0, d0 - s1))
+                lag = d0 - s1
+                if lag < min_lag:
+                    min_lag = lag if lag > 0.0 else 0.0
     return count, min_lag
 
 
@@ -230,6 +276,7 @@ def windowed_mappings(
     src_filter: Matcher | None = None,
     dst_filter: Matcher | None = None,
     end_time: float | None = None,
+    jobs: int | None = None,
 ) -> list[WindowedMapping]:
     """Dynamic mappings over recorded history, with a lag window.
 
@@ -244,18 +291,26 @@ def windowed_mappings(
     ``src_filter`` / ``dst_filter`` are :class:`SentencePattern`\\ s or
     predicates restricting which sentences play each role (identical
     sentences never map to themselves).
+
+    ``jobs > 1`` computes the intervals with the parallel segment scan
+    (columnar sources only; everything downstream is unchanged).
     """
-    intervals = sentence_intervals(source, end_time)
+    matchers = (
+        [src_filter, dst_filter]
+        if src_filter is not None and dst_filter is not None
+        else None  # either role unfiltered: every sentence participates
+    )
+    intervals = sentence_intervals(source, end_time, matchers=matchers, jobs=jobs)
     src_ok = _as_matcher(src_filter) if src_filter is not None else lambda s: True
     dst_ok = _as_matcher(dst_filter) if dst_filter is not None else lambda s: True
     sources = {s: ivs for s, ivs in intervals.items() if src_ok(s)}
-    dests = {s: ivs for s, ivs in intervals.items() if dst_ok(s)}
+    dests = {s: _sorted_with_ends(ivs) for s, ivs in intervals.items() if dst_ok(s)}
     out: list[WindowedMapping] = []
     for src, src_ivs in sources.items():
-        for dst, dst_ivs in dests.items():
+        for dst, dst_prep in dests.items():
             if src == dst:
                 continue
-            count, lag = _window_overlaps(src_ivs, dst_ivs, window)
+            count, lag = _window_overlaps(src_ivs, dst_prep[0], window, dst_prep)
             if count:
                 out.append(WindowedMapping(src, dst, lag, count))
     return out
@@ -278,6 +333,7 @@ def windowed_attribution(
     policy: str = "fifo",
     key: Callable[[Sentence], str] | None = None,
     end_time: float | None = None,
+    jobs: int | None = None,
 ) -> AttributionResult:
     """Attribute consumer occurrences to producer occurrences within a window.
 
@@ -299,7 +355,11 @@ def windowed_attribution(
     """
     if policy not in ("fifo", "all"):
         raise ValueError(f"unknown attribution policy {policy!r}")
-    intervals = sentence_intervals(source, end_time)
+    # both roles are mandatory filters, so the scan decodes only their
+    # sentences' events (and prunes segments touching neither)
+    intervals = sentence_intervals(
+        source, end_time, matchers=[producer, consumer], jobs=jobs
+    )
     prod_ok = _as_matcher(producer)
     cons_ok = _as_matcher(consumer)
     keyfn = key if key is not None else str
@@ -347,10 +407,12 @@ class SentenceStats:
     last: float = 0.0
 
 
-def trace_stats(source, end_time: float | None = None) -> dict[Sentence, SentenceStats]:
+def trace_stats(
+    source, end_time: float | None = None, jobs: int | None = None
+) -> dict[Sentence, SentenceStats]:
     """Per-sentence activation counts and flattened active time."""
     stats: dict[Sentence, SentenceStats] = {}
-    for sent, ivs in sentence_intervals(source, end_time).items():
+    for sent, ivs in sentence_intervals(source, end_time, jobs=jobs).items():
         if not ivs:
             continue
         stats[sent] = SentenceStats(

@@ -1,0 +1,332 @@
+"""The common trace-scan API: pushdown filtering + parallel segment scans.
+
+Every retrospective consumer -- the question engine, ``windowed_*``
+attribution, ``trace_stats``, the NV-lint sanitizer -- reduces to the same
+primitive: *the activation events of an interesting subset of sentences,
+over some time range*.  This module gives that primitive one front door
+over every trace source:
+
+* :func:`matching_sids` evaluates pattern/predicate filters against a
+  reader's **sentence table** (footer-resident, a few hundred entries)
+  instead of against millions of events, turning an arbitrary Python
+  predicate into a sentence-id set a columnar scan can push down;
+* :func:`scan_transitions` dispatches to the columnar reader's zone-map
+  pruned column scan when the source supports it, and degrades to a plain
+  filtered replay for row readers, in-memory traces, and bare iterables --
+  callers never branch on the store layout;
+* :func:`filtered_intervals` is :func:`~repro.trace.retro.sentence_intervals`
+  with pushdown: per-sentence depth counting touches only the filtered
+  sentences' events (exact, because depth is per-sentence state);
+* :func:`parallel_intervals` fans contiguous segment ranges across the
+  PR-6 sweep pool (:class:`~repro.sweep.runner.SweepRunner`): each worker
+  seeds per-sentence depth from its first segment's embedded SAS snapshot,
+  emits only intervals that *close* inside its range (each interval closes
+  in exactly one segment, so the merge is concatenation), and the final
+  range closes still-open intervals at the end time.  Results travel as
+  plain ``{sid: flat float list}`` data through the pickle-free transport.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Iterable, Iterator, Sequence
+
+from ..core import EventKind, Sentence, SentenceEvent, SentencePattern
+from .store import ALL_NODES
+
+__all__ = [
+    "matching_sids",
+    "question_sids",
+    "scan_transitions",
+    "filtered_intervals",
+    "parallel_intervals",
+]
+
+Matcher = Callable[[Sentence], bool] | SentencePattern
+
+
+def _as_predicate(matcher: Matcher) -> Callable[[Sentence], bool]:
+    if isinstance(matcher, SentencePattern):
+        return matcher.matches
+    return matcher
+
+
+def matching_sids(
+    sentences: Sequence[Sentence], matchers: Iterable[Matcher]
+) -> frozenset[int]:
+    """Sentence ids (table positions) matching *any* of ``matchers``.
+
+    This is the pushdown pivot: filters are evaluated once against the
+    interned sentence table, and scans thereafter compare integers.
+    """
+    preds = [_as_predicate(m) for m in matchers]
+    return frozenset(
+        i for i, sent in enumerate(sentences) if any(p(sent) for p in preds)
+    )
+
+
+def question_sids(sentences: Sequence[Sentence], questions) -> frozenset[int] | None:
+    """The sentence-id set any of ``questions`` could ever observe.
+
+    Watcher satisfaction only changes when a sentence matching one of the
+    question's patterns transitions (``QNot`` included: its atoms still
+    only *test* pattern matches), so replaying just these ids yields
+    identical satisfied-times.  Returns ``None`` -- no pushdown -- when a
+    question does not expose ``patterns()``.
+    """
+    patterns: list[SentencePattern] = []
+    for q in questions:
+        get = getattr(q, "patterns", None)
+        if not callable(get):
+            return None
+        patterns.extend(get())
+    return matching_sids(sentences, patterns)
+
+
+def _iter_source_events(source) -> Iterable[SentenceEvent]:
+    events = getattr(source, "events", None)
+    if callable(events):
+        return events()
+    return source
+
+
+def scan_transitions(
+    source,
+    sids: frozenset[int] | set[int] | None = None,
+    matchers: Iterable[Matcher] | None = None,
+    t_min: float | None = None,
+    t_max: float | None = None,
+    node: Any = ALL_NODES,
+) -> Iterator[SentenceEvent]:
+    """Filtered transition scan over any trace source.
+
+    Columnar readers prune segments by zone map and decode only the
+    transition columns; every other source (row reader, in-memory trace,
+    bare iterable) replays with the same filters applied eventwise, so the
+    yielded stream is identical either way.  ``sids`` filters by sentence
+    table id (columnar/row readers only); ``matchers`` by pattern or
+    predicate (any source); both may combine.
+    """
+    fast = getattr(source, "scan_transitions", None)
+    preds = [_as_predicate(m) for m in matchers] if matchers is not None else None
+    if callable(fast):
+        if preds is not None:
+            matched = matching_sids(source.sentences, matchers)
+            sids = matched if sids is None else frozenset(sids) & matched
+        yield from fast(sids=sids, t_min=t_min, t_max=t_max, node=node)
+        return
+    if sids is not None:
+        table = getattr(source, "sentences", None)
+        if table is None:
+            raise TypeError(
+                "sid filtering needs a reader with a sentence table; "
+                "pass matchers= for plain event sources"
+            )
+        wanted = {table[i] for i in sids}
+    else:
+        wanted = None
+    for event in _iter_source_events(source):
+        if t_min is not None and event.time < t_min:
+            continue
+        if t_max is not None and event.time > t_max:
+            break  # sources yield in recorded (monotone) time order
+        if node is not ALL_NODES and event.node_id != node:
+            continue
+        if wanted is not None and event.sentence not in wanted:
+            continue
+        if preds is not None and not any(p(event.sentence) for p in preds):
+            continue
+        yield event
+
+
+def _last_transition_time(source) -> float | None:
+    get = getattr(source, "last_transition_time", None)
+    if callable(get):
+        return get()
+    last = None
+    for event in _iter_source_events(source):
+        last = event.time
+    return last
+
+
+def filtered_intervals(
+    source,
+    matchers: Iterable[Matcher] | None = None,
+    end_time: float | None = None,
+) -> dict[Sentence, list[tuple[float, float]]]:
+    """Flattened activation intervals, restricted to matching sentences.
+
+    Equivalent to :func:`~repro.trace.retro.sentence_intervals` followed by
+    dropping non-matching sentences -- but computed *without* decoding the
+    non-matching sentences' events, because per-sentence depth counting
+    never looks across sentences.  Still-open activations close at
+    ``end_time`` (default: the last transition's time **of the whole
+    trace**, filtered or not, matching the unfiltered semantics).
+    """
+    track_last = matchers is None and end_time is None
+    if matchers is not None and end_time is None:
+        if not (
+            callable(getattr(source, "events", None))
+            or callable(getattr(source, "last_transition_time", None))
+        ):
+            source = list(source)  # one-shot iterable: make it re-iterable
+        end_time = _last_transition_time(source)
+    depth: dict[Sentence, int] = {}
+    start: dict[Sentence, float] = {}
+    out: dict[Sentence, list[tuple[float, float]]] = {}
+    last = 0.0
+    for event in scan_transitions(source, matchers=matchers):
+        last = event.time
+        sent = event.sentence
+        d = depth.get(sent, 0)
+        if event.kind is EventKind.ACTIVATE:
+            if d == 0:
+                start[sent] = event.time
+                out.setdefault(sent, [])
+            depth[sent] = d + 1
+        else:
+            if d == 0:
+                raise ValueError(f"deactivate without activate for {sent}")
+            depth[sent] = d - 1
+            if d == 1:
+                out[sent].append((start.pop(sent), event.time))
+    if track_last:
+        end = last
+    else:
+        end = end_time if end_time is not None else 0.0
+    for sent, s in start.items():
+        out[sent].append((s, end))
+    return out
+
+
+# ----------------------------------------------------------------------
+# parallel segment scans (columnar only)
+# ----------------------------------------------------------------------
+#: per-process reader cache: workers reopen each trace file once, then
+#: every chunk routed to that worker reuses the mmap
+_READER_CACHE: dict[str, Any] = {}
+
+
+def _cached_reader(path: str):
+    reader = _READER_CACHE.get(path)
+    if reader is None:
+        from .columnar import ColumnarTraceReader
+
+        reader = _READER_CACHE[path] = ColumnarTraceReader(path)
+    return reader
+
+
+def _scan_segments_task(
+    path: str,
+    indices: tuple[int, ...],
+    sids: tuple[int, ...] | None,
+    close_at: float | None,
+) -> dict[int, list[float]]:
+    """Sweep-task body: flatten intervals over one contiguous segment range.
+
+    Initial per-sentence depth and earliest-open-activation time come from
+    the first segment's embedded snapshot (restricted to ``sids``), so the
+    range replays with no dependency on any earlier segment.  Only
+    intervals that *close* in this range are emitted -- plus, when
+    ``close_at`` is given (the final range), the still-open ones at that
+    time.  Returns plain data for the pickle-free transport:
+    ``{sid: [s0, e0, s1, e1, ...]}``.
+    """
+    if not indices:
+        return {}
+    reader = _cached_reader(path)
+    want = frozenset(sids) if sids is not None else None
+    depth: dict[int, int] = {}
+    start: dict[int, float] = {}
+    for sid, (d, s) in reader.segment_open_intervals(indices[0]).items():
+        if want is not None and sid not in want:
+            continue
+        depth[sid] = d
+        start[sid] = s
+    out: dict[int, list[float]] = {}
+    for idx in indices:
+        times, seg_sids, kinds, nodes = reader.segment_transitions(idx)
+        for j in range(len(times)):
+            sid = seg_sids[j]
+            if want is not None and sid not in want:
+                continue
+            d = depth.get(sid, 0)
+            if kinds[j]:
+                if d == 0:
+                    start[sid] = times[j]
+                depth[sid] = d + 1
+            else:
+                if d == 0:
+                    raise ValueError(
+                        f"deactivate without activate for sentence id {sid}"
+                    )
+                depth[sid] = d - 1
+                if d == 1:
+                    out.setdefault(sid, []).extend((start.pop(sid), times[j]))
+    if close_at is not None:
+        for sid, s in start.items():
+            out.setdefault(sid, []).extend((s, close_at))
+    return out
+
+
+def parallel_intervals(
+    reader,
+    matchers: Iterable[Matcher] | None = None,
+    end_time: float | None = None,
+    jobs: int | None = None,
+    runner=None,
+) -> dict[Sentence, list[tuple[float, float]]]:
+    """:func:`filtered_intervals` fanned across the sweep worker pool.
+
+    Only columnar readers parallelize (segments are the unit of
+    independence); every other source falls back to the serial scan.
+    Zone-map pruning happens *before* fan-out, so workers never open a
+    segment with no matching sentence.  The merge concatenates per-range
+    results in range order -- identical to the serial output because each
+    interval closes in exactly one segment.
+    """
+    if not hasattr(reader, "segment_transitions"):
+        return filtered_intervals(reader, matchers, end_time)
+    if end_time is None:
+        end_time = reader.last_transition_time()
+    sids = (
+        matching_sids(reader.sentences, matchers) if matchers is not None else None
+    )
+    pruned = reader.prune_segments(sids=sids)
+    pruned = [i for i in pruned if reader.segments[i].n_trans]
+    if not pruned:
+        return {}
+    if runner is None:
+        from ..sweep import SweepRunner
+
+        runner = SweepRunner(workers=jobs)
+    nranges = min(runner.workers * 2, len(pruned))
+    if nranges <= 1:
+        return filtered_intervals(reader, matchers, end_time)
+    bounds = [round(k * len(pruned) / nranges) for k in range(nranges + 1)]
+    ranges = [
+        tuple(pruned[bounds[k] : bounds[k + 1]])
+        for k in range(nranges)
+        if bounds[k] < bounds[k + 1]
+    ]
+    from ..sweep import SweepTask
+
+    sid_arg = tuple(sorted(sids)) if sids is not None else None
+    close = end_time if end_time is not None else 0.0
+    tasks = [
+        SweepTask(
+            key=f"scan:{reader.path}:{k}",
+            fn=_scan_segments_task,
+            args=(reader.path, rng, sid_arg, close if k == len(ranges) - 1 else None),
+        )
+        for k, rng in enumerate(ranges)
+    ]
+    results = runner.run(tasks)
+    merged: dict[int, list[float]] = {}
+    for result in results:
+        for sid, flat in result.value.items():
+            merged.setdefault(sid, []).extend(flat)
+    sentences = reader.sentences
+    return {
+        sentences[sid]: list(zip(flat[::2], flat[1::2]))
+        for sid, flat in merged.items()
+    }

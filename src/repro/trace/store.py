@@ -20,6 +20,7 @@ from __future__ import annotations
 
 import bisect
 import json
+import mmap
 import struct
 from pathlib import Path
 from typing import TYPE_CHECKING, Any, Iterable, Iterator
@@ -43,10 +44,14 @@ from .codec import (
     StringTable,
     append_uvarint,
     bits_to_float,
+    check_count,
     decode_node,
+    decode_utf8,
     delta_bits,
     encode_node,
     float_to_bits,
+    read_blob,
+    read_f64,
     read_uvarint,
     undelta_bits,
 )
@@ -54,13 +59,37 @@ from .codec import (
 if TYPE_CHECKING:  # pragma: no cover
     from ..core.sas import ActiveSentenceSet
 
-__all__ = ["TraceWriter", "TraceReader", "SASState", "MetricSample", "MappingEvent"]
+__all__ = [
+    "TraceWriter",
+    "TraceReader",
+    "SASState",
+    "MetricSample",
+    "MappingEvent",
+    "map_readonly",
+]
 
 _F64 = struct.Struct("<d")
 _U64 = struct.Struct("<Q")
 
 #: sentinel distinguishing "no node filter" from "node None"
 ALL_NODES = object()
+
+
+def map_readonly(path: str):
+    """``mmap`` a file read-only; used by both trace readers.
+
+    Returns a buffer the codec helpers can index/slice without ever
+    loading the whole file into the process (``info`` on a multi-GB trace
+    touches only the pages the footer lives on).  Zero-length files --
+    which ``mmap`` rejects -- fall back to the empty bytes object; they
+    fail the magic check with a clean :class:`CodecError` either way.
+    """
+    with open(path, "rb") as fh:
+        try:
+            # the mapping stays valid after the descriptor closes
+            return mmap.mmap(fh.fileno(), 0, access=mmap.ACCESS_READ)
+        except (ValueError, OSError):
+            return fh.read()
 
 
 class SASState:
@@ -423,7 +452,7 @@ class TraceReader:
 
     def __init__(self, path: str | Path):
         self.path = str(path)
-        data = Path(path).read_bytes()
+        data = map_readonly(self.path)
         if len(data) < len(MAGIC) + 1 + 12 or data[: len(MAGIC)] != MAGIC:
             raise CodecError(f"{self.path}: not an .rtrc file")
         if data[len(MAGIC)] != VERSION:
@@ -435,8 +464,12 @@ class TraceReader:
         self._data = data
         pos = len(MAGIC) + 1
         mlen, pos = read_uvarint(data, pos)
-        self.meta: dict = json.loads(data[pos : pos + mlen].decode("utf-8")) if mlen else {}
-        self._records_start = pos + mlen
+        raw_meta, pos = read_blob(data, pos, mlen, "metadata")
+        try:
+            self.meta: dict = json.loads(decode_utf8(raw_meta, "metadata")) if mlen else {}
+        except json.JSONDecodeError as exc:
+            raise CodecError(f"{self.path}: corrupt metadata json: {exc}") from exc
+        self._records_start = pos
         footer_offset = _U64.unpack_from(data, len(data) - 12)[0]
         if not self._records_start <= footer_offset <= len(data) - 12:
             raise CodecError(f"{self.path}: footer offset out of range")
@@ -445,18 +478,20 @@ class TraceReader:
         self.strings, fpos = StringTable.decode_table(data, fpos)
         self.sentences, fpos = SentenceTable.decode_table(data, fpos, self.strings)
         nsnap, fpos = read_uvarint(data, fpos)
+        check_count(nsnap, fpos, len(data), 10, "snapshot index")
         self.snapshots: list[tuple[float, int, int]] = []
         for _ in range(nsnap):
-            t = _F64.unpack_from(data, fpos)[0]
-            fpos += 8
+            t, fpos = read_f64(data, fpos, "snapshot time")
             offset, fpos = read_uvarint(data, fpos)
             nevents, fpos = read_uvarint(data, fpos)
+            if not self._records_start <= offset < self._records_end:
+                raise CodecError(f"{self.path}: snapshot offset {offset} out of range")
             self.snapshots.append((t, offset, nevents))
         self.transitions, fpos = read_uvarint(data, fpos)
         self.metric_count, fpos = read_uvarint(data, fpos)
         self.mapping_count, fpos = read_uvarint(data, fpos)
-        self.t0 = _F64.unpack_from(data, fpos)[0]
-        self.t1 = _F64.unpack_from(data, fpos + 8)[0]
+        self.t0, fpos = read_f64(data, fpos, "time bound")
+        self.t1, fpos = read_f64(data, fpos, "time bound")
         self._snap_times = [s[0] for s in self.snapshots]
 
     # -- iteration --------------------------------------------------------
@@ -473,6 +508,8 @@ class TraceReader:
         """
         data = self._data
         end = self._records_end
+        nsents = len(self.sentences)
+        nstrings = len(self.strings)
         prev_tbits = 0
         while pos < end:
             tag, pos = read_uvarint(data, pos)
@@ -481,6 +518,8 @@ class TraceReader:
                 flags, pos = read_uvarint(data, pos)
                 delta, pos = read_uvarint(data, pos)
                 prev_tbits = undelta_bits(prev_tbits, delta)
+                if sid >= nsents:
+                    raise CodecError(f"{self.path}: unknown sentence id {sid} at {pos}")
                 yield (
                     "trans",
                     bits_to_float(prev_tbits),
@@ -490,6 +529,8 @@ class TraceReader:
                 )
             elif tag == TAG_DEF_STR:
                 length, pos = read_uvarint(data, pos)
+                if pos + length > end:
+                    raise CodecError(f"{self.path}: truncated DEF_STR at {pos}")
                 pos += length
             elif tag == TAG_DEF_SENT:
                 pos = SentenceTable.skip_fields(data, pos)
@@ -499,8 +540,9 @@ class TraceReader:
                 usid, pos = read_uvarint(data, pos)
                 delta, pos = read_uvarint(data, pos)
                 prev_tbits = undelta_bits(prev_tbits, delta)
-                value = _F64.unpack_from(data, pos)[0]
-                pos += 8
+                value, pos = read_f64(data, pos, "metric value")
+                if max(nsid, fsid, usid) >= nstrings:
+                    raise CodecError(f"{self.path}: unknown string id in metric at {pos}")
                 yield ("metric", bits_to_float(prev_tbits), nsid, fsid, usid, value)
             elif tag == TAG_MAPPING:
                 src, pos = read_uvarint(data, pos)
@@ -508,17 +550,22 @@ class TraceReader:
                 origin, pos = read_uvarint(data, pos)
                 delta, pos = read_uvarint(data, pos)
                 prev_tbits = undelta_bits(prev_tbits, delta)
+                if max(src, dst) >= nsents or origin not in ORIGIN_BY_CODE:
+                    raise CodecError(f"{self.path}: corrupt mapping record at {pos}")
                 yield ("map", bits_to_float(prev_tbits), src, dst, origin)
             elif tag == TAG_SNAPSHOT:
-                t = _F64.unpack_from(data, pos)[0]
-                pos += 8
+                t, pos = read_f64(data, pos, "snapshot time")
                 nevents, pos = read_uvarint(data, pos)
                 nentries, pos = read_uvarint(data, pos)
+                check_count(nentries, pos, end, 3, "snapshot entry")
                 entries = []
                 for _ in range(nentries):
                     node_field, pos = read_uvarint(data, pos)
                     sid, pos = read_uvarint(data, pos)
                     depth, pos = read_uvarint(data, pos)
+                    if sid >= nsents:
+                        raise CodecError(f"{self.path}: unknown sentence id {sid} at {pos}")
+                    check_count(depth, pos, end, 8, "activation stack")
                     times = list(_F64.unpack_from(data, pos)) if depth == 1 else [
                         _F64.unpack_from(data, pos + 8 * i)[0] for i in range(depth)
                     ]
@@ -541,6 +588,29 @@ class TraceReader:
                     sentences[sid],
                     node,
                 )
+
+    def records(self) -> Iterator[tuple]:
+        """Every record, interleaved in recorded order, ids resolved.
+
+        Yields ``("trans", time, sentence, activate, node_id)``,
+        ``("metric", time, name, focus, value, units)``, and
+        ``("map", time, source, destination, origin)`` tuples -- the
+        lossless interchange stream the ``.rtrc`` <-> ``.rtrcx`` converter
+        replays (snapshot frames are derived data and not included).
+        """
+        sentences = self.sentences
+        strings = self.strings
+        for rec in self._walk(self._records_start):
+            kind = rec[0]
+            if kind == "trans":
+                _, time, sid, activate, node = rec
+                yield ("trans", time, sentences[sid], activate, node)
+            elif kind == "metric":
+                _, time, nsid, fsid, usid, value = rec
+                yield ("metric", time, strings[nsid], strings[fsid], value, strings[usid])
+            elif kind == "map":
+                _, time, src, dst, origin = rec
+                yield ("map", time, sentences[src], sentences[dst], ORIGIN_BY_CODE[origin])
 
     def __iter__(self) -> Iterator[SentenceEvent]:
         return self.events()
@@ -591,8 +661,50 @@ class TraceReader:
                     state.nodes.setdefault(node, {})[sentences[sid]] = list(times)
         return state
 
-    def time_bounds(self) -> tuple[float, float]:
+    @property
+    def is_empty(self) -> bool:
+        """True when the file holds no records at all.
+
+        Emptiness is derived from the persisted counts: every record kind
+        advances the writer's time chain, so zero counts <=> zero timed
+        records.  This is what keeps an empty trace distinguishable from a
+        real run spanning ``[0, 0]`` (the footer records ``t0 == t1 == 0.0``
+        in both cases).
+        """
+        return not (self.transitions or self.metric_count or self.mapping_count)
+
+    def time_bounds(self) -> tuple[float, float] | None:
+        """``(first, last)`` recorded time, or ``None`` for an empty trace."""
+        if self.is_empty:
+            return None
         return (self.t0, self.t1)
+
+    def last_transition_time(self) -> float | None:
+        """Time of the last transition record (``None`` if there are none).
+
+        The footer bound ``t1`` covers *all* record kinds; the retro scan
+        fast paths need the transitions-only bound to close open intervals
+        exactly where an unfiltered replay would have.
+        """
+        if not self.transitions:
+            return None
+        last = None
+        for rec in self._walk(self._records_start):
+            if rec[0] == "trans":
+                last = rec[1]
+        return last
+
+    def close(self) -> None:
+        """Release the underlying mapping (idempotent)."""
+        data = self._data
+        if isinstance(data, mmap.mmap):
+            data.close()
+
+    def __enter__(self) -> "TraceReader":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
 
     def to_trace(self) -> Trace:
         """Materialize the transitions as an in-memory core Trace."""
@@ -606,16 +718,19 @@ class TraceReader:
         by_level: dict[str, int] = {}
         for sent in self.sentences:
             by_level[sent.abstraction] = by_level.get(sent.abstraction, 0) + 1
+        bounds = self.time_bounds()
         return {
             "path": self.path,
+            "format": "row",
             "bytes": len(self._data),
             "meta": self.meta,
+            "empty": self.is_empty,
             "transitions": self.transitions,
             "metric_samples": self.metric_count,
             "mappings": self.mapping_count,
             "sentences": len(self.sentences),
             "strings": len(self.strings),
             "snapshots": len(self.snapshots),
-            "time_bounds": [self.t0, self.t1],
+            "time_bounds": None if bounds is None else list(bounds),
             "sentences_by_level": dict(sorted(by_level.items())),
         }

@@ -1,0 +1,152 @@
+"""Byte-mutation fuzzing: corrupt trace files must fail with CodecError.
+
+A valid file of each layout is built once; hypothesis then flips single
+bytes, stomps runs, and truncates at arbitrary offsets.  Every decode
+surface -- constructor, ``info()``, the full ``records()`` walk,
+``seek()`` -- must either succeed (the mutation landed in a value byte
+and produced a different but well-formed trace) or raise
+:class:`~repro.trace.CodecError`.  Raw ``struct.error`` / ``IndexError``
+/ ``UnicodeDecodeError`` / ``MemoryError`` escapes are the bug class
+this suite pins down: an unvalidated length or unbounded varint turns a
+flipped bit into a crash or a giant allocation.
+
+``seek()`` may additionally raise ``ValueError``: a flipped
+activate/deactivate bit decodes cleanly but replays as "deactivate
+without activate", which the SAS reports as a semantic error -- that is
+a *successful* decode of a different trace, not a codec escape.
+"""
+
+import os
+import tempfile
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import EventKind
+from repro.trace import (
+    CodecError,
+    ColumnarTraceReader,
+    ColumnarTraceWriter,
+    TraceReader,
+    TraceWriter,
+    open_trace,
+)
+from repro.workloads import random_trace
+
+
+def _baseline(writer_cls, **kwargs):
+    trace = random_trace(17, events=120, nodes=2)
+    with tempfile.TemporaryDirectory() as d:
+        path = os.path.join(d, "t.bin")
+        with writer_cls(path, metadata={"fuzz": True}, **kwargs) as w:
+            w.record_trace(trace)
+            w.metric_sample(1.0, "cpu_time", "node0", 0.5, "s")
+            ev = trace.events()
+            w.mapping(1.0, ev[0].sentence, ev[1].sentence)
+        with open(path, "rb") as fh:
+            return fh.read()
+
+
+ROW_BYTES = _baseline(TraceWriter, snapshot_every=16)
+COL_BYTES = _baseline(ColumnarTraceWriter, segment_records=16)
+
+READERS = {"row": TraceReader, "columnar": ColumnarTraceReader}
+BASELINES = {"row": ROW_BYTES, "columnar": COL_BYTES}
+
+
+def exercise(fmt: str, blob: bytes) -> None:
+    """Open the blob and touch every decode surface.
+
+    Raises whatever the reader raises; the caller asserts on the type.
+    """
+    with tempfile.TemporaryDirectory() as d:
+        path = os.path.join(d, "t.bin")
+        with open(path, "wb") as fh:
+            fh.write(blob)
+        reader = READERS[fmt](path)
+        reader.info()
+        list(reader.records())
+        bounds = reader.time_bounds()
+        reader.last_transition_time()
+        if bounds is not None:
+            try:
+                reader.seek((bounds[0] + bounds[1]) / 2)
+            except ValueError:
+                pass  # semantically inconsistent replay of a valid decode
+        reader.close()
+
+
+@pytest.mark.parametrize("fmt", ["row", "columnar"])
+def test_baseline_is_valid(fmt):
+    exercise(fmt, BASELINES[fmt])
+
+
+@settings(max_examples=120, deadline=None)
+@given(
+    fmt=st.sampled_from(["row", "columnar"]),
+    pos=st.integers(min_value=0, max_value=10**9),
+    value=st.integers(min_value=0, max_value=255),
+)
+def test_single_byte_mutation_never_escapes_codecerror(fmt, pos, value):
+    base = BASELINES[fmt]
+    pos %= len(base)
+    if base[pos] == value:
+        value ^= 0xFF
+    blob = base[:pos] + bytes([value]) + base[pos + 1 :]
+    try:
+        exercise(fmt, blob)
+    except CodecError:
+        pass
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    fmt=st.sampled_from(["row", "columnar"]),
+    pos=st.integers(min_value=0, max_value=10**9),
+    run=st.binary(min_size=1, max_size=16),
+)
+def test_byte_run_stomp_never_escapes_codecerror(fmt, pos, run):
+    base = BASELINES[fmt]
+    pos %= len(base)
+    blob = (base[:pos] + run + base[pos + len(run) :])[: len(base)]
+    try:
+        exercise(fmt, blob)
+    except CodecError:
+        pass
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    fmt=st.sampled_from(["row", "columnar"]),
+    keep=st.integers(min_value=0, max_value=10**9),
+)
+def test_truncation_raises_codecerror(fmt, keep):
+    base = BASELINES[fmt]
+    keep %= len(base)  # strictly shorter than the valid file
+    with pytest.raises(CodecError):
+        exercise(fmt, base[:keep])
+
+
+@pytest.mark.parametrize(
+    "blob",
+    [b"", b"RT", b"RTRC", b"RTCX", b"\x00" * 64, b"garbage bytes that are not a trace"],
+    ids=["empty", "short", "bare-row-magic", "bare-col-magic", "zeros", "text"],
+)
+def test_garbage_blobs_raise_codecerror(tmp_path, blob):
+    path = tmp_path / "t.rtrc"
+    path.write_bytes(blob)
+    with pytest.raises(CodecError):
+        open_trace(path)
+
+
+def test_swapped_trailer_magic_raises(tmp_path):
+    # a row trailer on a columnar body (and vice versa) must not decode
+    row_as_col = tmp_path / "a.bin"
+    row_as_col.write_bytes(ROW_BYTES)
+    with pytest.raises(CodecError):
+        ColumnarTraceReader(row_as_col)
+    col_as_row = tmp_path / "b.bin"
+    col_as_row.write_bytes(COL_BYTES)
+    with pytest.raises(CodecError):
+        TraceReader(col_as_row)

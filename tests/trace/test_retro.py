@@ -189,6 +189,60 @@ class TestWindowedMappings:
         assert (A_SUM, A_SUM) not in by_pair  # no self-mappings
 
 
+class TestWindowOverlapsEquivalence:
+    """The bisect/early-break rewrite must match the quadratic reference."""
+
+    @staticmethod
+    def reference(src_ivs, dst_ivs, window):
+        # the seed's O(I^2) cross product, kept as the oracle
+        count = 0
+        min_lag = float("inf")
+        for s0, s1 in src_ivs:
+            for d0, d1 in dst_ivs:
+                if d1 >= s0 and d0 <= s1 + window:
+                    count += 1
+                    lag = d0 - s1
+                    min_lag = min(min_lag, lag if lag > 0.0 else 0.0)
+        return count, min_lag
+
+    @staticmethod
+    def random_intervals(rng, n, disjoint):
+        out = []
+        t = 0.0
+        for _ in range(n):
+            if disjoint:
+                t += rng.uniform(0.01, 1.0)
+                s = t
+                t += rng.uniform(0.01, 1.0)
+                out.append((s, t))
+            else:
+                s = rng.uniform(0.0, 10.0)
+                out.append((s, s + rng.uniform(0.0, 3.0)))
+        rng.shuffle(out)
+        return out
+
+    def test_matches_quadratic_reference(self):
+        import random
+
+        from repro.trace.retro import _window_overlaps
+
+        rng = random.Random(1234)
+        for trial in range(200):
+            disjoint = trial % 2 == 0  # flattened (sorted-ends) and not
+            src = self.random_intervals(rng, rng.randrange(0, 12), disjoint)
+            dst = self.random_intervals(rng, rng.randrange(0, 12), disjoint)
+            window = rng.choice([0.0, 0.05, 0.5, 5.0])
+            got = _window_overlaps(src, dst, window)
+            want = self.reference(src, dst, window)
+            assert got == want, (trial, src, dst, window)
+
+    def test_empty_sides(self):
+        from repro.trace.retro import _window_overlaps
+
+        assert _window_overlaps([], [(1.0, 2.0)], 1.0) == (0, float("inf"))
+        assert _window_overlaps([(1.0, 2.0)], [], 1.0) == (0, float("inf"))
+
+
 class TestWindowedAttribution:
     # two producers, their consumers fire after a flush delay, FIFO order
     ROWS = [

@@ -256,6 +256,40 @@ class TestReaderValidation:
             TraceReader(bumped)
 
 
+class TestEmptyTrace:
+    # regression: the seed reported time_bounds() == (0.0, 0.0) for an
+    # empty file, indistinguishable from a real run spanning [0, 0]
+    def test_empty_bounds_are_none_not_zero_zero(self, tmp_path):
+        path = tmp_path / "e.rtrc"
+        with TraceWriter(path):
+            pass
+        r = TraceReader(path)
+        assert r.is_empty
+        assert r.time_bounds() is None
+        assert r.last_transition_time() is None
+        info = r.info()
+        assert info["empty"] is True
+        assert info["time_bounds"] is None
+
+    def test_real_run_at_time_zero_keeps_its_bounds(self, tmp_path):
+        path = tmp_path / "z.rtrc"
+        with TraceWriter(path) as w:
+            w.transition(0.0, EventKind.ACTIVATE, A_SUM, node_id=0)
+            w.transition(0.0, EventKind.DEACTIVATE, A_SUM, node_id=0)
+        r = TraceReader(path)
+        assert not r.is_empty
+        assert r.time_bounds() == (0.0, 0.0)  # a genuine [0, 0] run
+        assert r.info()["empty"] is False
+
+    def test_metric_only_trace_is_not_empty(self, tmp_path):
+        path = tmp_path / "m.rtrc"
+        with TraceWriter(path) as w:
+            w.metric_sample(0.5, "cpu_time", "node0", 1.0, "s")
+        r = TraceReader(path)
+        assert not r.is_empty
+        assert r.last_transition_time() is None
+
+
 class TestCompactness:
     def test_steady_state_transition_cost_is_small(self, tmp_path):
         # after interning, a same-sentence transition should cost ~5-8 bytes
