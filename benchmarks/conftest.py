@@ -12,6 +12,7 @@ the bench bodies; absolute numbers are simulator-dependent by design.
 
 from __future__ import annotations
 
+import json
 import pathlib
 import warnings
 
@@ -52,6 +53,25 @@ def save_artifact(artifact_dir):
         return path
 
     return save
+
+
+@pytest.fixture
+def merge_bench(artifact_dir):
+    """``merge_bench(updates)`` -> merge keys into a shared JSON artifact.
+
+    Several benches report into one machine-readable file (abl9/abl10/abl11
+    all land in ``BENCH_trace.json``); merging instead of overwriting lets
+    any subset of them run in any order without losing the others' numbers.
+    """
+
+    def merge(updates: dict, name: str = "BENCH_trace.json") -> pathlib.Path:
+        path = artifact_dir / name
+        merged = json.loads(path.read_text(encoding="utf-8")) if path.exists() else {}
+        merged.update(updates)
+        path.write_text(json.dumps(merged, indent=2) + "\n", encoding="utf-8")
+        return path
+
+    return merge
 
 
 @pytest.fixture

@@ -327,7 +327,7 @@ def run_experiment() -> dict:
         }
 
 
-def test_abl10_columnar(benchmark, save_artifact, artifact_dir):
+def test_abl10_columnar(benchmark, save_artifact, artifact_dir, merge_bench):
     r = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
     seek, query, fig7 = r["seek"], r["query"], r["fig7"]
     lint, wo, rss = r["lint"], r["window_overlaps"], r["rss"]
@@ -390,10 +390,7 @@ def test_abl10_columnar(benchmark, save_artifact, artifact_dir):
         "full_read_rss_delta_kib": rss["full_delta_kib"],
         "quick": QUICK,
     }
-    out_path = artifact_dir / "BENCH_trace.json"
-    merged = json.loads(out_path.read_text(encoding="utf-8")) if out_path.exists() else {}
-    merged["abl10"] = bench_json
-    out_path.write_text(json.dumps(merged, indent=2) + "\n", encoding="utf-8")
+    merge_bench({"abl10": bench_json})
 
     rows = [
         ("seek (states/s)", f"{seek['row_seeks_per_sec']:,.0f}",

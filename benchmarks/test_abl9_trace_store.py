@@ -225,7 +225,7 @@ def run_experiment(sample_path: str) -> dict:
         }
 
 
-def test_abl9_trace_store(benchmark, save_artifact, artifact_dir):
+def test_abl9_trace_store(benchmark, save_artifact, artifact_dir, merge_bench):
     sample_path = str(artifact_dir / "sample_fig6.rtrc")
     r = benchmark.pedantic(lambda: run_experiment(sample_path), rounds=1, iterations=1)
     ov, fig6, fig7, seek = r["overhead"], r["fig6"], r["fig7"], r["seek"]
@@ -281,12 +281,8 @@ def test_abl9_trace_store(benchmark, save_artifact, artifact_dir):
         "seek_speedup": seek["seek_speedup"],
         "quick": QUICK,
     }
-    # merge, don't overwrite: abl10's columnar numbers live in the same
-    # file under their own key
-    out_path = artifact_dir / "BENCH_trace.json"
-    merged = json.loads(out_path.read_text(encoding="utf-8")) if out_path.exists() else {}
-    merged.update(bench_json)
-    out_path.write_text(json.dumps(merged, indent=2) + "\n", encoding="utf-8")
+    # merge, don't overwrite: abl10/abl11 report into the same file
+    merge_bench(bench_json)
 
     retro_rows = [
         (name, f"{t_live:.3e}", f"{fig6['retro'][name][0]:.3e}", n_live)

@@ -234,6 +234,58 @@ def build_parser() -> argparse.ArgumentParser:
         help="parallel segment-scan workers for columnar trace inputs",
     )
 
+    p_serve = sub.add_parser(
+        "serve",
+        help="stream Figure-6 question answers to subscribers over live or recorded runs",
+    )
+    p_serve.add_argument(
+        "--trace", metavar="FILE.rtrc[x]",
+        help="recorded source; format sniffed by suffix/magic like every trace command",
+    )
+    p_serve.add_argument(
+        "--live", choices=("db",), default=None,
+        help="live source: drive one dbsim study per subscriber batch",
+    )
+    p_serve.add_argument("--clients", type=int, default=2, help="live db: client count")
+    p_serve.add_argument("--queries", type=int, default=3, help="live db: query count")
+    p_serve.add_argument("--transport", choices=("bus", "naive"), default="bus")
+    p_serve.add_argument("--node", type=int, default=None, help="trace: restrict to one node")
+    p_serve.add_argument("--host", default="127.0.0.1")
+    p_serve.add_argument("--port", type=int, default=0, help="0 picks a free port")
+    p_serve.add_argument(
+        "--port-file", default=None, metavar="FILE",
+        help="write the bound port here once listening (for scripted clients)",
+    )
+    p_serve.add_argument(
+        "--subscribers", type=int, default=1, metavar="N",
+        help="collect N subscriptions into one shared evaluation batch",
+    )
+    p_serve.add_argument(
+        "--once", action="store_true", help="serve a single batch, then exit"
+    )
+    p_serve.add_argument(
+        "--shards", type=int, default=1,
+        help="consistent-hash shards for the pattern-node table",
+    )
+    p_serve.add_argument(
+        "--connect", metavar="HOST:PORT", default=None,
+        help="client role: subscribe to a running server and print the answers",
+    )
+    p_serve.add_argument(
+        "--pattern", action="append", default=[], metavar='"{A Sum}[@Level]"',
+        help="client role: sentence pattern; repeat to build a conjunction question",
+    )
+    p_serve.add_argument(
+        "--ordered", action="store_true",
+        help="client role: require component activation times non-decreasing",
+    )
+    p_serve.add_argument("--name", default=None, help="client role: question name")
+    p_serve.add_argument(
+        "--no-stream", action="store_true",
+        help="client role: summary only, skip per-interval events",
+    )
+    p_serve.add_argument("--json", action="store_true", help="client role: JSON output")
+
     p_fuzz = sub.add_parser(
         "fuzz", help="differential-test random programs against the oracle"
     )
@@ -682,6 +734,50 @@ def _cmd_lint(args) -> int:
     return 1 if result.fails(Severity.parse(args.fail_on)) else 0
 
 
+def _cmd_serve(args) -> int:
+    from .serve import (
+        DbStudySource,
+        QuestionSpec,
+        TraceSource,
+        run_client,
+        run_server,
+    )
+
+    if args.connect:
+        if not args.pattern:
+            raise ValueError("serve --connect needs at least one --pattern")
+        host, _, port_text = args.connect.rpartition(":")
+        if not host or not port_text.isdigit():
+            raise ValueError(f"bad --connect address {args.connect!r} (use HOST:PORT)")
+        spec = QuestionSpec(
+            patterns=tuple(args.pattern), ordered=args.ordered, name=args.name
+        )
+        return run_client(
+            host,
+            int(port_text),
+            [spec],
+            stream=not args.no_stream,
+            json_output=args.json,
+        )
+    if args.trace:
+        source = TraceSource(args.trace, node=args.node)
+    elif args.live:
+        source = DbStudySource(
+            clients=args.clients, queries=args.queries, transport=args.transport
+        )
+    else:
+        raise ValueError("serve needs --trace, --live, or --connect")
+    return run_server(
+        source,
+        host=args.host,
+        port=args.port,
+        subscribers=args.subscribers,
+        once=args.once,
+        shards=args.shards,
+        port_file=args.port_file,
+    )
+
+
 def _cmd_trace(args) -> int:
     return {
         "record": _trace_record,
@@ -701,6 +797,7 @@ _COMMANDS = {
     "sweep": _cmd_sweep,
     "fuzz": _cmd_fuzz,
     "trace": _cmd_trace,
+    "serve": _cmd_serve,
     "lint": _cmd_lint,
 }
 

@@ -55,6 +55,13 @@ class SentencePattern:
       ``{A partial Sum}`` involving additional nouns);
     * a wildcard noun requires the sentence to have at least one noun;
     * ``level``, if given, must equal the sentence's level of abstraction.
+
+    Patterns key the multi-question engine's node table and subsumption
+    lattice (:mod:`repro.core.multiq`), so like :class:`Sentence` their hash
+    is computed once and cached, equality short-circuits on identity, and
+    :meth:`intern` hands out one canonical instance per *match semantics*
+    (noun order, duplicate nouns, and wildcards made redundant by a concrete
+    noun all normalize away).
     """
 
     verb: str
@@ -66,6 +73,70 @@ class SentencePattern:
             raise ValueError("pattern needs a verb name (use '?' for any)")
         if not isinstance(self.nouns, tuple):
             object.__setattr__(self, "nouns", tuple(self.nouns))
+
+    def __hash__(self) -> int:
+        cached = self.__dict__.get("_hash")
+        if cached is None:
+            cached = hash((self.verb, self.nouns, self.level))
+            object.__setattr__(self, "_hash", cached)
+        return cached
+
+    def __eq__(self, other: object) -> bool:
+        if self is other:
+            return True
+        if not isinstance(other, SentencePattern):
+            return NotImplemented
+        return (
+            self.verb == other.verb
+            and self.nouns == other.nouns
+            and self.level == other.level
+        )
+
+    @classmethod
+    def intern(
+        cls,
+        verb: str,
+        nouns: Iterable[str] = (),
+        level: str | None = None,
+    ) -> "SentencePattern":
+        """The canonical interned pattern with these match semantics."""
+        return cls(verb, tuple(nouns), level).canonical()
+
+    def canonical(self) -> "SentencePattern":
+        """The interned normal form: same match set, one instance.
+
+        Noun requirements are a set (subset semantics), so duplicates
+        collapse and order normalizes to sorted; a wildcard noun only says
+        "at least one noun", which any concrete noun requirement already
+        implies, so ``?`` survives only when it is the sole requirement.
+        ``canonical(a) is canonical(b)`` whenever the two patterns match
+        exactly the same sentences by these rules.
+        """
+        concrete = sorted({n for n in self.nouns if n != WILDCARD})
+        nouns = tuple(concrete) if concrete else ((WILDCARD,) if self.nouns else ())
+        key = SentencePattern(self.verb, nouns, self.level)
+        cached = _CANONICAL.get(key)
+        if cached is None:
+            cached = _CANONICAL[key] = key
+        return cached
+
+    def subsumes(self, other: "SentencePattern") -> bool:
+        """True if this pattern's match set contains ``other``'s.
+
+        Exact (not just conservative) for canonical forms: every sentence
+        ``other`` matches is also matched by ``self``.  The multi-question
+        engine uses this to build the pattern lattice -- a transition that
+        fails a subsuming pattern is pruned from all patterns it subsumes.
+        """
+        if self.level is not None and self.level != other.level:
+            return False
+        if self.verb != WILDCARD and self.verb != other.verb:
+            return False
+        mine = {n for n in self.nouns if n != WILDCARD}
+        theirs = {n for n in other.nouns if n != WILDCARD}
+        if not mine <= theirs:
+            return False
+        return not (WILDCARD in self.nouns and not other.nouns)
 
     def matches(self, sent: Sentence) -> bool:
         if self.level is not None and sent.abstraction != self.level:
@@ -113,9 +184,17 @@ class SentencePattern:
         return "{" + inner + "}"
 
 
+#: Canonical-pattern intern table (see :meth:`SentencePattern.canonical`).
+_CANONICAL: dict[SentencePattern, SentencePattern] = {}
+
+
 # ----------------------------------------------------------------------
 # boolean expression extension
 # ----------------------------------------------------------------------
+def _dedupe(patterns: Iterable[SentencePattern]) -> list[SentencePattern]:
+    return list(dict.fromkeys(patterns))
+
+
 class QExpr(abc.ABC):
     """A boolean expression over sentence patterns."""
 
@@ -125,7 +204,12 @@ class QExpr(abc.ABC):
 
     @abc.abstractmethod
     def patterns(self) -> list[SentencePattern]:
-        """All atom patterns in the expression (for interest filtering)."""
+        """Distinct atom patterns, first-occurrence order (for filtering).
+
+        An atom shared by several branches is reported once -- indexes and
+        interest predicates built from this list would otherwise register
+        (and test) the same pattern per branch.
+        """
 
     def __and__(self, other: "QExpr") -> "QAnd":
         return QAnd((self, other))
@@ -167,7 +251,7 @@ class QAnd(QExpr):
         return all(t.evaluate(active) for t in self.terms)
 
     def patterns(self) -> list[SentencePattern]:
-        return [p for t in self.terms for p in t.patterns()]
+        return _dedupe(p for t in self.terms for p in t.patterns())
 
     def __str__(self) -> str:
         return "(" + " AND ".join(str(t) for t in self.terms) + ")"
@@ -187,7 +271,7 @@ class QOr(QExpr):
         return any(t.evaluate(active) for t in self.terms)
 
     def patterns(self) -> list[SentencePattern]:
-        return [p for t in self.terms for p in t.patterns()]
+        return _dedupe(p for t in self.terms for p in t.patterns())
 
     def __str__(self) -> str:
         return "(" + " OR ".join(str(t) for t in self.terms) + ")"

@@ -67,6 +67,7 @@ def run_db_study(
     bus_config: BusConfig | None = None,
     fault_plan: FaultPlan | None = None,
     recorder=None,
+    multiq=None,
 ) -> DBOutcome:
     """Run the client(s)/server scenario and answer both question kinds.
 
@@ -81,6 +82,13 @@ def run_db_study(
     ids and the server's (including forwarded client state, which is the
     server's view) under the server node -- so the run can be re-queried
     post-mortem.
+
+    ``multiq`` (a :class:`~repro.core.multiq.MultiQuestionEngine`, typically
+    with the ``repro serve`` session's subscriptions already compiled)
+    attaches to the *server's* SAS, so it observes the fused stream of local
+    server transitions plus forwarded client transitions exactly as the
+    dedicated per-question watchers do -- one shared evaluation for every
+    live subscriber instead of one watcher each.
     """
     if queries is None:
         queries = [
@@ -105,6 +113,10 @@ def run_db_study(
         for cs in client_sases:
             cs.attach_recorder(recorder)
         server_sas.attach_recorder(recorder)
+    if multiq is not None:
+        # the SAS is empty here, so seeding is a no-op and subscriptions
+        # compiled before OR after this attach evaluate identically
+        multiq.attach_sas(server_sas)
     baseline_watchers = [len(cs.on_transition) for cs in client_sases]
 
     def interesting(s):

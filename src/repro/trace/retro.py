@@ -29,6 +29,7 @@ from typing import Callable, Iterable, Sequence
 
 from ..core import (
     EventKind,
+    MultiQuestionEngine,
     OrderedQuestion,
     PerformanceQuestion,
     QExpr,
@@ -49,6 +50,7 @@ __all__ = [
     "parse_pattern",
     "question_name",
     "evaluate_questions",
+    "evaluate_question_batch",
     "sentence_intervals",
     "windowed_mappings",
     "windowed_attribution",
@@ -181,6 +183,84 @@ def evaluate_questions(
             end_time=end,
         )
         for name, w in watchers
+    }
+
+
+def batch_event_plan(
+    source,
+    questions: Sequence[PerformanceQuestion | QExpr | OrderedQuestion],
+    end_time: float | None = None,
+    node: int | None = None,
+):
+    """Pick the replay source for a whole question batch at once.
+
+    Mirrors :func:`evaluate_questions`' pushdown branch structure exactly
+    (same fast-path conditions, same end-time defaulting), but computes one
+    union sentence-id set for *all* questions, so a columnar reader answers
+    the entire batch in a single zone-map-pruned pass instead of one scan
+    per question.  Returns ``(events, node_filtered, end)`` where ``events``
+    is the transition iterable, ``node_filtered`` says the source already
+    applied the ``node`` filter, and ``end`` is the resolved end time
+    (``None`` means "last replayed event's time", resolved by the caller).
+    """
+    end = end_time
+    if hasattr(source, "scan_transitions") and (end_time is not None or node is None):
+        sids = question_sids(source.sentences, questions)
+        if sids is not None:
+            if end is None:
+                last_t = source.last_transition_time()
+                end = last_t if last_t is not None else 0.0
+            events = source.scan_transitions(
+                sids=sids, node=ALL_NODES if node is None else node
+            )
+            return events, True, end
+    return _iter_events(source), False, end
+
+
+def evaluate_question_batch(
+    source,
+    questions: Sequence[PerformanceQuestion | QExpr | OrderedQuestion],
+    end_time: float | None = None,
+    node: int | None = None,
+    shards: int = 1,
+    engine: MultiQuestionEngine | None = None,
+) -> dict[str, RetroAnswer]:
+    """Answer a whole question batch in one pass over recorded history.
+
+    The batched counterpart of :func:`evaluate_questions`: instead of one
+    dedicated watcher per question re-observing every transition, all
+    questions compile into one shared
+    :class:`~repro.core.multiq.MultiQuestionEngine` plan (interned patterns,
+    subsumption-pruned matching, per-question dirty bits), and the recorded
+    transitions are fed through it once.  Answers are byte-identical to
+    :func:`evaluate_questions` on the same inputs -- same pushdown
+    conditions, same end-time defaults, same float accumulation order --
+    which abl11 and the property suite assert.
+
+    Pass ``shards`` to partition pattern nodes across consistent-hash
+    shards, or a pre-built ``engine`` to reuse one (e.g. the ``repro
+    serve`` session engine with subscriptions already attached).
+    """
+    eng = engine if engine is not None else MultiQuestionEngine(shards=shards)
+    subs = [(question_name(q), eng.subscribe(q)) for q in questions]
+    events, node_filtered, end = batch_event_plan(source, questions, end_time, node)
+    last = 0.0
+    for event in events:
+        if not node_filtered and node is not None and event.node_id != node:
+            continue
+        last = event.time
+        eng.transition(event.sentence, event.kind is EventKind.ACTIVATE, event.time)
+    if end is None:
+        end = last
+    return {
+        name: RetroAnswer(
+            name=name,
+            satisfied_time=sub.watcher.total_satisfied_time(end),
+            transitions=sub.watcher.transitions,
+            satisfied_at_end=sub.watcher.satisfied,
+            end_time=end,
+        )
+        for name, sub in subs
     }
 
 

@@ -1,0 +1,286 @@
+"""Unit tests for the shared multi-question engine (core/multiq.py)."""
+
+import pytest
+
+from repro.core import (
+    ActiveSentenceSet,
+    HashRing,
+    MultiQuestionEngine,
+    Noun,
+    OrderedQuestion,
+    PerformanceQuestion,
+    QAnd,
+    QAtom,
+    QNot,
+    QOr,
+    SentencePattern,
+    Verb,
+    sentence,
+)
+
+SUM = Verb("Sum", "HPF")
+EXEC = Verb("Executes", "HPF")
+SEND = Verb("Send", "Base")
+
+A_SUM = sentence(SUM, Noun("A", "HPF"))
+B_SUM = sentence(SUM, Noun("B", "HPF"))
+AB_SUM = sentence(SUM, Noun("A", "HPF"), Noun("B", "HPF"))
+LINE = sentence(EXEC, Noun("line1", "HPF"))
+P_SEND = sentence(SEND, Noun("Processor_0", "Base"))
+
+
+class ManualClock:
+    def __init__(self):
+        self.t = 0.0
+
+    def __call__(self):
+        return self.t
+
+
+def make_pair():
+    clock = ManualClock()
+    sas = ActiveSentenceSet(clock=clock)
+    eng = MultiQuestionEngine()
+    eng.attach_sas(sas)
+    return clock, sas, eng
+
+
+# ----------------------------------------------------------------------
+# pattern interning and the node table
+# ----------------------------------------------------------------------
+def test_equal_patterns_share_one_node():
+    eng = MultiQuestionEngine()
+    q1 = PerformanceQuestion("q1", (SentencePattern("Sum", ("A",)),))
+    q2 = QAtom(SentencePattern("Sum", ("A",)))
+    # noun order / duplicates canonicalize away
+    q3 = PerformanceQuestion("q3", (SentencePattern("Sum", ("A", "A")),))
+    eng.subscribe(q1)
+    eng.subscribe(q2)
+    eng.subscribe(q3)
+    assert len(eng.nodes) == 1
+
+
+def test_duplicate_questions_share_one_subscription():
+    eng = MultiQuestionEngine()
+    pats = (SentencePattern("Sum", ("A",)), SentencePattern("Executes", ("line1",)))
+    s1 = eng.subscribe(PerformanceQuestion("first", pats))
+    s2 = eng.subscribe(PerformanceQuestion("second", tuple(reversed(pats))))
+    assert s1 is s2
+    assert len(eng.subscriptions) == 1
+    # both names resolve to the shared subscription
+    assert eng.subscription("first") is eng.subscription("second")
+
+
+def test_duplicate_after_history_gets_own_watcher():
+    clock, sas, eng = make_pair()
+    q = PerformanceQuestion("q", (SentencePattern("Sum", ("A",)),))
+    s1 = eng.subscribe(q)
+    clock.t = 1.0
+    sas.activate(A_SUM)
+    s2 = eng.subscribe(q, now=sas.clock())
+    assert s2 is not s1  # sharing would inherit s1's earlier history
+    assert s2.watcher.satisfied
+
+
+def test_subsumption_lattice_edges():
+    eng = MultiQuestionEngine()
+    broad = SentencePattern("Sum", ())
+    narrow = SentencePattern("Sum", ("A",))
+    narrower = SentencePattern("Sum", ("A", "B"))
+    eng.subscribe(QAtom(broad))
+    eng.subscribe(QAtom(narrow))
+    eng.subscribe(QAtom(narrower))
+    by_pattern = {node.pattern: node for node in eng.nodes}
+    b, n, nn = by_pattern[broad], by_pattern[narrow], by_pattern[narrower.canonical()]
+    assert n.pid in b.children
+    assert nn.pid in n.children
+    assert b.pid in n.parents
+
+
+def test_lattice_prunes_matching(monkeypatch):
+    eng = MultiQuestionEngine()
+    eng.subscribe(QAtom(SentencePattern("Sum", ())))
+    eng.subscribe(QAtom(SentencePattern("Sum", ("A",))))
+    eng.subscribe(QAtom(SentencePattern("Sum", ("A", "B"))))
+    calls = []
+    orig = SentencePattern.matches
+
+    def counting(self, sent):
+        calls.append(self)
+        return orig(self, sent)
+
+    monkeypatch.setattr(SentencePattern, "matches", counting)
+    # noun A routes the sentence into the nodes' shard, but the broad root
+    # {Sum} fails on the verb, so neither child is ever tested
+    a_exec = sentence(EXEC, Noun("A", "HPF"))
+    eng.transition(a_exec, True, 1.0)
+    assert len(calls) == 1
+    calls.clear()
+    eng.transition(a_exec, False, 2.0)  # memoized: no pattern tests at all
+    assert len(calls) == 0
+    # a sentence carrying none of the shard's discriminators skips the
+    # shard without a single pattern test (candidate-key routing)
+    eng.transition(P_SEND, True, 3.0)
+    assert len(calls) == 0
+
+
+# ----------------------------------------------------------------------
+# differential vs dedicated QuestionWatchers
+# ----------------------------------------------------------------------
+def test_matches_live_watchers_exactly():
+    clock, sas, eng = make_pair()
+    questions = [
+        PerformanceQuestion("conj", (SentencePattern("Sum", ("A",)),
+                                     SentencePattern("Executes", ()))),
+        QOr((QAtom(SentencePattern("Sum", ("A",))),
+             QNot(QAtom(SentencePattern("Send", ()))))),
+        QAnd((QAtom(SentencePattern("?", ("?",))),
+              QAtom(SentencePattern("Sum", ("A", "B"))))),
+        OrderedQuestion("ord", (SentencePattern("Executes", ()),
+                                SentencePattern("Send", ()))),
+    ]
+    watchers = [sas.attach_question(q) for q in questions]
+    subs = [eng.subscribe(q, name=f"q{i}") for i, q in enumerate(questions)]
+    script = [
+        (1.0, A_SUM, True), (2.0, LINE, True), (3.0, P_SEND, True),
+        (4.0, A_SUM, False), (5.0, AB_SUM, True), (6.0, LINE, False),
+        (7.0, P_SEND, False), (8.0, AB_SUM, False), (9.0, LINE, True),
+        (10.0, P_SEND, True),
+    ]
+    for t, sent, up in script:
+        clock.t = t
+        (sas.activate if up else sas.deactivate)(sent)
+    for w, sub in zip(watchers, subs, strict=True):
+        mw = sub.watcher
+        assert (w.satisfied, w.transitions, w.satisfied_time) == (
+            mw.satisfied, mw.transitions, mw.satisfied_time
+        )
+        assert w.total_satisfied_time(11.0) == mw.total_satisfied_time(11.0)
+
+
+def test_nested_reactivation_is_ignored():
+    clock, sas, eng = make_pair()
+    q = QAtom(SentencePattern("Sum", ("A",)))
+    w = sas.attach_question(q)
+    sub = eng.subscribe(q, name="q")
+    clock.t = 1.0
+    sas.activate(A_SUM)
+    clock.t = 2.0
+    sas.activate(A_SUM)  # nested: no membership change
+    clock.t = 3.0
+    sas.deactivate(A_SUM)  # still active (depth 1)
+    assert sub.watcher.satisfied and w.satisfied
+    assert sub.watcher.transitions == w.transitions == 1
+    clock.t = 4.0
+    sas.deactivate(A_SUM)
+    assert not sub.watcher.satisfied
+    assert sub.watcher.satisfied_time == w.satisfied_time == 3.0
+
+
+def test_attach_midrun_seeds_membership():
+    clock = ManualClock()
+    sas = ActiveSentenceSet(clock=clock)
+    clock.t = 1.0
+    sas.activate(A_SUM)
+    sas.activate(A_SUM)  # depth 2
+    clock.t = 2.0
+    sas.activate(LINE)
+    eng = MultiQuestionEngine()
+    eng.attach_sas(sas)
+    sub = eng.subscribe(QAtom(SentencePattern("Sum", ("A",))), now=sas.clock())
+    assert sub.watcher.satisfied and sub.watcher.satisfied_since == 2.0
+    clock.t = 3.0
+    sas.deactivate(A_SUM)  # depth 2 -> 1: still satisfied
+    assert sub.watcher.satisfied
+    clock.t = 4.0
+    sas.deactivate(A_SUM)
+    assert not sub.watcher.satisfied
+    assert sub.watcher.satisfied_time == 2.0
+
+
+def test_deactivate_unknown_raises():
+    eng = MultiQuestionEngine()
+    with pytest.raises(ValueError):
+        eng.transition(A_SUM, False, 1.0)
+
+
+# ----------------------------------------------------------------------
+# intervals and answers
+# ----------------------------------------------------------------------
+def test_intervals_and_answers_close_open_interval():
+    eng = MultiQuestionEngine()
+    eng.subscribe(QAtom(SentencePattern("Sum", ())), name="q")
+    eng.transition(A_SUM, True, 1.0)
+    eng.transition(A_SUM, False, 3.0)
+    eng.transition(B_SUM, True, 5.0)
+    assert eng.intervals(8.0) == {"q": [(1.0, 3.0), (5.0, 8.0)]}
+    sat_time, transitions, at_end = eng.answers(8.0)["q"]
+    assert sat_time == 5.0 and transitions == 3 and at_end
+    # answers() must not mutate watcher state
+    assert eng.answers(9.0)["q"][0] == 6.0
+
+
+def test_interval_callbacks_fire_on_close():
+    eng = MultiQuestionEngine()
+    sub = eng.subscribe(QAtom(SentencePattern("Sum", ())), name="q")
+    seen = []
+    sub.watcher.on_interval.append(lambda s, e: seen.append((s, e)))
+    eng.transition(A_SUM, True, 1.0)
+    eng.transition(A_SUM, False, 4.0)
+    assert seen == [(1.0, 4.0)]
+
+
+# ----------------------------------------------------------------------
+# sharding
+# ----------------------------------------------------------------------
+def test_hash_ring_stable_and_total():
+    ring = HashRing(4)
+    keys = [("n", f"N{i}") for i in range(64)]
+    owners = [ring.shard_for(k) for k in keys]
+    assert owners == [HashRing(4).shard_for(k) for k in keys]  # deterministic
+    assert set(owners) <= {0, 1, 2, 3}
+    assert len(set(owners)) > 1  # spreads across shards
+
+
+def test_hash_ring_minimal_movement():
+    keys = [("n", f"N{i}") for i in range(200)]
+    before = [HashRing(4).shard_for(k) for k in keys]
+    after = [HashRing(5).shard_for(k) for k in keys]
+    moved = sum(1 for b, a in zip(before, after, strict=True) if b != a)
+    # consistent hashing: growing 4 -> 5 shards moves ~1/5 of keys, not most
+    assert moved < len(keys) // 2
+
+
+def test_sharded_engine_same_answers():
+    questions = [
+        PerformanceQuestion(f"q{i}", (SentencePattern("Sum", (n,)),
+                                      SentencePattern("Executes", ())))
+        for i, n in enumerate(("A", "B"))
+    ]
+    script = [
+        (1.0, A_SUM, True), (2.0, LINE, True), (3.0, B_SUM, True),
+        (4.0, A_SUM, False), (5.0, LINE, False), (6.0, B_SUM, False),
+    ]
+    results = []
+    for shards in (1, 2, 5):
+        eng = MultiQuestionEngine(shards=shards)
+        for q in questions:
+            eng.subscribe(q)
+        for t, sent, up in script:
+            eng.transition(sent, up, t)
+        results.append(eng.answers(7.0))
+        assert len(eng.shards) == shards
+    assert results[0] == results[1] == results[2]
+
+
+def test_unrouted_shards_untouched():
+    eng = MultiQuestionEngine(shards=8)
+    eng.subscribe(QAtom(SentencePattern("Sum", ("A",))), name="a")
+    eng.subscribe(QAtom(SentencePattern("Send", ("Processor_0",))), name="b")
+    eng.transition(A_SUM, True, 1.0)
+    eng.transition(A_SUM, False, 2.0)
+    summary = eng.shard_summary()
+    touched = [k for k, n in enumerate(summary["touches_per_shard"]) if n]
+    populated = [k for k, n in enumerate(summary["nodes_per_shard"]) if n]
+    assert len(touched) == 1  # only {A Sum}'s shard saw the transition
+    assert set(touched) <= set(populated)

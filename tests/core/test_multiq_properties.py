@@ -1,0 +1,176 @@
+"""Hypothesis property suite: the batch engine vs the naive per-question oracle.
+
+For random question batches (QExpr trees with QNot, conjunctions, ordered
+questions, plus subsumption-collapsed duplicates) and random valid
+transition streams, every question's satisfied intervals, transition count,
+and accumulated satisfied-time from the shared
+:class:`~repro.core.multiq.MultiQuestionEngine` must equal a naive oracle
+that re-evaluates ``QExpr.evaluate`` / ``satisfied`` over the full active
+set after every membership change -- the engine's dirty bits, lattice
+pruning, memoized matching, sharding, and subscription dedup must all be
+pure optimizations.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    MultiQuestionEngine,
+    Noun,
+    OrderedQuestion,
+    PerformanceQuestion,
+    QAnd,
+    QAtom,
+    QNot,
+    QOr,
+    SentencePattern,
+    Verb,
+    sentence,
+)
+
+VERBS = ["V0", "V1", "V2"]
+NOUNS = ["N0", "N1", "N2", "N3"]
+LEVELS = {"V0": "L0", "V1": "L0", "V2": "L1"}
+
+SENTENCES = [
+    sentence(Verb(v, LEVELS[v]), *(Noun(n, LEVELS[v]) for n in nouns))
+    for v in VERBS
+    for nouns in ([], ["N0"], ["N1"], ["N0", "N1"], ["N2", "N3"])
+]
+
+patterns = st.builds(
+    SentencePattern,
+    st.sampled_from(VERBS + ["?"]),
+    st.lists(st.sampled_from(NOUNS + ["?"]), max_size=2).map(tuple),
+    st.sampled_from([None, "L0", "L1"]),
+)
+
+
+def exprs(depth: int = 2):
+    leaf = st.builds(QAtom, patterns)
+    if depth == 0:
+        return leaf
+    sub = exprs(depth - 1)
+    return st.one_of(
+        leaf,
+        st.builds(QNot, sub),
+        st.builds(QAnd, st.lists(sub, min_size=2, max_size=3).map(tuple)),
+        st.builds(QOr, st.lists(sub, min_size=2, max_size=3).map(tuple)),
+    )
+
+
+def _pq(components):
+    return PerformanceQuestion("pq", tuple(components))
+
+
+def _oq(components):
+    return OrderedQuestion("oq", tuple(components))
+
+
+questions = st.one_of(
+    exprs(),
+    st.builds(_pq, st.lists(patterns, min_size=1, max_size=3)),
+    st.builds(_oq, st.lists(patterns, min_size=1, max_size=3)),
+)
+
+#: a transition script: sentence indices; the driver resolves each index to
+#: activate (if inactive) or deactivate (if active), so scripts are always
+#: valid, and odd indices occasionally re-activate for nesting coverage
+scripts = st.lists(
+    st.tuples(st.integers(0, len(SENTENCES) - 1), st.booleans()),
+    max_size=40,
+)
+
+
+class NaiveWatcher:
+    """QuestionWatcher's accumulation rule, driven by full re-evaluation."""
+
+    def __init__(self):
+        self.satisfied = False
+        self.satisfied_since = 0.0
+        self.satisfied_time = 0.0
+        self.transitions = 0
+        self.intervals = []
+
+    def apply(self, new, now):
+        if new == self.satisfied:
+            return
+        self.transitions += 1
+        self.satisfied = new
+        if new:
+            self.satisfied_since = now
+        else:
+            self.satisfied_time += now - self.satisfied_since
+            self.intervals.append((self.satisfied_since, now))
+
+    def closed_intervals(self, end):
+        out = list(self.intervals)
+        if self.satisfied:
+            out.append((self.satisfied_since, end))
+        return out
+
+
+def naive_eval(question, active_with_times):
+    active = [s for s, _ in active_with_times]
+    if isinstance(question, OrderedQuestion):
+        return question.satisfied(active_with_times)
+    if isinstance(question, PerformanceQuestion):
+        return question.satisfied(active)
+    return question.evaluate(active)
+
+
+def with_duplicates(batch):
+    """The engine-facing batch: every question twice (dedup must collapse
+    them), plus a broadened copy of each conjunction (subsumption edges)."""
+    out = list(batch)
+    out.extend(batch)
+    for q in batch:
+        if isinstance(q, PerformanceQuestion):
+            broad = tuple(
+                SentencePattern(p.verb, (), p.level) for p in q.components
+            )
+            out.append(PerformanceQuestion("broad", broad))
+    return out
+
+
+@given(st.lists(questions, min_size=1, max_size=5), scripts, st.sampled_from([1, 3]))
+@settings(max_examples=150, deadline=None)
+def test_engine_equals_naive_oracle(batch, script, shards):
+    engine = MultiQuestionEngine(shards=shards)
+    subs = [engine.subscribe(q, name=f"q{i}") for i, q in enumerate(with_duplicates(batch))]
+
+    oracle = [NaiveWatcher() for _ in subs]
+    oracle_qs = with_duplicates(batch)
+    for w, q in zip(oracle, oracle_qs, strict=True):
+        w.apply(naive_eval(q, []), 0.0)
+
+    depth = {}
+    active = []  # (sentence, outermost activation time), activation order
+    t = 0.0
+    for idx, prefer_nested in script:
+        sent = SENTENCES[idx]
+        t += 1.0
+        if depth.get(sent, 0) and not prefer_nested:
+            d = depth[sent] - 1
+            depth[sent] = d
+            engine.transition(sent, False, t)
+            if d == 0:
+                active = [(s, at) for s, at in active if s != sent]
+        else:
+            d = depth.get(sent, 0)
+            depth[sent] = d + 1
+            engine.transition(sent, True, t)
+            if d == 0:
+                active.append((sent, t))
+            else:
+                continue  # nested re-activation: no membership change
+        for w, q in zip(oracle, oracle_qs, strict=True):
+            w.apply(naive_eval(q, active), t)
+
+    end = t + 1.0
+    for sub, w in zip(subs, oracle, strict=True):
+        mw = sub.watcher
+        assert mw.satisfied == w.satisfied
+        assert mw.transitions == w.transitions
+        assert mw.satisfied_time == w.satisfied_time  # exact, not approx
+        assert mw.closed_intervals(end) == w.closed_intervals(end)

@@ -187,3 +187,79 @@ class TestOrderedQuestion:
         )
         assert q.satisfied([(A_SUM, 1.0), (B_SUM, 2.0), (P0_SEND, 3.0)])
         assert not q.satisfied([(A_SUM, 4.0), (B_SUM, 2.0), (P0_SEND, 3.0)])
+
+
+class TestPatternIdentity:
+    """Stable hash/equality, interning, canonical form, subsumption."""
+
+    def test_value_equality_and_hash(self):
+        a = SentencePattern("Sum", ("A",), "HPF")
+        b = SentencePattern("Sum", ("A",), "HPF")
+        assert a == b and hash(a) == hash(b)
+        assert a != SentencePattern("Sum", ("B",), "HPF")
+        assert a != SentencePattern("Sum", ("A",))  # level matters
+        assert len({a, b}) == 1
+
+    def test_intern_returns_one_object(self):
+        a = SentencePattern.intern("Sum", ("A", "B"))
+        b = SentencePattern.intern("Sum", ("B", "A", "A"))  # order/dups collapse
+        assert a is b
+        assert a.nouns == ("A", "B")
+
+    def test_canonical_wildcard_nouns(self):
+        # wildcard nouns only matter when no concrete noun is required
+        assert SentencePattern("Sum", ("?", "A")).canonical().nouns == ("A",)
+        assert SentencePattern("Sum", ("?", "?")).canonical().nouns == ("?",)
+        assert SentencePattern("Sum", ()).canonical().nouns == ()
+
+    def test_canonical_preserves_match_set(self):
+        for pat in (
+            SentencePattern("Sum", ("?", "A")),
+            SentencePattern("?", ("?",), "HPF"),
+            SentencePattern("Sum", ("B", "A", "B")),
+        ):
+            canon = pat.canonical()
+            for s in (A_SUM, B_SUM, P0_SEND, sentence(SUM, A, B)):
+                assert pat.matches(s) == canon.matches(s)
+
+    def test_subsumes_directions(self):
+        broad = SentencePattern("Sum", ())
+        narrow = SentencePattern("Sum", ("A",))
+        assert broad.subsumes(narrow)
+        assert not narrow.subsumes(broad)
+        assert narrow.subsumes(narrow)
+        # a level constraint never subsumes an unconstrained pattern
+        assert not SentencePattern("Sum", (), "HPF").subsumes(broad)
+        assert SentencePattern("?", ()).subsumes(broad)
+        # {? ?} requires >= 1 noun, {Sum} does not: no subsumption
+        assert not SentencePattern("?", ("?",)).subsumes(broad)
+        assert SentencePattern("?", ("?",)).subsumes(narrow)
+
+    def test_subsumes_implies_match_superset(self):
+        pats = [
+            SentencePattern("Sum", ()),
+            SentencePattern("Sum", ("A",)),
+            SentencePattern("?", ("?",)),
+            SentencePattern("?", (), "Base"),
+            SentencePattern("Send", ("Processor_0",), "Base"),
+        ]
+        sents = [A_SUM, B_SUM, P0_SEND, P1_SEND, sentence(SUM, A, B)]
+        for p in pats:
+            for q in pats:
+                if p.subsumes(q):
+                    assert all(p.matches(s) for s in sents if q.matches(s))
+
+
+class TestPatternDedup:
+    def test_qexpr_patterns_deduped(self):
+        shared = QAtom(SentencePattern("Sum", ("A",)))
+        other = QAtom(SentencePattern("Send", ()))
+        expr = QOr((QAnd((shared, other)), shared, QNot(shared)))
+        pats = expr.patterns()
+        assert len(pats) == len(set(pats)) == 2
+
+    def test_order_preserved(self):
+        first = SentencePattern("Sum", ("A",))
+        second = SentencePattern("Send", ())
+        expr = QAnd((QAtom(first), QAtom(second), QAtom(first)))
+        assert expr.patterns() == [first, second]

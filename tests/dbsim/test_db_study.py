@@ -202,3 +202,28 @@ class TestMultipleClients:
     def test_validation(self):
         with pytest.raises(ValueError):
             run_db_study(self.queries(), num_clients=0)
+
+
+def test_multiq_engine_sees_fused_server_stream():
+    """A shared MultiQuestionEngine attached via ``multiq=`` answers the
+    distributed questions byte-identically to the dedicated per-question
+    watchers (same forwarded-bus transition stream, same clock)."""
+    from repro.core import MultiQuestionEngine, PerformanceQuestion, SentencePattern
+
+    queries = [Query("Q_orders", disk_reads=3), Query("Q_report", disk_reads=2)]
+    engine = MultiQuestionEngine(shards=2)
+    for q in queries:
+        engine.subscribe(
+            PerformanceQuestion(
+                f"reads for {q.name}",
+                (
+                    SentencePattern("QueryActive", (q.name,)),
+                    SentencePattern("DiskRead", ("server0",)),
+                ),
+            )
+        )
+    out = run_db_study(queries, num_clients=2, multiq=engine)
+    answers = engine.answers(out.elapsed)
+    for q in queries:
+        assert answers[f"reads for {q.name}"][0] == out.per_query_watcher_time[q.name]
+    assert engine.membership_changes > 0

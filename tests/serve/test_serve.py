@@ -1,0 +1,203 @@
+"""Tests for the streaming question service (repro serve)."""
+
+import asyncio
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.core import OrderedQuestion, PerformanceQuestion
+from repro.serve import (
+    DbStudySource,
+    QuestionSpec,
+    ServeServer,
+    TraceSource,
+    build_question,
+    parse_subscribe,
+    _client_session,
+)
+from repro.trace import open_trace
+from repro.trace.retro import evaluate_questions
+
+
+@pytest.fixture
+def db_trace(tmp_path):
+    path = tmp_path / "db.rtrcx"
+    assert (
+        main(
+            ["trace", "record", "db", "--out", str(path), "--clients", "3", "--queries", "6"]
+        )
+        == 0
+    )
+    return str(path)
+
+
+# ----------------------------------------------------------------------
+# protocol parsing
+# ----------------------------------------------------------------------
+def test_parse_subscribe_roundtrip():
+    specs, stream = parse_subscribe(
+        json.dumps(
+            {
+                "questions": [
+                    {"patterns": ["{A Sum}", "{? Send}@Base"], "ordered": True},
+                    {"name": "mine", "patterns": ["{server0 DiskRead}"]},
+                ],
+                "stream": False,
+            }
+        )
+    )
+    assert not stream
+    assert specs[0].ordered and specs[0].display_name() == "{A Sum} & {? Send}@Base"
+    assert specs[1].display_name() == "mine"
+
+
+@pytest.mark.parametrize(
+    "line",
+    [
+        "not json",
+        "{}",
+        '{"questions": []}',
+        '{"questions": [{"patterns": []}]}',
+        '{"questions": [{"patterns": ["{}"]}]}',  # empty pattern
+        '{"questions": [{"patterns": ["{A Sum}bad"]}]}',  # bad suffix
+    ],
+)
+def test_parse_subscribe_rejects(line):
+    with pytest.raises(ValueError):
+        parse_subscribe(line)
+
+
+def test_build_question_matches_trace_query_naming():
+    spec = QuestionSpec(patterns=("{A Sum}", "{? Send}"), ordered=False)
+    q = build_question(spec)
+    assert isinstance(q, PerformanceQuestion)
+    assert q.name == "{A Sum} & {? Send}"  # what trace query calls it
+    assert isinstance(
+        build_question(QuestionSpec(patterns=("{A Sum}",), ordered=True)),
+        OrderedQuestion,
+    )
+
+
+# ----------------------------------------------------------------------
+# in-process server round trip
+# ----------------------------------------------------------------------
+async def _serve_batch(source, specs_per_client, shards=1):
+    server = ServeServer(
+        source, subscribers=len(specs_per_client), once=True, shards=shards
+    )
+    task = asyncio.create_task(server.serve())
+    while server.port == 0 and not task.done():
+        await asyncio.sleep(0.01)
+    if task.done():
+        task.result()  # propagate startup errors
+    sessions = [
+        _client_session("127.0.0.1", server.port, specs, stream=True)
+        for specs in specs_per_client
+    ]
+    results = await asyncio.gather(*sessions)
+    await asyncio.wait_for(task, timeout=10)
+    return results
+
+
+def test_two_overlapping_subscribers_match_retro_oracle(db_trace):
+    q_shared = QuestionSpec(patterns=("{server0 DiskRead}",))
+    q_a = QuestionSpec(patterns=("{Q0 QueryActive}", "{server0 DiskRead}"))
+    q_ord = QuestionSpec(patterns=("{Q1 QueryActive}", "{server0 DiskRead}"), ordered=True)
+    (pay_a, div_a), (pay_b, div_b) = asyncio.run(
+        _serve_batch(TraceSource(db_trace), [[q_a, q_shared], [q_shared, q_ord]], shards=3)
+    )
+    assert div_a == 0 and div_b == 0  # streamed intervals sum to summary
+    reader = open_trace(db_trace)
+    for payload, specs in ((pay_a, [q_a, q_shared]), (pay_b, [q_shared, q_ord])):
+        for spec in specs:
+            expected = evaluate_questions(reader, [build_question(spec)])
+            ans = payload["questions"][spec.display_name()]
+            ref = expected[spec.display_name()]
+            assert ans["satisfied_time"] == ref.satisfied_time
+            assert ans["transitions"] == ref.transitions
+            assert ans["satisfied_at_end"] == ref.satisfied_at_end
+
+
+def test_live_db_source_round_trip():
+    spec = QuestionSpec(patterns=("{Q0 QueryActive}", "{server0 DiskRead}"))
+    [(payload, divergence)] = asyncio.run(
+        _serve_batch(DbStudySource(clients=2, queries=4), [[spec]])
+    )
+    ans = payload["questions"][spec.display_name()]
+    assert divergence == 0
+    assert ans["transitions"] > 0 and ans["satisfied_time"] > 0.0
+
+
+def test_bad_subscription_gets_error_event(db_trace):
+    async def scenario():
+        server = ServeServer(TraceSource(db_trace), subscribers=1, once=True)
+        task = asyncio.create_task(server.serve())
+        while server.port == 0 and not task.done():
+            await asyncio.sleep(0.01)
+        reader, writer = await asyncio.open_connection("127.0.0.1", server.port)
+        await reader.readline()  # hello
+        writer.write(b'{"questions": []}\n')
+        await writer.drain()
+        msg = json.loads(await reader.readline())
+        writer.close()
+        # the bad client was rejected without consuming the batch slot;
+        # serve the real batch so the server can exit
+        good = await _client_session(
+            "127.0.0.1",
+            server.port,
+            [QuestionSpec(patterns=("{server0 DiskRead}",))],
+            stream=True,
+        )
+        await asyncio.wait_for(task, timeout=10)
+        return msg, good
+
+    msg, (payload, divergence) = asyncio.run(scenario())
+    assert msg["event"] == "error" and "questions" in msg["message"]
+    assert divergence == 0 and payload["questions"]
+
+
+# ----------------------------------------------------------------------
+# CLI exit-code contract + suffix sniffing
+# ----------------------------------------------------------------------
+def test_serve_without_source_or_connect_exits_2(monkeypatch):
+    monkeypatch.delenv("REPRO_DEBUG", raising=False)
+    assert main(["serve"]) == 2
+
+
+def test_serve_bad_connect_address_exits_2(monkeypatch):
+    monkeypatch.delenv("REPRO_DEBUG", raising=False)
+    assert main(["serve", "--connect", "nope", "--pattern", "{A Sum}"]) == 2
+
+
+def test_serve_connect_without_pattern_exits_2(monkeypatch):
+    monkeypatch.delenv("REPRO_DEBUG", raising=False)
+    assert main(["serve", "--connect", "127.0.0.1:1"]) == 2
+
+
+def test_serve_missing_trace_exits_2(monkeypatch, tmp_path):
+    monkeypatch.delenv("REPRO_DEBUG", raising=False)
+    assert main(["serve", "--trace", str(tmp_path / "missing.rtrcx")]) == 2
+
+
+def test_serve_debug_reraises(monkeypatch):
+    monkeypatch.setenv("REPRO_DEBUG", "1")
+    with pytest.raises(ValueError):
+        main(["serve"])
+
+
+def test_trace_source_sniffs_both_formats(tmp_path):
+    row = tmp_path / "db.rtrc"
+    assert main(["trace", "record", "db", "--out", str(row)]) == 0
+    col = tmp_path / "db.rtrcx"
+    assert main(["trace", "convert", str(row), str(col)]) == 0
+    # misleading suffix: open_trace sniffs the magic bytes, not the name
+    disguised = tmp_path / "actually_columnar.rtrc"
+    disguised.write_bytes(col.read_bytes())
+    for path in (row, col, disguised):
+        source = TraceSource(str(path))
+        assert source.reader.__class__.__name__ in (
+            "TraceReader",
+            "ColumnarTraceReader",
+        )
+        source.close()

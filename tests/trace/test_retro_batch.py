@@ -1,0 +1,99 @@
+"""evaluate_question_batch vs evaluate_questions: byte-identical answers.
+
+The batched engine (one shared MultiQuestionEngine pass) must reproduce the
+per-question retrospective engine exactly -- same satisfied_time floats,
+same transition counts, same end-time defaulting -- across random traces,
+both storage layouts, node filters, and explicit end times.
+"""
+
+import pytest
+
+from repro.core import (
+    OrderedQuestion,
+    PerformanceQuestion,
+    QAtom,
+    QNot,
+    QOr,
+    SentencePattern,
+)
+from repro.trace.columnar import ColumnarTraceWriter, open_trace
+from repro.trace.retro import evaluate_question_batch, evaluate_questions
+from repro.workloads.fuzz import random_trace
+
+SEEDS = range(12)
+
+
+def questions_for(trace):
+    sents = sorted({e.sentence for e in trace.events()}, key=str)[:4]
+    pats = [
+        SentencePattern(s.verb.name, tuple(n.name for n in s.nouns)) for s in sents
+    ]
+    return [
+        PerformanceQuestion("conj", pats[:2]),
+        PerformanceQuestion("conj_dup", tuple(reversed(pats[:2]))),
+        OrderedQuestion("ord", pats[2:4]),
+        QOr((QAtom(pats[0]), QNot(QAtom(pats[1])))),
+        PerformanceQuestion("broad", (SentencePattern(pats[0].verb, ()),)),
+    ]
+
+
+def assert_identical(a, b):
+    assert a.keys() == b.keys()
+    for name in a:
+        ra, rb = a[name], b[name]
+        assert (
+            ra.satisfied_time,
+            ra.transitions,
+            ra.satisfied_at_end,
+            ra.end_time,
+        ) == (rb.satisfied_time, rb.transitions, rb.satisfied_at_end, rb.end_time), name
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_in_memory_trace_batch_identical(seed):
+    trace = random_trace(seed, events=300, nodes=2, sentences=14)
+    qs = questions_for(trace)
+    assert_identical(
+        evaluate_questions(trace, qs), evaluate_question_batch(trace, qs)
+    )
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+@pytest.mark.parametrize("shards", [1, 4])
+def test_columnar_pushdown_batch_identical(tmp_path, seed, shards):
+    trace = random_trace(seed, events=300, nodes=2, sentences=14)
+    qs = questions_for(trace)
+    path = tmp_path / "t.rtrcx"
+    writer = ColumnarTraceWriter(str(path), segment_records=64)
+    writer.record_trace(trace.events())
+    writer.close()
+    with open_trace(str(path)) as reader:
+        for kwargs in ({}, {"end_time": 9.0}, {"node": 0}, {"node": 1, "end_time": 4.0}):
+            assert_identical(
+                evaluate_questions(reader, qs, **kwargs),
+                evaluate_question_batch(reader, qs, shards=shards, **kwargs),
+            )
+
+
+def test_wildcard_question_disables_pushdown_identically(tmp_path):
+    # a wildcard-only pattern forces a full replay in both engines; the
+    # end-time default (last replayed event) must still agree
+    trace = random_trace(5, events=200, nodes=2, sentences=10)
+    qs = questions_for(trace) + [QAtom(SentencePattern("?", ()))]
+    path = tmp_path / "t.rtrcx"
+    writer = ColumnarTraceWriter(str(path))
+    writer.record_trace(trace.events())
+    writer.close()
+    with open_trace(str(path)) as reader:
+        assert_identical(
+            evaluate_questions(reader, qs), evaluate_question_batch(reader, qs)
+        )
+
+
+def test_reused_engine_rejected_after_history():
+    # a caller-provided engine is only valid for one replay: feeding a
+    # second trace would double-count membership
+    trace = random_trace(1, events=50, nodes=1, sentences=6)
+    qs = questions_for(trace)
+    answers = evaluate_question_batch(trace, qs)
+    assert answers["conj"].end_time == answers["ord"].end_time
