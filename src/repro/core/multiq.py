@@ -120,7 +120,8 @@ class PatternNode:
     shard: int
     count: int = 0  # active sentences currently matching
     #: time-sorted (sentence, outermost activation time), maintained only
-    #: while some OrderedQuestion references this node
+    #: while some OrderedQuestion references this node (rebuilt from live
+    #: membership when the first ordered subscriber attaches)
     entries: list[tuple[Sentence, float]] = field(default_factory=list)
     parents: list[int] = field(default_factory=list)  # subsuming nodes (same shard)
     children: list[int] = field(default_factory=list)  # subsumed nodes (same shard)
@@ -372,9 +373,17 @@ class MultiQuestionEngine:
         existing = self._by_key.get(key)
         if existing is not None:
             sub = self._subs[existing]
-            # share only while observably fresh: a duplicate subscribed after
-            # history diverged would inherit the earlier watcher's past
-            if sub.created_at == self.membership_changes:
+            # share only while observably fresh: the shared watcher must be
+            # in exactly the state a dedicated watcher attached at ``now``
+            # would be in -- same engine history (created_at) and no
+            # accumulated past (no closed intervals, and any open interval
+            # must have started at ``now`` itself, not earlier wall-clock)
+            w = sub.watcher
+            if (
+                sub.created_at == self.membership_changes
+                and not w.intervals
+                and (not w.satisfied or w.satisfied_since == now)
+            ):
                 self._names.setdefault(effective_name, sub.sid)
                 return sub
         sub = Subscription(
@@ -394,6 +403,19 @@ class MultiQuestionEngine:
         for nid in set(nids):
             node = self._nodes[nid]
             if kind == "ordered":
+                if not node.ordered_subs:
+                    # entries are only maintained while the node has ordered
+                    # subscribers; membership changes since creation (e.g. a
+                    # node first referenced by boolean questions) left them
+                    # stale -- rebuild from live membership before trusting
+                    node.entries = sorted(
+                        (
+                            (s, t)
+                            for s, t in self._active.items()
+                            if node.pattern.matches(s)
+                        ),
+                        key=lambda st: st[1],
+                    )
                 node.ordered_subs.add(sub.sid)
             else:
                 node.bool_subs.add(sub.sid)
@@ -524,7 +546,7 @@ class MultiQuestionEngine:
                 for nid in self._match_nodes(sent):
                     node = self._nodes[nid]
                     node.count += 1
-                    if node.ordered_subs or node.entries:
+                    if node.ordered_subs:
                         node.entries.append((sent, t))
                         node.entries.sort(key=lambda st: st[1])
 

@@ -85,6 +85,19 @@ def build_question(spec: QuestionSpec) -> PerformanceQuestion | OrderedQuestion:
     return cls(spec.display_name(), components)
 
 
+def _question_key(spec: QuestionSpec) -> tuple:
+    """Structural identity of a spec (mirrors the engine's dedup keys).
+
+    Two specs with the same key are the same question (and may safely share
+    a display name / watcher); the same name on two *different* keys would
+    silently collapse in the engine's name table, so batches reject it.
+    """
+    components = tuple(parse_pattern(text).canonical() for text in spec.patterns)
+    if spec.ordered:
+        return ("ordered", components)
+    return ("conj", frozenset(components))
+
+
 def parse_subscribe(line: str | bytes) -> tuple[list[QuestionSpec], bool]:
     """Validate one subscribe request; raises ``ValueError`` on bad input."""
     try:
@@ -109,6 +122,14 @@ def parse_subscribe(line: str | bytes) -> tuple[list[QuestionSpec], bool]:
                 name=str(q["name"]) if q.get("name") is not None else None,
             )
         )
+    by_name: dict[str, tuple] = {}
+    for spec in specs:
+        name = spec.display_name()
+        key = _question_key(spec)
+        if by_name.setdefault(name, key) != key:
+            raise ValueError(
+                f'question name "{name}" is used for two different questions'
+            )
     return specs, bool(obj.get("stream", True))
 
 
@@ -257,6 +278,28 @@ class ServeServer:
             self._batch_ready.set()
 
     async def _run_batch(self, batch: list[_Client]) -> None:
+        # a display name shared across clients must denote one structural
+        # question: the engine keys answers by name, so two different
+        # questions under one name would silently report the first one's
+        # results to the second subscriber
+        by_name: dict[str, tuple] = {}
+        for client in batch:
+            for spec in client.specs:
+                name = spec.display_name()
+                key = _question_key(spec)
+                if by_name.setdefault(name, key) != key:
+                    message = (
+                        f'question name "{name}" maps to two different '
+                        "questions in this batch"
+                    )
+                    for c in batch:
+                        c.send({"event": "error", "message": message})
+                        try:
+                            await c.writer.drain()
+                        except ConnectionError:
+                            pass
+                        c.writer.close()
+                    return
         engine = MultiQuestionEngine(shards=self.shards)
         registered: set[tuple[int, str]] = set()
         for client in batch:

@@ -71,6 +71,24 @@ def test_duplicate_questions_share_one_subscription():
     assert eng.subscription("first") is eng.subscription("second")
 
 
+def test_duplicate_at_later_time_gets_own_watcher():
+    # same engine history (no membership change in between), but later wall
+    # clock: sharing would inherit an open interval that started before the
+    # duplicate's own subscription time
+    eng = MultiQuestionEngine()
+    eng.transition(A_SUM, True, 5.0)
+    q = PerformanceQuestion("q", (SentencePattern("Sum", ("A",)),))
+    s1 = eng.subscribe(q, now=5.0)
+    s2 = eng.subscribe(q, now=8.0)
+    assert s2 is not s1
+    assert s2.watcher.satisfied and s2.watcher.satisfied_since == 8.0
+    assert s1.watcher.total_satisfied_time(13.0) == 8.0
+    assert s2.watcher.total_satisfied_time(13.0) == 5.0  # dedicated-watcher value
+    # a duplicate at the same instant still shares
+    s3 = eng.subscribe(q, now=8.0)
+    assert s3 is s2
+
+
 def test_duplicate_after_history_gets_own_watcher():
     clock, sas, eng = make_pair()
     q = PerformanceQuestion("q", (SentencePattern("Sum", ("A",)),))
@@ -196,6 +214,39 @@ def test_attach_midrun_seeds_membership():
     sas.deactivate(A_SUM)
     assert not sub.watcher.satisfied
     assert sub.watcher.satisfied_time == 2.0
+
+
+def test_ordered_midrun_reuses_boolean_nodes_correctly():
+    # nodes first referenced only by boolean questions do not maintain
+    # activation entries; an OrderedQuestion subscribed mid-run that reuses
+    # them must still see the true activation history (rebuilt from live
+    # membership), matching a dedicated QuestionWatcher attached at the
+    # same moment
+    clock, sas, eng = make_pair()
+    pat_a = SentencePattern("Sum", ("A",))
+    pat_exec = SentencePattern("Executes", ())
+    eng.subscribe(QAtom(pat_a), name="bool_a")
+    eng.subscribe(QAtom(pat_exec), name="bool_exec")
+    clock.t = 1.0
+    sas.activate(A_SUM)
+    clock.t = 2.0
+    sas.activate(LINE)
+    q = OrderedQuestion("ord", (pat_a, pat_exec))
+    dedicated = sas.attach_question(q)
+    sub = eng.subscribe(q, now=sas.clock())
+    assert dedicated.satisfied  # A (1.0) precedes Executes (2.0)
+    assert sub.watcher.satisfied
+    script = [
+        (3.0, A_SUM, False), (4.0, A_SUM, True),   # order now violated
+        (5.0, LINE, False), (6.0, LINE, True),     # order restored
+    ]
+    for t, sent, up in script:
+        clock.t = t
+        (sas.activate if up else sas.deactivate)(sent)
+        assert sub.watcher.satisfied == dedicated.satisfied
+    assert (dedicated.transitions, dedicated.satisfied_time) == (
+        sub.watcher.transitions, sub.watcher.satisfied_time
+    )
 
 
 def test_deactivate_unknown_raises():

@@ -174,3 +174,75 @@ def test_engine_equals_naive_oracle(batch, script, shards):
         assert mw.transitions == w.transitions
         assert mw.satisfied_time == w.satisfied_time  # exact, not approx
         assert mw.closed_intervals(end) == w.closed_intervals(end)
+
+
+@given(
+    st.lists(questions, min_size=1, max_size=3),
+    st.lists(questions, min_size=1, max_size=3),
+    scripts,
+    st.integers(0, 40),
+    st.sampled_from([1, 3]),
+)
+@settings(max_examples=100, deadline=None)
+def test_midrun_subscription_equals_naive_oracle(warmup, late, script, split, shards):
+    """Questions subscribed mid-run -- reusing nodes the warmup batch
+    created (including boolean-only nodes an ordered question attaches to)
+    -- must match an oracle that starts accumulating at subscription time."""
+    split = min(split, len(script))
+    engine = MultiQuestionEngine(shards=shards)
+    for i, q in enumerate(with_duplicates(warmup)):
+        engine.subscribe(q, name=f"w{i}")
+
+    depth = {}
+    active = []  # (sentence, outermost activation time), activation order
+    t = 0.0
+
+    def drive(part):
+        """Feed transitions; yield ``t`` after each membership change."""
+        nonlocal t
+        for idx, prefer_nested in part:
+            sent = SENTENCES[idx]
+            t += 1.0
+            if depth.get(sent, 0) and not prefer_nested:
+                d = depth[sent] - 1
+                depth[sent] = d
+                engine.transition(sent, False, t)
+                if d == 0:
+                    active[:] = [(s, at) for s, at in active if s != sent]
+                    yield t
+            else:
+                d = depth.get(sent, 0)
+                depth[sent] = d + 1
+                engine.transition(sent, True, t)
+                if d == 0:
+                    active.append((sent, t))
+                    yield t
+
+    for _ in drive(script[:split]):
+        pass
+
+    late_qs = with_duplicates(late)
+    # deliberately reuse warmup-interned patterns as ordered questions: the
+    # engine must not trust entry lists of nodes that had no ordered
+    # subscribers while the prefix ran
+    for q in warmup:
+        if isinstance(q, PerformanceQuestion):
+            late_qs.append(OrderedQuestion("reuse", q.components))
+        elif isinstance(q, QAtom):
+            late_qs.append(OrderedQuestion("reuse", (q.pattern,)))
+    subs = [engine.subscribe(q, name=f"l{i}", now=t) for i, q in enumerate(late_qs)]
+    oracle = [NaiveWatcher() for _ in subs]
+    for w, q in zip(oracle, late_qs, strict=True):
+        w.apply(naive_eval(q, active), t)
+
+    for now in drive(script[split:]):
+        for w, q in zip(oracle, late_qs, strict=True):
+            w.apply(naive_eval(q, active), now)
+
+    end = t + 1.0
+    for sub, w in zip(subs, oracle, strict=True):
+        mw = sub.watcher
+        assert mw.satisfied == w.satisfied
+        assert mw.transitions == w.transitions
+        assert mw.satisfied_time == w.satisfied_time
+        assert mw.closed_intervals(end) == w.closed_intervals(end)

@@ -61,6 +61,12 @@ def test_parse_subscribe_roundtrip():
         '{"questions": [{"patterns": []}]}',
         '{"questions": [{"patterns": ["{}"]}]}',  # empty pattern
         '{"questions": [{"patterns": ["{A Sum}bad"]}]}',  # bad suffix
+        # one name, two structurally different questions: would silently
+        # collapse to the first question's watcher in the engine name table
+        '{"questions": [{"name": "n", "patterns": ["{A Sum}"]},'
+        ' {"name": "n", "patterns": ["{B Sum}"]}]}',
+        '{"questions": [{"name": "n", "patterns": ["{A Sum}"]},'
+        ' {"name": "n", "patterns": ["{A Sum}"], "ordered": true}]}',
     ],
 )
 def test_parse_subscribe_rejects(line):
@@ -155,6 +161,63 @@ def test_bad_subscription_gets_error_event(db_trace):
     msg, (payload, divergence) = asyncio.run(scenario())
     assert msg["event"] == "error" and "questions" in msg["message"]
     assert divergence == 0 and payload["questions"]
+
+
+def test_parse_subscribe_allows_identical_duplicates_under_one_name():
+    specs, _ = parse_subscribe(
+        json.dumps(
+            {
+                "questions": [
+                    {"name": "n", "patterns": ["{A Sum}", "{B Sum}"]},
+                    # same structural question (conjunction order is free)
+                    {"name": "n", "patterns": ["{B Sum}", "{A Sum}"]},
+                ]
+            }
+        )
+    )
+    assert len(specs) == 2
+
+
+def test_cross_client_name_collision_rejects_batch(db_trace):
+    async def scenario():
+        server = ServeServer(TraceSource(db_trace), subscribers=2, once=True)
+        task = asyncio.create_task(server.serve())
+        while server.port == 0 and not task.done():
+            await asyncio.sleep(0.01)
+
+        async def subscribe(patterns):
+            reader, writer = await asyncio.open_connection("127.0.0.1", server.port)
+            await reader.readline()  # hello
+            writer.write(
+                json.dumps(
+                    {"questions": [{"name": "shared", "patterns": patterns}]}
+                ).encode()
+                + b"\n"
+            )
+            await writer.drain()
+            msgs = []
+            while True:
+                line = await reader.readline()
+                if not line:
+                    break
+                msgs.append(json.loads(line))
+            writer.close()
+            return msgs
+
+        results = await asyncio.gather(
+            subscribe(["{server0 DiskRead}"]),
+            subscribe(["{Q0 QueryActive}"]),
+        )
+        await asyncio.wait_for(task, timeout=10)
+        return results
+
+    for msgs in asyncio.run(scenario()):
+        # each request is individually valid (subscribed), but the batch
+        # maps one name to two different questions, so it is rejected
+        # instead of silently answering with the first question's results
+        assert msgs[0]["event"] == "subscribed"
+        assert msgs[-1]["event"] == "error"
+        assert "shared" in msgs[-1]["message"]
 
 
 # ----------------------------------------------------------------------
