@@ -68,11 +68,14 @@ class Diagnostic:
     message: str
     path: str = ""
     record: int | None = None  # PIF record index (0-based, as the parser counts)
-    line: int | None = None  # source line (listings, MDL, CMF)
+    line: int | None = None  # source line (listings, MDL, CMF, .map)
+    col: int | None = None  # source column (1-based; only with line)
 
     def location(self) -> str:
         loc = self.path or "<input>"
         if self.line is not None:
+            if self.col is not None:
+                return f"{loc}:{self.line}:{self.col}"
             return f"{loc}:{self.line}"
         if self.record is not None:
             return f"{loc}:rec{self.record}"
@@ -92,13 +95,14 @@ def diag(
     record: int | None = None,
     line: int | None = None,
     severity: Severity | None = None,
+    col: int | None = None,
 ) -> Diagnostic:
     """Build a diagnostic, defaulting severity from the code registry."""
     try:
         default, _summary = CODES[code]
     except KeyError:
         raise ValueError(f"unregistered diagnostic code {code!r}") from None
-    return Diagnostic(code, severity or default, message, path, record, line)
+    return Diagnostic(code, severity or default, message, path, record, line, col)
 
 
 def max_severity(diagnostics: list[Diagnostic]) -> Severity | None:

@@ -73,6 +73,12 @@ def _error_line(exc: Exception) -> int | None:
     return int(m.group(1)) if m else None
 
 
+def _error_col(exc: Exception) -> int | None:
+    """Pull a source column out of an exception, if it reports one."""
+    col = getattr(exc, "col", None)
+    return col if isinstance(col, int) else None
+
+
 def _classify(path: str) -> str:
     lower = path.lower()
     # .rtrcx before .rtrc would not matter for endswith, but keep both
@@ -118,7 +124,15 @@ def lint_paths(
         try:
             doc = load_pif(path)
         except Exception as exc:
-            out.append(diag("NV000", f"cannot load PIF: {exc}", path, line=_error_line(exc)))
+            out.append(
+                diag(
+                    "NV000",
+                    f"cannot load PIF: {exc}",
+                    path,
+                    line=_error_line(exc),
+                    col=_error_col(exc),
+                )
+            )
             continue
         out.extend(analyze_pif(doc, path))
         docs.append((path, doc))
@@ -130,7 +144,15 @@ def lint_paths(
                 source = fh.read()
             program = compile_source(source, source_file=path)
         except Exception as exc:
-            out.append(diag("NV000", f"cannot compile: {exc}", path, line=_error_line(exc)))
+            out.append(
+                diag(
+                    "NV000",
+                    f"cannot compile: {exc}",
+                    path,
+                    line=_error_line(exc),
+                    col=_error_col(exc),
+                )
+            )
             continue
         out.extend(analyze_program(program, path))
         generated = generate_pif(program.listing)
@@ -208,6 +230,7 @@ def format_json(result: LintResult) -> str:
                 "path": d.path,
                 "record": d.record,
                 "line": d.line,
+                "col": d.col,
             }
             for d in result.diagnostics
         ],

@@ -12,6 +12,8 @@ Usage::
     python -m repro trace record db --out run.rtrc --clients 2
     python -m repro trace query run.rtrc --pattern "{Q0 QueryActive}" --mappings
     python -m repro lint examples/fragment.pif run.rtrc --mdl-library --fail-on error
+    python -m repro mapc check examples/fragment.map
+    python -m repro mapc build examples/heat.map --pif heat.pif
 
 Exit codes: 0 success, 1 findings/divergence at or above the requested
 threshold, 2 usage or input errors.
@@ -233,6 +235,60 @@ def build_parser() -> argparse.ArgumentParser:
         "--jobs", type=int, default=None, metavar="N",
         help="parallel segment-scan workers for columnar trace inputs",
     )
+
+    p_mapc = sub.add_parser(
+        "mapc", help="compile, check, format and decompile mapping DSL (.map) programs"
+    )
+    msub = p_mapc.add_subparsers(dest="mapc_command", required=True)
+
+    m_check = msub.add_parser(
+        "check", help="compile and NV-lint .map programs; findings carry line:col carets"
+    )
+    m_check.add_argument("files", nargs="+", metavar="FILE.map")
+    m_check.add_argument("--format", choices=("text", "json"), default="text")
+    m_check.add_argument(
+        "--fail-on",
+        choices=("warn", "error"),
+        default="error",
+        help="exit 1 when findings at/above this severity exist (default: error)",
+    )
+
+    m_build = msub.add_parser(
+        "build", help="compile a .map program to PIF (and MDL) artifacts"
+    )
+    m_build.add_argument("file", metavar="FILE.map")
+    m_build.add_argument("--pif", metavar="OUT", help="write the compiled PIF here")
+    m_build.add_argument(
+        "--mdl", metavar="OUT", help="write embedded metric blocks as MDL here"
+    )
+    m_build.add_argument(
+        "--fail-on",
+        choices=("warn", "error"),
+        default="error",
+        help="refuse to build when findings at/above this severity exist",
+    )
+
+    m_format = msub.add_parser(
+        "format", help="rewrite .map programs in canonical layout"
+    )
+    m_format.add_argument("files", nargs="+", metavar="FILE.map")
+    m_format.add_argument(
+        "--write", action="store_true", help="rewrite files in place (default: stdout)"
+    )
+    m_format.add_argument(
+        "--check",
+        action="store_true",
+        help="exit 1 if any file is not already canonically formatted",
+    )
+
+    m_decompile = msub.add_parser(
+        "decompile", help="lift an existing PIF (and optional MDL) into DSL text"
+    )
+    m_decompile.add_argument("file", metavar="FILE.pif")
+    m_decompile.add_argument(
+        "--mdl", metavar="FILE.mdl", help="also lift these metric definitions"
+    )
+    m_decompile.add_argument("-o", "--out", metavar="OUT.map", help="write DSL text here")
 
     p_serve = sub.add_parser(
         "serve",
@@ -734,6 +790,111 @@ def _cmd_lint(args) -> int:
     return 1 if result.fails(Severity.parse(args.fail_on)) else 0
 
 
+def _mapc_check(args) -> int:
+    from .analyze import LintResult, Severity, format_json
+    from .analyze.diagnostics import counts
+    from .mapdsl import check_map
+
+    results = [
+        check_map(Path(path).read_text(encoding="utf-8"), path) for path in args.files
+    ]
+    diagnostics = [d for r in results for d in r.diagnostics]
+    if args.format == "json":
+        print(format_json(LintResult(diagnostics=diagnostics, inputs=list(args.files))))
+    else:
+        for r in results:
+            if r.diagnostics:
+                print(r.render())
+        c = counts(diagnostics)
+        print(
+            f"{len(args.files)} input(s): "
+            f"{c['error']} error(s), {c['warn']} warning(s), {c['info']} info"
+        )
+    worst = max((d.severity for d in diagnostics), default=None)
+    return 1 if worst is not None and worst >= Severity.parse(args.fail_on) else 0
+
+
+def _mapc_build(args) -> int:
+    from .analyze import Severity
+    from .mapdsl import check_map
+    from .mdl import dumps_mdl
+    from .pif import dumps as pif_dumps_text
+
+    result = check_map(Path(args.file).read_text(encoding="utf-8"), args.file)
+    threshold = Severity.parse(args.fail_on)
+    blocking = [d for d in result.diagnostics if d.severity >= threshold]
+    if result.elaborated is None or blocking:
+        print(result.render())
+        print(f"mapc: {args.file}: not built ({len(result.diagnostics)} finding(s))")
+        return 1
+    for d in result.diagnostics:  # below-threshold findings still print
+        print(d.render())
+    elab = result.elaborated
+    doc = elab.document
+    if args.pif:
+        Path(args.pif).write_text(pif_dumps_text(doc), encoding="utf-8")
+        print(f"PIF written to {args.pif}")
+    if args.mdl:
+        Path(args.mdl).write_text(dumps_mdl(elab.metrics), encoding="utf-8")
+        print(f"MDL written to {args.mdl} ({len(elab.metrics)} metric(s))")
+    if not args.pif and not args.mdl:
+        print(pif_dumps_text(doc), end="")
+        return 0
+    print(
+        f"compiled {args.file}: {len(doc.levels)} level(s), {len(doc.nouns)} noun(s), "
+        f"{len(doc.verbs)} verb(s), {len(doc.mappings)} mapping(s)"
+    )
+    return 0
+
+
+def _mapc_format(args) -> int:
+    from .mapdsl import format_program, parse_map
+
+    stale = []
+    for path in args.files:
+        source = Path(path).read_text(encoding="utf-8")
+        text = format_program(parse_map(source))
+        if args.check:
+            if text != source:
+                stale.append(path)
+        elif args.write:
+            if text != source:
+                Path(path).write_text(text, encoding="utf-8")
+                print(f"reformatted {path}")
+        else:
+            sys.stdout.write(text)
+    for path in stale:
+        print(f"{path}: not canonically formatted")
+    return 1 if stale else 0
+
+
+def _mapc_decompile(args) -> int:
+    from .mapdsl import decompile
+    from .mdl.parser import parse_mdl
+    from .pif import load as load_pif
+
+    doc = load_pif(args.file)
+    metrics = None
+    if args.mdl:
+        metrics = parse_mdl(Path(args.mdl).read_text(encoding="utf-8"))
+    text = decompile(doc, metrics)
+    if args.out:
+        Path(args.out).write_text(text, encoding="utf-8")
+        print(f"DSL written to {args.out}")
+    else:
+        sys.stdout.write(text)
+    return 0
+
+
+def _cmd_mapc(args) -> int:
+    return {
+        "check": _mapc_check,
+        "build": _mapc_build,
+        "format": _mapc_format,
+        "decompile": _mapc_decompile,
+    }[args.mapc_command](args)
+
+
 def _cmd_serve(args) -> int:
     from .serve import (
         DbStudySource,
@@ -799,6 +960,7 @@ _COMMANDS = {
     "trace": _cmd_trace,
     "serve": _cmd_serve,
     "lint": _cmd_lint,
+    "mapc": _cmd_mapc,
 }
 
 

@@ -1,0 +1,66 @@
+"""repro.mapdsl -- the declarative mapping DSL.
+
+One ``.map`` file declares abstraction levels, nouns, verbs, mapping
+rules (with families, quantifiers and wildcards) and MDL metric blocks;
+the package compiles it to the same :class:`~repro.pif.records.PIFDocument`
+and :class:`~repro.mdl.ast.MetricDef` objects the hand-written artifact
+paths produce, type-checked by the NV lint registry with findings mapped
+back to ``line:col`` spans in the DSL source.
+
+Front door functions:
+
+* :func:`parse_map` -- source text to typed AST
+* :func:`elaborate` / :func:`compile_map` -- AST (or source) to artifacts
+* :func:`check_map` -- compile + NV lint, findings as DSL diagnostics
+* :func:`format_program` -- canonical layout, reparses AST-equal
+* :func:`decompile` -- lift existing PIF/MDL into DSL text
+"""
+
+from .ast import (
+    ForRule,
+    LevelDecl,
+    MapRule,
+    MetricDecl,
+    NameRef,
+    NameTemplate,
+    NounDecl,
+    Program,
+    SentenceExpr,
+    VerbDecl,
+)
+from .checker import CheckResult, check_map, compile_map
+from .decompile import decompile, lift
+from .elaborate import Elaborated, SourceMap, elaborate
+from .errors import MapDSLError, MapLexError, MapParseError, MapResolveError
+from .formatter import format_program
+from .lexer import Token, tokenize
+from .parser import parse_map
+
+__all__ = [
+    "MapDSLError",
+    "MapLexError",
+    "MapParseError",
+    "MapResolveError",
+    "Token",
+    "tokenize",
+    "parse_map",
+    "Program",
+    "LevelDecl",
+    "NounDecl",
+    "VerbDecl",
+    "NameTemplate",
+    "NameRef",
+    "SentenceExpr",
+    "MapRule",
+    "ForRule",
+    "MetricDecl",
+    "elaborate",
+    "Elaborated",
+    "SourceMap",
+    "compile_map",
+    "check_map",
+    "CheckResult",
+    "format_program",
+    "decompile",
+    "lift",
+]

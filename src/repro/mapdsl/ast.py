@@ -1,0 +1,194 @@
+"""Typed AST for the mapping DSL.
+
+Every node carries the :class:`~repro.span.SourceSpan` of the text that
+produced it, but spans are excluded from equality (``compare=False``):
+``parse(format(parse(text)))`` must equal ``parse(text)`` even though
+formatting moves everything around.  Metric declarations embed the MDL
+object model directly (:class:`repro.mdl.ast.MetricDef`), so elaboration
+of metrics is the identity and the existing MDL lint pass applies
+unchanged.
+
+Name templates: a :class:`NameTemplate` is how families spell their
+members.  An unquoted template (``line``) appends the index (``line3``);
+a quoted template must contain a ``$`` placeholder that the index
+replaces (``"cmpe_heat_$_()"`` -> ``cmpe_heat_2_()``).  Outside family
+declarations and indexed references, ``$`` in strings is literal text.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Union
+
+from ..mdl.ast import MetricDef
+from ..span import SourceSpan
+from .errors import MapResolveError
+
+__all__ = [
+    "NameTemplate",
+    "LevelDecl",
+    "NounDecl",
+    "VerbDecl",
+    "NameRef",
+    "SentenceExpr",
+    "MapRule",
+    "ForRule",
+    "MetricDecl",
+    "Program",
+    "Item",
+]
+
+_SPAN0 = SourceSpan(1, 1)
+
+
+def _span_field():
+    return field(default=_SPAN0, compare=False)
+
+
+@dataclass(frozen=True)
+class NameTemplate:
+    """A (possibly indexed) name: literal text plus quoting information.
+
+    ``quoted`` records how the author spelled it, which decides both the
+    member-name formation rule and how the formatter re-emits it.
+    """
+
+    text: str
+    quoted: bool = False
+    span: SourceSpan = _span_field()
+
+    def instantiate(self, index: int) -> str:
+        """The member name this template forms at ``index``."""
+        if not self.quoted:
+            return f"{self.text}{index}"
+        if "$" not in self.text:
+            raise MapResolveError(
+                f"quoted family name {self.text!r} needs a '$' index placeholder",
+                self.span,
+            )
+        return self.text.replace("$", str(index))
+
+    def literal(self) -> str:
+        """The template as a plain (non-family) name."""
+        return self.text
+
+    def key(self) -> str:
+        """Registry key shared by a family's declaration and references."""
+        return self.text if self.quoted else f"{self.text}$"
+
+
+@dataclass(frozen=True)
+class LevelDecl:
+    name: str
+    rank: int
+    description: str = ""
+    span: SourceSpan = _span_field()
+
+
+@dataclass(frozen=True)
+class NounDecl:
+    """A noun -- or, when ``lo``/``hi`` are set, a whole family of nouns."""
+
+    template: NameTemplate
+    level: str
+    description: str = ""
+    lo: int | None = None
+    hi: int | None = None
+    span: SourceSpan = _span_field()
+
+    @property
+    def is_family(self) -> bool:
+        return self.lo is not None
+
+
+@dataclass(frozen=True)
+class VerbDecl:
+    name: str
+    level: str
+    description: str = ""
+    quoted: bool = False
+    span: SourceSpan = _span_field()
+
+
+@dataclass(frozen=True)
+class NameRef:
+    """One component of a sentence: a name, optionally indexed.
+
+    ``index`` is an int (literal), a str (a ``for`` binder), ``"*"``
+    (the whole-family wildcard), or None (plain name).
+    """
+
+    template: NameTemplate
+    index: Union[int, str, None] = None
+    span: SourceSpan = _span_field()
+
+
+@dataclass(frozen=True)
+class SentenceExpr:
+    """``{ noun, ..., verb }`` -- nouns first, verb last (Figure 2)."""
+
+    nouns: tuple[NameRef, ...]
+    verb: NameRef
+    span: SourceSpan = _span_field()
+
+
+@dataclass(frozen=True)
+class MapRule:
+    source: SentenceExpr
+    destination: SentenceExpr
+    span: SourceSpan = _span_field()
+
+
+@dataclass(frozen=True)
+class ForRule:
+    """``for i in lo..hi`` over one rule or a braced block of rules."""
+
+    binder: str
+    lo: int
+    hi: int
+    body: tuple["Rule", ...] = ()
+    braced: bool = False
+    span: SourceSpan = _span_field()
+
+
+Rule = Union[MapRule, ForRule]
+
+
+@dataclass(frozen=True)
+class MetricDecl:
+    """An embedded MDL metric block, parsed straight to a MetricDef.
+
+    ``clause_spans`` parallels ``definition.clauses`` so NV009/NV010
+    findings on a clause can point back at its exact source line.
+    """
+
+    definition: MetricDef
+    span: SourceSpan = _span_field()
+    name_span: SourceSpan = _span_field()
+    clause_spans: tuple[SourceSpan, ...] = field(default=(), compare=False)
+
+
+Item = Union[LevelDecl, NounDecl, VerbDecl, MapRule, ForRule, MetricDecl]
+
+
+@dataclass(frozen=True)
+class Program:
+    """A whole ``.map`` compilation unit, in source order."""
+
+    items: tuple[Item, ...]
+    span: SourceSpan = _span_field()
+
+    def levels(self) -> list[LevelDecl]:
+        return [i for i in self.items if isinstance(i, LevelDecl)]
+
+    def nouns(self) -> list[NounDecl]:
+        return [i for i in self.items if isinstance(i, NounDecl)]
+
+    def verbs(self) -> list[VerbDecl]:
+        return [i for i in self.items if isinstance(i, VerbDecl)]
+
+    def rules(self) -> list[Rule]:
+        return [i for i in self.items if isinstance(i, (MapRule, ForRule))]
+
+    def metrics(self) -> list[MetricDecl]:
+        return [i for i in self.items if isinstance(i, MetricDecl)]

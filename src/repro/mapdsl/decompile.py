@@ -1,0 +1,71 @@
+"""Lift hand-written PIF/MDL artifacts back into DSL source text.
+
+``decompile`` is the inverse direction of the elaborator: every record
+of a :class:`~repro.pif.records.PIFDocument` becomes one declaration or
+rule, and every :class:`~repro.mdl.ast.MetricDef` one metric block.  No
+family or quantifier inference is attempted -- the lifted program is the
+fully-expanded spelling -- so compiling the result reproduces the input
+document record for record, which is the round-trip guarantee
+``repro mapc decompile`` ships under: ``compile(decompile(doc))`` is
+canonically equal to ``doc``.
+"""
+
+from __future__ import annotations
+
+from ..mdl.ast import MetricDef
+from ..pif.records import PIFDocument, SentenceRef
+from .ast import (
+    Item,
+    LevelDecl,
+    MapRule,
+    MetricDecl,
+    NameRef,
+    NameTemplate,
+    NounDecl,
+    Program,
+    SentenceExpr,
+    VerbDecl,
+)
+from .formatter import _IDENT_RE, format_program
+
+__all__ = ["decompile", "lift"]
+
+
+def _template(name: str) -> NameTemplate:
+    """Bare spelling when the name lexes as one identifier, else quoted."""
+    return NameTemplate(name, quoted=not _IDENT_RE.match(name))
+
+
+def _sentence(ref: SentenceRef) -> SentenceExpr:
+    return SentenceExpr(
+        tuple(NameRef(_template(n)) for n in ref.nouns),
+        NameRef(_template(ref.verb)),
+    )
+
+
+def lift(doc: PIFDocument, metrics: list[MetricDef] | None = None) -> Program:
+    """A DSL program whose elaboration reproduces ``doc`` (and ``metrics``)."""
+    items: list[Item] = []
+    for lv in doc.levels:
+        items.append(LevelDecl(lv.name, lv.rank, lv.description))
+    for noun in doc.nouns:
+        items.append(NounDecl(_template(noun.name), noun.abstraction, noun.description))
+    for verb in doc.verbs:
+        items.append(
+            VerbDecl(
+                verb.name,
+                verb.abstraction,
+                verb.description,
+                quoted=not _IDENT_RE.match(verb.name),
+            )
+        )
+    for md in doc.mappings:
+        items.append(MapRule(_sentence(md.source), _sentence(md.destination)))
+    for m in metrics or []:
+        items.append(MetricDecl(m))
+    return Program(tuple(items))
+
+
+def decompile(doc: PIFDocument, metrics: list[MetricDef] | None = None) -> str:
+    """PIF (+ optional MDL metrics) as canonical DSL source text."""
+    return format_program(lift(doc, metrics))

@@ -1,0 +1,275 @@
+"""Elaboration: a parsed DSL program -> PIF + MDL artifacts + source map.
+
+The elaborator is deliberately *permissive*: it expands families,
+quantifiers and wildcards into plain PIF records and lets the NV lint
+passes judge the result.  Only defects that make expansion itself
+impossible are raised here as :class:`MapResolveError` -- an unbound
+binder, a wildcard over an undeclared family, two wildcards whose index
+sets disagree, a verb with an index.  Everything else (undefined names,
+rank conflicts, duplicate records, level cycles...) flows through
+``repro lint``'s NV registry and comes back as a DSL diagnostic via the
+:class:`SourceMap`.
+
+Expansion rules:
+
+* a family declaration ``noun line[3..6] @ L "line #$ ..."`` emits one
+  NOUN record per index, substituting ``$`` in quoted name templates and
+  descriptions (unquoted templates append the index);
+* ``for i in lo..hi`` iterates its body once per index with ``i`` bound;
+  nested quantifiers shadow outer binders;
+* a ``[*]`` wildcard iterates the referenced family's declared index
+  set; every wildcard in one rule iterates in lockstep, so all of them
+  must reference families with identical index ranges (use nested
+  ``for`` for a cross product).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..mdl.ast import MetricDef
+from ..pif.records import LevelDef, MappingDef, NounDef, PIFDocument, SentenceRef, VerbDef
+from ..span import SourceSpan
+from .ast import (
+    ForRule,
+    LevelDecl,
+    MapRule,
+    MetricDecl,
+    NameRef,
+    NounDecl,
+    Program,
+    SentenceExpr,
+    VerbDecl,
+)
+from .errors import MapResolveError
+
+__all__ = ["SourceMap", "Elaborated", "elaborate"]
+
+
+@dataclass(frozen=True)
+class _Family:
+    """A declared noun family: index range + declaration span."""
+
+    lo: int
+    hi: int
+    span: SourceSpan
+
+    @property
+    def indices(self) -> range:
+        return range(self.lo, self.hi + 1)
+
+
+@dataclass
+class SourceMap:
+    """Where every emitted artifact came from in the ``.map`` source.
+
+    ``records`` is keyed by the *canonical record index* of the compiled
+    :class:`PIFDocument` (the order :func:`repro.pif.format.dumps`
+    writes: levels, nouns, verbs, mappings) -- the same index the NV
+    passes put in ``Diagnostic.record``, so the checker's remapping is a
+    dictionary lookup.  ``names`` maps declared level/noun/verb names to
+    their declaration spans for record-less findings (NV006/NV007/NV008
+    mention names, not records).  ``metrics``/``metric_clauses`` do the
+    same for the MDL side.
+    """
+
+    records: dict[int, SourceSpan] = field(default_factory=dict)
+    names: dict[str, SourceSpan] = field(default_factory=dict)
+    mapping_sources: dict[str, SourceSpan] = field(default_factory=dict)
+    metrics: dict[str, SourceSpan] = field(default_factory=dict)
+    metric_clauses: dict[str, tuple[tuple[SourceSpan, ...], MetricDecl]] = field(
+        default_factory=dict
+    )
+    program_span: SourceSpan = SourceSpan(1, 1)
+
+    def span_for(self, record: int | None, message: str) -> SourceSpan:
+        """Best source span for an NV finding on the compiled document."""
+        if record is not None and record in self.records:
+            return self.records[record]
+        # Record-less findings quote the things they complain about
+        # (NV006 cycle nodes, NV007 the stranded level, NV008 the relay
+        # source); the *first* name quoted is the subject.  Point at that
+        # declaration, breaking position ties toward the longer name so
+        # 'line3' beats a prefix like 'line'.
+        best: SourceSpan | None = None
+        best_key = (len(message) + 1, 0)
+        for name, span in {**self.names, **self.mapping_sources}.items():
+            pos = message.find(repr(name))
+            if pos < 0:
+                pos = message.find(name)
+            if pos < 0:
+                continue
+            key = (pos, -len(name))
+            if key < best_key:
+                best, best_key = span, key
+        return best if best is not None else self.program_span
+
+
+@dataclass
+class Elaborated:
+    """Everything one compilation produced."""
+
+    document: PIFDocument
+    metrics: list[MetricDef]
+    source_map: SourceMap
+    program: Program
+
+
+class _Elaborator:
+    def __init__(self, program: Program):
+        self.program = program
+        self.families: dict[str, _Family] = {}
+        self.doc = PIFDocument()
+        self.metrics: list[MetricDef] = []
+        self.smap = SourceMap(program_span=program.span)
+        # mapping spans are collected first, then offset to canonical
+        # record indices once the level/noun/verb counts are final
+        self._mapping_spans: list[SourceSpan] = []
+
+    # ------------------------------------------------------------------
+    def run(self) -> Elaborated:
+        for decl in self.program.nouns():
+            if decl.is_family:
+                key = decl.template.key()
+                prev = self.families.get(key)
+                if prev is not None:
+                    raise MapResolveError(
+                        f"family {decl.template.text!r} already declared at "
+                        f"line {prev.span.line}",
+                        decl.span,
+                    )
+                self.families[key] = _Family(decl.lo, decl.hi, decl.span)
+        for item in self.program.items:
+            if isinstance(item, LevelDecl):
+                self._level(item)
+            elif isinstance(item, NounDecl):
+                self._noun(item)
+            elif isinstance(item, VerbDecl):
+                self._verb(item)
+            elif isinstance(item, (MapRule, ForRule)):
+                self._rule(item, {})
+            elif isinstance(item, MetricDecl):
+                self._metric(item)
+        # canonical record indices: levels, nouns, verbs, then mappings
+        base = len(self.doc.levels) + len(self.doc.nouns) + len(self.doc.verbs)
+        for i, span in enumerate(self._mapping_spans):
+            self.smap.records[base + i] = span
+        return Elaborated(self.doc, self.metrics, self.smap, self.program)
+
+    # ------------------------------------------------------------------
+    # declarations
+    # ------------------------------------------------------------------
+    def _level(self, decl: LevelDecl) -> None:
+        self.smap.records[len(self.doc.levels)] = decl.span
+        self.smap.names.setdefault(decl.name, decl.span)
+        self.doc.levels.append(LevelDef(decl.name, decl.rank, decl.description))
+
+    def _noun(self, decl: NounDecl) -> None:
+        names: list[str]
+        descriptions: list[str]
+        if decl.is_family:
+            names = [decl.template.instantiate(i) for i in range(decl.lo, decl.hi + 1)]
+            descriptions = [
+                decl.description.replace("$", str(i))
+                for i in range(decl.lo, decl.hi + 1)
+            ]
+        else:
+            names = [decl.template.literal()]
+            descriptions = [decl.description]
+        for name, description in zip(names, descriptions, strict=True):
+            self.smap.records[len(self.doc.levels) + len(self.doc.nouns)] = decl.span
+            self.smap.names.setdefault(name, decl.span)
+            self.doc.nouns.append(NounDef(name, decl.level, description))
+
+    def _verb(self, decl: VerbDecl) -> None:
+        index = len(self.doc.levels) + len(self.doc.nouns) + len(self.doc.verbs)
+        self.smap.records[index] = decl.span
+        self.smap.names.setdefault(decl.name, decl.span)
+        self.doc.verbs.append(VerbDef(decl.name, decl.level, decl.description))
+
+    def _metric(self, decl: MetricDecl) -> None:
+        self.metrics.append(decl.definition)
+        self.smap.metrics.setdefault(decl.definition.name, decl.name_span)
+        self.smap.metric_clauses.setdefault(
+            decl.definition.name, (decl.clause_spans, decl)
+        )
+
+    # ------------------------------------------------------------------
+    # rules
+    # ------------------------------------------------------------------
+    def _rule(self, rule, binders: dict[str, int]) -> None:
+        if isinstance(rule, ForRule):
+            for index in range(rule.lo, rule.hi + 1):
+                inner = {**binders, rule.binder: index}
+                for sub in rule.body:
+                    self._rule(sub, inner)
+            return
+        self._map(rule, binders)
+
+    def _map(self, rule: MapRule, binders: dict[str, int]) -> None:
+        wildcards = self._wildcard_indices(rule)
+        for star in wildcards if wildcards is not None else [None]:
+            src = self._sentence(rule.source, binders, star)
+            dst = self._sentence(rule.destination, binders, star)
+            self._mapping_spans.append(rule.span)
+            self.smap.mapping_sources.setdefault(str(src), rule.span)
+            self.doc.mappings.append(MappingDef(src, dst))
+
+    def _wildcard_indices(self, rule: MapRule) -> range | None:
+        """The lockstep index set of a rule's ``[*]`` wildcards, if any."""
+        found: tuple[NameRef, _Family] | None = None
+        for sent in (rule.source, rule.destination):
+            for ref in sent.nouns:
+                if ref.index != "*":
+                    continue
+                family = self.families.get(ref.template.key())
+                if family is None:
+                    raise MapResolveError(
+                        f"wildcard over undeclared family {ref.template.text!r} "
+                        f"(declare it as 'noun {ref.template.text}[lo..hi] @ ...')",
+                        ref.span,
+                    )
+                if found is not None and found[1].indices != family.indices:
+                    raise MapResolveError(
+                        f"wildcards expand in lockstep, but family "
+                        f"{ref.template.text!r} spans {family.lo}..{family.hi} while "
+                        f"{found[0].template.text!r} spans "
+                        f"{found[1].lo}..{found[1].hi} (use nested 'for' for a "
+                        f"cross product)",
+                        ref.span,
+                    )
+                if found is None:
+                    found = (ref, family)
+        return found[1].indices if found is not None else None
+
+    def _sentence(
+        self, expr: SentenceExpr, binders: dict[str, int], star: int | None
+    ) -> SentenceRef:
+        if expr.verb.index is not None:
+            raise MapResolveError(
+                "verbs cannot be indexed (families quantify over nouns)",
+                expr.verb.span,
+            )
+        nouns = tuple(self._name(ref, binders, star) for ref in expr.nouns)
+        return SentenceRef(nouns, expr.verb.template.literal())
+
+    def _name(self, ref: NameRef, binders: dict[str, int], star: int | None) -> str:
+        if ref.index is None:
+            return ref.template.literal()
+        if ref.index == "*":
+            assert star is not None  # _wildcard_indices resolved the set
+            return ref.template.instantiate(star)
+        if isinstance(ref.index, str):
+            if ref.index not in binders:
+                raise MapResolveError(
+                    f"unbound index binder {ref.index!r} (bind it with "
+                    f"'for {ref.index} in lo..hi')",
+                    ref.span,
+                )
+            return ref.template.instantiate(binders[ref.index])
+        return ref.template.instantiate(ref.index)
+
+
+def elaborate(program: Program) -> Elaborated:
+    """Expand a program into its PIF document, MDL metrics and source map."""
+    return _Elaborator(program).run()

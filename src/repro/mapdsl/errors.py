@@ -1,0 +1,52 @@
+"""Error types for the mapping DSL.
+
+Everything the front end can reject -- a bad character, a malformed rule,
+an unresolvable family reference -- raises :class:`MapDSLError` (or a
+subclass), carrying the 1-based :class:`~repro.span.SourceSpan` of the
+offending text.  This mirrors the trace codec's ``CodecError`` contract:
+*no* input text, however corrupt, may escape as a ``KeyError`` or
+``IndexError``; the fuzz suite enforces it.
+"""
+
+from __future__ import annotations
+
+from ..span import SourceSpan, caret_block
+
+__all__ = ["MapDSLError", "MapLexError", "MapParseError", "MapResolveError"]
+
+
+class MapDSLError(Exception):
+    """Base error for the mapping DSL; knows its source span.
+
+    ``str()`` is a plain one-liner (``line L, col C: message``);
+    :meth:`render` adds the offending source line with a caret, matching
+    the diagnostic output of ``repro mapc check``.
+    """
+
+    def __init__(self, message: str, span: SourceSpan | None = None, path: str = ""):
+        location = f"line {span.line}, col {span.col}: " if span is not None else ""
+        super().__init__(location + message)
+        self.message = message
+        self.span = span
+        self.path = path
+
+    def render(self, source: str) -> str:
+        """Multi-line rendering: location, message, source line, caret."""
+        where = self.path or "<map>"
+        if self.span is None:
+            return f"{where}: error: {self.message}"
+        head = f"{where}:{self.span.label()}: error: {self.message}"
+        caret = caret_block(source, self.span)
+        return head + ("\n" + caret if caret else "")
+
+
+class MapLexError(MapDSLError):
+    """A character sequence no token matches."""
+
+
+class MapParseError(MapDSLError):
+    """Token stream does not match the grammar."""
+
+
+class MapResolveError(MapDSLError):
+    """A rule references a family or binder that does not elaborate."""

@@ -1,0 +1,176 @@
+"""Canonical formatter for the mapping DSL.
+
+``format_program(parse_map(text))`` reparses to an AST equal to
+``parse_map(text)`` -- spans move, nothing else does.  The formatter
+therefore preserves everything the AST records about spelling (quoted
+vs. bare names, inline vs. braced ``for`` bodies) and normalizes only
+whitespace, comments and layout.
+"""
+
+from __future__ import annotations
+
+import re
+
+from ..mdl.ast import (
+    AtClause,
+    Comparison,
+    Condition,
+    Conjunction,
+    ContainsTest,
+    Disjunction,
+    MetricDef,
+    Negation,
+)
+from .ast import (
+    ForRule,
+    LevelDecl,
+    MapRule,
+    MetricDecl,
+    NameRef,
+    NameTemplate,
+    NounDecl,
+    Program,
+    Rule,
+    SentenceExpr,
+    VerbDecl,
+)
+
+__all__ = ["format_program"]
+
+_IDENT_RE = re.compile(r"[A-Za-z_][A-Za-z0-9_]*\Z")
+
+
+def _string(text: str) -> str:
+    """A DSL string literal for ``text`` (escapes ``\\`` and ``\"``)."""
+    if "\n" in text:
+        raise ValueError("DSL strings cannot contain newlines")
+    return '"' + text.replace("\\", "\\\\").replace('"', '\\"') + '"'
+
+
+def _name(text: str) -> str:
+    """Bare if it lexes as one identifier, quoted otherwise."""
+    return text if _IDENT_RE.match(text) else _string(text)
+
+
+def _template(tmpl: NameTemplate) -> str:
+    return _string(tmpl.text) if tmpl.quoted else tmpl.text
+
+
+def _ref(ref: NameRef) -> str:
+    text = _template(ref.template)
+    if ref.index is None:
+        return text
+    return f"{text}[{ref.index}]"
+
+
+def _sentence(expr: SentenceExpr) -> str:
+    parts = [_ref(r) for r in (*expr.nouns, expr.verb)]
+    return "{" + ", ".join(parts) + "}"
+
+
+def _value(value) -> str:
+    if isinstance(value, str):
+        return _string(value)
+    if isinstance(value, float) and value == int(value):
+        return str(int(value))
+    return str(value)
+
+
+def _condition(cond: Condition) -> str:
+    if isinstance(cond, Comparison):
+        return f"{cond.field} == {_value(cond.value)}"
+    if isinstance(cond, ContainsTest):
+        return f"{cond.field} contains {_value(cond.value)}"
+    if isinstance(cond, Negation):
+        return "not " + _condition(cond.term)
+    if isinstance(cond, Conjunction):
+        return " and ".join(_condition(t) for t in cond.terms)
+    if isinstance(cond, Disjunction):
+        return " or ".join(_condition(t) for t in cond.terms)
+    raise TypeError(f"unknown condition {cond!r}")
+
+
+def _clause(clause: AtClause) -> str:
+    parts = [f"    at {clause.point} {clause.phase}"]
+    if clause.condition is not None:
+        parts.append(f"when {_condition(clause.condition)}")
+    if clause.action == "count":
+        amount = clause.amount if clause.amount is not None else 1.0
+        parts.append(f"count {amount if isinstance(amount, str) else _value(amount)}")
+    else:
+        parts.append(clause.action)
+    return " ".join(parts) + ";"
+
+
+def _metric(definition: MetricDef) -> list[str]:
+    lines = [f"metric {definition.name} {{"]
+    if definition.units:
+        lines.append(f"    units {_string(definition.units)};")
+    if definition.description:
+        lines.append(f"    description {_string(definition.description)};")
+    style = (
+        definition.style
+        if definition.style != "timer"
+        else f"timer {definition.timer_kind}"
+    )
+    lines.append(f"    style {style};")
+    lines.append(f"    aggregate {definition.aggregate};")
+    lines.extend(_clause(c) for c in definition.clauses)
+    lines.append("}")
+    return lines
+
+
+def _rule_lines(rule: Rule, indent: str = "") -> list[str]:
+    if isinstance(rule, MapRule):
+        return [f"{indent}map {_sentence(rule.source)} -> {_sentence(rule.destination)}"]
+    head = f"{indent}for {rule.binder} in {rule.lo}..{rule.hi}"
+    if not rule.braced and len(rule.body) == 1:
+        # 'braced' is part of AST equality, so an unbraced quantifier must
+        # re-emit unbraced even when its body is itself multi-line
+        inner = _rule_lines(rule.body[0], indent)
+        return [f"{head} {inner[0][len(indent):]}"] + inner[1:]
+    lines = [head + " {"]
+    for sub in rule.body:
+        lines.extend(_rule_lines(sub, indent + "    "))
+    lines.append(indent + "}")
+    return lines
+
+
+def _item_lines(item) -> list[str]:
+    if isinstance(item, LevelDecl):
+        line = f"level {_name(item.name)} rank {item.rank}"
+        if item.description:
+            line += f" {_string(item.description)}"
+        return [line]
+    if isinstance(item, NounDecl):
+        line = f"noun {_template(item.template)}"
+        if item.is_family:
+            line += f"[{item.lo}..{item.hi}]"
+        line += f" @ {_name(item.level)}"
+        if item.description:
+            line += f" {_string(item.description)}"
+        return [line]
+    if isinstance(item, VerbDecl):
+        name = _string(item.name) if item.quoted else item.name
+        line = f"verb {name} @ {_name(item.level)}"
+        if item.description:
+            line += f" {_string(item.description)}"
+        return [line]
+    if isinstance(item, (MapRule, ForRule)):
+        return _rule_lines(item)
+    if isinstance(item, MetricDecl):
+        return _metric(item.definition)
+    raise TypeError(f"unknown item {item!r}")
+
+
+def format_program(program: Program) -> str:
+    """Render a program in canonical layout; output reparses AST-equal."""
+    chunks: list[str] = []
+    prev_kind: type | None = None
+    for item in program.items:
+        kind = MapRule if isinstance(item, ForRule) else type(item)
+        if chunks and (kind is not prev_kind or kind is MetricDecl):
+            chunks.append("")
+        chunks.extend(_item_lines(item))
+        prev_kind = kind
+    return "\n".join(chunks) + ("\n" if chunks else "")

@@ -1,0 +1,189 @@
+"""Tokenizer for the mapping DSL.
+
+Hand-written single-pass scanner producing :class:`Token` values that
+carry exact ``line:col`` spans -- the raw material for every caret
+diagnostic downstream.  Unlike the MDL tokenizer (line numbers only),
+columns are first-class here; the parser and elaborator only ever point
+at spans this lexer produced.
+
+Token kinds:
+
+``ident``    letters/digits/underscore, starting with a letter or ``_``
+``point``    dotted identifier (``cmrts.reduce``) -- metric bodies only
+``number``   integer or float literal (``3``, ``1.5``, ``-2``)
+``string``   double-quoted, ``\\"`` and ``\\\\`` escapes, no newlines;
+             a ``$`` is the family-index placeholder in family
+             declarations and literal text everywhere else
+``arrow``    ``->``
+``dotdot``   ``..``
+``eq``       ``==``
+``punct``    one of ``{ } [ ] , @ ; *``
+``eof``      end of input (always present, exactly once, last)
+
+``#`` comments run to end of line.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..span import SourceSpan
+from .errors import MapLexError
+
+__all__ = ["Token", "tokenize"]
+
+_PUNCT = set("{}[],@;*")
+_KEYWORD_HINT = (
+    "level noun verb map for in rank metric at when units description style "
+    "aggregate entry exit count start stop and or not contains"
+)
+
+
+@dataclass(frozen=True)
+class Token:
+    """One lexeme with its position.
+
+    ``value`` is the decoded payload for strings (escapes resolved except
+    ``\\$``) and the raw text otherwise.
+    """
+
+    kind: str
+    text: str
+    value: str
+    line: int
+    col: int
+
+    @property
+    def span(self) -> SourceSpan:
+        return SourceSpan(self.line, self.col, self.line, self.col + max(1, len(self.text)))
+
+
+def _scan_string(source: str, pos: int, line: int, col: int) -> tuple[str, int]:
+    """Decode one string literal starting at the opening quote.
+
+    Returns ``(decoded, end_pos)`` where ``end_pos`` is past the closing
+    quote.
+    """
+    out: list[str] = []
+    i = pos + 1
+    while i < len(source):
+        ch = source[i]
+        if ch == '"':
+            return "".join(out), i + 1
+        if ch == "\n":
+            break
+        if ch == "\\":
+            if i + 1 >= len(source):
+                break
+            nxt = source[i + 1]
+            if nxt in ('"', "\\"):
+                out.append(nxt)
+            else:
+                raise MapLexError(
+                    f"unknown string escape '\\{nxt}'",
+                    SourceSpan(line, col + (i - pos), line, col + (i - pos) + 2),
+                )
+            i += 2
+            continue
+        out.append(ch)
+        i += 1
+    raise MapLexError("unterminated string literal", SourceSpan(line, col))
+
+
+def tokenize(source: str) -> list[Token]:
+    """Tokenize DSL source; raises :class:`MapLexError` on bad input."""
+    tokens: list[Token] = []
+    pos = 0
+    line = 1
+    col = 1
+    n = len(source)
+    while pos < n:
+        ch = source[pos]
+        if ch == "\n":
+            pos += 1
+            line += 1
+            col = 1
+            continue
+        if ch in " \t\r":
+            pos += 1
+            col += 1
+            continue
+        if ch == "#":
+            end = source.find("\n", pos)
+            pos = n if end == -1 else end
+            continue
+        if ch == '"':
+            value, end = _scan_string(source, pos, line, col)
+            text = source[pos:end]
+            tokens.append(Token("string", text, value, line, col))
+            col += end - pos
+            pos = end
+            continue
+        two = source[pos : pos + 2]
+        if two == "->":
+            tokens.append(Token("arrow", "->", "->", line, col))
+            pos += 2
+            col += 2
+            continue
+        if two == "..":
+            tokens.append(Token("dotdot", "..", "..", line, col))
+            pos += 2
+            col += 2
+            continue
+        if two == "==":
+            tokens.append(Token("eq", "==", "==", line, col))
+            pos += 2
+            col += 2
+            continue
+        if ch.isdigit() or (ch == "-" and pos + 1 < n and source[pos + 1].isdigit()):
+            end = pos + 1
+            while end < n and source[end].isdigit():
+                end += 1
+            # a fractional part -- but never eat the '..' range operator
+            if end < n and source[end] == "." and end + 1 < n and source[end + 1].isdigit():
+                end += 1
+                while end < n and source[end].isdigit():
+                    end += 1
+            if end < n and source[end] in "eE":
+                mark = end + 1
+                if mark < n and source[mark] in "+-":
+                    mark += 1
+                if mark < n and source[mark].isdigit():
+                    end = mark
+                    while end < n and source[end].isdigit():
+                        end += 1
+            text = source[pos:end]
+            tokens.append(Token("number", text, text, line, col))
+            col += end - pos
+            pos = end
+            continue
+        if ch.isalpha() or ch == "_":
+            end = pos + 1
+            while end < n and (source[end].isalnum() or source[end] == "_"):
+                end += 1
+            kind = "ident"
+            # dotted point name (cmrts.reduce) -- dots glue identifiers
+            while (
+                end < n
+                and source[end] == "."
+                and end + 1 < n
+                and (source[end + 1].isalpha() or source[end + 1] == "_")
+                and source[end : end + 2] != ".."
+            ):
+                kind = "point"
+                end += 2
+                while end < n and (source[end].isalnum() or source[end] == "_"):
+                    end += 1
+            text = source[pos:end]
+            tokens.append(Token(kind, text, text, line, col))
+            col += end - pos
+            pos = end
+            continue
+        if ch in _PUNCT:
+            tokens.append(Token("punct", ch, ch, line, col))
+            pos += 1
+            col += 1
+            continue
+        raise MapLexError(f"unexpected character {ch!r}", SourceSpan(line, col))
+    tokens.append(Token("eof", "", "", line, col))
+    return tokens

@@ -1,0 +1,404 @@
+"""Recursive-descent parser for the mapping DSL.
+
+Grammar (``#`` comments run to end of line)::
+
+    program    : item*
+    item       : level_decl | noun_decl | verb_decl | rule | metric_decl
+    level_decl : 'level' name 'rank' INT [STRING]
+    noun_decl  : 'noun' name ['[' INT '..' INT ']'] '@' name [STRING]
+    verb_decl  : 'verb' name '@' name [STRING]
+    rule       : map_rule | for_rule
+    map_rule   : 'map' sentence '->' sentence
+    for_rule   : 'for' IDENT 'in' INT '..' INT (rule | '{' rule* '}')
+    sentence   : '{' name_ref (',' name_ref)+ '}'        # verb last
+    name_ref   : name ['[' (INT | IDENT | '*') ']']
+    name       : IDENT | STRING
+    metric_decl: 'metric' IDENT '{' metric_prop* '}'     # MDL body grammar
+
+The metric body follows :mod:`repro.mdl.parser`'s grammar exactly
+(``units``/``description``/``style``/``aggregate`` properties plus
+``at`` clauses with ``when`` guards), but is parsed here natively so
+every token has a column and every clause a span.
+
+All failures raise :class:`~repro.mapdsl.errors.MapParseError` with the
+span of the offending token.
+"""
+
+from __future__ import annotations
+
+from ..mdl.ast import (
+    AtClause,
+    Comparison,
+    Condition,
+    Conjunction,
+    ContainsTest,
+    Disjunction,
+    MetricDef,
+    Negation,
+)
+from ..span import SourceSpan
+from .ast import (
+    ForRule,
+    LevelDecl,
+    MapRule,
+    MetricDecl,
+    NameRef,
+    NameTemplate,
+    NounDecl,
+    Program,
+    SentenceExpr,
+    VerbDecl,
+)
+from .errors import MapParseError
+from .lexer import Token, tokenize
+
+__all__ = ["parse_map"]
+
+_ITEM_KEYWORDS = ("level", "noun", "verb", "map", "for", "metric")
+
+
+class _Parser:
+    def __init__(self, tokens: list[Token]):
+        self.tokens = tokens
+        self.pos = 0
+
+    # ------------------------------------------------------------------
+    # token plumbing
+    # ------------------------------------------------------------------
+    @property
+    def cur(self) -> Token:
+        return self.tokens[self.pos]
+
+    def advance(self) -> Token:
+        tok = self.cur
+        if tok.kind != "eof":
+            self.pos += 1
+        return tok
+
+    def fail(self, message: str, tok: Token | None = None) -> "MapParseError":
+        tok = tok or self.cur
+        shown = tok.text or "end of input"
+        span = tok.span
+        if tok.kind == "eof" and self.pos > 0:
+            # point at the end of the last real token, not past the final
+            # newline where no source line exists to caret
+            prev = self.tokens[self.pos - 1].span
+            span = SourceSpan(prev.end_line, prev.end_col)
+        return MapParseError(f"{message}, got {shown!r}", span)
+
+    def expect_kind(self, kind: str, what: str) -> Token:
+        if self.cur.kind != kind:
+            raise self.fail(f"expected {what}")
+        return self.advance()
+
+    def expect_text(self, text: str) -> Token:
+        if self.cur.text != text:
+            raise self.fail(f"expected {text!r}")
+        return self.advance()
+
+    def at_text(self, text: str) -> bool:
+        return self.cur.text == text and self.cur.kind in ("ident", "punct", "arrow")
+
+    def expect_int(self, what: str) -> tuple[int, Token]:
+        tok = self.expect_kind("number", what)
+        try:
+            return int(tok.text), tok
+        except ValueError:
+            raise self.fail(f"expected {what} (an integer)", tok) from None
+
+    # ------------------------------------------------------------------
+    # names
+    # ------------------------------------------------------------------
+    def name(self, what: str) -> Token:
+        if self.cur.kind not in ("ident", "string"):
+            raise self.fail(f"expected {what}")
+        return self.advance()
+
+    def template(self, what: str) -> NameTemplate:
+        tok = self.name(what)
+        return NameTemplate(tok.value, quoted=tok.kind == "string", span=tok.span)
+
+    # ------------------------------------------------------------------
+    # items
+    # ------------------------------------------------------------------
+    def program(self) -> Program:
+        items = []
+        while self.cur.kind != "eof":
+            items.append(self.item())
+        span = items[0].span.cover(items[-1].span) if items else SourceSpan(1, 1)
+        return Program(tuple(items), span=span)
+
+    def item(self):
+        tok = self.cur
+        if tok.kind == "ident" and tok.text in _ITEM_KEYWORDS:
+            return getattr(self, "p_" + tok.text)()
+        raise self.fail("expected a declaration (level/noun/verb/map/for/metric)")
+
+    def p_level(self) -> LevelDecl:
+        start = self.advance()
+        name = self.name("a level name")
+        self.expect_text("rank")
+        rank, _ = self.expect_int("a level rank")
+        description = self.opt_string()
+        return LevelDecl(
+            name.value, rank, description, span=start.span.cover(self.prev_span())
+        )
+
+    def p_noun(self) -> NounDecl:
+        start = self.advance()
+        template = self.template("a noun name")
+        lo = hi = None
+        if self.at_text("["):
+            self.advance()
+            lo, lo_tok = self.expect_int("a family start index")
+            self.expect_kind("dotdot", "'..'")
+            hi, _ = self.expect_int("a family end index")
+            close = self.expect_text("]")
+            if hi < lo:
+                raise MapParseError(
+                    f"empty family range {lo}..{hi}", lo_tok.span.cover(close.span)
+                )
+        self.expect_text("@")
+        level = self.name("an abstraction level name")
+        description = self.opt_string()
+        return NounDecl(
+            template, level.value, description, lo, hi,
+            span=start.span.cover(self.prev_span()),
+        )
+
+    def p_verb(self) -> VerbDecl:
+        start = self.advance()
+        name = self.name("a verb name")
+        self.expect_text("@")
+        level = self.name("an abstraction level name")
+        description = self.opt_string()
+        return VerbDecl(
+            name.value, level.value, description, quoted=name.kind == "string",
+            span=start.span.cover(self.prev_span()),
+        )
+
+    def p_map(self) -> MapRule:
+        start = self.advance()
+        source = self.sentence()
+        self.expect_kind("arrow", "'->'")
+        destination = self.sentence()
+        return MapRule(source, destination, span=start.span.cover(self.prev_span()))
+
+    def p_for(self) -> ForRule:
+        start = self.advance()
+        binder = self.expect_kind("ident", "a binder name")
+        if binder.text in _ITEM_KEYWORDS or binder.text == "in":
+            raise self.fail(f"binder may not be the keyword {binder.text!r}", binder)
+        self.expect_text("in")
+        lo, lo_tok = self.expect_int("a range start")
+        self.expect_kind("dotdot", "'..'")
+        hi, hi_tok = self.expect_int("a range end")
+        if hi < lo:
+            raise MapParseError(
+                f"empty quantifier range {lo}..{hi}", lo_tok.span.cover(hi_tok.span)
+            )
+        braced = self.at_text("{")
+        body = []
+        if braced:
+            self.advance()
+            while not self.at_text("}"):
+                if self.cur.kind == "eof":
+                    raise self.fail("unterminated 'for' block, expected '}'")
+                body.append(self.rule())
+            self.advance()
+        else:
+            body.append(self.rule())
+        return ForRule(
+            binder.text, lo, hi, tuple(body), braced=braced,
+            span=start.span.cover(self.prev_span()),
+        )
+
+    def rule(self):
+        if self.at_text("map"):
+            return self.p_map()
+        if self.at_text("for"):
+            return self.p_for()
+        raise self.fail("expected 'map' or 'for' inside a quantifier body")
+
+    def sentence(self) -> SentenceExpr:
+        open_tok = self.expect_text("{")
+        refs = [self.name_ref()]
+        while self.at_text(","):
+            self.advance()
+            refs.append(self.name_ref())
+        close = self.expect_text("}")
+        if len(refs) < 2:
+            raise MapParseError(
+                "a sentence needs at least one noun and a verb (nouns first, verb last)",
+                open_tok.span.cover(close.span),
+            )
+        return SentenceExpr(
+            tuple(refs[:-1]), refs[-1], span=open_tok.span.cover(close.span)
+        )
+
+    def name_ref(self) -> NameRef:
+        template = self.template("a noun or verb name")
+        index: int | str | None = None
+        span = template.span
+        if self.at_text("["):
+            self.advance()
+            tok = self.cur
+            if tok.kind == "number":
+                index, _ = self.expect_int("an index")
+            elif tok.kind == "ident":
+                index = self.advance().text
+            elif self.at_text("*"):
+                self.advance()
+                index = "*"
+            else:
+                raise self.fail("expected an index (integer, binder, or '*')")
+            close = self.expect_text("]")
+            span = span.cover(close.span)
+        return NameRef(template, index, span=span)
+
+    def opt_string(self) -> str:
+        if self.cur.kind == "string":
+            return self.advance().value
+        return ""
+
+    def prev_span(self) -> SourceSpan:
+        return self.tokens[max(0, self.pos - 1)].span
+
+    # ------------------------------------------------------------------
+    # metric blocks (MDL body grammar, span-carrying)
+    # ------------------------------------------------------------------
+    def p_metric(self) -> MetricDecl:
+        start = self.advance()
+        name = self.expect_kind("ident", "a metric name")
+        self.expect_text("{")
+        units = ""
+        description = ""
+        style: str | None = None
+        timer_kind: str | None = None
+        aggregate = "sum"
+        clauses: list[AtClause] = []
+        clause_spans: list[SourceSpan] = []
+        while not self.at_text("}"):
+            tok = self.cur
+            if tok.kind == "eof":
+                raise self.fail(f"unterminated metric {name.text!r}")
+            if tok.text == "units":
+                self.advance()
+                units = self.expect_kind("string", "a units string").value
+                self.expect_text(";")
+            elif tok.text == "description":
+                self.advance()
+                description = self.expect_kind("string", "a description string").value
+                self.expect_text(";")
+            elif tok.text == "style":
+                self.advance()
+                style = self.expect_kind("ident", "counter/timer").text
+                if style == "timer":
+                    timer_kind = self.expect_kind("ident", "process/wall").text
+                self.expect_text(";")
+            elif tok.text == "aggregate":
+                self.advance()
+                aggregate = self.expect_kind("ident", "sum/mean/max").text
+                self.expect_text(";")
+            elif tok.text == "at":
+                clause, span = self.at_clause()
+                clauses.append(clause)
+                clause_spans.append(span)
+            else:
+                raise self.fail("unexpected token in metric body")
+        self.expect_text("}")
+        if style is None:
+            raise MapParseError(f"metric {name.text!r}: missing style", name.span)
+        try:
+            definition = MetricDef(
+                name=name.text,
+                style=style,
+                timer_kind=timer_kind,
+                units=units,
+                description=description,
+                aggregate=aggregate,
+                clauses=tuple(clauses),
+            )
+        except ValueError as exc:
+            raise MapParseError(str(exc), name.span) from exc
+        return MetricDecl(
+            definition,
+            span=start.span.cover(self.prev_span()),
+            name_span=name.span,
+            clause_spans=tuple(clause_spans),
+        )
+
+    def at_clause(self) -> tuple[AtClause, SourceSpan]:
+        start = self.advance()  # 'at'
+        point_tok = self.cur
+        if point_tok.kind not in ("point", "ident"):
+            raise self.fail("expected an instrumentation point name")
+        self.advance()
+        phase_tok = self.expect_kind("ident", "entry/exit")
+        if phase_tok.text not in ("entry", "exit"):
+            raise self.fail("expected entry/exit", phase_tok)
+        condition: Condition | None = None
+        if self.at_text("when"):
+            self.advance()
+            condition = self.condition()
+        action_tok = self.expect_kind("ident", "count/start/stop")
+        action = action_tok.text
+        amount: float | str | None = None
+        if action == "count":
+            tok = self.cur
+            if tok.kind == "number":
+                amount = float(self.advance().text)
+            elif tok.kind == "ident":
+                amount = self.advance().text
+            else:
+                raise self.fail("count needs a number or context field name")
+        elif action not in ("start", "stop"):
+            raise self.fail("expected count/start/stop", action_tok)
+        semi = self.expect_text(";")
+        return (
+            AtClause(point_tok.text, phase_tok.text, action, amount, condition),
+            start.span.cover(semi.span),
+        )
+
+    def condition(self) -> Condition:
+        terms = [self.conjunction()]
+        while self.at_text("or"):
+            self.advance()
+            terms.append(self.conjunction())
+        return terms[0] if len(terms) == 1 else Disjunction(tuple(terms))
+
+    def conjunction(self) -> Condition:
+        terms = [self.unary()]
+        while self.at_text("and"):
+            self.advance()
+            terms.append(self.unary())
+        return terms[0] if len(terms) == 1 else Conjunction(tuple(terms))
+
+    def unary(self) -> Condition:
+        if self.at_text("not"):
+            self.advance()
+            return Negation(self.unary())
+        return self.test()
+
+    def test(self) -> Condition:
+        field_tok = self.expect_kind("ident", "a context field name")
+        if self.cur.kind == "eq":
+            self.advance()
+            return Comparison(field_tok.text, self.value())
+        if self.at_text("contains"):
+            self.advance()
+            return ContainsTest(field_tok.text, self.value())
+        raise self.fail("expected '==' or 'contains'")
+
+    def value(self):
+        tok = self.cur
+        if tok.kind == "string":
+            return self.advance().value
+        if tok.kind == "number":
+            return float(self.advance().text)
+        raise self.fail("expected a string or number value")
+
+
+def parse_map(source: str) -> Program:
+    """Parse DSL source text into a :class:`Program`."""
+    return _Parser(tokenize(source)).program()

@@ -16,6 +16,7 @@ from .ast import (
     Negation,
 )
 from .compiler import CompiledMetric, compile_metric, condition_to_predicate
+from .format import dumps_mdl, render_condition
 from .library import FIGURE9_MDL, FIGURE9_ROWS, metric_named, standard_metrics
 from .parser import MDLSyntaxError, parse_mdl, tokenize_mdl
 
@@ -34,8 +35,10 @@ __all__ = [
     "MetricDef",
     "compile_metric",
     "condition_to_predicate",
+    "dumps_mdl",
     "metric_named",
     "parse_mdl",
+    "render_condition",
     "standard_metrics",
     "tokenize_mdl",
 ]

@@ -1,0 +1,94 @@
+"""MDL text serialization -- the inverse of :func:`repro.mdl.parser.parse_mdl`.
+
+``repro mapc build`` emits metric definitions elaborated from ``.map``
+programs as ``.mdl`` files, and ``repro mapc decompile`` reads ``.mdl``
+files back into DSL metric blocks, so the library needs a canonical
+renderer whose output the MDL parser accepts verbatim.
+"""
+
+from __future__ import annotations
+
+from .ast import (
+    AtClause,
+    Comparison,
+    Condition,
+    Conjunction,
+    ContainsTest,
+    Disjunction,
+    MetricDef,
+    Negation,
+)
+
+__all__ = ["dumps_mdl", "render_condition"]
+
+
+def _value(value) -> str:
+    if isinstance(value, str):
+        return f'"{value}"'
+    if isinstance(value, float) and value == int(value):
+        return str(int(value))
+    return str(value)
+
+
+def render_condition(cond: Condition, *, parenthesize: bool = False) -> str:
+    """Render a condition tree back to MDL/DSL guard syntax.
+
+    The MDL grammar has no grouping parentheses, so nested structures the
+    precedence climb cannot express (a disjunction under a conjunction, a
+    negated compound) cannot round-trip; rendering them raises
+    ``ValueError`` rather than emit text that parses to a different tree.
+    """
+    if isinstance(cond, Comparison):
+        return f"{cond.field} == {_value(cond.value)}"
+    if isinstance(cond, ContainsTest):
+        return f"{cond.field} contains {_value(cond.value)}"
+    if isinstance(cond, Negation):
+        if not isinstance(cond.term, (Comparison, ContainsTest)):
+            raise ValueError("MDL cannot render a negated compound condition")
+        return "not " + render_condition(cond.term)
+    if isinstance(cond, Conjunction):
+        terms = []
+        for term in cond.terms:
+            if isinstance(term, (Conjunction, Disjunction)):
+                raise ValueError("MDL cannot render nested compound conjunction terms")
+            terms.append(render_condition(term))
+        return " and ".join(terms)
+    if isinstance(cond, Disjunction):
+        terms = []
+        for term in cond.terms:
+            if isinstance(term, Disjunction):
+                raise ValueError("MDL cannot render a disjunction inside a disjunction")
+            terms.append(render_condition(term))
+        return " or ".join(terms)
+    raise TypeError(f"unknown condition {cond!r}")
+
+
+def _clause(clause: AtClause) -> str:
+    parts = [f"    at {clause.point} {clause.phase}"]
+    if clause.condition is not None:
+        parts.append(f"when {render_condition(clause.condition)}")
+    if clause.action == "count":
+        amount = clause.amount if clause.amount is not None else 1.0
+        parts.append(f"count {_value(amount) if not isinstance(amount, str) else amount}")
+    else:
+        parts.append(clause.action)
+    return " ".join(parts) + ";"
+
+
+def dumps_mdl(metrics: list[MetricDef]) -> str:
+    """Render metric definitions as parseable MDL source text."""
+    chunks: list[str] = []
+    for m in metrics:
+        lines = [f"metric {m.name} {{"]
+        if m.description:
+            lines.append(f'    description "{m.description}";')
+        if m.units:
+            lines.append(f'    units "{m.units}";')
+        style = m.style if m.style != "timer" else f"timer {m.timer_kind}"
+        lines.append(f"    style {style};")
+        if m.aggregate != "sum":
+            lines.append(f"    aggregate {m.aggregate};")
+        lines.extend(_clause(c) for c in m.clauses)
+        lines.append("}")
+        chunks.append("\n".join(lines))
+    return "\n\n".join(chunks) + ("\n" if chunks else "")

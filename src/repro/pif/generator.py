@@ -25,6 +25,7 @@ from __future__ import annotations
 import re
 from dataclasses import dataclass
 
+from ..span import SourceSpan
 from .records import LevelDef, MappingDef, NounDef, PIFDocument, SentenceRef, VerbDef
 
 __all__ = ["ListingParseError", "parse_listing", "generate_pif"]
@@ -33,13 +34,23 @@ __all__ = ["ListingParseError", "parse_listing", "generate_pif"]
 class ListingParseError(ValueError):
     """The compiler listing does not match the expected format.
 
-    ``lineno`` is the 1-based listing line the parser rejected (None when
-    the failure is not tied to a single line, e.g. a missing header).
+    ``lineno``/``col`` are the 1-based listing position the parser
+    rejected (None when the failure is not tied to a single line, e.g. a
+    missing header); ``span`` is the same position as a
+    :class:`~repro.span.SourceSpan` when one exists.
     """
 
-    def __init__(self, message: str, lineno: int | None = None):
-        super().__init__(f"line {lineno}: {message}" if lineno is not None else message)
+    def __init__(self, message: str, lineno: int | None = None, col: int | None = None):
+        if lineno is not None and col is not None:
+            prefix = f"line {lineno}, col {col}: "
+        elif lineno is not None:
+            prefix = f"line {lineno}: "
+        else:
+            prefix = ""
+        super().__init__(prefix + message)
         self.lineno = lineno
+        self.col = col
+        self.span = SourceSpan(lineno, col or 1) if lineno is not None else None
 
 
 _ARRAY_RE = re.compile(
@@ -158,7 +169,9 @@ def parse_listing(text: str) -> ParsedListing:
                 )
             )
             continue
-        raise ListingParseError(f"unrecognized listing line: {line!r}", lineno)
+        raise ListingParseError(
+            f"unrecognized listing line: {line!r}", lineno, raw.index(line[0]) + 1
+        )
     if not program:
         raise ListingParseError("listing missing '* program:' header")
     return ParsedListing(program, source_file, arrays, scalars, stmts, blocks, subroutines)

@@ -111,6 +111,34 @@ class PIFDocument:
         return len(self.levels) + len(self.nouns) + len(self.verbs) + len(self.mappings)
 
     # ------------------------------------------------------------------
+    # canonical form
+    # ------------------------------------------------------------------
+    def canonical(self) -> tuple:
+        """The document's order- and duplication-insensitive normal form.
+
+        Two documents with the same canonical form define the same mapping
+        universe: identical level/noun/verb declarations and identical
+        mapping pairs, regardless of record order or exact duplicates.
+        This is the equality ``repro mapc`` uses to prove a compiled
+        ``.map`` program means the same thing as a hand-written artifact
+        (byte diffs would reject harmless reorderings).
+        """
+
+        def key(records):
+            return tuple(sorted(set(records), key=repr))
+
+        return (
+            key(self.levels),
+            key(self.nouns),
+            key(self.verbs),
+            key(self.mappings),
+        )
+
+    def canonically_equal(self, other: "PIFDocument") -> bool:
+        """True when both documents have the same canonical form."""
+        return self.canonical() == other.canonical()
+
+    # ------------------------------------------------------------------
     # resolution into core-model objects
     # ------------------------------------------------------------------
     def build_vocabulary(self, into: Vocabulary | None = None) -> Vocabulary:

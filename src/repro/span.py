@@ -1,0 +1,72 @@
+"""Source spans shared by every text front end.
+
+Historically each parser reported positions its own way: the compiler
+listing parser carried a bare ``lineno``, MDL errors interpolated
+``line N:`` into messages, and PIF diagnostics used record indices.
+:class:`SourceSpan` is the one position type they now share -- a 1-based
+``line:col`` range -- plus :func:`caret_block`, the single caret renderer
+(``repro mapc`` diagnostics, listing errors, and tests all pin its
+output, so there is exactly one way a caret looks).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["SourceSpan", "caret_block"]
+
+
+@dataclass(frozen=True, order=True)
+class SourceSpan:
+    """A half-open range of source text: 1-based line/col, ``end_col`` exclusive.
+
+    Single-position spans (``end_col == col + 1``) underline one character;
+    multi-line spans underline from ``col`` to the end of the first line
+    (carets never span lines -- the first line is where the reader looks).
+    """
+
+    line: int
+    col: int
+    end_line: int | None = None
+    end_col: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.line < 1 or self.col < 1:
+            raise ValueError(f"spans are 1-based, got {self.line}:{self.col}")
+        if self.end_line is None:
+            object.__setattr__(self, "end_line", self.line)
+        if self.end_col is None:
+            object.__setattr__(self, "end_col", self.col + 1)
+
+    def label(self) -> str:
+        """``line:col`` -- the rendering used in diagnostic locations."""
+        return f"{self.line}:{self.col}"
+
+    def cover(self, other: "SourceSpan") -> "SourceSpan":
+        """The smallest span containing both ``self`` and ``other``."""
+        start = min((self.line, self.col), (other.line, other.col))
+        end = max((self.end_line, self.end_col), (other.end_line, other.end_col))
+        return SourceSpan(start[0], start[1], end[0], end[1])
+
+
+def caret_block(source: str, span: SourceSpan) -> str:
+    """Render the spanned source line with a caret underline below it.
+
+    ::
+
+        map { A, Ghost } -> { line3, Executes }
+                 ^^^^^
+
+    Returns an empty string when the span's line is outside the source
+    (e.g. a span pointing at EOF of an empty file), so callers can always
+    append the result unconditionally.
+    """
+    lines = source.splitlines()
+    if not 1 <= span.line <= len(lines):
+        return ""
+    text = lines[span.line - 1].expandtabs(1)
+    width = (span.end_col or span.col + 1) - span.col if span.end_line == span.line else (
+        len(text) - span.col + 1
+    )
+    width = max(1, min(width, max(1, len(text) - span.col + 1)))
+    return text + "\n" + " " * (span.col - 1) + "^" * width

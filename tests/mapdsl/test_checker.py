@@ -1,0 +1,159 @@
+"""The DSL type checker: NV lint findings remapped onto .map source spans.
+
+The acceptance bar for the DSL: every NV finding the linter would report
+on the *compiled artifact* surfaces as a DSL diagnostic with
+``file:line:col`` and a caret -- never as a raw record index.
+"""
+
+from repro.mapdsl import check_map
+
+CLEAN = """level Top rank 1
+level Bottom rank 0
+noun A @ Top
+noun fn @ Bottom
+verb Go @ Top
+verb Run @ Bottom
+map {fn, Run} -> {A, Go}
+"""
+
+
+def _codes(result):
+    return sorted({d.code for d in result.diagnostics})
+
+
+def test_clean_program_has_no_findings():
+    result = check_map(CLEAN, "clean.map")
+    assert result.ok
+    assert result.diagnostics == []
+
+
+def test_every_finding_carries_line_col_and_never_a_record():
+    src = (
+        "level Top rank 1\n"
+        "level Top rank 2\n"  # NV001
+        "noun A @ Ghost\n"  # NV002
+        "verb Go @ Top\n"
+        "map {A, Gone} -> {A, Go}\n"  # NV005
+    )
+    result = check_map(src, "prog.map")
+    assert _codes(result) == ["NV001", "NV002", "NV005"]
+    for d in result.diagnostics:
+        assert d.path == "prog.map"
+        assert d.record is None
+        assert d.line is not None and d.col is not None
+
+
+def test_nv001_points_at_the_redefining_level_line():
+    src = "level Top rank 1\nlevel Top rank 2\n"
+    result = check_map(src, "p.map")
+    (d,) = [d for d in result.diagnostics if d.code == "NV001"]
+    assert (d.line, d.col) == (2, 1)
+
+
+def test_nv005_points_at_the_rule_that_references_the_ghost():
+    src = (
+        "level Top rank 1\n"
+        "noun A @ Top\n"
+        "verb Go @ Top\n"
+        "\n"
+        "map {A, Go} -> {A, Go}\n"
+        "map {Ghost, Go} -> {A, Go}\n"
+    )
+    result = check_map(src, "p.map")
+    (d,) = [d for d in result.diagnostics if d.code == "NV005"]
+    assert (d.line, d.col) == (6, 1)
+
+
+def test_nv004_duplicate_mapping_points_at_second_rule():
+    src = (
+        "level Top rank 1\n"
+        "noun A @ Top\n"
+        "verb Go @ Top\n"
+        "map {A, Go} -> {A, Go}\n"
+        "map {A, Go} -> {A, Go}\n"
+    )
+    result = check_map(src, "p.map")
+    (d,) = [d for d in result.diagnostics if d.code == "NV004"]
+    assert d.line == 5
+
+
+def test_nv006_cycle_reported_on_a_mapping_rule():
+    src = (
+        "level Up rank 1\n"
+        "level Down rank 0\n"
+        "noun A @ Up\n"
+        "noun f @ Down\n"
+        "verb Go @ Up\n"
+        "verb Run @ Down\n"
+        "map {f, Run} -> {A, Go}\n"
+        "map {A, Go} -> {f, Run}\n"
+    )
+    result = check_map(src, "p.map")
+    nv006 = [d for d in result.diagnostics if d.code == "NV006"]
+    assert nv006, _codes(result)
+    assert all(d.line is not None for d in nv006)
+
+
+def test_nv007_unreachable_level_points_at_its_declaration():
+    src = (
+        "level Top rank 2\n"
+        "level Mid rank 1\n"
+        "level Low rank 0\n"
+        "noun A @ Top\n"
+        "noun B @ Mid\n"
+        "noun f @ Low\n"
+        "verb Go @ Top\n"
+        "verb Walk @ Mid\n"
+        "verb Run @ Low\n"
+        "map {f, Run} -> {A, Go}\n"
+    )
+    result = check_map(src, "p.map")
+    nv007 = [d for d in result.diagnostics if d.code == "NV007"]
+    assert len(nv007) == 1
+    assert nv007[0].line == 2  # the 'level Mid' declaration
+
+
+def test_nv009_unknown_point_lands_on_the_clause_line():
+    src = (
+        "metric m {\n"
+        "    style counter;\n"
+        "    at cmrts.no_such_point entry count 1;\n"
+        "}\n"
+    )
+    result = check_map(src, "p.map")
+    (d,) = [d for d in result.diagnostics if d.code == "NV009"]
+    assert (d.line, d.col) == (3, 5)
+
+
+def test_nv010_unknown_verb_guard_lands_on_the_clause_line():
+    src = (
+        "level Top rank 1\n"
+        "noun A @ Top\n"
+        "verb Go @ Top\n"
+        "map {A, Go} -> {A, Go}\n"
+        "metric m {\n"
+        "    style counter;\n"
+        '    at cmrts.block entry when verb == "Teleport" count 1;\n'
+        "}\n"
+    )
+    result = check_map(src, "p.map")
+    (d,) = [d for d in result.diagnostics if d.code == "NV010"]
+    assert (d.line, d.col) == (7, 5)
+
+
+def test_frontend_error_surfaces_as_nv000_with_span():
+    result = check_map("level Top rank\n", "p.map")
+    assert result.elaborated is None
+    (d,) = result.diagnostics
+    assert d.code == "NV000"
+    assert (d.line, d.col) == (1, 15)
+    # the rendered block includes the source line and caret
+    assert "level Top rank" in result.render()
+    assert "^" in result.render()
+
+
+def test_render_includes_caret_blocks():
+    src = "level Top rank 1\nnoun A @ Ghost\nverb Go @ Top\n"
+    rendered = check_map(src, "p.map").render()
+    assert "p.map:2:1: error NV002:" in rendered
+    assert "noun A @ Ghost\n^" in rendered

@@ -1,0 +1,237 @@
+"""Lexer, parser and elaborator unit tests for the mapping DSL."""
+
+import pytest
+
+from repro.mapdsl import (
+    ForRule,
+    LevelDecl,
+    MapDSLError,
+    MapLexError,
+    MapParseError,
+    MapResolveError,
+    MapRule,
+    NounDecl,
+    compile_map,
+    elaborate,
+    parse_map,
+    tokenize,
+)
+from repro.span import SourceSpan
+
+
+# ----------------------------------------------------------------------
+# lexer
+# ----------------------------------------------------------------------
+def test_tokenize_kinds_and_spans():
+    toks = tokenize('map {A, "CPU Util"} -> {line3, Executes}  # tail comment')
+    kinds = [t.kind for t in toks]
+    assert kinds == [
+        "ident", "punct", "ident", "punct", "string", "punct",
+        "arrow", "punct", "ident", "punct", "ident", "punct", "eof",
+    ]
+    assert toks[0].span == SourceSpan(1, 1, 1, 4)
+    string = toks[4]
+    assert string.value == "CPU Util"
+    assert string.text == '"CPU Util"'
+    assert string.col == 9
+
+
+def test_tokenize_dotted_point_and_ranges():
+    toks = tokenize("at cmrts.reduce entry 3..6 1.5")
+    assert [(t.kind, t.text) for t in toks[:6]] == [
+        ("ident", "at"),
+        ("point", "cmrts.reduce"),
+        ("ident", "entry"),
+        ("number", "3"),
+        ("dotdot", ".."),
+        ("number", "6"),
+    ]
+    assert toks[6].kind == "number" and toks[6].text == "1.5"
+
+
+def test_tokenize_string_escapes():
+    (tok, _eof) = tokenize(r'"units are \"% CPU\" and \\ more"')
+    assert tok.value == 'units are "% CPU" and \\ more'
+
+
+def test_tokenize_errors_carry_spans():
+    with pytest.raises(MapLexError) as e:
+        tokenize("noun A ? Top")
+    assert e.value.span == SourceSpan(1, 8)
+    with pytest.raises(MapLexError):
+        tokenize('"never closed')
+    with pytest.raises(MapLexError):
+        tokenize(r'"bad \q escape"')
+
+
+# ----------------------------------------------------------------------
+# parser
+# ----------------------------------------------------------------------
+def test_parse_declarations():
+    prog = parse_map(
+        'level "CM Fortran" rank 2 "source level"\n'
+        "noun line[3..6] @ \"CM Fortran\" \"line #$\"\n"
+        "verb Go @ \"CM Fortran\"\n"
+    )
+    lvl, noun, verb = prog.items
+    assert lvl == LevelDecl("CM Fortran", 2, "source level")
+    assert isinstance(noun, NounDecl) and noun.is_family
+    assert (noun.lo, noun.hi) == (3, 6)
+    assert verb.name == "Go" and verb.description == ""
+
+
+def test_parse_rule_shapes():
+    prog = parse_map(
+        "map {A, Go} -> {B, Go}\n"
+        "for i in 1..2 map {X[i], Go} -> {A, Go}\n"
+        "for i in 1..2 { for j in 1..2 map {X[i], Go} -> {Y[j], Go} }\n"
+    )
+    plain, inline_for, nested = prog.items
+    assert isinstance(plain, MapRule)
+    assert [r.template.text for r in plain.source.nouns] == ["A"]
+    assert isinstance(inline_for, ForRule) and not inline_for.braced
+    assert inline_for.body[0].source.nouns[0].index == "i"
+    assert nested.braced and isinstance(nested.body[0], ForRule)
+
+
+def test_parse_errors_point_at_offending_token():
+    with pytest.raises(MapParseError) as e:
+        parse_map("map {A} -> {B, Go}")
+    assert "at least one noun and a verb" in e.value.message
+    assert e.value.span.line == 1
+
+    with pytest.raises(MapParseError) as e:
+        parse_map("noun A[6..3] @ Top")
+    assert "empty family range" in e.value.message
+
+    with pytest.raises(MapParseError) as e:
+        parse_map("for map in 1..2 map {A, Go} -> {B, Go}")
+    assert "binder may not be the keyword" in e.value.message
+
+    with pytest.raises(MapParseError) as e:
+        parse_map("level Top rank")
+    assert e.value.span == SourceSpan(1, 15)  # EOF position
+
+
+def test_parse_metric_block():
+    prog = parse_map(
+        "metric computation_time {\n"
+        '    units "seconds";\n'
+        "    style timer process;\n"
+        '    at cmrts.block entry when verb == "Compute" start;\n'
+        "    at cmrts.block exit stop;\n"
+        "}\n"
+    )
+    (decl,) = prog.items
+    m = decl.definition
+    assert m.name == "computation_time"
+    assert m.style == "timer" and m.timer_kind == "process"
+    assert len(m.clauses) == 2
+    assert len(decl.clause_spans) == 2
+    assert decl.clause_spans[0].line == 4
+
+
+def test_parse_metric_validation_becomes_parse_error():
+    # a counter with start/stop clauses violates MetricDef's own invariant
+    with pytest.raises(MapParseError) as e:
+        parse_map(
+            "metric bad {\n"
+            "    style counter;\n"
+            "    at cmrts.block entry start;\n"
+            "}\n"
+        )
+    assert e.value.span.line == 1
+
+
+# ----------------------------------------------------------------------
+# elaborator
+# ----------------------------------------------------------------------
+FAMILY_PROG = """
+level Top rank 1
+noun line[3..5] @ Top "line #$"
+noun "blk_$_()"[1..2] @ Top
+verb Go @ Top
+map {"blk_$_()"[1], Go} -> {line[*], Go}
+for i in 3..4 map {line[i], Go} -> {line[5], Go}
+"""
+
+
+def test_elaborate_expands_families_and_wildcards():
+    elab = elaborate(parse_map(FAMILY_PROG))
+    doc = elab.document
+    assert [n.name for n in doc.nouns] == [
+        "line3", "line4", "line5", "blk_1_()", "blk_2_()",
+    ]
+    assert [n.description for n in doc.nouns[:3]] == ["line #3", "line #4", "line #5"]
+    rendered = [f"{m.source} -> {m.destination}" for m in doc.mappings]
+    assert rendered == [
+        "{blk_1_(), Go} -> {line3, Go}",
+        "{blk_1_(), Go} -> {line4, Go}",
+        "{blk_1_(), Go} -> {line5, Go}",
+        "{line3, Go} -> {line5, Go}",
+        "{line4, Go} -> {line5, Go}",
+    ]
+
+
+def test_elaborate_source_map_covers_every_record():
+    elab = elaborate(parse_map(FAMILY_PROG))
+    n_records = (
+        len(elab.document.levels)
+        + len(elab.document.nouns)
+        + len(elab.document.verbs)
+        + len(elab.document.mappings)
+    )
+    assert set(elab.source_map.records) == set(range(n_records))
+    # all three line nouns share their family declaration's span
+    assert elab.source_map.records[1] == elab.source_map.records[3]
+
+
+def test_wildcard_lockstep_mismatch_is_resolve_error():
+    src = (
+        "level Top rank 1\n"
+        "noun a[1..2] @ Top\n"
+        "noun b[1..3] @ Top\n"
+        "verb Go @ Top\n"
+        "map {a[*], Go} -> {b[*], Go}\n"
+    )
+    with pytest.raises(MapResolveError) as e:
+        elaborate(parse_map(src))
+    assert "lockstep" in e.value.message
+    assert e.value.span.line == 5
+
+
+def test_wildcard_over_undeclared_family():
+    with pytest.raises(MapResolveError) as e:
+        compile_map("verb Go @ Top\nmap {ghost[*], Go} -> {ghost[*], Go}\n")
+    assert "undeclared family" in e.value.message
+
+
+def test_unbound_binder_and_indexed_verb():
+    with pytest.raises(MapResolveError) as e:
+        compile_map("noun a[1..2] @ Top\nverb Go @ Top\nmap {a[k], Go} -> {a[1], Go}\n")
+    assert "unbound index binder 'k'" in e.value.message
+
+    with pytest.raises(MapResolveError) as e:
+        compile_map("noun a[1..2] @ Top\nverb Go @ Top\nmap {a[1], Go[1]} -> {a[2], Go}\n")
+    assert "verbs cannot be indexed" in e.value.message
+
+
+def test_duplicate_family_declaration():
+    with pytest.raises(MapResolveError) as e:
+        compile_map("noun a[1..2] @ Top\nnoun a[1..3] @ Top\n")
+    assert "already declared" in e.value.message
+
+
+def test_quoted_family_requires_placeholder():
+    with pytest.raises(MapResolveError) as e:
+        compile_map('noun "fixed_name"[1..2] @ Top\n')
+    assert "'$' index placeholder" in e.value.message
+
+
+def test_compile_map_tags_error_with_path():
+    with pytest.raises(MapDSLError) as e:
+        compile_map("noun ?", "prog.map")
+    assert e.value.path == "prog.map"
+    rendered = e.value.render("noun ?")
+    assert rendered.startswith("prog.map:1:6: error:")
+    assert rendered.endswith("noun ?\n     ^")

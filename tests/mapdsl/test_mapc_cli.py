@@ -1,0 +1,209 @@
+"""The ``repro mapc`` subcommand: check/build/format/decompile, exit codes."""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.cli import main
+from repro.mapdsl import compile_map
+from repro.pif import load as load_pif
+
+REPO = Path(__file__).resolve().parents[2]
+FRAGMENT_MAP = str(REPO / "examples" / "fragment.map")
+HEAT_MAP = str(REPO / "examples" / "heat.map")
+
+CLEAN = (
+    "level Top rank 1\n"
+    "noun A @ Top\n"
+    "verb Go @ Top\n"
+    "map {A, Go} -> {A, Go}\n"
+)
+
+BROKEN = (
+    "level Top rank 1\n"
+    "noun A @ Top\n"
+    "verb Go @ Top\n"
+    "map {A, Ghost} -> {A, Go}\n"
+)
+
+WARN_ONLY = (
+    "level Top rank 1\n"
+    "noun A @ Top\n"
+    "verb Go @ Top\n"
+    "map {A, Go} -> {A, Go}\n"
+    "map {A, Go} -> {A, Go}\n"  # NV004 duplicate mapping: warning
+)
+
+
+@pytest.fixture
+def write(tmp_path):
+    def _write(text, name="prog.map"):
+        path = tmp_path / name
+        path.write_text(text, encoding="utf-8")
+        return str(path)
+
+    return _write
+
+
+# ----------------------------------------------------------------------
+# check
+# ----------------------------------------------------------------------
+def test_check_clean_exits_zero(capsys, write):
+    rc = main(["mapc", "check", write(CLEAN)])
+    out = capsys.readouterr().out
+    assert rc == 0
+    assert "0 error(s)" in out
+
+
+def test_check_findings_render_with_carets_and_exit_one(capsys, write):
+    path = write(BROKEN)
+    rc = main(["mapc", "check", path])
+    out = capsys.readouterr().out
+    assert rc == 1
+    assert f"{path}:4:1: error NV005:" in out
+    assert "map {A, Ghost} -> {A, Go}\n^" in out
+
+
+def test_check_fail_on_distinguishes_warnings(capsys, write):
+    path = write(WARN_ONLY)
+    assert main(["mapc", "check", path]) == 0
+    assert "warn NV004" in capsys.readouterr().out
+    assert main(["mapc", "check", "--fail-on", "warn", path]) == 1
+
+
+def test_check_json_payload_carries_line_and_col(capsys, write):
+    rc = main(["mapc", "check", "--format", "json", write(BROKEN)])
+    payload = json.loads(capsys.readouterr().out)
+    assert rc == 1
+    (entry,) = payload["diagnostics"]
+    assert entry["code"] == "NV005"
+    assert entry["line"] == 4 and entry["col"] == 1
+    assert entry["record"] is None
+
+
+def test_check_syntax_error_is_nv000_finding_not_crash(capsys, write):
+    rc = main(["mapc", "check", write("map {A} ->\n")])
+    out = capsys.readouterr().out
+    assert rc == 1
+    assert "NV000" in out
+
+
+def test_check_shipped_examples_clean(capsys):
+    assert main(["mapc", "check", "--fail-on", "warn", FRAGMENT_MAP, HEAT_MAP]) == 0
+
+
+# ----------------------------------------------------------------------
+# build
+# ----------------------------------------------------------------------
+def test_build_writes_pif_and_mdl(capsys, write, tmp_path):
+    src = CLEAN + (
+        "metric m {\n"
+        "    style counter;\n"
+        "    at cmrts.block entry count 1;\n"
+        "}\n"
+    )
+    pif_out = tmp_path / "out.pif"
+    mdl_out = tmp_path / "out.mdl"
+    rc = main(
+        ["mapc", "build", write(src), "--pif", str(pif_out), "--mdl", str(mdl_out)]
+    )
+    assert rc == 0
+    doc = load_pif(str(pif_out))
+    assert [n.name for n in doc.nouns] == ["A"]
+    assert "metric m {" in mdl_out.read_text(encoding="utf-8")
+
+
+def test_build_without_outputs_prints_pif(capsys, write):
+    rc = main(["mapc", "build", write(CLEAN)])
+    out = capsys.readouterr().out
+    assert rc == 0
+    assert "LEVEL" in out and "MAPPING" in out
+
+
+def test_build_refuses_on_errors(capsys, write, tmp_path):
+    pif_out = tmp_path / "out.pif"
+    rc = main(["mapc", "build", write(BROKEN), "--pif", str(pif_out)])
+    out = capsys.readouterr().out
+    assert rc == 1
+    assert "not built" in out
+    assert not pif_out.exists()
+
+
+def test_build_example_matches_direct_compilation(capsys, tmp_path):
+    pif_out = tmp_path / "heat.pif"
+    assert main(["mapc", "build", HEAT_MAP, "--pif", str(pif_out)]) == 0
+    built = load_pif(str(pif_out))
+    direct = compile_map(Path(HEAT_MAP).read_text(encoding="utf-8")).document
+    assert built == direct  # dumps/load preserves records exactly
+
+
+# ----------------------------------------------------------------------
+# format
+# ----------------------------------------------------------------------
+def test_format_prints_canonical_text(capsys, write):
+    rc = main(["mapc", "format", write("level   Top   rank 1\n")])
+    assert rc == 0
+    assert capsys.readouterr().out == "level Top rank 1\n"
+
+
+def test_format_write_rewrites_in_place(capsys, write):
+    path = write("level   Top   rank 1\n")
+    assert main(["mapc", "format", "--write", path]) == 0
+    assert Path(path).read_text(encoding="utf-8") == "level Top rank 1\n"
+    # a second pass is a no-op
+    out0 = capsys.readouterr().out
+    assert "reformatted" in out0
+    assert main(["mapc", "format", "--write", path]) == 0
+    assert "reformatted" not in capsys.readouterr().out
+
+
+def test_format_check_flags_stale_files(capsys, write):
+    stale = write("level   Top   rank 1\n", "stale.map")
+    fresh = write("level Top rank 1\n", "fresh.map")
+    assert main(["mapc", "format", "--check", fresh]) == 0
+    assert main(["mapc", "format", "--check", stale, fresh]) == 1
+    assert "not canonically formatted" in capsys.readouterr().out
+
+
+# ----------------------------------------------------------------------
+# decompile
+# ----------------------------------------------------------------------
+def test_decompile_pif_to_dsl_and_back(capsys, tmp_path):
+    fragment_pif = str(REPO / "examples" / "fragment.pif")
+    out = tmp_path / "lifted.map"
+    assert main(["mapc", "decompile", fragment_pif, "-o", str(out)]) == 0
+    # the lifted program builds back to the same canonical document
+    pif_again = tmp_path / "again.pif"
+    assert main(["mapc", "build", str(out), "--pif", str(pif_again)]) == 0
+    assert load_pif(str(pif_again)).canonically_equal(load_pif(fragment_pif))
+
+
+def test_decompile_prints_to_stdout(capsys):
+    rc = main(["mapc", "decompile", str(REPO / "examples" / "fragment.pif")])
+    out = capsys.readouterr().out
+    assert rc == 0
+    assert out.startswith('level "CM Fortran" rank 2')
+
+
+# ----------------------------------------------------------------------
+# CLI-wide exit-code contract
+# ----------------------------------------------------------------------
+def test_missing_file_exits_two(capsys, monkeypatch, tmp_path):
+    monkeypatch.delenv("REPRO_DEBUG", raising=False)
+    rc = main(["mapc", "check", str(tmp_path / "ghost.map")])
+    assert rc == 2
+    assert "repro: error:" in capsys.readouterr().err
+
+
+def test_format_of_unparseable_file_exits_two(capsys, monkeypatch, write):
+    monkeypatch.delenv("REPRO_DEBUG", raising=False)
+    rc = main(["mapc", "format", write("noun ?\n")])
+    assert rc == 2
+    assert "repro: error:" in capsys.readouterr().err
+
+
+def test_repro_debug_reraises(monkeypatch, tmp_path):
+    monkeypatch.setenv("REPRO_DEBUG", "1")
+    with pytest.raises(FileNotFoundError):
+        main(["mapc", "check", str(tmp_path / "ghost.map")])

@@ -1,0 +1,219 @@
+"""Property-based suites for the mapping DSL (hypothesis).
+
+Three pillars, mirroring the trace codec's property/corruption suites:
+
+* generated well-formed programs compile and lint NV-clean, and survive
+  the format -> reparse round trip AST-identically;
+* decompile(compile(p)) recompiles to a canonically equal PIF document;
+* no mutation of valid DSL text, however savage, escapes as anything but
+  :class:`~repro.mapdsl.MapDSLError` (the ``CodecError`` contract).
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cmrts.dispatch import POINTS
+from repro.mapdsl import (
+    ForRule,
+    LevelDecl,
+    MapDSLError,
+    MapRule,
+    MetricDecl,
+    NameRef,
+    NameTemplate,
+    NounDecl,
+    Program,
+    SentenceExpr,
+    VerbDecl,
+    check_map,
+    compile_map,
+    decompile,
+    format_program,
+    parse_map,
+)
+from repro.mdl.ast import AtClause, Comparison, MetricDef
+
+# printable text, no newlines (DSL strings are single-line)
+_DESC_ALPHABET = st.characters(
+    codec="ascii", min_codepoint=32, max_codepoint=126
+)
+descriptions = st.text(alphabet=_DESC_ALPHABET, max_size=20)
+
+_POINTS = sorted(POINTS)
+
+
+@st.composite
+def programs(draw):
+    """A well-formed program that must compile and lint NV-clean.
+
+    Construction keeps every declaration at one level and draws mapping
+    sources/destinations from disjoint noun pools, so no NV pass (dup,
+    resolution, cycle, reachability, overlap) can fire by construction.
+    """
+    n_levels = draw(st.integers(1, 3))
+    levels = [
+        LevelDecl(f"L{i}", i, draw(descriptions)) for i in range(n_levels)
+    ]
+    home = levels[-1].name  # top-ranked level hosts every declaration
+
+    families = []
+    for i in range(draw(st.integers(0, 2))):
+        lo = draw(st.integers(0, 3))
+        hi = lo + draw(st.integers(0, 3))
+        if draw(st.booleans()):
+            template = NameTemplate(f"fam{i}_$_x", quoted=True)
+        else:
+            template = NameTemplate(f"fam{i}_")
+        families.append(NounDecl(template, home, draw(descriptions), lo, hi))
+
+    verbs = [VerbDecl(f"V{i}", home, draw(descriptions)) for i in range(draw(st.integers(1, 2)))]
+
+    n_rules = draw(st.integers(0, 4))
+    src_nouns = [NounDecl(NameTemplate(f"src{k}"), home, "") for k in range(n_rules)]
+    dst_nouns = [NounDecl(NameTemplate(f"dst{k}"), home, "") for k in range(n_rules)]
+
+    rules = []
+    for k in range(n_rules):
+        verb = NameRef(NameTemplate(draw(st.sampled_from(verbs)).name))
+        source = SentenceExpr((NameRef(NameTemplate(f"src{k}")),), verb)
+        kind = draw(st.sampled_from(["plain", "member", "star", "for"]))
+        if kind != "plain" and not families:
+            kind = "plain"
+        if kind == "plain":
+            dest_ref = NameRef(NameTemplate(f"dst{k}"))
+        else:
+            fam = draw(st.sampled_from(families))
+            if kind == "member":
+                dest_ref = NameRef(fam.template, draw(st.integers(fam.lo, fam.hi)))
+            elif kind == "star":
+                dest_ref = NameRef(fam.template, "*")
+            else:
+                binder = f"i{k}"
+                dest_ref = NameRef(fam.template, binder)
+        rule = MapRule(source, SentenceExpr((dest_ref,), verb))
+        if kind == "for":
+            rule = ForRule(
+                binder, fam.lo, fam.hi, (rule,), braced=draw(st.booleans())
+            )
+        rules.append(rule)
+
+    metrics = []
+    if draw(st.booleans()):
+        clauses = [
+            AtClause(
+                draw(st.sampled_from(_POINTS)),
+                "entry",
+                "count",
+                float(draw(st.integers(1, 5))),
+                Comparison("verb", verbs[0].name) if draw(st.booleans()) else None,
+            )
+        ]
+        metrics.append(
+            MetricDecl(
+                MetricDef(
+                    name="m0",
+                    style="counter",
+                    units=draw(descriptions),
+                    description=draw(descriptions),
+                    aggregate=draw(st.sampled_from(["sum", "mean", "max"])),
+                    clauses=tuple(clauses),
+                )
+            )
+        )
+
+    items = (*levels, *src_nouns, *dst_nouns, *families, *verbs, *rules, *metrics)
+    return Program(items)
+
+
+@settings(max_examples=60, deadline=None)
+@given(programs())
+def test_generated_programs_compile_and_lint_clean(program):
+    text = format_program(program)
+    result = check_map(text, "gen.map")
+    assert result.ok, [str(d) for d in result.diagnostics]
+
+
+@settings(max_examples=60, deadline=None)
+@given(programs())
+def test_format_reparse_is_ast_identity(program):
+    text = format_program(program)
+    reparsed = parse_map(text)
+    assert reparsed == program
+    # and formatting is idempotent
+    assert format_program(reparsed) == text
+
+
+@settings(max_examples=40, deadline=None)
+@given(programs())
+def test_decompile_recompile_preserves_canonical_pif(program):
+    elab = compile_map(format_program(program), "gen.map")
+    lifted = decompile(elab.document, elab.metrics)
+    again = compile_map(lifted, "gen-lifted.map")
+    assert again.document.canonically_equal(elab.document)
+    assert again.metrics == elab.metrics
+
+
+# ----------------------------------------------------------------------
+# never-crash fuzz over mutated DSL text (the CodecError contract)
+# ----------------------------------------------------------------------
+_SEED = format_program(
+    Program(
+        (
+            LevelDecl("Top", 1, "the top"),
+            NounDecl(NameTemplate("line"), "Top", "a line", 3, 6),
+            NounDecl(NameTemplate('blk_$_()', quoted=True), "Top", "", 1, 2),
+            VerbDecl("Go", "Top", 'units are "% CPU"'),
+            MapRule(
+                SentenceExpr((NameRef(NameTemplate("blk_$_()", quoted=True), 1),),
+                             NameRef(NameTemplate("Go"))),
+                SentenceExpr((NameRef(NameTemplate("line"), "*"),),
+                             NameRef(NameTemplate("Go"))),
+            ),
+            MetricDecl(
+                MetricDef(
+                    name="m",
+                    style="counter",
+                    clauses=(AtClause("cmrts.block", "entry", "count", 1.0, None),),
+                )
+            ),
+        )
+    )
+)
+
+_NOISE = st.text(
+    alphabet=st.characters(codec="ascii", min_codepoint=9, max_codepoint=126),
+    max_size=6,
+)
+
+
+@st.composite
+def mutated_sources(draw):
+    text = _SEED
+    for _ in range(draw(st.integers(1, 3))):
+        start = draw(st.integers(0, len(text)))
+        end = min(len(text), start + draw(st.integers(0, 8)))
+        text = text[:start] + draw(_NOISE) + text[end:]
+    return text
+
+
+@settings(max_examples=200, deadline=None)
+@given(mutated_sources())
+def test_mutated_text_never_escapes_the_dsl_error_type(text):
+    # every front-end surface: parse, full compile, and the checker
+    for surface in (parse_map, compile_map):
+        try:
+            surface(text)
+        except MapDSLError:
+            pass  # the contract: corruption raises the DSL error type
+    result = check_map(text, "fuzz.map")  # never raises at all
+    for d in result.diagnostics:
+        assert d.line is not None and d.col is not None
+
+
+@settings(max_examples=100, deadline=None)
+@given(st.text(alphabet=_DESC_ALPHABET, max_size=40))
+def test_arbitrary_ascii_never_crashes_the_lexer(text):
+    try:
+        parse_map(text)
+    except MapDSLError:
+        pass

@@ -1,0 +1,135 @@
+"""Round-trip guarantees: format/reparse, decompile/recompile, canonical form."""
+
+from pathlib import Path
+
+import pytest
+
+from repro.cmfortran import compile_source
+from repro.mapdsl import (
+    check_map,
+    compile_map,
+    decompile,
+    format_program,
+    lift,
+    parse_map,
+)
+from repro.mdl import dumps_mdl, parse_mdl, standard_metrics
+from repro.pif import generate_pif, load as load_pif, loads as load_pif_text
+
+EXAMPLES = Path(__file__).resolve().parents[2] / "examples"
+
+
+# ----------------------------------------------------------------------
+# canonical form on PIFDocument
+# ----------------------------------------------------------------------
+def test_canonical_equality_ignores_order_and_duplicates():
+    a = load_pif_text(
+        "LEVEL\nname = Top\nrank = 1\n\n"
+        "NOUN\nname = A\nabstraction = Top\n\n"
+        "NOUN\nname = B\nabstraction = Top\n"
+    )
+    b = load_pif_text(
+        "NOUN\nname = B\nabstraction = Top\n\n"
+        "NOUN\nname = A\nabstraction = Top\n\n"
+        "NOUN\nname = A\nabstraction = Top\n\n"  # duplicate record
+        "LEVEL\nname = Top\nrank = 1\n"
+    )
+    assert a.canonically_equal(b)
+    assert a.canonical() == b.canonical()
+
+
+def test_canonical_equality_detects_payload_differences():
+    a = load_pif_text("LEVEL\nname = Top\nrank = 1\n")
+    b = load_pif_text("LEVEL\nname = Top\nrank = 2\n")
+    assert not a.canonically_equal(b)
+
+
+# ----------------------------------------------------------------------
+# shipped examples (satellite 1)
+# ----------------------------------------------------------------------
+def test_fragment_map_compiles_canonically_equal_to_fragment_pif():
+    source = (EXAMPLES / "fragment.map").read_text(encoding="utf-8")
+    elab = compile_map(source, "examples/fragment.map")
+    reference = load_pif(str(EXAMPLES / "fragment.pif"))
+    assert elab.document.canonically_equal(reference)
+
+
+def test_heat_map_compiles_canonically_equal_to_cmf_derived_pif():
+    source = (EXAMPLES / "heat.map").read_text(encoding="utf-8")
+    elab = compile_map(source, "examples/heat.map")
+    cmf = (EXAMPLES / "heat.cmf").read_text(encoding="utf-8")
+    program = compile_source(cmf, source_file="examples/heat.cmf")
+    reference = generate_pif(program.listing)
+    assert elab.document.canonically_equal(reference)
+
+
+@pytest.mark.parametrize("name", ["fragment.map", "heat.map", "db.map"])
+def test_shipped_examples_lint_clean(name):
+    source = (EXAMPLES / name).read_text(encoding="utf-8")
+    result = check_map(source, f"examples/{name}")
+    assert result.ok, [str(d) for d in result.diagnostics]
+
+
+@pytest.mark.parametrize("name", ["fragment.map", "heat.map", "db.map"])
+def test_shipped_examples_format_roundtrip(name):
+    source = (EXAMPLES / name).read_text(encoding="utf-8")
+    program = parse_map(source)
+    assert parse_map(format_program(program)) == program
+
+
+@pytest.mark.parametrize("name", ["fragment.map", "heat.map", "db.map"])
+def test_shipped_examples_decompile_recompile(name):
+    source = (EXAMPLES / name).read_text(encoding="utf-8")
+    elab = compile_map(source, name)
+    lifted = decompile(elab.document)
+    again = compile_map(lifted, name + " (decompiled)")
+    assert again.document.canonically_equal(elab.document)
+
+
+# ----------------------------------------------------------------------
+# decompile: hand-written artifacts lift to compilable DSL
+# ----------------------------------------------------------------------
+def test_decompile_fragment_pif_roundtrips():
+    doc = load_pif(str(EXAMPLES / "fragment.pif"))
+    text = decompile(doc)
+    elab = compile_map(text, "fragment.pif (decompiled)")
+    assert elab.document.canonically_equal(doc)
+    # and the lifted program is itself canonically formatted
+    assert format_program(parse_map(text)) == text
+
+
+def test_decompile_with_metric_library():
+    doc = load_pif(str(EXAMPLES / "fragment.pif"))
+    metrics = list(standard_metrics().values())
+    text = decompile(doc, metrics)
+    elab = compile_map(text, "lib")
+    assert elab.document.canonically_equal(doc)
+    assert elab.metrics == metrics
+
+
+def test_lift_preserves_record_order_exactly():
+    doc = load_pif(str(EXAMPLES / "fragment.pif"))
+    elab = compile_map(decompile(doc))
+    assert elab.document == doc  # not just canonically equal: record for record
+
+
+# ----------------------------------------------------------------------
+# MDL serialization (supports build --mdl and decompile --mdl)
+# ----------------------------------------------------------------------
+def test_dumps_mdl_roundtrips_figure9_library():
+    metrics = list(standard_metrics().values())
+    assert parse_mdl(dumps_mdl(metrics)) == metrics
+
+
+def test_metric_blocks_survive_dsl_format_roundtrip():
+    src = (
+        "metric io_wait {\n"
+        '    units "seconds";\n'
+        "    style timer wall;\n"
+        "    aggregate max;\n"
+        '    at cmrts.block entry when verb == "Compute" and node == 0 start;\n'
+        "    at cmrts.block exit stop;\n"
+        "}\n"
+    )
+    program = parse_map(src)
+    assert parse_map(format_program(program)) == program

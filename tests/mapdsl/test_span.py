@@ -1,0 +1,79 @@
+"""Pins for the shared SourceSpan type and the single caret renderer.
+
+Satellite of the mapdsl PR: every text front end (listing parser, DSL,
+lint driver) now reports positions through one span type, and there is
+exactly one way a caret looks.  These tests pin that rendering.
+"""
+
+import pytest
+
+from repro.span import SourceSpan, caret_block
+
+
+def test_span_defaults_to_single_position():
+    s = SourceSpan(3, 7)
+    assert (s.end_line, s.end_col) == (3, 8)
+    assert s.label() == "3:7"
+
+
+def test_span_rejects_zero_based_positions():
+    with pytest.raises(ValueError):
+        SourceSpan(0, 1)
+    with pytest.raises(ValueError):
+        SourceSpan(1, 0)
+
+
+def test_cover_spans_both_ranges():
+    a = SourceSpan(2, 5, 2, 9)
+    b = SourceSpan(4, 1, 4, 3)
+    c = a.cover(b)
+    assert (c.line, c.col, c.end_line, c.end_col) == (2, 5, 4, 3)
+    # cover is symmetric
+    assert b.cover(a) == c
+
+
+def test_caret_block_single_char():
+    src = "map {A, Go} -> {B, Go}\n"
+    assert caret_block(src, SourceSpan(1, 6)) == "map {A, Go} -> {B, Go}\n     ^"
+
+
+def test_caret_block_width_matches_span():
+    src = "verb Ghost @ Top\n"
+    block = caret_block(src, SourceSpan(1, 6, 1, 11))
+    assert block == "verb Ghost @ Top\n     ^^^^^"
+
+
+def test_caret_block_multiline_span_underlines_to_eol():
+    src = "for i in 1..3 {\n    map {A, Go} -> {B, Go}\n}\n"
+    block = caret_block(src, SourceSpan(1, 1, 3, 2))
+    assert block == "for i in 1..3 {\n^^^^^^^^^^^^^^^"
+
+
+def test_caret_block_out_of_range_is_empty():
+    assert caret_block("", SourceSpan(1, 1)) == ""
+    assert caret_block("one line\n", SourceSpan(5, 1)) == ""
+
+
+def test_caret_block_clamps_width_to_line():
+    # span end past the end of the line: underline stops at EOL
+    src = "noun A @ Top\n"
+    block = caret_block(src, SourceSpan(1, 10, 1, 99))
+    assert block == "noun A @ Top\n         ^^^"
+
+
+def test_listing_parse_error_carries_span():
+    from repro.pif.generator import ListingParseError, parse_listing
+
+    listing = "\n".join(
+        [
+            "* program: BAD",
+            "   ???garbage that matches nothing",
+        ]
+    )
+    with pytest.raises(ListingParseError) as exc_info:
+        parse_listing(listing)
+    err = exc_info.value
+    assert err.lineno == 2
+    assert err.col == 4  # first non-blank column of the offending line
+    assert err.span == SourceSpan(2, 4)
+    assert "line 2, col 4" in str(err)

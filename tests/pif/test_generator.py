@@ -54,7 +54,7 @@ def test_parse_error_carries_line_number(compiled):
     with pytest.raises(ListingParseError) as exc_info:
         parse_listing("\n".join(lines))
     assert exc_info.value.lineno == victim
-    assert f"line {victim}:" in str(exc_info.value)
+    assert f"line {victim}, col" in str(exc_info.value)
 
 
 def test_nouns_cover_arrays_lines_blocks(pif_doc):
