@@ -14,31 +14,67 @@ information:
 * :mod:`.sanitize` -- recorded ``.rtrc`` runs cross-checked against the
   static declarations: attribution leaks and dead declarations
   (NV013-NV016);
+* :mod:`.flow` -- abstract interpretation over the full mapping graph,
+  proving attribution-mass conservation or producing exact-fraction
+  double-count/leak verdicts with path witnesses (NV017-NV018);
+* :mod:`.deadq` -- static question analysis: dead patterns and
+  subsumption-redundant question sets (NV019-NV020);
+* :mod:`.sarif` -- SARIF 2.1.0 output for editors / code scanning;
 * :mod:`.driver` -- the ``repro lint`` entry point tying them together.
 """
 
 from .cmfpass import analyze_program
+from .deadq import (
+    DeclaredVocabulary,
+    analyze_document_questions,
+    analyze_question_set,
+    pattern_dead_reason,
+    question_implied_by,
+    table_dead_patterns,
+)
 from .diagnostics import CODES, Diagnostic, Severity, counts, diag, max_severity
-from .driver import LintResult, format_json, format_text, lint_paths
-from .mdlpass import analyze_mdl
+from .driver import (
+    LintResult,
+    format_json,
+    format_text,
+    lint_paths,
+    sort_diagnostics,
+)
+from .flow import FlowReport, SourceVerdict, analyze_flow, verify_graph
+from .mdlpass import analyze_mdl, guard_unsat_reason
 from .nv import analyze_pif, merge_documents
 from .sanitize import builtin_level_ranks, sanitize_trace
+from .sarif import SARIF_VERSION, format_sarif
 
 __all__ = [
     "CODES",
+    "DeclaredVocabulary",
     "Diagnostic",
+    "FlowReport",
     "LintResult",
+    "SARIF_VERSION",
     "Severity",
+    "SourceVerdict",
+    "analyze_document_questions",
+    "analyze_flow",
     "analyze_mdl",
     "analyze_pif",
     "analyze_program",
+    "analyze_question_set",
     "builtin_level_ranks",
     "counts",
     "diag",
     "format_json",
+    "format_sarif",
     "format_text",
+    "guard_unsat_reason",
     "lint_paths",
     "max_severity",
     "merge_documents",
+    "pattern_dead_reason",
+    "question_implied_by",
     "sanitize_trace",
+    "sort_diagnostics",
+    "table_dead_patterns",
+    "verify_graph",
 ]

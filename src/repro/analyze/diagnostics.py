@@ -56,6 +56,11 @@ CODES: dict[str, tuple[Severity, str]] = {
     "NV014": (Severity.WARNING, "unattributed sentence (never co-active with the top abstraction)"),
     "NV015": (Severity.WARNING, "dead declaration: static mapping never exercised by the trace"),
     "NV016": (Severity.INFO, "trace uses an abstraction level with unknown rank"),
+    "NV017": (Severity.ERROR, "proven double-count: a source's mass reaches one sink along multiple paths"),
+    "NV018": (Severity.ERROR, "proven attribution leak: mass dies below the top abstraction"),
+    "NV019": (Severity.WARNING, "dead question: pattern can never bind given the declared nouns/verbs"),
+    "NV020": (Severity.WARNING, "subsumption-redundant question (another question already implies it)"),
+    "NV021": (Severity.WARNING, "MDL guard is never satisfiable (contradictory condition)"),
 }
 
 

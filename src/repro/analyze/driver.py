@@ -26,12 +26,20 @@ from ..pif import generate_pif
 from ..pif import load as load_pif
 from ..pif.records import PIFDocument
 from .cmfpass import analyze_program
+from .deadq import analyze_document_questions
 from .diagnostics import Diagnostic, Severity, counts, diag, max_severity
+from .flow import analyze_flow
 from .mdlpass import analyze_mdl
 from .nv import analyze_pif, merge_documents
 from .sanitize import sanitize_trace
 
-__all__ = ["LintResult", "lint_paths", "format_text", "format_json"]
+__all__ = [
+    "LintResult",
+    "lint_paths",
+    "format_text",
+    "format_json",
+    "sort_diagnostics",
+]
 
 #: pseudo-path the --mdl-library input is reported under
 LIBRARY_PATH = "<figure9-library>"
@@ -97,12 +105,18 @@ def _classify(path: str) -> str:
 
 
 def lint_paths(
-    paths: list[str], mdl_library: bool = False, jobs: int | None = None
+    paths: list[str],
+    mdl_library: bool = False,
+    jobs: int | None = None,
+    deep: bool = False,
 ) -> LintResult:
     """Run every applicable analyzer pass over the given input files.
 
     ``jobs > 1`` fans trace sanitization's interval scan across the sweep
     worker pool (columnar ``.rtrcx`` inputs only; row files scan serially).
+    ``deep`` adds the whole-program semantic passes: attribution-flow
+    conservation proofs (NV017/NV018), mapping-derived question analysis
+    (NV019/NV020), and MDL guard satisfiability (NV021).
     """
     result = LintResult(inputs=list(paths))
     out = result.diagnostics
@@ -135,6 +149,9 @@ def lint_paths(
             )
             continue
         out.extend(analyze_pif(doc, path))
+        if deep:
+            out.extend(analyze_flow(doc, path).diagnostics)
+            out.extend(analyze_document_questions(doc, path))
         docs.append((path, doc))
         pif_docs.append((path, doc))
 
@@ -157,6 +174,9 @@ def lint_paths(
         out.extend(analyze_program(program, path))
         generated = generate_pif(program.listing)
         out.extend(analyze_pif(generated, path))
+        if deep:
+            out.extend(analyze_flow(generated, path).diagnostics)
+            out.extend(analyze_document_questions(generated, path))
         docs.append((path, generated))
 
     # Explicit PIF inputs assert one shared mapping universe, so cross-file
@@ -187,7 +207,14 @@ def lint_paths(
         mdl_inputs.append((path, metrics))
     for path, metrics in mdl_inputs:
         out.extend(
-            analyze_mdl(metrics, path, points=points, verbs=known_verbs, nouns=known_nouns)
+            analyze_mdl(
+                metrics,
+                path,
+                points=points,
+                verbs=known_verbs,
+                nouns=known_nouns,
+                deep=deep,
+            )
         )
 
     # ---- traces, sanitized against every static document
@@ -208,8 +235,28 @@ def lint_paths(
 # ----------------------------------------------------------------------
 # output formats
 # ----------------------------------------------------------------------
+def sort_diagnostics(diagnostics: list[Diagnostic]) -> list[Diagnostic]:
+    """Deterministic presentation order: ``(file, line, col, code)``.
+
+    Every formatter sorts through here, so output is independent of pass
+    emission order (record index and message break the remaining ties --
+    the order is total, not merely stable).
+    """
+    return sorted(
+        diagnostics,
+        key=lambda d: (
+            d.path,
+            d.line if d.line is not None else -1,
+            d.col if d.col is not None else -1,
+            d.code,
+            d.record if d.record is not None else -1,
+            d.message,
+        ),
+    )
+
+
 def format_text(result: LintResult) -> str:
-    lines = [d.render() for d in result.diagnostics]
+    lines = [d.render() for d in sort_diagnostics(result.diagnostics)]
     c = result.counts()
     lines.append(
         f"{len(result.inputs)} input(s): "
@@ -232,7 +279,7 @@ def format_json(result: LintResult) -> str:
                 "line": d.line,
                 "col": d.col,
             }
-            for d in result.diagnostics
+            for d in sort_diagnostics(result.diagnostics)
         ],
     }
     return json.dumps(payload, indent=2, sort_keys=True)

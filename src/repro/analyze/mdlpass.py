@@ -23,7 +23,7 @@ from ..mdl.ast import (
 )
 from .diagnostics import Diagnostic, diag
 
-__all__ = ["analyze_mdl"]
+__all__ = ["analyze_mdl", "guard_unsat_reason"]
 
 #: context fields whose values name nouns / verbs (see mdl.compiler's
 #: ContextEquals/ContextContains consumers in the instrumentation layer)
@@ -46,6 +46,79 @@ def _condition_refs(cond: Condition) -> Iterable[tuple[str, str]]:
         yield from _condition_refs(cond.term)
 
 
+#: branches beyond which DNF expansion gives a guard the benefit of the doubt
+_DNF_CAP = 128
+
+#: one positive or negated atomic test inside a DNF branch
+_Literal = tuple[tuple[str, str, object], bool]
+
+
+def _dnf(cond: Condition, negate: bool = False) -> list[list[_Literal]] | None:
+    """Disjunctive normal form of a condition tree, or None past the cap.
+
+    Negations push down De Morgan style; each branch is a conjunction of
+    ``((kind, field, value), polarity)`` literals with ``kind`` one of
+    ``"eq"`` / ``"contains"``.
+    """
+    if isinstance(cond, Negation):
+        return _dnf(cond.term, not negate)
+    if isinstance(cond, (Comparison, ContainsTest)):
+        kind = "eq" if isinstance(cond, Comparison) else "contains"
+        return [[((kind, cond.field, cond.value), not negate)]]
+    if isinstance(cond, (Conjunction, Disjunction)):
+        conjunctive = isinstance(cond, Conjunction) != negate
+        parts = [_dnf(term, negate) for term in cond.terms]
+        if any(p is None for p in parts):
+            return None
+        if not conjunctive:
+            merged = [branch for part in parts for branch in part]
+            return merged if len(merged) <= _DNF_CAP else None
+        branches: list[list[_Literal]] = [[]]
+        for part in parts:
+            branches = [b + extra for b in branches for extra in part]
+            if len(branches) > _DNF_CAP:
+                return None
+        return branches
+    return None  # unknown node kind: assume satisfiable
+
+
+def _branch_conflict(branch: list[_Literal]) -> str | None:
+    """Why one DNF branch can never hold, or None if it might."""
+    eq_value: dict[str, object] = {}
+    seen: dict[tuple[str, str, object], bool] = {}
+    for atom, polarity in branch:
+        prev_pol = seen.get(atom)
+        if prev_pol is not None and prev_pol != polarity:
+            kind, fld, value = atom
+            return f"{fld!r} both required and forbidden to be {value!r}"
+        seen[atom] = polarity
+        kind, fld, value = atom
+        if kind == "eq" and polarity:
+            prev = eq_value.get(fld)
+            if prev is not None and prev != value:
+                return f"{fld!r} compared equal to both {prev!r} and {value!r}"
+            eq_value[fld] = value
+    return None
+
+
+def guard_unsat_reason(cond: Condition) -> str | None:
+    """Why a when-guard can never be true, or None if some branch might.
+
+    Exact over equality/containment semantics: a context field holds one
+    value at a time (two different ``==`` requirements conflict), while a
+    collection may contain many (only a literal and its own negation
+    conflict).  Expansion past :data:`_DNF_CAP` branches returns None --
+    satisfiable until proven otherwise.
+    """
+    branches = _dnf(cond)
+    if branches is None:
+        return None
+    reasons = [_branch_conflict(b) for b in branches]
+    if all(r is not None for r in reasons):
+        return reasons[0]
+    return None
+
+
 def analyze_mdl(
     metrics: list[MetricDef],
     path: str = "",
@@ -53,6 +126,7 @@ def analyze_mdl(
     points: frozenset[str] | set[str],
     verbs: set[str],
     nouns: set[str] | None = None,
+    deep: bool = False,
 ) -> list[Diagnostic]:
     """Check metric clauses against known points and declared vocabulary.
 
@@ -60,6 +134,8 @@ def analyze_mdl(
     CMRTS vocabulary declare; ``nouns`` likewise for noun names.  When
     ``nouns`` is None (no PIF supplied alongside the MDL), noun-valued
     guards are not checked -- noun populations are program-specific.
+    ``deep`` additionally proves guard satisfiability (NV021): a clause
+    whose when-condition is contradictory never fires, whatever runs.
     """
     out: list[Diagnostic] = []
     seen: dict[str, MetricDef] = {}
@@ -82,6 +158,17 @@ def analyze_mdl(
                 )
             if clause.condition is None:
                 continue
+            if deep:
+                reason = guard_unsat_reason(clause.condition)
+                if reason is not None:
+                    out.append(
+                        diag(
+                            "NV021",
+                            f"metric {m.name!r}: guard at point {clause.point!r} "
+                            f"is never satisfiable ({reason})",
+                            path,
+                        )
+                    )
             for kind, name in _condition_refs(clause.condition):
                 if kind == "verb" and name not in verbs:
                     out.append(

@@ -219,7 +219,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_lint.add_argument(
         "files", nargs="+", metavar="FILE", help="inputs: .pif, .mdl, .cmf/.fcm, .rtrc"
     )
-    p_lint.add_argument("--format", choices=("text", "json"), default="text")
+    p_lint.add_argument("--format", choices=("text", "json", "sarif"), default="text")
     p_lint.add_argument(
         "--fail-on",
         choices=("warn", "error"),
@@ -235,6 +235,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--jobs", type=int, default=None, metavar="N",
         help="parallel segment-scan workers for columnar trace inputs",
     )
+    p_lint.add_argument(
+        "--deep",
+        action="store_true",
+        help="prove flow conservation and question liveness "
+        "(NV017-NV021; whole-program semantic passes)",
+    )
 
     p_mapc = sub.add_parser(
         "mapc", help="compile, check, format and decompile mapping DSL (.map) programs"
@@ -245,12 +251,18 @@ def build_parser() -> argparse.ArgumentParser:
         "check", help="compile and NV-lint .map programs; findings carry line:col carets"
     )
     m_check.add_argument("files", nargs="+", metavar="FILE.map")
-    m_check.add_argument("--format", choices=("text", "json"), default="text")
+    m_check.add_argument("--format", choices=("text", "json", "sarif"), default="text")
     m_check.add_argument(
         "--fail-on",
         choices=("warn", "error"),
         default="error",
         help="exit 1 when findings at/above this severity exist (default: error)",
+    )
+    m_check.add_argument(
+        "--deep",
+        action="store_true",
+        help="prove flow conservation and question liveness "
+        "(NV017-NV021), re-anchored to .map source spans",
     )
 
     m_build = msub.add_parser(
@@ -322,6 +334,12 @@ def build_parser() -> argparse.ArgumentParser:
     p_serve.add_argument(
         "--shards", type=int, default=1,
         help="consistent-hash shards for the pattern-node table",
+    )
+    p_serve.add_argument(
+        "--reject-dead",
+        action="store_true",
+        help="refuse subscriptions containing provably dead questions "
+        "(patterns matching no recorded sentence); default warns only",
     )
     p_serve.add_argument(
         "--connect", metavar="HOST:PORT", default=None,
@@ -783,24 +801,29 @@ def _trace_diff(args) -> int:
 
 
 def _cmd_lint(args) -> int:
-    from .analyze import Severity, format_json, format_text, lint_paths
+    from .analyze import Severity, format_json, format_sarif, format_text, lint_paths
 
-    result = lint_paths(args.files, mdl_library=args.mdl_library, jobs=args.jobs)
-    print(format_json(result) if args.format == "json" else format_text(result))
+    result = lint_paths(
+        args.files, mdl_library=args.mdl_library, jobs=args.jobs, deep=args.deep
+    )
+    formatter = {"json": format_json, "sarif": format_sarif, "text": format_text}
+    print(formatter[args.format](result))
     return 1 if result.fails(Severity.parse(args.fail_on)) else 0
 
 
 def _mapc_check(args) -> int:
-    from .analyze import LintResult, Severity, format_json
+    from .analyze import LintResult, Severity, format_json, format_sarif
     from .analyze.diagnostics import counts
     from .mapdsl import check_map
 
     results = [
-        check_map(Path(path).read_text(encoding="utf-8"), path) for path in args.files
+        check_map(Path(path).read_text(encoding="utf-8"), path, deep=args.deep)
+        for path in args.files
     ]
     diagnostics = [d for r in results for d in r.diagnostics]
-    if args.format == "json":
-        print(format_json(LintResult(diagnostics=diagnostics, inputs=list(args.files))))
+    if args.format in ("json", "sarif"):
+        formatter = format_sarif if args.format == "sarif" else format_json
+        print(formatter(LintResult(diagnostics=diagnostics, inputs=list(args.files))))
     else:
         for r in results:
             if r.diagnostics:
@@ -936,6 +959,7 @@ def _cmd_serve(args) -> int:
         once=args.once,
         shards=args.shards,
         port_file=args.port_file,
+        reject_dead=args.reject_dead,
     )
 
 

@@ -106,6 +106,19 @@ class MappingGraph:
     # ------------------------------------------------------------------
     # structural queries
     # ------------------------------------------------------------------
+    def edges(self) -> list[Mapping]:
+        """Every mapping edge, in deterministic insertion order.
+
+        The attribution-flow verifier (:func:`repro.analyze.flow.verify_graph`)
+        walks this to prove conservation over a live graph; insertion order
+        keeps its witnesses stable run to run.
+        """
+        return list(self._edges.values())
+
+    def out_degree(self, source: Sentence) -> int:
+        """Fan-out of ``source``: how many ways its mass splits."""
+        return len(self._forward.get(source, ()))
+
     def destinations(self, source: Sentence) -> list[Sentence]:
         """Sentences that ``source`` maps to (one hop)."""
         return list(self._forward.get(source, []))

@@ -434,6 +434,32 @@ class MultiQuestionEngine:
     def subscriptions(self) -> Sequence[Subscription]:
         return tuple(self._subs)
 
+    def dead_subscriptions(self, sentences: Iterable[Sentence]) -> list[str]:
+        """Names of subscriptions that can never fire over ``sentences``.
+
+        A plain conjunction or ordered question with a component pattern
+        matching none of the given sentences (e.g. a recorded trace's
+        sentence table) can never flip its satisfaction state: both
+        watcher kinds count only state flips, so its answer is already
+        known to be ``(0.0, 0, False)``.  Boolean-expression questions
+        are never reported -- a NOT over a dead atom is trivially live.
+        This is the engine-level form of the NV019 static check; ``repro
+        serve`` runs it per subscription at subscribe time.
+        """
+        table = list(sentences)
+        dead: list[str] = []
+        for sub in self._subs:
+            if sub.kind not in ("conj", "ordered"):
+                continue
+            components = getattr(sub.question, "components", ())
+            if any(
+                not any(p.matches(s) for s in table) for p in components
+            ):
+                dead.extend(
+                    name for name, sid in self._names.items() if sid == sub.sid
+                )
+        return sorted(dead)
+
     @property
     def nodes(self) -> Sequence[PatternNode]:
         return tuple(self._nodes)

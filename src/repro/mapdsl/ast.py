@@ -41,7 +41,7 @@ __all__ = [
 _SPAN0 = SourceSpan(1, 1)
 
 
-def _span_field():
+def _span_field() -> SourceSpan:
     return field(default=_SPAN0, compare=False)
 
 

@@ -21,7 +21,10 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
 
+from ..analyze.deadq import analyze_document_questions
 from ..analyze.diagnostics import Diagnostic, diag
+from ..analyze.driver import sort_diagnostics
+from ..analyze.flow import analyze_flow
 from ..analyze.mdlpass import analyze_mdl
 from ..analyze.nv import analyze_pif
 from ..span import SourceSpan, caret_block
@@ -48,7 +51,7 @@ class CheckResult:
     def render(self) -> str:
         """Diagnostics with source-line carets, one block per finding."""
         blocks = []
-        for d in self.diagnostics:
+        for d in sort_diagnostics(self.diagnostics):
             text = d.render()
             if d.line is not None:
                 caret = caret_block(
@@ -117,12 +120,16 @@ def _remap(d: Diagnostic, smap: SourceMap, path: str) -> Diagnostic:
     return replace(d, path=path, record=None, line=span.line, col=span.col)
 
 
-def check_map(source: str, path: str = "<map>") -> CheckResult:
+def check_map(source: str, path: str = "<map>", deep: bool = False) -> CheckResult:
     """Compile ``source`` and lint the result, mapping findings to spans.
 
     Never raises on bad input: front-end errors come back as NV000
     diagnostics carrying the error span, matching the lint driver's
-    convention for unloadable artifacts.
+    convention for unloadable artifacts.  ``deep`` adds the semantic
+    passes ``repro lint --deep`` runs -- flow conservation (NV017/NV018),
+    question analysis (NV019/NV020), guard satisfiability (NV021) -- with
+    every finding re-anchored onto the ``.map`` source span of the
+    mapping rule or metric clause that caused it.
     """
     try:
         elab = compile_map(source, path)
@@ -139,6 +146,15 @@ def check_map(source: str, path: str = "<map>") -> CheckResult:
     from ..cmrts.nv import standard_vocabulary
 
     out = [_remap(d, elab.source_map, path) for d in analyze_pif(elab.document, path)]
+    if deep:
+        out.extend(
+            _remap(d, elab.source_map, path)
+            for d in analyze_flow(elab.document, path).diagnostics
+        )
+        out.extend(
+            _remap(d, elab.source_map, path)
+            for d in analyze_document_questions(elab.document, path)
+        )
 
     if elab.metrics:
         vocab = standard_vocabulary()
@@ -148,7 +164,12 @@ def check_map(source: str, path: str = "<map>") -> CheckResult:
         out.extend(
             _remap(d, elab.source_map, path)
             for d in analyze_mdl(
-                elab.metrics, path, points=frozenset(POINTS), verbs=verbs, nouns=nouns
+                elab.metrics,
+                path,
+                points=frozenset(POINTS),
+                verbs=verbs,
+                nouns=nouns,
+                deep=deep,
             )
         )
     return CheckResult(path, source, elab, out)

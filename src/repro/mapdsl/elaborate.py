@@ -116,7 +116,7 @@ class Elaborated:
 
 
 class _Elaborator:
-    def __init__(self, program: Program):
+    def __init__(self, program: Program) -> None:
         self.program = program
         self.families: dict[str, _Family] = {}
         self.doc = PIFDocument()

@@ -23,7 +23,7 @@ class MapDSLError(Exception):
     the diagnostic output of ``repro mapc check``.
     """
 
-    def __init__(self, message: str, span: SourceSpan | None = None, path: str = ""):
+    def __init__(self, message: str, span: SourceSpan | None = None, path: str = "") -> None:
         location = f"line {span.line}, col {span.col}: " if span is not None else ""
         super().__init__(location + message)
         self.message = message

@@ -39,6 +39,7 @@ from ..mdl.ast import (
 from ..span import SourceSpan
 from .ast import (
     ForRule,
+    Item,
     LevelDecl,
     MapRule,
     MetricDecl,
@@ -46,6 +47,7 @@ from .ast import (
     NameTemplate,
     NounDecl,
     Program,
+    Rule,
     SentenceExpr,
     VerbDecl,
 )
@@ -58,7 +60,7 @@ _ITEM_KEYWORDS = ("level", "noun", "verb", "map", "for", "metric")
 
 
 class _Parser:
-    def __init__(self, tokens: list[Token]):
+    def __init__(self, tokens: list[Token]) -> None:
         self.tokens = tokens
         self.pos = 0
 
@@ -128,7 +130,7 @@ class _Parser:
         span = items[0].span.cover(items[-1].span) if items else SourceSpan(1, 1)
         return Program(tuple(items), span=span)
 
-    def item(self):
+    def item(self) -> Item:
         tok = self.cur
         if tok.kind == "ident" and tok.text in _ITEM_KEYWORDS:
             return getattr(self, "p_" + tok.text)()
@@ -213,7 +215,7 @@ class _Parser:
             span=start.span.cover(self.prev_span()),
         )
 
-    def rule(self):
+    def rule(self) -> Rule:
         if self.at_text("map"):
             return self.p_map()
         if self.at_text("for"):
@@ -390,7 +392,7 @@ class _Parser:
             return ContainsTest(field_tok.text, self.value())
         raise self.fail("expected '==' or 'contains'")
 
-    def value(self):
+    def value(self) -> str | float:
         tok = self.cur
         if tok.kind == "string":
             return self.advance().value

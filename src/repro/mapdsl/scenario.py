@@ -18,10 +18,16 @@ make.  This module closes that loop for the Section-4.2.3 database study:
 from __future__ import annotations
 
 import json
+from typing import TYPE_CHECKING, Any, Iterator, Sequence
 
 from ..core import PerformanceQuestion, SentencePattern
 from ..core.events import SentenceEvent
 from ..pif import PIFDocument
+
+if TYPE_CHECKING:
+    from ..core import EventKind, Sentence
+    from ..dbsim import DBOutcome, Query
+    from ..trace.retro import RetroAnswer
 
 __all__ = [
     "questions_from_document",
@@ -36,10 +42,12 @@ class _EventLog:
     def __init__(self) -> None:
         self.log: list[SentenceEvent] = []
 
-    def transition(self, time, kind, sentence, node_id) -> None:
+    def transition(
+        self, time: float, kind: "EventKind", sentence: "Sentence", node_id: int
+    ) -> None:
         self.log.append(SentenceEvent(time, kind, sentence, node_id))
 
-    def __iter__(self):
+    def __iter__(self) -> Iterator[SentenceEvent]:
         return iter(self.log)
 
 
@@ -71,7 +79,11 @@ def questions_from_document(doc: PIFDocument) -> list[PerformanceQuestion]:
     return questions
 
 
-def run_db_scenario(doc: PIFDocument, queries=None, **study_kwargs):
+def run_db_scenario(
+    doc: PIFDocument,
+    queries: "Sequence[Query] | None" = None,
+    **study_kwargs: Any,
+) -> "tuple[DBOutcome, dict[str, RetroAnswer]]":
     """Run the database study, answered by the document's mapping questions.
 
     Returns ``(outcome, answers)``: the live
@@ -94,7 +106,7 @@ def run_db_scenario(doc: PIFDocument, queries=None, **study_kwargs):
     return outcome, answers
 
 
-def serialize_answers(answers) -> bytes:
+def serialize_answers(answers: "dict[str, RetroAnswer]") -> bytes:
     """Stable byte rendering of a retro answer set, for identity asserts."""
     payload = {
         name: {

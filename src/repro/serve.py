@@ -157,6 +157,11 @@ class TraceSource:
     def describe(self) -> str:
         return self.path
 
+    def known_sentences(self):
+        """The recorded sentence table -- every sentence this source can
+        ever replay, known before any subscriber connects."""
+        return list(self.reader.sentences)
+
     async def run_batch(self, engine, questions, flush) -> float:
         events, node_filtered, end = batch_event_plan(
             self.reader, questions, None, self.node
@@ -195,6 +200,11 @@ class DbStudySource:
     def describe(self) -> str:
         return f"db-study(clients={self.clients}, queries={self.queries})"
 
+    def known_sentences(self):
+        """Live runs build their sentence population as they execute, so
+        no question can be proven dead up front."""
+        return None
+
     async def run_batch(self, engine, questions, flush) -> float:
         from .dbsim.model import Query
         from .dbsim.study import run_db_study
@@ -228,6 +238,7 @@ class ServeServer:
         once: bool = False,
         shards: int = 1,
         port_file: str | None = None,
+        reject_dead: bool = False,
     ):
         if subscribers < 1:
             raise ValueError("need at least one subscriber per batch")
@@ -238,11 +249,34 @@ class ServeServer:
         self.once = once
         self.shards = shards
         self.port_file = port_file
+        self.reject_dead = reject_dead
         self.batches_served = 0
         self._waiting: list[_Client] = []
         self._batch_ready = asyncio.Event()
         self._done = asyncio.Event()
         self._server: asyncio.base_events.Server | None = None
+
+    def _dead_questions(self, specs: list[QuestionSpec]) -> dict[str, list[str]]:
+        """Provably dead questions in one subscription, by display name.
+
+        Statically checked against the source's recorded sentence table
+        (live sources expose no table, so nothing is provable).  A listed
+        question can never fire over this source: some component pattern
+        matches no recorded sentence, and a conjunction with a
+        never-active component never flips -- its answer is guaranteed
+        ``(0.0, 0, False)`` before a single event is replayed.
+        """
+        sentences = self.source.known_sentences()
+        if sentences is None:
+            return {}
+        from .analyze.deadq import table_dead_patterns
+
+        dead: dict[str, list[str]] = {}
+        for spec in specs:
+            missing = table_dead_patterns(build_question(spec), sentences)
+            if missing:
+                dead[spec.display_name()] = [str(p) for p in missing]
+        return dead
 
     async def _handle(self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter):
         client = _Client(reader, writer)
@@ -266,12 +300,31 @@ class ServeServer:
             finally:
                 writer.close()
             return
-        client.send(
-            {
-                "event": "subscribed",
-                "questions": [s.display_name() for s in client.specs],
-            }
-        )
+        dead = self._dead_questions(client.specs)
+        if dead and self.reject_dead:
+            names = ", ".join(sorted(dead))
+            client.send(
+                {
+                    "event": "error",
+                    "message": (
+                        f"dead question(s) rejected: {names} -- some pattern "
+                        "matches no sentence this source ever recorded"
+                    ),
+                }
+            )
+            try:
+                await writer.drain()
+            finally:
+                writer.close()
+            return
+        subscribed: dict = {
+            "event": "subscribed",
+            "questions": [s.display_name() for s in client.specs],
+        }
+        if dead:
+            # advisory only: clients that don't know the key ignore it
+            subscribed["dead"] = dead
+        client.send(subscribed)
         await writer.drain()
         self._waiting.append(client)
         if len(self._waiting) >= self.subscribers:
@@ -403,6 +456,7 @@ def run_server(
     once: bool = False,
     shards: int = 1,
     port_file: str | None = None,
+    reject_dead: bool = False,
 ) -> int:
     """Blocking entry point for ``repro serve`` (server role)."""
     server = ServeServer(
@@ -413,6 +467,7 @@ def run_server(
         once=once,
         shards=shards,
         port_file=port_file,
+        reject_dead=reject_dead,
     )
     asyncio.run(server.serve())
     return 0

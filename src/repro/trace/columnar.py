@@ -783,6 +783,11 @@ class ColumnarTraceReader:
             total = seg.n_trans + seg.n_metric + seg.n_map
             order = self._col_u8(i, COL_ORDER, total)
             times, sids, kinds, nodes = self.segment_transitions(i)
+            # empty defaults keep a corrupted ORDER byte (a record kind the
+            # segment header says is absent) on the IndexError -> CodecError
+            # path instead of touching unbound locals
+            mt = mname = mfocus = munits = mval = ()
+            pt = psrc = pdst = porg = ()
             if seg.n_metric:
                 mt = self._col_f64(i, COL_MT, seg.n_metric)
                 mname = self._col_u32(i, COL_MNAME, seg.n_metric)

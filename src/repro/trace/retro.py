@@ -205,7 +205,11 @@ def batch_event_plan(
     """
     end = end_time
     if hasattr(source, "scan_transitions") and (end_time is not None or node is None):
-        sids = question_sids(source.sentences, questions)
+        # static reachability shrinks the union scan set: a table-dead
+        # conjunction can never flip, so its patterns' events need not
+        # be replayed at all (answers stay byte-identical; pinned by
+        # tests/trace/test_retro_batch.py)
+        sids = question_sids(source.sentences, questions, prune_dead=True)
         if sids is not None:
             if end is None:
                 last_t = source.last_transition_time()

@@ -30,7 +30,14 @@ from __future__ import annotations
 
 from typing import Any, Callable, Iterable, Iterator, Sequence
 
-from ..core import EventKind, Sentence, SentenceEvent, SentencePattern
+from ..core import (
+    EventKind,
+    OrderedQuestion,
+    PerformanceQuestion,
+    Sentence,
+    SentenceEvent,
+    SentencePattern,
+)
 from .store import ALL_NODES
 
 __all__ = [
@@ -64,13 +71,26 @@ def matching_sids(
     )
 
 
-def question_sids(sentences: Sequence[Sentence], questions) -> frozenset[int] | None:
+def question_sids(
+    sentences: Sequence[Sentence], questions, prune_dead: bool = False
+) -> frozenset[int] | None:
     """The sentence-id set any of ``questions`` could ever observe.
 
     Watcher satisfaction only changes when a sentence matching one of the
     question's patterns transitions (``QNot`` included: its atoms still
     only *test* pattern matches), so replaying just these ids yields
-    identical satisfied-times.  Returns ``None`` -- no pushdown -- when a
+    identical satisfied-times.
+
+    ``prune_dead`` additionally drops every pattern of a *table-dead*
+    conjunction -- a plain conjunctive or ordered question one of whose
+    components matches no sentence in the table.  Such a question's
+    satisfaction state can never flip (both watcher kinds count only
+    state flips, and a conjunction with one never-active component stays
+    unsatisfied forever), so its other components' events are replayed
+    for nothing.  Boolean-expression questions (OR/NOT) are never pruned.
+    Answers stay byte-identical either way.
+
+    Returns ``None`` -- no pushdown -- when a
     question does not expose ``patterns()``.
     """
     patterns: list[SentencePattern] = []
@@ -78,7 +98,16 @@ def question_sids(sentences: Sequence[Sentence], questions) -> frozenset[int] | 
         get = getattr(q, "patterns", None)
         if not callable(get):
             return None
-        patterns.extend(get())
+        q_patterns = list(get())
+        if (
+            prune_dead
+            and isinstance(q, (OrderedQuestion, PerformanceQuestion))
+            and any(
+                not any(p.matches(s) for s in sentences) for p in q.components
+            )
+        ):
+            continue
+        patterns.extend(q_patterns)
     return matching_sids(sentences, patterns)
 
 

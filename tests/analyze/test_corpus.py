@@ -2,8 +2,11 @@
 
 ``corpus/manifest.json`` pairs each corpus file with the diagnostic
 codes ``repro lint`` must report for it -- the stable contract the CI
-lint job also enforces.  A corpus file producing extra codes is as much
-a regression as one producing none.
+lint job also enforces.  ``corpus/manifest_deep.json`` is the same
+contract under ``--deep``: the semantic passes (flow conservation,
+question liveness, guard satisfiability) may only *add* codes, never
+change the shallow ones.  A corpus file producing extra codes is as
+much a regression as one producing none.
 """
 
 import json
@@ -15,11 +18,19 @@ from repro.analyze import CODES, Severity, lint_paths
 
 CORPUS = Path(__file__).parent / "corpus"
 MANIFEST = json.loads((CORPUS / "manifest.json").read_text(encoding="utf-8"))
+MANIFEST_DEEP = json.loads(
+    (CORPUS / "manifest_deep.json").read_text(encoding="utf-8")
+)
 
 
 def test_manifest_covers_every_corpus_file():
-    files = {p.name for p in CORPUS.iterdir() if p.name != "manifest.json"}
+    files = {
+        p.name
+        for p in CORPUS.iterdir()
+        if p.name not in ("manifest.json", "manifest_deep.json")
+    }
     assert files == set(MANIFEST)
+    assert files == set(MANIFEST_DEEP)
 
 
 @pytest.mark.parametrize("name", sorted(MANIFEST))
@@ -28,10 +39,22 @@ def test_corpus_file_reports_expected_codes(name):
     assert result.codes() == sorted(MANIFEST[name])
 
 
+@pytest.mark.parametrize("name", sorted(MANIFEST_DEEP))
+def test_corpus_file_reports_expected_deep_codes(name):
+    result = lint_paths([str(CORPUS / name)], deep=True)
+    assert result.codes() == sorted(MANIFEST_DEEP[name])
+
+
+@pytest.mark.parametrize("name", sorted(MANIFEST))
+def test_deep_only_adds_codes(name):
+    assert set(MANIFEST[name]) <= set(MANIFEST_DEEP[name])
+
+
 def test_manifest_codes_are_registered():
-    for codes in MANIFEST.values():
-        for code in codes:
-            assert code in CODES
+    for manifest in (MANIFEST, MANIFEST_DEEP):
+        for codes in manifest.values():
+            for code in codes:
+                assert code in CODES
 
 
 def test_corpus_covers_most_of_the_code_table():
@@ -39,6 +62,8 @@ def test_corpus_covers_most_of_the_code_table():
     # test_sanitize; everything else must have a corpus witness.
     covered = {code for codes in MANIFEST.values() for code in codes}
     assert {f"NV{i:03d}" for i in range(14)} <= covered
+    deep_covered = {code for codes in MANIFEST_DEEP.values() for code in codes}
+    assert {f"NV{i:03d}" for i in range(17, 22)} <= deep_covered
 
 
 def test_whole_corpus_fails_an_error_gate():

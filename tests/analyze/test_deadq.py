@@ -1,0 +1,178 @@
+"""Static question analysis: dead patterns and redundant question sets."""
+
+from pathlib import Path
+
+from repro.analyze import (
+    DeclaredVocabulary,
+    analyze_document_questions,
+    analyze_question_set,
+    pattern_dead_reason,
+    question_implied_by,
+    table_dead_patterns,
+)
+from repro.core import (
+    OrderedQuestion,
+    PerformanceQuestion,
+    QAtom,
+    Sentence,
+    SentencePattern,
+)
+from repro.core.nouns import Noun, Verb
+from repro.pif import load as load_pif
+from repro.pif import loads as loads_pif
+
+CORPUS = Path(__file__).parent / "corpus"
+
+DOC = loads_pif(
+    "LEVEL\nname = App\nrank = 1\n\n"
+    "LEVEL\nname = Base\nrank = 0\n\n"
+    "NOUN\nname = blk\nabstraction = Base\n\n"
+    "NOUN\nname = line1\nabstraction = App\n\n"
+    "VERB\nname = Works\nabstraction = Base\n\n"
+    "VERB\nname = Executes\nabstraction = App\n"
+)
+
+
+def _vocab() -> DeclaredVocabulary:
+    return DeclaredVocabulary(DOC)
+
+
+# ----------------------------------------------------------------------
+# pattern_dead_reason: the static (vocabulary) form
+# ----------------------------------------------------------------------
+def test_live_pattern_has_no_dead_reason():
+    assert pattern_dead_reason(SentencePattern("Works", ("blk",)), _vocab()) is None
+
+
+def test_undeclared_verb_is_dead():
+    reason = pattern_dead_reason(SentencePattern("Vanish", ("blk",)), _vocab())
+    assert reason is not None and "'Vanish'" in reason
+
+
+def test_undeclared_noun_is_dead():
+    reason = pattern_dead_reason(SentencePattern("Works", ("ghost",)), _vocab())
+    assert reason is not None and "'ghost'" in reason
+
+
+def test_level_mismatch_is_dead():
+    # blk lives at Base, Executes at App: no single-level sentence fits both
+    reason = pattern_dead_reason(SentencePattern("Executes", ("blk",)), _vocab())
+    assert reason is not None and "can never share a sentence" in reason
+
+
+def test_explicit_level_constraint_participates():
+    reason = pattern_dead_reason(
+        SentencePattern("Works", ("blk",), "App"), _vocab()
+    )
+    assert reason is not None  # Works is a Base verb; @App can't bind
+    assert (
+        pattern_dead_reason(SentencePattern("Works", ("blk",), "Base"), _vocab())
+        is None
+    )
+
+
+def test_unknown_level_is_dead():
+    reason = pattern_dead_reason(
+        SentencePattern("Works", ("blk",), "Nowhere"), _vocab()
+    )
+    assert reason is not None and "'Nowhere'" in reason
+
+
+def test_wildcards_constrain_nothing():
+    assert pattern_dead_reason(SentencePattern("?", ("?",)), _vocab()) is None
+
+
+# ----------------------------------------------------------------------
+# table_dead_patterns: the dynamic (recorded table) form
+# ----------------------------------------------------------------------
+def _sentence(noun: str, verb: str, level: str = "Base") -> Sentence:
+    return Sentence(Verb(verb, level), (Noun(noun, level),))
+
+
+def test_table_dead_patterns_flags_only_unmatched_components():
+    table = [_sentence("blk", "Works")]
+    live = SentencePattern("Works", ("blk",))
+    dead = SentencePattern("Works", ("ghost",))
+    q = PerformanceQuestion("q", (live, dead))
+    assert table_dead_patterns(q, table) == [dead]
+    assert table_dead_patterns(PerformanceQuestion("q2", (live,)), table) == []
+
+
+def test_table_dead_patterns_covers_ordered_questions():
+    q = OrderedQuestion("o", (SentencePattern("Works", ("ghost",)),))
+    assert table_dead_patterns(q, [_sentence("blk", "Works")])
+
+
+def test_boolean_expressions_are_never_pruned():
+    # NOT over a dead atom is trivially live: soundness demands we skip
+    expr = ~QAtom(SentencePattern("Works", ("ghost",)))
+    assert table_dead_patterns(expr, [_sentence("blk", "Works")]) == []
+
+
+# ----------------------------------------------------------------------
+# question_implied_by / NV020
+# ----------------------------------------------------------------------
+def test_narrower_noun_set_implies_the_general_question():
+    general = PerformanceQuestion("g", (SentencePattern("Works", ("a",)),))
+    specific = PerformanceQuestion("s", (SentencePattern("Works", ("a", "b")),))
+    assert question_implied_by(general, specific)
+    assert not question_implied_by(specific, general)
+
+
+def test_implication_never_claimed_for_ordered_questions():
+    a = PerformanceQuestion("a", (SentencePattern("Works", ("x",)),))
+    b = OrderedQuestion("b", (SentencePattern("Works", ("x",)),))
+    assert not question_implied_by(a, b)
+    assert not question_implied_by(b, a)
+
+
+# ----------------------------------------------------------------------
+# document-level analysis
+# ----------------------------------------------------------------------
+def test_dead_question_corpus_file_reports_nv019_with_record():
+    doc = load_pif(str(CORPUS / "dead_question.pif"))
+    (d,) = analyze_document_questions(doc)
+    assert d.code == "NV019"
+    assert "can never bind" in d.message
+    assert d.record is not None
+
+
+def test_redundant_question_corpus_file_reports_nv020():
+    doc = load_pif(str(CORPUS / "redundant_question.pif"))
+    (d,) = analyze_document_questions(doc)
+    assert d.code == "NV020"
+    assert "implied by" in d.message
+
+
+def test_reverse_mapping_pair_is_not_flagged_redundant():
+    # A -> B and B -> A derive set-equal conjunctions: the engine dedups
+    # them into one watcher, so neither is "implied by" the other
+    doc = loads_pif(
+        "LEVEL\nname = App\nrank = 1\n\n"
+        "LEVEL\nname = Base\nrank = 0\n\n"
+        "NOUN\nname = blk\nabstraction = Base\n\n"
+        "NOUN\nname = line1\nabstraction = App\n\n"
+        "VERB\nname = Works\nabstraction = Base\n\n"
+        "VERB\nname = Executes\nabstraction = App\n\n"
+        "MAPPING\nsource = {blk, Works}\ndestination = {line1, Executes}\n\n"
+        "MAPPING\nsource = {line1, Executes}\ndestination = {blk, Works}\n"
+    )
+    assert analyze_document_questions(doc) == []
+
+
+def test_shipped_examples_have_no_dead_or_redundant_questions():
+    examples = Path(__file__).parent.parent.parent / "examples"
+    for name in ("fragment.pif",):
+        doc = load_pif(str(examples / name))
+        assert analyze_document_questions(doc) == []
+
+
+def test_analyze_question_set_over_subscriptions():
+    vocab = _vocab()
+    qs = [
+        PerformanceQuestion("live", (SentencePattern("Works", ("blk",)),)),
+        PerformanceQuestion("dead", (SentencePattern("Works", ("ghost",)),)),
+    ]
+    diags = analyze_question_set(qs, vocab)
+    assert [d.code for d in diags] == ["NV019"]
+    assert "dead question dead" in diags[0].message

@@ -1,0 +1,112 @@
+"""Diagnostic ordering is pinned: (file, line, col, code), total order.
+
+Pass emission order is an implementation detail (deep passes append
+after shallow ones, trace passes after static ones); presentation order
+is a contract.  Every formatter -- text, JSON, SARIF, the DSL checker's
+caret renderer -- must sort through :func:`sort_diagnostics`.
+"""
+
+import json
+import random
+from pathlib import Path
+
+from repro.analyze import diag, format_json, format_sarif, format_text
+from repro.analyze import LintResult, lint_paths, sort_diagnostics
+from repro.mapdsl import check_map
+
+CORPUS = Path(__file__).parent / "corpus"
+
+#: deliberately scrambled across files, lines, cols and codes
+DIAGS = [
+    diag("NV005", "m1", "b.pif", record=3),
+    diag("NV001", "m2", "b.pif", record=1),
+    diag("NV009", "m3", "a.mdl", line=9),
+    diag("NV000", "m4", "a.mdl", line=2, col=5),
+    diag("NV010", "m5", "a.mdl", line=2, col=1),
+    diag("NV002", "m6", "a.mdl", line=2, col=1),
+]
+
+
+def _key(d):
+    return (
+        d.path,
+        d.line if d.line is not None else -1,
+        d.col if d.col is not None else -1,
+        d.code,
+    )
+
+
+def test_sort_is_by_file_line_col_code():
+    ordered = sort_diagnostics(DIAGS)
+    assert [_key(d) for d in ordered] == sorted(_key(d) for d in DIAGS)
+    # spot-check the interesting ties: same (file, line, col), code decides
+    assert [d.code for d in ordered[:2]] == ["NV002", "NV010"]
+
+
+def test_sort_is_total_and_shuffle_invariant():
+    rng = random.Random(7)
+    baseline = sort_diagnostics(DIAGS)
+    for _ in range(20):
+        shuffled = DIAGS.copy()
+        rng.shuffle(shuffled)
+        assert sort_diagnostics(shuffled) == baseline
+
+
+def test_text_output_is_sorted_and_shuffle_invariant():
+    shuffled = DIAGS.copy()
+    random.Random(3).shuffle(shuffled)
+    a = format_text(LintResult(diagnostics=DIAGS, inputs=["a.mdl", "b.pif"]))
+    b = format_text(LintResult(diagnostics=shuffled, inputs=["a.mdl", "b.pif"]))
+    assert a == b
+    lines = a.splitlines()[:-1]  # drop the counts line
+    assert lines == [d.render() for d in sort_diagnostics(DIAGS)]
+
+
+def test_json_output_is_sorted():
+    payload = json.loads(
+        format_json(LintResult(diagnostics=DIAGS, inputs=["a.mdl", "b.pif"]))
+    )
+    got = [
+        (d["path"], d["line"] or -1, d["col"] or -1, d["code"])
+        for d in payload["diagnostics"]
+    ]
+    assert got == sorted(got)
+
+
+def test_sarif_results_are_sorted():
+    log = json.loads(
+        format_sarif(LintResult(diagnostics=DIAGS, inputs=["a.mdl", "b.pif"]))
+    )
+    rule_ids = [r["ruleId"] for r in log["runs"][0]["results"]]
+    assert rule_ids == [d.code for d in sort_diagnostics(DIAGS)]
+
+
+def test_lint_output_is_independent_of_input_order():
+    # conflict-free inputs: cross-file merge findings (NV001 et al. from
+    # merge_documents) legitimately depend on which file came first, so
+    # the order-invariance contract is about everything else
+    paths = [
+        str(CORPUS / "relay_diamond.pif"),
+        str(CORPUS / "dead_question.pif"),
+        str(CORPUS / "unsat_guard.mdl"),
+    ]
+    fwd = lint_paths(paths, deep=True)
+    rev = lint_paths(list(reversed(paths)), deep=True)
+    assert [str(d) for d in sort_diagnostics(fwd.diagnostics)] == [
+        str(d) for d in sort_diagnostics(rev.diagnostics)
+    ]
+
+
+def test_mapc_render_is_sorted_by_span():
+    src = (
+        "level Top rank 1\n"
+        "level Top rank 2\n"  # NV001 at line 2
+        "noun A @ Ghost\n"  # NV002 at line 3
+        "verb Go @ Top\n"
+        "map {A, Gone} -> {A, Go}\n"  # NV005 at line 5
+    )
+    rendered = check_map(src, "p.map").render()
+    positions = [
+        rendered.index(f"p.map:{line}:") for line in (2, 3, 5)
+    ]
+    assert positions == sorted(positions)

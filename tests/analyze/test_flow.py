@@ -1,0 +1,201 @@
+"""The attribution-flow verifier: exact conservation proofs and refutations.
+
+Every assertion here is about *exact* arithmetic -- ``Fraction`` masses,
+path counts, witness paths -- because that is the pass's contract: a
+conservative verdict is a proof, not a heuristic.
+"""
+
+from fractions import Fraction
+from pathlib import Path
+
+from repro.analyze import analyze_flow, verify_graph
+from repro.core import Sentence
+from repro.core.mapping import Mapping, MappingGraph
+from repro.core.nouns import Noun, Verb
+from repro.pif import load as load_pif
+from repro.pif import loads as loads_pif
+
+EXAMPLES = Path(__file__).parent.parent.parent / "examples"
+CORPUS = Path(__file__).parent / "corpus"
+
+
+def _flow(path: Path):
+    return analyze_flow(load_pif(str(path)), str(path))
+
+
+# ----------------------------------------------------------------------
+# conservation proofs on the shipped examples
+# ----------------------------------------------------------------------
+def test_fragment_pif_is_proved_conservative():
+    report = _flow(EXAMPLES / "fragment.pif")
+    assert report.conservative
+    assert not report.diagnostics
+    # three measured sources, each delivering exactly unit mass
+    assert len(report.sources) == 3
+    for verdict in report.verdicts.values():
+        assert verdict.delivered == Fraction(1)
+        assert verdict.leaked == Fraction(0)
+        assert not verdict.multipath
+
+
+def test_fragment_pif_exact_sink_masses():
+    report = _flow(EXAMPLES / "fragment.pif")
+    assert report.sink_mass == {
+        "{A, Compute}": Fraction(1, 4),
+        "{B, Compute}": Fraction(1, 4),
+        "{line3, Executes}": Fraction(1, 4),
+        "{line4, Executes}": Fraction(1, 4),
+        "{A, Sum}": Fraction(1, 2),
+        "{line5, Executes}": Fraction(1, 2),
+        "{B, MaxVal}": Fraction(1, 2),
+        "{line6, Executes}": Fraction(1, 2),
+    }
+    # global conservation: total sink mass == number of sources
+    assert sum(report.sink_mass.values()) == len(report.sources)
+
+
+def test_mass_sums_to_source_count_on_every_conservative_example():
+    for name in ("fragment.pif",):
+        report = _flow(EXAMPLES / name)
+        assert sum(report.sink_mass.values()) == len(report.sources)
+
+
+# ----------------------------------------------------------------------
+# refutations: double-count, deep relay, leak, cycle
+# ----------------------------------------------------------------------
+def test_relay_diamond_is_proved_double_counting():
+    report = _flow(CORPUS / "relay_diamond.pif")
+    assert not report.conservative
+    (d,) = report.diagnostics
+    assert d.code == "NV017"
+    assert "2 distinct paths" in d.message
+    assert "split delivers 1" in d.message
+    # both witness paths are spelled out
+    assert "{blk, Works} -> {helper, Works} -> {line1, Executes}" in d.message
+    assert "{blk, Works} -> {line1, Executes}" in d.message
+    assert d.record is not None  # anchored to a witness mapping record
+
+
+def test_deep_relay_caught_even_where_nv008_heuristic_is_blind():
+    from repro.analyze import analyze_pif
+
+    doc = load_pif(str(CORPUS / "flow_deep_relay.pif"))
+    # the shallow heuristic does not fire on S -> X -> Y -> D vs S -> D ...
+    assert not any(d.code == "NV008" for d in analyze_pif(doc))
+    # ... but the flow proof does
+    report = analyze_flow(doc)
+    assert not report.conservative
+    assert [d.code for d in report.diagnostics] == ["NV017"]
+
+
+def test_leak_reports_exact_fraction_and_witness():
+    report = _flow(CORPUS / "flow_leak.pif")
+    assert not report.conservative
+    (d,) = report.diagnostics
+    assert d.code == "NV018"
+    assert "1/2 of {disk0, Spins}'s mass dies at {memcpy, Copies}" in d.message
+    assert "witness path: {disk0, Spins} -> {memcpy, Copies}" in d.message
+    verdict = report.verdicts["{disk0, Spins}"]
+    assert verdict.delivered == Fraction(1, 2)
+    assert verdict.leaked == Fraction(1, 2)
+
+
+def test_level_leak_charges_every_dying_sink():
+    report = _flow(CORPUS / "flow_level_leak.pif")
+    codes = [d.code for d in report.diagnostics]
+    assert codes == ["NV018", "NV018"]
+    verdict = report.verdicts["{cpu1, Spins}"]
+    assert verdict.leaked == Fraction(1)  # the whole unit dies below top
+    assert verdict.delivered == Fraction(0)
+    # the healthy source is still proved conservative
+    assert report.verdicts["{cpu0, Spins}"].conservative
+
+
+def test_multipath_diamond_without_direct_edge():
+    report = _flow(CORPUS / "flow_multipath.pif")
+    (d,) = report.diagnostics
+    assert d.code == "NV017"
+    # split delivers the full unit, merge would charge twice
+    assert "split delivers 1, merge charges 2x" in d.message
+
+
+def test_cycle_is_the_degenerate_double_count():
+    report = _flow(CORPUS / "flow_cycle.pif")
+    assert report.cyclic
+    assert not report.conservative
+    (d,) = report.diagnostics
+    assert d.code == "NV017"
+    assert "mass circulates" in d.message
+
+
+def test_reverse_mapping_pair_dedups_to_one_upward_edge():
+    # the paper maps both directions; both records orient to the same
+    # upward edge, so a bidirectional pair is NOT a false cycle
+    doc = loads_pif(
+        "LEVEL\nname = Top\nrank = 1\n\n"
+        "LEVEL\nname = Bot\nrank = 0\n\n"
+        "NOUN\nname = a\nabstraction = Bot\n\n"
+        "NOUN\nname = b\nabstraction = Top\n\n"
+        "VERB\nname = Lo\nabstraction = Bot\n\n"
+        "VERB\nname = Hi\nabstraction = Top\n\n"
+        "MAPPING\nsource = {a, Lo}\ndestination = {b, Hi}\n\n"
+        "MAPPING\nsource = {b, Hi}\ndestination = {a, Lo}\n"
+    )
+    report = analyze_flow(doc)
+    assert not report.cyclic
+    assert report.conservative
+
+
+def test_document_without_mappings_is_vacuously_conservative():
+    doc = loads_pif("LEVEL\nname = Top\nrank = 0\n")
+    report = analyze_flow(doc)
+    assert report.conservative
+    assert report.sources == []
+    assert report.diagnostics == []
+
+
+# ----------------------------------------------------------------------
+# the live-graph front door
+# ----------------------------------------------------------------------
+def _sentence(noun: str, verb: str, level: str) -> Sentence:
+    return Sentence(Verb(verb, level), (Noun(noun, level),))
+
+
+def test_verify_graph_proves_a_clean_live_graph():
+    graph = MappingGraph()
+    low = _sentence("disk0", "Write", "Machine")
+    high = _sentence("func", "Runs", "Program")
+    graph.add(Mapping(low, high))
+    report = verify_graph(graph, {"Machine": 0, "Program": 1})
+    assert report.conservative
+    assert report.sink_mass == {str(high): Fraction(1)}
+
+
+def test_verify_graph_refutes_a_diamond():
+    graph = MappingGraph()
+    src = _sentence("src", "Work", "Machine")
+    mid_a = _sentence("a", "Work", "Machine")
+    mid_b = _sentence("b", "Work", "Machine")
+    top = _sentence("main", "Runs", "Program")
+    graph.add_all(
+        [
+            Mapping(src, mid_a),
+            Mapping(src, mid_b),
+            Mapping(mid_a, top),
+            Mapping(mid_b, top),
+        ]
+    )
+    report = verify_graph(graph, {"Machine": 0, "Program": 1})
+    assert not report.conservative
+    (d,) = report.diagnostics
+    assert d.code == "NV017"
+
+
+def test_verify_graph_treats_unknown_levels_as_top():
+    graph = MappingGraph()
+    low = _sentence("disk0", "Write", "Machine")
+    odd = _sentence("mystery", "Does", "Unregistered")
+    graph.add(Mapping(low, odd))
+    report = verify_graph(graph, {"Machine": 0, "Program": 1})
+    # benefit of the doubt: an unknown-level sink is never called a leak
+    assert report.conservative

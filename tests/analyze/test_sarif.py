@@ -1,0 +1,210 @@
+"""SARIF 2.1.0 output: schema validity and content fidelity.
+
+The emitted log is validated against an embedded subset of the official
+SARIF 2.1.0 JSON schema -- the required-property and type constraints
+for every object this emitter produces.  (The full 2.1.0 schema is
+~700 KB; the subset pins exactly the invariants GitHub code scanning
+and editors rely on: versioned log, named driver with rules, results
+referencing rules by id/index with physical locations.)
+"""
+
+import json
+from pathlib import Path
+
+import jsonschema
+import pytest
+
+from repro.analyze import CODES, LintResult, diag, format_sarif, lint_paths
+
+CORPUS = Path(__file__).parent / "corpus"
+
+#: subset of the official sarif-2.1.0 schema covering everything we emit
+SARIF_SUBSET_SCHEMA = {
+    "type": "object",
+    "required": ["version", "runs"],
+    "properties": {
+        "version": {"const": "2.1.0"},
+        "$schema": {"type": "string"},
+        "runs": {
+            "type": "array",
+            "minItems": 1,
+            "items": {
+                "type": "object",
+                "required": ["tool"],
+                "properties": {
+                    "tool": {
+                        "type": "object",
+                        "required": ["driver"],
+                        "properties": {
+                            "driver": {
+                                "type": "object",
+                                "required": ["name"],
+                                "properties": {
+                                    "name": {"type": "string"},
+                                    "rules": {
+                                        "type": "array",
+                                        "items": {
+                                            "type": "object",
+                                            "required": ["id"],
+                                            "properties": {
+                                                "id": {"type": "string"},
+                                                "shortDescription": {
+                                                    "type": "object",
+                                                    "required": ["text"],
+                                                },
+                                                "defaultConfiguration": {
+                                                    "type": "object",
+                                                    "properties": {
+                                                        "level": {
+                                                            "enum": [
+                                                                "none",
+                                                                "note",
+                                                                "warning",
+                                                                "error",
+                                                            ]
+                                                        }
+                                                    },
+                                                },
+                                            },
+                                        },
+                                    },
+                                },
+                            }
+                        },
+                    },
+                    "artifacts": {
+                        "type": "array",
+                        "items": {
+                            "type": "object",
+                            "required": ["location"],
+                            "properties": {
+                                "location": {
+                                    "type": "object",
+                                    "required": ["uri"],
+                                }
+                            },
+                        },
+                    },
+                    "results": {
+                        "type": "array",
+                        "items": {
+                            "type": "object",
+                            "required": ["message", "ruleId", "level"],
+                            "properties": {
+                                "message": {
+                                    "type": "object",
+                                    "required": ["text"],
+                                },
+                                "ruleId": {"type": "string"},
+                                "ruleIndex": {"type": "integer", "minimum": 0},
+                                "level": {
+                                    "enum": ["none", "note", "warning", "error"]
+                                },
+                                "locations": {
+                                    "type": "array",
+                                    "items": {
+                                        "type": "object",
+                                        "properties": {
+                                            "physicalLocation": {
+                                                "type": "object",
+                                                "required": [
+                                                    "artifactLocation"
+                                                ],
+                                                "properties": {
+                                                    "region": {
+                                                        "type": "object",
+                                                        "properties": {
+                                                            "startLine": {
+                                                                "type": "integer",
+                                                                "minimum": 1,
+                                                            },
+                                                            "startColumn": {
+                                                                "type": "integer",
+                                                                "minimum": 1,
+                                                            },
+                                                        },
+                                                    }
+                                                },
+                                            }
+                                        },
+                                    },
+                                },
+                            },
+                        },
+                    },
+                },
+            },
+        },
+    },
+}
+
+
+def _log(result: LintResult) -> dict:
+    text = format_sarif(result)
+    log = json.loads(text)
+    jsonschema.validate(log, SARIF_SUBSET_SCHEMA)
+    return log
+
+
+def test_empty_run_is_schema_valid():
+    log = _log(LintResult(inputs=["clean.pif"]))
+    (run,) = log["runs"]
+    assert run["results"] == []
+    assert run["artifacts"] == [{"location": {"uri": "clean.pif"}}]
+
+
+@pytest.mark.parametrize(
+    "name", ["relay_diamond.pif", "unsat_guard.mdl", "dead_question.pif"]
+)
+def test_corpus_deep_lint_is_schema_valid(name):
+    result = lint_paths([str(CORPUS / name)], deep=True)
+    log = _log(result)
+    (run,) = log["runs"]
+    assert len(run["results"]) == len(result.diagnostics)
+
+
+def test_every_registered_code_becomes_a_rule():
+    log = _log(LintResult())
+    rules = log["runs"][0]["tool"]["driver"]["rules"]
+    assert [r["id"] for r in rules] == list(CODES)
+    for rule, (severity, summary) in zip(rules, CODES.values()):
+        assert rule["shortDescription"]["text"] == summary
+
+
+def test_results_reference_rules_by_id_and_index():
+    result = lint_paths([str(CORPUS / "relay_diamond.pif")], deep=True)
+    log = _log(result)
+    run = log["runs"][0]
+    rules = run["tool"]["driver"]["rules"]
+    for res in run["results"]:
+        assert rules[res["ruleIndex"]]["id"] == res["ruleId"]
+
+
+def test_spans_become_regions():
+    result = LintResult(
+        diagnostics=[diag("NV000", "bad syntax", "p.map", line=3, col=7)],
+        inputs=["p.map"],
+    )
+    (res,) = _log(result)["runs"][0]["results"]
+    region = res["locations"][0]["physicalLocation"]["region"]
+    assert region == {"startLine": 3, "startColumn": 7}
+
+
+def test_record_anchored_findings_carry_the_record_in_the_message():
+    result = lint_paths([str(CORPUS / "relay_diamond.pif")], deep=True)
+    log = _log(result)
+    nv017 = [
+        r for r in log["runs"][0]["results"] if r["ruleId"] == "NV017"
+    ]
+    assert nv017 and "[record" in nv017[0]["message"]["text"]
+
+
+def test_severities_map_to_sarif_levels():
+    result = lint_paths(
+        [str(CORPUS / "relay_diamond.pif"), str(CORPUS / "unsat_guard.mdl")],
+        deep=True,
+    )
+    log = _log(result)
+    levels = {r["ruleId"]: r["level"] for r in log["runs"][0]["results"]}
+    assert levels["NV017"] == "error"
+    assert levels["NV021"] == "warning"

@@ -264,3 +264,132 @@ def test_trace_source_sniffs_both_formats(tmp_path):
             "ColumnarTraceReader",
         )
         source.close()
+
+
+# ----------------------------------------------------------------------
+# dead-question detection at subscribe time
+# ----------------------------------------------------------------------
+async def _subscribe_raw(port, request):
+    reader, writer = await asyncio.open_connection("127.0.0.1", port)
+    await reader.readline()  # hello
+    writer.write(json.dumps(request).encode() + b"\n")
+    await writer.drain()
+    msgs = [json.loads(await reader.readline())]
+    while msgs[-1].get("event") not in ("end", "error"):
+        line = await reader.readline()
+        if not line:
+            break
+        msgs.append(json.loads(line))
+    writer.close()
+    return msgs
+
+
+def test_dead_question_warned_in_subscribed_event(db_trace):
+    async def scenario():
+        server = ServeServer(TraceSource(db_trace), subscribers=1, once=True)
+        task = asyncio.create_task(server.serve())
+        while server.port == 0 and not task.done():
+            await asyncio.sleep(0.01)
+        msgs = await _subscribe_raw(
+            server.port,
+            {
+                "questions": [
+                    {"name": "live", "patterns": ["{server0 DiskRead}"]},
+                    {"name": "dead", "patterns": ["{ghost NoSuchVerb}"]},
+                ],
+                "stream": False,
+            },
+        )
+        await asyncio.wait_for(task, timeout=10)
+        return msgs
+
+    msgs = asyncio.run(scenario())
+    subscribed = msgs[0]
+    assert subscribed["event"] == "subscribed"
+    assert subscribed["dead"] == {"dead": ["{ghost NoSuchVerb}"]}
+    summary = next(m for m in msgs if m["event"] == "summary")
+    # the statically-dead question still gets its (provably zero) answer
+    assert summary["questions"]["dead"] == {
+        "satisfied_time": 0.0,
+        "transitions": 0,
+        "satisfied_at_end": False,
+    }
+    assert summary["questions"]["live"]["transitions"] > 0
+
+
+def test_live_subscription_has_no_dead_key(db_trace):
+    async def scenario():
+        server = ServeServer(TraceSource(db_trace), subscribers=1, once=True)
+        task = asyncio.create_task(server.serve())
+        while server.port == 0 and not task.done():
+            await asyncio.sleep(0.01)
+        msgs = await _subscribe_raw(
+            server.port,
+            {"questions": [{"patterns": ["{server0 DiskRead}"]}], "stream": False},
+        )
+        await asyncio.wait_for(task, timeout=10)
+        return msgs
+
+    msgs = asyncio.run(scenario())
+    # the protocol stays byte-compatible for clean subscriptions
+    assert msgs[0] == {
+        "event": "subscribed",
+        "questions": ["{server0 DiskRead}"],
+    }
+
+
+def test_reject_dead_refuses_the_subscription(db_trace):
+    async def scenario():
+        server = ServeServer(
+            TraceSource(db_trace), subscribers=1, once=True, reject_dead=True
+        )
+        task = asyncio.create_task(server.serve())
+        while server.port == 0 and not task.done():
+            await asyncio.sleep(0.01)
+        msgs = await _subscribe_raw(
+            server.port,
+            {
+                "questions": [{"name": "dead", "patterns": ["{ghost NoSuchVerb}"]}],
+                "stream": False,
+            },
+        )
+        # rejected client did not consume the batch slot; serve a real batch
+        good = await _client_session(
+            "127.0.0.1",
+            server.port,
+            [QuestionSpec(patterns=("{server0 DiskRead}",))],
+            stream=True,
+        )
+        await asyncio.wait_for(task, timeout=10)
+        return msgs, good
+
+    msgs, (payload, divergence) = asyncio.run(scenario())
+    assert msgs[0]["event"] == "error"
+    assert "dead question(s) rejected: dead" in msgs[0]["message"]
+    assert divergence == 0 and payload["questions"]
+
+
+def test_live_db_source_never_rejects_as_dead():
+    # live sources have no recorded table: nothing is provably dead
+    source = DbStudySource(clients=1, queries=1)
+    assert source.known_sentences() is None
+    server = ServeServer(source, reject_dead=True)
+    assert server._dead_questions(
+        [QuestionSpec(patterns=("{ghost NoSuchVerb}",))]
+    ) == {}
+
+
+def test_engine_dead_subscriptions_names():
+    from repro.core import MultiQuestionEngine, SentencePattern
+    from repro.core.nouns import Noun, Verb
+    from repro.core import Sentence
+
+    engine = MultiQuestionEngine()
+    engine.subscribe(
+        PerformanceQuestion("live", (SentencePattern("Works", ("blk",)),))
+    )
+    engine.subscribe(
+        PerformanceQuestion("dead", (SentencePattern("Works", ("ghost",)),))
+    )
+    table = [Sentence(Verb("Works", "Base"), (Noun("blk", "Base"),))]
+    assert engine.dead_subscriptions(table) == ["dead"]

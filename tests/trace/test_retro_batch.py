@@ -97,3 +97,69 @@ def test_reused_engine_rejected_after_history():
     qs = questions_for(trace)
     answers = evaluate_question_batch(trace, qs)
     assert answers["conj"].end_time == answers["ord"].end_time
+
+
+# ----------------------------------------------------------------------
+# static reachability pruning: dead questions shrink the scan, not answers
+# ----------------------------------------------------------------------
+def dead_questions():
+    ghost = SentencePattern("NoSuchVerb", ("no_such_noun",))
+    return [
+        PerformanceQuestion("dead_conj", (ghost,)),
+        OrderedQuestion("dead_ord", (ghost, SentencePattern("?", ()))),
+    ]
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_dead_questions_prune_scan_but_answers_are_identical(tmp_path, seed):
+    trace = random_trace(seed, events=300, nodes=2, sentences=14)
+    qs = questions_for(trace) + dead_questions()
+    path = tmp_path / "t.rtrcx"
+    writer = ColumnarTraceWriter(str(path), segment_records=64)
+    writer.record_trace(trace.events())
+    writer.close()
+    with open_trace(str(path)) as reader:
+        batched = evaluate_question_batch(reader, qs)
+        reference = evaluate_questions(reader, qs)
+    assert_identical(reference, batched)
+    for name in ("dead_conj", "dead_ord"):
+        assert batched[name].satisfied_time == 0.0
+        assert batched[name].transitions == 0
+        assert not batched[name].satisfied_at_end
+
+
+def test_dead_question_sids_are_dropped_from_the_union(tmp_path):
+    from repro.trace.scan import question_sids
+
+    trace = random_trace(3, events=200, nodes=2, sentences=10)
+    live = questions_for(trace)
+    path = tmp_path / "t.rtrcx"
+    writer = ColumnarTraceWriter(str(path))
+    writer.record_trace(trace.events())
+    writer.close()
+    with open_trace(str(path)) as reader:
+        table = list(reader.sentences)
+        base = question_sids(table, live, prune_dead=True)
+        # a dead conjunction sharing a live pattern contributes nothing:
+        # its live component's sids are covered only if a live question
+        # also wants them
+        ghost = SentencePattern("NoSuchVerb", ("no_such_noun",))
+        dead = PerformanceQuestion("dead", (ghost, live[0].components[0]))
+        pruned = question_sids(table, live + [dead], prune_dead=True)
+        unpruned = question_sids(table, live + [dead], prune_dead=False)
+    assert pruned == base  # the dead question added no sids
+    assert pruned <= unpruned
+
+
+def test_boolean_questions_are_never_pruned(tmp_path):
+    from repro.trace.scan import question_sids
+
+    trace = random_trace(4, events=100, nodes=1, sentences=8)
+    ghost = SentencePattern("NoSuchVerb", ("no_such_noun",))
+    expr = QNot(QAtom(ghost))  # trivially satisfied: must not be pruned
+    some = questions_for(trace)[0]
+    with_expr = [some, expr]
+    table = sorted({e.sentence for e in trace.events()}, key=str)
+    assert question_sids(table, with_expr, prune_dead=True) == question_sids(
+        table, with_expr, prune_dead=False
+    )
